@@ -1,0 +1,63 @@
+-- The paper's running example (§2.1, Figure 1) in the mmdb shell language.
+--   dune exec bin/mmdb_shell.exe -- examples/paper_queries.sql
+
+CREATE TABLE Department (Name string, Id int PRIMARY KEY);
+INSERT INTO Department VALUES ('Toy', 459);
+INSERT INTO Department VALUES ('Shoe', 409);
+INSERT INTO Department VALUES ('Linen', 411);
+INSERT INTO Department VALUES ('Paint', 455);
+
+-- Dept is a declared foreign key: the integer department ids below are
+-- replaced by tuple pointers at insert time (§2.1).
+CREATE TABLE Employee (Name string, Id int PRIMARY KEY, Age int,
+                       Dept ref Department);
+INSERT INTO Employee VALUES ('Dave', 23, 24, 459);
+INSERT INTO Employee VALUES ('Suzan', 12, 27, 459);
+INSERT INTO Employee VALUES ('Yaman', 44, 54, 411);
+INSERT INTO Employee VALUES ('Jane', 43, 47, 411);
+INSERT INTO Employee VALUES ('Cindy', 22, 22, 409);
+INSERT INTO Employee VALUES ('Hank', 77, 70, 409);
+
+SHOW TABLES;
+DESCRIBE Employee;
+
+-- Query 1: employee name, age, and department name for employees over 65.
+-- EXPLAIN shows the optimizer choosing the precomputed (pointer) join.
+EXPLAIN SELECT Employee.Name, Employee.Age, Department.Name
+  FROM Employee JOIN Department ON Dept = Id WHERE Age > 65;
+SELECT Employee.Name, Employee.Age, Department.Name
+  FROM Employee JOIN Department ON Dept = Id WHERE Age > 65;
+
+-- A secondary index changes the chosen access path (§4: hash > tree > scan).
+CREATE INDEX by_age ON Employee (Age) USING ttree;
+EXPLAIN SELECT Name FROM Employee WHERE Age BETWEEN 20 AND 30;
+SELECT Name FROM Employee WHERE Age BETWEEN 20 AND 30;
+
+-- Projection with duplicate elimination (hashing, per §4).
+SELECT DISTINCT Department.Name
+  FROM Employee JOIN Department ON Dept = Id;
+
+-- Updates reposition only the index entries that cover the column.
+UPDATE Employee SET Age = 71 WHERE Name = 'Hank';
+SELECT Name, Age FROM Employee WHERE Age > 65;
+
+DELETE FROM Employee WHERE Age > 65;
+SELECT Name FROM Employee;
+
+-- Grouped aggregates (extension: §3.4's hash table folding rather than
+-- discarding duplicates).
+SELECT Department.Name, COUNT(*), AVG(Age)
+  FROM Employee JOIN Department ON Dept = Id
+  GROUP BY Department.Name;
+
+-- Transactions (§2.4): updates are deferred to COMMIT; ROLLBACK discards
+-- the intention list — "no undo is needed".
+BEGIN;
+INSERT INTO Employee VALUES ('Temp', 99, 30, 455);
+ROLLBACK;
+SELECT COUNT(*) FROM Employee;
+
+BEGIN;
+INSERT INTO Employee VALUES ('Kim', 88, 33, 455);
+COMMIT;
+SELECT Name FROM Employee WHERE Id = 88;
