@@ -1,0 +1,1 @@
+bench/bench_ablation.ml: Array Bench_util Bytes Char Db Float Hashtbl Join List Mmdb_core Mmdb_index Mmdb_storage Mmdb_util Optimizer Option Printf Qsort Result Rng Workload

@@ -1,0 +1,1 @@
+bench/bench_concurrency.ml: Bench_util List Mmdb_storage Mmdb_txn Mmdb_util Printf Relation Scheduler Schema Txn Value

@@ -1,0 +1,1 @@
+bench/bench_index.ml: Array Bench_util Float Hashtbl Index_intf List Mmdb_index Mmdb_util Printf Registry Rng

@@ -1,0 +1,1 @@
+bench/bench_join.ml: Array Bench_util Db Float Hashtbl Join List Mmdb_core Mmdb_storage Mmdb_util Option Printf Result Rng Stats Workload

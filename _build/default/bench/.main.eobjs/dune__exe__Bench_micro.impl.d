@@ -1,0 +1,1 @@
+bench/bench_micro.ml: Analyze Array Bechamel Bench_util Benchmark Hashtbl Instance List Measure Mmdb_index Mmdb_util Printf Staged Test Time Toolkit

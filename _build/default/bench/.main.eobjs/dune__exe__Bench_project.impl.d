@@ -1,0 +1,1 @@
+bench/bench_project.ml: Bench_util List Mmdb_core Mmdb_storage Mmdb_util Printf Project Rng Workload

@@ -1,0 +1,1 @@
+bench/bench_recovery.ml: Bench_util List Mmdb_storage Mmdb_txn Option Printf Recovery Relation Schema Txn Value

@@ -1,0 +1,1 @@
+bench/bench_util.ml: Counters Float Gc List Mmdb_util Printf String Timing

@@ -1,0 +1,1 @@
+bench/main.ml: Array Bench_ablation Bench_concurrency Bench_index Bench_join Bench_micro Bench_project Bench_recovery Bench_util List Printf String Sys Unix

@@ -1,0 +1,453 @@
+(* Ablations for the design choices DESIGN.md calls out:
+
+   A1 — T Tree min/max-count slack: §3.2.1 claims one or two items of
+        slack "significantly reduce the need for tree rotations".
+   A2 — Hash Join build cost included vs excluded: the 5-second build at
+        30,000 elements (§3.3.2) explains the Tree Join crossover.
+   A3 — Sort-merge insertion-sort cutoff: footnote 6's "optimal subarray
+        size was 10".
+   A4 — Index-holding-pointers vs index-holding-values: §2.2's design
+        choice trades an extra indirection per comparison for a smaller,
+        simpler index.
+   A5 — B Tree vs B+ Tree: footnote 3's claim that the B+ Tree buys
+        nothing in main memory.
+   A6 — Cost-model validation: the §3.3.4 comparison-count formulas must
+        pick the measured winner away from crossovers. *)
+
+open Mmdb_util
+open Mmdb_core
+
+(* --- A1: occupancy slack ---------------------------------------------------- *)
+
+(* The slack is an internal constant (max 1 (node_size - 2)); to ablate it
+   we compare against a degenerate configuration where min = max, i.e.
+   node_size such that every intra-node absorb fails.  We emulate min=max
+   by running with node_size = 2 (min 1 = max - 1 ... the closest the
+   public API allows) against the default slack, and report rotations and
+   data moves per operation from the T Tree's own instrumentation. *)
+let a1 cfg =
+  Bench_util.header
+    "A1 — T Tree rotations vs occupancy slack (mixed insert/delete trace)";
+  let n = Bench_util.scaled cfg 30_000 in
+  let rng = Rng.create ~seed:cfg.Bench_util.seed () in
+  let keys = Array.init n (fun i -> (i * 7) + 1) in
+  Rng.shuffle rng keys;
+  let run node_size =
+    let t =
+      Mmdb_index.Ttree.create ~node_size ~cmp:compare ~hash:Hashtbl.hash ()
+    in
+    Array.iter (fun k -> ignore (Mmdb_index.Ttree.insert t k)) keys;
+    (* churn: delete and reinsert a third of the keys *)
+    Array.iteri
+      (fun i k -> if i mod 3 = 0 then ignore (Mmdb_index.Ttree.delete t k))
+      keys;
+    Array.iteri
+      (fun i k -> if i mod 3 = 0 then ignore (Mmdb_index.Ttree.insert t k))
+      keys;
+    ( Mmdb_index.Ttree.rotations t,
+      Mmdb_index.Ttree.glb_borrows t,
+      Mmdb_index.Ttree.node_count t )
+  in
+  let rows =
+    List.map
+      (fun node_size ->
+        let rot, glb, nodes = run node_size in
+        [
+          Printf.sprintf "node_size=%d (slack %d)" node_size
+            (node_size - max 1 (node_size - 2));
+          string_of_int rot;
+          string_of_int glb;
+          string_of_int nodes;
+        ])
+      [ 2; 4; 10; 20; 50 ]
+  in
+  Bench_util.table ~columns:[ ""; "rotations"; "GLB transfers"; "nodes" ] rows;
+  Bench_util.note
+    "expect: rotations fall rapidly as nodes widen — intra-node data movement absorbs most updates"
+
+(* --- A2: hash join build cost --------------------------------------------------- *)
+
+let a2 cfg =
+  Bench_util.header "A2 — Hash Join: table build cost vs probe cost (|R|=30,000)";
+  let n = Bench_util.scaled cfg 30_000 in
+  let rng = Rng.create ~seed:cfg.Bench_util.seed () in
+  let r1, r2 =
+    Workload.relation_pair rng
+      ~outer:(Workload.uniform_spec ~cardinality:n)
+      ~inner:(Workload.uniform_spec ~cardinality:n)
+      ~semijoin_sel:100.0 ()
+  in
+  ignore r1;
+  let columns = [| Workload.jcol |] in
+  let build () =
+    let table =
+      Mmdb_index.Chained_hash.create ~duplicates:true
+        ~expected:(Mmdb_storage.Relation.count r2)
+        ~cmp:(Mmdb_storage.Tuple.compare_keyed ~columns)
+        ~hash:(Mmdb_storage.Tuple.hash_on ~columns) ()
+    in
+    Mmdb_storage.Relation.iter r2 (fun t ->
+        ignore (Mmdb_index.Chained_hash.insert table t));
+    table
+  in
+  let _, t_build = Bench_util.time cfg (fun () -> ignore (build ())) in
+  let outer = { Join.rel = r1; col = Workload.jcol } in
+  let inner = { Join.rel = r2; col = Workload.jcol } in
+  let _, t_total =
+    Bench_util.time cfg (fun () -> ignore (Join.hash_join ~outer ~inner ()))
+  in
+  let _, t_tree_join =
+    Bench_util.time cfg (fun () -> ignore (Join.tree_join ~outer ~inner ()))
+  in
+  Bench_util.table ~columns:[ "component"; "seconds" ]
+    [
+      [ "hash table build alone"; Printf.sprintf "%.4f" t_build ];
+      [ "hash join total (build + probe)"; Printf.sprintf "%.4f" t_total ];
+      [ "probe phase (difference)"; Printf.sprintf "%.4f" (t_total -. t_build) ];
+      [ "tree join (existing T Tree)"; Printf.sprintf "%.4f" t_tree_join ];
+    ];
+  Bench_util.note
+    "the build share is what a small outer relation cannot amortize — §3.3.5 exception 1"
+
+(* --- A3: insertion-sort cutoff --------------------------------------------------- *)
+
+let a3 cfg =
+  Bench_util.header
+    "A3 — Quicksort insertion-sort cutoff (footnote 6: optimum 10) — sort 30,000 tuple keys";
+  let n = Bench_util.scaled cfg 30_000 in
+  let rng = Rng.create ~seed:cfg.Bench_util.seed () in
+  let base = Array.init n (fun _ -> Rng.int rng 1_000_000) in
+  let rows =
+    List.map
+      (fun cutoff ->
+        let _, dt =
+          Bench_util.time cfg (fun () ->
+              let a = Array.copy base in
+              Qsort.sort ~cutoff ~cmp:compare a)
+        in
+        Bench_util.row_of_floats (Printf.sprintf "cutoff=%d" cutoff) [ dt ])
+      [ 1; 2; 5; 10; 20; 40; 80 ]
+  in
+  Bench_util.table ~columns:[ ""; "seconds" ] rows;
+  Bench_util.note "expect: a shallow optimum around cutoff ~10"
+
+(* --- A5: B Tree vs B+ Tree (footnote 3) --------------------------------------- *)
+
+let a5 cfg =
+  Bench_util.header
+    "A5 — B Tree vs B+ Tree (footnote 3: B+ 'uses more storage ... and does not perform any better')";
+  let n = Bench_util.scaled cfg 30_000 in
+  let rng = Rng.create ~seed:cfg.Bench_util.seed () in
+  let keys = Array.init n (fun i -> (i * 7) + 1) in
+  Rng.shuffle rng keys;
+  let probes = Array.copy keys in
+  Rng.shuffle rng probes;
+  let rows =
+    List.concat_map
+      (fun node_size ->
+        let measure (module I : Mmdb_index.Index_intf.S) =
+          let t =
+            I.create ~node_size ~expected:n ~cmp:compare ~hash:Hashtbl.hash ()
+          in
+          Array.iter (fun k -> ignore (I.insert t k)) keys;
+          let _, search_s =
+            Bench_util.time cfg (fun () ->
+                Array.iter (fun k -> ignore (I.search t k)) probes)
+          in
+          let _, scan_s =
+            Bench_util.time cfg (fun () -> I.iter t (fun _ -> ()))
+          in
+          let factor = float_of_int (I.storage_bytes t) /. float_of_int (4 * n) in
+          [
+            Printf.sprintf "%s (node %d)" I.name node_size;
+            Printf.sprintf "%.4f" search_s;
+            Printf.sprintf "%.4f" scan_s;
+            Printf.sprintf "%.2f" factor;
+          ]
+        in
+        [ measure (module Mmdb_index.Btree); measure (module Mmdb_index.Btree_plus) ])
+      [ 6; 10; 20; 50 ]
+  in
+  Bench_util.table ~columns:[ ""; "n searches (s)"; "full scan (s)"; "storage factor" ] rows;
+  Bench_util.note
+    "expect: comparable search, B+ slightly better scans (leaf chain) but a higher storage factor"
+
+(* --- A6: cost-model validation ------------------------------------------------ *)
+
+(* §4 claims optimization is simple because the cost formulas are reliable;
+   check that the §3.3.4 comparison-count model picks the measured winner
+   across join configurations. *)
+let a6 cfg =
+  Bench_util.header
+    "A6 — §3.3.4 cost model: predicted cheapest method vs measured cheapest";
+  let base = Bench_util.scaled cfg 30_000 in
+  let configs =
+    [
+      ("|R1|=|R2|, trees", base, base, true, true);
+      ("small outer (1%), inner tree only", base / 100, base, false, true);
+      ("outer at crossover (10%), inner tree only", base / 10, base, false, true);
+      ("half outer, inner tree only", base / 2, base, false, true);
+      ("|R1|=|R2|, no trees", base, base, false, false);
+      ("small inner, trees", base, base / 10, true, true);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (label, n1, n2, outer_tree, inner_tree) ->
+        let rng = Rng.create ~seed:(cfg.Bench_util.seed + n1 + n2) () in
+        let c1, c2 =
+          Workload.column_pair rng
+            ~outer:(Workload.uniform_spec ~cardinality:n1)
+            ~inner:(Workload.uniform_spec ~cardinality:n2)
+            ~semijoin_sel:100.0
+        in
+        let r1 = Workload.load ~with_ttree:outer_tree ~name:"R1" c1 in
+        let r2 = Workload.load ~with_ttree:inner_tree ~name:"R2" c2 in
+        let outer = { Join.rel = r1; col = Workload.jcol } in
+        let inner = { Join.rel = r2; col = Workload.jcol } in
+        let feasible =
+          List.filter
+            (fun m -> m <> Join.Nested_loops) (* measured separately in G10 *)
+            (Optimizer.feasible_methods ~outer ~inner)
+        in
+        let predicted =
+          List.fold_left
+            (fun acc m ->
+              let c = Optimizer.Cost.of_method m ~outer:n1 ~inner:n2 in
+              match acc with
+              | Some (_, bc) when bc <= c -> acc
+              | _ -> Some (m, c))
+            None feasible
+          |> Option.get |> fst
+        in
+        let measured =
+          List.map
+            (fun m ->
+              let _, dt =
+                Bench_util.time cfg (fun () -> ignore (Join.run m ~outer ~inner))
+              in
+              (m, dt))
+            feasible
+          |> List.sort (fun (_, a) (_, b) -> compare a b)
+          |> List.hd |> fst
+        in
+        [
+          label;
+          Join.method_name predicted;
+          Join.method_name measured;
+          (if predicted = measured then "yes" else "NO");
+        ])
+      configs
+  in
+  Bench_util.table ~columns:[ "configuration"; "predicted"; "measured"; "agree" ] rows;
+  Bench_util.note
+    "expect: agreement away from crossovers; the 10%%-outer row sits at this hardware's Tree Join / Hash Join boundary (the paper's was ~50-60%%; see A2)"
+
+(* --- A7: join-column type vs pointer comparison ------------------------------- *)
+
+(* §2.1: joining on tuple pointers instead of data "could lead to a
+   significant cost savings if the join columns were string values
+   instead".  Join the same 30,000-tuple pair three ways: hash join on an
+   int key, hash join on a long string key, precomputed pointer join. *)
+let a7 cfg =
+  Bench_util.header
+    "A7 — §2.1: join-column type (int vs string) vs pointer comparison";
+  let n = Bench_util.scaled cfg 30_000 in
+  let n_inner = max 4 (n / 100) in
+  let long_name i =
+    (* long shared prefix: string comparisons must walk it *)
+    Printf.sprintf "department-of-extended-administrative-affairs-%06d" i
+  in
+  let db = Db.create () in
+  let dept_schema =
+    Mmdb_storage.Schema.make ~name:"Dept"
+      [
+        Mmdb_storage.Schema.col ~ty:Mmdb_storage.Schema.T_string "Name";
+        Mmdb_storage.Schema.col ~ty:Mmdb_storage.Schema.T_int "Id";
+      ]
+  in
+  let dept =
+    Result.get_ok (Db.create_relation db ~schema:dept_schema ~primary_key:"Id")
+  in
+  for i = 0 to n_inner - 1 do
+    ignore
+      (Result.get_ok
+         (Db.insert db ~rel:"Dept"
+            [| Mmdb_storage.Value.Str (long_name i); Mmdb_storage.Value.Int i |]))
+  done;
+  let emp_schema =
+    Mmdb_storage.Schema.make ~name:"Emp"
+      [
+        Mmdb_storage.Schema.col ~ty:Mmdb_storage.Schema.T_int "Id";
+        Mmdb_storage.Schema.col ~ty:Mmdb_storage.Schema.T_int "DeptId";
+        Mmdb_storage.Schema.col ~ty:Mmdb_storage.Schema.T_string "DeptName";
+        Mmdb_storage.Schema.col ~ty:(Mmdb_storage.Schema.T_ref "Dept") "Dept";
+      ]
+  in
+  let emp =
+    Result.get_ok (Db.create_relation db ~schema:emp_schema ~primary_key:"Id")
+  in
+  let rng = Rng.create ~seed:cfg.Bench_util.seed () in
+  for i = 0 to n - 1 do
+    let d = Rng.int rng n_inner in
+    ignore
+      (Result.get_ok
+         (Db.insert db ~rel:"Emp"
+            [|
+              Mmdb_storage.Value.Int i;
+              Mmdb_storage.Value.Int d;
+              Mmdb_storage.Value.Str (long_name d);
+              Mmdb_storage.Value.Int d;
+            |]))
+  done;
+  let time_join ~outer_col ~inner_col =
+    let outer = { Join.rel = emp; col = outer_col } in
+    let inner = { Join.rel = dept; col = inner_col } in
+    let _, dt =
+      Bench_util.time cfg (fun () -> ignore (Join.hash_join ~outer ~inner ()))
+    in
+    dt
+  in
+  let t_int = time_join ~outer_col:1 ~inner_col:1 in
+  let t_str = time_join ~outer_col:2 ~inner_col:0 in
+  let _, t_ptr =
+    Bench_util.time cfg (fun () ->
+        ignore
+          (Join.precomputed ~outer:emp ~ref_col:3
+             ~inner_schema:(Mmdb_storage.Relation.schema dept)))
+  in
+  Bench_util.table ~columns:[ "join"; "seconds"; "vs pointer" ]
+    [
+      [ "hash join on int keys"; Printf.sprintf "%.4f" t_int;
+        Printf.sprintf "%.1fx" (t_int /. Float.max 1e-9 t_ptr) ];
+      [ "hash join on 50-char string keys"; Printf.sprintf "%.4f" t_str;
+        Printf.sprintf "%.1fx" (t_str /. Float.max 1e-9 t_ptr) ];
+      [ "precomputed pointer join"; Printf.sprintf "%.4f" t_ptr; "1.0x" ];
+    ];
+  Bench_util.note
+    "expect: the pointer join's advantage widens on string keys — pointers cost the same regardless of the value they replace"
+
+(* --- A8: semijoin bit-vector prefilter -------------------------------------- *)
+
+(* §3.3: previous work used "semijoin processing with bit vectors to reduce
+   the number of disk accesses involved in the join, but this semijoin pass
+   is redundant when the relations are memory resident".  Measure it: a
+   Bloom-style bit vector over the inner join keys, probed before each hash
+   table lookup, vs the plain hash join, across semijoin selectivities. *)
+let a8 cfg =
+  Bench_util.header
+    "A8 — §3.3: bit-vector semijoin prefilter vs plain Hash Join";
+  let n = Bench_util.scaled cfg 30_000 in
+  let rows =
+    List.map
+      (fun sel ->
+        let rng = Rng.create ~seed:(cfg.Bench_util.seed + sel) () in
+        let r1, r2 =
+          Workload.relation_pair ~with_ttree:false rng
+            ~outer:(Workload.uniform_spec ~cardinality:n)
+            ~inner:(Workload.uniform_spec ~cardinality:n)
+            ~semijoin_sel:(float_of_int sel) ()
+        in
+        let outer = { Join.rel = r1; col = Workload.jcol } in
+        let inner = { Join.rel = r2; col = Workload.jcol } in
+        (* warm caches and allocator before timing either variant *)
+        ignore (Join.hash_join ~outer ~inner ());
+        let _, t_plain =
+          Bench_util.time cfg (fun () -> ignore (Join.hash_join ~outer ~inner ()))
+        in
+        let _, t_filtered =
+          Bench_util.time cfg (fun () ->
+              (* build the bit vector over the inner keys *)
+              let bits = Bytes.make (n / 4) '\000' in
+              let set h =
+                let i = h mod (8 * Bytes.length bits) in
+                Bytes.set bits (i / 8)
+                  (Char.chr
+                     (Char.code (Bytes.get bits (i / 8)) lor (1 lsl (i mod 8))))
+              in
+              let test h =
+                let i = h mod (8 * Bytes.length bits) in
+                Char.code (Bytes.get bits (i / 8)) land (1 lsl (i mod 8)) <> 0
+              in
+              let key t = Mmdb_storage.Tuple.get t Workload.jcol in
+              Mmdb_storage.Relation.iter r2 (fun t ->
+                  set (Mmdb_storage.Value.hash (key t)));
+              (* hash join with the prefilter pushed into the outer scan *)
+              ignore
+                (Join.hash_join
+                   ~outer_filter:(fun t ->
+                     test (Mmdb_storage.Value.hash (key t)))
+                   ~outer ~inner ()))
+        in
+        [
+          Printf.sprintf "sel=%d%%" sel;
+          Printf.sprintf "%.4f" t_plain;
+          Printf.sprintf "%.4f" t_filtered;
+          Printf.sprintf "%+.0f%%"
+            ((t_filtered -. t_plain) /. Float.max 1e-9 t_plain *. 100.0);
+        ])
+      [ 1; 25; 50; 100 ]
+  in
+  Bench_util.table
+    ~columns:[ ""; "hash join (s)"; "+ bit vector (s)"; "overhead" ]
+    rows;
+  Bench_util.note
+    "expect: pure overhead at high selectivity (the paper's point: the pass saved disk reads, and there are none); at very low selectivity the cache-resident bit array can still pay for itself by skipping hash-chain misses"
+
+(* --- A4: pointer indices vs value indices ------------------------------------------ *)
+
+(* §2.2: main-memory indices store tuple pointers and re-extract the key on
+   every comparison.  The alternative (storing the key value in the index,
+   as a disk-based B+ tree would) avoids the indirection but copies data
+   and grows the index.  We measure both on a T Tree of 30,000 tuples. *)
+let a4 cfg =
+  Bench_util.header "A4 — T Tree over tuple pointers vs materialized keys";
+  let n = Bench_util.scaled cfg 30_000 in
+  let rng = Rng.create ~seed:cfg.Bench_util.seed () in
+  let keys = Array.init n (fun i -> (i * 7) + 1) in
+  Rng.shuffle rng keys;
+  let tuples =
+    Array.map
+      (fun k -> Mmdb_storage.Tuple.make [| Mmdb_storage.Value.Int k |])
+      keys
+  in
+  (* pointer index: compares through the tuple *)
+  let ptr_index =
+    Mmdb_index.Ttree.create
+      ~cmp:(Mmdb_storage.Tuple.compare_on ~columns:[| 0 |])
+      ~hash:(Mmdb_storage.Tuple.hash_on ~columns:[| 0 |])
+      ()
+  in
+  Array.iter (fun t -> ignore (Mmdb_index.Ttree.insert ptr_index t)) tuples;
+  (* value index: key copied into the index *)
+  let val_index = Mmdb_index.Ttree.create ~cmp:compare ~hash:Hashtbl.hash () in
+  Array.iter (fun k -> ignore (Mmdb_index.Ttree.insert val_index k)) keys;
+  let probes = Array.copy tuples in
+  Rng.shuffle rng probes;
+  let _, t_ptr =
+    Bench_util.time cfg (fun () ->
+        Array.iter
+          (fun t -> ignore (Mmdb_index.Ttree.search ptr_index t))
+          probes)
+  in
+  let _, t_val =
+    Bench_util.time cfg (fun () ->
+        Array.iter (fun k -> ignore (Mmdb_index.Ttree.search val_index k)) keys)
+  in
+  Bench_util.table ~columns:[ "variant"; "n searches (s)"; "bytes/elem" ]
+    [
+      [
+        "pointers (paper §2.2)";
+        Printf.sprintf "%.4f" t_ptr;
+        Printf.sprintf "%.1f"
+          (float_of_int (Mmdb_index.Ttree.storage_bytes ptr_index) /. float_of_int n);
+      ];
+      [
+        "materialized int keys";
+        Printf.sprintf "%.4f" t_val;
+        Printf.sprintf "%.1f"
+          (float_of_int (Mmdb_index.Ttree.storage_bytes val_index) /. float_of_int n);
+      ];
+    ];
+  Bench_util.note
+    "the pointer variant pays an indirection per comparison but keeps the index small and value-agnostic; with string keys the gap reverses"

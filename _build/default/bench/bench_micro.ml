@@ -1,0 +1,104 @@
+(* Bechamel micro-benchmarks: per-operation costs of the headline index
+   operations (one Test.make per operation).  These complement the sweep
+   experiments with statistically sound per-op estimates. *)
+
+open Bechamel
+open Toolkit
+
+let n = 30_000
+
+let prepared_keys () =
+  let rng = Mmdb_util.Rng.create ~seed:42 () in
+  let keys = Array.init n (fun i -> (i * 7) + 1) in
+  Mmdb_util.Rng.shuffle rng keys;
+  keys
+
+let make_ttree keys =
+  let t = Mmdb_index.Ttree.create ~cmp:compare ~hash:Hashtbl.hash () in
+  Array.iter (fun k -> ignore (Mmdb_index.Ttree.insert t k)) keys;
+  t
+
+let make_avl keys =
+  let t = Mmdb_index.Avl_tree.create ~cmp:compare ~hash:Hashtbl.hash () in
+  Array.iter (fun k -> ignore (Mmdb_index.Avl_tree.insert t k)) keys;
+  t
+
+let make_chained keys =
+  let t =
+    Mmdb_index.Chained_hash.create ~expected:n ~cmp:compare ~hash:Hashtbl.hash
+      ()
+  in
+  Array.iter (fun k -> ignore (Mmdb_index.Chained_hash.insert t k)) keys;
+  t
+
+let make_mlh keys =
+  let t =
+    Mmdb_index.Mod_linear_hash.create ~cmp:compare ~hash:Hashtbl.hash ()
+  in
+  Array.iter (fun k -> ignore (Mmdb_index.Mod_linear_hash.insert t k)) keys;
+  t
+
+let tests () =
+  let keys = prepared_keys () in
+  let ttree = make_ttree keys in
+  let avl = make_avl keys in
+  let chained = make_chained keys in
+  let mlh = make_mlh keys in
+  let cursor = ref 0 in
+  let next () =
+    let k = keys.(!cursor) in
+    cursor := (!cursor + 1) mod n;
+    k
+  in
+  [
+    Test.make ~name:"T Tree search (30k)"
+      (Staged.stage (fun () -> ignore (Mmdb_index.Ttree.search ttree (next ()))));
+    Test.make ~name:"AVL search (30k)"
+      (Staged.stage (fun () -> ignore (Mmdb_index.Avl_tree.search avl (next ()))));
+    Test.make ~name:"Chained Bucket search (30k)"
+      (Staged.stage (fun () ->
+           ignore (Mmdb_index.Chained_hash.search chained (next ()))));
+    Test.make ~name:"Mod Linear Hash search (30k)"
+      (Staged.stage (fun () ->
+           ignore (Mmdb_index.Mod_linear_hash.search mlh (next ()))));
+    Test.make ~name:"T Tree delete+insert (30k)"
+      (Staged.stage (fun () ->
+           let k = next () in
+           ignore (Mmdb_index.Ttree.delete ttree k);
+           ignore (Mmdb_index.Ttree.insert ttree k)));
+  ]
+
+let run () =
+  Bench_util.header "Micro — Bechamel per-operation estimates (ns/op)";
+  let was = !Mmdb_util.Counters.enabled in
+  Mmdb_util.Counters.enabled := false;
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let grouped = Test.make_grouped ~name:"micro" ~fmt:"%s %s" (tests ()) in
+  let raw = Benchmark.all cfg instances grouped in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let merged = Analyze.merge ols instances results in
+  Hashtbl.iter
+    (fun _measure by_test ->
+      let rows =
+        Hashtbl.fold
+          (fun name ols_result acc ->
+            let est =
+              match Analyze.OLS.estimates ols_result with
+              | Some (e :: _) -> Printf.sprintf "%.1f" e
+              | _ -> "n/a"
+            in
+            [ name; est ] :: acc)
+          by_test []
+        |> List.sort compare
+      in
+      Bench_util.table ~columns:[ "operation"; "ns/op" ] rows)
+    merged;
+  Mmdb_util.Counters.enabled := was

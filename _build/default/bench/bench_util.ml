@@ -1,0 +1,70 @@
+(* Shared infrastructure for the experiment harness: timing, table
+   rendering, and scaled paper parameters.
+
+   Following §3.1, the operation counters are disabled while timing ("these
+   counters were compiled out of the code when the final performance tests
+   were run") and re-enabled afterwards. *)
+
+open Mmdb_util
+
+type config = {
+  scale : float;  (* 1.0 = the paper's cardinalities (30,000 etc.) *)
+  seed : int;
+  repeats : int;  (* timing repetitions; median is reported *)
+}
+
+let default_config = { scale = 1.0; seed = 860528; repeats = 1 }
+
+let scaled cfg n =
+  max 4 (int_of_float (Float.round (cfg.scale *. float_of_int n)))
+
+let time cfg f =
+  let was = !Counters.enabled in
+  Counters.enabled := false;
+  Gc.minor ();
+  let result = Timing.time_median ~repeats:cfg.repeats f in
+  Counters.enabled := was;
+  result
+
+(* Time only [f], excluding the setup cost returned by [setup]. *)
+let time_after_setup cfg ~setup f =
+  let x = setup () in
+  time cfg (fun () -> f x)
+
+let header title =
+  Printf.printf "\n== %s ==\n%!" title
+
+let row_of_floats label xs =
+  label :: List.map (fun x -> Printf.sprintf "%.4f" x) xs
+
+(* Render a padded table. *)
+let table ~columns rows =
+  let all = columns :: rows in
+  let widths =
+    List.fold_left
+      (fun acc row ->
+        List.mapi
+          (fun i cell ->
+            let w = try List.nth acc i with _ -> 0 in
+            max w (String.length cell))
+          row)
+      (List.map String.length columns)
+      all
+  in
+  let print_row row =
+    let cells =
+      List.mapi
+        (fun i cell ->
+          let w = List.nth widths i in
+          if i = 0 then Printf.sprintf "%-*s" w cell
+          else Printf.sprintf "%*s" w cell)
+        row
+    in
+    print_endline ("  " ^ String.concat "  " cells)
+  in
+  print_row columns;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows;
+  flush stdout
+
+let note fmt = Printf.printf ("   " ^^ fmt ^^ "\n%!")

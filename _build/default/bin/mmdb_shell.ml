@@ -1,0 +1,112 @@
+(* The MM-DBMS interactive shell / script runner.
+
+     dune exec bin/mmdb_shell.exe                    # REPL
+     dune exec bin/mmdb_shell.exe -- script.sql      # run a script
+     dune exec bin/mmdb_shell.exe -- --demo          # preloaded demo db
+
+   Language (see Mmdb_lang.Parser for the grammar):
+
+     CREATE TABLE Employee (Name string, Id int PRIMARY KEY, Age int,
+                            Dept ref Department);
+     CREATE INDEX by_age ON Employee (Age) USING ttree;
+     INSERT INTO Employee VALUES ('Dave', 23, 24, 459);
+     SELECT Name, Age FROM Employee WHERE Age > 30;
+     EXPLAIN SELECT Employee.Name, Department.Name
+        FROM Employee JOIN Department ON Dept = Id;
+     DELETE FROM Employee WHERE Id = 23;
+     SELECT Dept, COUNT(Id), AVG(Age) FROM Employee GROUP BY Dept;
+     BEGIN; ...; COMMIT;  -- or ROLLBACK (deferred updates, §2.4)
+     SHOW TABLES;  DESCRIBE Employee; *)
+
+open Mmdb_core
+
+(* Execute and print one statement at a time: results are temporary lists
+   of tuple pointers, so rendering must happen before a later UPDATE or
+   DELETE in the same script mutates the pointed-to tuples. *)
+let run_input sess input =
+  match Mmdb_lang.Parser.parse input with
+  | Error msg -> Fmt.epr "error: %s@." msg
+  | Ok stmts ->
+      let rec go = function
+        | [] -> ()
+        | stmt :: rest -> (
+            match Mmdb_lang.Interp.exec sess stmt with
+            | Ok o ->
+                Fmt.pr "%a@." Mmdb_lang.Interp.pp_outcome o;
+                go rest
+            | Error msg -> Fmt.epr "error: %s@." msg)
+      in
+      go stmts
+
+let load_demo sess =
+  let script =
+    {|
+    CREATE TABLE Department (Name string, Id int PRIMARY KEY);
+    INSERT INTO Department VALUES ('Toy', 459);
+    INSERT INTO Department VALUES ('Shoe', 409);
+    INSERT INTO Department VALUES ('Linen', 411);
+    INSERT INTO Department VALUES ('Paint', 455);
+    CREATE TABLE Employee (Name string, Id int PRIMARY KEY, Age int,
+                           Dept ref Department);
+    INSERT INTO Employee VALUES ('Dave', 23, 24, 459);
+    INSERT INTO Employee VALUES ('Suzan', 12, 27, 459);
+    INSERT INTO Employee VALUES ('Yaman', 44, 54, 411);
+    INSERT INTO Employee VALUES ('Jane', 43, 47, 411);
+    INSERT INTO Employee VALUES ('Cindy', 22, 22, 409);
+    INSERT INTO Employee VALUES ('Hank', 77, 70, 409);
+    CREATE INDEX by_age ON Employee (Age) USING ttree;
+    |}
+  in
+  match Mmdb_lang.Interp.exec_string sess script with
+  | Ok _ -> print_endline "demo database loaded (Employee, Department)"
+  | Error msg -> Fmt.epr "demo load failed: %s@." msg
+
+let repl sess =
+  print_endline
+    "mmdb shell — statements end with ';', \\q quits, \\demo loads the demo db";
+  print_endline
+    "transactions: BEGIN; ...; COMMIT|ROLLBACK;  (changes apply at COMMIT)";
+  let buffer = Buffer.create 256 in
+  let rec loop () =
+    if Buffer.length buffer = 0 then
+      print_string (if Mmdb_lang.Interp.in_txn sess then "mmdb*> " else "mmdb> ")
+    else print_string "   -> ";
+    flush stdout;
+    match input_line stdin with
+    | exception End_of_file -> print_newline ()
+    | line ->
+        let trimmed = String.trim line in
+        if trimmed = "\\q" then ()
+        else if trimmed = "\\demo" then begin
+          load_demo sess;
+          loop ()
+        end
+        else begin
+          Buffer.add_string buffer line;
+          Buffer.add_char buffer '\n';
+          if String.contains line ';' then begin
+            let stmt = Buffer.contents buffer in
+            Buffer.clear buffer;
+            run_input sess stmt
+          end;
+          loop ()
+        end
+  in
+  loop ()
+
+let () =
+  let sess = Mmdb_lang.Interp.session (Db.create ()) in
+  match Array.to_list Sys.argv with
+  | [ _ ] -> repl sess
+  | [ _; "--demo" ] ->
+      load_demo sess;
+      repl sess
+  | [ _; path ] ->
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let content = really_input_string ic len in
+      close_in ic;
+      run_input sess content
+  | _ ->
+      prerr_endline "usage: mmdb_shell [script.sql | --demo]";
+      exit 2

@@ -1,0 +1,1 @@
+examples/concurrency_demo.ml: Fmt List Lock_manager Mmdb_storage Mmdb_txn Mmdb_util Printf Relation Scheduler Schema Txn Value

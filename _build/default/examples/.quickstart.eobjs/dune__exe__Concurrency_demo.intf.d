@@ -1,0 +1,1 @@
+examples/concurrency_demo.mli:

@@ -1,0 +1,1 @@
+examples/employee_dept.ml: Db Executor Fmt Join List Mmdb_core Mmdb_storage Mmdb_util Optimizer Query Relation Schema Select Temp_list Tuple Value

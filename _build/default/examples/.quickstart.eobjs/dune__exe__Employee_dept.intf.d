@@ -1,0 +1,1 @@
+examples/employee_dept.mli:

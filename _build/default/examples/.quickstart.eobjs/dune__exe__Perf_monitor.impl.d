@@ -1,0 +1,1 @@
+examples/perf_monitor.ml: Aggregate Array Db Executor Fmt Mmdb_core Mmdb_storage Mmdb_util Optimizer Printf Query Relation Schema Temp_list Value

@@ -1,0 +1,1 @@
+examples/program_xref.ml: Array Db Executor Fmt Join List Mmdb_core Mmdb_storage Mmdb_util Optimizer Printf Project Query Relation Schema Select Temp_list Tuple Value

@@ -1,0 +1,1 @@
+examples/program_xref.mli:

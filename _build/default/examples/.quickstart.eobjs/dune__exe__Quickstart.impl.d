@@ -1,0 +1,1 @@
+examples/quickstart.ml: Db Executor Fmt List Mmdb_core Mmdb_storage Optimizer Printf Query Relation Schema Tuple Value

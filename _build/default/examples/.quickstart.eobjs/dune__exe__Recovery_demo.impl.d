@@ -1,0 +1,1 @@
+examples/recovery_demo.ml: Disk_store Fmt List Log_device Mmdb_storage Mmdb_txn Option Printf Recovery Relation Schema Tuple Txn Value

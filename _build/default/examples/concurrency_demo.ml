@@ -1,0 +1,85 @@
+(* Multi-user execution under partition-level locking (§2.4): scripted
+   transactions run by the round-robin scheduler, showing conflict-free
+   parallelism, blocking, and deadlock-victim restarts.
+
+     dune exec examples/concurrency_demo.exe *)
+
+open Mmdb_storage
+open Mmdb_txn
+
+let () =
+  let mgr = Txn.create_manager () in
+  let schema =
+    Schema.make ~name:"Accounts"
+      [ Schema.col ~ty:Schema.T_int "Id"; Schema.col ~ty:Schema.T_int "Balance" ]
+  in
+  let rel =
+    Relation.create ~slot_capacity:16 ~schema
+      ~primary:
+        {
+          Relation.idx_name = "pk";
+          columns = [| 0 |];
+          unique = true;
+          structure = Relation.T_tree;
+        }
+      ()
+  in
+  Txn.add_relation mgr rel;
+
+  (* Seed 256 accounts with 100 units each (16 partitions of 16 slots). *)
+  let n = 256 in
+  let t = Txn.begin_txn mgr in
+  for i = 0 to n - 1 do
+    match Txn.insert t ~rel:"Accounts" [| Value.Int i; Value.Int 100 |] with
+    | Ok () -> ()
+    | Error f -> Fmt.failwith "seed: %a" Txn.pp_failure f
+  done;
+  (match Txn.commit t with Ok () -> () | Error m -> failwith m);
+  Printf.printf "%d accounts over %d partitions\n\n" (Relation.count rel)
+    (List.length (Relation.partitions rel));
+
+  (* 16 "transfer" transactions: read two accounts, update both.  Several
+     pairs cross, manufacturing lock conflicts and deadlocks. *)
+  let rng = Mmdb_util.Rng.create ~seed:2026 () in
+  let transfer a b =
+    [
+      Scheduler.Op_read { rel = "Accounts"; key = [| Value.Int a |] };
+      Scheduler.Op_read { rel = "Accounts"; key = [| Value.Int b |] };
+      Scheduler.Op_update
+        { rel = "Accounts"; key = [| Value.Int a |]; col = 1; value = Value.Int 90 };
+      Scheduler.Op_update
+        { rel = "Accounts"; key = [| Value.Int b |]; col = 1; value = Value.Int 110 };
+    ]
+  in
+  let scripts =
+    List.init 16 (fun _ ->
+        let a = Mmdb_util.Rng.int rng n in
+        let b = Mmdb_util.Rng.int rng n in
+        transfer a b)
+  in
+  (match Scheduler.run mgr scripts with
+  | Ok stats -> Fmt.pr "mixed transfers:   %a@." Scheduler.pp_stats stats
+  | Error stats -> Fmt.pr "STALLED: %a@." Scheduler.pp_stats stats);
+
+  (* The same workload forced onto one partition: every transfer touches
+     the same lock grain — watch the blocked-retry count climb. *)
+  let hot_scripts =
+    List.init 16 (fun k -> transfer (k mod 8) ((k + 1) mod 8))
+  in
+  (match Scheduler.run mgr hot_scripts with
+  | Ok stats -> Fmt.pr "hot partition:     %a@." Scheduler.pp_stats stats
+  | Error stats -> Fmt.pr "STALLED: %a@." Scheduler.pp_stats stats);
+
+  (* Lock-free parallelism: disjoint read-only transactions share locks. *)
+  let reader_scripts =
+    List.init 16 (fun k ->
+        List.init 8 (fun i ->
+            Scheduler.Op_read
+              { rel = "Accounts"; key = [| Value.Int ((k * 8) + i) |] }))
+  in
+  (match Scheduler.run mgr reader_scripts with
+  | Ok stats -> Fmt.pr "parallel readers:  %a@." Scheduler.pp_stats stats
+  | Error stats -> Fmt.pr "STALLED: %a@." Scheduler.pp_stats stats);
+
+  Printf.printf "\nlocks held after all commits: %d\n"
+    (Lock_manager.active_locks (Txn.lock_manager mgr))

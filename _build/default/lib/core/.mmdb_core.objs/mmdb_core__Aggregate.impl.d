@@ -1,0 +1,1 @@
+lib/core/aggregate.ml: Array Descriptor Fmt Hashtbl List Mmdb_storage Mmdb_util Option Printf Temp_list Value

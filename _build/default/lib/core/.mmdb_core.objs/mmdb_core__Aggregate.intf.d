@@ -1,0 +1,1 @@
+lib/core/aggregate.mli: Format Mmdb_storage Temp_list Value

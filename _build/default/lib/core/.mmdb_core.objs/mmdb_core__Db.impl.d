@@ -1,0 +1,1 @@
+lib/core/db.ml: Array Hashtbl List Mmdb_storage Printf Relation Schema String Tuple Value

@@ -1,0 +1,1 @@
+lib/core/db.mli: Mmdb_storage Relation Schema Tuple Value

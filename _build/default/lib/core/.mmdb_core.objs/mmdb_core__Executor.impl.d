@@ -1,0 +1,1 @@
+lib/core/executor.ml: Array Descriptor Fmt Join List Mmdb_storage Optimizer Project Relation Select Temp_list Value

@@ -1,0 +1,1 @@
+lib/core/executor.mli: Db Format Mmdb_storage Optimizer Query Temp_list

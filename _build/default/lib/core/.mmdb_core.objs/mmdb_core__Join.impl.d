@@ -1,0 +1,1 @@
+lib/core/join.ml: Array Counters Descriptor Hashtbl List Mmdb_index Mmdb_storage Mmdb_util Printf Qsort Relation Schema Seq Temp_list Tuple Value

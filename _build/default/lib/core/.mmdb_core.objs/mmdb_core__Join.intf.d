@@ -1,0 +1,1 @@
+lib/core/join.mli: Mmdb_storage Relation Schema Seq Temp_list Tuple Value

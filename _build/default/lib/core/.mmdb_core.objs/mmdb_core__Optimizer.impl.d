@@ -1,0 +1,1 @@
+lib/core/optimizer.ml: Db Fmt Join List Mmdb_storage Option Project Query Relation Schema Select String

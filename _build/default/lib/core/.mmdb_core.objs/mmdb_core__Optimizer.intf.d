@@ -1,0 +1,1 @@
+lib/core/optimizer.mli: Db Format Join Mmdb_storage Project Query Relation Select

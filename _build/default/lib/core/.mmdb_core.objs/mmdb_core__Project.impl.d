@@ -1,0 +1,1 @@
+lib/core/project.ml: Array Counters Hashtbl List Mmdb_storage Mmdb_util Option Qsort Temp_list Value

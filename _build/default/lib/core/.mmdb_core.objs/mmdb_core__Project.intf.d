@@ -1,0 +1,1 @@
+lib/core/project.mli: Mmdb_storage Temp_list

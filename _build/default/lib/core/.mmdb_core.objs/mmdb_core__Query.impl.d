@@ -1,0 +1,1 @@
+lib/core/query.ml: Float Fmt Join Mmdb_storage Option Value

@@ -1,0 +1,1 @@
+lib/core/query.mli: Format Join Mmdb_storage Value

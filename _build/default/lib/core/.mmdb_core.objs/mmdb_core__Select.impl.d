@@ -1,0 +1,1 @@
+lib/core/select.ml: Descriptor Fmt List Mmdb_index Mmdb_storage Relation Temp_list Tuple Value

@@ -1,0 +1,1 @@
+lib/core/select.mli: Format Mmdb_storage Relation Temp_list Tuple Value

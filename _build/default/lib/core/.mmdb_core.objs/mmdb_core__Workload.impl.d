@@ -1,0 +1,1 @@
+lib/core/workload.ml: Array Float Hashtbl List Mmdb_storage Mmdb_util Relation Rng Schema Stats Value

@@ -1,0 +1,1 @@
+lib/core/workload.mli: Mmdb_storage Mmdb_util Relation Schema

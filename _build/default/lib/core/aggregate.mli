@@ -1,0 +1,31 @@
+(** Grouping and aggregation over temporary lists — an extension built on
+    the paper's §3.4 result that hashing dominates duplicate elimination:
+    grouping is the same hash table, folding rows into aggregate state
+    instead of discarding them.
+
+    Aggregation materializes its output (group keys + aggregate values);
+    it is the one operation that cannot be a list of tuple pointers. *)
+
+open Mmdb_storage
+
+type spec =
+  | Count  (** COUNT over whole rows *)
+  | Sum of string  (** SUM(label); ints stay ints, floats stay floats *)
+  | Avg of string  (** AVG(label); always a float; [Null] over no rows *)
+  | Min of string
+  | Max of string
+
+val spec_header : spec -> string
+(** Column header for one aggregate, e.g. ["sum(Event.DurationUs)"]. *)
+
+type result = { header : string list; rows : Value.t array list }
+
+val group : Temp_list.t -> by:string list -> aggs:spec list -> result
+(** [group tl ~by ~aggs] groups entries on the named descriptor fields (in
+    first-seen order) and computes the aggregates per group.  An empty
+    [by] aggregates the whole input into a single row (even when the input
+    is empty, SQL-style).  Non-numeric values contribute to [Count], [Min]
+    and [Max] but are ignored by sums and averages.
+    @raise Invalid_argument on unknown field labels. *)
+
+val pp : Format.formatter -> result -> unit

@@ -1,0 +1,19 @@
+(** Plan execution: turn an {!Optimizer.plan} into a temporary list.
+
+    Selection predicates are pushed into the outer scan of joins;
+    projection narrows the descriptor; only [DISTINCT] does real
+    duplicate-elimination work ("tuples are never copied, only pointed
+    to", §4). *)
+
+open Mmdb_storage
+
+val execute : Optimizer.plan -> Temp_list.t
+
+val query : ?stats:Optimizer.join_stats -> Db.t -> Query.t -> Temp_list.t
+(** Plan and run in one call. *)
+
+val rows : Temp_list.t -> string list list
+(** Materialized result rows rendered as strings. *)
+
+val pp_result : Format.formatter -> Temp_list.t -> unit
+(** Header, rows, and a row count — the shell's result format. *)

@@ -1,0 +1,363 @@
+(** Join processing (§3.3).
+
+    The five algorithms of the paper's study, plus the pointer-based
+    precomputed join of §2.1:
+
+    - {!nested_loops} — the O(N²) baseline with no index (Graph 10);
+    - {!hash_join} — nested loops with a Chained Bucket Hash built on the
+      inner relation's join column (build cost always included, §3.3.2);
+    - {!tree_join} — nested loops through a {e pre-existing} T Tree index
+      on the inner join column;
+    - {!sort_merge} — build array indexes on both relations, quicksort
+      them (insertion sort below 10 elements), merge;
+    - {!tree_merge} — merge join over {e pre-existing} T Tree indexes on
+      both join columns;
+    - {!precomputed} / {!pointer_join} — follow foreign-key tuple pointers,
+      or compare on pointers instead of data values (§2.1, Queries 1/2).
+
+    Every algorithm produces a temporary list whose entries are
+    [(outer tuple ptr, inner tuple ptr)] pairs under a joined descriptor —
+    no data is copied (§2.3).  Equijoins only, as in the paper; for
+    non-equijoins other than ≠ the ordering of a tree index applies
+    (§3.3.5). *)
+
+open Mmdb_util
+open Mmdb_storage
+
+type side = { rel : Relation.t; col : int }
+
+type method_ =
+  | Nested_loops
+  | Hash_join
+  | Tree_join
+  | Sort_merge
+  | Tree_merge
+
+let method_name = function
+  | Nested_loops -> "Nested Loops"
+  | Hash_join -> "Hash Join"
+  | Tree_join -> "Tree Join"
+  | Sort_merge -> "Sort Merge"
+  | Tree_merge -> "Tree Merge"
+
+let all_methods = [ Nested_loops; Hash_join; Tree_join; Sort_merge; Tree_merge ]
+
+let result_list outer inner =
+  Temp_list.create
+    (Descriptor.join
+       (Descriptor.of_schema (Relation.schema outer.rel))
+       (Descriptor.of_schema (Relation.schema inner.rel)))
+
+let key side tuple = Tuple.get tuple side.col
+
+let vcmp = Counters.counting_cmp Value.compare
+
+(* Optional predicate pushed into the outer scan by the executor, so a
+   selection + join pipeline does not materialize the selection. *)
+let keep filter tuple = match filter with None -> true | Some f -> f tuple
+
+(* --- nested loops ------------------------------------------------------ *)
+
+let nested_loops ?outer_filter ~outer ~inner () =
+  let out = result_list outer inner in
+  Relation.iter outer.rel (fun o ->
+      if keep outer_filter o then begin
+        let ko = key outer o in
+        Relation.iter inner.rel (fun i ->
+            if vcmp ko (key inner i) = 0 then Temp_list.append out [| o; i |])
+      end);
+  out
+
+(* --- hash join ---------------------------------------------------------- *)
+
+(* Build a Chained Bucket Hash index on the inner join column — the paper
+   always charges this build cost, "because we feel that a hash table index
+   is less likely to exist than a T Tree index" (§3.3.2).  Table size is
+   half the inner cardinality, as in the paper's projection experiments. *)
+let hash_join ?outer_filter ~outer ~inner () =
+  let out = result_list outer inner in
+  let columns = [| inner.col |] in
+  let table =
+    Mmdb_index.Chained_hash.create ~duplicates:true
+      ~expected:(Relation.count inner.rel)
+      ~cmp:(Tuple.compare_keyed ~columns)
+      ~hash:(Tuple.hash_on ~columns) ()
+  in
+  Relation.iter inner.rel (fun i ->
+      ignore (Mmdb_index.Chained_hash.insert table i));
+  (* One reusable probe; only its key slot changes per outer tuple. *)
+  let probe =
+    Tuple.probe (Array.make (Schema.arity (Relation.schema inner.rel)) Value.Null)
+  in
+  Relation.iter outer.rel (fun o ->
+      if keep outer_filter o then begin
+        Tuple.set probe inner.col (key outer o);
+        Mmdb_index.Chained_hash.iter_matches table probe (fun i ->
+            Temp_list.append out [| o; i |])
+      end);
+  out
+
+(* --- tree join ----------------------------------------------------------- *)
+
+(* Requires an existing ordered index on the inner join column; the paper
+   shows that building a T Tree just for the join never pays off. *)
+let find_tree_index side =
+  Relation.find_index_on ~ordered:true side.rel ~columns:[| side.col |]
+
+let tree_join ?outer_filter ~outer ~inner () =
+  match find_tree_index inner with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Join.tree_join: no ordered index on %s column %d"
+           (Relation.name inner.rel) inner.col)
+  | Some (module Inst : Relation.INSTANCE) ->
+      let out = result_list outer inner in
+      let probe =
+        Tuple.probe
+          (Array.make (Schema.arity (Relation.schema inner.rel)) Value.Null)
+      in
+      Relation.iter outer.rel (fun o ->
+          if keep outer_filter o then begin
+            Tuple.set probe inner.col (key outer o);
+            Inst.I.iter_matches Inst.handle probe (fun i ->
+                Temp_list.append out [| o; i |])
+          end);
+      out
+
+(* --- merge joins ----------------------------------------------------------- *)
+
+(* Merge two key-ordered tuple sequences, emitting the cross product of each
+   pair of equal-key runs.
+
+   As in the paper's implementation, duplicate runs are not buffered: for
+   each outer tuple of a run, the inner run is {e rescanned through the
+   index} from a saved position (the sequences are persistent, so a saved
+   continuation replays the index scan).  This is what makes the scan cost
+   of the underlying structure — contiguous array vs pointer-chasing tree —
+   visible in high-duplicate joins, the effect behind the Sort Merge
+   crossovers of Graphs 7 and 8. *)
+let merge_sequences ~key_of1 ~key_of2 seq1 seq2 ~emit =
+  (* Emit pairs (x, y) for every y at the head of [s2] whose key equals [k],
+     returning the rest. *)
+  let rec scan_inner k x s2 =
+    match s2 () with
+    | Seq.Cons (y, r2) when vcmp (key_of2 y) k = 0 ->
+        emit x y;
+        scan_inner k x r2
+    | _ -> ()
+  in
+  let rec drop_run key_of k s =
+    match s () with
+    | Seq.Cons (y, r) when vcmp (key_of y) k = 0 -> drop_run key_of k r
+    | other -> fun () -> other
+  in
+  let rec loop s1 s2 =
+    match (s1 (), s2 ()) with
+    | Seq.Nil, _ | _, Seq.Nil -> ()
+    | Seq.Cons (x, r1), (Seq.Cons (y, r2) as n2) ->
+        let c = vcmp (key_of1 x) (key_of2 y) in
+        if c < 0 then loop r1 (fun () -> n2)
+        else if c > 0 then loop (fun () -> Seq.Cons (x, r1)) r2
+        else begin
+          let k = key_of1 x in
+          let inner_start = fun () -> n2 in
+          (* every outer tuple of the run rescans the inner run *)
+          let rec each_outer s1' =
+            match s1' () with
+            | Seq.Cons (x', r1') when vcmp (key_of1 x') k = 0 ->
+                scan_inner k x' inner_start;
+                each_outer r1'
+            | other -> fun () -> other
+          in
+          let rest1 = each_outer (fun () -> Seq.Cons (x, r1)) in
+          let rest2 = drop_run key_of2 k inner_start in
+          loop rest1 rest2
+        end
+  in
+  loop seq1 seq2
+
+(* Merge join specialized to array indexes: "the array index holds a list
+   of contiguous elements", so run rescans are integer cursor resets with
+   no per-element allocation — the efficiency that lets Sort Merge win
+   high-output joins (Graphs 7/8) despite paying for its sort. *)
+let merge_arrays ~key1 ~key2 arr1 arr2 ~emit =
+  let n1 = Array.length arr1 and n2 = Array.length arr2 in
+  let i = ref 0 and j = ref 0 in
+  while !i < n1 && !j < n2 do
+    let c = vcmp (key1 arr1.(!i)) (key2 arr2.(!j)) in
+    if c < 0 then incr i
+    else if c > 0 then incr j
+    else begin
+      let k = key1 arr1.(!i) in
+      let j_end = ref !j in
+      while !j_end < n2 && vcmp (key2 arr2.(!j_end)) k = 0 do
+        incr j_end
+      done;
+      while !i < n1 && vcmp (key1 arr1.(!i)) k = 0 do
+        for jj = !j to !j_end - 1 do
+          emit arr1.(!i) arr2.(jj)
+        done;
+        incr i
+      done;
+      j := !j_end
+    end
+  done
+
+(* Sort Merge: build array indexes on both join columns and quicksort them
+   (§3.3.2), then merge.  Build cost is always charged. *)
+let sort_merge ?(cutoff = 10) ?outer_filter ~outer ~inner () =
+  let out = result_list outer inner in
+  let collect ?filter side =
+    let acc = ref [] and n = ref 0 in
+    Relation.iter side.rel (fun t ->
+        if keep filter t then begin
+          acc := t :: !acc;
+          incr n
+        end);
+    let arr = Array.make !n (Tuple.probe [||]) in
+    List.iteri (fun i t -> arr.(!n - 1 - i) <- t) !acc;
+    arr
+  in
+  let arr1 = collect ?filter:outer_filter outer and arr2 = collect inner in
+  let sort side arr =
+    Qsort.sort ~cutoff ~cmp:(Tuple.compare_on ~columns:[| side.col |]) arr
+  in
+  sort outer arr1;
+  sort inner arr2;
+  merge_arrays ~key1:(key outer) ~key2:(key inner) arr1 arr2
+    ~emit:(fun a b -> Temp_list.append out [| a; b |]);
+  out
+
+(* Tree Merge: merge join over pre-existing T Tree indexes on both sides.
+   The tree scan follows node pointers, which is why the paper measures it
+   at ~1.5x the array scan cost — that cost shows up here through the
+   pointer-chasing Seq, not as a magic constant. *)
+let tree_merge ?outer_filter ~outer ~inner () =
+  match (find_tree_index outer, find_tree_index inner) with
+  | Some (module O : Relation.INSTANCE), Some (module I : Relation.INSTANCE)
+    ->
+      let out = result_list outer inner in
+      let outer_seq =
+        match outer_filter with
+        | None -> O.I.to_seq O.handle
+        | Some f -> Seq.filter f (O.I.to_seq O.handle)
+      in
+      merge_sequences ~key_of1:(key outer) ~key_of2:(key inner) outer_seq
+        (I.I.to_seq I.handle)
+        ~emit:(fun a b -> Temp_list.append out [| a; b |]);
+      out
+  | _ ->
+      invalid_arg
+        "Join.tree_merge: both join columns need a pre-existing ordered index"
+
+(* --- non-equijoins (§3.3.5) ----------------------------------------------- *)
+
+type inequality = Lt | Le | Gt | Ge
+
+let inequality_name = function Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+
+(* "Non-equijoins other than 'not equals' can make use of ordering of the
+   data, so the Tree Join should be used for such (<, <=, >, >=) joins."
+   The join predicate is [outer_key op inner_key].  For </<= the inner
+   index is scanned upward from the outer key with the pruned [iter_from];
+   for >/>= the in-order prefix of the index up to the outer key is
+   scanned and the walk stops at the first non-qualifying element. *)
+let tree_inequality_join ?outer_filter ~op ~outer ~inner () =
+  match find_tree_index inner with
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Join.tree_inequality_join: no ordered index on %s column %d"
+           (Relation.name inner.rel) inner.col)
+  | Some (module Inst : Relation.INSTANCE) ->
+      let out = result_list outer inner in
+      let probe =
+        Tuple.probe
+          (Array.make (Schema.arity (Relation.schema inner.rel)) Value.Null)
+      in
+      let exception Stop in
+      Relation.iter outer.rel (fun o ->
+          if keep outer_filter o then begin
+            let ko = key outer o in
+            Tuple.set probe inner.col ko;
+            match op with
+            | Lt | Le ->
+                (* outer < inner  ⟺  scan inner keys upward from outer *)
+                Inst.I.iter_from Inst.handle probe (fun i ->
+                    if op = Le || vcmp (key inner i) ko > 0 then
+                      Temp_list.append out [| o; i |])
+            | Gt | Ge -> (
+                (* outer > inner  ⟺  in-order prefix of the inner index *)
+                try
+                  Inst.I.iter Inst.handle (fun i ->
+                      let c = vcmp (key inner i) ko in
+                      if c < 0 || (c = 0 && op = Ge) then
+                        Temp_list.append out [| o; i |]
+                      else raise Stop)
+                with Stop -> ())
+          end);
+      out
+
+(* --- pointer-based joins (§2.1) ------------------------------------------ *)
+
+(* Query 1 style: the outer relation's foreign-key column already holds
+   tuple pointers, so the "join" just follows them. *)
+let precomputed ~outer ~ref_col ~inner_schema =
+  let out =
+    Temp_list.create
+      (Descriptor.join
+         (Descriptor.of_schema (Relation.schema outer))
+         (Descriptor.of_schema inner_schema))
+  in
+  Relation.iter outer (fun o ->
+      match Tuple.get o ref_col with
+      | Value.Ref i -> Temp_list.append out [| o; i |]
+      | Value.Refs is -> List.iter (fun i -> Temp_list.append out [| o; i |]) is
+      | Value.Null -> ()
+      | v ->
+          invalid_arg
+            (Printf.sprintf "Join.precomputed: column %d holds %s, not pointers"
+               ref_col (Value.to_string v)));
+  out
+
+(* Query 2 style: join a selected set of inner tuples back to the outer
+   relation, comparing tuple {e pointers} rather than data values — cheaper
+   than string comparison and equivalent in cost to integer comparison. *)
+let pointer_join ~outer ~ref_col ~selected =
+  let inner_desc = Temp_list.descriptor selected in
+  let out =
+    Temp_list.create
+      (Descriptor.join (Descriptor.of_schema (Relation.schema outer)) inner_desc)
+  in
+  (* Hash the selected tuples' identities. *)
+  let wanted = Hashtbl.create (2 * Temp_list.length selected) in
+  Temp_list.iter selected (fun entry ->
+      Counters.bump_hash_calls ();
+      Hashtbl.replace wanted (Tuple.id (Tuple.resolve entry.(0))) entry.(0));
+  Relation.iter outer (fun o ->
+      let consider i =
+        Counters.bump_hash_calls ();
+        match Hashtbl.find_opt wanted (Tuple.id (Tuple.resolve i)) with
+        | Some i -> Temp_list.append out [| o; i |]
+        | None -> ()
+      in
+      match Tuple.get o ref_col with
+      | Value.Ref i -> consider i
+      | Value.Refs is -> List.iter consider is
+      | Value.Null -> ()
+      | v ->
+          invalid_arg
+            (Printf.sprintf
+               "Join.pointer_join: column %d holds %s, not pointers" ref_col
+               (Value.to_string v)));
+  out
+
+(* --- uniform driver -------------------------------------------------------- *)
+
+let run ?outer_filter method_ ~outer ~inner =
+  match method_ with
+  | Nested_loops -> nested_loops ?outer_filter ~outer ~inner ()
+  | Hash_join -> hash_join ?outer_filter ~outer ~inner ()
+  | Tree_join -> tree_join ?outer_filter ~outer ~inner ()
+  | Sort_merge -> sort_merge ?outer_filter ~outer ~inner ()
+  | Tree_merge -> tree_merge ?outer_filter ~outer ~inner ()

@@ -1,0 +1,218 @@
+(** Query optimization for the MM-DBMS (§4).
+
+    "Query optimization in MM-DBMS should be simpler than in conventional
+    database systems, as the cost formulas are less complicated ... there
+    is a more definite ordering of preference."  The rules encoded here:
+
+    Selection access path: hash lookup (exact match only) > tree lookup >
+    sequential scan — delegated to {!Select.best_path}.
+
+    Join method: a precomputed (pointer) join is always fastest when the
+    outer join column is a declared foreign key to the inner relation;
+    otherwise the cheapest feasible method under the §3.3.4
+    comparison-count formulas ({!Cost}) — which makes the paper's rules
+    emergent: Tree Merge whenever both tree indices exist, Tree Join for a
+    small outer against a tree-indexed inner (§3.3.5 exception 1's
+    crossover falls out of the hash-build term), Hash Join elsewhere.  The
+    §3.3.5 exception 2 (high duplicates and selectivity → Sort Merge) is
+    about output size, which the formulas do not model, so it remains an
+    explicit rule driven by caller-provided [stats]; the system does not
+    maintain histograms, matching the paper's qualitative treatment. *)
+
+open Mmdb_storage
+
+type join_stats = { dup_pct : float; semijoin_sel : float }
+
+type join_choice =
+  | Precomputed of int  (** follow pointers in this outer column *)
+  | Algorithm of Join.method_
+
+type plan = {
+  p_outer : Relation.t;
+  p_paths : (Select.access_path * Select.predicate) list;
+      (** one per where clause; the first indexable one drives access *)
+  p_join : (join_choice * Join.side * Join.side) option;
+  p_project : string list option;
+  p_distinct : bool;
+  p_dedup_method : Project.method_;
+}
+
+let pp_choice ppf = function
+  | Precomputed col -> Fmt.pf ppf "precomputed join via pointer column %d" col
+  | Algorithm m -> Fmt.string ppf (Join.method_name m)
+
+(* §3.3.5 exception 2: high duplicates (and high selectivity) favour Sort
+   Merge's array scans over everything else. *)
+let high_output stats =
+  match stats with
+  | None -> false
+  | Some s -> s.dup_pct >= 80.0 && s.semijoin_sel >= 80.0
+
+(* The paper's comparison-count formulas (§3.3.4), in units of one
+   comparison.  [k] is the fixed hash-lookup cost — "much smaller than
+   log2(|R2|) but larger than 2" — and the hash build costs a constant per
+   inner tuple (§3.3.2: building the 30,000-element table took about as
+   long as probing it). *)
+module Cost = struct
+  let hash_lookup_k = 2.5
+  let hash_build_per_tuple = 2.0
+
+  let log2 x = if x <= 1.0 then 1.0 else log x /. log 2.0
+
+  let nested_loops ~outer ~inner = float_of_int outer *. float_of_int inner
+
+  let hash_join ~outer ~inner =
+    let o = float_of_int outer and i = float_of_int inner in
+    (hash_build_per_tuple *. i) +. o +. (o *. hash_lookup_k)
+
+  let tree_join ~outer ~inner =
+    let o = float_of_int outer in
+    o +. (o *. log2 (float_of_int inner))
+
+  let tree_merge ~outer ~inner =
+    (* "(|R1| + |R2| * 2), as each element in R1 is referenced once and
+       each element in R2 is referenced twice" *)
+    float_of_int outer +. (2.0 *. float_of_int inner)
+
+  let sort_merge ~outer ~inner =
+    let o = float_of_int outer and i = float_of_int inner in
+    (o *. log2 o) +. (i *. log2 i) +. o +. i
+
+  let of_method m ~outer ~inner =
+    match m with
+    | Join.Nested_loops -> nested_loops ~outer ~inner
+    | Join.Hash_join -> hash_join ~outer ~inner
+    | Join.Tree_join -> tree_join ~outer ~inner
+    | Join.Tree_merge -> tree_merge ~outer ~inner
+    | Join.Sort_merge -> sort_merge ~outer ~inner
+end
+
+(* Methods whose index prerequisites are met right now. *)
+let feasible_methods ~outer ~inner =
+  let outer_tree = Join.find_tree_index outer <> None in
+  let inner_tree = Join.find_tree_index inner <> None in
+  List.filter
+    (fun m ->
+      match m with
+      | Join.Tree_merge -> outer_tree && inner_tree
+      | Join.Tree_join -> inner_tree
+      | Join.Nested_loops | Join.Hash_join | Join.Sort_merge -> true)
+    Join.all_methods
+
+let choose_join ?stats ~outer ~inner () =
+  let outer_schema = Relation.schema outer.Join.rel in
+  let fk_target =
+    match Schema.column_type outer_schema outer.Join.col with
+    | Schema.T_ref target | Schema.T_refs target -> Some target
+    | _ -> None
+  in
+  match fk_target with
+  | Some target when String.equal target (Relation.name inner.Join.rel) ->
+      (* "A precomputed join is always faster than the other join methods." *)
+      Precomputed outer.Join.col
+  | _ ->
+      if high_output stats then
+        (* §3.3.5 exception 2 is about output size, which the comparison
+           formulas do not model: sort merge's array scans win. *)
+        Algorithm Join.Sort_merge
+      else begin
+        let o = Relation.count outer.Join.rel in
+        let i = Relation.count inner.Join.rel in
+        let best =
+          List.fold_left
+            (fun acc m ->
+              let cost = Cost.of_method m ~outer:o ~inner:i in
+              match acc with
+              | Some (_, best_cost) when best_cost <= cost -> acc
+              | _ -> Some (m, cost))
+            None
+            (feasible_methods ~outer ~inner)
+        in
+        match best with
+        | Some (m, _) -> Algorithm m
+        | None -> Algorithm Join.Hash_join
+      end
+
+let predicate_of_where schema (w : Query.where_clause) =
+  let col = Schema.column_index_exn schema w.Query.w_column in
+  match w.Query.w_cmp with
+  | Query.Cmp_eq -> Select.Eq (col, w.Query.w_lo)
+  | Query.Cmp_between -> Select.Between (col, w.Query.w_lo, w.Query.w_hi)
+
+(* §4's access-path preference as a sort key, so a conjunctive WHERE is
+   led by its most selective indexable predicate: hash (exact match) over
+   tree point lookup over tree range over scan. *)
+let path_rank (path, pred) =
+  match (path, pred) with
+  | Select.Hash_lookup _, _ -> 0
+  | Select.Tree_lookup _, Select.Eq _ -> 1
+  | Select.Tree_lookup _, _ -> 2
+  | Select.Sequential_scan, _ -> 3
+
+let plan ?stats db (q : Query.t) =
+  let outer = Db.find_exn db q.Query.q_from in
+  let schema = Relation.schema outer in
+  let preds = List.map (predicate_of_where schema) q.Query.q_where in
+  let paths =
+    List.map (fun p -> (Select.best_path outer p, p)) preds
+    |> List.stable_sort (fun a b -> compare (path_rank a) (path_rank b))
+  in
+  let join =
+    Option.map
+      (fun (j : Query.join_clause) ->
+        let inner_rel = Db.find_exn db j.Query.j_rel in
+        let outer_side =
+          {
+            Join.rel = outer;
+            col = Schema.column_index_exn schema j.Query.j_outer_col;
+          }
+        in
+        let inner_side =
+          {
+            Join.rel = inner_rel;
+            col =
+              Schema.column_index_exn (Relation.schema inner_rel)
+                j.Query.j_inner_col;
+          }
+        in
+        let choice =
+          match j.Query.j_force with
+          | Some m -> Algorithm m
+          | None -> choose_join ?stats ~outer:outer_side ~inner:inner_side ()
+        in
+        (choice, outer_side, inner_side))
+      q.Query.q_join
+  in
+  {
+    p_outer = outer;
+    p_paths = paths;
+    p_join = join;
+    p_project = q.Query.q_project;
+    p_distinct = q.Query.q_distinct;
+    (* "one method for eliminating duplicates (Hash)" — §4 *)
+    p_dedup_method = Project.Hashing;
+  }
+
+let pp_plan ppf p =
+  Fmt.pf ppf "@[<v>outer: %s@," (Relation.name p.p_outer);
+  List.iter
+    (fun (path, _) -> Fmt.pf ppf "access: %a@," Select.pp_path path)
+    p.p_paths;
+  Option.iter
+    (fun (choice, outer, inner) ->
+      Fmt.pf ppf "join with %s: %a" (Relation.name inner.Join.rel) pp_choice
+        choice;
+      (match choice with
+      | Algorithm m ->
+          Fmt.pf ppf " (est. %.0f comparison units)"
+            (Cost.of_method m ~outer:(Relation.count outer.Join.rel)
+               ~inner:(Relation.count inner.Join.rel))
+      | Precomputed _ -> Fmt.pf ppf " (follows existing pointers)");
+      Fmt.pf ppf "@,")
+    p.p_join;
+  Option.iter
+    (fun ls ->
+      Fmt.pf ppf "project: %a@," (Fmt.list ~sep:(Fmt.any ", ") Fmt.string) ls)
+    p.p_project;
+  if p.p_distinct then Fmt.pf ppf "distinct via %s@," (Project.method_name p.p_dedup_method);
+  Fmt.pf ppf "@]"

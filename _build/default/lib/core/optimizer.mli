@@ -1,0 +1,65 @@
+(** Query optimization for the MM-DBMS (§4).
+
+    "There is a more definite ordering of preference": hash lookup > tree
+    lookup > sequential scan for selection; precomputed join > Tree Merge
+    (when both T Tree indices exist) > Hash Join, with the paper's two
+    exceptions — Tree Join when only the inner side is tree-indexed and
+    the outer is less than half its size, and Sort Merge when duplicates
+    and semijoin selectivity are both high. *)
+
+open Mmdb_storage
+
+type join_stats = { dup_pct : float; semijoin_sel : float }
+(** Optional workload statistics for the §3.3.5 exception-2 rule (the
+    system does not maintain histograms; callers may supply estimates). *)
+
+type join_choice =
+  | Precomputed of int  (** follow pointers in this outer column *)
+  | Algorithm of Join.method_
+
+type plan = {
+  p_outer : Relation.t;
+  p_paths : (Select.access_path * Select.predicate) list;
+      (** one per where clause; the first drives index access *)
+  p_join : (join_choice * Join.side * Join.side) option;
+  p_project : string list option;
+  p_distinct : bool;
+  p_dedup_method : Project.method_;  (** always [Hashing], per §4 *)
+}
+
+val pp_choice : Format.formatter -> join_choice -> unit
+
+(** The paper's comparison-count cost formulas (§3.3.4), used to pick among
+    the feasible methods.  Exposed so tests and EXPLAIN output can check
+    predicted orderings against measurements. *)
+module Cost : sig
+  val hash_lookup_k : float
+  (** the fixed hash lookup cost [k]: "much smaller than log2(|R2|) but
+      larger than 2" *)
+
+  val hash_build_per_tuple : float
+
+  val nested_loops : outer:int -> inner:int -> float
+  val hash_join : outer:int -> inner:int -> float
+  val tree_join : outer:int -> inner:int -> float
+  val tree_merge : outer:int -> inner:int -> float
+  val sort_merge : outer:int -> inner:int -> float
+  val of_method : Join.method_ -> outer:int -> inner:int -> float
+end
+
+val feasible_methods : outer:Join.side -> inner:Join.side -> Join.method_ list
+(** The methods whose index prerequisites are met (tree methods need
+    pre-existing ordered indices on their join columns). *)
+
+val choose_join :
+  ?stats:join_stats -> outer:Join.side -> inner:Join.side -> unit -> join_choice
+(** The §4 join-method decision: a precomputed join when the outer column
+    is a foreign key to the inner relation; Sort Merge under the §3.3.5
+    high-duplicates exception; otherwise the cheapest feasible method under
+    the {!Cost} formulas. *)
+
+val plan : ?stats:join_stats -> Db.t -> Query.t -> plan
+(** Resolve names against the catalog and choose methods.
+    @raise Invalid_argument on unknown relations or columns. *)
+
+val pp_plan : Format.formatter -> plan -> unit

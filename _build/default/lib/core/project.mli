@@ -1,0 +1,24 @@
+(** Projection (§3.4).
+
+    Width reduction is free (the result descriptor names the visible
+    fields), so "the only step requiring any significant processing is the
+    final operation of removing duplicates".  Two methods from the paper;
+    Graphs 11/12 compare them. *)
+
+open Mmdb_storage
+
+type method_ = Sort_scan | Hashing
+
+val method_name : method_ -> string
+
+val sort_scan : ?cutoff:int -> Temp_list.t -> string list -> Temp_list.t
+(** [BBD83]: narrow to the given labels, sort the entries on the projected
+    values (quicksort with insertion-sort [cutoff], default 10), and drop
+    adjacent duplicates. *)
+
+val hashing : Temp_list.t -> string list -> Temp_list.t
+(** [DKO84]: narrow, then insert projected keys into a chained hash table
+    sized |R|/2, discarding duplicates as they are met — the §4 method of
+    choice. *)
+
+val run : method_ -> Temp_list.t -> string list -> Temp_list.t

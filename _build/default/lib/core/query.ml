@@ -1,0 +1,108 @@
+(** Declarative single-block queries: select / join / project over the
+    catalog, with a builder-style API.
+
+    {[
+      Query.(
+        from "Employee"
+        |> where_gt "Age" (Value.Int 65)
+        |> join "Department" ~on:("Dept", "Id")
+        |> project [ "Employee.Name"; "Employee.Age"; "Department.Name" ])
+    ]}
+
+    The optimizer (§4) chooses access paths and join methods; the executor
+    runs the plan and yields a temporary list. *)
+
+open Mmdb_storage
+
+type comparison = Cmp_eq | Cmp_between
+
+type where_clause = {
+  w_column : string;
+  w_cmp : comparison;
+  w_lo : Value.t;
+  w_hi : Value.t;  (** = [w_lo] for equality *)
+}
+
+type join_clause = {
+  j_rel : string;  (** inner relation name *)
+  j_outer_col : string;
+  j_inner_col : string;
+  j_force : Join.method_ option;  (** user override; None = let §4 decide *)
+}
+
+type t = {
+  q_from : string;
+  q_where : where_clause list;  (** conjunctive, all on the outer relation *)
+  q_join : join_clause option;
+  q_project : string list option;  (** descriptor labels; None = all *)
+  q_distinct : bool;
+}
+
+let from q_from =
+  { q_from; q_where = []; q_join = None; q_project = None; q_distinct = false }
+
+let where_eq col v q =
+  {
+    q with
+    q_where = q.q_where @ [ { w_column = col; w_cmp = Cmp_eq; w_lo = v; w_hi = v } ];
+  }
+
+let where_between col ~lo ~hi q =
+  {
+    q with
+    q_where =
+      q.q_where @ [ { w_column = col; w_cmp = Cmp_between; w_lo = lo; w_hi = hi } ];
+  }
+
+(* age > 65 is expressed as a half-open range; integers and floats get a
+   tight lower bound, everything else falls back to a residual filter at
+   execution time. *)
+let where_gt col v q =
+  let lo =
+    match v with
+    | Value.Int x -> Value.Int (x + 1)
+    | Value.Float x -> Value.Float (Float.succ x)
+    | other -> other
+  in
+  (* unbounded above: use a maximal sentinel per type *)
+  let hi =
+    match v with
+    | Value.Int _ -> Value.Int max_int
+    | Value.Float _ -> Value.Float infinity
+    | _ -> Value.Str "\xff\xff\xff\xff"
+  in
+  {
+    q with
+    q_where =
+      q.q_where @ [ { w_column = col; w_cmp = Cmp_between; w_lo = lo; w_hi = hi } ];
+  }
+
+let join ?force j_rel ~on:(j_outer_col, j_inner_col) q =
+  if q.q_join <> None then invalid_arg "Query.join: already has a join";
+  {
+    q with
+    q_join = Some { j_rel; j_outer_col; j_inner_col; j_force = force };
+  }
+
+let project labels q = { q with q_project = Some labels }
+
+let distinct q = { q with q_distinct = true }
+
+let pp ppf q =
+  let pp_where ppf w =
+    match w.w_cmp with
+    | Cmp_eq -> Fmt.pf ppf "%s = %a" w.w_column Value.pp w.w_lo
+    | Cmp_between ->
+        Fmt.pf ppf "%s in [%a, %a]" w.w_column Value.pp w.w_lo Value.pp w.w_hi
+  in
+  Fmt.pf ppf "@[<h>FROM %s" q.q_from;
+  Option.iter
+    (fun j -> Fmt.pf ppf " JOIN %s ON %s = %s" j.j_rel j.j_outer_col j.j_inner_col)
+    q.q_join;
+  if q.q_where <> [] then
+    Fmt.pf ppf " WHERE %a" (Fmt.list ~sep:(Fmt.any " AND ") pp_where) q.q_where;
+  Option.iter
+    (fun ls -> Fmt.pf ppf " PROJECT %a" (Fmt.list ~sep:(Fmt.any ", ") Fmt.string) ls)
+    q.q_project;
+  if q.q_distinct then Fmt.pf ppf " DISTINCT";
+  Fmt.pf ppf "@]"

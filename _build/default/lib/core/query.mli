@@ -1,0 +1,55 @@
+(** Declarative single-block queries with a builder-style API:
+
+    {[
+      Query.(
+        from "Employee"
+        |> where_gt "Age" (Value.Int 65)
+        |> join "Department" ~on:("Dept", "Id")
+        |> project [ "Employee.Name"; "Department.Name" ]
+        |> distinct)
+    ]}
+
+    {!Optimizer.plan} chooses access paths and join methods;
+    {!Executor.execute} runs the plan. *)
+
+open Mmdb_storage
+
+type comparison = Cmp_eq | Cmp_between
+
+type where_clause = {
+  w_column : string;
+  w_cmp : comparison;
+  w_lo : Value.t;
+  w_hi : Value.t;  (** = [w_lo] for equality *)
+}
+
+type join_clause = {
+  j_rel : string;  (** inner relation name *)
+  j_outer_col : string;
+  j_inner_col : string;
+  j_force : Join.method_ option;  (** user override; [None] = §4 rules *)
+}
+
+type t = {
+  q_from : string;
+  q_where : where_clause list;  (** conjunctive, all on the outer relation *)
+  q_join : join_clause option;
+  q_project : string list option;  (** descriptor labels; [None] = all *)
+  q_distinct : bool;
+}
+
+val from : string -> t
+val where_eq : string -> Value.t -> t -> t
+val where_between : string -> lo:Value.t -> hi:Value.t -> t -> t
+
+val where_gt : string -> Value.t -> t -> t
+(** Strict lower bound, expressed as a range for index use (ints and
+    floats get a tight bound; other types fall back to a wide range). *)
+
+val join : ?force:Join.method_ -> string -> on:string * string -> t -> t
+(** [join inner ~on:(outer_col, inner_col)].
+    @raise Invalid_argument if the query already joins. *)
+
+val project : string list -> t -> t
+val distinct : t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,101 @@
+(** Selection (§3.2, §4).
+
+    Three access paths exist in the MM-DBMS: hash lookup (exact match
+    only), tree lookup (exact match or range), and sequential scan through
+    an unrelated index.  §4's preference ordering is total: "a hash lookup
+    is always faster than a tree lookup which is always faster than a
+    sequential scan"; {!best_path} encodes it.
+
+    Results are temporary lists of tuple pointers (§2.3) — selection copies
+    nothing. *)
+
+open Mmdb_storage
+
+type predicate =
+  | Eq of int * Value.t  (** column = value *)
+  | Between of int * Value.t * Value.t  (** lo <= column <= hi, inclusive *)
+  | Filter of (Tuple.t -> bool)  (** arbitrary residual predicate *)
+
+let matches tuple = function
+  | Eq (col, v) -> Value.equal (Tuple.get tuple col) v
+  | Between (col, lo, hi) ->
+      let x = Tuple.get tuple col in
+      Value.compare lo x <= 0 && Value.compare x hi <= 0
+  | Filter f -> f tuple
+
+type access_path =
+  | Hash_lookup of string  (** index name; exact match only *)
+  | Tree_lookup of string  (** index name; exact match or range *)
+  | Sequential_scan  (** scan via the primary index *)
+
+let pp_path ppf = function
+  | Hash_lookup i -> Fmt.pf ppf "hash lookup via %s" i
+  | Tree_lookup i -> Fmt.pf ppf "tree lookup via %s" i
+  | Sequential_scan -> Fmt.string ppf "sequential scan"
+
+(* Indexes usable for an exact-match / range predicate on [col]. *)
+let candidate_indexes rel ~col =
+  List.filter_map
+    (fun (module Inst : Relation.INSTANCE) ->
+      if Inst.def.Relation.columns = [| col |] then
+        Some (Inst.def.Relation.idx_name, Inst.I.kind)
+      else None)
+    (Relation.indices rel)
+
+(* §4's ordering: hash > tree > scan; hash only serves exact matches. *)
+let best_path rel = function
+  | Eq (col, _) -> (
+      let cands = candidate_indexes rel ~col in
+      match
+        List.find_opt (fun (_, k) -> k = Mmdb_index.Index_intf.Hash) cands
+      with
+      | Some (name, _) -> Hash_lookup name
+      | None -> (
+          match
+            List.find_opt
+              (fun (_, k) -> k = Mmdb_index.Index_intf.Ordered)
+              cands
+          with
+          | Some (name, _) -> Tree_lookup name
+          | None -> Sequential_scan))
+  | Between (col, _, _) -> (
+      match
+        List.find_opt
+          (fun (_, k) -> k = Mmdb_index.Index_intf.Ordered)
+          (candidate_indexes rel ~col)
+      with
+      | Some (name, _) -> Tree_lookup name
+      | None -> Sequential_scan)
+  | Filter _ -> Sequential_scan
+
+(* Run a selection with an explicit access path; residual predicates are
+   applied on top.  The first predicate is the indexable one. *)
+let run rel ~path ~predicates =
+  let out = Temp_list.create (Descriptor.of_schema (Relation.schema rel)) in
+  let residual_ok tuple rest = List.for_all (matches tuple) rest in
+  (match (path, predicates) with
+  | Hash_lookup idx, Eq (_, v) :: rest ->
+      List.iter
+        (fun tuple -> if residual_ok tuple rest then Temp_list.append out [| tuple |])
+        (Relation.lookup ~index:idx rel [| v |])
+  | Tree_lookup idx, Eq (_, v) :: rest ->
+      Relation.lookup_range ~index:idx rel ~lo:[| v |] ~hi:[| v |] (fun tuple ->
+          if residual_ok tuple rest then Temp_list.append out [| tuple |])
+  | Tree_lookup idx, Between (_, lo, hi) :: rest ->
+      Relation.lookup_range ~index:idx rel ~lo:[| lo |] ~hi:[| hi |]
+        (fun tuple ->
+          if residual_ok tuple rest then Temp_list.append out [| tuple |])
+  | Sequential_scan, preds ->
+      Relation.iter rel (fun tuple ->
+          if residual_ok tuple preds then Temp_list.append out [| tuple |])
+  | (Hash_lookup _ | Tree_lookup _), _ ->
+      invalid_arg "Select.run: access path incompatible with predicate");
+  out
+
+(* Selection with automatic access-path choice. *)
+let select rel predicates =
+  match predicates with
+  | [] -> run rel ~path:Sequential_scan ~predicates:[]
+  | first :: _ ->
+      let path = best_path rel first in
+      run rel ~path ~predicates

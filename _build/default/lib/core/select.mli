@@ -1,0 +1,38 @@
+(** Selection (§3.2, §4).
+
+    Three access paths exist in the MM-DBMS: hash lookup (exact match
+    only), tree lookup (exact match or range), and sequential scan through
+    an unrelated index.  §4's preference ordering is total — "a hash
+    lookup is always faster than a tree lookup which is always faster
+    than a sequential scan" — and {!best_path} encodes it.  Results are
+    temporary lists of tuple pointers; selection copies nothing. *)
+
+open Mmdb_storage
+
+type predicate =
+  | Eq of int * Value.t  (** column = value *)
+  | Between of int * Value.t * Value.t  (** lo <= column <= hi, inclusive *)
+  | Filter of (Tuple.t -> bool)  (** arbitrary residual predicate *)
+
+val matches : Tuple.t -> predicate -> bool
+
+type access_path =
+  | Hash_lookup of string  (** index name; exact match only *)
+  | Tree_lookup of string  (** index name; exact match or range *)
+  | Sequential_scan  (** scan via the primary index *)
+
+val pp_path : Format.formatter -> access_path -> unit
+
+val best_path : Relation.t -> predicate -> access_path
+(** The §4 choice for one predicate, given the relation's live indices. *)
+
+val run :
+  Relation.t -> path:access_path -> predicates:predicate list -> Temp_list.t
+(** Run a selection on an explicit access path; the first predicate must
+    be compatible with the path (it drives the index probe), the rest are
+    applied as residuals.
+    @raise Invalid_argument when path and predicate are incompatible. *)
+
+val select : Relation.t -> predicate list -> Temp_list.t
+(** Selection with automatic access-path choice (driven by the first
+    predicate). *)

@@ -1,0 +1,153 @@
+(** Test relation generation (§3.3.1).
+
+    Join-column composition is controlled by three parameters:
+
+    - relation cardinality;
+    - duplicate percentage and its distribution — a specified number of
+      unique values is generated and occurrence counts are drawn with "a
+      random sampling procedure based on a truncated normal distribution
+      with a variable standard deviation" (σ = 0.1 skewed, 0.4 moderate,
+      0.8 near-uniform — Graph 3);
+    - semijoin selectivity — the smaller relation is built with a
+      specified share of values taken from the larger relation.
+
+    Columns are generated as integer arrays and then loaded into full
+    storage-layer relations (tuples in partitions, array index for
+    scanning, optional T Tree on the join column), since that is what the
+    join/selection algorithms operate on. *)
+
+open Mmdb_util
+open Mmdb_storage
+
+type spec = {
+  cardinality : int;
+  dup_pct : float;  (** share of tuples that are duplicate occurrences, 0-100 *)
+  dup_stddev : float;  (** truncated-normal σ: 0.1 skewed … 0.8 uniform *)
+}
+
+let uniform_spec ~cardinality = { cardinality; dup_pct = 0.0; dup_stddev = 0.8 }
+
+let unique_values rng ~n ~avoid =
+  let seen = Hashtbl.create (2 * n) in
+  List.iter (fun v -> Hashtbl.replace seen v ()) avoid;
+  let out = Array.make n 0 in
+  let filled = ref 0 in
+  while !filled < n do
+    let v = Rng.int rng 1_000_000_000 in
+    if not (Hashtbl.mem seen v) then begin
+      Hashtbl.replace seen v ();
+      out.(!filled) <- v;
+      incr filled
+    end
+  done;
+  out
+
+(* Expand distinct values into a full column according to the duplicate
+   distribution, then shuffle so physical order carries no information. *)
+let expand rng ~spec ~values =
+  let n = spec.cardinality in
+  let n_values = Array.length values in
+  let counts =
+    if n_values = 1 then [| n |]
+    else begin
+      let weights =
+        Stats.duplicate_weights rng ~stddev:spec.dup_stddev ~n_values
+      in
+      Stats.apportion weights ~total:n ~min_each:1
+    end
+  in
+  let column = Array.make n 0 in
+  let k = ref 0 in
+  Array.iteri
+    (fun i c ->
+      for _ = 1 to c do
+        column.(!k) <- values.(i);
+        incr k
+      done)
+    counts;
+  Rng.shuffle rng column;
+  column
+
+let n_unique spec =
+  let n = spec.cardinality in
+  max 1 (n - int_of_float (Float.round (spec.dup_pct /. 100.0 *. float_of_int n)))
+
+(* A standalone join column. *)
+let column rng ~spec =
+  if spec.cardinality <= 0 then [||]
+  else begin
+    let values = unique_values rng ~n:(n_unique spec) ~avoid:[] in
+    expand rng ~spec ~values
+  end
+
+(* A pair of join columns with a given semijoin selectivity: [sel]% of the
+   inner relation's distinct values are drawn from the outer's, the rest are
+   fresh values that match nothing. *)
+let column_pair rng ~outer ~inner ~semijoin_sel =
+  if semijoin_sel < 0.0 || semijoin_sel > 100.0 then
+    invalid_arg "Workload.column_pair: semijoin_sel out of range";
+  let outer_values = unique_values rng ~n:(n_unique outer) ~avoid:[] in
+  let outer_col = expand rng ~spec:outer ~values:outer_values in
+  let n_inner = n_unique inner in
+  let n_match =
+    min (Array.length outer_values)
+      (int_of_float (Float.round (semijoin_sel /. 100.0 *. float_of_int n_inner)))
+  in
+  let matching =
+    Array.map
+      (fun i -> outer_values.(i))
+      (Rng.sample_without_replacement rng ~k:n_match
+         ~n:(Array.length outer_values))
+  in
+  let fresh =
+    unique_values rng ~n:(n_inner - n_match) ~avoid:(Array.to_list outer_values)
+  in
+  let inner_values = Array.append matching fresh in
+  let inner_col = expand rng ~spec:inner ~values:inner_values in
+  (outer_col, inner_col)
+
+(* --- loading columns into storage-layer relations --------------------- *)
+
+let schema ~name =
+  Schema.make ~name
+    [ Schema.col ~ty:Schema.T_int "seq"; Schema.col ~ty:Schema.T_int "jcol" ]
+
+let seq_col = 0
+let jcol = 1
+
+(* The scan index: §3.3.2 "an array index was used to scan the relations in
+   our tests".  It is the primary (unique, on the row sequence number), so
+   appends hit the array's fast no-move tail path. *)
+let scan_index : Relation.index_def =
+  {
+    Relation.idx_name = "scan";
+    columns = [| seq_col |];
+    unique = true;
+    structure = Relation.Array_index;
+  }
+
+let load ?(with_ttree = false) ~name col =
+  let rel =
+    Relation.create ~schema:(schema ~name) ~primary:scan_index
+      ~expected:(Array.length col) ()
+  in
+  Array.iteri
+    (fun i v ->
+      match Relation.insert rel [| Value.Int i; Value.Int v |] with
+      | Ok _ -> ()
+      | Error msg -> invalid_arg ("Workload.load: " ^ msg))
+    col;
+  if with_ttree then begin
+    match
+      Relation.create_index rel ~idx_name:"jcol_tree" ~columns:[| jcol |]
+        ~structure:Relation.T_tree
+    with
+    | Ok () -> ()
+    | Error msg -> invalid_arg ("Workload.load: " ^ msg)
+  end;
+  rel
+
+(* Convenience for the benches: generate and load an R1/R2 pair. *)
+let relation_pair ?(with_ttree = true) rng ~outer ~inner ~semijoin_sel () =
+  let c1, c2 = column_pair rng ~outer ~inner ~semijoin_sel in
+  (load ~with_ttree ~name:"R1" c1, load ~with_ttree ~name:"R2" c2)

@@ -1,0 +1,55 @@
+(** Test relation generation (§3.3.1).
+
+    Join-column composition is controlled by relation cardinality, the
+    duplicate percentage with its distribution (a truncated normal with
+    σ = 0.1 skewed / 0.4 moderate / 0.8 near-uniform — Graph 3), and the
+    semijoin selectivity (the share of one relation's values drawn from
+    the other's). *)
+
+open Mmdb_storage
+
+type spec = {
+  cardinality : int;
+  dup_pct : float;  (** share of tuples that are duplicate occurrences, 0-100 *)
+  dup_stddev : float;  (** truncated-normal σ: 0.1 skewed … 0.8 uniform *)
+}
+
+val uniform_spec : cardinality:int -> spec
+(** No duplicates. *)
+
+val column : Mmdb_util.Rng.t -> spec:spec -> int array
+(** A standalone join column. *)
+
+val column_pair :
+  Mmdb_util.Rng.t ->
+  outer:spec ->
+  inner:spec ->
+  semijoin_sel:float ->
+  int array * int array
+(** A pair of join columns where [semijoin_sel]% of the inner's distinct
+    values come from the outer's and the rest match nothing.
+    @raise Invalid_argument if the selectivity is outside [0, 100]. *)
+
+(** {1 Loading columns into storage-layer relations} *)
+
+val schema : name:string -> Schema.t
+(** Two int columns: [seq] (row number) and [jcol] (the join column). *)
+
+val seq_col : int
+val jcol : int
+
+val load : ?with_ttree:bool -> name:string -> int array -> Relation.t
+(** Load a column into a relation whose primary index is an array index on
+    [seq] — "an array index was used to scan the relations in our tests"
+    (§3.3.2) — with an optional non-unique T Tree on [jcol] for the
+    tree-based join methods. *)
+
+val relation_pair :
+  ?with_ttree:bool ->
+  Mmdb_util.Rng.t ->
+  outer:spec ->
+  inner:spec ->
+  semijoin_sel:float ->
+  unit ->
+  Relation.t * Relation.t
+(** Generate and load an R1/R2 pair in one step. *)

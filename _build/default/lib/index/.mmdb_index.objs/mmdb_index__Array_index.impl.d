@@ -1,0 +1,1 @@
+lib/index/array_index.ml: Array Counters Index_intf Mmdb_util Printf Qsort Seq

@@ -1,0 +1,1 @@
+lib/index/array_index.mli: Index_intf

@@ -1,0 +1,1 @@
+lib/index/avl_tree.ml: Counters Index_intf Mmdb_util Seq

@@ -1,0 +1,1 @@
+lib/index/avl_tree.mli: Index_intf

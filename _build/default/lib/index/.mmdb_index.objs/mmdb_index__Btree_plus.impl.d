@@ -1,0 +1,1 @@
+lib/index/btree_plus.ml: Array Counters Index_intf Mmdb_util Seq

@@ -1,0 +1,1 @@
+lib/index/btree_plus.mli: Index_intf

@@ -1,0 +1,1 @@
+lib/index/chained_hash.ml: Array Counters Index_intf Mmdb_util Printf Seq

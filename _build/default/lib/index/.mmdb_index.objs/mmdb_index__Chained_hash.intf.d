@@ -1,0 +1,1 @@
+lib/index/chained_hash.mli: Index_intf

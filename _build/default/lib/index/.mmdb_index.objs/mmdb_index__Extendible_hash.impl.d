@@ -1,0 +1,1 @@
+lib/index/extendible_hash.ml: Array Counters Index_intf List Mmdb_util Seq

@@ -1,0 +1,1 @@
+lib/index/extendible_hash.mli: Index_intf

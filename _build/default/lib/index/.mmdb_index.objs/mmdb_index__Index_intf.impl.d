@@ -1,0 +1,1 @@
+lib/index/index_intf.ml: Array Mmdb_util Seq

@@ -1,0 +1,1 @@
+lib/index/linear_hash.ml: Array Counters Index_intf List Mmdb_util Seq

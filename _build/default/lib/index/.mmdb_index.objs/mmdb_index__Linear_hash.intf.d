@@ -1,0 +1,1 @@
+lib/index/linear_hash.mli: Index_intf

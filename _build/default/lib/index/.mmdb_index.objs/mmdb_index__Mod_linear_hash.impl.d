@@ -1,0 +1,1 @@
+lib/index/mod_linear_hash.ml: Array Counters Index_intf Mmdb_util Seq

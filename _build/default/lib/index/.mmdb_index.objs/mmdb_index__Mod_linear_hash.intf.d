@@ -1,0 +1,1 @@
+lib/index/mod_linear_hash.mli: Index_intf

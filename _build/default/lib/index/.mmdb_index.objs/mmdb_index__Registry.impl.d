@@ -1,0 +1,1 @@
+lib/index/registry.ml: Array_index Avl_tree Btree Btree_plus Chained_hash Extendible_hash Index_intf Linear_hash List Mod_linear_hash Ttree

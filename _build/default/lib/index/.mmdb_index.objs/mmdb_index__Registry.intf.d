@@ -1,0 +1,1 @@
+lib/index/registry.mli: Index_intf

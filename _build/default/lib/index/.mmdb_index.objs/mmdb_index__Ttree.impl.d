@@ -1,0 +1,1 @@
+lib/index/ttree.ml: Array Counters Index_intf Mmdb_util Seq

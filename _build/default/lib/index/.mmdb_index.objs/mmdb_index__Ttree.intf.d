@@ -1,0 +1,1 @@
+lib/index/ttree.mli: Index_intf

@@ -1,0 +1,261 @@
+(** AVL tree [AHU74]: one element per node, height-balanced.
+
+    The classic internal-memory search tree.  Search is fast — one
+    comparison then a pointer follow, no arithmetic — but storage is poor:
+    two node pointers (plus balance information) for every single data item,
+    the "storage factor 3" of the paper's §3.2.2. *)
+
+open Mmdb_util
+
+type 'a node = {
+  mutable value : 'a;
+  mutable left : 'a node option;
+  mutable right : 'a node option;
+  mutable height : int;
+}
+
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  duplicates : bool;
+  mutable root : 'a node option;
+  mutable count : int;
+  mutable nodes : int;
+}
+
+let name = "AVL Tree"
+let kind = Index_intf.Ordered
+let default_node_size = 1
+
+let create ?node_size:_ ?(duplicates = false) ?expected:_ ~cmp ~hash:_ () =
+  { cmp; duplicates; root = None; count = 0; nodes = 0 }
+
+let size t = t.count
+
+let height = function None -> 0 | Some n -> n.height
+
+let update_height n =
+  n.height <- 1 + max (height n.left) (height n.right)
+
+let balance_factor n = height n.left - height n.right
+
+let rotate_right n =
+  match n.left with
+  | None -> assert false
+  | Some l ->
+      n.left <- l.right;
+      l.right <- Some n;
+      update_height n;
+      update_height l;
+      l
+
+let rotate_left n =
+  match n.right with
+  | None -> assert false
+  | Some r ->
+      n.right <- r.left;
+      r.left <- Some n;
+      update_height n;
+      update_height r;
+      r
+
+(* Restore the AVL invariant at [n] after an insert or delete below it. *)
+let rebalance n =
+  update_height n;
+  let bf = balance_factor n in
+  if bf > 1 then begin
+    (match n.left with
+    | Some l when balance_factor l < 0 -> n.left <- Some (rotate_left l)
+    | _ -> ());
+    rotate_right n
+  end
+  else if bf < -1 then begin
+    (match n.right with
+    | Some r when balance_factor r > 0 -> n.right <- Some (rotate_right r)
+    | _ -> ());
+    rotate_left n
+  end
+  else n
+
+exception Duplicate
+
+let insert t x =
+  let rec ins = function
+    | None ->
+        Counters.bump_node_allocs ();
+        Counters.bump_data_moves ();
+        t.nodes <- t.nodes + 1;
+        { value = x; left = None; right = None; height = 1 }
+    | Some n ->
+        let c = Counters.counting_cmp t.cmp x n.value in
+        if c = 0 && not t.duplicates then raise Duplicate
+        else begin
+          (* With duplicates allowed, equal keys go left so that an in-order
+             walk visits them contiguously. *)
+          if c < 0 || c = 0 then n.left <- Some (ins n.left)
+          else n.right <- Some (ins n.right);
+          rebalance n
+        end
+  in
+  match ins t.root with
+  | root ->
+      t.root <- Some root;
+      t.count <- t.count + 1;
+      true
+  | exception Duplicate -> false
+
+exception Absent
+
+let delete t x =
+  (* Remove the minimum node of [n]'s subtree, returning (min value, new
+     subtree). *)
+  let rec take_min n =
+    match n.left with
+    | None -> (n.value, n.right)
+    | Some l ->
+        let v, l' = take_min l in
+        n.left <- l';
+        (v, Some (rebalance n))
+  in
+  let rec del = function
+    | None -> raise Absent
+    | Some n ->
+        let c = Counters.counting_cmp t.cmp x n.value in
+        if c < 0 then begin
+          n.left <- del n.left;
+          Some (rebalance n)
+        end
+        else if c > 0 then begin
+          n.right <- del n.right;
+          Some (rebalance n)
+        end
+        else begin
+          match (n.left, n.right) with
+          | None, sub | sub, None ->
+              t.nodes <- t.nodes - 1;
+              sub
+          | Some _, Some r ->
+              let succ, r' = take_min r in
+              n.value <- succ;
+              Counters.bump_data_moves ();
+              n.right <- r';
+              t.nodes <- t.nodes - 1;
+              Some (rebalance n)
+        end
+  in
+  match del t.root with
+  | root ->
+      t.root <- root;
+      t.count <- t.count - 1;
+      true
+  | exception Absent -> false
+
+let search t x =
+  let rec go = function
+    | None -> None
+    | Some n ->
+        let c = Counters.counting_cmp t.cmp x n.value in
+        if c = 0 then Some n.value else if c < 0 then go n.left else go n.right
+  in
+  go t.root
+
+let iter t f =
+  let rec walk = function
+    | None -> ()
+    | Some n ->
+        walk n.left;
+        f n.value;
+        walk n.right
+  in
+  walk t.root
+
+let iter_matches t x f =
+  let rec walk = function
+    | None -> ()
+    | Some n ->
+        let c = Counters.counting_cmp t.cmp x n.value in
+        if c = 0 then begin
+          (* Equal keys may span both subtrees; visit in order. *)
+          walk n.left;
+          f n.value;
+          walk n.right
+        end
+        else if c < 0 then walk n.left
+        else walk n.right
+  in
+  walk t.root
+
+let to_seq t =
+  (* Explicit ancestor stack so the walk is incremental. *)
+  let rec push n stack =
+    match n with None -> stack | Some node -> push node.left (node :: stack)
+  in
+  let rec next stack () =
+    match stack with
+    | [] -> Seq.Nil
+    | node :: rest -> Seq.Cons (node.value, next (push node.right rest))
+  in
+  next (push t.root [])
+
+let range t ~lo ~hi f =
+  let rec walk = function
+    | None -> ()
+    | Some n ->
+        let c_lo = Counters.counting_cmp t.cmp n.value lo in
+        let c_hi = Counters.counting_cmp t.cmp n.value hi in
+        (* Descend on equality too: rotations can leave duplicates of a
+           bound on either side of an equal node. *)
+        if c_lo >= 0 then walk n.left;
+        if c_lo >= 0 && c_hi <= 0 then f n.value;
+        if c_hi <= 0 then walk n.right
+  in
+  walk t.root
+
+let iter_from t lo f =
+  let rec walk = function
+    | None -> ()
+    | Some n ->
+        if Counters.counting_cmp t.cmp n.value lo >= 0 then begin
+          walk n.left;
+          f n.value;
+          walk n.right
+        end
+        else walk n.right
+  in
+  walk t.root
+
+(* Paper accounting: per element, one 4-byte tuple pointer plus two 4-byte
+   child pointers — the storage factor of 3 reported in §3.2.2.  (Balance
+   information rides in the control word and is ignored, as in the paper.) *)
+let storage_bytes t = t.nodes * 12
+
+let validate t =
+  let exception Bad of string in
+  let rec check = function
+    | None -> 0
+    | Some n ->
+        let hl = check n.left and hr = check n.right in
+        if n.height <> 1 + max hl hr then raise (Bad "stale height");
+        if abs (hl - hr) > 1 then raise (Bad "AVL balance violated");
+        n.height
+  in
+  let check_order_and_count () =
+    let prev = ref None and c = ref 0 in
+    iter t (fun v ->
+        (match !prev with
+        | Some p when t.cmp p v > 0 -> raise (Bad "in-order walk not sorted")
+        | Some p when (not t.duplicates) && t.cmp p v = 0 ->
+            raise (Bad "duplicate in unique index")
+        | _ -> ());
+        prev := Some v;
+        incr c);
+    !c
+  in
+  match
+    let _ = check t.root in
+    check_order_and_count ()
+  with
+  | n ->
+      if n <> t.count then Error "count mismatch"
+      else if t.nodes <> t.count then Error "node count mismatch"
+      else Ok ()
+  | exception Bad msg -> Error msg

@@ -1,0 +1,8 @@
+(** AVL tree [AHU74]: one element per node, height-balanced.
+
+    The classic internal-memory search tree: fast "hardwired" binary
+    search (one comparison, one pointer follow per level), fair update
+    cost, but poor storage — two node pointers per data item, the
+    storage factor of 3 reported in §3.2.2. *)
+
+include Index_intf.S

@@ -1,0 +1,440 @@
+(** The original B Tree of [Com79] — data items in internal nodes.
+
+    The paper deliberately uses the original B Tree rather than the B+ Tree:
+    tests in [LeC85] showed the B+ Tree "uses more storage than the B Tree
+    and does not perform any better in main memory" (footnote 3).  Search
+    does one binary search per node on the path; updates usually move data
+    within a single node, which is why the paper rates its update behaviour
+    "good" while its search is only "fair" (Table 1).
+
+    Implementation notes: max [node_size] keys per node, minimum
+    [(node_size - 1) / 2] for non-root nodes.  Insertion splits full nodes
+    preemptively on the way down; deletion rebalances preemptively (borrow
+    from or merge with a sibling before descending), so a single downward
+    pass suffices for either operation. *)
+
+open Mmdb_util
+
+type 'a node = {
+  mutable keys : 'a array; (* capacity = max_keys; valid prefix nkeys *)
+  mutable nkeys : int;
+  mutable children : 'a node array; (* capacity = max_keys + 1 when internal *)
+  mutable leaf : bool;
+}
+
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  duplicates : bool;
+  max_keys : int;
+  min_keys : int;
+  mutable root : 'a node option;
+  mutable count : int;
+  mutable leaf_nodes : int;
+  mutable internal_nodes : int;
+}
+
+let name = "B Tree"
+let kind = Index_intf.Ordered
+let default_node_size = 10
+
+let create ?(node_size = default_node_size) ?(duplicates = false) ?expected:_
+    ~cmp ~hash:_ () =
+  if node_size < 2 then invalid_arg "Btree.create: node_size must be >= 2";
+  (* Preemptive splitting needs both split halves to satisfy the minimum
+     occupancy, which requires at least 3 key slots; clamp quietly so the
+     node-size sweeps of the benchmarks still run at their smallest point. *)
+  let node_size = max 3 node_size in
+  {
+    cmp;
+    duplicates;
+    max_keys = node_size;
+    min_keys = (node_size - 1) / 2;
+    root = None;
+    count = 0;
+    leaf_nodes = 0;
+    internal_nodes = 0;
+  }
+
+let size t = t.count
+
+let no_children : 'a. 'a node array = [||]
+
+let mk_leaf t ~witness =
+  Counters.bump_node_allocs ();
+  t.leaf_nodes <- t.leaf_nodes + 1;
+  { keys = Array.make t.max_keys witness; nkeys = 0; children = no_children; leaf = true }
+
+let to_internal t n =
+  if n.leaf then begin
+    n.leaf <- false;
+    t.leaf_nodes <- t.leaf_nodes - 1;
+    t.internal_nodes <- t.internal_nodes + 1;
+    n.children <- Array.make (t.max_keys + 1) n (* self is a safe dummy *)
+  end
+
+(* Split the full child [c] of [parent] at child slot [ci].  The median key
+   of [c] moves up into [parent]; the upper half of [c] moves into a fresh
+   right sibling. *)
+let split_child t parent ci =
+  let c = parent.children.(ci) in
+  let mi = c.nkeys / 2 in
+  let right = mk_leaf t ~witness:c.keys.(0) in
+  if not c.leaf then to_internal t right;
+  let moved = c.nkeys - mi - 1 in
+  Array.blit c.keys (mi + 1) right.keys 0 moved;
+  right.nkeys <- moved;
+  if not c.leaf then Array.blit c.children (mi + 1) right.children 0 (moved + 1);
+  Counters.bump_data_moves ~n:moved ();
+  let median = c.keys.(mi) in
+  c.nkeys <- mi;
+  (* Shift the parent's keys and children right to open slot [ci]. *)
+  let tail = parent.nkeys - ci in
+  Array.blit parent.keys ci parent.keys (ci + 1) tail;
+  Array.blit parent.children (ci + 1) parent.children (ci + 2) tail;
+  Counters.bump_data_moves ~n:(tail + 1) ();
+  parent.keys.(ci) <- median;
+  parent.children.(ci + 1) <- right;
+  parent.nkeys <- parent.nkeys + 1
+
+let insert t x =
+  let root =
+    match t.root with
+    | None ->
+        let r = mk_leaf t ~witness:x in
+        t.root <- Some r;
+        r
+    | Some r -> r
+  in
+  (* Grow the tree upward if the root is full. *)
+  let root =
+    if root.nkeys = t.max_keys then begin
+      let new_root = mk_leaf t ~witness:root.keys.(0) in
+      to_internal t new_root;
+      new_root.children.(0) <- root;
+      split_child t new_root 0;
+      t.root <- Some new_root;
+      new_root
+    end
+    else root
+  in
+  let exception Duplicate in
+  let rec ins n =
+    match Index_intf.binary_search ~cmp:t.cmp n.keys ~count:n.nkeys x with
+    | Found _ when not t.duplicates -> raise Duplicate
+    | (Found _ | Insert_at _) as probe ->
+        let i =
+          match probe with Found i -> i | Insert_at i -> i
+        in
+        if n.leaf then begin
+          let tail = n.nkeys - i in
+          Array.blit n.keys i n.keys (i + 1) tail;
+          Counters.bump_data_moves ~n:(tail + 1) ();
+          n.keys.(i) <- x;
+          n.nkeys <- n.nkeys + 1
+        end
+        else begin
+          let i =
+            if n.children.(i).nkeys = t.max_keys then begin
+              split_child t n i;
+              (* The median that moved up may equal x or change sides. *)
+              let c = Counters.counting_cmp t.cmp x n.keys.(i) in
+              if c = 0 && not t.duplicates then raise Duplicate
+              else if c > 0 then i + 1
+              else i
+            end
+            else i
+          in
+          ins n.children.(i)
+        end
+  in
+  match ins root with
+  | () ->
+      t.count <- t.count + 1;
+      true
+  | exception Duplicate -> false
+
+let search t x =
+  let rec go n =
+    match Index_intf.binary_search ~cmp:t.cmp n.keys ~count:n.nkeys x with
+    | Found i -> Some n.keys.(i)
+    | Insert_at i -> if n.leaf then None else go n.children.(i)
+  in
+  match t.root with None -> None | Some r -> go r
+
+(* --- deletion ------------------------------------------------------- *)
+
+let drop_node t n =
+  if n.leaf then t.leaf_nodes <- t.leaf_nodes - 1
+  else t.internal_nodes <- t.internal_nodes - 1
+
+(* Merge child [ci+1] of [n] into child [ci], pulling down separator key
+   [n.keys.(ci)]. *)
+let merge_children t n ci =
+  let left = n.children.(ci) and right = n.children.(ci + 1) in
+  left.keys.(left.nkeys) <- n.keys.(ci);
+  Array.blit right.keys 0 left.keys (left.nkeys + 1) right.nkeys;
+  if not left.leaf then
+    Array.blit right.children 0 left.children (left.nkeys + 1) (right.nkeys + 1);
+  Counters.bump_data_moves ~n:(right.nkeys + 1) ();
+  left.nkeys <- left.nkeys + 1 + right.nkeys;
+  let tail = n.nkeys - ci - 1 in
+  Array.blit n.keys (ci + 1) n.keys ci tail;
+  Array.blit n.children (ci + 2) n.children (ci + 1) tail;
+  Counters.bump_data_moves ~n:tail ();
+  n.nkeys <- n.nkeys - 1;
+  drop_node t right
+
+(* Ensure child [ci] of [n] has more than the minimum number of keys, by
+   borrowing from a sibling or merging.  Returns the index of the child to
+   descend into (it may shift after a merge). *)
+let reinforce_child t n ci =
+  let c = n.children.(ci) in
+  (* A transiently key-less (single-child) node has no siblings to borrow
+     from or merge with; only the root can be in this state mid-delete. *)
+  if c.nkeys > t.min_keys || n.nkeys = 0 then ci
+  else begin
+    let borrowed =
+      if ci > 0 && n.children.(ci - 1).nkeys > t.min_keys then begin
+        (* Rotate a key through the parent from the left sibling. *)
+        let l = n.children.(ci - 1) in
+        Array.blit c.keys 0 c.keys 1 c.nkeys;
+        if not c.leaf then Array.blit c.children 0 c.children 1 (c.nkeys + 1);
+        c.keys.(0) <- n.keys.(ci - 1);
+        if not c.leaf then c.children.(0) <- l.children.(l.nkeys);
+        n.keys.(ci - 1) <- l.keys.(l.nkeys - 1);
+        l.nkeys <- l.nkeys - 1;
+        c.nkeys <- c.nkeys + 1;
+        Counters.bump_data_moves ~n:(c.nkeys + 2) ();
+        true
+      end
+      else if ci < n.nkeys && n.children.(ci + 1).nkeys > t.min_keys then begin
+        let r = n.children.(ci + 1) in
+        c.keys.(c.nkeys) <- n.keys.(ci);
+        if not c.leaf then c.children.(c.nkeys + 1) <- r.children.(0);
+        n.keys.(ci) <- r.keys.(0);
+        Array.blit r.keys 1 r.keys 0 (r.nkeys - 1);
+        if not r.leaf then Array.blit r.children 1 r.children 0 r.nkeys;
+        r.nkeys <- r.nkeys - 1;
+        c.nkeys <- c.nkeys + 1;
+        Counters.bump_data_moves ~n:(r.nkeys + 2) ();
+        true
+      end
+      else false
+    in
+    if borrowed then ci
+    else if ci < n.nkeys then begin
+      merge_children t n ci;
+      ci
+    end
+    else begin
+      merge_children t n (ci - 1);
+      ci - 1
+    end
+  end
+
+let delete t x =
+  let exception Absent in
+  (* Remove and return the maximum key of the subtree rooted at [n],
+     maintaining minimum occupancy on the way down. *)
+  let rec take_max n =
+    if n.leaf then begin
+      n.nkeys <- n.nkeys - 1;
+      n.keys.(n.nkeys)
+    end
+    else begin
+      let ci = reinforce_child t n n.nkeys in
+      take_max n.children.(ci)
+    end
+  and take_min n =
+    if n.leaf then begin
+      let v = n.keys.(0) in
+      Array.blit n.keys 1 n.keys 0 (n.nkeys - 1);
+      Counters.bump_data_moves ~n:(n.nkeys - 1) ();
+      n.nkeys <- n.nkeys - 1;
+      v
+    end
+    else begin
+      let ci = reinforce_child t n 0 in
+      take_min n.children.(ci)
+    end
+  and del n =
+    match Index_intf.binary_search ~cmp:t.cmp n.keys ~count:n.nkeys x with
+    | Found i ->
+        if n.leaf then begin
+          let tail = n.nkeys - i - 1 in
+          Array.blit n.keys (i + 1) n.keys i tail;
+          Counters.bump_data_moves ~n:tail ();
+          n.nkeys <- n.nkeys - 1
+        end
+        else if n.children.(i).nkeys > t.min_keys then begin
+          (* Replace with predecessor from the left subtree. *)
+          n.keys.(i) <- take_max n.children.(i);
+          Counters.bump_data_moves ()
+        end
+        else if n.children.(i + 1).nkeys > t.min_keys then begin
+          n.keys.(i) <- take_min n.children.(i + 1);
+          Counters.bump_data_moves ()
+        end
+        else begin
+          merge_children t n i;
+          del n.children.(i)
+        end
+    | Insert_at i ->
+        if n.leaf then raise Absent
+        else begin
+          let ci = reinforce_child t n i in
+          (* After a merge the sought key may have been pulled down into the
+             merged child, so re-dispatch rather than assuming position. *)
+          del n.children.(ci)
+        end
+  in
+  match t.root with
+  | None -> false
+  | Some root ->
+      let outcome =
+        match del root with () -> true | exception Absent -> false
+      in
+      if outcome then t.count <- t.count - 1;
+      (* Shrink the tree if the root emptied out — this can happen even on
+         an unsuccessful delete, when rebalancing on the way down merged the
+         root's last separator into a child before the key turned out to be
+         absent. *)
+      (if root.nkeys = 0 then
+         if root.leaf then begin
+           if t.count = 0 then begin
+             drop_node t root;
+             t.root <- None
+           end
+         end
+         else begin
+           drop_node t root;
+           t.root <- Some root.children.(0)
+         end);
+      outcome
+
+(* --- iteration ------------------------------------------------------ *)
+
+let iter t f =
+  let rec walk n =
+    if n.leaf then
+      for i = 0 to n.nkeys - 1 do
+        f n.keys.(i)
+      done
+    else begin
+      for i = 0 to n.nkeys - 1 do
+        walk n.children.(i);
+        f n.keys.(i)
+      done;
+      walk n.children.(n.nkeys)
+    end
+  in
+  match t.root with None -> () | Some r -> walk r
+
+let to_seq t =
+  (* Frame stack: a node plus the next position to emit within it. *)
+  let rec descend n stack = if n.leaf then (n, 0) :: stack else descend n.children.(0) ((n, 0) :: stack)
+  in
+  let rec next stack () =
+    match stack with
+    | [] -> Seq.Nil
+    | (n, i) :: rest ->
+        if i >= n.nkeys then next rest ()
+        else if n.leaf then Seq.Cons (n.keys.(i), next ((n, i + 1) :: rest))
+        else
+          Seq.Cons (n.keys.(i), fun () -> (next (descend n.children.(i + 1) ((n, i + 1) :: rest))) ())
+  in
+  match t.root with None -> Seq.empty | Some r -> next (descend r [])
+
+let range t ~lo ~hi f =
+  let rec walk n =
+    let start = Index_intf.lower_bound ~cmp:t.cmp n.keys ~count:n.nkeys lo in
+    let stop = Index_intf.upper_bound ~cmp:t.cmp n.keys ~count:n.nkeys hi in
+    if n.leaf then
+      for i = start to stop - 1 do
+        f n.keys.(i)
+      done
+    else begin
+      for i = start to stop - 1 do
+        walk n.children.(i);
+        f n.keys.(i)
+      done;
+      walk n.children.(stop)
+    end
+  in
+  match t.root with None -> () | Some r -> walk r
+
+let iter_from t lo f =
+  let rec walk n =
+    let start = Index_intf.lower_bound ~cmp:t.cmp n.keys ~count:n.nkeys lo in
+    if n.leaf then
+      for i = start to n.nkeys - 1 do
+        f n.keys.(i)
+      done
+    else begin
+      (* The child before the first qualifying key can still hold keys
+         >= lo when start > 0?  No: keys.(start - 1) < lo bounds that whole
+         subtree below lo, so pruning at [start] is exact. *)
+      for i = start to n.nkeys - 1 do
+        walk n.children.(i);
+        f n.keys.(i)
+      done;
+      walk n.children.(n.nkeys)
+    end
+  in
+  match t.root with None -> () | Some r -> walk r
+
+let iter_matches t x f = range t ~lo:x ~hi:x f
+
+(* Paper accounting: allocated capacity at 4 bytes per key slot and child
+   pointer.  Utilisation around ln 2 yields the paper's ~1.5 storage factor
+   for medium node sizes. *)
+let storage_bytes t =
+  (t.leaf_nodes * 4 * t.max_keys)
+  + (t.internal_nodes * ((4 * t.max_keys) + (4 * (t.max_keys + 1))))
+
+let validate t =
+  let exception Bad of string in
+  let rec depth_check n =
+    if n.nkeys > t.max_keys then raise (Bad "node overflow");
+    for i = 1 to n.nkeys - 1 do
+      if t.cmp n.keys.(i - 1) n.keys.(i) > 0 then raise (Bad "keys unsorted")
+    done;
+    if n.leaf then 1
+    else begin
+      let d = depth_check n.children.(0) in
+      for i = 1 to n.nkeys do
+        if depth_check n.children.(i) <> d then raise (Bad "uneven leaf depth")
+      done;
+      d + 1
+    end
+  in
+  let rec min_check ~is_root n =
+    if (not is_root) && n.nkeys < t.min_keys then raise (Bad "node underflow");
+    if is_root && n.nkeys < 1 then raise (Bad "empty root");
+    if not n.leaf then
+      for i = 0 to n.nkeys do
+        min_check ~is_root:false n.children.(i)
+      done
+  in
+  let order_count () =
+    let prev = ref None and c = ref 0 in
+    iter t (fun v ->
+        (match !prev with
+        | Some p when t.cmp p v > 0 -> raise (Bad "in-order walk not sorted")
+        | Some p when (not t.duplicates) && t.cmp p v = 0 ->
+            raise (Bad "duplicate in unique index")
+        | _ -> ());
+        prev := Some v;
+        incr c);
+    !c
+  in
+  match t.root with
+  | None -> if t.count = 0 then Ok () else Error "count nonzero on empty tree"
+  | Some r -> (
+      match
+        let _ = depth_check r in
+        min_check ~is_root:true r;
+        order_count ()
+      with
+      | n -> if n = t.count then Ok () else Error "count mismatch"
+      | exception Bad msg -> Error msg)

@@ -1,0 +1,9 @@
+(** The original B Tree of [Com79] — data items in internal nodes.
+
+    Used instead of the B+ Tree deliberately: in main memory the B+ Tree
+    "uses more storage ... and does not perform any better" (footnote 3).
+    Search does one binary search per node on the path; updates usually
+    move data within a single node.  [node_size] is the maximum keys per
+    node (clamped to at least 3, the minimum for preemptive splitting). *)
+
+include Index_intf.S

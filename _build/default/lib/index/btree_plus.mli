@@ -1,0 +1,11 @@
+(** The B+ Tree — implemented to reproduce footnote 3 of the paper: "the
+    B+ Tree uses more storage than the B Tree and does not perform any
+    better in main memory".
+
+    Data lives in chain-linked leaves; internal nodes hold {e copies} of
+    separator keys (the extra storage of the footnote).  Deletion is lazy
+    (no merging), as in many production B+ trees.  Kept in
+    {!Registry.extras}, outside the paper's eight structures; measured by
+    ablation A5. *)
+
+include Index_intf.S

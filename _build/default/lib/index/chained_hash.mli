@@ -1,0 +1,9 @@
+(** Chained Bucket Hashing [Knu73]: a fixed-size table of chains.
+
+    Excellent search and update performance but static: the table is sized
+    once from the [expected] creation hint (at half the expected
+    cardinality, as in the paper's Hash Join and projection experiments)
+    and never resized.  Its role in the MM-DBMS is the throwaway index
+    built inside Hash Join and hash-based duplicate elimination. *)
+
+include Index_intf.S

@@ -1,0 +1,11 @@
+(** Extendible Hashing [FNP79]: a doubling directory over splittable
+    buckets.
+
+    Constant-time search (hash, directory probe, one bucket scan); adapts
+    by splitting buckets and doubling the directory when a bucket's local
+    depth reaches the global depth.  Weakness per Table 1: storage — small
+    bucket sizes make a few crowded buckets double the directory
+    repeatedly.  Degenerate all-same-key buckets grow in place rather than
+    doubling the directory forever. *)
+
+include Index_intf.S

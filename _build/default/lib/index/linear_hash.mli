@@ -1,0 +1,11 @@
+(** Linear Hashing [Lit80]: split-pointer growth, no directory.
+
+    Faithful to the paper's configuration, growth and shrinkage chase a
+    single storage-utilisation target — which is exactly why the paper
+    found it "just too slow to use in main memory": under a mixed workload
+    with stable cardinality nearly every update crosses the target and
+    triggers a bucket split or contraction ("a significant amount of data
+    reorganization even though the number of elements was relatively
+    constant", §3.2.2). *)
+
+include Index_intf.S

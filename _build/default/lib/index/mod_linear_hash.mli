@@ -1,0 +1,10 @@
+(** Modified Linear Hashing [LeC85] — Linear Hashing adapted for main
+    memory, the MM-DBMS's general-purpose index for unordered data.
+
+    Differences from classic Linear Hashing (§3.2): the directory holds
+    very small nodes (single-item chain cells here), and growth is
+    controlled by the {e average chain length} rather than storage
+    utilisation, eliminating the reorganisation churn.  [node_size] is the
+    target average chain length — the "Node Size" axis of Graphs 1-2. *)
+
+include Index_intf.S

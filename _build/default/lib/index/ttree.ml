@@ -1,0 +1,522 @@
+(** The T Tree [LeC85] — the paper's new index structure.
+
+    A binary tree with many elements per node: it keeps the intrinsic binary
+    search of the AVL Tree (one comparison against the node's bounds, then a
+    pointer follow) while getting the B Tree's storage and update behaviour
+    from multi-element nodes.  Balancing uses AVL-style rotations, but the
+    min/max occupancy slack on internal nodes absorbs most inserts and
+    deletes as intra-node data moves, so rotations are rare (§3.2.1).
+
+    Terminology follows the paper: an {e internal} node has two subtrees, a
+    {e half-leaf} one, a {e leaf} none.  A node {e bounds} x when
+    min(node) <= x <= max(node).  Internal nodes keep their occupancy
+    between [min_count] and [max_count]; leaves and half-leaves may hold
+    anywhere from zero to [max_count] elements.
+
+    - Insert: find the bounding node and insert there; on overflow the
+      node's {e minimum} element is pushed down to become the new greatest
+      lower bound (moving the minimum needs less data movement than the
+      maximum — footnote 5).  If no node bounds the value it goes into the
+      node where the search ended, growing a new leaf when that node is
+      full.
+    - Delete: remove from the bounding node; an underflowing internal node
+      borrows its greatest lower bound back from a leaf; an empty leaf is
+      unlinked and the tree rebalanced; a half-leaf absorbs its child when
+      the two fit in one node.
+    - Rotations: as in the AVL Tree, plus the special case where a double
+      rotation would promote a nearly-empty fresh leaf to internal —
+      elements are slid from the donating neighbour to restore minimum
+      occupancy. *)
+
+open Mmdb_util
+
+type 'a node = {
+  mutable elems : 'a array; (* capacity max_count; sorted prefix [count] *)
+  mutable count : int;
+  mutable left : 'a node option;
+  mutable right : 'a node option;
+  mutable height : int;
+}
+
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  duplicates : bool;
+  max_count : int;
+  min_count : int;
+  mutable root : 'a node option;
+  mutable size : int;
+  mutable nodes : int;
+  mutable rotations : int;
+  mutable glb_borrows : int;
+}
+
+let name = "T Tree"
+let kind = Index_intf.Ordered
+let default_node_size = 20
+
+let create ?(node_size = default_node_size) ?(duplicates = false) ?expected:_
+    ~cmp ~hash:_ () =
+  if node_size < 2 then invalid_arg "Ttree.create: node_size must be >= 2";
+  {
+    cmp;
+    duplicates;
+    max_count = node_size;
+    (* One-or-two items of slack, per §3.2.1. *)
+    min_count = max 1 (node_size - 2);
+    root = None;
+    size = 0;
+    nodes = 0;
+    rotations = 0;
+    glb_borrows = 0;
+  }
+
+let size t = t.size
+let rotations t = t.rotations
+let glb_borrows t = t.glb_borrows
+let node_count t = t.nodes
+let min_count t = t.min_count
+
+(* Number of internal nodes currently below minimum occupancy.  The
+   occupancy bound is a strong tendency rather than a hard invariant (a
+   rotation's donor leaf can run dry), so this is exposed for tests and the
+   occupancy ablation rather than enforced in [validate]. *)
+let underfull_internal_nodes t =
+  let bad = ref 0 in
+  let rec walk = function
+    | None -> ()
+    | Some n ->
+        (if n.left <> None && n.right <> None && n.count < t.min_count then
+           incr bad);
+        walk n.left;
+        walk n.right
+  in
+  walk t.root;
+  !bad
+
+let min_elem n = n.elems.(0)
+let max_elem n = n.elems.(n.count - 1)
+
+let height = function None -> 0 | Some n -> n.height
+let update_height n = n.height <- 1 + max (height n.left) (height n.right)
+let balance_factor n = height n.left - height n.right
+let is_internal n = n.left <> None && n.right <> None
+
+let mk_node t x =
+  Counters.bump_node_allocs ();
+  Counters.bump_data_moves ();
+  t.nodes <- t.nodes + 1;
+  { elems = Array.make t.max_count x; count = 1; left = None; right = None; height = 1 }
+
+(* Insert [x] at slot [i] of [n]'s element array (room must exist). *)
+let node_insert_at n i x =
+  let tail = n.count - i in
+  Array.blit n.elems i n.elems (i + 1) tail;
+  Counters.bump_data_moves ~n:(tail + 1) ();
+  n.elems.(i) <- x;
+  n.count <- n.count + 1
+
+let node_remove_at n i =
+  let tail = n.count - i - 1 in
+  Array.blit n.elems (i + 1) n.elems i tail;
+  Counters.bump_data_moves ~n:tail ();
+  n.count <- n.count - 1
+
+(* Move elements across the in-order boundary between a node and the extreme
+   node of one of its subtrees, to top an underfull promoted internal node
+   back up to [min_count].  Only ever takes the true greatest lower bound /
+   least upper bound, so in-order order is preserved. *)
+let rec rightmost n = match n.right with None -> n | Some r -> rightmost r
+let rec leftmost n = match n.left with None -> n | Some l -> leftmost l
+
+let replenish t n =
+  if is_internal n then begin
+    (match n.left with
+    | Some l ->
+        let src = rightmost l in
+        while n.count < t.min_count && src.count > 1 do
+          node_insert_at n 0 (max_elem src);
+          src.count <- src.count - 1;
+          t.glb_borrows <- t.glb_borrows + 1
+        done
+    | None -> ());
+    match n.right with
+    | Some r when n.count < t.min_count ->
+        let src = leftmost r in
+        while n.count < t.min_count && src.count > 1 do
+          node_insert_at n n.count (min_elem src);
+          node_remove_at src 0;
+          t.glb_borrows <- t.glb_borrows + 1
+        done
+    | _ -> ()
+  end
+
+let rotate_right t n =
+  match n.left with
+  | None -> assert false
+  | Some l ->
+      t.rotations <- t.rotations + 1;
+      n.left <- l.right;
+      l.right <- Some n;
+      update_height n;
+      update_height l;
+      replenish t l;
+      l
+
+let rotate_left t n =
+  match n.right with
+  | None -> assert false
+  | Some r ->
+      t.rotations <- t.rotations + 1;
+      n.right <- r.left;
+      r.left <- Some n;
+      update_height n;
+      update_height r;
+      replenish t r;
+      r
+
+let rebalance t n =
+  update_height n;
+  let bf = balance_factor n in
+  if bf > 1 then begin
+    (match n.left with
+    | Some l when balance_factor l < 0 -> n.left <- Some (rotate_left t l)
+    | _ -> ());
+    rotate_right t n
+  end
+  else if bf < -1 then begin
+    (match n.right with
+    | Some r when balance_factor r > 0 -> n.right <- Some (rotate_right t r)
+    | _ -> ());
+    rotate_left t n
+  end
+  else n
+
+(* --- insertion ------------------------------------------------------ *)
+
+exception Duplicate
+
+(* Push [x] down to become the new greatest lower bound of the node whose
+   left subtree is [sub]: append it to the rightmost node, growing a new
+   leaf if that node is full. *)
+let rec insert_as_glb t sub x =
+  match sub with
+  | None -> Some (mk_node t x)
+  | Some n ->
+      if n.right = None && n.count < t.max_count then begin
+        node_insert_at n n.count x;
+        Some n
+      end
+      else begin
+        n.right <- insert_as_glb t n.right x;
+        Some (rebalance t n)
+      end
+
+let insert t x =
+  let rec ins n =
+    let c_min = Counters.counting_cmp t.cmp x (min_elem n) in
+    if c_min < 0 then
+      match n.left with
+      | Some l ->
+          n.left <- Some (ins l);
+          rebalance t n
+      | None ->
+          (* Search ended here: this node receives the value (as new
+             minimum), or sprouts a new left leaf when full. *)
+          if n.count < t.max_count then begin
+            node_insert_at n 0 x;
+            n
+          end
+          else begin
+            n.left <- Some (mk_node t x);
+            rebalance t n
+          end
+    else
+      let c_max = Counters.counting_cmp t.cmp x (max_elem n) in
+      if c_max > 0 then
+        match n.right with
+        | Some r ->
+            n.right <- Some (ins r);
+            rebalance t n
+        | None ->
+            if n.count < t.max_count then begin
+              node_insert_at n n.count x;
+              n
+            end
+            else begin
+              n.right <- Some (mk_node t x);
+              rebalance t n
+            end
+      else begin
+        (* This node bounds x. *)
+        (match
+           Index_intf.binary_search ~cmp:t.cmp n.elems ~count:n.count x
+         with
+        | Found _ when not t.duplicates -> raise Duplicate
+        | Found i | Insert_at i ->
+            if n.count < t.max_count then node_insert_at n i x
+            else begin
+              (* Overflow: transfer the minimum element down as the new
+                 greatest lower bound, then make room for x. *)
+              let m = min_elem n in
+              node_remove_at n 0;
+              node_insert_at n (if i > 0 then i - 1 else 0) x;
+              n.left <- insert_as_glb t n.left m
+            end);
+        rebalance t n
+      end
+  in
+  match t.root with
+  | None ->
+      t.root <- Some (mk_node t x);
+      t.size <- 1;
+      true
+  | Some root -> (
+      match ins root with
+      | root ->
+          t.root <- Some root;
+          t.size <- t.size + 1;
+          true
+      | exception Duplicate -> false)
+
+(* --- search --------------------------------------------------------- *)
+
+let search t x =
+  let rec go = function
+    | None -> None
+    | Some n ->
+        if Counters.counting_cmp t.cmp x (min_elem n) < 0 then go n.left
+        else if Counters.counting_cmp t.cmp x (max_elem n) > 0 then go n.right
+        else
+          (* Bounding node found: switch to binary search within it. *)
+          match
+            Index_intf.binary_search ~cmp:t.cmp n.elems ~count:n.count x
+          with
+          | Found i -> Some n.elems.(i)
+          | Insert_at _ -> None
+  in
+  go t.root
+
+(* --- deletion ------------------------------------------------------- *)
+
+exception Absent
+
+(* Remove and return the greatest lower bound (max element of the rightmost
+   node) of subtree [sub]; unlink the node if it empties. *)
+let rec take_glb t sub =
+  match sub with
+  | None -> assert false
+  | Some n -> (
+      match n.right with
+      | Some _ ->
+          let v, sub' = take_glb t n.right in
+          n.right <- sub';
+          (v, Some (rebalance t n))
+      | None ->
+          let v = max_elem n in
+          n.count <- n.count - 1;
+          t.glb_borrows <- t.glb_borrows + 1;
+          if n.count = 0 then begin
+            t.nodes <- t.nodes - 1;
+            (v, n.left)
+          end
+          else (v, Some n))
+
+let delete t x =
+  let rec del n =
+    if Counters.counting_cmp t.cmp x (min_elem n) < 0 then begin
+      match n.left with
+      | None -> raise Absent
+      | Some l ->
+          n.left <- del_opt l;
+          Some (rebalance t n)
+    end
+    else if Counters.counting_cmp t.cmp x (max_elem n) > 0 then begin
+      match n.right with
+      | None -> raise Absent
+      | Some r ->
+          n.right <- del_opt r;
+          Some (rebalance t n)
+    end
+    else
+      match Index_intf.binary_search ~cmp:t.cmp n.elems ~count:n.count x with
+      | Insert_at _ -> raise Absent
+      | Found i ->
+          node_remove_at n i;
+          if is_internal n then begin
+            if n.count < t.min_count then begin
+              (* Borrow the greatest lower bound back from a leaf. *)
+              let v, left' = take_glb t n.left in
+              node_insert_at n 0 v;
+              n.left <- left'
+            end;
+            Some (rebalance t n)
+          end
+          else if n.left = None && n.right = None then begin
+            (* Leaf: allowed to underflow; unlink only when empty. *)
+            if n.count = 0 then begin
+              t.nodes <- t.nodes - 1;
+              None
+            end
+            else Some n
+          end
+          else begin
+            (* Half-leaf: absorb the child when the two fit in one node. *)
+            let child =
+              match (n.left, n.right) with
+              | Some c, None | None, Some c -> c
+              | _ -> assert false
+            in
+            if n.count + child.count <= t.max_count && child.left = None
+               && child.right = None
+            then begin
+              (if n.left <> None then begin
+                 (* Child precedes n in order: prepend its elements. *)
+                 Array.blit n.elems 0 n.elems child.count n.count;
+                 Array.blit child.elems 0 n.elems 0 child.count
+               end
+               else Array.blit child.elems 0 n.elems n.count child.count);
+              Counters.bump_data_moves ~n:(n.count + child.count) ();
+              n.count <- n.count + child.count;
+              n.left <- None;
+              n.right <- None;
+              t.nodes <- t.nodes - 1;
+              Some (rebalance t n)
+            end
+            else Some (rebalance t n)
+          end
+  and del_opt n = del n
+  in
+  match t.root with
+  | None -> false
+  | Some root -> (
+      match del root with
+      | root' ->
+          t.root <- root';
+          t.size <- t.size - 1;
+          true
+      | exception Absent -> false)
+
+(* --- iteration ------------------------------------------------------ *)
+
+let iter t f =
+  let rec walk = function
+    | None -> ()
+    | Some n ->
+        walk n.left;
+        for i = 0 to n.count - 1 do
+          f n.elems.(i)
+        done;
+        walk n.right
+  in
+  walk t.root
+
+let to_seq t =
+  let rec push n stack =
+    match n with None -> stack | Some node -> push node.left (node :: stack)
+  in
+  let rec emit n i stack () =
+    if i < n.count then Seq.Cons (n.elems.(i), emit n (i + 1) stack)
+    else next (push n.right stack) ()
+  and next stack () =
+    match stack with [] -> Seq.Nil | n :: rest -> emit n 0 rest ()
+  in
+  next (push t.root [])
+
+let range t ~lo ~hi f =
+  let rec walk = function
+    | None -> ()
+    | Some n ->
+        let c_lo = Counters.counting_cmp t.cmp lo (min_elem n) in
+        let c_hi = Counters.counting_cmp t.cmp hi (max_elem n) in
+        (* Descend even on equality: a run of duplicates equal to the node's
+           minimum may extend into predecessor nodes. *)
+        if c_lo <= 0 then walk n.left;
+        if c_lo <= 0 && c_hi >= 0 then
+          (* Whole node is inside [lo, hi]. *)
+          for i = 0 to n.count - 1 do
+            f n.elems.(i)
+          done
+        else begin
+          let start =
+            if c_lo <= 0 then 0
+            else Index_intf.lower_bound ~cmp:t.cmp n.elems ~count:n.count lo
+          in
+          let stop =
+            if c_hi >= 0 then n.count
+            else Index_intf.upper_bound ~cmp:t.cmp n.elems ~count:n.count hi
+          in
+          for i = start to stop - 1 do
+            f n.elems.(i)
+          done
+        end;
+        if c_hi >= 0 then walk n.right
+  in
+  walk t.root
+
+let iter_from t lo f =
+  let rec walk = function
+    | None -> ()
+    | Some n ->
+        let c_lo = Counters.counting_cmp t.cmp lo (min_elem n) in
+        if c_lo <= 0 then walk n.left;
+        let start =
+          if c_lo <= 0 then 0
+          else Index_intf.lower_bound ~cmp:t.cmp n.elems ~count:n.count lo
+        in
+        for i = start to n.count - 1 do
+          f n.elems.(i)
+        done;
+        walk n.right
+  in
+  walk t.root
+
+(* §3.3.4 Test 6 describes the duplicate scan: the search stops at any tuple
+   with the value, then "the tree is then scanned in both directions from
+   that position (since the list of tuples for a given value is logically
+   contiguous in the tree)".  A pruned in-order walk realizes the same
+   visits. *)
+let iter_matches t x f = range t ~lo:x ~hi:x f
+
+(* Paper accounting (Figure 4): per node, max_count 4-byte tuple-pointer
+   slots, two child pointers, a parent pointer, and a control word. *)
+let storage_bytes t = t.nodes * ((4 * t.max_count) + 16)
+
+let validate t =
+  let exception Bad of string in
+  let rec check ~is_root n =
+    (* Height / balance. *)
+    let hl = match n.left with None -> 0 | Some l -> check ~is_root:false l in
+    let hr = match n.right with None -> 0 | Some r -> check ~is_root:false r in
+    if n.height <> 1 + max hl hr then raise (Bad "stale height");
+    if abs (hl - hr) > 1 then raise (Bad "unbalanced");
+    (* Occupancy. *)
+    if n.count < 0 || n.count > t.max_count then raise (Bad "occupancy range");
+    if n.count = 0 && not (is_root && t.size = 0) then raise (Bad "empty node");
+    (* Node-local order. *)
+    for i = 1 to n.count - 1 do
+      if t.cmp n.elems.(i - 1) n.elems.(i) > 0 then
+        raise (Bad "node elements unsorted")
+    done;
+    n.height
+  in
+  let order_count () =
+    let prev = ref None and c = ref 0 in
+    iter t (fun v ->
+        (match !prev with
+        | Some p when t.cmp p v > 0 -> raise (Bad "in-order walk not sorted")
+        | Some p when (not t.duplicates) && t.cmp p v = 0 ->
+            raise (Bad "duplicate in unique index")
+        | _ -> ());
+        prev := Some v;
+        incr c);
+    !c
+  in
+  match t.root with
+  | None -> if t.size = 0 then Ok () else Error "size nonzero on empty tree"
+  | Some r -> (
+      match
+        let _ = check ~is_root:true r in
+        order_count ()
+      with
+      | n -> if n = t.size then Ok () else Error "size mismatch"
+      | exception Bad msg -> Error msg)

@@ -1,0 +1,40 @@
+(** The T Tree [LeC85] — the paper's new index structure, and the
+    MM-DBMS's general-purpose index for ordered data.
+
+    A binary tree whose nodes hold many elements: it keeps the AVL Tree's
+    intrinsic binary search (compare against a node's bounds, follow one
+    pointer) while gaining the B Tree's storage and update behaviour.
+    Occupancy slack on internal nodes (min/max counts differing by two)
+    absorbs most inserts and deletes as intra-node data movement, making
+    rotations rare (§3.2.1).  On overflow the node's minimum element is
+    pushed down as the new greatest lower bound; on internal underflow the
+    greatest lower bound is borrowed back from a leaf.
+
+    [node_size] is the maximum elements per node (minimum 2); the minimum
+    count for internal nodes is [max 1 (node_size - 2)]. *)
+
+include Index_intf.S
+
+(** {1 Instrumentation}
+
+    Exposed for the occupancy-slack ablation (DESIGN.md A1) and the
+    structural tests; not part of the generic index interface. *)
+
+val rotations : 'a t -> int
+(** Rotations performed since creation (single and double both count 1). *)
+
+val glb_borrows : 'a t -> int
+(** Elements moved across a node/greatest-lower-bound boundary: insert
+    overflow push-downs, delete underflow borrows, and rotation
+    replenishment transfers. *)
+
+val node_count : 'a t -> int
+(** Current number of T-nodes. *)
+
+val min_count : 'a t -> int
+(** The minimum-occupancy bound applied to internal nodes. *)
+
+val underfull_internal_nodes : 'a t -> int
+(** Internal nodes currently below [min_count].  The bound is a strong
+    tendency rather than a hard invariant (a rotation's donor leaf can run
+    dry), so this is reported rather than enforced by [validate]. *)

@@ -1,0 +1,1 @@
+lib/lang/interp.ml: Aggregate Array Ast Db Executor Fmt Join List Mmdb_core Mmdb_storage Mmdb_txn Optimizer Option Parser Printf Query Relation Result Schema Select String Temp_list Tuple Value

@@ -1,0 +1,1 @@
+lib/lang/interp.mli: Ast Format Mmdb_core Mmdb_storage

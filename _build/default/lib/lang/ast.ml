@@ -1,0 +1,82 @@
+(** Abstract syntax for the small relational query language understood by
+    the MM-DBMS shell (see {!Parser} for the grammar). *)
+
+type literal =
+  | L_int of int
+  | L_float of float
+  | L_string of string
+  | L_bool of bool
+  | L_null
+
+type col_type =
+  | CT_int
+  | CT_float
+  | CT_string
+  | CT_bool
+  | CT_ref of string  (** [ref <Relation>]: a foreign-key pointer column *)
+
+type column_def = {
+  cd_name : string;
+  cd_type : col_type;
+  cd_primary : bool;
+}
+
+type index_structure =
+  | IS_ttree
+  | IS_avl
+  | IS_btree
+  | IS_array
+  | IS_chained_hash
+  | IS_extendible_hash
+  | IS_linear_hash
+  | IS_mod_linear_hash
+
+type condition =
+  | C_eq of string * literal
+  | C_gt of string * literal
+  | C_between of string * literal * literal
+
+type join_method_hint =
+  | JM_nested_loops
+  | JM_hash
+  | JM_tree
+  | JM_sort_merge
+  | JM_tree_merge
+
+(** One output column: a plain (possibly qualified) column, or an
+    aggregate function over a column ([None] = star-counting). *)
+type sel_item = Sel_col of string | Sel_agg of string * string option
+
+type select_stmt = {
+  sel_columns : [ `All | `Items of sel_item list ];
+  sel_distinct : bool;
+  sel_from : string;
+  sel_join : (string * string * string * join_method_hint option) option;
+      (** inner relation, outer column, inner column, optional USING hint *)
+  sel_where : condition list;  (** conjunctive *)
+  sel_group_by : string list;
+}
+
+type stmt =
+  | Create_table of { name : string; columns : column_def list }
+  | Create_index of {
+      idx_name : string;
+      table : string;
+      columns : string list;
+      structure : index_structure option;
+      unique : bool;
+    }
+  | Insert of { table : string; values : literal list }
+  | Update of {
+      table : string;
+      assignments : (string * literal) list;
+      where_ : condition list;
+    }
+  | Delete of { table : string; where_ : condition list }
+  | Select of select_stmt
+  | Explain of select_stmt
+  | Show_tables
+  | Describe of string
+  | Begin_txn
+  | Commit_txn
+  | Rollback_txn

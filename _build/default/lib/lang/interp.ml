@@ -1,0 +1,535 @@
+(** Evaluate parsed statements against a {!Mmdb_core.Db} catalog. *)
+
+open Mmdb_storage
+open Mmdb_core
+
+type outcome =
+  | Rows of Temp_list.t
+  | Table of Aggregate.result  (** aggregation output (materialized) *)
+  | Message of string
+  | Plan_text of string
+
+(* A shell session: the catalog plus a transaction manager sharing its
+   relations.  DML inside BEGIN ... COMMIT is deferred through the §2.4
+   transaction machinery (so ROLLBACK needs no undo); outside a
+   transaction each statement auto-commits by applying directly. *)
+type session = {
+  db : Db.t;
+  mgr : Mmdb_txn.Txn.manager;
+  mutable current : Mmdb_txn.Txn.txn option;
+}
+
+let session db =
+  let mgr = Mmdb_txn.Txn.create_manager () in
+  List.iter (fun rel -> Mmdb_txn.Txn.add_relation mgr rel) (Db.relations db);
+  { db; mgr; current = None }
+
+let in_txn s = s.current <> None
+
+let txn_failure f = Fmt.str "%a" Mmdb_txn.Txn.pp_failure f
+
+let value_of_literal = function
+  | Ast.L_int n -> Value.Int n
+  | Ast.L_float f -> Value.Float f
+  | Ast.L_string s -> Value.Str s
+  | Ast.L_bool b -> Value.Bool b
+  | Ast.L_null -> Value.Null
+
+let type_of_ast = function
+  | Ast.CT_int -> Schema.T_int
+  | Ast.CT_float -> Schema.T_float
+  | Ast.CT_string -> Schema.T_string
+  | Ast.CT_bool -> Schema.T_bool
+  | Ast.CT_ref rel -> Schema.T_ref rel
+
+let structure_of_ast = function
+  | Ast.IS_ttree -> Relation.T_tree
+  | Ast.IS_avl -> Relation.Avl_tree
+  | Ast.IS_btree -> Relation.B_tree
+  | Ast.IS_array -> Relation.Array_index
+  | Ast.IS_chained_hash -> Relation.Chained_hash
+  | Ast.IS_extendible_hash -> Relation.Extendible_hash
+  | Ast.IS_linear_hash -> Relation.Linear_hash
+  | Ast.IS_mod_linear_hash -> Relation.Mod_linear_hash
+
+let method_of_hint = function
+  | Ast.JM_nested_loops -> Join.Nested_loops
+  | Ast.JM_hash -> Join.Hash_join
+  | Ast.JM_tree -> Join.Tree_join
+  | Ast.JM_sort_merge -> Join.Sort_merge
+  | Ast.JM_tree_merge -> Join.Tree_merge
+
+let ( let* ) = Result.bind
+
+(* Strip an optional [Rel.] qualifier, checking it matches [rel]. *)
+let unqualify ~rel name =
+  match String.index_opt name '.' with
+  | None -> Ok name
+  | Some i ->
+      let q = String.sub name 0 i in
+      if String.equal q rel then
+        Ok (String.sub name (i + 1) (String.length name - i - 1))
+      else Error (Printf.sprintf "column %s does not belong to %s" name rel)
+
+let where_clauses ~rel conds =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | c :: rest ->
+        let add col f =
+          let* col = unqualify ~rel col in
+          go (f col :: acc) rest
+        in
+        (match c with
+        | Ast.C_eq (col, lit) ->
+            add col (fun col q -> Query.where_eq col (value_of_literal lit) q)
+        | Ast.C_gt (col, lit) ->
+            add col (fun col q -> Query.where_gt col (value_of_literal lit) q)
+        | Ast.C_between (col, lo, hi) ->
+            add col (fun col q ->
+                Query.where_between col ~lo:(value_of_literal lo)
+                  ~hi:(value_of_literal hi) q))
+  in
+  go [] conds
+
+(* Resolve an output column to a descriptor label, searching the outer
+   relation first, then the joined one. *)
+let resolve_label db ~outer ~inner name =
+  if String.contains name '.' then Ok name
+  else begin
+    let has rel =
+      match Db.find db rel with
+      | None -> false
+      | Some r -> Schema.column_index (Relation.schema r) name <> None
+    in
+    if has outer then Ok (outer ^ "." ^ name)
+    else
+      match inner with
+      | Some i when has i -> Ok (i ^ "." ^ name)
+      | _ -> Error (Printf.sprintf "unknown column %s" name)
+  end
+
+let build_query db (s : Ast.select_stmt) =
+  let* () =
+    match Db.find db s.Ast.sel_from with
+    | Some _ -> Ok ()
+    | None -> Error (Printf.sprintf "unknown relation %s" s.Ast.sel_from)
+  in
+  let q = Query.from s.Ast.sel_from in
+  let* wheres = where_clauses ~rel:s.Ast.sel_from s.Ast.sel_where in
+  let q = List.fold_left (fun q f -> f q) q wheres in
+  let* q =
+    match s.Ast.sel_join with
+    | None -> Ok q
+    | Some (inner, outer_col, inner_col, hint) ->
+        let* () =
+          match Db.find db inner with
+          | Some _ -> Ok ()
+          | None -> Error (Printf.sprintf "unknown relation %s" inner)
+        in
+        let* outer_col = unqualify ~rel:s.Ast.sel_from outer_col in
+        let* inner_col = unqualify ~rel:inner inner_col in
+        Ok
+          (Query.join ?force:(Option.map method_of_hint hint) inner
+             ~on:(outer_col, inner_col) q)
+  in
+  let inner = Option.map (fun (i, _, _, _) -> i) s.Ast.sel_join in
+  let resolve_all cols =
+    let rec resolve acc = function
+      | [] -> Ok (List.rev acc)
+      | c :: rest ->
+          let* label = resolve_label db ~outer:s.Ast.sel_from ~inner c in
+          resolve (label :: acc) rest
+    in
+    resolve [] cols
+  in
+  let* q =
+    match s.Ast.sel_columns with
+    | `All -> Ok q
+    | `Items items ->
+        let plain =
+          List.filter_map
+            (function Ast.Sel_col c -> Some c | Ast.Sel_agg _ -> None)
+            items
+        in
+        if List.exists (function Ast.Sel_agg _ -> true | _ -> false) items
+        then Ok q (* aggregation projects after grouping *)
+        else
+          let* labels = resolve_all plain in
+          Ok (Query.project labels q)
+  in
+  Ok (if s.Ast.sel_distinct then Query.distinct q else q)
+
+(* Split a parsed select into grouping keys and aggregate specs, with all
+   column names resolved to descriptor labels. *)
+let aggregation_of db (s : Ast.select_stmt) =
+  match s.Ast.sel_columns with
+  | `All -> Ok None
+  | `Items items ->
+      if not (List.exists (function Ast.Sel_agg _ -> true | _ -> false) items)
+      then
+        if s.Ast.sel_group_by <> [] then
+          Error "GROUP BY requires at least one aggregate in the select list"
+        else Ok None
+      else begin
+        let inner = Option.map (fun (i, _, _, _) -> i) s.Ast.sel_join in
+        let resolve c = resolve_label db ~outer:s.Ast.sel_from ~inner c in
+        let rec build keys aggs = function
+          | [] -> Ok (List.rev keys, List.rev aggs)
+          | Ast.Sel_col c :: rest ->
+              let* label = resolve c in
+              build (label :: keys) aggs rest
+          | Ast.Sel_agg (fn, arg) :: rest -> (
+              let* spec =
+                match (fn, arg) with
+                | "count", None -> Ok Aggregate.Count
+                | "count", Some c ->
+                    (* COUNT(col): validate the column, count group rows *)
+                    let* _label = resolve c in
+                    Ok Aggregate.Count
+                | "sum", Some c ->
+                    let* label = resolve c in
+                    Ok (Aggregate.Sum label)
+                | "avg", Some c ->
+                    let* label = resolve c in
+                    Ok (Aggregate.Avg label)
+                | "min", Some c ->
+                    let* label = resolve c in
+                    Ok (Aggregate.Min label)
+                | "max", Some c ->
+                    let* label = resolve c in
+                    Ok (Aggregate.Max label)
+                | _, None -> Error (fn ^ " needs a column argument")
+                | _, Some _ -> Error ("unknown aggregate " ^ fn)
+              in
+              build keys (spec :: aggs) rest)
+        in
+        let* keys, aggs = build [] [] items in
+        (* explicit GROUP BY must agree with the plain columns when both
+           are given; an omitted GROUP BY defaults to the plain columns *)
+        let* keys =
+          match s.Ast.sel_group_by with
+          | [] -> Ok keys
+          | given ->
+              let rec resolve_keys acc = function
+                | [] -> Ok (List.rev acc)
+                | c :: rest ->
+                    let* label = resolve c in
+                    resolve_keys (label :: acc) rest
+              in
+              let* given = resolve_keys [] given in
+              if List.sort compare given = List.sort compare keys then Ok given
+              else
+                Error
+                  "GROUP BY columns must match the non-aggregate select columns"
+        in
+        Ok (Some (keys, aggs))
+      end
+
+(* Shared by UPDATE and DELETE: translate WHERE clauses to selection
+   predicates against one relation's schema. *)
+let predicates_for ~table schema where_ =
+  let rec preds acc = function
+    | [] -> Ok (List.rev acc)
+    | c :: rest -> (
+        let col_of name =
+          let* name = unqualify ~rel:table name in
+          match Schema.column_index schema name with
+          | Some i -> Ok i
+          | None -> Error (Printf.sprintf "unknown column %s" name)
+        in
+        match c with
+        | Ast.C_eq (name, lit) ->
+            let* i = col_of name in
+            preds (Select.Eq (i, value_of_literal lit) :: acc) rest
+        | Ast.C_gt (name, lit) ->
+            let* i = col_of name in
+            let v = value_of_literal lit in
+            preds
+              (Select.Filter (fun t -> Value.compare (Tuple.get t i) v > 0)
+              :: acc)
+              rest
+        | Ast.C_between (name, lo, hi) ->
+            let* i = col_of name in
+            preds
+              (Select.Between (i, value_of_literal lo, value_of_literal hi)
+              :: acc)
+              rest)
+  in
+  preds [] where_
+
+(* Collect matching tuples through an index, then remove them. *)
+let run_delete db ~table ~where_ =
+  match Db.find db table with
+  | None -> Error (Printf.sprintf "unknown relation %s" table)
+  | Some rel ->
+      let* predicates = predicates_for ~table (Relation.schema rel) where_ in
+      let victims = ref [] in
+      Temp_list.iter (Select.select rel predicates) (fun entry ->
+          victims := entry.(0) :: !victims);
+      let n = List.length !victims in
+      List.iter (fun t -> ignore (Relation.delete_tuple rel t)) !victims;
+      Ok (Message (Printf.sprintf "%d tuples deleted from %s" n table))
+
+let run_update db ~table ~assignments ~where_ =
+  match Db.find db table with
+  | None -> Error (Printf.sprintf "unknown relation %s" table)
+  | Some rel ->
+      let schema = Relation.schema rel in
+      let rec resolve_assignments acc = function
+        | [] -> Ok (List.rev acc)
+        | (name, lit) :: rest -> (
+            let* name = unqualify ~rel:table name in
+            match Schema.column_index schema name with
+            | Some i -> resolve_assignments ((i, value_of_literal lit) :: acc) rest
+            | None -> Error (Printf.sprintf "unknown column %s" name))
+      in
+      let* assignments = resolve_assignments [] assignments in
+      let* predicates = predicates_for ~table schema where_ in
+      let targets = ref [] in
+      Temp_list.iter (Select.select rel predicates) (fun entry ->
+          targets := entry.(0) :: !targets);
+      (* Apply all assignments to each target, stopping at the first error
+         (e.g. a uniqueness violation, which update_field rolls back). *)
+      let rec apply_all = function
+        | [] -> Ok ()
+        | tuple :: rest ->
+            let rec fields = function
+              | [] -> Ok ()
+              | (col, v) :: more -> (
+                  match Relation.update_field rel tuple col v with
+                  | Ok () -> fields more
+                  | Error _ as e -> e)
+            in
+            let* () = fields assignments in
+            apply_all rest
+      in
+      let n = List.length !targets in
+      let* () = apply_all !targets in
+      Ok (Message (Printf.sprintf "%d tuples updated in %s" n table))
+
+(* Transactional DML: targets are found against committed state and the
+   operations are declared on the transaction, applying at COMMIT. *)
+let run_txn_delete t db ~table ~where_ =
+  match Db.find db table with
+  | None -> Error (Printf.sprintf "unknown relation %s" table)
+  | Some rel ->
+      let* predicates = predicates_for ~table (Relation.schema rel) where_ in
+      let victims = ref [] in
+      Temp_list.iter (Select.select rel predicates) (fun entry ->
+          victims := entry.(0) :: !victims);
+      let rec declare = function
+        | [] ->
+            Ok
+              (Message
+                 (Printf.sprintf "%d deletes queued in %s"
+                    (List.length !victims) table))
+        | tuple :: rest -> (
+            match Mmdb_txn.Txn.delete t ~rel:table tuple with
+            | Ok () -> declare rest
+            | Error f -> Error (txn_failure f))
+      in
+      declare !victims
+
+let run_txn_update mgr t db ~table ~assignments ~where_ =
+  ignore mgr;
+  match Db.find db table with
+  | None -> Error (Printf.sprintf "unknown relation %s" table)
+  | Some rel ->
+      let schema = Relation.schema rel in
+      let rec resolve_assignments acc = function
+        | [] -> Ok (List.rev acc)
+        | (name, lit) :: rest -> (
+            let* name = unqualify ~rel:table name in
+            match Schema.column_index schema name with
+            | Some i ->
+                resolve_assignments ((i, value_of_literal lit) :: acc) rest
+            | None -> Error (Printf.sprintf "unknown column %s" name))
+      in
+      let* assignments = resolve_assignments [] assignments in
+      let* predicates = predicates_for ~table schema where_ in
+      let targets = ref [] in
+      Temp_list.iter (Select.select rel predicates) (fun entry ->
+          targets := entry.(0) :: !targets);
+      let rec declare = function
+        | [] ->
+            Ok
+              (Message
+                 (Printf.sprintf "%d updates queued in %s"
+                    (List.length !targets) table))
+        | tuple :: rest -> (
+            let rec fields = function
+              | [] -> Ok ()
+              | (col, v) :: more -> (
+                  match Mmdb_txn.Txn.update t ~rel:table tuple ~col v with
+                  | Ok () -> fields more
+                  | Error f -> Error (txn_failure f))
+            in
+            match fields assignments with
+            | Ok () -> declare rest
+            | Error _ as e -> e)
+      in
+      declare !targets
+
+let exec sess stmt =
+  let db = sess.db in
+  match stmt with
+  | Ast.Begin_txn ->
+      if in_txn sess then Error "a transaction is already active"
+      else begin
+        sess.current <- Some (Mmdb_txn.Txn.begin_txn sess.mgr);
+        Ok (Message "transaction started (changes apply at COMMIT)")
+      end
+  | Ast.Commit_txn -> (
+      match sess.current with
+      | None -> Error "no active transaction"
+      | Some t -> (
+          sess.current <- None;
+          match Mmdb_txn.Txn.commit t with
+          | Ok () -> Ok (Message "committed")
+          | Error msg -> Error ("commit failed, transaction aborted: " ^ msg)))
+  | Ast.Rollback_txn -> (
+      match sess.current with
+      | None -> Error "no active transaction"
+      | Some t ->
+          sess.current <- None;
+          Mmdb_txn.Txn.abort t;
+          Ok (Message "rolled back (no undo needed)"))
+  | Ast.Create_table { name; columns } when in_txn sess ->
+      ignore (name, columns);
+      Error "DDL is not allowed inside a transaction"
+  | Ast.Create_index _ when in_txn sess ->
+      Error "DDL is not allowed inside a transaction"
+  | Ast.Create_table { name; columns } -> (
+      let primaries = List.filter (fun c -> c.Ast.cd_primary) columns in
+      match primaries with
+      | [ pk ] -> (
+          let cols =
+            List.map
+              (fun c -> Schema.col ~ty:(type_of_ast c.Ast.cd_type) c.Ast.cd_name)
+              columns
+          in
+          match Schema.make ~name cols with
+          | exception Invalid_argument msg -> Error msg
+          | schema -> (
+              match Db.create_relation db ~schema ~primary_key:pk.Ast.cd_name with
+              | Ok rel ->
+                  Mmdb_txn.Txn.add_relation sess.mgr rel;
+                  Ok (Message (Printf.sprintf "table %s created" name))
+              | Error msg -> Error msg))
+      | [] -> Error "a table needs exactly one PRIMARY KEY column (all access is through an index)"
+      | _ -> Error "multiple PRIMARY KEY columns")
+  | Ast.Create_index { idx_name; table; columns; structure; unique } -> (
+      match Db.find db table with
+      | None -> Error (Printf.sprintf "unknown relation %s" table)
+      | Some rel -> (
+          let schema = Relation.schema rel in
+          let rec cols acc = function
+            | [] -> Ok (List.rev acc)
+            | name :: rest -> (
+                let* name = unqualify ~rel:table name in
+                match Schema.column_index schema name with
+                | Some i -> cols (i :: acc) rest
+                | None -> Error (Printf.sprintf "unknown column %s" name))
+          in
+          let* columns = cols [] columns in
+          let structure =
+            match structure with
+            | Some s -> structure_of_ast s
+            | None -> Relation.T_tree
+          in
+          match
+            Relation.create_index rel ~idx_name ~columns:(Array.of_list columns)
+              ~structure ~unique
+          with
+          | Ok () -> Ok (Message (Printf.sprintf "index %s created" idx_name))
+          | Error msg -> Error msg))
+  | Ast.Insert { table; values } -> (
+      let values = Array.of_list (List.map value_of_literal values) in
+      match sess.current with
+      | None -> (
+          match Db.insert db ~rel:table values with
+          | Ok _ -> Ok (Message "1 tuple inserted")
+          | Error msg -> Error msg)
+      | Some t -> (
+          (* resolve foreign keys against committed state now; the insert
+             itself is deferred to COMMIT *)
+          match Db.find db table with
+          | None -> Error (Printf.sprintf "unknown relation %s" table)
+          | Some rel -> (
+              let schema = Relation.schema rel in
+              if Array.length values <> Schema.arity schema then
+                Error
+                  (Printf.sprintf "%s: expected %d fields, got %d" table
+                     (Schema.arity schema) (Array.length values))
+              else
+                let* resolved = Db.resolve_foreign_keys db schema values in
+                match Mmdb_txn.Txn.insert t ~rel:table resolved with
+                | Ok () -> Ok (Message "1 insert queued")
+                | Error f -> Error (txn_failure f))))
+  | Ast.Update { table; assignments; where_ } -> (
+      match sess.current with
+      | None -> run_update db ~table ~assignments ~where_
+      | Some t -> run_txn_update sess.mgr t db ~table ~assignments ~where_)
+  | Ast.Delete { table; where_ } -> (
+      match sess.current with
+      | None -> run_delete db ~table ~where_
+      | Some t -> run_txn_delete t db ~table ~where_)
+  | Ast.Select s -> (
+      let* q = build_query db s in
+      let* agg = aggregation_of db s in
+      match agg with
+      | None -> (
+          match Executor.query db q with
+          | tl -> Ok (Rows tl)
+          | exception Invalid_argument msg -> Error msg)
+      | Some (keys, aggs) -> (
+          match
+            Aggregate.group (Executor.query db q) ~by:keys ~aggs
+          with
+          | result -> Ok (Table result)
+          | exception Invalid_argument msg -> Error msg))
+  | Ast.Explain s ->
+      let* q = build_query db s in
+      let plan = Optimizer.plan db q in
+      Ok (Plan_text (Fmt.str "%a@\n%a" Query.pp q Optimizer.pp_plan plan))
+  | Ast.Show_tables ->
+      let lines =
+        List.map
+          (fun r -> Printf.sprintf "%s (%d tuples)" (Relation.name r) (Relation.count r))
+          (Db.relations db)
+      in
+      Ok (Message (String.concat "\n" lines))
+  | Ast.Describe name -> (
+      match Db.find db name with
+      | None -> Error (Printf.sprintf "unknown relation %s" name)
+      | Some rel ->
+          let schema_line = Fmt.str "%a" Schema.pp (Relation.schema rel) in
+          let idx_lines =
+            List.map
+              (fun (d : Relation.index_def) ->
+                Printf.sprintf "  index %s on (%s)%s" d.Relation.idx_name
+                  (String.concat ", "
+                     (List.map
+                        (Schema.column_name (Relation.schema rel))
+                        (Array.to_list d.Relation.columns)))
+                  (if d.Relation.unique then " unique" else ""))
+              (Relation.index_defs rel)
+          in
+          Ok (Message (String.concat "\n" (schema_line :: idx_lines))))
+
+(* Parse and run a whole script; stops at the first error. *)
+let exec_string sess input =
+  let* stmts = Parser.parse input in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | s :: rest ->
+        let* out = exec sess s in
+        go (out :: acc) rest
+  in
+  go [] stmts
+
+let pp_outcome ppf = function
+  | Rows tl -> Executor.pp_result ppf tl
+  | Table r -> Aggregate.pp ppf r
+  | Message m -> Fmt.string ppf m
+  | Plan_text p -> Fmt.string ppf p

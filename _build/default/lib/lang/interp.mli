@@ -1,0 +1,28 @@
+(** Evaluate parsed statements against a catalog. *)
+
+type outcome =
+  | Rows of Mmdb_storage.Temp_list.t  (** a query result (tuple pointers) *)
+  | Table of Mmdb_core.Aggregate.result
+      (** aggregation output (materialized rows) *)
+  | Message of string  (** DDL/DML acknowledgements, listings *)
+  | Plan_text of string  (** EXPLAIN output *)
+
+type session
+(** A shell session: the catalog plus a transaction manager sharing its
+    relations.  DML inside [BEGIN ... COMMIT] is deferred through the §2.4
+    transaction machinery (queries inside a transaction read committed
+    state; [ROLLBACK] needs no undo).  Outside a transaction every
+    statement auto-commits. *)
+
+val session : Mmdb_core.Db.t -> session
+(** Wrap a catalog; its current relations are registered with the
+    transaction manager, as are tables created later through {!exec}. *)
+
+val in_txn : session -> bool
+
+val exec : session -> Ast.stmt -> (outcome, string) result
+
+val exec_string : session -> string -> (outcome list, string) result
+(** Parse and run a whole script, stopping at the first error. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,115 @@
+(** Hand-written lexer for the query language.
+
+    Tokens: identifiers (keywords are recognized case-insensitively by the
+    parser), integer / float / string literals (single-quoted, with ['']
+    escaping), and punctuation.  Comments run from [--] to end of line. *)
+
+type token =
+  | Ident of string
+  | Int of int
+  | Float of float
+  | String of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Semicolon
+  | Star
+  | Dot
+  | Eq
+  | Gt
+  | Lt
+  | Eof
+
+exception Error of string
+
+let pp_token ppf = function
+  | Ident s -> Fmt.pf ppf "identifier %S" s
+  | Int n -> Fmt.pf ppf "integer %d" n
+  | Float f -> Fmt.pf ppf "float %g" f
+  | String s -> Fmt.pf ppf "string %S" s
+  | Lparen -> Fmt.string ppf "'('"
+  | Rparen -> Fmt.string ppf "')'"
+  | Comma -> Fmt.string ppf "','"
+  | Semicolon -> Fmt.string ppf "';'"
+  | Star -> Fmt.string ppf "'*'"
+  | Dot -> Fmt.string ppf "'.'"
+  | Eq -> Fmt.string ppf "'='"
+  | Gt -> Fmt.string ppf "'>'"
+  | Lt -> Fmt.string ppf "'<'"
+  | Eof -> Fmt.string ppf "end of input"
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit tok = tokens := tok :: !tokens in
+  let rec skip i =
+    if i >= n then i
+    else
+      match input.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> skip (i + 1)
+      | '-' when i + 1 < n && input.[i + 1] = '-' ->
+          let rec eol j = if j >= n || input.[j] = '\n' then j else eol (j + 1) in
+          skip (eol (i + 2))
+      | _ -> i
+  in
+  let rec lex i =
+    let i = skip i in
+    if i >= n then emit Eof
+    else
+      match input.[i] with
+      | '(' -> emit Lparen; lex (i + 1)
+      | ')' -> emit Rparen; lex (i + 1)
+      | ',' -> emit Comma; lex (i + 1)
+      | ';' -> emit Semicolon; lex (i + 1)
+      | '*' -> emit Star; lex (i + 1)
+      | '.' -> emit Dot; lex (i + 1)
+      | '=' -> emit Eq; lex (i + 1)
+      | '>' -> emit Gt; lex (i + 1)
+      | '<' -> emit Lt; lex (i + 1)
+      | '\'' ->
+          let buf = Buffer.create 16 in
+          let rec str j =
+            if j >= n then raise (Error "unterminated string literal")
+            else if input.[j] = '\'' then
+              if j + 1 < n && input.[j + 1] = '\'' then begin
+                Buffer.add_char buf '\'';
+                str (j + 2)
+              end
+              else j + 1
+            else begin
+              Buffer.add_char buf input.[j];
+              str (j + 1)
+            end
+          in
+          let next = str (i + 1) in
+          emit (String (Buffer.contents buf));
+          lex next
+      | c when is_digit c || (c = '-' && i + 1 < n && is_digit input.[i + 1]) ->
+          let rec span j = if j < n && (is_digit input.[j] || input.[j] = '.') then span (j + 1) else j in
+          let stop = span (i + 1) in
+          let text = String.sub input i (stop - i) in
+          (if String.contains text '.' then
+             match float_of_string_opt text with
+             | Some f -> emit (Float f)
+             | None -> raise (Error (Printf.sprintf "bad number %S" text))
+           else
+             match int_of_string_opt text with
+             | Some x -> emit (Int x)
+             | None -> raise (Error (Printf.sprintf "bad number %S" text)));
+          lex stop
+      | c when is_ident_start c ->
+          let rec span j = if j < n && is_ident_char input.[j] then span (j + 1) else j in
+          let stop = span (i + 1) in
+          emit (Ident (String.sub input i (stop - i)));
+          lex stop
+      | c -> raise (Error (Printf.sprintf "unexpected character %C" c))
+  in
+  lex 0;
+  List.rev !tokens

@@ -1,0 +1,28 @@
+(** Hand-written lexer for the query language.
+
+    Identifiers (keywords are recognized case-insensitively by the
+    parser), integer / float / single-quoted string literals (with ['']
+    escaping), punctuation; [--] comments run to end of line. *)
+
+type token =
+  | Ident of string
+  | Int of int
+  | Float of float
+  | String of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Semicolon
+  | Star
+  | Dot
+  | Eq
+  | Gt
+  | Lt
+  | Eof
+
+exception Error of string
+
+val pp_token : Format.formatter -> token -> unit
+
+val tokenize : string -> token list
+(** Always ends with {!Eof}.  @raise Error on malformed input. *)

@@ -1,0 +1,302 @@
+(** Recursive-descent parser for the query language.
+
+    Grammar (keywords case-insensitive; statements end with [;]):
+
+    {v
+    stmt := CREATE TABLE name '(' coldef (',' coldef)* ')'
+          | CREATE [UNIQUE] INDEX name ON table '(' col (',' col)* ')'
+              [USING structure]
+          | INSERT INTO table VALUES '(' literal (',' literal)* ')'
+          | UPDATE table SET col '=' literal (',' col '=' literal)*
+              [WHERE conds]
+          | DELETE FROM table [WHERE conds]
+          | [EXPLAIN] SELECT [DISTINCT] items FROM table
+              [JOIN table ON col '=' col [USING method]]
+              [WHERE conds] [GROUP BY col (',' col)*]
+          | SHOW TABLES
+          | DESCRIBE table
+          | BEGIN | COMMIT | ROLLBACK
+    coldef := name type [PRIMARY KEY]
+    type := INT | FLOAT | STRING | BOOL | REF name
+    conds := cond (AND cond)*
+    cond := col '=' literal | col '>' literal
+          | col BETWEEN literal AND literal
+    structure := TTREE | AVL | BTREE | ARRAY | CHAINED_HASH
+               | EXTENDIBLE_HASH | LINEAR_HASH | MOD_LINEAR_HASH
+    method := NESTED_LOOPS | HASH | TREE | SORT_MERGE | TREE_MERGE
+    cols := '*' | col (',' col)*      (qualified names: rel '.' col)
+    v} *)
+
+exception Parse_error of string
+
+type state = { mutable tokens : Lexer.token list }
+
+let fail fmt = Fmt.kstr (fun msg -> raise (Parse_error msg)) fmt
+
+let peek st = match st.tokens with [] -> Lexer.Eof | t :: _ -> t
+
+let advance st =
+  match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let expect st tok =
+  let got = next st in
+  if got <> tok then fail "expected %a but found %a" Lexer.pp_token tok Lexer.pp_token got
+
+let ident st =
+  match next st with
+  | Lexer.Ident s -> s
+  | t -> fail "expected an identifier, found %a" Lexer.pp_token t
+
+(* Keyword check: identifiers compared case-insensitively. *)
+let is_kw s kw = String.lowercase_ascii s = kw
+
+let expect_kw st kw =
+  let s = ident st in
+  if not (is_kw s kw) then fail "expected %s, found %s" (String.uppercase_ascii kw) s
+
+let peek_kw st kw =
+  match peek st with Lexer.Ident s -> is_kw s kw | _ -> false
+
+let accept_kw st kw =
+  if peek_kw st kw then begin
+    advance st;
+    true
+  end
+  else false
+
+let literal st =
+  match next st with
+  | Lexer.Int n -> Ast.L_int n
+  | Lexer.Float f -> Ast.L_float f
+  | Lexer.String s -> Ast.L_string s
+  | Lexer.Ident s when is_kw s "true" -> Ast.L_bool true
+  | Lexer.Ident s when is_kw s "false" -> Ast.L_bool false
+  | Lexer.Ident s when is_kw s "null" -> Ast.L_null
+  | t -> fail "expected a literal, found %a" Lexer.pp_token t
+
+let col_type st =
+  let s = ident st in
+  match String.lowercase_ascii s with
+  | "int" | "integer" -> Ast.CT_int
+  | "float" | "real" -> Ast.CT_float
+  | "string" | "text" | "varchar" -> Ast.CT_string
+  | "bool" | "boolean" -> Ast.CT_bool
+  | "ref" -> Ast.CT_ref (ident st)
+  | other -> fail "unknown column type %s" other
+
+let column_def st =
+  let cd_name = ident st in
+  let cd_type = col_type st in
+  let cd_primary =
+    if accept_kw st "primary" then begin
+      expect_kw st "key";
+      true
+    end
+    else false
+  in
+  { Ast.cd_name; cd_type; cd_primary }
+
+let rec comma_separated st parse =
+  let first = parse st in
+  if peek st = Lexer.Comma then begin
+    advance st;
+    first :: comma_separated st parse
+  end
+  else [ first ]
+
+(* A possibly qualified column name, rendered back to a dotted string. *)
+let column_name st =
+  let first = ident st in
+  if peek st = Lexer.Dot then begin
+    advance st;
+    let second = ident st in
+    first ^ "." ^ second
+  end
+  else first
+
+let condition st =
+  let col = column_name st in
+  match peek st with
+  | Lexer.Eq ->
+      advance st;
+      Ast.C_eq (col, literal st)
+  | Lexer.Gt ->
+      advance st;
+      Ast.C_gt (col, literal st)
+  | Lexer.Ident s when is_kw s "between" ->
+      advance st;
+      let lo = literal st in
+      expect_kw st "and";
+      let hi = literal st in
+      Ast.C_between (col, lo, hi)
+  | t -> fail "expected =, > or BETWEEN after %s, found %a" col Lexer.pp_token t
+
+let rec conditions st =
+  let c = condition st in
+  if accept_kw st "and" then c :: conditions st else [ c ]
+
+let index_structure st =
+  match String.lowercase_ascii (ident st) with
+  | "ttree" | "t_tree" -> Ast.IS_ttree
+  | "avl" -> Ast.IS_avl
+  | "btree" | "b_tree" -> Ast.IS_btree
+  | "array" -> Ast.IS_array
+  | "chained_hash" -> Ast.IS_chained_hash
+  | "extendible_hash" -> Ast.IS_extendible_hash
+  | "linear_hash" -> Ast.IS_linear_hash
+  | "mod_linear_hash" | "modified_linear_hash" -> Ast.IS_mod_linear_hash
+  | other -> fail "unknown index structure %s" other
+
+let join_method st =
+  match String.lowercase_ascii (ident st) with
+  | "nested_loops" -> Ast.JM_nested_loops
+  | "hash" -> Ast.JM_hash
+  | "tree" -> Ast.JM_tree
+  | "sort_merge" -> Ast.JM_sort_merge
+  | "tree_merge" -> Ast.JM_tree_merge
+  | other -> fail "unknown join method %s" other
+
+let select_item st =
+  let name = column_name st in
+  if peek st = Lexer.Lparen then begin
+    advance st;
+    let fn = String.lowercase_ascii name in
+    (match fn with
+    | "count" | "sum" | "avg" | "min" | "max" -> ()
+    | other -> fail "unknown aggregate function %s" other);
+    let arg =
+      if peek st = Lexer.Star then begin
+        advance st;
+        if fn <> "count" then fail "only COUNT takes *";
+        None
+      end
+      else Some (column_name st)
+    in
+    expect st Lexer.Rparen;
+    Ast.Sel_agg (fn, arg)
+  end
+  else Ast.Sel_col name
+
+let select_body st =
+  let sel_distinct = accept_kw st "distinct" in
+  let sel_columns =
+    if peek st = Lexer.Star then begin
+      advance st;
+      `All
+    end
+    else `Items (comma_separated st select_item)
+  in
+  expect_kw st "from";
+  let sel_from = ident st in
+  let sel_join =
+    if accept_kw st "join" then begin
+      let inner = ident st in
+      expect_kw st "on";
+      let outer_col = column_name st in
+      expect st Lexer.Eq;
+      let inner_col = column_name st in
+      let hint = if accept_kw st "using" then Some (join_method st) else None in
+      Some (inner, outer_col, inner_col, hint)
+    end
+    else None
+  in
+  let sel_where = if accept_kw st "where" then conditions st else [] in
+  let sel_group_by =
+    if accept_kw st "group" then begin
+      expect_kw st "by";
+      comma_separated st column_name
+    end
+    else []
+  in
+  { Ast.sel_columns; sel_distinct; sel_from; sel_join; sel_where; sel_group_by }
+
+let statement st =
+  let s = ident st in
+  match String.lowercase_ascii s with
+  | "create" ->
+      let unique = accept_kw st "unique" in
+      if accept_kw st "table" then begin
+        if unique then fail "UNIQUE applies to indexes, not tables";
+        let name = ident st in
+        expect st Lexer.Lparen;
+        let columns = comma_separated st column_def in
+        expect st Lexer.Rparen;
+        Ast.Create_table { name; columns }
+      end
+      else begin
+        expect_kw st "index";
+        let idx_name = ident st in
+        expect_kw st "on";
+        let table = ident st in
+        expect st Lexer.Lparen;
+        let columns = comma_separated st column_name in
+        expect st Lexer.Rparen;
+        let structure =
+          if accept_kw st "using" then Some (index_structure st) else None
+        in
+        Ast.Create_index { idx_name; table; columns; structure; unique }
+      end
+  | "insert" ->
+      expect_kw st "into";
+      let table = ident st in
+      expect_kw st "values";
+      expect st Lexer.Lparen;
+      let values = comma_separated st literal in
+      expect st Lexer.Rparen;
+      Ast.Insert { table; values }
+  | "update" ->
+      let table = ident st in
+      expect_kw st "set";
+      let assignment st =
+        let col = column_name st in
+        expect st Lexer.Eq;
+        (col, literal st)
+      in
+      let assignments = comma_separated st assignment in
+      let where_ = if accept_kw st "where" then conditions st else [] in
+      Ast.Update { table; assignments; where_ }
+  | "delete" ->
+      expect_kw st "from";
+      let table = ident st in
+      let where_ = if accept_kw st "where" then conditions st else [] in
+      Ast.Delete { table; where_ }
+  | "select" -> Ast.Select (select_body st)
+  | "explain" ->
+      expect_kw st "select";
+      Ast.Explain (select_body st)
+  | "show" ->
+      expect_kw st "tables";
+      Ast.Show_tables
+  | "describe" -> Ast.Describe (ident st)
+  | "begin" -> Ast.Begin_txn
+  | "commit" -> Ast.Commit_txn
+  | "rollback" | "abort" -> Ast.Rollback_txn
+  | other -> fail "unknown statement %s" other
+
+(* Parse a whole input: zero or more semicolon-terminated statements. *)
+let parse input =
+  match Lexer.tokenize input with
+  | exception Lexer.Error msg -> Error ("lexical error: " ^ msg)
+  | tokens -> (
+      let st = { tokens } in
+      let rec stmts acc =
+        match peek st with
+        | Lexer.Eof -> List.rev acc
+        | Lexer.Semicolon ->
+            advance st;
+            stmts acc
+        | _ ->
+            let s = statement st in
+            (match peek st with
+            | Lexer.Semicolon | Lexer.Eof -> ()
+            | t -> fail "expected ';', found %a" Lexer.pp_token t);
+            stmts (s :: acc)
+      in
+      match stmts [] with
+      | parsed -> Ok parsed
+      | exception Parse_error msg -> Error ("parse error: " ^ msg))

@@ -1,0 +1,36 @@
+(** Recursive-descent parser for the query language.
+
+    Grammar (keywords case-insensitive; statements end with [;]):
+
+    {v
+    stmt := CREATE TABLE name '(' coldef (',' coldef)* ')'
+          | CREATE [UNIQUE] INDEX name ON table '(' col (',' col)* ')'
+              [USING structure]
+          | INSERT INTO table VALUES '(' literal (',' literal)* ')'
+          | UPDATE table SET col '=' literal (',' col '=' literal)*
+              [WHERE conds]
+          | DELETE FROM table [WHERE conds]
+          | [EXPLAIN] SELECT [DISTINCT] items FROM table
+              [JOIN table ON col '=' col [USING method]]
+              [WHERE conds] [GROUP BY col (',' col)*]
+          | SHOW TABLES
+          | DESCRIBE table
+          | BEGIN | COMMIT | ROLLBACK
+    coldef := name type [PRIMARY KEY]
+    type := INT | FLOAT | STRING | BOOL | REF name
+    conds := cond (AND cond)*
+    cond := col '=' literal | col '>' literal
+          | col BETWEEN literal AND literal
+    structure := TTREE | AVL | BTREE | ARRAY | CHAINED_HASH
+               | EXTENDIBLE_HASH | LINEAR_HASH | MOD_LINEAR_HASH
+    method := NESTED_LOOPS | HASH | TREE | SORT_MERGE | TREE_MERGE
+    items := '*' | item (',' item)*
+    item := col | fn '(' (col | '*') ')'   (fn: COUNT SUM AVG MIN MAX)
+    col is possibly qualified: rel '.' col
+    v} *)
+
+exception Parse_error of string
+
+val parse : string -> (Ast.stmt list, string) result
+(** Parse zero or more semicolon-terminated statements; lexical and parse
+    errors are returned as [Error], never raised. *)

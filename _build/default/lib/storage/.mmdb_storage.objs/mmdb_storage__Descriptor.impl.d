@@ -1,0 +1,1 @@
+lib/storage/descriptor.ml: Array Fmt Printf Schema String

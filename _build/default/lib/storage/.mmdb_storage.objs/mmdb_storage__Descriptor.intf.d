@@ -1,0 +1,1 @@
+lib/storage/descriptor.mli: Format Schema

@@ -1,0 +1,1 @@
+lib/storage/relation.ml: Array List Mmdb_index Partition Printf Schema String Tuple Value

@@ -1,0 +1,1 @@
+lib/storage/relation.mli: Mmdb_index Partition Schema Seq Tuple Value

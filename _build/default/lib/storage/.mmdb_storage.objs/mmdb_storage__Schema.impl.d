@@ -1,0 +1,1 @@
+lib/storage/schema.ml: Array Fmt List Printf String Value

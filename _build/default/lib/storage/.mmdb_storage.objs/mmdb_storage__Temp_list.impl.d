@@ -1,0 +1,1 @@
+lib/storage/temp_list.ml: Array Descriptor Fmt List Mmdb_index Option Printf Relation Schema Seq Tuple Value

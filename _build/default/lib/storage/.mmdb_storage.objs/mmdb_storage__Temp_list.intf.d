@@ -1,0 +1,1 @@
+lib/storage/temp_list.mli: Descriptor Format Mmdb_index Relation Seq Tuple Value

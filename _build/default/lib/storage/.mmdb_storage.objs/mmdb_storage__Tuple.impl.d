@@ -1,0 +1,1 @@
+lib/storage/tuple.ml: Array Counters Fmt Int Mmdb_util String Value

@@ -1,0 +1,1 @@
+lib/storage/value.ml: Bool Float Fmt Hashtbl Int List String

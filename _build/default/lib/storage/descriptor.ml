@@ -1,0 +1,81 @@
+(** Result descriptors (§2.3).
+
+    A temporary list does not copy data: each result tuple is an array of
+    tuple pointers into the source relations, and the descriptor records
+    which (source, column) pairs constitute the fields of the relation the
+    list represents.  "The descriptor takes the place of projection — no
+    width reduction is ever done", so projecting a query result is just
+    building a narrower descriptor over the same pointer entries. *)
+
+type field = {
+  source : int;  (** which pointer of the entry to follow *)
+  column : int;  (** which column of that source tuple *)
+  label : string;  (** display name, e.g. ["Emp.Name"] *)
+}
+
+type t = {
+  sources : Schema.t array;  (** schemas of the pointed-to relations *)
+  fields : field array;
+}
+
+let make ~sources ~fields =
+  let n_sources = Array.length sources in
+  if n_sources = 0 then invalid_arg "Descriptor.make: no sources";
+  Array.iter
+    (fun f ->
+      if f.source < 0 || f.source >= n_sources then
+        invalid_arg "Descriptor.make: field source out of range";
+      if f.column < 0 || f.column >= Schema.arity sources.(f.source) then
+        invalid_arg "Descriptor.make: field column out of range")
+    fields;
+  { sources; fields }
+
+(* Descriptor exposing every column of a single relation, labelled
+   [rel.col]. *)
+let of_schema schema =
+  let fields =
+    Array.init (Schema.arity schema) (fun column ->
+        {
+          source = 0;
+          column;
+          label = schema.Schema.name ^ "." ^ Schema.column_name schema column;
+        })
+  in
+  { sources = [| schema |]; fields }
+
+(* Descriptor for the concatenation of two sources' visible fields, as
+   produced by a join. *)
+let join a b =
+  let shift f = { f with source = f.source + Array.length a.sources } in
+  {
+    sources = Array.append a.sources b.sources;
+    fields = Array.append a.fields (Array.map shift b.fields);
+  }
+
+(* Width reduction: keep only the named fields (projection, §3.4 — the only
+   real work left for projection is duplicate elimination). *)
+let project t labels =
+  let find lbl =
+    match Array.find_opt (fun f -> String.equal f.label lbl) t.fields with
+    | Some f -> f
+    | None -> invalid_arg (Printf.sprintf "Descriptor.project: no field %S" lbl)
+  in
+  { t with fields = Array.map find (Array.of_list labels) }
+
+let arity t = Array.length t.fields
+let n_sources t = Array.length t.sources
+let labels t = Array.to_list (Array.map (fun f -> f.label) t.fields)
+let field t i = t.fields.(i)
+
+let field_index t label =
+  let rec go i =
+    if i >= Array.length t.fields then None
+    else if String.equal t.fields.(i).label label then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let pp ppf t =
+  Fmt.pf ppf "@[<h>[%a]@]"
+    (Fmt.array ~sep:Fmt.comma (fun ppf f -> Fmt.string ppf f.label))
+    t.fields

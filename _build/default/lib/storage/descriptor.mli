@@ -1,0 +1,34 @@
+(** Result descriptors (§2.3).
+
+    A temporary list copies no data: each entry is an array of tuple
+    pointers into the source relations, and the descriptor records which
+    (source, column) pairs constitute the visible fields.  "The descriptor
+    takes the place of projection — no width reduction is ever done". *)
+
+type field = {
+  source : int;  (** which pointer of an entry to follow *)
+  column : int;  (** which column of that source tuple *)
+  label : string;  (** display name, e.g. ["Employee.Name"] *)
+}
+
+type t = { sources : Schema.t array; fields : field array }
+
+val make : sources:Schema.t array -> fields:field array -> t
+(** @raise Invalid_argument when a field is out of range. *)
+
+val of_schema : Schema.t -> t
+(** Every column of one relation, labelled [rel.column]. *)
+
+val join : t -> t -> t
+(** Concatenate two descriptors, as a join produces. *)
+
+val project : t -> string list -> t
+(** Keep only the named fields.  @raise Invalid_argument on unknown
+    labels. *)
+
+val arity : t -> int
+val n_sources : t -> int
+val labels : t -> string list
+val field : t -> int -> field
+val field_index : t -> string -> int option
+val pp : Format.formatter -> t -> unit

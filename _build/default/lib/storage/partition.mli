@@ -1,0 +1,45 @@
+(** Partitions: the unit of recovery (§2.1) — "larger than a typical disk
+    page, probably on the order of one or two disk tracks".
+
+    A partition owns a fixed number of tuple slots and a heap byte budget
+    for variable-length (string) fields.  The slot array may compact on
+    deletion; the tuple records themselves (what a tuple pointer names)
+    never move, except for heap-overflow moves handled by the relation
+    layer with forwarding addresses. *)
+
+type t
+
+val default_slot_capacity : int
+val default_heap_capacity : int
+
+val create : ?slot_capacity:int -> ?heap_capacity:int -> pid:int -> unit -> t
+
+val pid : t -> int
+val count : t -> int
+val slot_capacity : t -> int
+val heap_used : t -> int
+val heap_capacity : t -> int
+
+val is_dirty : t -> bool
+(** Modified since the last propagation to the disk copy. *)
+
+val set_dirty : t -> bool -> unit
+val is_full : t -> bool
+val heap_fits : t -> int -> bool
+
+type add_result = Added | Slots_full | Heap_full
+
+val add : t -> Tuple.t -> add_result
+(** On [Added], the tuple's [pid] is set and its heap bytes accounted. *)
+
+val remove : t -> Tuple.t -> bool
+(** Remove by physical identity; [false] if the tuple is not here. *)
+
+val adjust_heap : t -> delta:int -> bool
+(** Account a change in a resident tuple's variable-length size.  Returns
+    [false] — leaving the accounting untouched — when growth does not fit;
+    the caller must then move the tuple elsewhere. *)
+
+val iter : t -> (Tuple.t -> unit) -> unit
+val to_list : t -> Tuple.t list
+val validate : t -> (unit, string) result

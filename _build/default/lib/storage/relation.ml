@@ -1,0 +1,446 @@
+(** Relations: partitioned tuple storage where {e all} access goes through
+    an index.
+
+    §2.1: "the relations will not be allowed to be traversed directly, so
+    all access to a relation is through an index.  (Note that this requires
+    all relations to have at least one index.)"  Accordingly [create]
+    demands a primary index definition, and the public scan {!iter} walks
+    the primary index.  Direct partition iteration exists only for the
+    recovery subsystem ({!iter_storage}).
+
+    Indices hold tuple pointers, not attribute values (§2.2); each index is
+    an instance of one of the eight {!Mmdb_index} structures, comparing
+    tuples by extracting the indexed columns through the pointer. *)
+
+type structure =
+  | T_tree
+  | Avl_tree
+  | B_tree
+  | Array_index
+  | Chained_hash
+  | Extendible_hash
+  | Linear_hash
+  | Mod_linear_hash
+
+let structure_module : structure -> (module Mmdb_index.Index_intf.S) =
+  function
+  | T_tree -> (module Mmdb_index.Ttree)
+  | Avl_tree -> (module Mmdb_index.Avl_tree)
+  | B_tree -> (module Mmdb_index.Btree)
+  | Array_index -> (module Mmdb_index.Array_index)
+  | Chained_hash -> (module Mmdb_index.Chained_hash)
+  | Extendible_hash -> (module Mmdb_index.Extendible_hash)
+  | Linear_hash -> (module Mmdb_index.Linear_hash)
+  | Mod_linear_hash -> (module Mmdb_index.Mod_linear_hash)
+
+let structure_is_ordered s =
+  let (module I) = structure_module s in
+  I.kind = Mmdb_index.Index_intf.Ordered
+
+type index_def = {
+  idx_name : string;
+  columns : int array;  (** column positions; multi-attribute allowed *)
+  unique : bool;
+  structure : structure;
+}
+
+module type INSTANCE = sig
+  module I : Mmdb_index.Index_intf.S
+
+  val def : index_def
+  val handle : Tuple.t I.t
+end
+
+type index_instance = (module INSTANCE)
+
+type t = {
+  schema : Schema.t;
+  slot_capacity : int;
+  heap_capacity : int;
+  mutable partitions : Partition.t list;  (** newest first *)
+  mutable next_pid : int;
+  mutable indices : index_instance list;  (** primary index first *)
+  mutable count : int;
+}
+
+let schema t = t.schema
+let name t = t.schema.Schema.name
+let slot_capacity t = t.slot_capacity
+let heap_capacity t = t.heap_capacity
+let count t = t.count
+let partitions t = List.rev t.partitions
+
+let def_of (module Inst : INSTANCE) = Inst.def
+
+let indices t = t.indices
+let index_defs t = List.map def_of t.indices
+
+let make_instance ~expected (def : index_def) : index_instance =
+  Array.iter
+    (fun c -> if c < 0 then invalid_arg "Relation: negative column in index")
+    def.columns;
+  if Array.length def.columns = 0 then
+    invalid_arg "Relation: index needs at least one column";
+  let (module I) = structure_module def.structure in
+  let cmp =
+    if def.unique then Tuple.compare_on ~columns:def.columns
+    else Tuple.compare_keyed ~columns:def.columns
+  in
+  let hash = Tuple.hash_on ~columns:def.columns in
+  let handle =
+    (* With the identity tie-break every stored element is distinct, so the
+       underlying structure always runs in duplicate-accepting mode except
+       when enforcing uniqueness. *)
+    I.create ~duplicates:(not def.unique) ~expected ~cmp ~hash ()
+  in
+  (module struct
+    module I = I
+
+    let def = def
+    let handle = handle
+  end : INSTANCE)
+
+let create ?(slot_capacity = Partition.default_slot_capacity)
+    ?(heap_capacity = Partition.default_heap_capacity) ?(expected = 1024)
+    ~schema ~primary () =
+  Array.iter
+    (fun c ->
+      if c >= Schema.arity schema then
+        invalid_arg "Relation.create: index column out of schema range")
+    primary.columns;
+  {
+    schema;
+    slot_capacity;
+    heap_capacity;
+    partitions = [];
+    next_pid = 0;
+    indices = [ make_instance ~expected primary ];
+    count = 0;
+  }
+
+let primary t =
+  match t.indices with
+  | inst :: _ -> inst
+  | [] -> assert false (* create always installs a primary index *)
+
+let find_index t idx_name =
+  List.find_opt
+    (fun (module Inst : INSTANCE) -> String.equal Inst.def.idx_name idx_name)
+    t.indices
+
+let find_index_exn t idx_name =
+  match find_index t idx_name with
+  | Some inst -> inst
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Relation %s: no index named %S" (name t) idx_name)
+
+(* Find an index whose key is exactly [columns]; prefer ordered structures
+   when [ordered] is requested. *)
+let find_index_on ?(ordered = false) t ~columns =
+  List.find_opt
+    (fun (module Inst : INSTANCE) ->
+      Inst.def.columns = columns
+      && ((not ordered) || Inst.I.kind = Mmdb_index.Index_intf.Ordered))
+    t.indices
+
+(* --- tuple placement ------------------------------------------------- *)
+
+let new_partition t =
+  let p =
+    Partition.create ~slot_capacity:t.slot_capacity
+      ~heap_capacity:t.heap_capacity ~pid:t.next_pid ()
+  in
+  t.next_pid <- t.next_pid + 1;
+  t.partitions <- p :: t.partitions;
+  p
+
+let partition_of_exn t pid =
+  match List.find_opt (fun p -> Partition.pid p = pid) t.partitions with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Relation %s: no partition %d" (name t) pid)
+
+let place_tuple t tuple =
+  let heap_need = Tuple.heap_bytes tuple in
+  if heap_need > t.heap_capacity then
+    Error
+      (Printf.sprintf
+         "tuple needs %d heap bytes, exceeding partition heap capacity %d"
+         heap_need t.heap_capacity)
+  else begin
+    let rec try_parts = function
+      | [] ->
+          let p = new_partition t in
+          (match Partition.add p tuple with
+          | Partition.Added -> Ok ()
+          | Slots_full | Heap_full -> assert false)
+      | p :: rest -> (
+          match Partition.add p tuple with
+          | Partition.Added -> Ok ()
+          | Slots_full | Heap_full -> try_parts rest)
+    in
+    try_parts t.partitions
+  end
+
+(* --- index plumbing --------------------------------------------------- *)
+
+let idx_insert (module Inst : INSTANCE) tuple = Inst.I.insert Inst.handle tuple
+let idx_delete (module Inst : INSTANCE) tuple = Inst.I.delete Inst.handle tuple
+
+let probe_for t (def : index_def) key =
+  if Array.length key <> Array.length def.columns then
+    invalid_arg
+      (Printf.sprintf "Relation %s: key arity %d, index %s wants %d" (name t)
+         (Array.length key) def.idx_name
+         (Array.length def.columns));
+  let fields = Array.make (Schema.arity t.schema) Value.Null in
+  Array.iteri (fun j c -> fields.(c) <- key.(j)) def.columns;
+  Tuple.probe fields
+
+(* --- public operations ------------------------------------------------ *)
+
+let insert t values =
+  match Schema.check_tuple t.schema values with
+  | Error msg -> Error msg
+  | Ok () -> (
+      let tuple = Tuple.make (Array.copy values) in
+      (* Enter the tuple into every index, unwinding on a uniqueness
+         violation. *)
+      let rec enter done_ = function
+        | [] -> Ok ()
+        | inst :: rest ->
+            if idx_insert inst tuple then enter (inst :: done_) rest
+            else begin
+              List.iter (fun i -> ignore (idx_delete i tuple)) done_;
+              Error
+                (Printf.sprintf "unique index %s violated"
+                   (def_of inst).idx_name)
+            end
+      in
+      match enter [] t.indices with
+      | Error _ as e -> e
+      | Ok () -> (
+          match place_tuple t tuple with
+          | Error msg ->
+              List.iter (fun i -> ignore (idx_delete i tuple)) t.indices;
+              Error msg
+          | Ok () ->
+              t.count <- t.count + 1;
+              Ok tuple))
+
+let delete_tuple t tuple =
+  let resolved = Tuple.resolve tuple in
+  if resolved.Value.pid < 0 then false
+  else begin
+    let p = partition_of_exn t resolved.Value.pid in
+    if Partition.remove p resolved then begin
+      List.iter (fun inst -> ignore (idx_delete inst tuple)) t.indices;
+      t.count <- t.count - 1;
+      true
+    end
+    else false
+  end
+
+let lookup ?index t key =
+  let inst = match index with None -> primary t | Some n -> find_index_exn t n in
+  let (module Inst) = inst in
+  let probe = probe_for t Inst.def key in
+  let acc = ref [] in
+  Inst.I.iter_matches Inst.handle probe (fun tu -> acc := tu :: !acc);
+  List.rev !acc
+
+let lookup_one ?index t key =
+  match lookup ?index t key with [] -> None | tu :: _ -> Some tu
+
+let lookup_range ?index t ~lo ~hi f =
+  let inst = match index with None -> primary t | Some n -> find_index_exn t n in
+  let (module Inst) = inst in
+  Inst.I.range Inst.handle ~lo:(probe_for t Inst.def lo)
+    ~hi:(probe_for t Inst.def hi) f
+
+let lookup_from ?index t key f =
+  let inst = match index with None -> primary t | Some n -> find_index_exn t n in
+  let (module Inst) = inst in
+  Inst.I.iter_from Inst.handle (probe_for t Inst.def key) f
+
+(* Scan through the primary index, honouring the all-access-via-index rule. *)
+let iter t f =
+  let (module Inst) = primary t in
+  Inst.I.iter Inst.handle f
+
+let to_seq t =
+  let (module Inst) = primary t in
+  Inst.I.to_seq Inst.handle
+
+let iter_via ?index t f =
+  let inst = match index with None -> primary t | Some n -> find_index_exn t n in
+  let (module Inst) = inst in
+  Inst.I.iter Inst.handle f
+
+(* Direct partition access — recovery subsystem only. *)
+let iter_storage t f = List.iter (fun p -> Partition.iter p f) (partitions t)
+
+let create_index ?(structure = T_tree) ?(unique = false) t ~idx_name ~columns
+    =
+  if find_index t idx_name <> None then
+    Error (Printf.sprintf "index %s already exists" idx_name)
+  else begin
+    Array.iter
+      (fun c ->
+        if c < 0 || c >= Schema.arity t.schema then
+          invalid_arg "Relation.create_index: column out of range")
+      columns;
+    let def = { idx_name; columns; unique; structure } in
+    let inst = make_instance ~expected:(max 16 t.count) def in
+    let ok = ref true in
+    (* Populate from the primary index. *)
+    iter t (fun tuple -> if !ok && not (idx_insert inst tuple) then ok := false);
+    if !ok then begin
+      t.indices <- t.indices @ [ inst ];
+      Ok ()
+    end
+    else
+      Error
+        (Printf.sprintf "cannot build unique index %s: duplicate key present"
+           idx_name)
+  end
+
+let drop_index t ~idx_name =
+  match t.indices with
+  | (module P : INSTANCE) :: _ when String.equal P.def.idx_name idx_name ->
+      Error "cannot drop the primary index"
+  | _ ->
+      if find_index t idx_name = None then
+        Error (Printf.sprintf "no index named %s" idx_name)
+      else begin
+        t.indices <-
+          List.filter
+            (fun (module Inst : INSTANCE) ->
+              not (String.equal Inst.def.idx_name idx_name))
+            t.indices;
+        Ok ()
+      end
+
+(* Update one field of a tuple.  Pointer-based indices make this cheap: only
+   indices covering the column need their (pointer) entries repositioned.
+   If a string grows past the partition's heap budget the tuple record moves
+   to another partition, leaving a forwarding address (§2.1 footnote 1). *)
+let update_field t tuple col v =
+  if col < 0 || col >= Schema.arity t.schema then
+    invalid_arg "Relation.update_field: column out of range";
+  if not (Schema.value_fits (Schema.column_type t.schema col) v) then
+    Error "value does not fit column type"
+  else begin
+    let resolved = Tuple.resolve tuple in
+    let affected =
+      List.filter
+        (fun (module Inst : INSTANCE) -> Array.mem col Inst.def.columns)
+        t.indices
+    in
+    (* Remove stale entries while the old key is still in place. *)
+    List.iter (fun inst -> ignore (idx_delete inst tuple)) affected;
+    let old_v = Tuple.get_raw resolved col in
+    let delta = Value.byte_width v - Value.byte_width old_v in
+    let heap_delta =
+      match (old_v, v) with
+      | Value.Str _, _ | _, Value.Str _ -> delta
+      | _ -> 0
+    in
+    let p = partition_of_exn t resolved.Value.pid in
+    let moved =
+      if heap_delta <> 0 && not (Partition.adjust_heap p ~delta:heap_delta)
+      then begin
+        (* Heap overflow: move the record, forwarding the old address. *)
+        ignore (Partition.remove p resolved);
+        let fields = Array.copy resolved.Value.fields in
+        fields.(col) <- v;
+        let fresh = Tuple.move_record resolved ~fields in
+        match place_tuple t fresh with
+        | Ok () -> true
+        | Error _ ->
+            (* Undo: put the old record back unchanged. *)
+            resolved.Value.forward <- None;
+            ignore (Partition.add p resolved);
+            false
+      end
+      else begin
+        Tuple.set resolved col v;
+        true
+      end
+    in
+    let rec reenter done_ = function
+      | [] -> Ok ()
+      | inst :: rest ->
+          if idx_insert inst tuple then reenter (inst :: done_) rest
+          else begin
+            List.iter (fun i -> ignore (idx_delete i tuple)) done_;
+            Error
+              (Printf.sprintf "unique index %s violated by update"
+                 (def_of inst).idx_name)
+          end
+    in
+    if not moved then begin
+      (* Field unchanged; restore index entries. *)
+      List.iter (fun inst -> ignore (idx_insert inst tuple)) affected;
+      Error "update would overflow every partition heap"
+    end
+    else
+      match reenter [] affected with
+      | Ok () -> Ok ()
+      | Error msg ->
+          (* Revert the field and restore entries under the old key. *)
+          Tuple.set tuple col old_v;
+          (match (old_v, v) with
+          | Value.Str _, _ | _, Value.Str _ ->
+              let cur = Tuple.resolve tuple in
+              let p' = partition_of_exn t cur.Value.pid in
+              ignore (Partition.adjust_heap p' ~delta:(-heap_delta))
+          | _ -> ());
+          List.iter (fun inst -> ignore (idx_insert inst tuple)) affected;
+          Error msg
+  end
+
+let validate t =
+  let exception Bad of string in
+  try
+    (* Partitions. *)
+    List.iter
+      (fun p ->
+        match Partition.validate p with
+        | Ok () -> ()
+        | Error msg ->
+            raise (Bad (Printf.sprintf "partition %d: %s" (Partition.pid p) msg)))
+      t.partitions;
+    let stored = List.fold_left (fun acc p -> acc + Partition.count p) 0 t.partitions in
+    if stored <> t.count then
+      raise (Bad (Printf.sprintf "partition tuples %d <> count %d" stored t.count));
+    (* Indices: size and internal invariants. *)
+    List.iter
+      (fun (module Inst : INSTANCE) ->
+        if Inst.I.size Inst.handle <> t.count then
+          raise
+            (Bad
+               (Printf.sprintf "index %s holds %d entries, relation has %d"
+                  Inst.def.idx_name
+                  (Inst.I.size Inst.handle)
+                  t.count));
+        match Inst.I.validate Inst.handle with
+        | Ok () -> ()
+        | Error msg ->
+            raise (Bad (Printf.sprintf "index %s: %s" Inst.def.idx_name msg)))
+      t.indices;
+    (* Every stored tuple reachable through every index. *)
+    iter_storage t (fun tuple ->
+        List.iter
+          (fun (module Inst : INSTANCE) ->
+            let found = ref false in
+            Inst.I.iter_matches Inst.handle tuple (fun tu ->
+                if Tuple.id tu = Tuple.id tuple then found := true);
+            if not !found then
+              raise
+                (Bad
+                   (Printf.sprintf "tuple t%d missing from index %s"
+                      (Tuple.id tuple) Inst.def.idx_name)))
+          t.indices);
+    Ok ()
+  with Bad msg -> Error msg

@@ -1,0 +1,106 @@
+(** Relation schemas: named, typed columns, with declared foreign keys.
+
+    A foreign key declared in the style proposed by Date [Dat85] tells the
+    MM-DBMS to substitute a tuple-pointer field for the key field (§2.1);
+    the declaration carries the referenced relation and the referenced key
+    column so the storage layer can maintain the pointers on insert. *)
+
+type col_type =
+  | T_bool
+  | T_int
+  | T_float
+  | T_string
+  | T_ref of string
+      (** foreign key: stores a tuple pointer into the named relation *)
+  | T_refs of string  (** one-to-many pointer list into the named relation *)
+
+type column = { col_name : string; col_type : col_type }
+
+type t = { name : string; columns : column array }
+
+let make ~name columns =
+  if columns = [] then invalid_arg "Schema.make: no columns";
+  let names = List.map (fun c -> c.col_name) columns in
+  let dup =
+    List.exists
+      (fun n -> List.length (List.filter (String.equal n) names) > 1)
+      names
+  in
+  if dup then invalid_arg "Schema.make: duplicate column name";
+  { name; columns = Array.of_list columns }
+
+let col ?(ty = T_int) col_name = { col_name; col_type = ty }
+
+let arity t = Array.length t.columns
+
+let column_index t name =
+  let rec go i =
+    if i >= Array.length t.columns then None
+    else if String.equal t.columns.(i).col_name name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let column_index_exn t name =
+  match column_index t name with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Schema: no column %S in %s" name t.name)
+
+let column_type t i = t.columns.(i).col_type
+
+let column_name t i = t.columns.(i).col_name
+
+(* Does a value inhabit the column type?  Null is allowed everywhere. *)
+let value_fits ty (v : Value.t) =
+  match (ty, v) with
+  | _, Value.Null -> true
+  | T_bool, Value.Bool _ -> true
+  | T_int, Value.Int _ -> true
+  | T_float, Value.Float _ -> true
+  | T_string, Value.Str _ -> true
+  | T_ref _, Value.Ref _ -> true
+  | T_refs _, Value.Refs _ -> true
+  | (T_bool | T_int | T_float | T_string | T_ref _ | T_refs _), _ -> false
+
+let check_tuple t (values : Value.t array) =
+  if Array.length values <> arity t then
+    Error
+      (Printf.sprintf "%s: expected %d fields, got %d" t.name (arity t)
+         (Array.length values))
+  else begin
+    let bad = ref None in
+    Array.iteri
+      (fun i v ->
+        if !bad = None && not (value_fits t.columns.(i).col_type v) then
+          bad :=
+            Some
+              (Printf.sprintf "%s.%s: value %s does not fit column type" t.name
+                 t.columns.(i).col_name (Value.to_string v)))
+      values;
+    match !bad with None -> Ok () | Some msg -> Error msg
+  end
+
+let foreign_keys t =
+  let acc = ref [] in
+  Array.iteri
+    (fun i c ->
+      match c.col_type with
+      | T_ref target | T_refs target -> acc := (i, target) :: !acc
+      | T_bool | T_int | T_float | T_string -> ())
+    t.columns;
+  List.rev !acc
+
+let pp ppf t =
+  let pp_col ppf c =
+    let ty =
+      match c.col_type with
+      | T_bool -> "bool"
+      | T_int -> "int"
+      | T_float -> "float"
+      | T_string -> "string"
+      | T_ref r -> "ref " ^ r
+      | T_refs r -> "refs " ^ r
+    in
+    Fmt.pf ppf "%s:%s" c.col_name ty
+  in
+  Fmt.pf ppf "@[<h>%s(%a)@]" t.name (Fmt.array ~sep:Fmt.comma pp_col) t.columns

@@ -1,0 +1,41 @@
+(** Relation schemas: named, typed columns, with declared foreign keys.
+
+    Declaring a column as [T_ref "Department"] (Date-style foreign key,
+    §2.1) tells the MM-DBMS to substitute a tuple pointer for the key
+    value at insert time — see [Mmdb_core.Db.insert]. *)
+
+type col_type =
+  | T_bool
+  | T_int
+  | T_float
+  | T_string
+  | T_ref of string
+      (** foreign key: stores a tuple pointer into the named relation *)
+  | T_refs of string  (** one-to-many pointer list into the named relation *)
+
+type column = { col_name : string; col_type : col_type }
+
+type t = { name : string; columns : column array }
+
+val make : name:string -> column list -> t
+(** @raise Invalid_argument on an empty column list or duplicate names. *)
+
+val col : ?ty:col_type -> string -> column
+(** [col ?ty name] is a column definition; [ty] defaults to [T_int]. *)
+
+val arity : t -> int
+val column_index : t -> string -> int option
+val column_index_exn : t -> string -> int
+val column_type : t -> int -> col_type
+val column_name : t -> int -> string
+
+val value_fits : col_type -> Value.t -> bool
+(** Type check for one value; [Null] fits every column. *)
+
+val check_tuple : t -> Value.t array -> (unit, string) result
+(** Arity and per-column type check. *)
+
+val foreign_keys : t -> (int * string) list
+(** [(column position, referenced relation)] for every pointer column. *)
+
+val pp : Format.formatter -> t -> unit

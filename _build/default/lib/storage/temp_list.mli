@@ -1,0 +1,68 @@
+(** Temporary lists (§2.3): intermediate query results.
+
+    "A temporary list is a list of tuple pointers plus an associated
+    result descriptor" — entries point back into the source relations; no
+    attribute data is copied until {!materialize}.  Unlike relations, a
+    temporary list may be traversed directly. *)
+
+type entry = Tuple.t array
+(** One pointer per source relation. *)
+
+type t
+
+val create : Descriptor.t -> t
+val descriptor : t -> Descriptor.t
+val length : t -> int
+
+val append : t -> entry -> unit
+(** @raise Invalid_argument if the entry arity does not match the
+    descriptor's source count. *)
+
+val get : t -> int -> entry
+val iter : t -> (entry -> unit) -> unit
+val to_seq : t -> entry Seq.t
+
+val field_value : t -> entry -> int -> Value.t
+(** The value of descriptor field [i] for this entry (follows the tuple
+    pointer). *)
+
+val materialize_entry : t -> entry -> Value.t array
+(** Render one entry as a row of values — the only point where data is
+    copied out of the source relations. *)
+
+val materialize : t -> Value.t array list
+
+val of_relation : Relation.t -> t
+(** A single-source temporary list over a whole relation, scanned through
+    its primary index (the §2.1 access rule). *)
+
+val project : t -> string list -> t
+(** Narrow the visible fields; shares the entries with the input. *)
+
+(** {1 Indexing a temporary list}
+
+    §2.3: "it is also possible to have an index on a temporary list". *)
+
+(** A live index over the list's entries, keyed by one descriptor field. *)
+module type ENTRY_INDEX = sig
+  module I : Mmdb_index.Index_intf.S
+
+  val handle : entry I.t
+  val field : int
+end
+
+type entry_index = (module ENTRY_INDEX)
+
+val build_index :
+  ?structure:(module Mmdb_index.Index_intf.S) ->
+  t ->
+  label:string ->
+  (entry_index, string) result
+(** Build an index (a T Tree by default) over the current entries, keyed by
+    the named descriptor field.  The index is a snapshot: entries appended
+    later are not covered. *)
+
+val lookup_via : t -> entry_index -> Value.t -> entry list
+(** All entries whose keyed field equals the probe value. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,72 @@
+(** Operations on tuples (see {!Value.tuple} for the representation).
+
+    Tuple pointers are the currency of the whole system: indices store
+    them instead of key values (§2.2), temporary lists hold arrays of them
+    (§2.3), and foreign keys follow them (§2.1).  Each dereference that
+    reaches through a pointer for an attribute value is tallied in
+    [Mmdb_util.Counters.ptr_derefs]. *)
+
+type t = Value.tuple
+
+val make : Value.t array -> t
+(** Allocate a tuple with a fresh identity.  The array is owned by the
+    tuple afterwards. *)
+
+val id : t -> int
+(** The tuple's stable identity (survives partition moves). *)
+
+val resolve : t -> t
+(** Follow forwarding addresses to the current record (§2.1 footnote 1). *)
+
+val arity : t -> int
+
+val get : t -> int -> Value.t
+(** [get t i] reads field [i] through the pointer (resolving forwarding and
+    counting the dereference). *)
+
+val get_raw : t -> int -> Value.t
+(** Field access without forwarding resolution or counting — internal
+    bookkeeping only. *)
+
+val set : t -> int -> Value.t -> unit
+
+val fields : t -> Value.t array
+(** A copy of all field values. *)
+
+val byte_width : t -> int
+(** Total simulated width of the tuple's fields. *)
+
+val heap_bytes : t -> int
+(** Bytes of partition heap consumed by variable-length (string) fields. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Key extraction for indices}
+
+    A single tuple pointer gives access to any field, so multi-attribute
+    indices need no special mechanism (§2.2). *)
+
+val key : columns:int array -> t -> Value.t array
+
+val compare_on : columns:int array -> t -> t -> int
+(** Lexicographic comparison on the projected columns. *)
+
+val hash_on : columns:int array -> t -> int
+
+val probe : Value.t array -> t
+(** A transient search-key tuple with wildcard identity: it compares equal
+    (under {!compare_keyed}) to any tuple with the same key values.  Never
+    insert a probe into an index. *)
+
+val is_probe : t -> bool
+
+val compare_keyed : columns:int array -> t -> t -> int
+(** Key comparison with a tuple-identity tie-break, used by non-unique
+    indices so each entry is distinct and deleting a tuple removes exactly
+    its own entry.  Probes are wildcards in the tie-break. *)
+
+val move_record : t -> fields:Value.t array -> t
+(** [move_record t ~fields] clones [t]'s record with the new fields,
+    preserving its identity, and installs a forwarding address in the old
+    record.  Used when a growing variable-length field overflows the
+    partition heap. *)

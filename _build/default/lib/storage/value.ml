@@ -1,0 +1,95 @@
+(** Typed attribute values, and the tuples that carry them.
+
+    The two types are mutually recursive because of §2.1's central idea: a
+    foreign-key field does not store the key's data value, it stores a
+    {e tuple pointer} to the referenced tuple ([Ref]), which is both smaller
+    than a string key and enables precomputed joins (the MM-DBMS "can simply
+    follow the pointer to the foreign relation tuple").  A one-to-many
+    relationship stores a list of pointers ([Refs]).
+
+    Tuples never move once entered into the database; in the rare case where
+    heap overflow forces a move, a forwarding address is left behind
+    (footnote 1 of the paper) — see {!Tuple.resolve}. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Ref of tuple  (** foreign-key tuple pointer (one-to-one) *)
+  | Refs of tuple list  (** foreign-key pointer list (one-to-many) *)
+
+and tuple = {
+  id : int;  (** stable identity; stands in for the memory address *)
+  mutable fields : t array;
+  mutable forward : tuple option;  (** forwarding address after a move *)
+  mutable pid : int;  (** owning partition, or -1 when not yet placed *)
+}
+
+let type_name = function
+  | Null -> "null"
+  | Bool _ -> "bool"
+  | Int _ -> "int"
+  | Float _ -> "float"
+  | Str _ -> "string"
+  | Ref _ -> "ref"
+  | Refs _ -> "refs"
+
+let tag_rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ -> 2
+  | Float _ -> 3
+  | Str _ -> 4
+  | Ref _ -> 5
+  | Refs _ -> 6
+
+(* Total order.  Within a well-typed relation only same-constructor
+   comparisons occur; the cross-constructor fallback keeps the order total
+   for defensive use in generic indices. *)
+let compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Str x, Str y -> String.compare x y
+  | Ref x, Ref y -> Int.compare x.id y.id
+  | Refs x, Refs y ->
+      List.compare (fun (t1 : tuple) t2 -> Int.compare t1.id t2.id) x y
+  | _ -> Int.compare (tag_rank a) (tag_rank b)
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Null -> 0
+  | Bool b -> if b then 1 else 2
+  | Int x -> Hashtbl.hash x
+  | Float x -> Hashtbl.hash x
+  | Str s -> Hashtbl.hash s
+  | Ref t -> Hashtbl.hash t.id
+  | Refs ts -> Hashtbl.hash (List.map (fun (t : tuple) -> t.id) ts)
+
+(* Simulated on-disk width in bytes, for partition heap accounting: scalars
+   are 4-byte words; strings live in the partition heap at their length;
+   pointers are 4 bytes each. *)
+let byte_width = function
+  | Null -> 0
+  | Bool _ | Int _ | Ref _ -> 4
+  | Float _ -> 8
+  | Str s -> String.length s
+  | Refs ts -> 4 * List.length ts
+
+let rec pp ppf = function
+  | Null -> Fmt.string ppf "NULL"
+  | Bool b -> Fmt.bool ppf b
+  | Int x -> Fmt.int ppf x
+  | Float x -> Fmt.float ppf x
+  | Str s -> Fmt.pf ppf "%S" s
+  | Ref t -> Fmt.pf ppf "->t%d" t.id
+  | Refs ts -> Fmt.pf ppf "->[%a]" (Fmt.list ~sep:Fmt.comma pp_tuple_id) ts
+
+and pp_tuple_id ppf (t : tuple) = Fmt.pf ppf "t%d" t.id
+
+let to_string v = Fmt.str "%a" pp v

@@ -1,0 +1,45 @@
+(** Typed attribute values, and the tuples that carry them.
+
+    The two types are mutually recursive because of §2.1's central idea: a
+    foreign-key field stores a {e tuple pointer} to the referenced tuple
+    rather than the key's data value — smaller than a string key, and the
+    basis of precomputed joins.  A one-to-many relationship stores a list
+    of pointers. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Ref of tuple  (** foreign-key tuple pointer (one-to-one) *)
+  | Refs of tuple list  (** foreign-key pointer list (one-to-many) *)
+
+and tuple = {
+  id : int;  (** stable identity; stands in for the memory address *)
+  mutable fields : t array;
+  mutable forward : tuple option;
+      (** forwarding address left behind when heap overflow forces a move
+          (§2.1 footnote 1) *)
+  mutable pid : int;  (** owning partition, or -1 when not yet placed *)
+}
+
+val type_name : t -> string
+(** ["int"], ["string"], … — for error messages. *)
+
+val compare : t -> t -> int
+(** Total order: natural within a constructor, pointers by tuple identity,
+    cross-constructor by a fixed tag ranking (with [Null] smallest). *)
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+(** Consistent with {!equal}; pointer values hash their tuple identity. *)
+
+val byte_width : t -> int
+(** Simulated on-disk width used for partition heap accounting: 4-byte
+    scalars and pointers, 8-byte floats, strings at their length. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_tuple_id : Format.formatter -> tuple -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/txn/disk_store.ml: Array Hashtbl List Log_record Mmdb_storage String

@@ -1,0 +1,1 @@
+lib/txn/disk_store.mli: Log_record Mmdb_storage

@@ -1,0 +1,1 @@
+lib/txn/log_buffer.ml: Hashtbl List Log_record Option

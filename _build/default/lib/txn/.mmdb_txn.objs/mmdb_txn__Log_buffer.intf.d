@@ -1,0 +1,1 @@
+lib/txn/log_buffer.mli: Log_record

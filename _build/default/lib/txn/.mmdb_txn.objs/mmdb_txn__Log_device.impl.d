@@ -1,0 +1,1 @@
+lib/txn/log_device.ml: Disk_store List Log_buffer Log_record String

@@ -1,0 +1,1 @@
+lib/txn/log_device.mli: Disk_store Log_buffer Log_record

@@ -1,0 +1,1 @@
+lib/txn/log_record.ml: Array Fmt List Mmdb_storage

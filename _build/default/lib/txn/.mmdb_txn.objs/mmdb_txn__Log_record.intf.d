@@ -1,0 +1,1 @@
+lib/txn/log_record.mli: Format Mmdb_storage

@@ -1,0 +1,1 @@
+lib/txn/recovery.ml: Array Disk_store Fmt Hashtbl List Log_device Log_record Mmdb_storage Printf Relation String Tuple Txn Value

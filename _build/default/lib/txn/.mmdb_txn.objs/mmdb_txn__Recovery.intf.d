@@ -1,0 +1,1 @@
+lib/txn/recovery.mli: Disk_store Format Log_device Txn

@@ -1,0 +1,1 @@
+lib/txn/scheduler.ml: Fmt List Mmdb_storage Relation Result Txn Value

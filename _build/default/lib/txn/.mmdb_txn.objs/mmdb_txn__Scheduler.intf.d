@@ -1,0 +1,1 @@
+lib/txn/scheduler.mli: Format Mmdb_storage Txn Value

@@ -1,0 +1,1 @@
+lib/txn/txn.ml: Array Disk_store Fmt Hashtbl List Lock_manager Log_buffer Log_device Log_record Mmdb_storage Option Printf Relation Result Tuple Value

@@ -1,0 +1,1 @@
+lib/txn/txn.mli: Disk_store Format Lock_manager Log_device Mmdb_storage Relation Tuple Value

@@ -1,0 +1,121 @@
+(** The disk copy of the database (§2.4, Figure 2), simulated in memory.
+
+    Holds, per relation, a catalog record (schema, index definitions,
+    partition capacities) and per-partition images of serialized tuples.
+    The log device updates these images as it propagates committed changes;
+    recovery reads them back partition by partition. *)
+
+type catalog_entry = {
+  schema : Mmdb_storage.Schema.t;
+  index_defs : Mmdb_storage.Relation.index_def list;
+  slot_capacity : int;
+  heap_capacity : int;
+}
+
+type image = {
+  mutable tuples : Log_record.stuple list;  (** newest first *)
+}
+
+type t = {
+  catalog : (string, catalog_entry) Hashtbl.t;
+  images : (string * int, image) Hashtbl.t;  (** keyed by (relation, pid) *)
+}
+
+let create () = { catalog = Hashtbl.create 8; images = Hashtbl.create 64 }
+
+let register t ~rel entry = Hashtbl.replace t.catalog rel entry
+
+let catalog_entry t ~rel = Hashtbl.find_opt t.catalog rel
+
+let relations t = Hashtbl.fold (fun rel _ acc -> rel :: acc) t.catalog []
+
+let image_for t ~rel ~pid =
+  let key = (rel, pid) in
+  match Hashtbl.find_opt t.images key with
+  | Some img -> img
+  | None ->
+      let img = { tuples = [] } in
+      Hashtbl.replace t.images key img;
+      img
+
+let read_image t ~rel ~pid =
+  match Hashtbl.find_opt t.images (rel, pid) with
+  | Some img -> img.tuples
+  | None -> []
+
+let partitions_of t ~rel =
+  Hashtbl.fold
+    (fun (r, pid) _ acc -> if String.equal r rel then pid :: acc else acc)
+    t.images []
+  |> List.sort compare
+
+(* Apply one committed change to the disk image it targets.  Updates and
+   deletes search the relation's images by tuple id because a tuple may have
+   moved partitions since the image was written. *)
+let apply_change t ~rel ~pid (change : Log_record.change) =
+  match change with
+  | Log_record.Insert st ->
+      let img = image_for t ~rel ~pid in
+      img.tuples <- st :: img.tuples
+  | Log_record.Delete { tid } ->
+      Hashtbl.iter
+        (fun (r, _) img ->
+          if String.equal r rel then
+            img.tuples <-
+              List.filter (fun st -> st.Log_record.sid <> tid) img.tuples)
+        t.images
+  | Log_record.Update { tid; col; svalue } ->
+      let updated = ref false in
+      Hashtbl.iter
+        (fun (r, p) img ->
+          if String.equal r rel && not !updated then
+            img.tuples <-
+              List.map
+                (fun st ->
+                  if st.Log_record.sid = tid then begin
+                    updated := true;
+                    let svalues = Array.copy st.Log_record.svalues in
+                    svalues.(col) <- svalue;
+                    { st with Log_record.svalues }
+                  end
+                  else st)
+                img.tuples;
+          ignore p)
+        t.images
+
+(* Full checkpoint of a live relation: rewrite its catalog entry and all
+   partition images from current memory state. *)
+let checkpoint t rel_t =
+  let rel = Mmdb_storage.Relation.name rel_t in
+  let parts = Mmdb_storage.Relation.partitions rel_t in
+  register t ~rel
+    {
+      schema = Mmdb_storage.Relation.schema rel_t;
+      index_defs = Mmdb_storage.Relation.index_defs rel_t;
+      slot_capacity = Mmdb_storage.Relation.slot_capacity rel_t;
+      heap_capacity = Mmdb_storage.Relation.heap_capacity rel_t;
+    };
+  (* Drop stale images of this relation. *)
+  let stale =
+    Hashtbl.fold
+      (fun (r, pid) _ acc -> if String.equal r rel then (r, pid) :: acc else acc)
+      t.images []
+  in
+  List.iter (Hashtbl.remove t.images) stale;
+  List.iter
+    (fun p ->
+      let img = image_for t ~rel ~pid:(Mmdb_storage.Partition.pid p) in
+      let acc = ref [] in
+      Mmdb_storage.Partition.iter p (fun tuple ->
+          acc := Log_record.serialize_tuple tuple :: !acc);
+      img.tuples <- !acc;
+      Mmdb_storage.Partition.set_dirty p false)
+    parts
+
+let image_count t = Hashtbl.length t.images
+
+let tuple_count t ~rel =
+  Hashtbl.fold
+    (fun (r, _) img acc ->
+      if String.equal r rel then acc + List.length img.tuples else acc)
+    t.images 0

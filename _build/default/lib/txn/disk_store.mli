@@ -1,0 +1,33 @@
+(** The disk copy of the database (§2.4, Figure 2), simulated in memory:
+    per-relation catalog records (schema, index definitions, partition
+    capacities) and per-partition images of serialized tuples. *)
+
+type catalog_entry = {
+  schema : Mmdb_storage.Schema.t;
+  index_defs : Mmdb_storage.Relation.index_def list;
+  slot_capacity : int;
+  heap_capacity : int;
+}
+
+type t
+
+val create : unit -> t
+
+val register : t -> rel:string -> catalog_entry -> unit
+val catalog_entry : t -> rel:string -> catalog_entry option
+val relations : t -> string list
+
+val read_image : t -> rel:string -> pid:int -> Log_record.stuple list
+val partitions_of : t -> rel:string -> int list
+
+val apply_change : t -> rel:string -> pid:int -> Log_record.change -> unit
+(** Apply one committed change to the images (updates and deletes search
+    the relation's images by tuple id, since a tuple may have moved
+    partitions since its image was written). *)
+
+val checkpoint : t -> Mmdb_storage.Relation.t -> unit
+(** Rewrite a live relation's catalog entry and all its partition images
+    from current memory state, clearing dirty flags. *)
+
+val image_count : t -> int
+val tuple_count : t -> rel:string -> int

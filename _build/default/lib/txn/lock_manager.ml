@@ -1,0 +1,159 @@
+(** Partition-granularity lock manager (§2.4).
+
+    "We expect to set locks at the partition level, a fairly coarse level of
+    granularity, as tuple-level locking would be prohibitively expensive
+    here" — the paper observes that a lock table is basically a hashed
+    relation, so locking a tuple would cost as much as accessing it.
+
+    Shared/exclusive locks keyed by (relation, partition id); the special
+    partition id [-1] is a relation-growth lock taken by inserts that may
+    allocate partitions.  The manager is a simulation-friendly core: lock
+    requests never block a thread — they return [Blocked], the caller
+    (transaction scheduler, test, or benchmark driver) decides how to wait —
+    and deadlocks are detected eagerly with a waits-for graph, with the
+    requester chosen as victim. *)
+
+type mode = Shared | Exclusive
+
+type resource = { rel : string; pid : int }
+
+let growth_pid = -1
+
+type outcome = Granted | Blocked | Deadlock
+
+type entry = {
+  mutable holders : (int * mode) list;  (** txn id, mode held *)
+  mutable waiters : (int * mode) list;  (** FIFO wait queue *)
+}
+
+type t = {
+  table : (resource, entry) Hashtbl.t;
+  mutable held_by : (int, resource list) Hashtbl.t;
+}
+
+let create () = { table = Hashtbl.create 64; held_by = Hashtbl.create 16 }
+
+let entry_for t res =
+  match Hashtbl.find_opt t.table res with
+  | Some e -> e
+  | None ->
+      let e = { holders = []; waiters = [] } in
+      Hashtbl.replace t.table res e;
+      e
+
+let compatible mode holders ~requester =
+  List.for_all
+    (fun (txn, held) ->
+      txn = requester || (mode = Shared && held = Shared))
+    holders
+
+let note_held t txn res =
+  let cur = Option.value ~default:[] (Hashtbl.find_opt t.held_by txn) in
+  if not (List.mem res cur) then Hashtbl.replace t.held_by txn (res :: cur)
+
+(* Transactions that [txn] is waiting behind on any resource. *)
+let blockers t txn =
+  Hashtbl.fold
+    (fun _res e acc ->
+      if List.mem_assoc txn e.waiters then
+        List.fold_left
+          (fun acc (holder, _) -> if holder <> txn then holder :: acc else acc)
+          acc e.holders
+      else acc)
+    t.table []
+
+(* Would granting nothing and leaving [txn] waiting create a cycle that
+   includes [txn]?  Straightforward DFS over the waits-for graph. *)
+let creates_deadlock t ~txn ~on:(e : entry) =
+  let direct =
+    List.filter_map
+      (fun (holder, _) -> if holder <> txn then Some holder else None)
+      e.holders
+  in
+  let visited = Hashtbl.create 8 in
+  let rec reaches_requester node =
+    if node = txn then true
+    else if Hashtbl.mem visited node then false
+    else begin
+      Hashtbl.replace visited node ();
+      List.exists reaches_requester (blockers t node)
+    end
+  in
+  List.exists reaches_requester direct
+
+let acquire t ~txn res mode =
+  let e = entry_for t res in
+  let held = List.assoc_opt txn e.holders in
+  match (held, mode) with
+  | Some Exclusive, _ | Some Shared, Shared -> Granted
+  | Some Shared, Exclusive ->
+      (* Upgrade: allowed immediately iff sole holder.  A previously queued
+         upgrade request for the same resource is satisfied by this grant,
+         so drop any stale wait entry. *)
+      if List.for_all (fun (h, _) -> h = txn) e.holders then begin
+        e.holders <- [ (txn, Exclusive) ];
+        e.waiters <- List.filter (fun (w, _) -> w <> txn) e.waiters;
+        note_held t txn res;
+        Granted
+      end
+      else if creates_deadlock t ~txn ~on:e then Deadlock
+      else begin
+        if not (List.mem_assoc txn e.waiters) then
+          e.waiters <- e.waiters @ [ (txn, Exclusive) ];
+        Blocked
+      end
+  | None, _ ->
+      if e.waiters = [] && compatible mode e.holders ~requester:txn then begin
+        e.holders <- (txn, mode) :: e.holders;
+        note_held t txn res;
+        Granted
+      end
+      else if creates_deadlock t ~txn ~on:e then Deadlock
+      else begin
+        if not (List.mem_assoc txn e.waiters) then
+          e.waiters <- e.waiters @ [ (txn, mode) ];
+        Blocked
+      end
+
+let release_all t ~txn =
+  Hashtbl.iter
+    (fun res e ->
+      (* A transaction can appear more than once (e.g. S plus a granted
+         upgrade); drop every entry it owns. *)
+      e.holders <- List.filter (fun (h, _) -> h <> txn) e.holders;
+      e.waiters <- List.filter (fun (w, _) -> w <> txn) e.waiters;
+      (* FIFO grant of newly compatible waiters.  A promoted upgrade
+         replaces the waiter's existing shared hold. *)
+      let rec promote () =
+        match e.waiters with
+        | (w, mode) :: rest when compatible mode e.holders ~requester:w ->
+            e.waiters <- rest;
+            e.holders <- (w, mode) :: List.filter (fun (h, _) -> h <> w) e.holders;
+            note_held t w res;
+            promote ()
+        | _ -> ()
+      in
+      promote ())
+    t.table;
+  Hashtbl.remove t.held_by txn
+
+(* After release, a previously Blocked transaction re-issues its acquire;
+   if it was promoted to holder it gets Granted immediately. *)
+
+let holds t ~txn res =
+  match Hashtbl.find_opt t.table res with
+  | None -> None
+  | Some e -> List.assoc_opt txn e.holders
+
+let waiting t ~txn =
+  Hashtbl.fold
+    (fun res e acc -> if List.mem_assoc txn e.waiters then res :: acc else acc)
+    t.table []
+
+let held_resources t ~txn =
+  Hashtbl.fold
+    (fun res e acc -> if List.mem_assoc txn e.holders then res :: acc else acc)
+    t.table []
+
+let active_locks t =
+  Hashtbl.fold (fun _ e acc -> acc + List.length e.holders) t.table 0

@@ -1,0 +1,39 @@
+(** Partition-granularity lock manager (§2.4).
+
+    "We expect to set locks at the partition level, a fairly coarse level
+    of granularity, as tuple-level locking would be prohibitively
+    expensive here" — a lock table is basically a hashed relation, so
+    locking a tuple would cost as much as accessing it.
+
+    Requests never block the calling thread: they return {!Blocked} (the
+    caller decides how to wait) and deadlocks are detected eagerly on a
+    waits-for graph, with the requester chosen as victim. *)
+
+type mode = Shared | Exclusive
+
+type resource = { rel : string; pid : int }
+
+val growth_pid : int
+(** The pseudo-partition id ([-1]) used as a relation-growth lock by
+    inserts, whose target partition is unknown until placement. *)
+
+type outcome = Granted | Blocked | Deadlock
+
+type t
+
+val create : unit -> t
+
+val acquire : t -> txn:int -> resource -> mode -> outcome
+(** Re-entrant; a sole shared holder upgrades to exclusive in place.  On
+    {!Blocked} the transaction joins a FIFO wait queue and will be
+    promoted by {!release_all}; re-issue the acquire to observe it.  On
+    {!Deadlock} the requester should abort. *)
+
+val release_all : t -> txn:int -> unit
+(** Drop all locks and waits of a transaction (commit or abort), promoting
+    newly compatible waiters FIFO. *)
+
+val holds : t -> txn:int -> resource -> mode option
+val waiting : t -> txn:int -> resource list
+val held_resources : t -> txn:int -> resource list
+val active_locks : t -> int

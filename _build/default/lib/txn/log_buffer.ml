@@ -1,0 +1,53 @@
+(** The stable log buffer (§2.4, after IMS FASTPATH).
+
+    Per-transaction intention lists accumulate in the buffer while the
+    transaction runs.  Abort simply discards the transaction's entries — "no
+    undo is needed".  Commit stamps the entries with log sequence numbers
+    and hands them to the log device in one atomic step. *)
+
+type t = {
+  mutable next_lsn : int;
+  pending : (int, Log_record.record list) Hashtbl.t;
+      (** per-transaction, newest first, lsn 0 until commit *)
+  mutable committed : Log_record.record list;
+      (** commit-ordered tail waiting to be consumed by the log device *)
+}
+
+let create () = { next_lsn = 1; pending = Hashtbl.create 16; committed = [] }
+
+let append t ~txn ~rel ~pid change =
+  let record =
+    { Log_record.lsn = 0; txn; rel; pid; change }
+  in
+  let cur = Option.value ~default:[] (Hashtbl.find_opt t.pending txn) in
+  Hashtbl.replace t.pending txn (record :: cur)
+
+let pending_count t ~txn =
+  List.length (Option.value ~default:[] (Hashtbl.find_opt t.pending txn))
+
+let abort t ~txn = Hashtbl.remove t.pending txn
+
+(* Returns the freshly stamped records in operation order. *)
+let commit t ~txn =
+  let records =
+    List.rev (Option.value ~default:[] (Hashtbl.find_opt t.pending txn))
+  in
+  Hashtbl.remove t.pending txn;
+  let stamped =
+    List.map
+      (fun r ->
+        let lsn = t.next_lsn in
+        t.next_lsn <- lsn + 1;
+        { r with Log_record.lsn })
+      records
+  in
+  t.committed <- t.committed @ stamped;
+  stamped
+
+(* The log device reads committed records out of the stable buffer. *)
+let drain_committed t =
+  let out = t.committed in
+  t.committed <- [];
+  out
+
+let committed_backlog t = List.length t.committed

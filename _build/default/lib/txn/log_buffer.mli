@@ -1,0 +1,26 @@
+(** The stable log buffer (§2.4, after IMS FASTPATH).
+
+    Per-transaction intention lists accumulate here while a transaction
+    runs.  Abort discards them ("no undo is needed"); commit stamps them
+    with log sequence numbers and exposes them to the log device in one
+    atomic step. *)
+
+type t
+
+val create : unit -> t
+
+val append :
+  t -> txn:int -> rel:string -> pid:int -> Log_record.change -> unit
+
+val pending_count : t -> txn:int -> int
+
+val abort : t -> txn:int -> unit
+
+val commit : t -> txn:int -> Log_record.record list
+(** Stamp the transaction's records (operation order) and move them to the
+    committed tail; returns them for inspection. *)
+
+val drain_committed : t -> Log_record.record list
+(** Consume the committed tail — the log device's read. *)
+
+val committed_backlog : t -> int

@@ -1,0 +1,52 @@
+(** The active log device (§2.4, Figure 2).
+
+    "During normal operation, the log device reads the updates of committed
+    transactions from the stable log buffer and updates the disk copy of the
+    database.  The log device holds a change accumulation log, so it does
+    not need to update the disk version of the database every time a
+    partition is modified."
+
+    [absorb] pulls committed records out of the stable buffer into the
+    change-accumulation log; [propagate] applies some or all of them to the
+    disk store.  Records still in the accumulation log are exactly the
+    updates recovery must merge with partition images on the fly. *)
+
+type t = {
+  store : Disk_store.t;
+  mutable accumulation : Log_record.record list;  (** lsn order *)
+  mutable propagated_lsn : int;
+}
+
+let create ~store = { store; accumulation = []; propagated_lsn = 0 }
+
+let absorb t buffer =
+  let records = Log_buffer.drain_committed buffer in
+  t.accumulation <- t.accumulation @ records
+
+let pending_count t = List.length t.accumulation
+
+let pending_for t ~rel =
+  List.filter (fun r -> String.equal r.Log_record.rel rel) t.accumulation
+
+let pending_all t = t.accumulation
+
+(* Apply up to [limit] accumulated changes (all by default) to the disk
+   copy, oldest first. *)
+let propagate ?limit t =
+  let n = match limit with Some n -> n | None -> List.length t.accumulation in
+  let rec go applied records =
+    if applied >= n then records
+    else
+      match records with
+      | [] -> []
+      | r :: rest ->
+          Disk_store.apply_change t.store ~rel:r.Log_record.rel
+            ~pid:r.Log_record.pid r.Log_record.change;
+          t.propagated_lsn <- r.Log_record.lsn;
+          go (applied + 1) rest
+  in
+  let before = List.length t.accumulation in
+  t.accumulation <- go 0 t.accumulation;
+  before - List.length t.accumulation
+
+let propagated_lsn t = t.propagated_lsn

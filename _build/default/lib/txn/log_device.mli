@@ -1,0 +1,23 @@
+(** The active log device (§2.4, Figure 2).
+
+    Holds the change-accumulation log: committed updates pulled from the
+    stable buffer ({!absorb}) that have not yet been applied to the disk
+    copy ({!propagate}).  Whatever is still accumulated is exactly what
+    recovery must merge with partition images on the fly. *)
+
+type t
+
+val create : store:Disk_store.t -> t
+
+val absorb : t -> Log_buffer.t -> unit
+(** Pull all committed records out of the stable buffer. *)
+
+val pending_count : t -> int
+val pending_for : t -> rel:string -> Log_record.record list
+val pending_all : t -> Log_record.record list
+
+val propagate : ?limit:int -> t -> int
+(** Apply up to [limit] accumulated changes (all by default) to the disk
+    copy, oldest first; returns how many were applied. *)
+
+val propagated_lsn : t -> int

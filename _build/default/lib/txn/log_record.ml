@@ -1,0 +1,84 @@
+(** Log records and the serialized tuple form shared by the log and the
+    disk copy of the database.
+
+    Records are {e redo-only}: the MM-DBMS "writes all log information
+    directly into a stable log buffer before the actual update is done ...
+    If the transaction aborts, then the log entry is removed and no undo is
+    needed" (§2.4).  Changes are logical, keyed by tuple identity, and carry
+    the partition they touch so the log device can accumulate per-partition
+    change sets. *)
+
+(* Serialized values: tuple pointers become tuple ids, resolved back to
+   fresh records in a second pass at recovery time. *)
+type svalue =
+  | S_null
+  | S_bool of bool
+  | S_int of int
+  | S_float of float
+  | S_str of string
+  | S_ref of int
+  | S_refs of int list
+
+type stuple = { sid : int; svalues : svalue array }
+
+let serialize_value : Mmdb_storage.Value.t -> svalue = function
+  | Null -> S_null
+  | Bool b -> S_bool b
+  | Int x -> S_int x
+  | Float x -> S_float x
+  | Str s -> S_str s
+  | Ref t -> S_ref (Mmdb_storage.Tuple.id (Mmdb_storage.Tuple.resolve t))
+  | Refs ts ->
+      S_refs
+        (List.map
+           (fun t -> Mmdb_storage.Tuple.id (Mmdb_storage.Tuple.resolve t))
+           ts)
+
+(* Deserialization delays pointer reconstruction: [lookup] maps a tuple id
+   to its rebuilt record once available. *)
+let deserialize_value ~lookup : svalue -> Mmdb_storage.Value.t = function
+  | S_null -> Null
+  | S_bool b -> Bool b
+  | S_int x -> Int x
+  | S_float x -> Float x
+  | S_str s -> Str s
+  | S_ref id -> (
+      match lookup id with
+      | Some t -> Ref t
+      | None -> Null (* dangling reference: referenced tuple was deleted *))
+  | S_refs ids ->
+      Refs (List.filter_map lookup ids)
+
+let serialize_tuple (t : Mmdb_storage.Tuple.t) =
+  let t = Mmdb_storage.Tuple.resolve t in
+  {
+    sid = Mmdb_storage.Tuple.id t;
+    svalues = Array.map serialize_value t.Mmdb_storage.Value.fields;
+  }
+
+type change =
+  | Insert of stuple
+  | Delete of { tid : int }
+  | Update of { tid : int; col : int; svalue : svalue }
+
+type record = {
+  lsn : int;
+  txn : int;
+  rel : string;
+  pid : int;  (** partition the change lands in *)
+  change : change;
+}
+
+let change_tid = function
+  | Insert st -> st.sid
+  | Delete { tid } -> tid
+  | Update { tid; _ } -> tid
+
+let pp_change ppf = function
+  | Insert st -> Fmt.pf ppf "insert t%d" st.sid
+  | Delete { tid } -> Fmt.pf ppf "delete t%d" tid
+  | Update { tid; col; _ } -> Fmt.pf ppf "update t%d.%d" tid col
+
+let pp ppf r =
+  Fmt.pf ppf "@[<h>lsn=%d txn=%d %s/p%d %a@]" r.lsn r.txn r.rel r.pid pp_change
+    r.change

@@ -1,0 +1,47 @@
+(** Log records and the serialized tuple form shared by the log and the
+    disk copy of the database.
+
+    Records are {e redo-only} (§2.4): the log is written before the update
+    is applied, an abort just removes the transaction's entries, and no
+    undo information is ever needed.  Changes are logical, keyed by tuple
+    identity, and carry the partition they touch so the log device can
+    accumulate per-partition change sets. *)
+
+(** Serialized values: tuple pointers become tuple ids, resolved back to
+    fresh records in a second pass at recovery time. *)
+type svalue =
+  | S_null
+  | S_bool of bool
+  | S_int of int
+  | S_float of float
+  | S_str of string
+  | S_ref of int
+  | S_refs of int list
+
+type stuple = { sid : int; svalues : svalue array }
+
+val serialize_value : Mmdb_storage.Value.t -> svalue
+
+val deserialize_value :
+  lookup:(int -> Mmdb_storage.Tuple.t option) -> svalue -> Mmdb_storage.Value.t
+(** [lookup] maps a tuple id to its rebuilt record; dangling references
+    (deleted targets) become [Null]. *)
+
+val serialize_tuple : Mmdb_storage.Tuple.t -> stuple
+
+type change =
+  | Insert of stuple
+  | Delete of { tid : int }
+  | Update of { tid : int; col : int; svalue : svalue }
+
+type record = {
+  lsn : int;
+  txn : int;
+  rel : string;
+  pid : int;  (** partition the change lands in *)
+  change : change;
+}
+
+val change_tid : change -> int
+val pp_change : Format.formatter -> change -> unit
+val pp : Format.formatter -> record -> unit

@@ -1,0 +1,202 @@
+(** Crash recovery (§2.4).
+
+    "Each partition that participates in the working set is read from the
+    disk copy of the database.  The log device is checked for any updates to
+    that partition that have not yet been propagated to the disk copy.  Any
+    updates that exist are merged with the partition on the fly and the
+    updated partition is placed in memory.  Once the working set has been
+    read in, the MM-DBMS should be able to run at close to its normal rate
+    while the remainder of the database is read in by a background
+    process."
+
+    [recover] rebuilds the named working-set relations first (returning an
+    operational manager immediately), then [finish_background] loads the
+    rest and resolves cross-relation tuple pointers.  Statistics record how
+    much work each phase did, which the recovery example and tests use to
+    demonstrate the working-set effect. *)
+
+open Mmdb_storage
+
+type stats = {
+  mutable partitions_read : int;
+  mutable tuples_restored : int;
+  mutable log_records_merged : int;
+  mutable pointer_fixups : int;
+}
+
+type state = {
+  mgr : Txn.manager;
+  store : Disk_store.t;
+  pending : Log_record.record list;  (** un-propagated committed changes *)
+  working_stats : stats;
+  background_stats : stats;
+  mutable loaded : string list;
+  (* sid -> rebuilt tuple, across all relations, for pointer fixups *)
+  tuple_map : (int, Tuple.t) Hashtbl.t;
+  (* tuples whose fields contain still-unresolved serialized pointers *)
+  mutable deferred_refs : (string * Tuple.t * int * Log_record.svalue) list;
+}
+
+let fresh_stats () =
+  {
+    partitions_read = 0;
+    tuples_restored = 0;
+    log_records_merged = 0;
+    pointer_fixups = 0;
+  }
+
+(* Merge the pending log into the partition images of one relation,
+   producing the committed set of serialized tuples. *)
+let merged_tuples state ~rel stats =
+  let by_sid : (int, Log_record.stuple) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun pid ->
+      stats.partitions_read <- stats.partitions_read + 1;
+      List.iter
+        (fun st -> Hashtbl.replace by_sid st.Log_record.sid st)
+        (Disk_store.read_image state.store ~rel ~pid))
+    (Disk_store.partitions_of state.store ~rel);
+  (* Replay un-propagated changes in lsn order — the on-the-fly merge. *)
+  List.iter
+    (fun r ->
+      if String.equal r.Log_record.rel rel then begin
+        stats.log_records_merged <- stats.log_records_merged + 1;
+        match r.Log_record.change with
+        | Log_record.Insert st -> Hashtbl.replace by_sid st.Log_record.sid st
+        | Log_record.Delete { tid } -> Hashtbl.remove by_sid tid
+        | Log_record.Update { tid; col; svalue } -> (
+            match Hashtbl.find_opt by_sid tid with
+            | None -> ()
+            | Some st ->
+                let svalues = Array.copy st.Log_record.svalues in
+                svalues.(col) <- svalue;
+                Hashtbl.replace by_sid tid { st with Log_record.svalues })
+      end)
+    state.pending;
+  Hashtbl.fold (fun _ st acc -> st :: acc) by_sid []
+  |> List.sort (fun a b -> compare a.Log_record.sid b.Log_record.sid)
+
+let load_relation state ~rel stats =
+  match Disk_store.catalog_entry state.store ~rel with
+  | None -> Error (Printf.sprintf "no catalog entry for %s" rel)
+  | Some entry -> (
+      match entry.Disk_store.index_defs with
+      | [] -> Error (Printf.sprintf "%s has no primary index on disk" rel)
+      | primary :: secondary ->
+          let rel_t =
+            Relation.create ~slot_capacity:entry.Disk_store.slot_capacity
+              ~heap_capacity:entry.Disk_store.heap_capacity
+              ~schema:entry.Disk_store.schema ~primary ()
+          in
+          List.iter
+            (fun (d : Relation.index_def) ->
+              match
+                Relation.create_index rel_t ~idx_name:d.idx_name
+                  ~columns:d.columns ~structure:d.structure ~unique:d.unique
+              with
+              | Ok () -> ()
+              | Error msg -> invalid_arg msg)
+            secondary;
+          let stuples = merged_tuples state ~rel stats in
+          List.iter
+            (fun (st : Log_record.stuple) ->
+              (* Pointer fields are restored to Null now and resolved once
+                 every relation is memory resident. *)
+              let fields =
+                Array.map
+                  (fun sv ->
+                    match sv with
+                    | Log_record.S_ref _ | Log_record.S_refs _ -> Value.Null
+                    | _ -> Log_record.deserialize_value ~lookup:(fun _ -> None) sv)
+                  st.Log_record.svalues
+              in
+              match Relation.insert rel_t fields with
+              | Error msg ->
+                  invalid_arg
+                    (Printf.sprintf "recovery of %s: %s" rel msg)
+              | Ok tuple ->
+                  stats.tuples_restored <- stats.tuples_restored + 1;
+                  Hashtbl.replace state.tuple_map st.Log_record.sid tuple;
+                  Array.iteri
+                    (fun col sv ->
+                      match sv with
+                      | Log_record.S_ref _ | Log_record.S_refs _ ->
+                          state.deferred_refs <-
+                            (rel, tuple, col, sv) :: state.deferred_refs
+                      | _ -> ())
+                    st.Log_record.svalues)
+            stuples;
+          Txn.add_relation state.mgr rel_t |> ignore;
+          state.loaded <- rel :: state.loaded;
+          Ok rel_t)
+
+(* Phase 1: bring the working set online.  [store] and [device] belong to
+   the crashed instance; the returned state owns a fresh manager that is
+   usable as soon as this returns (for the working-set relations). *)
+let recover ~store ~device ~working_set =
+  let state =
+    {
+      mgr = Txn.create_manager ();
+      store;
+      pending = Log_device.pending_all device;
+      working_stats = fresh_stats ();
+      background_stats = fresh_stats ();
+      loaded = [];
+      tuple_map = Hashtbl.create 1024;
+      deferred_refs = [];
+    }
+  in
+  let rec load = function
+    | [] -> Ok state
+    | rel :: rest -> (
+        match load_relation state ~rel state.working_stats with
+        | Ok _ -> load rest
+        | Error msg -> Error msg)
+  in
+  load working_set
+
+(* Phase 2: the background process reads in the remainder of the database,
+   then resolves cross-relation tuple pointers (which may reach into
+   relations outside the working set, so fixups must wait until now). *)
+let finish_background state =
+  let all = Disk_store.relations state.store in
+  let remaining =
+    List.filter (fun rel -> not (List.mem rel state.loaded)) all
+  in
+  let rec load = function
+    | [] -> Ok ()
+    | rel :: rest -> (
+        match load_relation state ~rel state.background_stats with
+        | Ok _ -> load rest
+        | Error msg -> Error msg)
+  in
+  match load remaining with
+  | Error _ as e -> e
+  | Ok () ->
+      let lookup sid = Hashtbl.find_opt state.tuple_map sid in
+      List.iter
+        (fun (rel, tuple, col, sv) ->
+          let v = Log_record.deserialize_value ~lookup sv in
+          match Txn.relation state.mgr rel with
+          | None -> ()
+          | Some rel_t -> (
+              match Relation.update_field rel_t tuple col v with
+              | Ok () ->
+                  state.background_stats.pointer_fixups <-
+                    state.background_stats.pointer_fixups + 1
+              | Error msg ->
+                  invalid_arg
+                    (Printf.sprintf "pointer fixup in %s: %s" rel msg)))
+        (List.rev state.deferred_refs);
+      state.deferred_refs <- [];
+      Ok ()
+
+let manager state = state.mgr
+let working_set_stats state = state.working_stats
+let background_stats state = state.background_stats
+let loaded_relations state = List.rev state.loaded
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "@[<h>partitions=%d tuples=%d log-merged=%d ptr-fixups=%d@]"
+    s.partitions_read s.tuples_restored s.log_records_merged s.pointer_fixups

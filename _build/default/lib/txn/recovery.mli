@@ -1,0 +1,36 @@
+(** Crash recovery (§2.4): partition images merged on the fly with the
+    un-propagated change-accumulation log, working set first.
+
+    Phase 1 ({!recover}) rebuilds the named working-set relations and
+    returns an operational manager immediately; phase 2
+    ({!finish_background}) loads the rest and resolves cross-relation
+    tuple pointers. *)
+
+type stats = {
+  mutable partitions_read : int;
+  mutable tuples_restored : int;
+  mutable log_records_merged : int;
+  mutable pointer_fixups : int;
+}
+
+type state
+
+val recover :
+  store:Disk_store.t ->
+  device:Log_device.t ->
+  working_set:string list ->
+  (state, string) result
+(** [store] and [device] belong to the crashed instance; the returned
+    state owns a fresh manager, usable for the working-set relations as
+    soon as this returns. *)
+
+val finish_background : state -> (unit, string) result
+(** Load the remaining relations, then fix up foreign-key pointers (which
+    may reach into relations outside the working set, so fixups must wait
+    until everything is memory resident). *)
+
+val manager : state -> Txn.manager
+val working_set_stats : state -> stats
+val background_stats : state -> stats
+val loaded_relations : state -> string list
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,186 @@
+(** A deterministic multi-transaction scheduler (§2.4).
+
+    The lock manager never blocks a thread — it answers [Blocked] or
+    [Deadlock] — so concurrency is driven from outside.  This scheduler
+    runs a set of scripted transactions round-robin: each round, every
+    live transaction attempts its next operation; a blocked operation is
+    retried on later rounds (the FIFO wait queue guarantees eventual
+    promotion), and a deadlock victim aborts and restarts its script from
+    the beginning after a deterministic exponential backoff (staggered by
+    runner index so symmetric conflicts cannot re-form indefinitely).
+
+    The §2.4 trade-off this makes measurable: "it will be reasonable to
+    lock large items, as locks will be held for only a short time ...
+    Partition-level locking may lead to problems with certain types of
+    transactions that are inherently long." *)
+
+open Mmdb_storage
+
+type op =
+  | Op_insert of { rel : string; values : Value.t array }
+  | Op_read of { rel : string; key : Value.t array }
+  | Op_update of { rel : string; key : Value.t array; col : int; value : Value.t }
+  | Op_delete of { rel : string; key : Value.t array }
+
+type script = op list
+
+type stats = {
+  mutable committed : int;
+  mutable failed : int;  (** commit-time failures (e.g. unique violations) *)
+  mutable deadlock_restarts : int;
+  mutable blocked_retries : int;
+  mutable ops_executed : int;
+  mutable rounds : int;
+}
+
+let fresh_stats () =
+  {
+    committed = 0;
+    failed = 0;
+    deadlock_restarts = 0;
+    blocked_retries = 0;
+    ops_executed = 0;
+    rounds = 0;
+  }
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "@[<h>committed=%d failed=%d deadlock-restarts=%d blocked-retries=%d ops=%d rounds=%d@]"
+    s.committed s.failed s.deadlock_restarts s.blocked_retries s.ops_executed
+    s.rounds
+
+type runner = {
+  index : int;
+  script : script;
+  mutable txn : Txn.txn;
+  mutable remaining : op list;
+  mutable done_ : bool;
+  mutable restarts : int;
+  mutable sleep_until : int;  (** round before which this runner sits out *)
+}
+
+(* Execute one operation; key-addressed updates and deletes look the tuple
+   up through the relation's primary index first. *)
+let attempt mgr txn op =
+  match op with
+  | Op_insert { rel; values } -> Txn.insert txn ~rel values
+  | Op_read { rel; key } ->
+      Result.map (fun _ -> ()) (Txn.read txn ~rel key)
+  | Op_update { rel; key; col; value } -> (
+      match Relation.lookup_one (Txn.relation_exn mgr rel) key with
+      | None -> Ok () (* vanished: treat as a no-op *)
+      | Some tuple -> Txn.update txn ~rel tuple ~col value)
+  | Op_delete { rel; key } -> (
+      match Relation.lookup_one (Txn.relation_exn mgr rel) key with
+      | None -> Ok ()
+      | Some tuple -> Txn.delete txn ~rel tuple)
+
+let run ?(max_rounds = 1_000_000) mgr scripts =
+  let stats = fresh_stats () in
+  let runners =
+    List.mapi
+      (fun index script ->
+        {
+          index;
+          script;
+          txn = Txn.begin_txn mgr;
+          remaining = script;
+          done_ = false;
+          restarts = 0;
+          sleep_until = 0;
+        })
+      scripts
+  in
+  let unfinished () = List.exists (fun r -> not r.done_) runners in
+  let step ~round r =
+    if (not r.done_) && round >= r.sleep_until then begin
+      match r.remaining with
+      | [] -> (
+          match Txn.commit r.txn with
+          | Ok () ->
+              stats.committed <- stats.committed + 1;
+              r.done_ <- true
+          | Error _ ->
+              stats.failed <- stats.failed + 1;
+              r.done_ <- true)
+      | op :: rest -> (
+          match attempt mgr r.txn op with
+          | Ok () ->
+              stats.ops_executed <- stats.ops_executed + 1;
+              r.remaining <- rest
+          | Error Txn.Would_block ->
+              stats.blocked_retries <- stats.blocked_retries + 1
+          | Error Txn.Deadlock_victim ->
+              Txn.abort r.txn;
+              stats.deadlock_restarts <- stats.deadlock_restarts + 1;
+              r.restarts <- r.restarts + 1;
+              (* exponential backoff, staggered by index, capped *)
+              r.sleep_until <-
+                round + min 256 (1 lsl min 8 r.restarts) + r.index;
+              r.txn <- Txn.begin_txn mgr;
+              r.remaining <- r.script
+          | Error (Txn.Failed msg) ->
+              (* declaration-time failure: abort this transaction *)
+              ignore msg;
+              Txn.abort r.txn;
+              stats.failed <- stats.failed + 1;
+              r.done_ <- true)
+    end
+  in
+  (* Starvation guard (priority aging): when some transaction has been a
+     deadlock victim many times, grant the most-victimized unfinished
+     runner solo execution until it commits.  Entering solo mode aborts
+     every other live transaction (releasing their locks) and resets them
+     to restart afterwards — long transactions under fine-grained locking
+     can otherwise restart forever, which is exactly the §2.4 concern
+     about "transactions that are inherently long". *)
+  let starvation_threshold = 8 in
+  let solo : runner option ref = ref None in
+  let pick_solo () =
+    let worst =
+      List.fold_left
+        (fun acc r ->
+          if r.done_ then acc
+          else
+            match acc with
+            | Some best when best.restarts >= r.restarts -> acc
+            | _ -> Some r)
+        None runners
+    in
+    match worst with
+    | Some r when r.restarts >= starvation_threshold ->
+        (* clear the field for the starved runner *)
+        List.iter
+          (fun other ->
+            if other != r && not other.done_ then begin
+              Txn.abort other.txn;
+              other.txn <- Txn.begin_txn mgr;
+              other.remaining <- other.script;
+              other.restarts <- 0
+            end)
+          runners;
+        r.restarts <- 0;
+        solo := Some r;
+        Some r
+    | _ -> None
+  in
+  let rec rounds n =
+    if n >= max_rounds then Error stats
+    else if unfinished () then begin
+      stats.rounds <- stats.rounds + 1;
+      (match !solo with
+      | Some r when not r.done_ ->
+          r.sleep_until <- 0;
+          step ~round:n r
+      | _ -> (
+          solo := None;
+          match pick_solo () with
+          | Some r ->
+              r.sleep_until <- 0;
+              step ~round:n r
+          | None -> List.iter (step ~round:n) runners));
+      rounds (n + 1)
+    end
+    else Ok stats
+  in
+  rounds 0

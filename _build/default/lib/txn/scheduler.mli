@@ -1,0 +1,34 @@
+(** A deterministic multi-transaction scheduler (§2.4).
+
+    Runs scripted transactions round-robin against a {!Txn.manager}:
+    blocked operations are retried on later rounds, deadlock victims abort
+    and restart their script.  Used by the concurrency bench to measure
+    the partition-level-locking trade-off the paper discusses. *)
+
+open Mmdb_storage
+
+type op =
+  | Op_insert of { rel : string; values : Value.t array }
+  | Op_read of { rel : string; key : Value.t array }
+  | Op_update of { rel : string; key : Value.t array; col : int; value : Value.t }
+  | Op_delete of { rel : string; key : Value.t array }
+
+type script = op list
+(** One transaction's operations, in order; committed when exhausted. *)
+
+type stats = {
+  mutable committed : int;
+  mutable failed : int;  (** commit-time or declaration failures *)
+  mutable deadlock_restarts : int;
+  mutable blocked_retries : int;
+  mutable ops_executed : int;
+  mutable rounds : int;
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val run :
+  ?max_rounds:int -> Txn.manager -> script list -> (stats, stats) result
+(** Run every script to commit.  [Error stats] reports a stall: the round
+    budget ran out with transactions still live (should not happen — FIFO
+    waits plus deadlock-victim restarts guarantee progress). *)

@@ -1,0 +1,248 @@
+(** Transactions over the MM-DBMS: deferred updates, redo-only logging,
+    partition-level locking (§2.4).
+
+    Writes performed inside a transaction are buffered as intention records
+    (and logged to the stable buffer) and applied to the memory-resident
+    database atomically at commit — which is why "if the transaction aborts,
+    then the log entry is removed and no undo is needed".  Reads see
+    committed state.
+
+    Locking is at partition granularity.  Reads take shared locks on the
+    partitions of the tuples they return; deletes and updates take exclusive
+    locks on the target tuple's partition at declaration time; inserts take
+    the relation's growth lock (partition id -1), since the target partition
+    is unknown until placement.  Lock requests never block the calling
+    thread: they surface [Would_block] / [Deadlock_victim] to the scheduler
+    driving the simulation. *)
+
+open Mmdb_storage
+
+type failure = Would_block | Deadlock_victim | Failed of string
+
+let pp_failure ppf = function
+  | Would_block -> Fmt.string ppf "would block"
+  | Deadlock_victim -> Fmt.string ppf "deadlock victim"
+  | Failed msg -> Fmt.pf ppf "failed: %s" msg
+
+type wop =
+  | W_insert of { rel : string; values : Value.t array }
+  | W_delete of { rel : string; tuple : Tuple.t }
+  | W_update of { rel : string; tuple : Tuple.t; col : int; value : Value.t }
+
+type status = Active | Committed | Aborted
+
+type manager = {
+  rels : (string, Relation.t) Hashtbl.t;
+  locks : Lock_manager.t;
+  buffer : Log_buffer.t;
+  store : Disk_store.t;
+  device : Log_device.t;
+  mutable next_txn : int;
+  statuses : (int, status) Hashtbl.t;
+  intents : (int, wop list) Hashtbl.t;  (** newest first *)
+}
+
+type txn = { id : int; mgr : manager }
+
+let create_manager () =
+  let store = Disk_store.create () in
+  {
+    rels = Hashtbl.create 8;
+    locks = Lock_manager.create ();
+    buffer = Log_buffer.create ();
+    store;
+    device = Log_device.create ~store;
+    next_txn = 1;
+    statuses = Hashtbl.create 16;
+    intents = Hashtbl.create 16;
+  }
+
+let add_relation mgr rel_t =
+  let n = Relation.name rel_t in
+  if Hashtbl.mem mgr.rels n then
+    invalid_arg (Printf.sprintf "Txn.add_relation: %s already registered" n);
+  Hashtbl.replace mgr.rels n rel_t;
+  (* Initial checkpoint so the disk copy knows the relation exists. *)
+  Disk_store.checkpoint mgr.store rel_t
+
+let relation mgr n = Hashtbl.find_opt mgr.rels n
+
+let relation_exn mgr n =
+  match relation mgr n with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Txn: unknown relation %s" n)
+
+let store mgr = mgr.store
+let device mgr = mgr.device
+let lock_manager mgr = mgr.locks
+
+let begin_txn mgr =
+  let id = mgr.next_txn in
+  mgr.next_txn <- id + 1;
+  Hashtbl.replace mgr.statuses id Active;
+  Hashtbl.replace mgr.intents id [];
+  { id; mgr }
+
+let status t = Option.value ~default:Aborted (Hashtbl.find_opt t.mgr.statuses t.id)
+
+let check_active t =
+  match status t with
+  | Active -> Ok ()
+  | Committed -> Error (Failed "transaction already committed")
+  | Aborted -> Error (Failed "transaction already aborted")
+
+let lock t res mode =
+  match Lock_manager.acquire t.mgr.locks ~txn:t.id res mode with
+  | Lock_manager.Granted -> Ok ()
+  | Lock_manager.Blocked -> Error Would_block
+  | Lock_manager.Deadlock -> Error Deadlock_victim
+
+let growth_lock rel = { Lock_manager.rel; pid = Lock_manager.growth_pid }
+
+let partition_lock rel tuple =
+  { Lock_manager.rel; pid = (Tuple.resolve tuple).Value.pid }
+
+let add_intent t op =
+  let cur = Option.value ~default:[] (Hashtbl.find_opt t.mgr.intents t.id) in
+  Hashtbl.replace t.mgr.intents t.id (op :: cur)
+
+let ( let* ) = Result.bind
+
+let insert t ~rel values =
+  let* () = check_active t in
+  let _ = relation_exn t.mgr rel in
+  let* () = lock t (growth_lock rel) Lock_manager.Exclusive in
+  add_intent t (W_insert { rel; values = Array.copy values });
+  Ok ()
+
+let delete t ~rel tuple =
+  let* () = check_active t in
+  let _ = relation_exn t.mgr rel in
+  let* () = lock t (partition_lock rel tuple) Lock_manager.Exclusive in
+  add_intent t (W_delete { rel; tuple });
+  Ok ()
+
+let update t ~rel tuple ~col value =
+  let* () = check_active t in
+  let _ = relation_exn t.mgr rel in
+  let* () = lock t (partition_lock rel tuple) Lock_manager.Exclusive in
+  (* The update may move the tuple to a new partition at apply time; the
+     growth lock covers that possibility. *)
+  let* () = lock t (growth_lock rel) Lock_manager.Exclusive in
+  add_intent t (W_update { rel; tuple; col; value });
+  Ok ()
+
+let read t ~rel ?index key =
+  let* () = check_active t in
+  let r = relation_exn t.mgr rel in
+  let tuples = Relation.lookup ?index r key in
+  (* Shared-lock every partition the result touches. *)
+  let rec lock_parts = function
+    | [] -> Ok tuples
+    | tu :: rest ->
+        let* () = lock t (partition_lock rel tu) Lock_manager.Shared in
+        lock_parts rest
+  in
+  lock_parts tuples
+
+let read_range t ~rel ?index ~lo ~hi () =
+  let* () = check_active t in
+  let r = relation_exn t.mgr rel in
+  let acc = ref [] in
+  Relation.lookup_range ?index r ~lo ~hi (fun tu -> acc := tu :: !acc);
+  let tuples = List.rev !acc in
+  let rec lock_parts = function
+    | [] -> Ok tuples
+    | tu :: rest ->
+        let* () = lock t (partition_lock rel tu) Lock_manager.Shared in
+        lock_parts rest
+  in
+  lock_parts tuples
+
+let abort t =
+  Log_buffer.abort t.mgr.buffer ~txn:t.id;
+  Hashtbl.replace t.mgr.intents t.id [];
+  Hashtbl.replace t.mgr.statuses t.id Aborted;
+  Lock_manager.release_all t.mgr.locks ~txn:t.id
+
+(* Inverse operations for unwinding a partially applied commit. *)
+type applied =
+  | A_inserted of string * Tuple.t
+  | A_deleted of string * Value.t array
+  | A_updated of string * Tuple.t * int * Value.t  (** old value *)
+
+let undo mgr = function
+  | A_inserted (rel, tuple) ->
+      ignore (Relation.delete_tuple (relation_exn mgr rel) tuple)
+  | A_deleted (rel, values) ->
+      ignore (Relation.insert (relation_exn mgr rel) values)
+  | A_updated (rel, tuple, col, old_v) ->
+      ignore (Relation.update_field (relation_exn mgr rel) tuple col old_v)
+
+let commit t =
+  match check_active t with
+  | Error f -> Error (Fmt.str "%a" pp_failure f)
+  | Ok () -> (
+      let ops =
+        List.rev (Option.value ~default:[] (Hashtbl.find_opt t.mgr.intents t.id))
+      in
+      (* Apply each intent; log its change (with the partition it landed in)
+         into the stable buffer.  On any failure, unwind and abort. *)
+      let rec apply applied = function
+        | [] -> Ok ()
+        | op :: rest -> (
+            match op with
+            | W_insert { rel; values } -> (
+                match Relation.insert (relation_exn t.mgr rel) values with
+                | Error msg -> Error (msg, applied)
+                | Ok tuple ->
+                    Log_buffer.append t.mgr.buffer ~txn:t.id ~rel
+                      ~pid:(Tuple.resolve tuple).Value.pid
+                      (Log_record.Insert (Log_record.serialize_tuple tuple));
+                    apply (A_inserted (rel, tuple) :: applied) rest)
+            | W_delete { rel; tuple } ->
+                let values = Tuple.fields tuple in
+                let pid = (Tuple.resolve tuple).Value.pid in
+                if Relation.delete_tuple (relation_exn t.mgr rel) tuple then begin
+                  Log_buffer.append t.mgr.buffer ~txn:t.id ~rel ~pid
+                    (Log_record.Delete { tid = Tuple.id tuple });
+                  apply (A_deleted (rel, values) :: applied) rest
+                end
+                else Error ("tuple already gone", applied)
+            | W_update { rel; tuple; col; value } -> (
+                let old_v = Tuple.get_raw (Tuple.resolve tuple) col in
+                match
+                  Relation.update_field (relation_exn t.mgr rel) tuple col value
+                with
+                | Error msg -> Error (msg, applied)
+                | Ok () ->
+                    Log_buffer.append t.mgr.buffer ~txn:t.id ~rel
+                      ~pid:(Tuple.resolve tuple).Value.pid
+                      (Log_record.Update
+                         {
+                           tid = Tuple.id tuple;
+                           col;
+                           svalue = Log_record.serialize_value value;
+                         });
+                    apply (A_updated (rel, tuple, col, old_v) :: applied) rest))
+      in
+      match apply [] ops with
+      | Error (msg, applied) ->
+          List.iter (undo t.mgr) applied;
+          abort t;
+          Error msg
+      | Ok () ->
+          ignore (Log_buffer.commit t.mgr.buffer ~txn:t.id);
+          (* Commit is complete once the stable buffer holds the records;
+             the log device picks them up asynchronously.  We absorb them
+             eagerly here so crash simulations see them accumulated. *)
+          Log_device.absorb t.mgr.device t.mgr.buffer;
+          Hashtbl.replace t.mgr.statuses t.id Committed;
+          Hashtbl.replace t.mgr.intents t.id [];
+          Lock_manager.release_all t.mgr.locks ~txn:t.id;
+          Ok ())
+
+let checkpoint_all mgr =
+  (* Propagate everything, then rewrite partition images wholesale. *)
+  ignore (Log_device.propagate mgr.device);
+  Hashtbl.iter (fun _ rel_t -> Disk_store.checkpoint mgr.store rel_t) mgr.rels

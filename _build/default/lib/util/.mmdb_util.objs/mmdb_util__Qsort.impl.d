@@ -1,0 +1,1 @@
+lib/util/qsort.ml: Array Counters

@@ -1,0 +1,63 @@
+type snapshot = {
+  comparisons : int;
+  data_moves : int;
+  hash_calls : int;
+  node_allocs : int;
+  ptr_derefs : int;
+}
+
+let enabled = ref true
+
+let comparisons = ref 0
+let data_moves = ref 0
+let hash_calls = ref 0
+let node_allocs = ref 0
+let ptr_derefs = ref 0
+
+let reset () =
+  comparisons := 0;
+  data_moves := 0;
+  hash_calls := 0;
+  node_allocs := 0;
+  ptr_derefs := 0
+
+let snapshot () =
+  {
+    comparisons = !comparisons;
+    data_moves = !data_moves;
+    hash_calls = !hash_calls;
+    node_allocs = !node_allocs;
+    ptr_derefs = !ptr_derefs;
+  }
+
+let diff a b =
+  {
+    comparisons = a.comparisons - b.comparisons;
+    data_moves = a.data_moves - b.data_moves;
+    hash_calls = a.hash_calls - b.hash_calls;
+    node_allocs = a.node_allocs - b.node_allocs;
+    ptr_derefs = a.ptr_derefs - b.ptr_derefs;
+  }
+
+let bump r n = if !enabled then r := !r + n
+
+let bump_comparisons ?(n = 1) () = bump comparisons n
+let bump_data_moves ?(n = 1) () = bump data_moves n
+let bump_hash_calls ?(n = 1) () = bump hash_calls n
+let bump_node_allocs ?(n = 1) () = bump node_allocs n
+let bump_ptr_derefs ?(n = 1) () = bump ptr_derefs n
+
+let counting_cmp cmp a b =
+  bump_comparisons ();
+  cmp a b
+
+let with_counters f =
+  let before = snapshot () in
+  let result = f () in
+  let after = snapshot () in
+  (result, diff after before)
+
+let pp ppf s =
+  Format.fprintf ppf
+    "@[<h>cmp=%d moves=%d hash=%d allocs=%d derefs=%d@]" s.comparisons
+    s.data_moves s.hash_calls s.node_allocs s.ptr_derefs

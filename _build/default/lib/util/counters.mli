@@ -1,0 +1,53 @@
+(** Operation counters for algorithm validation.
+
+    The paper (§3.1) validated its timing results by "recording and examining
+    the number of comparisons, the amount of data movement, the number of
+    hash function calls, and other miscellaneous operations to ensure that
+    the algorithms were doing what they were supposed to".  This module is
+    that instrumentation: every index and query-processing algorithm bumps
+    these counters, and the test suite asserts the expected operation counts
+    (which are hardware-independent, unlike wall-clock times).
+
+    Counting is enabled by default; benchmarks disable it so that, as in the
+    paper, "these counters were compiled out of the code when the final
+    performance tests were run" — here they are branch-predicted-away rather
+    than compiled away. *)
+
+type snapshot = {
+  comparisons : int;  (** key/value comparisons performed *)
+  data_moves : int;   (** elements moved or copied within/between nodes *)
+  hash_calls : int;   (** hash-function evaluations *)
+  node_allocs : int;  (** index nodes / buckets allocated *)
+  ptr_derefs : int;   (** tuple-pointer dereferences to reach attribute values *)
+}
+(** An immutable copy of all counters. *)
+
+val enabled : bool ref
+(** Master switch.  When [false], the bump functions are no-ops. *)
+
+val reset : unit -> unit
+(** Zero every counter. *)
+
+val snapshot : unit -> snapshot
+(** Current counter values. *)
+
+val diff : snapshot -> snapshot -> snapshot
+(** [diff later earlier] is the componentwise difference. *)
+
+val bump_comparisons : ?n:int -> unit -> unit
+val bump_data_moves : ?n:int -> unit -> unit
+val bump_hash_calls : ?n:int -> unit -> unit
+val bump_node_allocs : ?n:int -> unit -> unit
+val bump_ptr_derefs : ?n:int -> unit -> unit
+
+val counting_cmp : ('a -> 'a -> int) -> 'a -> 'a -> int
+(** [counting_cmp cmp] behaves as [cmp] but bumps [comparisons] on each
+    call. *)
+
+val with_counters : (unit -> 'a) -> 'a * snapshot
+(** [with_counters f] runs [f] and returns its result together with the
+    counters accumulated during the call (other concurrent bumps included;
+    the MM-DBMS is single-threaded per the paper's experiments). *)
+
+val pp : Format.formatter -> snapshot -> unit
+(** Human-readable rendering. *)

@@ -1,0 +1,68 @@
+let insertion_sort ?(lo = 0) ?hi ~cmp a =
+  let hi = match hi with Some h -> h | None -> Array.length a - 1 in
+  for i = lo + 1 to hi do
+    let v = a.(i) in
+    let j = ref (i - 1) in
+    let continue = ref true in
+    while !continue && !j >= lo do
+      if Counters.counting_cmp cmp a.(!j) v > 0 then begin
+        a.(!j + 1) <- a.(!j);
+        Counters.bump_data_moves ();
+        decr j
+      end
+      else continue := false
+    done;
+    if !j + 1 <> i then begin
+      a.(!j + 1) <- v;
+      Counters.bump_data_moves ()
+    end
+  done
+
+let swap a i j =
+  if i <> j then begin
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp;
+    Counters.bump_data_moves ~n:2 ()
+  end
+
+(* Median-of-three pivot selection: order a.(lo), a.(mid), a.(hi) and use the
+   middle value, which also acts as a sentinel for the partition loops. *)
+let median_of_three ~cmp a lo hi =
+  let mid = lo + ((hi - lo) / 2) in
+  if Counters.counting_cmp cmp a.(mid) a.(lo) < 0 then swap a mid lo;
+  if Counters.counting_cmp cmp a.(hi) a.(lo) < 0 then swap a hi lo;
+  if Counters.counting_cmp cmp a.(hi) a.(mid) < 0 then swap a hi mid;
+  a.(mid)
+
+let sort ?(cutoff = 10) ~cmp a =
+  if cutoff < 1 then invalid_arg "Qsort.sort: cutoff must be >= 1";
+  let rec quick lo hi =
+    if hi - lo + 1 > cutoff then begin
+      let pivot = median_of_three ~cmp a lo hi in
+      let i = ref lo and j = ref hi in
+      while !i <= !j do
+        while Counters.counting_cmp cmp a.(!i) pivot < 0 do incr i done;
+        while Counters.counting_cmp cmp a.(!j) pivot > 0 do decr j done;
+        if !i <= !j then begin
+          swap a !i !j;
+          incr i;
+          decr j
+        end
+      done;
+      quick lo !j;
+      quick !i hi
+    end
+  in
+  let n = Array.length a in
+  if n > 1 then begin
+    quick 0 (n - 1);
+    (* One final insertion-sort pass cleans up all small subarrays at once;
+       each element is at most [cutoff - 1] slots from home. *)
+    insertion_sort ~cmp a
+  end
+
+let is_sorted ~cmp a =
+  let n = Array.length a in
+  let rec check i = i >= n || (cmp a.(i - 1) a.(i) <= 0 && check (i + 1)) in
+  check 1

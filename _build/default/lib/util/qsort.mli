@@ -1,0 +1,24 @@
+(** The paper's sort routine.
+
+    §3.3.2: "The sort was done using quicksort with an insertion sort for
+    subarrays of ten elements or less", and footnote 6 records that 10 was
+    found to be the optimal cutoff experimentally.  Ablation bench A3
+    re-runs that experiment, so the cutoff is a parameter here.
+
+    Comparisons and data movement are tallied through {!Counters} so tests
+    can check the O(n log n) shape and the duplicate-heavy behaviour the
+    paper observes in Project Test 2 (nearly-sorted subarrays make the
+    insertion-sort phase cheap). *)
+
+val insertion_sort :
+  ?lo:int -> ?hi:int -> cmp:('a -> 'a -> int) -> 'a array -> unit
+(** [insertion_sort ~lo ~hi ~cmp a] sorts [a.(lo) .. a.(hi)] inclusive in
+    place.  Defaults cover the whole array.  Stable. *)
+
+val sort : ?cutoff:int -> cmp:('a -> 'a -> int) -> 'a array -> unit
+(** [sort ~cutoff ~cmp a] sorts [a] in place: median-of-three quicksort,
+    switching to insertion sort for subarrays of [cutoff] elements or less.
+    [cutoff] defaults to 10, the paper's optimum.  Not stable. *)
+
+val is_sorted : cmp:('a -> 'a -> int) -> 'a array -> bool
+(** [is_sorted ~cmp a] checks nondecreasing order (no counters bumped). *)

@@ -1,0 +1,68 @@
+type t = { mutable state : int64 }
+
+let default_seed = 0x1986_05_28 (* SIGMOD '86 *)
+
+let create ?(seed = default_seed) () = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64: Steele, Lea & Flood, "Fast splittable pseudorandom number
+   generators", OOPSLA 2014. *)
+let bits64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = { state = bits64 t }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Take the top bits; reject to avoid modulo bias only when bound is not a
+     power of two and bias would be observable.  A simple multiply-shift
+     (Lemire) gives an unbiased-enough uniform for our workloads while
+     staying branch-light. *)
+  let u = Int64.shift_right_logical (bits64 t) 1 in
+  Int64.to_int (Int64.rem u (Int64.of_int bound))
+
+let int_in_range t ~lo ~hi =
+  if hi < lo then invalid_arg "Rng.int_in_range: hi < lo";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  let u = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  bound *. (u /. 9007199254740992.0 (* 2^53 *))
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let gaussian t =
+  let rec draw () =
+    let u1 = float t 1.0 in
+    if u1 <= 1e-300 then draw ()
+    else
+      let u2 = float t 1.0 in
+      sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+  in
+  draw ()
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample_without_replacement t ~k ~n =
+  if k < 0 || k > n then invalid_arg "Rng.sample_without_replacement";
+  (* Partial Fisher-Yates over a lazily materialized identity permutation:
+     O(k) space via a displacement table. *)
+  let displaced = Hashtbl.create (2 * k) in
+  let get i = match Hashtbl.find_opt displaced i with Some v -> v | None -> i in
+  Array.init k (fun i ->
+      let j = int_in_range t ~lo:i ~hi:(n - 1) in
+      let vi = get i and vj = get j in
+      Hashtbl.replace displaced j vi;
+      Hashtbl.replace displaced i vj;
+      vj)

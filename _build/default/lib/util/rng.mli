@@ -1,0 +1,51 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomized components of the MM-DBMS (workload generation, hash-seed
+    selection, property tests) draw from this module so that experiments are
+    reproducible run-to-run.  The generator is a [splitmix64] stream, which
+    is small, fast, and has no global state: each component owns its own
+    generator and two generators seeded identically produce identical
+    streams. *)
+
+type t
+(** A self-contained pseudo-random generator. *)
+
+val create : ?seed:int -> unit -> t
+(** [create ?seed ()] makes a fresh generator.  The default seed is a fixed
+    constant so that, absent an explicit seed, every run of the system is
+    deterministic. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator duplicating [t]'s current state. *)
+
+val split : t -> t
+(** [split t] derives a new generator from [t], advancing [t].  The derived
+    stream is statistically independent of the parent's subsequent output. *)
+
+val bits64 : t -> int64
+(** [bits64 t] is the next 64 uniformly random bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val int_in_range : t -> lo:int -> hi:int -> int
+(** [int_in_range t ~lo ~hi] is uniform in [\[lo, hi\]] (inclusive).
+    @raise Invalid_argument if [hi < lo]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** [bool t] is a fair coin flip. *)
+
+val gaussian : t -> float
+(** [gaussian t] is a standard normal deviate (Box-Muller). *)
+
+val shuffle : t -> 'a array -> unit
+(** [shuffle t a] permutes [a] in place, uniformly (Fisher-Yates). *)
+
+val sample_without_replacement : t -> k:int -> n:int -> int array
+(** [sample_without_replacement t ~k ~n] is [k] distinct values drawn
+    uniformly from [\[0, n)], in random order.
+    @raise Invalid_argument if [k > n] or [k < 0]. *)

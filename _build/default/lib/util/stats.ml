@@ -1,0 +1,98 @@
+let truncated_normal rng ~mean ~stddev =
+  if stddev <= 0.0 then invalid_arg "Stats.truncated_normal: stddev <= 0";
+  let rec draw attempts =
+    if attempts > 10_000 then
+      (* Pathological (mean far outside [0,1] with tiny stddev): fall back to
+         clamping rather than looping forever. *)
+      Float.max 0.0 (Float.min 1.0 mean)
+    else
+      let x = mean +. (stddev *. Rng.gaussian rng) in
+      if x >= 0.0 && x <= 1.0 then x else draw (attempts + 1)
+  in
+  draw 0
+
+let duplicate_weights rng ~stddev ~n_values =
+  if n_values <= 0 then invalid_arg "Stats.duplicate_weights: n_values <= 0";
+  if stddev <= 0.0 then invalid_arg "Stats.duplicate_weights: stddev <= 0";
+  (* Each tuple conceptually samples a value position from |N(0, σ)|
+     truncated to [0,1]; the weight of the value at quantile p is therefore
+     the half-normal density there (jittered slightly so repeated runs are
+     not identical).  σ = 0.1 puts ~2/3 of the mass on the first tenth of
+     the values (the paper's skewed curve in Graph 3); σ = 0.8 is nearly
+     flat. *)
+  let w =
+    Array.init n_values (fun i ->
+        let p = (float_of_int i +. 0.5) /. float_of_int n_values in
+        let density = exp (-.(p *. p) /. (2.0 *. stddev *. stddev)) in
+        density *. (0.9 +. Rng.float rng 0.2))
+  in
+  Array.sort (fun a b -> compare b a) w;
+  let total = Array.fold_left ( +. ) 0.0 w in
+  Array.map (fun x -> x /. total) w
+
+let apportion weights ~total ~min_each =
+  let n = Array.length weights in
+  if n = 0 then invalid_arg "Stats.apportion: empty weights";
+  if total < min_each * n then invalid_arg "Stats.apportion: total too small";
+  let spare = total - (min_each * n) in
+  let raw = Array.map (fun w -> w *. float_of_int spare) weights in
+  let counts = Array.map (fun r -> min_each + int_of_float (Float.floor r)) raw in
+  let assigned = Array.fold_left ( + ) 0 counts in
+  let remainder = total - assigned in
+  (* Largest-remainder: give the leftover units to the entries whose
+     fractional parts are biggest. *)
+  let order = Array.init n (fun i -> i) in
+  Array.sort
+    (fun i j ->
+      let fi = raw.(i) -. Float.floor raw.(i)
+      and fj = raw.(j) -. Float.floor raw.(j) in
+      compare fj fi)
+    order;
+  for k = 0 to remainder - 1 do
+    let i = order.(k mod n) in
+    counts.(i) <- counts.(i) + 1
+  done;
+  counts
+
+let cumulative_share counts =
+  let counts = Array.copy counts in
+  Array.sort (fun a b -> compare b a) counts;
+  let n = Array.length counts in
+  let total = Array.fold_left ( + ) 0 counts in
+  if n = 0 || total = 0 then [||]
+  else begin
+    let acc = ref 0 in
+    Array.mapi
+      (fun i c ->
+        acc := !acc + c;
+        ( 100.0 *. float_of_int (i + 1) /. float_of_int n,
+          100.0 *. float_of_int !acc /. float_of_int total ))
+      counts
+  end
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let stddev xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+    sqrt (ss /. float_of_int (n - 1))
+  end
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then sorted.(lo)
+  else
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))

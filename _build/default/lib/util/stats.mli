@@ -1,0 +1,36 @@
+(** Sampling distributions and summary statistics for workload generation.
+
+    §3.3.1 builds relations whose duplicate counts follow "a random sampling
+    procedure based on a truncated normal distribution with a variable
+    standard deviation"; Graph 3 plots the resulting cumulative share of
+    tuples against the share of distinct values for σ ∈ {0.1, 0.4, 0.8}.
+    {!truncated_normal} and {!duplicate_weights} implement that procedure. *)
+
+val truncated_normal : Rng.t -> mean:float -> stddev:float -> float
+(** A normal deviate conditioned on falling in [\[0, 1\]] (rejection
+    sampling).  @raise Invalid_argument if [stddev <= 0.]. *)
+
+val duplicate_weights : Rng.t -> stddev:float -> n_values:int -> float array
+(** [duplicate_weights rng ~stddev ~n_values] draws a relative weight for
+    each of [n_values] distinct join-column values using a truncated normal
+    centred at 0 (so small σ gives a highly skewed weight profile, large σ a
+    near-uniform one), sorted descending and normalised to sum to 1. *)
+
+val apportion : float array -> total:int -> min_each:int -> int array
+(** [apportion weights ~total ~min_each] converts relative weights to
+    integer occurrence counts summing exactly to [total], giving every value
+    at least [min_each] occurrences (largest-remainder rounding).
+    @raise Invalid_argument if [total < min_each * length]. *)
+
+val cumulative_share : int array -> (float * float) array
+(** [cumulative_share counts] is Graph 3's curve: for each prefix of values
+    (sorted by descending count), the pair
+    [(percent of values, percent of tuples)] in [0..100]. *)
+
+val mean : float array -> float
+val stddev : float array -> float
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0,100\]]; linear interpolation on a
+    sorted copy.  @raise Invalid_argument on empty input or [p] outside the
+    range. *)

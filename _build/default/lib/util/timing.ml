@@ -1,0 +1,19 @@
+let now () = Unix.gettimeofday ()
+
+let time f =
+  let start = now () in
+  let result = f () in
+  (result, now () -. start)
+
+let time_median ?(repeats = 3) f =
+  if repeats < 1 then invalid_arg "Timing.time_median: repeats < 1";
+  let samples = Array.make repeats 0.0 in
+  let result = ref None in
+  for i = 0 to repeats - 1 do
+    let r, dt = time f in
+    result := Some r;
+    samples.(i) <- dt
+  done;
+  Array.sort compare samples;
+  let median = samples.(repeats / 2) in
+  match !result with Some r -> (r, median) | None -> assert false

@@ -1,0 +1,10 @@
+(** Wall-clock measurement of CPU-bound in-memory operations, standing in
+    for the paper's getrusage-style timer (§3.1). *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] once and returns its result and elapsed seconds. *)
+
+val time_median : ?repeats:int -> (unit -> 'a) -> 'a * float
+(** [time_median ~repeats f] runs [f] [repeats] times (default 3) and
+    returns the last result with the median elapsed seconds, damping
+    scheduler noise for the benchmark sweeps. *)

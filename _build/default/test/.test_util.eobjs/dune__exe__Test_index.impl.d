@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Array Btree Btree_plus Extendible_hash Fun Hashtbl Index_intf Linear_hash List Mmdb_index Mmdb_util Printf QCheck QCheck_alcotest Registry String Ttree

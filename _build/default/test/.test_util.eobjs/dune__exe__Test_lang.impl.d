@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Ast Interp Lexer List Mmdb_core Mmdb_lang Mmdb_storage Parser String

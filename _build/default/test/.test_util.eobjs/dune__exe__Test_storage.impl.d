@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Descriptor Gen Hashtbl List Mmdb_index Mmdb_storage Mmdb_util Partition Printf QCheck QCheck_alcotest Relation Result Schema Seq String Temp_list Tuple Value

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Counters Float Fun List Mmdb_util QCheck QCheck_alcotest Qsort Rng Stats Timing

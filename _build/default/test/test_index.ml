@@ -1,0 +1,615 @@
+(* Unit and property-based tests for all eight index structures.
+
+   Every structure is checked the same three ways:
+   - hand-written unit tests for the basic contract (insert / search /
+     delete / duplicates / iteration order);
+   - a qcheck model test: a random trace of operations must leave the index
+     with exactly the contents of a reference multiset, with every
+     intermediate operation agreeing with the model;
+   - [validate] (the structure's own internal invariant checker) must pass
+     after every trace. *)
+
+open Mmdb_index
+
+let int_cmp : int -> int -> int = compare
+
+let int_hash x = Hashtbl.hash x
+
+let contents iter t =
+  let acc = ref [] in
+  iter t (fun x -> acc := x :: !acc);
+  List.rev !acc
+
+(* --- unit tests, generic over the structure ------------------------- *)
+
+let check_validate name = function
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "%s: validate: %s" name msg
+
+let test_basic (module I : Index_intf.S) () =
+  let t = I.create ~expected:64 ~cmp:int_cmp ~hash:int_hash () in
+  Alcotest.(check int) "empty size" 0 (I.size t);
+  Alcotest.(check bool) "insert 5" true (I.insert t 5);
+  Alcotest.(check bool) "insert 3" true (I.insert t 3);
+  Alcotest.(check bool) "insert 9" true (I.insert t 9);
+  Alcotest.(check bool) "reject duplicate" false (I.insert t 5);
+  Alcotest.(check int) "size" 3 (I.size t);
+  Alcotest.(check (option int)) "search hit" (Some 3) (I.search t 3);
+  Alcotest.(check (option int)) "search miss" None (I.search t 4);
+  Alcotest.(check bool) "delete hit" true (I.delete t 3);
+  Alcotest.(check bool) "delete miss" false (I.delete t 3);
+  Alcotest.(check int) "size after delete" 2 (I.size t);
+  Alcotest.(check (option int)) "deleted gone" None (I.search t 3);
+  check_validate I.name (I.validate t)
+
+let test_bulk (module I : Index_intf.S) () =
+  let n = 2000 in
+  let t = I.create ~expected:n ~cmp:int_cmp ~hash:int_hash () in
+  let rng = Mmdb_util.Rng.create ~seed:7 () in
+  let keys = Array.init n (fun i -> i * 3) in
+  Mmdb_util.Rng.shuffle rng keys;
+  Array.iter (fun k -> assert (I.insert t k)) keys;
+  Alcotest.(check int) "bulk size" n (I.size t);
+  check_validate I.name (I.validate t);
+  Array.iter
+    (fun k ->
+      if I.search t k = None then Alcotest.failf "%s: lost key %d" I.name k;
+      if I.search t (k + 1) <> None then
+        Alcotest.failf "%s: phantom key %d" I.name (k + 1))
+    keys;
+  Array.iter (fun k -> if k mod 2 = 0 then assert (I.delete t k)) keys;
+  check_validate I.name (I.validate t);
+  Array.iter
+    (fun k ->
+      let expect = k mod 2 <> 0 in
+      if (I.search t k <> None) <> expect then
+        Alcotest.failf "%s: wrong membership for %d after deletes" I.name k)
+    keys
+
+let test_duplicates (module I : Index_intf.S) () =
+  let t = I.create ~duplicates:true ~expected:64 ~cmp:int_cmp ~hash:int_hash () in
+  List.iter
+    (fun x -> assert (I.insert t x))
+    [ 5; 5; 5; 1; 9; 5; 1 ];
+  Alcotest.(check int) "size with dups" 7 (I.size t);
+  let hits = ref 0 in
+  I.iter_matches t 5 (fun _ -> incr hits);
+  Alcotest.(check int) "four fives" 4 !hits;
+  (* delete removes one instance at a time *)
+  assert (I.delete t 5);
+  hits := 0;
+  I.iter_matches t 5 (fun _ -> incr hits);
+  Alcotest.(check int) "three fives" 3 !hits;
+  Alcotest.(check int) "size after one delete" 6 (I.size t);
+  check_validate I.name (I.validate t)
+
+let test_ordered_iteration (module I : Index_intf.S) () =
+  let t = I.create ~expected:512 ~cmp:int_cmp ~hash:int_hash () in
+  let rng = Mmdb_util.Rng.create ~seed:11 () in
+  let keys = Array.init 500 (fun i -> i) in
+  Mmdb_util.Rng.shuffle rng keys;
+  Array.iter (fun k -> assert (I.insert t k)) keys;
+  let got = contents I.iter t in
+  Alcotest.(check (list int)) "in-order iteration" (List.init 500 Fun.id) got;
+  let seq = List.of_seq (I.to_seq t) in
+  Alcotest.(check (list int)) "to_seq agrees with iter" got seq
+
+let test_range (module I : Index_intf.S) () =
+  let t = I.create ~expected:128 ~cmp:int_cmp ~hash:int_hash () in
+  for i = 0 to 99 do
+    assert (I.insert t (i * 2))
+  done;
+  let collect ~lo ~hi =
+    let acc = ref [] in
+    I.range t ~lo ~hi (fun x -> acc := x :: !acc);
+    List.rev !acc
+  in
+  Alcotest.(check (list int)) "mid range" [ 10; 12; 14 ] (collect ~lo:10 ~hi:14);
+  Alcotest.(check (list int))
+    "range with odd bounds" [ 10; 12; 14 ]
+    (collect ~lo:9 ~hi:15);
+  Alcotest.(check (list int)) "empty range" [] (collect ~lo:13 ~hi:13);
+  Alcotest.(check int) "full range" 100 (List.length (collect ~lo:0 ~hi:198));
+  Alcotest.(check (list int)) "below all" [] (collect ~lo:(-10) ~hi:(-1));
+  Alcotest.(check (list int)) "above all" [] (collect ~lo:199 ~hi:300)
+
+let test_hash_range_unsupported (module I : Index_intf.S) () =
+  let t = I.create ~cmp:int_cmp ~hash:int_hash () in
+  assert (I.insert t 1);
+  Alcotest.check_raises "range raises"
+    (Index_intf.Unsupported
+       (match I.name with
+       | "Chained Bucket Hash" -> "Chained Bucket Hash: no range scans"
+       | "Extendible Hash" -> "Extendible Hash: no range scans"
+       | "Linear Hash" -> "Linear Hash: no range scans"
+       | _ -> "Mod Linear Hash: no range scans"))
+    (fun () -> I.range t ~lo:0 ~hi:1 (fun _ -> ()))
+
+let test_empty_behaviour (module I : Index_intf.S) () =
+  let t = I.create ~cmp:int_cmp ~hash:int_hash () in
+  Alcotest.(check (option int)) "search empty" None (I.search t 42);
+  Alcotest.(check bool) "delete empty" false (I.delete t 42);
+  Alcotest.(check int) "size empty" 0 (I.size t);
+  Alcotest.(check (list int)) "iter empty" [] (contents I.iter t);
+  check_validate I.name (I.validate t);
+  (* fill then drain back to empty *)
+  for i = 0 to 63 do
+    assert (I.insert t i)
+  done;
+  for i = 0 to 63 do
+    assert (I.delete t i)
+  done;
+  Alcotest.(check int) "drained" 0 (I.size t);
+  Alcotest.(check (option int)) "search after drain" None (I.search t 3);
+  check_validate I.name (I.validate t);
+  (* must be reusable after draining *)
+  assert (I.insert t 42);
+  Alcotest.(check (option int)) "reuse after drain" (Some 42) (I.search t 42)
+
+let test_storage_positive (module I : Index_intf.S) () =
+  let t = I.create ~expected:1024 ~cmp:int_cmp ~hash:int_hash () in
+  for i = 0 to 999 do
+    assert (I.insert t i)
+  done;
+  let bytes = I.storage_bytes t in
+  if bytes < 4 * 1000 then
+    Alcotest.failf "%s: storage %d below data floor" I.name bytes;
+  if bytes > 100 * 4 * 1000 then
+    Alcotest.failf "%s: storage %d implausibly large" I.name bytes
+
+let test_iter_from (module I : Index_intf.S) () =
+  let t = I.create ~expected:128 ~cmp:int_cmp ~hash:int_hash () in
+  for i = 0 to 99 do
+    assert (I.insert t (i * 2))
+  done;
+  let collect lo =
+    let acc = ref [] in
+    I.iter_from t lo (fun x -> acc := x :: !acc);
+    List.rev !acc
+  in
+  Alcotest.(check int) "from 100" 50 (List.length (collect 100));
+  Alcotest.(check (list int)) "from 193" [ 194; 196; 198 ] (collect 193);
+  Alcotest.(check int) "from below all" 100 (List.length (collect (-5)));
+  Alcotest.(check (list int)) "from above all" [] (collect 999);
+  (* ascending order *)
+  let xs = collect 50 in
+  Alcotest.(check bool) "ascending" true (List.sort compare xs = xs)
+
+let test_search_cost (module I : Index_intf.S) () =
+  (* §3.1-style validation: operation counts, not wall clock.  Tree/array
+     searches must be logarithmic in comparisons; hash searches must make
+     exactly one hash-function call and scan a short chain. *)
+  let n = 4096 in
+  let t = I.create ~expected:n ~cmp:int_cmp ~hash:int_hash () in
+  let rng = Mmdb_util.Rng.create ~seed:3 () in
+  let keys = Array.init n (fun i -> i) in
+  Mmdb_util.Rng.shuffle rng keys;
+  Array.iter (fun k -> ignore (I.insert t k)) keys;
+  Mmdb_util.Counters.reset ();
+  let _, c =
+    Mmdb_util.Counters.with_counters (fun () ->
+        for k = 0 to n - 1 do
+          ignore (I.search t k)
+        done)
+  in
+  let per_search =
+    float_of_int c.Mmdb_util.Counters.comparisons /. float_of_int n
+  in
+  (match I.kind with
+  | Index_intf.Ordered ->
+      (* generous bound: 3 * log2 n covers the T Tree's bound checks *)
+      if per_search > 3.0 *. (log (float_of_int n) /. log 2.0) then
+        Alcotest.failf "%s: %.1f comparisons per search" I.name per_search
+  | Index_intf.Hash ->
+      let hash_per =
+        float_of_int c.Mmdb_util.Counters.hash_calls /. float_of_int n
+      in
+      if hash_per > 1.01 then
+        Alcotest.failf "%s: %.2f hash calls per search" I.name hash_per;
+      if per_search > 16.0 then
+        Alcotest.failf "%s: chains too long (%.1f cmp/search)" I.name
+          per_search)
+
+(* --- model-based property tests ------------------------------------- *)
+
+type op = Insert of int | Delete of int | Search of int
+
+let op_gen =
+  QCheck.Gen.(
+    let key = int_range 0 50 in
+    frequency
+      [
+        (5, map (fun k -> Insert k) key);
+        (3, map (fun k -> Delete k) key);
+        (2, map (fun k -> Search k) key);
+      ])
+
+let ops_arbitrary =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map
+           (function
+             | Insert k -> Printf.sprintf "I%d" k
+             | Delete k -> Printf.sprintf "D%d" k
+             | Search k -> Printf.sprintf "S%d" k)
+           ops))
+    QCheck.Gen.(list_size (int_range 0 400) op_gen)
+
+(* Reference model: a sorted association list key -> multiplicity. *)
+module Model = struct
+  type t = (int * int) list
+
+  let empty : t = []
+
+  let count k (m : t) = match List.assoc_opt k m with Some c -> c | None -> 0
+
+  let insert ~duplicates k m =
+    if (not duplicates) && count k m > 0 then (m, false)
+    else
+      ( (k, count k m + 1) :: List.remove_assoc k m |> List.sort compare,
+        true )
+
+  let delete k m =
+    match count k m with
+    | 0 -> (m, false)
+    | 1 -> (List.remove_assoc k m, true)
+    | c -> ((k, c - 1) :: List.remove_assoc k m |> List.sort compare, true)
+
+  let mem k m = count k m > 0
+
+  let to_sorted_list (m : t) =
+    List.concat_map (fun (k, c) -> List.init c (fun _ -> k)) m
+end
+
+let model_trace (module I : Index_intf.S) ~duplicates ops =
+  let t = I.create ~duplicates ~expected:64 ~cmp:int_cmp ~hash:int_hash () in
+  let model = ref Model.empty in
+  List.iter
+    (fun op ->
+      match op with
+      | Insert k ->
+          let m', expected = Model.insert ~duplicates k !model in
+          let got = I.insert t k in
+          if got <> expected then
+            QCheck.Test.fail_reportf "%s: insert %d returned %b, model %b"
+              I.name k got expected;
+          if got then model := m'
+      | Delete k ->
+          let m', expected = Model.delete k !model in
+          let got = I.delete t k in
+          if got <> expected then
+            QCheck.Test.fail_reportf "%s: delete %d returned %b, model %b"
+              I.name k got expected;
+          if got then model := m'
+      | Search k ->
+          let expected = Model.mem k !model in
+          let got = I.search t k <> None in
+          if got <> expected then
+            QCheck.Test.fail_reportf "%s: search %d returned %b, model %b"
+              I.name k got expected)
+    ops;
+  (* Final state: size, contents, matches, validation. *)
+  let want = Model.to_sorted_list !model in
+  if I.size t <> List.length want then
+    QCheck.Test.fail_reportf "%s: size %d, model %d" I.name (I.size t)
+      (List.length want);
+  let got = List.sort compare (contents I.iter t) in
+  if got <> want then QCheck.Test.fail_reportf "%s: contents diverge" I.name;
+  (if I.kind = Index_intf.Ordered then
+     let in_order = contents I.iter t in
+     if in_order <> want then
+       QCheck.Test.fail_reportf "%s: iteration not in key order" I.name);
+  List.iter
+    (fun (k, c) ->
+      let hits = ref 0 in
+      I.iter_matches t k (fun _ -> incr hits);
+      if !hits <> c then
+        QCheck.Test.fail_reportf "%s: iter_matches %d saw %d, model %d" I.name
+          k !hits c)
+    !model;
+  (match I.validate t with
+  | Ok () -> ()
+  | Error msg -> QCheck.Test.fail_reportf "%s: validate: %s" I.name msg);
+  true
+
+(* range and iter_from agree with a filtered model on random traces *)
+let range_model_test (module I : Index_intf.S) =
+  QCheck.Test.make ~count:80 ~name:(I.name ^ " range/iter_from model")
+    QCheck.(
+      triple
+        (list_of_size (QCheck.Gen.int_range 0 80) (int_range 0 60))
+        (int_range 0 60) (int_range 0 60))
+    (fun (xs, a, b) ->
+      let lo = min a b and hi = max a b in
+      let t = I.create ~duplicates:true ~expected:128 ~cmp:int_cmp ~hash:int_hash () in
+      List.iter (fun x -> ignore (I.insert t x)) xs;
+      let sorted = List.sort compare xs in
+      let got_range =
+        let acc = ref [] in
+        I.range t ~lo ~hi (fun x -> acc := x :: !acc);
+        List.rev !acc
+      in
+      let want_range = List.filter (fun x -> x >= lo && x <= hi) sorted in
+      if got_range <> want_range then
+        QCheck.Test.fail_reportf "range [%d,%d]: got %d want %d elements" lo hi
+          (List.length got_range) (List.length want_range);
+      let got_from =
+        let acc = ref [] in
+        I.iter_from t lo (fun x -> acc := x :: !acc);
+        List.rev !acc
+      in
+      let want_from = List.filter (fun x -> x >= lo) sorted in
+      if got_from <> want_from then
+        QCheck.Test.fail_reportf "iter_from %d diverges" lo
+      else true)
+
+let model_test (module I : Index_intf.S) ~duplicates =
+  let name =
+    Printf.sprintf "%s model (%s)" I.name
+      (if duplicates then "duplicates" else "unique")
+  in
+  QCheck.Test.make ~count:150 ~name ops_arbitrary
+    (model_trace (module I) ~duplicates)
+
+(* --- T Tree specifics ------------------------------------------------ *)
+
+let test_ttree_occupancy () =
+  let t =
+    Ttree.create ~node_size:8 ~duplicates:false ~cmp:int_cmp ~hash:int_hash ()
+  in
+  for i = 0 to 9999 do
+    assert (Ttree.insert t i)
+  done;
+  (match Ttree.validate t with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  (* Sequential inserts must keep internal nodes at minimum occupancy. *)
+  Alcotest.(check int) "no underfull internal nodes" 0
+    (Ttree.underfull_internal_nodes t);
+  (* Multi-element nodes: far fewer nodes than elements. *)
+  let nodes = Ttree.node_count t in
+  if nodes * 4 > 10000 then
+    Alcotest.failf "too many nodes (%d) for 10000 elements" nodes
+
+let test_ttree_rotations_vs_avl () =
+  (* The min/max-count slack means a T Tree rotates much less often than an
+     AVL tree would (one rotation per node split at most). *)
+  let t =
+    Ttree.create ~node_size:20 ~cmp:int_cmp ~hash:int_hash ()
+  in
+  for i = 0 to 9999 do
+    assert (Ttree.insert t i)
+  done;
+  let rot = Ttree.rotations t in
+  if rot > 10000 / 18 + 32 then
+    Alcotest.failf "unexpectedly many rotations: %d" rot
+
+let test_ttree_glb_transfer () =
+  (* Inserting into a bounded full node must push the minimum down, not
+     lose elements. *)
+  let t = Ttree.create ~node_size:4 ~cmp:int_cmp ~hash:int_hash () in
+  List.iter
+    (fun x -> assert (Ttree.insert t x))
+    [ 10; 20; 30; 40; 5; 50; 25 ];
+  let acc = ref [] in
+  Ttree.iter t (fun x -> acc := x :: !acc);
+  Alcotest.(check (list int))
+    "all elements survive GLB transfers" [ 5; 10; 20; 25; 30; 40; 50 ]
+    (List.rev !acc);
+  match Ttree.validate t with Ok () -> () | Error m -> Alcotest.fail m
+
+let test_ttree_node_size_one_rejected () =
+  Alcotest.check_raises "node_size 1 rejected"
+    (Invalid_argument "Ttree.create: node_size must be >= 2") (fun () ->
+      ignore (Ttree.create ~node_size:1 ~cmp:int_cmp ~hash:int_hash ()))
+
+let test_ttree_halfleaf_merge () =
+  (* Deleting down to a half-leaf that can absorb its child exercises the
+     §3.2.1 merge path. *)
+  let t = Ttree.create ~node_size:4 ~cmp:int_cmp ~hash:int_hash () in
+  for i = 0 to 19 do
+    assert (Ttree.insert t i)
+  done;
+  let nodes_before = Ttree.node_count t in
+  for i = 0 to 14 do
+    assert (Ttree.delete t i)
+  done;
+  (match Ttree.validate t with Ok () -> () | Error m -> Alcotest.fail m);
+  Alcotest.(check bool) "nodes reclaimed" true (Ttree.node_count t < nodes_before);
+  Alcotest.(check int) "five left" 5 (Ttree.size t);
+  let acc = ref [] in
+  Ttree.iter t (fun x -> acc := x :: !acc);
+  Alcotest.(check (list int)) "survivors" [ 15; 16; 17; 18; 19 ] (List.rev !acc)
+
+let test_ttree_descending_inserts () =
+  (* Descending order exercises left-leaf growth and right rotations. *)
+  let t = Ttree.create ~node_size:8 ~cmp:int_cmp ~hash:int_hash () in
+  for i = 5000 downto 1 do
+    assert (Ttree.insert t i)
+  done;
+  (match Ttree.validate t with Ok () -> () | Error m -> Alcotest.fail m);
+  Alcotest.(check int) "size" 5000 (Ttree.size t);
+  Alcotest.(check (option int)) "min present" (Some 1) (Ttree.search t 1);
+  Alcotest.(check (option int)) "max present" (Some 5000) (Ttree.search t 5000)
+
+let test_btree_root_collapse () =
+  (* Grow a multi-level tree, then delete everything: the root must shrink
+     level by level and end empty. *)
+  let t = Btree.create ~node_size:4 ~cmp:int_cmp ~hash:int_hash () in
+  for i = 0 to 499 do
+    assert (Btree.insert t i)
+  done;
+  for i = 499 downto 0 do
+    assert (Btree.delete t i)
+  done;
+  Alcotest.(check int) "empty" 0 (Btree.size t);
+  (match Btree.validate t with Ok () -> () | Error m -> Alcotest.fail m);
+  assert (Btree.insert t 42);
+  Alcotest.(check (option int)) "reusable" (Some 42) (Btree.search t 42)
+
+let test_extendible_same_key_duplicates () =
+  (* All-equal keys cannot be separated by splitting; the bucket must grow
+     in place instead of doubling the directory forever. *)
+  let t =
+    Extendible_hash.create ~node_size:2 ~duplicates:true ~cmp:int_cmp
+      ~hash:int_hash ()
+  in
+  for _ = 1 to 100 do
+    assert (Extendible_hash.insert t 7)
+  done;
+  Alcotest.(check int) "all stored" 100 (Extendible_hash.size t);
+  let hits = ref 0 in
+  Extendible_hash.iter_matches t 7 (fun _ -> incr hits);
+  Alcotest.(check int) "all findable" 100 !hits;
+  (match Extendible_hash.validate t with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  (* storage must stay sane: no exponential directory *)
+  Alcotest.(check bool) "directory stayed small" true
+    (Extendible_hash.storage_bytes t < 100 * 100)
+
+let test_linear_hash_level_wrap () =
+  (* Push enough growth that the split pointer wraps and the level
+     increments, then drain to force contractions back down. *)
+  let t = Linear_hash.create ~node_size:4 ~cmp:int_cmp ~hash:int_hash () in
+  for i = 0 to 999 do
+    assert (Linear_hash.insert t i)
+  done;
+  (match Linear_hash.validate t with Ok () -> () | Error m -> Alcotest.fail m);
+  for i = 0 to 949 do
+    assert (Linear_hash.delete t i)
+  done;
+  (match Linear_hash.validate t with Ok () -> () | Error m -> Alcotest.fail m);
+  Alcotest.(check int) "fifty left" 50 (Linear_hash.size t);
+  for i = 950 to 999 do
+    Alcotest.(check bool) (Printf.sprintf "find %d" i) true
+      (Linear_hash.search t i <> None)
+  done
+
+let test_bplus_lazy_delete_scan () =
+  (* B+ lazy deletion leaves empty leaves behind; chain scans must skip
+     them and stay correct. *)
+  let t =
+    Btree_plus.create ~node_size:4 ~duplicates:true ~cmp:int_cmp
+      ~hash:int_hash ()
+  in
+  for i = 0 to 199 do
+    assert (Btree_plus.insert t i)
+  done;
+  (* hollow out the middle *)
+  for i = 50 to 149 do
+    assert (Btree_plus.delete t i)
+  done;
+  (match Btree_plus.validate t with Ok () -> () | Error m -> Alcotest.fail m);
+  let acc = ref [] in
+  Btree_plus.range t ~lo:40 ~hi:160 (fun x -> acc := x :: !acc);
+  Alcotest.(check (list int)) "range over hollowed region"
+    (List.init 10 (fun i -> 40 + i) @ List.init 11 (fun i -> 150 + i))
+    (List.rev !acc)
+
+(* --- registry -------------------------------------------------------- *)
+
+let test_registry () =
+  Alcotest.(check int) "eight structures" 8 (List.length Registry.all);
+  Alcotest.(check int) "four ordered" 4 (List.length Registry.ordered);
+  Alcotest.(check int) "four hashed" 4 (List.length Registry.hashed);
+  Alcotest.(check bool) "lookup by name" true
+    (Registry.by_name "T Tree" <> None);
+  Alcotest.(check bool) "extras reachable by name" true
+    (Registry.by_name "B+ Tree" <> None);
+  Alcotest.(check bool) "unknown name" true (Registry.by_name "Splay" = None)
+
+(* --- assemble -------------------------------------------------------- *)
+
+let generic_cases =
+  List.concat_map
+    (fun (Index_intf.Pack (module I)) ->
+      let tc name f = Alcotest.test_case (I.name ^ ": " ^ name) `Quick f in
+      [
+        tc "basic contract" (test_basic (module I));
+        tc "bulk insert/search/delete" (test_bulk (module I));
+        tc "duplicate handling" (test_duplicates (module I));
+        tc "empty and drain" (test_empty_behaviour (module I));
+        tc "storage accounting" (test_storage_positive (module I));
+      ])
+    (Registry.all @ Registry.extras)
+
+let ordered_cases =
+  List.concat_map
+    (fun (Index_intf.Pack (module I)) ->
+      let tc name f = Alcotest.test_case (I.name ^ ": " ^ name) `Quick f in
+      [
+        tc "ordered iteration" (test_ordered_iteration (module I));
+        tc "range queries" (test_range (module I));
+        tc "iter_from" (test_iter_from (module I));
+      ])
+    (Registry.ordered
+    @ List.filter
+        (fun (Index_intf.Pack (module I)) -> I.kind = Index_intf.Ordered)
+        Registry.extras)
+
+let cost_cases =
+  List.map
+    (fun (Index_intf.Pack (module I)) ->
+      Alcotest.test_case (I.name ^ ": search cost") `Quick
+        (test_search_cost (module I)))
+    Registry.all
+
+let hash_cases =
+  List.map
+    (fun (Index_intf.Pack (module I)) ->
+      Alcotest.test_case
+        (I.name ^ ": range unsupported")
+        `Quick
+        (test_hash_range_unsupported (module I)))
+    Registry.hashed
+
+let property_cases =
+  List.concat_map
+    (fun (Index_intf.Pack (module I)) ->
+      [
+        QCheck_alcotest.to_alcotest (model_test (module I) ~duplicates:false);
+        QCheck_alcotest.to_alcotest (model_test (module I) ~duplicates:true);
+      ])
+    (Registry.all @ Registry.extras)
+  @ List.filter_map
+      (fun (Index_intf.Pack (module I)) ->
+        if I.kind = Index_intf.Ordered then
+          Some (QCheck_alcotest.to_alcotest (range_model_test (module I)))
+        else None)
+      (Registry.all @ Registry.extras)
+
+let ttree_cases =
+  [
+    Alcotest.test_case "T Tree: sequential occupancy" `Quick
+      test_ttree_occupancy;
+    Alcotest.test_case "T Tree: few rotations" `Quick
+      test_ttree_rotations_vs_avl;
+    Alcotest.test_case "T Tree: GLB transfer" `Quick test_ttree_glb_transfer;
+    Alcotest.test_case "T Tree: node_size validation" `Quick
+      test_ttree_node_size_one_rejected;
+    Alcotest.test_case "T Tree: half-leaf merge" `Quick
+      test_ttree_halfleaf_merge;
+    Alcotest.test_case "T Tree: descending inserts" `Quick
+      test_ttree_descending_inserts;
+    Alcotest.test_case "B Tree: root collapse" `Quick test_btree_root_collapse;
+    Alcotest.test_case "Extendible: same-key duplicates" `Quick
+      test_extendible_same_key_duplicates;
+    Alcotest.test_case "Linear Hash: level wrap and contraction" `Quick
+      test_linear_hash_level_wrap;
+    Alcotest.test_case "B+ Tree: lazy delete scan" `Quick
+      test_bplus_lazy_delete_scan;
+    Alcotest.test_case "registry" `Quick test_registry;
+  ]
+
+let () =
+  Alcotest.run "mmdb_index"
+    [
+      ("generic", generic_cases);
+      ("ordered", ordered_cases);
+      ("costs", cost_cases);
+      ("hash", hash_cases);
+      ("properties", property_cases);
+      ("ttree", ttree_cases);
+    ]

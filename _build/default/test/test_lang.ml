@@ -1,0 +1,363 @@
+(* Tests for the query-language front end: lexer, parser, interpreter. *)
+
+open Mmdb_lang
+
+(* --- lexer ------------------------------------------------------------ *)
+
+let test_lexer_basics () =
+  let toks = Lexer.tokenize "SELECT * FROM t WHERE a = 42;" in
+  Alcotest.(check int) "token count" 10 (List.length toks);
+  (match toks with
+  | Lexer.Ident "SELECT" :: Lexer.Star :: Lexer.Ident "FROM" :: _ -> ()
+  | _ -> Alcotest.fail "unexpected token stream");
+  match List.rev toks with
+  | Lexer.Eof :: Lexer.Semicolon :: Lexer.Int 42 :: _ -> ()
+  | _ -> Alcotest.fail "unexpected tail"
+
+let test_lexer_strings_and_numbers () =
+  (match Lexer.tokenize "'it''s' 3.5 -7" with
+  | [ Lexer.String "it's"; Lexer.Float 3.5; Lexer.Int (-7); Lexer.Eof ] -> ()
+  | _ -> Alcotest.fail "literal lexing");
+  (* comments are skipped *)
+  match Lexer.tokenize "a -- trailing comment\nb" with
+  | [ Lexer.Ident "a"; Lexer.Ident "b"; Lexer.Eof ] -> ()
+  | _ -> Alcotest.fail "comment handling"
+
+let test_lexer_errors () =
+  (try
+     ignore (Lexer.tokenize "'unterminated");
+     Alcotest.fail "unterminated string accepted"
+   with Lexer.Error _ -> ());
+  try
+    ignore (Lexer.tokenize "a ? b");
+    Alcotest.fail "bad character accepted"
+  with Lexer.Error _ -> ()
+
+(* --- parser ------------------------------------------------------------ *)
+
+let parse_one input =
+  match Parser.parse input with
+  | Ok [ s ] -> s
+  | Ok l -> Alcotest.failf "expected one statement, got %d" (List.length l)
+  | Error msg -> Alcotest.fail msg
+
+let test_parse_create_table () =
+  match parse_one
+          "CREATE TABLE Emp (Name string, Id int PRIMARY KEY, D ref Dept);"
+  with
+  | Ast.Create_table { name = "Emp"; columns = [ n; id; d ] } ->
+      Alcotest.(check string) "col1" "Name" n.Ast.cd_name;
+      Alcotest.(check bool) "pk" true id.Ast.cd_primary;
+      (match d.Ast.cd_type with
+      | Ast.CT_ref "Dept" -> ()
+      | _ -> Alcotest.fail "ref type")
+  | _ -> Alcotest.fail "wrong statement"
+
+let test_parse_select_full () =
+  match
+    parse_one
+      "SELECT DISTINCT e.Name, Age FROM Emp JOIN Dept ON D = Id USING \
+       tree_merge WHERE Age > 30 AND Id BETWEEN 1 AND 99;"
+  with
+  | Ast.Select s ->
+      Alcotest.(check bool) "distinct" true s.Ast.sel_distinct;
+      (match s.Ast.sel_columns with
+      | `Items [ Ast.Sel_col "e.Name"; Ast.Sel_col "Age" ] -> ()
+      | _ -> Alcotest.fail "columns");
+      (match s.Ast.sel_join with
+      | Some ("Dept", "D", "Id", Some Ast.JM_tree_merge) -> ()
+      | _ -> Alcotest.fail "join clause");
+      Alcotest.(check int) "two conditions" 2 (List.length s.Ast.sel_where)
+  | _ -> Alcotest.fail "wrong statement"
+
+let test_parse_multiple_statements () =
+  match Parser.parse "SHOW TABLES; DESCRIBE t; DELETE FROM t;" with
+  | Ok [ Ast.Show_tables; Ast.Describe "t"; Ast.Delete _ ] -> ()
+  | Ok _ -> Alcotest.fail "wrong statements"
+  | Error e -> Alcotest.fail e
+
+let test_parse_errors () =
+  let expect_error input =
+    match Parser.parse input with
+    | Ok _ -> Alcotest.failf "accepted %S" input
+    | Error _ -> ()
+  in
+  expect_error "SELECT FROM;";
+  expect_error "CREATE TABLE t";
+  expect_error "INSERT INTO t VALUES (1";
+  expect_error "SELECT * FROM t WHERE a ? 3;";
+  expect_error "FROB x;";
+  expect_error "SELECT * FROM t USING banana;"
+
+(* --- interpreter --------------------------------------------------------- *)
+
+let fresh_db_with_demo () =
+  let db = Interp.session (Mmdb_core.Db.create ()) in
+  let script =
+    {|
+    CREATE TABLE Department (Name string, Id int PRIMARY KEY);
+    INSERT INTO Department VALUES ('Toy', 459);
+    INSERT INTO Department VALUES ('Shoe', 409);
+    CREATE TABLE Employee (Name string, Id int PRIMARY KEY, Age int,
+                           Dept ref Department);
+    INSERT INTO Employee VALUES ('Dave', 23, 24, 459);
+    INSERT INTO Employee VALUES ('Cindy', 22, 22, 409);
+    INSERT INTO Employee VALUES ('Hank', 77, 70, 409);
+    |}
+  in
+  match Interp.exec_string db script with
+  | Ok _ -> db
+  | Error msg -> Alcotest.fail msg
+
+let rows_of db sql =
+  match Interp.exec_string db sql with
+  | Ok [ Interp.Rows tl ] -> Mmdb_core.Executor.rows tl
+  | Ok _ -> Alcotest.fail "expected rows"
+  | Error msg -> Alcotest.fail msg
+
+let test_interp_select () =
+  let db = fresh_db_with_demo () in
+  let rows = rows_of db "SELECT Name FROM Employee WHERE Age > 23;" in
+  Alcotest.(check int) "two older employees" 2 (List.length rows);
+  let rows = rows_of db "SELECT * FROM Department;" in
+  Alcotest.(check int) "two departments" 2 (List.length rows);
+  Alcotest.(check int) "all columns" 2 (List.length (List.hd rows))
+
+let test_interp_join () =
+  let db = fresh_db_with_demo () in
+  let rows =
+    rows_of db
+      "SELECT Employee.Name, Department.Name FROM Employee JOIN Department \
+       ON Dept = Id WHERE Age > 60;"
+  in
+  Alcotest.(check (list (list string))) "hank in shoe"
+    [ [ "\"Hank\""; "\"Shoe\"" ] ]
+    rows
+
+let test_interp_distinct_and_unqualified () =
+  let db = fresh_db_with_demo () in
+  let rows =
+    rows_of db
+      "SELECT DISTINCT Department.Name FROM Employee JOIN Department ON Dept \
+       = Id;"
+  in
+  Alcotest.(check int) "two distinct departments" 2 (List.length rows)
+
+let test_interp_delete_and_errors () =
+  let db = fresh_db_with_demo () in
+  (match Interp.exec_string db "DELETE FROM Employee WHERE Age > 60;" with
+  | Ok [ Interp.Message m ] ->
+      Alcotest.(check string) "one deleted" "1 tuples deleted from Employee" m
+  | _ -> Alcotest.fail "delete failed");
+  Alcotest.(check int) "two remain" 2
+    (List.length (rows_of db "SELECT Id FROM Employee;"));
+  (* errors surface as Error, not exceptions *)
+  (match Interp.exec_string db "SELECT * FROM Nowhere;" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown relation accepted");
+  (match Interp.exec_string db "INSERT INTO Employee VALUES (1);" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "arity violation accepted");
+  (match
+     Interp.exec_string db "INSERT INTO Employee VALUES ('X', 1, 2, 999);"
+   with
+  | Error msg ->
+      Alcotest.(check bool) "dangling FK mentioned" true
+        (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "dangling FK accepted");
+  match Interp.exec_string db "CREATE TABLE NoKey (a int);" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "table without primary key accepted"
+
+let test_interp_update () =
+  let db = fresh_db_with_demo () in
+  (match
+     Interp.exec_string db "UPDATE Employee SET Age = 25 WHERE Name = 'Dave';"
+   with
+  | Ok [ Interp.Message m ] ->
+      Alcotest.(check string) "one updated" "1 tuples updated in Employee" m
+  | Ok _ -> Alcotest.fail "unexpected outcome"
+  | Error e -> Alcotest.fail e);
+  let rows = rows_of db "SELECT Age FROM Employee WHERE Name = 'Dave';" in
+  Alcotest.(check (list (list string))) "age updated" [ [ "25" ] ] rows;
+  (* multiple assignments + broad where *)
+  (match
+     Interp.exec_string db "UPDATE Employee SET Age = 1, Name = 'X' WHERE Age > 0;"
+   with
+  | Ok [ Interp.Message m ] ->
+      Alcotest.(check string) "all updated" "3 tuples updated in Employee" m
+  | Ok _ -> Alcotest.fail "unexpected outcome"
+  | Error e -> Alcotest.fail e);
+  (* uniqueness violation through the primary key surfaces as an error *)
+  (match Interp.exec_string db "UPDATE Employee SET Id = 23;" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "pk collision accepted");
+  match Interp.exec_string db "UPDATE Employee SET Nope = 1;" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown column accepted"
+
+let test_parse_aggregates () =
+  match
+    parse_one
+      "SELECT Kind, COUNT(*), AVG(DurationUs) FROM Event GROUP BY Kind;"
+  with
+  | Ast.Select s ->
+      (match s.Ast.sel_columns with
+      | `Items
+          [
+            Ast.Sel_col "Kind";
+            Ast.Sel_agg ("count", None);
+            Ast.Sel_agg ("avg", Some "DurationUs");
+          ] ->
+          ()
+      | _ -> Alcotest.fail "items");
+      Alcotest.(check (list string)) "group by" [ "Kind" ] s.Ast.sel_group_by
+  | _ -> Alcotest.fail "wrong statement"
+
+let test_interp_aggregates () =
+  let db = fresh_db_with_demo () in
+  (* whole-table aggregate *)
+  (match Interp.exec_string db "SELECT COUNT(*), AVG(Age) FROM Employee;" with
+  | Ok [ Interp.Table r ] -> (
+      Alcotest.(check (list string)) "header"
+        [ "count(*)"; "avg(Employee.Age)" ]
+        r.Mmdb_core.Aggregate.header;
+      match r.Mmdb_core.Aggregate.rows with
+      | [ [| Mmdb_storage.Value.Int 3; Mmdb_storage.Value.Float avg |] ] ->
+          Alcotest.(check (float 0.01)) "avg age" ((24. +. 22. +. 70.) /. 3.) avg
+      | _ -> Alcotest.fail "row shape")
+  | Ok _ -> Alcotest.fail "expected a table"
+  | Error e -> Alcotest.fail e);
+  (* grouped aggregate over a join *)
+  (match
+     Interp.exec_string db
+       "SELECT Department.Name, COUNT(*), MAX(Age) FROM Employee JOIN         Department ON Dept = Id GROUP BY Department.Name;"
+   with
+  | Ok [ Interp.Table r ] ->
+      Alcotest.(check int) "two groups" 2
+        (List.length r.Mmdb_core.Aggregate.rows)
+  | Ok _ -> Alcotest.fail "expected a table"
+  | Error e -> Alcotest.fail e);
+  (* GROUP BY must match plain columns *)
+  (match
+     Interp.exec_string db "SELECT Name, COUNT(*) FROM Employee GROUP BY Age;"
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "mismatched GROUP BY accepted");
+  (* SUM on a string column still runs (ignores non-numerics) but unknown
+     columns are rejected *)
+  match Interp.exec_string db "SELECT SUM(Nope) FROM Employee;" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown aggregate column accepted"
+
+let test_interp_transactions () =
+  let sess = fresh_db_with_demo () in
+  Alcotest.(check bool) "no txn initially" false (Interp.in_txn sess);
+  (* deferred visibility *)
+  (match Interp.exec_string sess "BEGIN; INSERT INTO Employee VALUES ('New', 99, 30, 459);" with
+  | Ok [ Interp.Message _; Interp.Message m ] ->
+      Alcotest.(check string) "queued" "1 insert queued" m
+  | Ok _ -> Alcotest.fail "unexpected outcomes"
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "txn active" true (Interp.in_txn sess);
+  Alcotest.(check int) "invisible before commit" 3
+    (List.length (rows_of sess "SELECT Id FROM Employee;"));
+  (match Interp.exec_string sess "COMMIT;" with
+  | Ok [ Interp.Message "committed" ] -> ()
+  | _ -> Alcotest.fail "commit failed");
+  Alcotest.(check int) "visible after commit" 4
+    (List.length (rows_of sess "SELECT Id FROM Employee;"));
+  (* rollback *)
+  (match
+     Interp.exec_string sess
+       "BEGIN; DELETE FROM Employee WHERE Age > 0; ROLLBACK;"
+   with
+  | Ok [ _; Interp.Message m; Interp.Message _ ] ->
+      Alcotest.(check string) "four deletes queued" "4 deletes queued in Employee" m
+  | Ok _ -> Alcotest.fail "unexpected outcomes"
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "rollback left data intact" 4
+    (List.length (rows_of sess "SELECT Id FROM Employee;"));
+  (* txn updates *)
+  (match
+     Interp.exec_string sess
+       "BEGIN; UPDATE Employee SET Age = 31 WHERE Id = 99; COMMIT;"
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check (list (list string))) "update applied at commit"
+    [ [ "31" ] ]
+    (rows_of sess "SELECT Age FROM Employee WHERE Id = 99;");
+  (* error paths *)
+  (match Interp.exec_string sess "COMMIT;" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "commit without txn accepted");
+  (match Interp.exec_string sess "BEGIN; BEGIN;" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "nested BEGIN accepted");
+  (match Interp.exec_string sess "CREATE TABLE X (a int PRIMARY KEY);" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "DDL inside txn accepted");
+  match Interp.exec_string sess "ROLLBACK;" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
+let test_interp_explain_and_index () =
+  let db = fresh_db_with_demo () in
+  (match
+     Interp.exec_string db "CREATE INDEX by_age ON Employee (Age) USING btree;"
+   with
+  | Ok [ Interp.Message _ ] -> ()
+  | _ -> Alcotest.fail "index creation failed");
+  let contains haystack needle =
+    let nh = String.length haystack and nn = String.length needle in
+    let rec go i =
+      i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1))
+    in
+    go 0
+  in
+  match
+    Interp.exec_string db "EXPLAIN SELECT Name FROM Employee WHERE Age = 24;"
+  with
+  | Ok [ Interp.Plan_text p ] ->
+      Alcotest.(check bool) "plan mentions tree lookup" true
+        (contains p "tree lookup via by_age")
+  | _ -> Alcotest.fail "explain failed"
+
+let () =
+  Alcotest.run "mmdb_lang"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "basics" `Quick test_lexer_basics;
+          Alcotest.test_case "strings/numbers/comments" `Quick
+            test_lexer_strings_and_numbers;
+          Alcotest.test_case "errors" `Quick test_lexer_errors;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "create table" `Quick test_parse_create_table;
+          Alcotest.test_case "full select" `Quick test_parse_select_full;
+          Alcotest.test_case "multiple statements" `Quick
+            test_parse_multiple_statements;
+          Alcotest.test_case "rejects malformed input" `Quick
+            test_parse_errors;
+          Alcotest.test_case "aggregates and group by" `Quick
+            test_parse_aggregates;
+        ] );
+      ( "interp",
+        [
+          Alcotest.test_case "select" `Quick test_interp_select;
+          Alcotest.test_case "join" `Quick test_interp_join;
+          Alcotest.test_case "distinct + unqualified columns" `Quick
+            test_interp_distinct_and_unqualified;
+          Alcotest.test_case "delete and error paths" `Quick
+            test_interp_delete_and_errors;
+          Alcotest.test_case "update" `Quick test_interp_update;
+          Alcotest.test_case "aggregation" `Quick test_interp_aggregates;
+          Alcotest.test_case "transactions (BEGIN/COMMIT/ROLLBACK)" `Quick
+            test_interp_transactions;
+          Alcotest.test_case "explain and index" `Quick
+            test_interp_explain_and_index;
+        ] );
+    ]

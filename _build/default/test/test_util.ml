@@ -1,0 +1,270 @@
+(* Tests for the utility substrate: PRNG, statistics/sampling, the paper's
+   quicksort, and the operation counters. *)
+
+open Mmdb_util
+
+(* --- Rng --------------------------------------------------------------- *)
+
+let test_rng_determinism () =
+  let a = Rng.create ~seed:42 () and b = Rng.create ~seed:42 () in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done;
+  let c = Rng.create ~seed:43 () in
+  let differs = ref false in
+  let a' = Rng.create ~seed:42 () in
+  for _ = 1 to 20 do
+    if Rng.int a' 1_000_000 <> Rng.int c 1_000_000 then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_rng_bounds () =
+  let rng = Rng.create ~seed:1 () in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 7 in
+    if x < 0 || x >= 7 then Alcotest.failf "int out of bounds: %d" x;
+    let y = Rng.int_in_range rng ~lo:(-3) ~hi:3 in
+    if y < -3 || y > 3 then Alcotest.failf "range out of bounds: %d" y;
+    let f = Rng.float rng 2.5 in
+    if f < 0.0 || f >= 2.5 then Alcotest.failf "float out of bounds: %f" f
+  done;
+  Alcotest.check_raises "int 0 rejected"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int rng 0))
+
+let test_rng_copy_and_split () =
+  let a = Rng.create ~seed:9 () in
+  ignore (Rng.int a 10);
+  let b = Rng.copy a in
+  Alcotest.(check int) "copy continues identically" (Rng.int a 1000)
+    (Rng.int b 1000);
+  let c = Rng.split a in
+  (* split advances the parent and the child produces a distinct stream *)
+  let same = ref 0 in
+  for _ = 1 to 20 do
+    if Rng.int a 1000 = Rng.int c 1000 then incr same
+  done;
+  Alcotest.(check bool) "split stream is distinct" true (!same < 20)
+
+let test_shuffle_is_permutation () =
+  let rng = Rng.create ~seed:5 () in
+  let a = Array.init 200 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "permutation" true (sorted = Array.init 200 Fun.id);
+  Alcotest.(check bool) "actually shuffled" true (a <> Array.init 200 Fun.id)
+
+let test_sample_without_replacement () =
+  let rng = Rng.create ~seed:6 () in
+  let s = Rng.sample_without_replacement rng ~k:50 ~n:100 in
+  Alcotest.(check int) "k elements" 50 (Array.length s);
+  let uniq = List.sort_uniq compare (Array.to_list s) in
+  Alcotest.(check int) "distinct" 50 (List.length uniq);
+  Array.iter (fun x -> if x < 0 || x >= 100 then Alcotest.fail "range") s;
+  (* k = n is a full permutation *)
+  let full = Rng.sample_without_replacement rng ~k:10 ~n:10 in
+  Alcotest.(check int) "full draw distinct" 10
+    (List.length (List.sort_uniq compare (Array.to_list full)));
+  Alcotest.check_raises "k > n rejected"
+    (Invalid_argument "Rng.sample_without_replacement") (fun () ->
+      ignore (Rng.sample_without_replacement rng ~k:11 ~n:10))
+
+let test_gaussian_moments () =
+  let rng = Rng.create ~seed:7 () in
+  let xs = Array.init 20_000 (fun _ -> Rng.gaussian rng) in
+  let m = Stats.mean xs and s = Stats.stddev xs in
+  if Float.abs m > 0.05 then Alcotest.failf "mean %f too far from 0" m;
+  if Float.abs (s -. 1.0) > 0.05 then Alcotest.failf "stddev %f too far from 1" s
+
+(* --- Stats ------------------------------------------------------------- *)
+
+let test_truncated_normal_bounds () =
+  let rng = Rng.create ~seed:8 () in
+  for _ = 1 to 2000 do
+    let x = Stats.truncated_normal rng ~mean:0.0 ~stddev:0.3 in
+    if x < 0.0 || x > 1.0 then Alcotest.failf "outside [0,1]: %f" x
+  done;
+  Alcotest.check_raises "bad stddev"
+    (Invalid_argument "Stats.truncated_normal: stddev <= 0") (fun () ->
+      ignore (Stats.truncated_normal rng ~mean:0.0 ~stddev:0.0))
+
+let test_duplicate_weights () =
+  let rng = Rng.create ~seed:9 () in
+  let w = Stats.duplicate_weights rng ~stddev:0.1 ~n_values:100 in
+  Alcotest.(check int) "n weights" 100 (Array.length w);
+  let total = Array.fold_left ( +. ) 0.0 w in
+  if Float.abs (total -. 1.0) > 1e-9 then Alcotest.fail "not normalized";
+  (* sorted descending *)
+  for i = 1 to 99 do
+    if w.(i) > w.(i - 1) +. 1e-12 then Alcotest.fail "not descending"
+  done;
+  (* skew: σ=0.1 concentrates far more mass on top decile than σ=0.8 *)
+  let top_decile stddev =
+    let rng = Rng.create ~seed:10 () in
+    let w = Stats.duplicate_weights rng ~stddev ~n_values:100 in
+    Array.fold_left ( +. ) 0.0 (Array.sub w 0 10)
+  in
+  Alcotest.(check bool) "skew ordering" true (top_decile 0.1 > 2.0 *. top_decile 0.8)
+
+let test_apportion () =
+  let counts = Stats.apportion [| 0.5; 0.3; 0.2 |] ~total:100 ~min_each:1 in
+  Alcotest.(check int) "sums to total" 100 (Array.fold_left ( + ) 0 counts);
+  Array.iter (fun c -> if c < 1 then Alcotest.fail "below minimum") counts;
+  Alcotest.(check bool) "ordering respected" true
+    (counts.(0) >= counts.(1) && counts.(1) >= counts.(2));
+  (* degenerate: exact minimum *)
+  let tight = Stats.apportion [| 0.9; 0.1 |] ~total:2 ~min_each:1 in
+  Alcotest.(check (list int)) "tight fit" [ 1; 1 ] (Array.to_list tight);
+  Alcotest.check_raises "total too small"
+    (Invalid_argument "Stats.apportion: total too small") (fun () ->
+      ignore (Stats.apportion [| 1.0 |] ~total:0 ~min_each:1))
+
+let test_cumulative_share () =
+  let curve = Stats.cumulative_share [| 70; 20; 10 |] in
+  Alcotest.(check int) "three points" 3 (Array.length curve);
+  let pv, pt = curve.(0) in
+  Alcotest.(check bool) "first point" true
+    (Float.abs (pv -. 33.33) < 0.5 && Float.abs (pt -. 70.0) < 0.01);
+  let pv, pt = curve.(2) in
+  Alcotest.(check bool) "last point reaches 100/100" true
+    (Float.abs (pv -. 100.0) < 1e-9 && Float.abs (pt -. 100.0) < 1e-9);
+  Alcotest.(check (array (pair (float 0.1) (float 0.1)))) "empty" [||]
+    (Stats.cumulative_share [||])
+
+let test_percentile () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  Alcotest.(check (float 1e-9)) "median" 3.0 (Stats.percentile xs 50.0);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.percentile xs 0.0);
+  Alcotest.(check (float 1e-9)) "max" 5.0 (Stats.percentile xs 100.0);
+  Alcotest.(check (float 1e-9)) "interpolated" 1.2 (Stats.percentile xs 5.0);
+  Alcotest.check_raises "empty input"
+    (Invalid_argument "Stats.percentile: empty") (fun () ->
+      ignore (Stats.percentile [||] 50.0))
+
+(* --- Qsort -------------------------------------------------------------- *)
+
+let test_qsort_basic () =
+  let a = [| 5; 3; 9; 1; 4; 9; 0 |] in
+  Qsort.sort ~cmp:compare a;
+  Alcotest.(check (list int)) "sorted" [ 0; 1; 3; 4; 5; 9; 9 ] (Array.to_list a);
+  Alcotest.(check bool) "is_sorted" true (Qsort.is_sorted ~cmp:compare a);
+  let empty = [||] in
+  Qsort.sort ~cmp:compare empty;
+  let one = [| 42 |] in
+  Qsort.sort ~cmp:compare one;
+  Alcotest.(check (list int)) "singleton" [ 42 ] (Array.to_list one)
+
+let test_insertion_sort_segment () =
+  let a = [| 9; 5; 4; 3; 8; 0 |] in
+  Qsort.insertion_sort ~lo:1 ~hi:4 ~cmp:compare a;
+  Alcotest.(check (list int)) "only the segment sorted" [ 9; 3; 4; 5; 8; 0 ]
+    (Array.to_list a)
+
+let qsort_matches_stdlib =
+  QCheck.Test.make ~count:200 ~name:"Qsort.sort ≡ List.sort"
+    QCheck.(pair (list small_int) (int_range 1 30))
+    (fun (xs, cutoff) ->
+      let a = Array.of_list xs in
+      Qsort.sort ~cutoff ~cmp:compare a;
+      Array.to_list a = List.sort compare xs)
+
+let test_qsort_counters () =
+  (* O(n log n) comparisons, not O(n^2), on random input. *)
+  let rng = Rng.create ~seed:11 () in
+  let a = Array.init 10_000 (fun _ -> Rng.int rng 1_000_000) in
+  Counters.reset ();
+  let (), c = Counters.with_counters (fun () -> Qsort.sort ~cmp:compare a) in
+  let n = 10_000.0 in
+  let bound = 4.0 *. n *. (log n /. log 2.0) in
+  if float_of_int c.Counters.comparisons > bound then
+    Alcotest.failf "too many comparisons: %d" c.Counters.comparisons
+
+(* --- Counters ------------------------------------------------------------ *)
+
+let test_counters () =
+  Counters.reset ();
+  Counters.bump_comparisons ~n:3 ();
+  Counters.bump_hash_calls ();
+  let s = Counters.snapshot () in
+  Alcotest.(check int) "comparisons" 3 s.Counters.comparisons;
+  Alcotest.(check int) "hash calls" 1 s.Counters.hash_calls;
+  (* diff *)
+  Counters.bump_comparisons ();
+  let s2 = Counters.snapshot () in
+  Alcotest.(check int) "diff" 1 (Counters.diff s2 s).Counters.comparisons;
+  (* disabled: no counting *)
+  Counters.enabled := false;
+  Counters.bump_comparisons ~n:100 ();
+  let s3 = Counters.snapshot () in
+  Counters.enabled := true;
+  Alcotest.(check int) "disabled bumps ignored" s2.Counters.comparisons
+    s3.Counters.comparisons;
+  (* counting_cmp both counts and compares *)
+  Counters.reset ();
+  Alcotest.(check bool) "cmp result" true (Counters.counting_cmp compare 1 2 < 0);
+  Alcotest.(check int) "one comparison" 1 (Counters.snapshot ()).Counters.comparisons
+
+let test_with_counters_scoped () =
+  Counters.reset ();
+  Counters.bump_data_moves ~n:5 ();
+  let r, c =
+    Counters.with_counters (fun () ->
+        Counters.bump_data_moves ~n:2 ();
+        "result")
+  in
+  Alcotest.(check string) "result passthrough" "result" r;
+  Alcotest.(check int) "only scoped moves" 2 c.Counters.data_moves
+
+(* --- Timing ---------------------------------------------------------------- *)
+
+let test_timing () =
+  let r, dt = Timing.time (fun () -> 21 * 2) in
+  Alcotest.(check int) "result" 42 r;
+  Alcotest.(check bool) "non-negative" true (dt >= 0.0);
+  let r, dt = Timing.time_median ~repeats:5 (fun () -> "x") in
+  Alcotest.(check string) "median result" "x" r;
+  Alcotest.(check bool) "median non-negative" true (dt >= 0.0);
+  Alcotest.check_raises "repeats 0"
+    (Invalid_argument "Timing.time_median: repeats < 1") (fun () ->
+      ignore (Timing.time_median ~repeats:0 (fun () -> ())))
+
+let () =
+  Alcotest.run "mmdb_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "copy and split" `Quick test_rng_copy_and_split;
+          Alcotest.test_case "shuffle permutes" `Quick
+            test_shuffle_is_permutation;
+          Alcotest.test_case "sampling without replacement" `Quick
+            test_sample_without_replacement;
+          Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "truncated normal bounds" `Quick
+            test_truncated_normal_bounds;
+          Alcotest.test_case "duplicate weights" `Quick test_duplicate_weights;
+          Alcotest.test_case "apportion" `Quick test_apportion;
+          Alcotest.test_case "cumulative share" `Quick test_cumulative_share;
+          Alcotest.test_case "percentile" `Quick test_percentile;
+        ] );
+      ( "qsort",
+        [
+          Alcotest.test_case "basics" `Quick test_qsort_basic;
+          Alcotest.test_case "insertion sort segment" `Quick
+            test_insertion_sort_segment;
+          QCheck_alcotest.to_alcotest qsort_matches_stdlib;
+          Alcotest.test_case "comparison counts" `Quick test_qsort_counters;
+        ] );
+      ( "counters",
+        [
+          Alcotest.test_case "bump/snapshot/diff/disable" `Quick test_counters;
+          Alcotest.test_case "with_counters scoping" `Quick
+            test_with_counters_scoped;
+        ] );
+      ("timing", [ Alcotest.test_case "time and median" `Quick test_timing ]);
+    ]
