@@ -28,7 +28,9 @@ let build_manager ~slot_capacity ~n =
         }
       ()
   in
-  Txn.add_relation mgr rel;
+  (match Txn.add_relation mgr rel with
+  | Ok () -> ()
+  | Error m -> invalid_arg m);
   let t = Txn.begin_txn mgr in
   for i = 0 to n - 1 do
     match Txn.insert t ~rel:"R" [| Value.Int i; Value.Int 0 |] with

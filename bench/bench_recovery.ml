@@ -34,7 +34,9 @@ let build_db cfg ~n_relations ~tuples_each =
             }
           ()
       in
-      Txn.add_relation mgr rel;
+      (match Txn.add_relation mgr rel with
+      | Ok () -> ()
+      | Error m -> invalid_arg m);
       name)
   |> fun names ->
   let t = Txn.begin_txn mgr in
@@ -81,12 +83,10 @@ let r1 cfg =
         let state = ref None in
         let _, t_working =
           Bench_util.time cfg (fun () ->
-              match
-                Recovery.recover ~store:(Txn.store mgr)
-                  ~device:(Txn.device mgr) ~working_set
-              with
-              | Ok s -> state := Some s
-              | Error msg -> invalid_arg msg)
+              state :=
+                Some
+                  (Recovery.recover ~store:(Txn.store mgr)
+                     ~device:(Txn.device mgr) ~working_set))
         in
         let s = Option.get !state in
         (* the system answers queries on the working set NOW; background
@@ -95,10 +95,7 @@ let r1 cfg =
         let _, t_background =
           Bench_util.time
             { cfg with Bench_util.repeats = 1 }
-            (fun () ->
-              match Recovery.finish_background s with
-              | Ok () -> ()
-              | Error msg -> invalid_arg msg)
+            (fun () -> Recovery.finish_background s)
         in
         let ws = Recovery.working_set_stats s in
         [

@@ -51,6 +51,7 @@ let experiments : (string * string * (Bench_util.config -> unit)) list =
     ("a8", "Ablation: semijoin bit-vector prefilter", Bench_ablation.a8);
     ("c1", "Concurrency: partition-level locking", Bench_concurrency.c1);
     ("r1", "Recovery: working set vs full reload", Bench_recovery.r1);
+    ("f1", "Fault injection: crash-consistency torture", Bench_faults.f1);
     ("micro", "Bechamel micro-benchmarks", fun _ -> Bench_micro.run ());
   ]
 

@@ -24,7 +24,9 @@ let () =
         }
       ()
   in
-  Txn.add_relation mgr rel;
+  (match Txn.add_relation mgr rel with
+  | Ok () -> ()
+  | Error msg -> failwith msg);
 
   (* Seed 256 accounts with 100 units each (16 partitions of 16 slots). *)
   let n = 256 in

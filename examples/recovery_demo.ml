@@ -32,7 +32,7 @@ let () =
           }
         ()
     in
-    Txn.add_relation mgr rel;
+    ok (Txn.add_relation mgr rel);
     rel
   in
   let accounts = mk "Accounts" and audit = mk "Audit" in
@@ -81,9 +81,8 @@ let () =
 
   (* --- recovery: working set first ----------------------------------------- *)
   let state =
-    ok
-      (Recovery.recover ~store:(Txn.store mgr) ~device:(Txn.device mgr)
-         ~working_set:[ "Accounts" ])
+    Recovery.recover ~store:(Txn.store mgr) ~device:(Txn.device mgr)
+      ~working_set:[ "Accounts" ]
   in
   let mgr' = Recovery.manager state in
   Fmt.pr "working set online: %a@." Recovery.pp_stats
@@ -111,7 +110,7 @@ let () =
     (Txn.relation mgr' "Audit" <> None);
 
   (* --- background completion ------------------------------------------------ *)
-  ok (Recovery.finish_background state);
+  Recovery.finish_background state;
   Fmt.pr "background load done: %a@." Recovery.pp_stats
     (Recovery.background_stats state);
   let audit' = Option.get (Txn.relation mgr' "Audit") in

@@ -21,7 +21,9 @@ type session = {
 
 let session db =
   let mgr = Mmdb_txn.Txn.create_manager () in
-  List.iter (fun rel -> Mmdb_txn.Txn.add_relation mgr rel) (Db.relations db);
+  List.iter
+    (fun rel -> ignore (Mmdb_txn.Txn.add_relation mgr rel))
+    (Db.relations db);
   { db; mgr; current = None }
 
 let in_txn s = s.current <> None
@@ -412,9 +414,11 @@ let exec sess stmt =
           | exception Invalid_argument msg -> Error msg
           | schema -> (
               match Db.create_relation db ~schema ~primary_key:pk.Ast.cd_name with
-              | Ok rel ->
-                  Mmdb_txn.Txn.add_relation sess.mgr rel;
-                  Ok (Message (Printf.sprintf "table %s created" name))
+              | Ok rel -> (
+                  match Mmdb_txn.Txn.add_relation sess.mgr rel with
+                  | Ok () ->
+                      Ok (Message (Printf.sprintf "table %s created" name))
+                  | Error msg -> Error msg)
               | Error msg -> Error msg))
       | [] -> Error "a table needs exactly one PRIMARY KEY column (all access is through an index)"
       | _ -> Error "multiple PRIMARY KEY columns")

@@ -3,7 +3,13 @@
     Holds, per relation, a catalog record (schema, index definitions,
     partition capacities) and per-partition images of serialized tuples.
     The log device updates these images as it propagates committed changes;
-    recovery reads them back partition by partition. *)
+    recovery reads them back partition by partition.
+
+    Each image carries a checksum over its tuples, kept in sync on every
+    mutation; a stale checksum (bit flip, torn write) is detected by
+    {!read_image_checked} and the image quarantined by recovery.  A
+    sid→(relation, pid) location map makes updates and deletes O(1) even
+    when the tuple has moved partitions since its image was written. *)
 
 type catalog_entry = {
   schema : Mmdb_storage.Schema.t;
@@ -14,14 +20,30 @@ type catalog_entry = {
 
 type image = {
   mutable tuples : Log_record.stuple list;  (** newest first *)
+  mutable crc : int;
 }
 
 type t = {
   catalog : (string, catalog_entry) Hashtbl.t;
   images : (string * int, image) Hashtbl.t;  (** keyed by (relation, pid) *)
+  locations : (int, string * int) Hashtbl.t;
+      (** sid → (relation, pid) currently holding that tuple's image slot *)
+  fault : Fault.t;
 }
 
-let create () = { catalog = Hashtbl.create 8; images = Hashtbl.create 64 }
+(* Order-dependent FNV-style fold over an image's tuple list. *)
+let image_checksum tuples =
+  List.fold_left
+    (fun h st -> (h lxor Log_record.hash_stuple st) * 0x100000001b3 land max_int)
+    0x3345742229ce5 tuples
+
+let create ?(fault = Fault.none) () =
+  {
+    catalog = Hashtbl.create 8;
+    images = Hashtbl.create 64;
+    locations = Hashtbl.create 256;
+    fault;
+  }
 
 let register t ~rel entry = Hashtbl.replace t.catalog rel entry
 
@@ -34,14 +56,30 @@ let image_for t ~rel ~pid =
   match Hashtbl.find_opt t.images key with
   | Some img -> img
   | None ->
-      let img = { tuples = [] } in
+      let img = { tuples = []; crc = image_checksum [] } in
       Hashtbl.replace t.images key img;
       img
+
+let set_tuples img tuples =
+  img.tuples <- tuples;
+  img.crc <- image_checksum tuples
 
 let read_image t ~rel ~pid =
   match Hashtbl.find_opt t.images (rel, pid) with
   | Some img -> img.tuples
   | None -> []
+
+let verify_image t ~rel ~pid =
+  match Hashtbl.find_opt t.images (rel, pid) with
+  | Some img -> img.crc = image_checksum img.tuples
+  | None -> true
+
+let read_image_checked t ~rel ~pid =
+  match Hashtbl.find_opt t.images (rel, pid) with
+  | None -> Ok []
+  | Some img ->
+      if img.crc = image_checksum img.tuples then Ok img.tuples
+      else Error img.tuples
 
 let partitions_of t ~rel =
   Hashtbl.fold
@@ -49,42 +87,95 @@ let partitions_of t ~rel =
     t.images []
   |> List.sort compare
 
-(* Apply one committed change to the disk image it targets.  Updates and
-   deletes search the relation's images by tuple id because a tuple may have
-   moved partitions since the image was written. *)
-let apply_change t ~rel ~pid (change : Log_record.change) =
-  match change with
-  | Log_record.Insert st ->
-      let img = image_for t ~rel ~pid in
-      img.tuples <- st :: img.tuples
-  | Log_record.Delete { tid } ->
-      Hashtbl.iter
-        (fun (r, _) img ->
-          if String.equal r rel then
-            img.tuples <-
-              List.filter (fun st -> st.Log_record.sid <> tid) img.tuples)
-        t.images
-  | Log_record.Update { tid; col; svalue } ->
-      let updated = ref false in
-      Hashtbl.iter
-        (fun (r, p) img ->
-          if String.equal r rel && not !updated then
-            img.tuples <-
-              List.map
-                (fun st ->
-                  if st.Log_record.sid = tid then begin
-                    updated := true;
-                    let svalues = Array.copy st.Log_record.svalues in
-                    svalues.(col) <- svalue;
-                    { st with Log_record.svalues }
-                  end
-                  else st)
-                img.tuples;
-          ignore p)
-        t.images
+let location t ~sid = Hashtbl.find_opt t.locations sid
 
-(* Full checkpoint of a live relation: rewrite its catalog entry and all
-   partition images from current memory state. *)
+let remove_tuple t ~sid =
+  match Hashtbl.find_opt t.locations sid with
+  | None -> ()
+  | Some (rel, pid) ->
+      Hashtbl.remove t.locations sid;
+      (match Hashtbl.find_opt t.images (rel, pid) with
+      | None -> ()
+      | Some img ->
+          set_tuples img
+            (List.filter (fun st -> st.Log_record.sid <> sid) img.tuples))
+
+(* Apply one committed change to the disk image it targets.  The location
+   map resolves updates and deletes directly to the image holding the
+   tuple — O(1) instead of a scan of every image (and no mutation under
+   Hashtbl.iter).  Inserts replace any prior instance of the same sid so
+   that replaying a retained log over current images is idempotent. *)
+let apply_change t ~rel ~pid (change : Log_record.change) =
+  let touched =
+    match change with
+    | Log_record.Insert st ->
+        remove_tuple t ~sid:st.Log_record.sid;
+        let img = image_for t ~rel ~pid in
+        set_tuples img (st :: img.tuples);
+        Hashtbl.replace t.locations st.Log_record.sid (rel, pid);
+        Some (rel, pid)
+    | Log_record.Delete { tid } ->
+        let loc = location t ~sid:tid in
+        remove_tuple t ~sid:tid;
+        loc
+    | Log_record.Update { tid; col; svalue } -> (
+        match location t ~sid:tid with
+        | None -> None (* tuple not in the disk copy: nothing to update *)
+        | Some ((r, p) as loc) ->
+            (match Hashtbl.find_opt t.images loc with
+            | None -> ()
+            | Some img ->
+                set_tuples img
+                  (List.map
+                     (fun st ->
+                       if
+                         st.Log_record.sid = tid
+                         && col < Array.length st.Log_record.svalues
+                       then begin
+                         let svalues = Array.copy st.Log_record.svalues in
+                         svalues.(col) <- svalue;
+                         { st with Log_record.svalues }
+                       end
+                       else st)
+                     img.tuples));
+            Some (r, p))
+  in
+  (* A bit flip damages the image just written while its checksum stays
+     stale — the shape of silent media corruption. *)
+  match (Fault.fire t.fault ~point:"image.bit-flip", touched) with
+  | Some Fault.Crash, _ -> raise (Fault.Injected_crash "image.bit-flip")
+  | Some Fault.Corrupt, Some loc -> (
+      match Hashtbl.find_opt t.images loc with
+      | Some img when img.tuples <> [] ->
+          let rand = Fault.rand t.fault in
+          let i = rand (List.length img.tuples) in
+          img.tuples <-
+            List.mapi
+              (fun j st ->
+                if j = i then Log_record.corrupt_stuple ~rand st else st)
+              img.tuples
+          (* crc left stale on purpose *)
+      | _ -> ())
+  | (Some Fault.Corrupt | None), _ -> ()
+
+(* Test/bench helper: silently damage one tuple of an image, leaving its
+   checksum stale.  Returns [false] when there is nothing to damage. *)
+let corrupt_image t ~rel ~pid ~rand =
+  match Hashtbl.find_opt t.images (rel, pid) with
+  | Some img when img.tuples <> [] ->
+      let i = rand (List.length img.tuples) in
+      img.tuples <-
+        List.mapi
+          (fun j st -> if j = i then Log_record.corrupt_stuple ~rand st else st)
+          img.tuples;
+      true
+  | _ -> false
+
+(* Full checkpoint of a live relation, shadow-style: every live partition
+   image is rewritten first (each either fully fresh or fully stale if we
+   crash in between — both are consistent with some propagated LSN), and
+   only then are vanished partitions dropped and the location map for the
+   relation rebuilt. *)
 let checkpoint t rel_t =
   let rel = Mmdb_storage.Relation.name rel_t in
   let parts = Mmdb_storage.Relation.partitions rel_t in
@@ -95,22 +186,44 @@ let checkpoint t rel_t =
       slot_capacity = Mmdb_storage.Relation.slot_capacity rel_t;
       heap_capacity = Mmdb_storage.Relation.heap_capacity rel_t;
     };
-  (* Drop stale images of this relation. *)
+  let live =
+    List.map
+      (fun p ->
+        Fault.hit t.fault ~point:"checkpoint.partial";
+        let pid = Mmdb_storage.Partition.pid p in
+        let img = image_for t ~rel ~pid in
+        let acc = ref [] in
+        Mmdb_storage.Partition.iter p (fun tuple ->
+            acc := Log_record.serialize_tuple tuple :: !acc);
+        set_tuples img !acc;
+        Mmdb_storage.Partition.set_dirty p false;
+        pid)
+      parts
+  in
+  (* Drop images of partitions that no longer exist in memory. *)
   let stale =
     Hashtbl.fold
-      (fun (r, pid) _ acc -> if String.equal r rel then (r, pid) :: acc else acc)
+      (fun (r, pid) _ acc ->
+        if String.equal r rel && not (List.mem pid live) then (r, pid) :: acc
+        else acc)
       t.images []
   in
   List.iter (Hashtbl.remove t.images) stale;
-  List.iter
-    (fun p ->
-      let img = image_for t ~rel ~pid:(Mmdb_storage.Partition.pid p) in
-      let acc = ref [] in
-      Mmdb_storage.Partition.iter p (fun tuple ->
-          acc := Log_record.serialize_tuple tuple :: !acc);
-      img.tuples <- !acc;
-      Mmdb_storage.Partition.set_dirty p false)
-    parts
+  (* Rebuild the relation's slice of the location map from the fresh
+     images. *)
+  let old =
+    Hashtbl.fold
+      (fun sid (r, _) acc -> if String.equal r rel then sid :: acc else acc)
+      t.locations []
+  in
+  List.iter (Hashtbl.remove t.locations) old;
+  Hashtbl.iter
+    (fun (r, pid) img ->
+      if String.equal r rel then
+        List.iter
+          (fun st -> Hashtbl.replace t.locations st.Log_record.sid (r, pid))
+          img.tuples)
+    t.images
 
 let image_count t = Hashtbl.length t.images
 

@@ -1,6 +1,11 @@
 (** The disk copy of the database (§2.4, Figure 2), simulated in memory:
     per-relation catalog records (schema, index definitions, partition
-    capacities) and per-partition images of serialized tuples. *)
+    capacities) and per-partition images of serialized tuples.
+
+    Every image carries a checksum kept in sync on mutation; recovery uses
+    {!read_image_checked} to quarantine images whose checksum has gone
+    stale.  A sid→(relation, pid) location map resolves updates and
+    deletes in O(1) even after tuples move between partitions. *)
 
 type catalog_entry = {
   schema : Mmdb_storage.Schema.t;
@@ -11,23 +16,46 @@ type catalog_entry = {
 
 type t
 
-val create : unit -> t
+val create : ?fault:Fault.t -> unit -> t
 
 val register : t -> rel:string -> catalog_entry -> unit
 val catalog_entry : t -> rel:string -> catalog_entry option
 val relations : t -> string list
 
 val read_image : t -> rel:string -> pid:int -> Log_record.stuple list
+
+val read_image_checked :
+  t -> rel:string -> pid:int -> (Log_record.stuple list, Log_record.stuple list) result
+(** [Ok tuples] when the image checksum matches; [Error suspect] with the
+    raw (possibly damaged) tuples when it does not.  A missing image reads
+    as [Ok []]. *)
+
+val verify_image : t -> rel:string -> pid:int -> bool
+
+val location : t -> sid:int -> (string * int) option
+(** Where the tuple with serialized id [sid] currently lives on disk. *)
+
 val partitions_of : t -> rel:string -> int list
 
 val apply_change : t -> rel:string -> pid:int -> Log_record.change -> unit
-(** Apply one committed change to the images (updates and deletes search
-    the relation's images by tuple id, since a tuple may have moved
-    partitions since its image was written). *)
+(** Apply one committed change.  Updates and deletes resolve through the
+    location map (a tuple may have moved partitions since its image was
+    written); inserts replace any previous instance of the same sid, which
+    makes replaying a retained log over current images idempotent.  Fault
+    point ["image.bit-flip"] damages the touched image, leaving its
+    checksum stale. *)
+
+val corrupt_image : t -> rel:string -> pid:int -> rand:(int -> int) -> bool
+(** Deterministically damage one tuple of an image without updating its
+    checksum (test/bench helper); [false] if the image is absent/empty. *)
 
 val checkpoint : t -> Mmdb_storage.Relation.t -> unit
 (** Rewrite a live relation's catalog entry and all its partition images
-    from current memory state, clearing dirty flags. *)
+    from current memory state, clearing dirty flags.  Shadow-ordered: live
+    images are rewritten before any stale partition is dropped, so a crash
+    mid-checkpoint (fault point ["checkpoint.partial"], hit before each
+    image write) leaves every image either fresh or stale-but-propagated.
+    The relation's slice of the location map is rebuilt at the end. *)
 
 val image_count : t -> int
 val tuple_count : t -> rel:string -> int

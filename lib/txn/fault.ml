@@ -1,0 +1,77 @@
+(** Deterministic fault injection for the §2.4 log/recovery pipeline.
+    See the interface for the catalogue of registered points. *)
+
+exception Injected_crash of string
+
+type action = Crash | Corrupt
+
+type slot = {
+  action : action;
+  mutable skip : int;  (** hits still to ignore before firing *)
+  mutable remaining : int;  (** fires left; 0 = spent *)
+}
+
+type t = {
+  rng : Mmdb_util.Rng.t;
+  armed : (string, slot) Hashtbl.t;
+  mutable log : string list;  (** fired points, newest first *)
+  inert : bool;  (** the shared [none] injector refuses arming *)
+}
+
+let points =
+  [
+    "commit.before-log";
+    "commit.after-log";
+    "absorb.torn-tail";
+    "propagate.before";
+    "propagate.record";
+    "propagate.after";
+    "image.bit-flip";
+    "checkpoint.partial";
+  ]
+
+let make ~seed ~inert =
+  {
+    rng = Mmdb_util.Rng.create ~seed ();
+    armed = Hashtbl.create 8;
+    log = [];
+    inert;
+  }
+
+let none = make ~seed:0 ~inert:true
+let create ?(seed = 1986) () = make ~seed ~inert:false
+
+let arm t ~point ?(skip = 0) ?(count = 1) action =
+  if t.inert then invalid_arg "Fault.arm: cannot arm Fault.none";
+  if not (List.mem point points) then
+    invalid_arg (Printf.sprintf "Fault.arm: unknown fault point %S" point);
+  if skip < 0 || count < 1 then invalid_arg "Fault.arm: bad skip/count";
+  Hashtbl.replace t.armed point { action; skip; remaining = count }
+
+let disarm t ~point = Hashtbl.remove t.armed point
+let fired t = List.rev t.log
+
+let fired_count t ~point =
+  List.length (List.filter (String.equal point) t.log)
+
+let rand t bound = Mmdb_util.Rng.int t.rng bound
+
+let fire t ~point =
+  match Hashtbl.find_opt t.armed point with
+  | None -> None
+  | Some s ->
+      if s.skip > 0 then begin
+        s.skip <- s.skip - 1;
+        None
+      end
+      else if s.remaining <= 0 then None
+      else begin
+        s.remaining <- s.remaining - 1;
+        t.log <- point :: t.log;
+        Some s.action
+      end
+
+let hit t ~point =
+  match fire t ~point with
+  | Some Crash -> raise (Injected_crash point)
+  | Some Corrupt | None -> ()

@@ -1,0 +1,69 @@
+(** Deterministic fault injection for the §2.4 log/recovery pipeline.
+
+    An injector carries a set of {e armed} named fault points.  Each
+    instrumented site in the transaction layer reports a {e hit} to its
+    injector; when the hit matches an armed point (after an optional number
+    of skipped hits) the fault fires: either a simulated crash
+    ({!Injected_crash} propagates out of the pipeline, after which the
+    in-memory manager must be discarded and only its disk store and log
+    device handed to {!Recovery.recover}) or a site-specific corruption
+    (a torn log-tail record, a bit-flipped partition image) performed by
+    the site using the injector's seeded random stream.
+
+    Every source of nondeterminism is derived from the injector's seed, so
+    a given (seed, arming) pair reproduces the exact same crash state. *)
+
+exception Injected_crash of string
+(** Raised at a crash-armed fault point; carries the point name. *)
+
+type action =
+  | Crash  (** raise {!Injected_crash} at the site *)
+  | Corrupt  (** site-specific deterministic corruption *)
+
+type t
+
+val none : t
+(** The inert injector every component uses by default.  It never fires
+    and cannot be armed. *)
+
+val create : ?seed:int -> unit -> t
+
+val points : string list
+(** Registered fault-point names:
+    - ["commit.before-log"] — crash inside {!Txn.commit} before the
+      intention records reach the stable log buffer (transaction lost);
+    - ["commit.after-log"] — crash inside {!Txn.commit} after the log
+      handoff (transaction durable but never acknowledged);
+    - ["absorb.torn-tail"] — the last record of the batch the log device
+      absorbs arrives mangled with a stale checksum, like a torn write;
+    - ["propagate.before"] / ["propagate.record"] / ["propagate.after"] —
+      crash around / between individual change applications to the disk
+      copy;
+    - ["image.bit-flip"] — flip a bit inside the partition image touched
+      by an {!Disk_store.apply_change}, leaving its checksum stale;
+    - ["checkpoint.partial"] — crash between partition-image writes of a
+      {!Disk_store.checkpoint}. *)
+
+val arm : t -> point:string -> ?skip:int -> ?count:int -> action -> unit
+(** Arm [point].  The first [skip] hits are ignored (default 0); the fault
+    then fires on [count] consecutive hits (default 1).
+    @raise Invalid_argument on an unregistered point or on {!none}. *)
+
+val disarm : t -> point:string -> unit
+
+val fired : t -> string list
+(** Points that have fired, oldest first (with repetitions). *)
+
+val fired_count : t -> point:string -> int
+
+val rand : t -> int -> int
+(** [rand t bound] draws from the injector's seeded stream — uniform in
+    [\[0, bound)]; corruption sites use it to pick what to damage. *)
+
+val fire : t -> point:string -> action option
+(** Report a hit at [point] (instrumented sites only).  Returns the armed
+    action when the fault fires, [None] otherwise.  Does not raise. *)
+
+val hit : t -> point:string -> unit
+(** Report a hit at a crash-style site: raises {!Injected_crash} when the
+    point fires with {!Crash}; a {!Corrupt} arming is ignored. *)

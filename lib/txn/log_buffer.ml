@@ -2,23 +2,24 @@
 
     Per-transaction intention lists accumulate in the buffer while the
     transaction runs.  Abort simply discards the transaction's entries — "no
-    undo is needed".  Commit stamps the entries with log sequence numbers
-    and hands them to the log device in one atomic step. *)
+    undo is needed".  Commit stamps the entries with log sequence numbers,
+    seals their checksums and hands them to the log device in one atomic
+    step. *)
 
 type t = {
   mutable next_lsn : int;
   pending : (int, Log_record.record list) Hashtbl.t;
       (** per-transaction, newest first, lsn 0 until commit *)
-  mutable committed : Log_record.record list;
-      (** commit-ordered tail waiting to be consumed by the log device *)
+  mutable committed_rev : Log_record.record list;
+      (** commit-ordered tail waiting for the log device, newest first so
+          appending a commit is O(batch) rather than O(tail) *)
 }
 
-let create () = { next_lsn = 1; pending = Hashtbl.create 16; committed = [] }
+let create () =
+  { next_lsn = 1; pending = Hashtbl.create 16; committed_rev = [] }
 
 let append t ~txn ~rel ~pid change =
-  let record =
-    { Log_record.lsn = 0; txn; rel; pid; change }
-  in
+  let record = { Log_record.lsn = 0; txn; rel; pid; change; crc = 0 } in
   let cur = Option.value ~default:[] (Hashtbl.find_opt t.pending txn) in
   Hashtbl.replace t.pending txn (record :: cur)
 
@@ -38,16 +39,16 @@ let commit t ~txn =
       (fun r ->
         let lsn = t.next_lsn in
         t.next_lsn <- lsn + 1;
-        { r with Log_record.lsn })
+        Log_record.seal { r with Log_record.lsn })
       records
   in
-  t.committed <- t.committed @ stamped;
+  t.committed_rev <- List.rev_append stamped t.committed_rev;
   stamped
 
 (* The log device reads committed records out of the stable buffer. *)
 let drain_committed t =
-  let out = t.committed in
-  t.committed <- [];
+  let out = List.rev t.committed_rev in
+  t.committed_rev <- [];
   out
 
-let committed_backlog t = List.length t.committed
+let committed_backlog t = List.length t.committed_rev

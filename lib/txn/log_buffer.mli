@@ -17,8 +17,9 @@ val pending_count : t -> txn:int -> int
 val abort : t -> txn:int -> unit
 
 val commit : t -> txn:int -> Log_record.record list
-(** Stamp the transaction's records (operation order) and move them to the
-    committed tail; returns them for inspection. *)
+(** Stamp the transaction's records (operation order) with consecutive
+    LSNs, seal their checksums and move them to the committed tail;
+    returns them for inspection. *)
 
 val drain_committed : t -> Log_record.record list
 (** Consume the committed tail — the log device's read. *)

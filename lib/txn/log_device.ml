@@ -7,46 +7,86 @@
     partition is modified."
 
     [absorb] pulls committed records out of the stable buffer into the
-    change-accumulation log; [propagate] applies some or all of them to the
-    disk store.  Records still in the accumulation log are exactly the
-    updates recovery must merge with partition images on the fly. *)
+    change-accumulation log; [propagate] applies pending ones to the disk
+    store.  Propagated records are {e retained} until a checkpoint
+    [truncate]s the log: replaying the whole retained tail over the current
+    partition images is idempotent (inserts carry full tuple values,
+    updates are absolute column writes), which is what lets recovery
+    rebuild a quarantined partition image from the log alone. *)
 
 type t = {
   store : Disk_store.t;
-  mutable accumulation : Log_record.record list;  (** lsn order *)
+  fault : Fault.t;
+  mutable retained_rev : Log_record.record list;
+      (** accumulation log since the last checkpoint truncation, newest
+          first so absorbing N batches costs O(N) total *)
   mutable propagated_lsn : int;
 }
 
-let create ~store = { store; accumulation = []; propagated_lsn = 0 }
+let create ?(fault = Fault.none) ~store () =
+  { store; fault; retained_rev = []; propagated_lsn = 0 }
 
 let absorb t buffer =
   let records = Log_buffer.drain_committed buffer in
-  t.accumulation <- t.accumulation @ records
+  let records =
+    (* A torn tail mangles the payload of the batch's last record while its
+       checksum stays stale — exactly what an interrupted device write
+       leaves behind. *)
+    match Fault.fire t.fault ~point:"absorb.torn-tail" with
+    | Some Fault.Corrupt -> (
+        match List.rev records with
+        | [] -> []
+        | last :: before_rev ->
+            List.rev
+              (Log_record.corrupt_record ~rand:(Fault.rand t.fault) last
+              :: before_rev))
+    | Some Fault.Crash -> raise (Fault.Injected_crash "absorb.torn-tail")
+    | None -> records
+  in
+  t.retained_rev <- List.rev_append records t.retained_rev
 
-let pending_count t = List.length t.accumulation
+let retained t = List.rev t.retained_rev
+
+let pending_all t =
+  List.filter (fun r -> r.Log_record.lsn > t.propagated_lsn) (retained t)
+
+let pending_count t = List.length (pending_all t)
 
 let pending_for t ~rel =
-  List.filter (fun r -> String.equal r.Log_record.rel rel) t.accumulation
+  List.filter (fun r -> String.equal r.Log_record.rel rel) (pending_all t)
 
-let pending_all t = t.accumulation
-
-(* Apply up to [limit] accumulated changes (all by default) to the disk
-   copy, oldest first. *)
+(* Apply up to [limit] pending changes (all by default) to the disk copy,
+   oldest first.  A record that fails checksum verification stops
+   propagation at that point: replaying a corrupt change would poison the
+   disk copy, so it is left in place for recovery to diagnose. *)
 let propagate ?limit t =
-  let n = match limit with Some n -> n | None -> List.length t.accumulation in
-  let rec go applied records =
-    if applied >= n then records
-    else
-      match records with
-      | [] -> []
-      | r :: rest ->
-          Disk_store.apply_change t.store ~rel:r.Log_record.rel
-            ~pid:r.Log_record.pid r.Log_record.change;
-          t.propagated_lsn <- r.Log_record.lsn;
-          go (applied + 1) rest
-  in
-  let before = List.length t.accumulation in
-  t.accumulation <- go 0 t.accumulation;
-  before - List.length t.accumulation
+  Fault.hit t.fault ~point:"propagate.before";
+  let pending = pending_all t in
+  let n = match limit with Some n -> n | None -> List.length pending in
+  let applied = ref 0 in
+  (try
+     List.iter
+       (fun r ->
+         if !applied >= n then raise Exit;
+         if not (Log_record.verify r) then raise Exit;
+         Fault.hit t.fault ~point:"propagate.record";
+         Disk_store.apply_change t.store ~rel:r.Log_record.rel
+           ~pid:r.Log_record.pid r.Log_record.change;
+         t.propagated_lsn <- r.Log_record.lsn;
+         incr applied)
+       pending
+   with Exit -> ());
+  Fault.hit t.fault ~point:"propagate.after";
+  !applied
 
 let propagated_lsn t = t.propagated_lsn
+
+(* Checkpoint truncation: once fresh partition images cover everything up
+   to [propagated_lsn], the retained prefix is no longer needed. *)
+let truncate t =
+  let before = List.length t.retained_rev in
+  t.retained_rev <-
+    List.filter
+      (fun r -> r.Log_record.lsn > t.propagated_lsn)
+      t.retained_rev;
+  before - List.length t.retained_rev

@@ -1,23 +1,40 @@
 (** The active log device (§2.4, Figure 2).
 
     Holds the change-accumulation log: committed updates pulled from the
-    stable buffer ({!absorb}) that have not yet been applied to the disk
-    copy ({!propagate}).  Whatever is still accumulated is exactly what
-    recovery must merge with partition images on the fly. *)
+    stable buffer ({!absorb}), applied to the disk copy by {!propagate} and
+    {e retained} until a checkpoint {!truncate}s the log.  The pending
+    suffix (LSN beyond {!propagated_lsn}) is what recovery must merge with
+    partition images on the fly; the full retained tail is what lets it
+    rebuild a corrupt image from scratch. *)
 
 type t
 
-val create : store:Disk_store.t -> t
+val create : ?fault:Fault.t -> store:Disk_store.t -> unit -> t
 
 val absorb : t -> Log_buffer.t -> unit
-(** Pull all committed records out of the stable buffer. *)
+(** Pull all committed records out of the stable buffer.  O(batch), not
+    O(log).  Fault point ["absorb.torn-tail"] corrupts the last record of
+    the batch (stale checksum) to model an interrupted log write. *)
+
+val retained : t -> Log_record.record list
+(** Every record since the last {!truncate}, oldest first. *)
 
 val pending_count : t -> int
 val pending_for : t -> rel:string -> Log_record.record list
+
 val pending_all : t -> Log_record.record list
+(** Records not yet applied to the disk copy, oldest first. *)
 
 val propagate : ?limit:int -> t -> int
-(** Apply up to [limit] accumulated changes (all by default) to the disk
-    copy, oldest first; returns how many were applied. *)
+(** Apply up to [limit] pending changes (all by default) to the disk copy,
+    oldest first; returns how many were applied.  Stops early — without
+    applying — at the first record that fails checksum verification.
+    Fault points ["propagate.before"], ["propagate.record"] (before each
+    application) and ["propagate.after"]. *)
 
 val propagated_lsn : t -> int
+
+val truncate : t -> int
+(** Drop retained records already covered by fresh partition images
+    (LSN ≤ {!propagated_lsn}); returns how many were dropped.  Call only
+    after a completed checkpoint. *)

@@ -6,7 +6,12 @@
     If the transaction aborts, then the log entry is removed and no undo is
     needed" (§2.4).  Changes are logical, keyed by tuple identity, and carry
     the partition they touch so the log device can accumulate per-partition
-    change sets. *)
+    change sets.
+
+    Every record carries an FNV-1a checksum of its payload, sealed when the
+    commit stamps its LSN.  A record whose stored checksum disagrees with
+    its payload (a torn write, a bit flip) is detected by [verify] and
+    handled by recovery instead of being replayed. *)
 
 (* Serialized values: tuple pointers become tuple ids, resolved back to
    fresh records in a second pass at recovery time. *)
@@ -67,12 +72,90 @@ type record = {
   rel : string;
   pid : int;  (** partition the change lands in *)
   change : change;
+  crc : int;  (** payload checksum; 0 until [seal]ed at commit *)
 }
 
 let change_tid = function
   | Insert st -> st.sid
   | Delete { tid } -> tid
   | Update { tid; _ } -> tid
+
+(* FNV-1a over a hand-rolled traversal of the payload.  Hashtbl.hash
+   truncates deep structures, which would leave corruption invisible;
+   folding every byte ourselves does not.  The basis/prime are the 64-bit
+   FNV constants reduced into OCaml's 63-bit int range. *)
+let fnv_basis = 0x3345742229ce5 (* arbitrary odd basis within 63 bits *)
+let fnv_prime = 0x100000001b3
+
+let mix h x = (h lxor x) * fnv_prime land max_int
+
+let mix_string h s =
+  let h = ref (mix h (String.length s)) in
+  String.iter (fun c -> h := mix !h (Char.code c)) s;
+  !h
+
+let mix_svalue h = function
+  | S_null -> mix h 1
+  | S_bool b -> mix (mix h 2) (Bool.to_int b)
+  | S_int x -> mix (mix h 3) x
+  | S_float x -> mix (mix h 4) (Int64.to_int (Int64.bits_of_float x))
+  | S_str s -> mix_string (mix h 5) s
+  | S_ref id -> mix (mix h 6) id
+  | S_refs ids -> List.fold_left mix (mix (mix h 7) (List.length ids)) ids
+
+let hash_stuple_into h st =
+  Array.fold_left mix_svalue (mix h st.sid) st.svalues
+
+let hash_stuple st = hash_stuple_into fnv_basis st
+
+let mix_change h = function
+  | Insert st -> hash_stuple_into (mix h 11) st
+  | Delete { tid } -> mix (mix h 12) tid
+  | Update { tid; col; svalue } ->
+      mix_svalue (mix (mix (mix h 13) tid) col) svalue
+
+let checksum r =
+  mix_change (mix (mix_string (mix (mix fnv_basis r.lsn) r.txn) r.rel) r.pid)
+    r.change
+
+let seal r = { r with crc = checksum r }
+let verify r = r.crc = checksum r
+
+(* Corruption helpers for the fault injector: mangle the payload while
+   keeping the stale checksum, as a torn write or bit flip would. *)
+
+let corrupt_svalue ~rand = function
+  | S_null -> S_int (rand 1_000_000)
+  | S_bool b -> S_bool (not b)
+  | S_int x -> S_int (x lxor (1 lsl rand 62))
+  | S_float x -> S_float (x +. float_of_int (1 + rand 1000))
+  | S_str s ->
+      if String.length s = 0 then S_str "\x7f"
+      else
+        let b = Bytes.of_string s in
+        let i = rand (Bytes.length b) in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x20));
+        S_str (Bytes.to_string b)
+  | S_ref id -> S_ref (id lxor (1 lsl rand 20))
+  | S_refs ids -> S_refs (rand 1_000_000 :: ids)
+
+let corrupt_stuple ~rand st =
+  if Array.length st.svalues = 0 then { st with sid = st.sid lxor 1 }
+  else begin
+    let svalues = Array.copy st.svalues in
+    let i = rand (Array.length svalues) in
+    svalues.(i) <- corrupt_svalue ~rand svalues.(i);
+    { st with svalues }
+  end
+
+let corrupt_record ~rand r =
+  let change =
+    match r.change with
+    | Insert st -> Insert (corrupt_stuple ~rand st)
+    | Delete { tid } -> Delete { tid = tid lxor (1 lsl rand 20) }
+    | Update u -> Update { u with svalue = corrupt_svalue ~rand u.svalue }
+  in
+  { r with change } (* crc left stale on purpose *)
 
 let pp_change ppf = function
   | Insert st -> Fmt.pf ppf "insert t%d" st.sid

@@ -5,7 +5,11 @@
     is applied, an abort just removes the transaction's entries, and no
     undo information is ever needed.  Changes are logical, keyed by tuple
     identity, and carry the partition they touch so the log device can
-    accumulate per-partition change sets. *)
+    accumulate per-partition change sets.
+
+    Each record also carries a checksum over its payload ([seal]ed when the
+    commit stamps its LSN) so that torn or bit-flipped records are detected
+    at propagation and recovery time instead of silently replayed. *)
 
 (** Serialized values: tuple pointers become tuple ids, resolved back to
     fresh records in a second pass at recovery time. *)
@@ -40,8 +44,32 @@ type record = {
   rel : string;
   pid : int;  (** partition the change lands in *)
   change : change;
+  crc : int;  (** payload checksum; 0 until [seal]ed at commit *)
 }
 
 val change_tid : change -> int
+
+val checksum : record -> int
+(** FNV-1a over the record's entire payload (lsn, txn, rel, pid, change),
+    excluding the [crc] field itself. *)
+
+val seal : record -> record
+(** Stamp [crc] with the current payload checksum. *)
+
+val verify : record -> bool
+(** [true] iff the stored [crc] matches the payload. *)
+
+val hash_stuple : stuple -> int
+(** Same FNV-1a fold over a single serialized tuple — used by the disk
+    store to checksum partition images. *)
+
+(** Deterministic corruption helpers for the fault injector.  [rand] is the
+    injector's seeded stream ([Fault.rand]).  All of them damage the
+    payload while leaving any checksum stale, as real media faults do. *)
+
+val corrupt_svalue : rand:(int -> int) -> svalue -> svalue
+val corrupt_stuple : rand:(int -> int) -> stuple -> stuple
+val corrupt_record : rand:(int -> int) -> record -> record
+
 val pp_change : Format.formatter -> change -> unit
 val pp : Format.formatter -> record -> unit

@@ -11,11 +11,109 @@
 
     [recover] rebuilds the named working-set relations first (returning an
     operational manager immediately), then [finish_background] loads the
-    rest and resolves cross-relation tuple pointers.  Statistics record how
-    much work each phase did, which the recovery example and tests use to
-    demonstrate the working-set effect. *)
+    rest and resolves cross-relation tuple pointers.
+
+    Recovery is {e total}: nothing in this module raises on damaged input.
+    The retained log is validated first — checksum failures and LSN gaps
+    truncate it at a transaction boundary ([Torn_log_tail] / [Lsn_gap]) —
+    and every anomaly found while rebuilding (quarantined partition images,
+    tuples that fail to restore, orphan records of dropped relations) is
+    reported as a typed {!issue} against the relation it concerns while the
+    rest of the database loads normally.
+
+    A quarantined image's tuples are not trusted; instead the {e entire}
+    retained log for the relation is replayed over the healthy images.
+    Replay is idempotent (inserts carry full tuple values, updates are
+    absolute column writes), and since the log is only truncated at
+    checkpoint time, any partition created after the last checkpoint is
+    fully reconstructible from the log alone. *)
 
 open Mmdb_storage
+
+type issue =
+  | Torn_log_tail of { lsn : int; txn : int; dropped_records : int }
+  | Lsn_gap of { expected : int; found : int; dropped_records : int }
+  | Corrupt_image of {
+      rel : string;
+      pid : int;
+      suspect_tuples : int;
+      recovered_tuples : int;
+    }
+  | Missing_catalog of { rel : string }
+  | No_primary_index of { rel : string }
+  | Orphan_log_records of { rel : string; records : int }
+  | Restore_failed of { rel : string; sid : int; reason : string }
+  | Index_rebuild_failed of { rel : string; idx_name : string; reason : string }
+  | Fixup_failed of { rel : string; sid : int; col : int; reason : string }
+
+let issue_rel = function
+  | Torn_log_tail _ | Lsn_gap _ -> None
+  | Corrupt_image { rel; _ }
+  | Missing_catalog { rel }
+  | No_primary_index { rel }
+  | Orphan_log_records { rel; _ }
+  | Restore_failed { rel; _ }
+  | Index_rebuild_failed { rel; _ }
+  | Fixup_failed { rel; _ } ->
+      Some rel
+
+let pp_issue ppf = function
+  | Torn_log_tail { lsn; txn; dropped_records } ->
+      Fmt.pf ppf "torn log tail at lsn=%d (txn %d): dropped %d record(s)" lsn
+        txn dropped_records
+  | Lsn_gap { expected; found; dropped_records } ->
+      Fmt.pf ppf "lsn gap: expected %d, found %d: dropped %d record(s)"
+        expected found dropped_records
+  | Corrupt_image { rel; pid; suspect_tuples; recovered_tuples } ->
+      Fmt.pf ppf
+        "corrupt image %s/p%d quarantined: %d suspect tuple(s), %d rebuilt \
+         from log"
+        rel pid suspect_tuples recovered_tuples
+  | Missing_catalog { rel } -> Fmt.pf ppf "%s: no catalog entry on disk" rel
+  | No_primary_index { rel } ->
+      Fmt.pf ppf "%s: no primary index on disk" rel
+  | Orphan_log_records { rel; records } ->
+      Fmt.pf ppf "%s: %d log record(s) for a relation absent from the catalog"
+        rel records
+  | Restore_failed { rel; sid; reason } ->
+      Fmt.pf ppf "%s: tuple t%d not restored: %s" rel sid reason
+  | Index_rebuild_failed { rel; idx_name; reason } ->
+      Fmt.pf ppf "%s: index %s not rebuilt: %s" rel idx_name reason
+  | Fixup_failed { rel; sid; col; reason } ->
+      Fmt.pf ppf "%s: pointer fixup t%d.%d failed: %s" rel sid col reason
+
+(* Validate the retained log: every record must pass its checksum and LSNs
+   must run consecutively.  The log is truncated at the first anomaly — at
+   a transaction boundary when the damaged transaction has not been
+   propagated at all, so commits stay atomic: either every record of a
+   transaction survives validation or none does.  (When part of the
+   transaction is already ≤ [propagated_lsn] its effects are on disk
+   regardless, so the cut happens at the damaged record itself.) *)
+let validate_log ~propagated_lsn records =
+  let rec go expected kept_rev = function
+    | [] -> (List.rev kept_rev, [])
+    | r :: rest ->
+        let lsn = r.Log_record.lsn in
+        if expected <> 0 && lsn <> expected then
+          let dropped = 1 + List.length rest in
+          ( List.rev kept_rev,
+            [ Lsn_gap { expected; found = lsn; dropped_records = dropped } ] )
+        else if not (Log_record.verify r) then
+          let txn = r.Log_record.txn in
+          let rec pop n = function
+            | k :: tl
+              when k.Log_record.txn = txn && k.Log_record.lsn > propagated_lsn
+              ->
+                pop (n + 1) tl
+            | tl -> (n, tl)
+          in
+          let popped, kept_rev = pop 0 kept_rev in
+          let dropped = popped + 1 + List.length rest in
+          ( List.rev kept_rev,
+            [ Torn_log_tail { lsn; txn; dropped_records = dropped } ] )
+        else go (lsn + 1) (r :: kept_rev) rest
+  in
+  go 0 [] records
 
 type stats = {
   mutable partitions_read : int;
@@ -27,10 +125,13 @@ type stats = {
 type state = {
   mgr : Txn.manager;
   store : Disk_store.t;
-  pending : Log_record.record list;  (** un-propagated committed changes *)
+  retained : Log_record.record list;
+      (** validated change-accumulation log, oldest first *)
   working_stats : stats;
   background_stats : stats;
   mutable loaded : string list;
+  mutable attempted : string list;
+  mutable issues_rev : issue list;
   (* sid -> rebuilt tuple, across all relations, for pointer fixups *)
   tuple_map : (int, Tuple.t) Hashtbl.t;
   (* tuples whose fields contain still-unresolved serialized pointers *)
@@ -45,18 +146,32 @@ let fresh_stats () =
     pointer_fixups = 0;
   }
 
-(* Merge the pending log into the partition images of one relation,
-   producing the committed set of serialized tuples. *)
+let add_issue state i = state.issues_rev <- i :: state.issues_rev
+let issues state = List.rev state.issues_rev
+
+let issues_for state ~rel =
+  List.filter
+    (fun i -> match issue_rel i with Some r -> String.equal r rel | None -> false)
+    (issues state)
+
+(* Rebuild the committed set of serialized tuples for one relation: healthy
+   partition images first, then the full retained log replayed in LSN order
+   on top (the on-the-fly merge).  Images whose checksum fails are
+   quarantined — their tuples contribute nothing, and whatever the log can
+   rebuild of them is reported per image. *)
 let merged_tuples state ~rel stats =
   let by_sid : (int, Log_record.stuple) Hashtbl.t = Hashtbl.create 256 in
+  let corrupt = ref [] in
   List.iter
     (fun pid ->
       stats.partitions_read <- stats.partitions_read + 1;
-      List.iter
-        (fun st -> Hashtbl.replace by_sid st.Log_record.sid st)
-        (Disk_store.read_image state.store ~rel ~pid))
+      match Disk_store.read_image_checked state.store ~rel ~pid with
+      | Ok tuples ->
+          List.iter
+            (fun st -> Hashtbl.replace by_sid st.Log_record.sid st)
+            tuples
+      | Error suspect -> corrupt := (pid, suspect) :: !corrupt)
     (Disk_store.partitions_of state.store ~rel);
-  (* Replay un-propagated changes in lsn order — the on-the-fly merge. *)
   List.iter
     (fun r ->
       if String.equal r.Log_record.rel rel then begin
@@ -67,93 +182,135 @@ let merged_tuples state ~rel stats =
         | Log_record.Update { tid; col; svalue } -> (
             match Hashtbl.find_opt by_sid tid with
             | None -> ()
-            | Some st ->
+            | Some st when col < Array.length st.Log_record.svalues ->
                 let svalues = Array.copy st.Log_record.svalues in
                 svalues.(col) <- svalue;
-                Hashtbl.replace by_sid tid { st with Log_record.svalues })
+                Hashtbl.replace by_sid tid { st with Log_record.svalues }
+            | Some _ -> ())
       end)
-    state.pending;
+    state.retained;
+  List.iter
+    (fun (pid, suspect) ->
+      let recovered =
+        List.length
+          (List.filter
+             (fun st -> Hashtbl.mem by_sid st.Log_record.sid)
+             suspect)
+      in
+      add_issue state
+        (Corrupt_image
+           { rel; pid; suspect_tuples = List.length suspect; recovered_tuples = recovered }))
+    (List.rev !corrupt);
   Hashtbl.fold (fun _ st acc -> st :: acc) by_sid []
   |> List.sort (fun a b -> compare a.Log_record.sid b.Log_record.sid)
 
 let load_relation state ~rel stats =
-  match Disk_store.catalog_entry state.store ~rel with
-  | None -> Error (Printf.sprintf "no catalog entry for %s" rel)
-  | Some entry -> (
-      match entry.Disk_store.index_defs with
-      | [] -> Error (Printf.sprintf "%s has no primary index on disk" rel)
-      | primary :: secondary ->
-          let rel_t =
-            Relation.create ~slot_capacity:entry.Disk_store.slot_capacity
-              ~heap_capacity:entry.Disk_store.heap_capacity
-              ~schema:entry.Disk_store.schema ~primary ()
-          in
-          List.iter
-            (fun (d : Relation.index_def) ->
-              match
-                Relation.create_index rel_t ~idx_name:d.idx_name
-                  ~columns:d.columns ~structure:d.structure ~unique:d.unique
-              with
-              | Ok () -> ()
-              | Error msg -> invalid_arg msg)
-            secondary;
-          let stuples = merged_tuples state ~rel stats in
-          List.iter
-            (fun (st : Log_record.stuple) ->
-              (* Pointer fields are restored to Null now and resolved once
-                 every relation is memory resident. *)
-              let fields =
-                Array.map
-                  (fun sv ->
-                    match sv with
-                    | Log_record.S_ref _ | Log_record.S_refs _ -> Value.Null
-                    | _ -> Log_record.deserialize_value ~lookup:(fun _ -> None) sv)
-                  st.Log_record.svalues
-              in
-              match Relation.insert rel_t fields with
-              | Error msg ->
-                  invalid_arg
-                    (Printf.sprintf "recovery of %s: %s" rel msg)
-              | Ok tuple ->
-                  stats.tuples_restored <- stats.tuples_restored + 1;
-                  Hashtbl.replace state.tuple_map st.Log_record.sid tuple;
-                  Array.iteri
-                    (fun col sv ->
+  if List.mem rel state.attempted then ()
+  else begin
+    state.attempted <- rel :: state.attempted;
+    match Disk_store.catalog_entry state.store ~rel with
+    | None -> add_issue state (Missing_catalog { rel })
+    | Some entry -> (
+        match entry.Disk_store.index_defs with
+        | [] -> add_issue state (No_primary_index { rel })
+        | primary :: secondary ->
+            let rel_t =
+              Relation.create ~slot_capacity:entry.Disk_store.slot_capacity
+                ~heap_capacity:entry.Disk_store.heap_capacity
+                ~schema:entry.Disk_store.schema ~primary ()
+            in
+            List.iter
+              (fun (d : Relation.index_def) ->
+                match
+                  Relation.create_index rel_t ~idx_name:d.idx_name
+                    ~columns:d.columns ~structure:d.structure ~unique:d.unique
+                with
+                | Ok () -> ()
+                | Error reason ->
+                    add_issue state
+                      (Index_rebuild_failed
+                         { rel; idx_name = d.idx_name; reason }))
+              secondary;
+            let stuples = merged_tuples state ~rel stats in
+            List.iter
+              (fun (st : Log_record.stuple) ->
+                (* Pointer fields are restored to Null now and resolved once
+                   every relation is memory resident. *)
+                let fields =
+                  Array.map
+                    (fun sv ->
                       match sv with
-                      | Log_record.S_ref _ | Log_record.S_refs _ ->
-                          state.deferred_refs <-
-                            (rel, tuple, col, sv) :: state.deferred_refs
-                      | _ -> ())
-                    st.Log_record.svalues)
-            stuples;
-          Txn.add_relation state.mgr rel_t |> ignore;
-          state.loaded <- rel :: state.loaded;
-          Ok rel_t)
+                      | Log_record.S_ref _ | Log_record.S_refs _ -> Value.Null
+                      | _ ->
+                          Log_record.deserialize_value
+                            ~lookup:(fun _ -> None)
+                            sv)
+                    st.Log_record.svalues
+                in
+                match Relation.insert rel_t fields with
+                | Error reason ->
+                    add_issue state
+                      (Restore_failed { rel; sid = st.Log_record.sid; reason })
+                | Ok tuple ->
+                    stats.tuples_restored <- stats.tuples_restored + 1;
+                    Hashtbl.replace state.tuple_map st.Log_record.sid tuple;
+                    Array.iteri
+                      (fun col sv ->
+                        match sv with
+                        | Log_record.S_ref _ | Log_record.S_refs _ ->
+                            state.deferred_refs <-
+                              (rel, tuple, col, sv) :: state.deferred_refs
+                        | _ -> ())
+                      st.Log_record.svalues)
+              stuples;
+            (match Txn.add_relation state.mgr rel_t with
+            | Ok () -> state.loaded <- rel :: state.loaded
+            | Error reason ->
+                add_issue state (Restore_failed { rel; sid = -1; reason })))
+  end
 
 (* Phase 1: bring the working set online.  [store] and [device] belong to
    the crashed instance; the returned state owns a fresh manager that is
-   usable as soon as this returns (for the working-set relations). *)
+   usable as soon as this returns (for the working-set relations).  Total —
+   anomalies become issues, never exceptions. *)
 let recover ~store ~device ~working_set =
+  let retained, log_issues =
+    validate_log
+      ~propagated_lsn:(Log_device.propagated_lsn device)
+      (Log_device.retained device)
+  in
   let state =
     {
       mgr = Txn.create_manager ();
       store;
-      pending = Log_device.pending_all device;
+      retained;
       working_stats = fresh_stats ();
       background_stats = fresh_stats ();
       loaded = [];
+      attempted = [];
+      issues_rev = List.rev log_issues;
       tuple_map = Hashtbl.create 1024;
       deferred_refs = [];
     }
   in
-  let rec load = function
-    | [] -> Ok state
-    | rel :: rest -> (
-        match load_relation state ~rel state.working_stats with
-        | Ok _ -> load rest
-        | Error msg -> Error msg)
-  in
-  load working_set
+  (* Records for relations the catalog no longer knows (e.g. dropped after
+     the records were logged) can never be replayed anywhere. *)
+  let orphans : (string, int) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun r ->
+      let rel = r.Log_record.rel in
+      if Disk_store.catalog_entry store ~rel = None then
+        Hashtbl.replace orphans rel
+          (1 + Option.value ~default:0 (Hashtbl.find_opt orphans rel)))
+    retained;
+  Hashtbl.fold (fun rel n acc -> (rel, n) :: acc) orphans []
+  |> List.sort compare
+  |> List.iter (fun (rel, records) ->
+         add_issue state (Orphan_log_records { rel; records }));
+  List.iter
+    (fun rel -> load_relation state ~rel state.working_stats)
+    working_set;
+  state
 
 (* Phase 2: the background process reads in the remainder of the database,
    then resolves cross-relation tuple pointers (which may reach into
@@ -161,35 +318,28 @@ let recover ~store ~device ~working_set =
 let finish_background state =
   let all = Disk_store.relations state.store in
   let remaining =
-    List.filter (fun rel -> not (List.mem rel state.loaded)) all
+    List.filter (fun rel -> not (List.mem rel state.attempted)) all
+    |> List.sort compare
   in
-  let rec load = function
-    | [] -> Ok ()
-    | rel :: rest -> (
-        match load_relation state ~rel state.background_stats with
-        | Ok _ -> load rest
-        | Error msg -> Error msg)
-  in
-  match load remaining with
-  | Error _ as e -> e
-  | Ok () ->
-      let lookup sid = Hashtbl.find_opt state.tuple_map sid in
-      List.iter
-        (fun (rel, tuple, col, sv) ->
-          let v = Log_record.deserialize_value ~lookup sv in
-          match Txn.relation state.mgr rel with
-          | None -> ()
-          | Some rel_t -> (
-              match Relation.update_field rel_t tuple col v with
-              | Ok () ->
-                  state.background_stats.pointer_fixups <-
-                    state.background_stats.pointer_fixups + 1
-              | Error msg ->
-                  invalid_arg
-                    (Printf.sprintf "pointer fixup in %s: %s" rel msg)))
-        (List.rev state.deferred_refs);
-      state.deferred_refs <- [];
-      Ok ()
+  List.iter
+    (fun rel -> load_relation state ~rel state.background_stats)
+    remaining;
+  let lookup sid = Hashtbl.find_opt state.tuple_map sid in
+  List.iter
+    (fun (rel, tuple, col, sv) ->
+      let v = Log_record.deserialize_value ~lookup sv in
+      match Txn.relation state.mgr rel with
+      | None -> ()
+      | Some rel_t -> (
+          match Relation.update_field rel_t tuple col v with
+          | Ok () ->
+              state.background_stats.pointer_fixups <-
+                state.background_stats.pointer_fixups + 1
+          | Error reason ->
+              add_issue state
+                (Fixup_failed { rel; sid = Tuple.id tuple; col; reason })))
+    (List.rev state.deferred_refs);
+  state.deferred_refs <- []
 
 let manager state = state.mgr
 let working_set_stats state = state.working_stats

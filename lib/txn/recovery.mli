@@ -1,10 +1,49 @@
 (** Crash recovery (§2.4): partition images merged on the fly with the
-    un-propagated change-accumulation log, working set first.
+    change-accumulation log, working set first.
 
     Phase 1 ({!recover}) rebuilds the named working-set relations and
     returns an operational manager immediately; phase 2
     ({!finish_background}) loads the rest and resolves cross-relation
-    tuple pointers. *)
+    tuple pointers.
+
+    Recovery is {e total}: damaged input never raises.  The retained log
+    is checksum- and LSN-validated (truncating a torn tail at a
+    transaction boundary), corrupt partition images are quarantined and
+    rebuilt from the log where possible, and every anomaly is reported as
+    a typed {!issue} against the relation it concerns. *)
+
+type issue =
+  | Torn_log_tail of { lsn : int; txn : int; dropped_records : int }
+      (** a record failed its checksum; the log was truncated there (and
+          back to the damaged transaction's first unpropagated record, so
+          commits stay atomic) *)
+  | Lsn_gap of { expected : int; found : int; dropped_records : int }
+      (** retained LSNs stopped being consecutive; truncated at the gap *)
+  | Corrupt_image of {
+      rel : string;
+      pid : int;
+      suspect_tuples : int;
+      recovered_tuples : int;
+    }
+      (** image checksum mismatch: the image was quarantined, and
+          [recovered_tuples] of its [suspect_tuples] were rebuilt by
+          replaying the retained log *)
+  | Missing_catalog of { rel : string }
+  | No_primary_index of { rel : string }
+  | Orphan_log_records of { rel : string; records : int }
+      (** log records for a relation absent from the disk catalog *)
+  | Restore_failed of { rel : string; sid : int; reason : string }
+  | Index_rebuild_failed of { rel : string; idx_name : string; reason : string }
+  | Fixup_failed of { rel : string; sid : int; col : int; reason : string }
+
+val pp_issue : Format.formatter -> issue -> unit
+
+val validate_log :
+  propagated_lsn:int ->
+  Log_record.record list ->
+  Log_record.record list * issue list
+(** Checksum + LSN-continuity pass over a retained log (oldest first).
+    Returns the trustworthy prefix and the truncation issue, if any. *)
 
 type stats = {
   mutable partitions_read : int;
@@ -19,15 +58,20 @@ val recover :
   store:Disk_store.t ->
   device:Log_device.t ->
   working_set:string list ->
-  (state, string) result
+  state
 (** [store] and [device] belong to the crashed instance; the returned
     state owns a fresh manager, usable for the working-set relations as
-    soon as this returns. *)
+    soon as this returns.  Never raises — consult {!issues}. *)
 
-val finish_background : state -> (unit, string) result
+val finish_background : state -> unit
 (** Load the remaining relations, then fix up foreign-key pointers (which
     may reach into relations outside the working set, so fixups must wait
     until everything is memory resident). *)
+
+val issues : state -> issue list
+(** Everything recovery had to work around, oldest first. *)
+
+val issues_for : state -> rel:string -> issue list
 
 val manager : state -> Txn.manager
 val working_set_stats : state -> stats

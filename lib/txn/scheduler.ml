@@ -67,13 +67,19 @@ let attempt mgr txn op =
   | Op_read { rel; key } ->
       Result.map (fun _ -> ()) (Txn.read txn ~rel key)
   | Op_update { rel; key; col; value } -> (
-      match Relation.lookup_one (Txn.relation_exn mgr rel) key with
-      | None -> Ok () (* vanished: treat as a no-op *)
-      | Some tuple -> Txn.update txn ~rel tuple ~col value)
+      match Txn.relation mgr rel with
+      | None -> Error (Txn.Failed (Printf.sprintf "unknown relation %s" rel))
+      | Some rel_t -> (
+          match Relation.lookup_one rel_t key with
+          | None -> Ok () (* vanished: treat as a no-op *)
+          | Some tuple -> Txn.update txn ~rel tuple ~col value))
   | Op_delete { rel; key } -> (
-      match Relation.lookup_one (Txn.relation_exn mgr rel) key with
-      | None -> Ok ()
-      | Some tuple -> Txn.delete txn ~rel tuple)
+      match Txn.relation mgr rel with
+      | None -> Error (Txn.Failed (Printf.sprintf "unknown relation %s" rel))
+      | Some rel_t -> (
+          match Relation.lookup_one rel_t key with
+          | None -> Ok ()
+          | Some tuple -> Txn.delete txn ~rel tuple))
 
 let run ?(max_rounds = 1_000_000) mgr scripts =
   let stats = fresh_stats () in

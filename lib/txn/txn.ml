@@ -37,6 +37,7 @@ type manager = {
   buffer : Log_buffer.t;
   store : Disk_store.t;
   device : Log_device.t;
+  fault : Fault.t;
   mutable next_txn : int;
   statuses : (int, status) Hashtbl.t;
   intents : (int, wop list) Hashtbl.t;  (** newest first *)
@@ -44,14 +45,15 @@ type manager = {
 
 type txn = { id : int; mgr : manager }
 
-let create_manager () =
-  let store = Disk_store.create () in
+let create_manager ?(fault = Fault.none) () =
+  let store = Disk_store.create ~fault () in
   {
     rels = Hashtbl.create 8;
     locks = Lock_manager.create ();
     buffer = Log_buffer.create ();
     store;
-    device = Log_device.create ~store;
+    device = Log_device.create ~fault ~store ();
+    fault;
     next_txn = 1;
     statuses = Hashtbl.create 16;
     intents = Hashtbl.create 16;
@@ -60,21 +62,25 @@ let create_manager () =
 let add_relation mgr rel_t =
   let n = Relation.name rel_t in
   if Hashtbl.mem mgr.rels n then
-    invalid_arg (Printf.sprintf "Txn.add_relation: %s already registered" n);
-  Hashtbl.replace mgr.rels n rel_t;
-  (* Initial checkpoint so the disk copy knows the relation exists. *)
-  Disk_store.checkpoint mgr.store rel_t
+    Error (Printf.sprintf "relation %s already registered" n)
+  else begin
+    Hashtbl.replace mgr.rels n rel_t;
+    (* Initial checkpoint so the disk copy knows the relation exists. *)
+    Disk_store.checkpoint mgr.store rel_t;
+    Ok ()
+  end
 
 let relation mgr n = Hashtbl.find_opt mgr.rels n
 
-let relation_exn mgr n =
-  match relation mgr n with
-  | Some r -> r
-  | None -> invalid_arg (Printf.sprintf "Txn: unknown relation %s" n)
+let find_rel mgr n =
+  match Hashtbl.find_opt mgr.rels n with
+  | Some r -> Ok r
+  | None -> Error (Failed (Printf.sprintf "unknown relation %s" n))
 
 let store mgr = mgr.store
 let device mgr = mgr.device
 let lock_manager mgr = mgr.locks
+let fault mgr = mgr.fault
 
 let begin_txn mgr =
   let id = mgr.next_txn in
@@ -110,21 +116,21 @@ let ( let* ) = Result.bind
 
 let insert t ~rel values =
   let* () = check_active t in
-  let _ = relation_exn t.mgr rel in
+  let* _ = find_rel t.mgr rel in
   let* () = lock t (growth_lock rel) Lock_manager.Exclusive in
   add_intent t (W_insert { rel; values = Array.copy values });
   Ok ()
 
 let delete t ~rel tuple =
   let* () = check_active t in
-  let _ = relation_exn t.mgr rel in
+  let* _ = find_rel t.mgr rel in
   let* () = lock t (partition_lock rel tuple) Lock_manager.Exclusive in
   add_intent t (W_delete { rel; tuple });
   Ok ()
 
 let update t ~rel tuple ~col value =
   let* () = check_active t in
-  let _ = relation_exn t.mgr rel in
+  let* _ = find_rel t.mgr rel in
   let* () = lock t (partition_lock rel tuple) Lock_manager.Exclusive in
   (* The update may move the tuple to a new partition at apply time; the
      growth lock covers that possibility. *)
@@ -134,7 +140,7 @@ let update t ~rel tuple ~col value =
 
 let read t ~rel ?index key =
   let* () = check_active t in
-  let r = relation_exn t.mgr rel in
+  let* r = find_rel t.mgr rel in
   let tuples = Relation.lookup ?index r key in
   (* Shared-lock every partition the result touches. *)
   let rec lock_parts = function
@@ -147,7 +153,7 @@ let read t ~rel ?index key =
 
 let read_range t ~rel ?index ~lo ~hi () =
   let* () = check_active t in
-  let r = relation_exn t.mgr rel in
+  let* r = find_rel t.mgr rel in
   let acc = ref [] in
   Relation.lookup_range ?index r ~lo ~hi (fun tu -> acc := tu :: !acc);
   let tuples = List.rev !acc in
@@ -172,12 +178,18 @@ type applied =
   | A_updated of string * Tuple.t * int * Value.t  (** old value *)
 
 let undo mgr = function
-  | A_inserted (rel, tuple) ->
-      ignore (Relation.delete_tuple (relation_exn mgr rel) tuple)
-  | A_deleted (rel, values) ->
-      ignore (Relation.insert (relation_exn mgr rel) values)
-  | A_updated (rel, tuple, col, old_v) ->
-      ignore (Relation.update_field (relation_exn mgr rel) tuple col old_v)
+  | A_inserted (rel, tuple) -> (
+      match relation mgr rel with
+      | Some r -> ignore (Relation.delete_tuple r tuple)
+      | None -> ())
+  | A_deleted (rel, values) -> (
+      match relation mgr rel with
+      | Some r -> ignore (Relation.insert r values)
+      | None -> ())
+  | A_updated (rel, tuple, col, old_v) -> (
+      match relation mgr rel with
+      | Some r -> ignore (Relation.update_field r tuple col old_v)
+      | None -> ())
 
 let commit t =
   match check_active t with
@@ -193,38 +205,46 @@ let commit t =
         | op :: rest -> (
             match op with
             | W_insert { rel; values } -> (
-                match Relation.insert (relation_exn t.mgr rel) values with
-                | Error msg -> Error (msg, applied)
-                | Ok tuple ->
-                    Log_buffer.append t.mgr.buffer ~txn:t.id ~rel
-                      ~pid:(Tuple.resolve tuple).Value.pid
-                      (Log_record.Insert (Log_record.serialize_tuple tuple));
-                    apply (A_inserted (rel, tuple) :: applied) rest)
-            | W_delete { rel; tuple } ->
-                let values = Tuple.fields tuple in
-                let pid = (Tuple.resolve tuple).Value.pid in
-                if Relation.delete_tuple (relation_exn t.mgr rel) tuple then begin
-                  Log_buffer.append t.mgr.buffer ~txn:t.id ~rel ~pid
-                    (Log_record.Delete { tid = Tuple.id tuple });
-                  apply (A_deleted (rel, values) :: applied) rest
-                end
-                else Error ("tuple already gone", applied)
+                match find_rel t.mgr rel with
+                | Error f -> Error (Fmt.str "%a" pp_failure f, applied)
+                | Ok r -> (
+                    match Relation.insert r values with
+                    | Error msg -> Error (msg, applied)
+                    | Ok tuple ->
+                        Log_buffer.append t.mgr.buffer ~txn:t.id ~rel
+                          ~pid:(Tuple.resolve tuple).Value.pid
+                          (Log_record.Insert (Log_record.serialize_tuple tuple));
+                        apply (A_inserted (rel, tuple) :: applied) rest))
+            | W_delete { rel; tuple } -> (
+                match find_rel t.mgr rel with
+                | Error f -> Error (Fmt.str "%a" pp_failure f, applied)
+                | Ok r ->
+                    let values = Tuple.fields tuple in
+                    let pid = (Tuple.resolve tuple).Value.pid in
+                    if Relation.delete_tuple r tuple then begin
+                      Log_buffer.append t.mgr.buffer ~txn:t.id ~rel ~pid
+                        (Log_record.Delete { tid = Tuple.id tuple });
+                      apply (A_deleted (rel, values) :: applied) rest
+                    end
+                    else Error ("tuple already gone", applied))
             | W_update { rel; tuple; col; value } -> (
-                let old_v = Tuple.get_raw (Tuple.resolve tuple) col in
-                match
-                  Relation.update_field (relation_exn t.mgr rel) tuple col value
-                with
-                | Error msg -> Error (msg, applied)
-                | Ok () ->
-                    Log_buffer.append t.mgr.buffer ~txn:t.id ~rel
-                      ~pid:(Tuple.resolve tuple).Value.pid
-                      (Log_record.Update
-                         {
-                           tid = Tuple.id tuple;
-                           col;
-                           svalue = Log_record.serialize_value value;
-                         });
-                    apply (A_updated (rel, tuple, col, old_v) :: applied) rest))
+                match find_rel t.mgr rel with
+                | Error f -> Error (Fmt.str "%a" pp_failure f, applied)
+                | Ok r -> (
+                    let old_v = Tuple.get_raw (Tuple.resolve tuple) col in
+                    match Relation.update_field r tuple col value with
+                    | Error msg -> Error (msg, applied)
+                    | Ok () ->
+                        Log_buffer.append t.mgr.buffer ~txn:t.id ~rel
+                          ~pid:(Tuple.resolve tuple).Value.pid
+                          (Log_record.Update
+                             {
+                               tid = Tuple.id tuple;
+                               col;
+                               svalue = Log_record.serialize_value value;
+                             });
+                        apply (A_updated (rel, tuple, col, old_v) :: applied)
+                          rest)))
       in
       match apply [] ops with
       | Error (msg, applied) ->
@@ -232,17 +252,25 @@ let commit t =
           abort t;
           Error msg
       | Ok () ->
+          (* A crash here loses the transaction entirely: its intentions
+             never reached the stable buffer. *)
+          Fault.hit t.mgr.fault ~point:"commit.before-log";
           ignore (Log_buffer.commit t.mgr.buffer ~txn:t.id);
           (* Commit is complete once the stable buffer holds the records;
              the log device picks them up asynchronously.  We absorb them
              eagerly here so crash simulations see them accumulated. *)
           Log_device.absorb t.mgr.device t.mgr.buffer;
+          (* A crash here loses only the acknowledgement: the transaction
+             is durable and recovery must replay it. *)
+          Fault.hit t.mgr.fault ~point:"commit.after-log";
           Hashtbl.replace t.mgr.statuses t.id Committed;
           Hashtbl.replace t.mgr.intents t.id [];
           Lock_manager.release_all t.mgr.locks ~txn:t.id;
           Ok ())
 
 let checkpoint_all mgr =
-  (* Propagate everything, then rewrite partition images wholesale. *)
+  (* Propagate everything, rewrite partition images wholesale, then drop
+     the retained log prefix the fresh images now cover. *)
   ignore (Log_device.propagate mgr.device);
-  Hashtbl.iter (fun _ rel_t -> Disk_store.checkpoint mgr.store rel_t) mgr.rels
+  Hashtbl.iter (fun _ rel_t -> Disk_store.checkpoint mgr.store rel_t) mgr.rels;
+  ignore (Log_device.truncate mgr.device)

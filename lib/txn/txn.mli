@@ -6,7 +6,11 @@
     is why an abort only has to discard log entries.  Reads see committed
     state.  Lock requests never block the calling thread; they surface
     {!Would_block} / {!Deadlock_victim} to whatever scheduler drives the
-    simulation. *)
+    simulation.
+
+    A manager can carry a {!Fault.t} injector; the commit path exposes the
+    ["commit.before-log"] and ["commit.after-log"] crash points, and the
+    injector is shared with the manager's disk store and log device. *)
 
 open Mmdb_storage
 
@@ -19,17 +23,17 @@ type txn
 
 type status = Active | Committed | Aborted
 
-val create_manager : unit -> manager
+val create_manager : ?fault:Fault.t -> unit -> manager
 
-val add_relation : manager -> Relation.t -> unit
+val add_relation : manager -> Relation.t -> (unit, string) result
 (** Register a relation and write its initial checkpoint to the disk
-    store.  @raise Invalid_argument on duplicate names. *)
+    store; [Error] on duplicate names. *)
 
 val relation : manager -> string -> Relation.t option
-val relation_exn : manager -> string -> Relation.t
 val store : manager -> Disk_store.t
 val device : manager -> Log_device.t
 val lock_manager : manager -> Lock_manager.t
+val fault : manager -> Fault.t
 
 val begin_txn : manager -> txn
 val status : txn -> status
@@ -70,5 +74,5 @@ val abort : txn -> unit
 (** Discard intentions and log entries, release locks — no undo needed. *)
 
 val checkpoint_all : manager -> unit
-(** Propagate the whole accumulation log, then rewrite all partition
-    images. *)
+(** Propagate the whole accumulation log, rewrite all partition images,
+    then truncate the retained log they now cover. *)

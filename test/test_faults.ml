@@ -1,0 +1,485 @@
+(* Crash-consistency torture tests for the §2.4 fault-injection harness.
+
+   A fixed multi-transaction workload runs against a manager whose
+   injector is armed at one registered fault point (or a corruption +
+   crash pair).  The injected crash aborts the script mid-flight; recovery
+   then runs against the surviving disk store and log device, and the
+   recovered database must equal the reference state after the last
+   acknowledged commit — the committed prefix.  Corruption scenarios
+   additionally pin down the typed issue recovery must report. *)
+
+open Mmdb_storage
+open Mmdb_txn
+
+exception Workload_failed of string
+
+let failf fmt = Fmt.kstr (fun m -> raise (Workload_failed m)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* The scripted workload                                              *)
+(* ------------------------------------------------------------------ *)
+
+let rel_names = [ "Acct"; "Audit" ]
+
+let primary =
+  {
+    Relation.idx_name = "pk";
+    columns = [| 0 |];
+    unique = true;
+    structure = Relation.T_tree;
+  }
+
+let mk_acct () =
+  Relation.create ~slot_capacity:4
+    ~schema:
+      (Schema.make ~name:"Acct"
+         [ Schema.col ~ty:Schema.T_int "Id"; Schema.col ~ty:Schema.T_int "Bal" ])
+    ~primary ()
+
+let mk_audit () =
+  Relation.create ~slot_capacity:4
+    ~schema:
+      (Schema.make ~name:"Audit"
+         [
+           Schema.col ~ty:Schema.T_int "Id"; Schema.col ~ty:Schema.T_string "Note";
+         ])
+    ~primary ()
+
+(* The injector is armed only after setup, so relation registration never
+   trips a fault point and the hit arithmetic below starts at zero. *)
+let fresh_instance () =
+  let fault = Fault.create () in
+  let mgr = Txn.create_manager ~fault () in
+  List.iter
+    (fun rel ->
+      match Txn.add_relation mgr rel with
+      | Ok () -> ()
+      | Error m -> failf "setup: %s" m)
+    [ mk_acct (); mk_audit () ];
+  (mgr, fault)
+
+let okt = function
+  | Ok () -> ()
+  | Error f -> failf "operation: %a" Txn.pp_failure f
+
+let find mgr rel key =
+  match Txn.relation mgr rel with
+  | None -> failf "relation %s missing" rel
+  | Some r -> (
+      match Relation.lookup_one r [| Value.Int key |] with
+      | Some tu -> tu
+      | None -> failf "%s key %d missing" rel key)
+
+(* Four transactions with a checkpoint and a partial propagation between
+   them.  Record/LSN layout (the scenario skip arithmetic relies on it):
+
+     T1  lsn 1-9    insert Acct 1..8 (fills p0, p1) + Audit 1
+     T2  lsn 10-12  update Acct 1, 2 + Audit 2
+     checkpoint_all   — propagates lsn 1-12, writes images, truncates
+     T3  lsn 13-18  insert Acct 9..12 (fresh p2) + update Acct 1 + Audit 3
+     propagate ~limit:3 — applies lsn 13-15 (all land in Acct p2)
+     T4  lsn 19-22  insert Acct 13 + delete Acct 9 + update Acct 10 + Audit 4 *)
+let run_workload ?(on_commit = fun _ -> ()) mgr =
+  let commit k t =
+    match Txn.commit t with
+    | Ok () -> on_commit k
+    | Error m -> failf "commit %d: %s" k m
+  in
+  let t1 = Txn.begin_txn mgr in
+  for i = 1 to 8 do
+    okt (Txn.insert t1 ~rel:"Acct" [| Value.Int i; Value.Int (100 * i) |])
+  done;
+  okt (Txn.insert t1 ~rel:"Audit" [| Value.Int 1; Value.Str "t1: open accounts" |]);
+  commit 1 t1;
+  let t2 = Txn.begin_txn mgr in
+  okt (Txn.update t2 ~rel:"Acct" (find mgr "Acct" 1) ~col:1 (Value.Int 150));
+  okt (Txn.update t2 ~rel:"Acct" (find mgr "Acct" 2) ~col:1 (Value.Int 250));
+  okt (Txn.insert t2 ~rel:"Audit" [| Value.Int 2; Value.Str "t2: adjust" |]);
+  commit 2 t2;
+  Txn.checkpoint_all mgr;
+  let t3 = Txn.begin_txn mgr in
+  for i = 9 to 12 do
+    okt (Txn.insert t3 ~rel:"Acct" [| Value.Int i; Value.Int (100 * i) |])
+  done;
+  okt (Txn.update t3 ~rel:"Acct" (find mgr "Acct" 1) ~col:1 (Value.Int 175));
+  okt (Txn.insert t3 ~rel:"Audit" [| Value.Int 3; Value.Str "t3: expand" |]);
+  commit 3 t3;
+  ignore (Log_device.propagate ~limit:3 (Txn.device mgr));
+  let t4 = Txn.begin_txn mgr in
+  okt (Txn.insert t4 ~rel:"Acct" [| Value.Int 13; Value.Int 1300 |]);
+  okt (Txn.delete t4 ~rel:"Acct" (find mgr "Acct" 9));
+  okt (Txn.update t4 ~rel:"Acct" (find mgr "Acct" 10) ~col:1 (Value.Int 999));
+  okt (Txn.insert t4 ~rel:"Audit" [| Value.Int 4; Value.Str "t4: churn" |]);
+  commit 4 t4
+
+(* Order-independent logical image of the database: per relation, the
+   sorted stringified rows. *)
+let snapshot mgr =
+  List.map
+    (fun name ->
+      match Txn.relation mgr name with
+      | None -> (name, [])
+      | Some r ->
+          let rows = ref [] in
+          Relation.iter r (fun tu ->
+              let row =
+                Tuple.fields tu |> Array.to_list
+                |> List.map Value.to_string
+                |> String.concat "|"
+              in
+              rows := row :: !rows);
+          (name, List.sort compare !rows))
+    rel_names
+
+let pp_snapshot ppf s =
+  List.iter
+    (fun (n, rows) -> Fmt.pf ppf "%s: [%s]@ " n (String.concat "; " rows))
+    s
+
+(* reference.(k) = database state after commit k of a fault-free run. *)
+let reference =
+  lazy
+    (let mgr, _ = fresh_instance () in
+     let snaps = Array.make 5 [] in
+     snaps.(0) <- snapshot mgr;
+     run_workload ~on_commit:(fun k -> snaps.(k) <- snapshot mgr) mgr;
+     snaps)
+
+(* ------------------------------------------------------------------ *)
+(* Scenario matrix: crash at every registered fault point             *)
+(* ------------------------------------------------------------------ *)
+
+type arming = { point : string; skip : int; action : Fault.action }
+
+type scenario = {
+  name : string;
+  armings : arming list;
+  expect_commit : int;  (** recovered DB must equal reference.(this) *)
+  expect_issue : [ `None | `Torn_tail | `Corrupt_image ];
+}
+
+let scenarios =
+  [
+    {
+      name = "crash before T4 reaches the log (transaction lost)";
+      armings = [ { point = "commit.before-log"; skip = 3; action = Crash } ];
+      expect_commit = 3;
+      expect_issue = `None;
+    };
+    {
+      name = "crash after T4 reaches the log (durable, unacknowledged)";
+      armings = [ { point = "commit.after-log"; skip = 3; action = Crash } ];
+      expect_commit = 4;
+      expect_issue = `None;
+    };
+    {
+      name = "crash entering the checkpoint's propagation";
+      armings = [ { point = "propagate.before"; skip = 0; action = Crash } ];
+      expect_commit = 2;
+      expect_issue = `None;
+    };
+    {
+      name = "crash mid-propagation, before the 6th change applies";
+      armings = [ { point = "propagate.record"; skip = 5; action = Crash } ];
+      expect_commit = 2;
+      expect_issue = `None;
+    };
+    {
+      name = "crash after propagation, before any image is rewritten";
+      armings = [ { point = "propagate.after"; skip = 0; action = Crash } ];
+      expect_commit = 2;
+      expect_issue = `None;
+    };
+    {
+      name = "crash between checkpoint image writes";
+      armings = [ { point = "checkpoint.partial"; skip = 1; action = Crash } ];
+      expect_commit = 2;
+      expect_issue = `None;
+    };
+    {
+      name = "crash entering the explicit partial propagate";
+      armings = [ { point = "propagate.before"; skip = 1; action = Crash } ];
+      expect_commit = 3;
+      expect_issue = `None;
+    };
+    {
+      (* the checkpoint propagates 12 records (hits 1-12); hit 13 is the
+         first change of the explicit partial propagate *)
+      name = "crash on the partial propagate's first change";
+      armings = [ { point = "propagate.record"; skip = 12; action = Crash } ];
+      expect_commit = 3;
+      expect_issue = `None;
+    };
+    {
+      (* absorb is hit once per commit: skip 3 mangles the last record of
+         T4's batch, and the paired crash means the commit is never
+         acknowledged — exactly a torn tail at the moment of the crash.
+         validate_log must drop all four T4 records (commit atomicity). *)
+      name = "torn log tail under T4's batch";
+      armings =
+        [
+          { point = "absorb.torn-tail"; skip = 3; action = Corrupt };
+          { point = "commit.after-log"; skip = 3; action = Crash };
+        ];
+      expect_commit = 3;
+      expect_issue = `Torn_tail;
+    };
+    {
+      (* apply_change is hit once per propagated record: hits 13-15 are the
+         partial propagate's inserts into Acct p2; flipping a bit on the
+         last of them (skip 14) leaves p2's checksum stale with no later
+         write to re-seal it, and the paired crash strikes right after the
+         propagate.  All of p2 is still in the retained log (truncation
+         happened at the earlier checkpoint), so recovery must quarantine
+         the image and rebuild every suspect tuple. *)
+      name = "bit-flipped partition image, rebuilt from the retained log";
+      armings =
+        [
+          { point = "image.bit-flip"; skip = 14; action = Corrupt };
+          { point = "propagate.after"; skip = 1; action = Crash };
+        ];
+      expect_commit = 3;
+      expect_issue = `Corrupt_image;
+    };
+  ]
+
+let run_scenario s () =
+  let mgr, fault = fresh_instance () in
+  List.iter
+    (fun a -> Fault.arm fault ~point:a.point ~skip:a.skip a.action)
+    s.armings;
+  let acked = ref 0 in
+  (try run_workload ~on_commit:(fun k -> acked := k) mgr
+   with Fault.Injected_crash _ -> ());
+  List.iter
+    (fun a ->
+      if Fault.fired_count fault ~point:a.point = 0 then
+        Alcotest.failf "point %s never fired — stale skip arithmetic?" a.point)
+    s.armings;
+  if !acked > s.expect_commit then
+    Alcotest.failf "%d commits acknowledged, beyond expected prefix %d" !acked
+      s.expect_commit;
+  let state =
+    Recovery.recover ~store:(Txn.store mgr) ~device:(Txn.device mgr)
+      ~working_set:[ "Acct" ]
+  in
+  Recovery.finish_background state;
+  let mgr' = Recovery.manager state in
+  let expected = (Lazy.force reference).(s.expect_commit) in
+  let got = snapshot mgr' in
+  if got <> expected then
+    Alcotest.failf
+      "recovered state diverges from committed prefix %d@.expected: %a@.got:      %a"
+      s.expect_commit pp_snapshot expected pp_snapshot got;
+  List.iter
+    (fun n ->
+      match Txn.relation mgr' n with
+      | None -> Alcotest.failf "relation %s not recovered" n
+      | Some r -> (
+          match Relation.validate r with
+          | Ok () -> ()
+          | Error m -> Alcotest.failf "recovered %s fails validation: %s" n m))
+    rel_names;
+  let issues = Recovery.issues state in
+  let pp_issues = Fmt.(list ~sep:semi Recovery.pp_issue) in
+  match s.expect_issue with
+  | `None ->
+      if issues <> [] then
+        Alcotest.failf "clean crash reported issues: %a" pp_issues issues
+  | `Torn_tail -> (
+      match issues with
+      | [ Recovery.Torn_log_tail { dropped_records; _ } ] ->
+          Alcotest.(check int)
+            "whole torn transaction dropped" 4 dropped_records
+      | _ -> Alcotest.failf "expected one torn-tail issue: %a" pp_issues issues)
+  | `Corrupt_image -> (
+      match issues with
+      | [ Recovery.Corrupt_image { rel; suspect_tuples; recovered_tuples; _ } ]
+        ->
+          Alcotest.(check string) "damaged relation" "Acct" rel;
+          Alcotest.(check bool) "image had suspects" true (suspect_tuples > 0);
+          Alcotest.(check int) "every suspect tuple rebuilt from the log"
+            suspect_tuples recovered_tuples
+      | _ ->
+          Alcotest.failf "expected one corrupt-image issue: %a" pp_issues issues)
+
+(* ------------------------------------------------------------------ *)
+(* Reference-run shape                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_reference_shape () =
+  let snaps = Lazy.force reference in
+  let count name k =
+    match List.assoc_opt name snaps.(k) with
+    | Some rows -> List.length rows
+    | None -> -1
+  in
+  Alcotest.(check int) "accts after T1" 8 (count "Acct" 1);
+  Alcotest.(check int) "accts after T3" 12 (count "Acct" 3);
+  (* T4: +1 insert, -1 delete *)
+  Alcotest.(check int) "accts after T4" 12 (count "Acct" 4);
+  Alcotest.(check int) "audits after T4" 4 (count "Audit" 4);
+  Alcotest.(check bool) "T2 changed the database" true (snaps.(1) <> snaps.(2))
+
+(* ------------------------------------------------------------------ *)
+(* Checksum and injector unit tests                                   *)
+(* ------------------------------------------------------------------ *)
+
+let sealed_records () =
+  let buf = Log_buffer.create () in
+  Log_buffer.append buf ~txn:7 ~rel:"R" ~pid:0
+    (Log_record.Insert
+       { sid = 1; svalues = [| Log_record.S_int 42; Log_record.S_str "x" |] });
+  Log_buffer.append buf ~txn:7 ~rel:"R" ~pid:0
+    (Log_record.Update { tid = 1; col = 0; svalue = Log_record.S_float 3.5 });
+  Log_buffer.append buf ~txn:7 ~rel:"R" ~pid:1 (Log_record.Delete { tid = 9 });
+  Log_buffer.commit buf ~txn:7
+
+let test_checksum_detects_corruption () =
+  let records = sealed_records () in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "sealed record verifies" true (Log_record.verify r))
+    records;
+  let rng = Mmdb_util.Rng.create ~seed:7 () in
+  let rand bound = Mmdb_util.Rng.int rng bound in
+  List.iter
+    (fun r ->
+      let bad = Log_record.corrupt_record ~rand r in
+      Alcotest.(check bool)
+        "corrupted payload fails verify" false (Log_record.verify bad))
+    records;
+  (match records with
+  | a :: b :: _ ->
+      Alcotest.(check bool) "distinct payloads hash apart" true
+        (Log_record.checksum a <> Log_record.checksum b)
+  | _ -> Alcotest.fail "expected three records");
+  (* the image checksum is order-dependent, as a serialized image is *)
+  let st i = { Log_record.sid = i; svalues = [| Log_record.S_int i |] } in
+  Alcotest.(check bool) "stuple hashes differ" true
+    (Log_record.hash_stuple (st 1) <> Log_record.hash_stuple (st 2))
+
+let test_injector_determinism () =
+  let mk () =
+    let f = Fault.create ~seed:11 () in
+    Fault.arm f ~point:"propagate.record" ~skip:2 ~count:2 Fault.Crash;
+    f
+  in
+  let hits f =
+    List.init 6 (fun _ -> Fault.fire f ~point:"propagate.record" <> None)
+  in
+  let f1 = mk () in
+  let h1 = hits f1 in
+  Alcotest.(check (list bool))
+    "skip 2 hits, then fire exactly twice"
+    [ false; false; true; true; false; false ]
+    h1;
+  Alcotest.(check (list bool))
+    "same (seed, arming) reproduces the same firings" h1
+    (hits (mk ()));
+  Alcotest.(check int) "fired_count" 2
+    (Fault.fired_count f1 ~point:"propagate.record");
+  Alcotest.(check (list string))
+    "fired log, oldest first"
+    [ "propagate.record"; "propagate.record" ]
+    (Fault.fired f1);
+  let draws f = List.init 5 (fun _ -> Fault.rand f 1000) in
+  let g1 = Fault.create ~seed:99 () and g2 = Fault.create ~seed:99 () in
+  Alcotest.(check (list int))
+    "corruption stream is seed-deterministic" (draws g1) (draws g2);
+  (match Fault.arm f1 ~point:"no.such.point" Fault.Crash with
+  | () -> Alcotest.fail "unregistered point accepted"
+  | exception Invalid_argument _ -> ());
+  match Fault.arm Fault.none ~point:"commit.after-log" Fault.Crash with
+  | () -> Alcotest.fail "inert injector accepted an arming"
+  | exception Invalid_argument _ -> ()
+
+let test_validate_log_lsn_gap () =
+  let buf = Log_buffer.create () in
+  for i = 1 to 4 do
+    Log_buffer.append buf ~txn:1 ~rel:"R" ~pid:0
+      (Log_record.Insert { sid = i; svalues = [| Log_record.S_int i |] })
+  done;
+  let records = Log_buffer.commit buf ~txn:1 in
+  let gappy = List.filter (fun r -> r.Log_record.lsn <> 3) records in
+  let kept, issues = Recovery.validate_log ~propagated_lsn:0 gappy in
+  Alcotest.(check int) "trustworthy prefix stops before the gap" 2
+    (List.length kept);
+  match issues with
+  | [ Recovery.Lsn_gap { expected = 3; found = 4; dropped_records = 1 } ] -> ()
+  | _ ->
+      Alcotest.failf "unexpected issues: %a"
+        Fmt.(list ~sep:semi Recovery.pp_issue)
+        issues
+
+(* A corrupt image whose tuples are NOT in the retained log (it was
+   truncated at the checkpoint): recovery must quarantine the partition —
+   report it, lose only its tuples, never raise or replay damaged data. *)
+let test_unrecoverable_image_quarantined () =
+  let mgr, fault = fresh_instance () in
+  let t = Txn.begin_txn mgr in
+  for i = 1 to 8 do
+    okt (Txn.insert t ~rel:"Acct" [| Value.Int i; Value.Int (100 * i) |])
+  done;
+  okt (Txn.insert t ~rel:"Audit" [| Value.Int 1; Value.Str "pre-crash" |]);
+  (match Txn.commit t with Ok () -> () | Error m -> Alcotest.fail m);
+  Txn.checkpoint_all mgr;
+  (* silent media fault after the checkpoint: Acct p0 (accounts 1-4) *)
+  Alcotest.(check bool) "image damaged" true
+    (Disk_store.corrupt_image (Txn.store mgr) ~rel:"Acct" ~pid:0
+       ~rand:(Fault.rand fault));
+  let state =
+    Recovery.recover ~store:(Txn.store mgr) ~device:(Txn.device mgr)
+      ~working_set:[ "Acct" ]
+  in
+  Recovery.finish_background state;
+  let mgr' = Recovery.manager state in
+  (match Recovery.issues state with
+  | [ Recovery.Corrupt_image { rel; pid; suspect_tuples; recovered_tuples } ]
+    ->
+      Alcotest.(check string) "relation" "Acct" rel;
+      Alcotest.(check int) "partition" 0 pid;
+      Alcotest.(check int) "suspects" 4 suspect_tuples;
+      Alcotest.(check int) "nothing rebuildable: log was truncated" 0
+        recovered_tuples
+  | issues ->
+      Alcotest.failf "expected one quarantine issue: %a"
+        Fmt.(list ~sep:semi Recovery.pp_issue)
+        issues);
+  let acct = Option.get (Txn.relation mgr' "Acct") in
+  Alcotest.(check int) "only the quarantined partition's tuples lost" 4
+    (Relation.count acct);
+  List.iter
+    (fun i ->
+      Alcotest.(check bool)
+        (Printf.sprintf "account %d survived" i)
+        true
+        (Relation.lookup_one acct [| Value.Int i |] <> None))
+    [ 5; 6; 7; 8 ];
+  (match Relation.validate acct with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "recovered Acct fails validation: %s" m);
+  Alcotest.(check int) "untouched relation intact" 1
+    (Relation.count (Option.get (Txn.relation mgr' "Audit")))
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "checksums and injector",
+        [
+          Alcotest.test_case "checksums detect corruption" `Quick
+            test_checksum_detects_corruption;
+          Alcotest.test_case "injector is deterministic" `Quick
+            test_injector_determinism;
+          Alcotest.test_case "LSN gap truncates the log" `Quick
+            test_validate_log_lsn_gap;
+          Alcotest.test_case "reference workload shape" `Quick
+            test_reference_shape;
+          Alcotest.test_case "unrecoverable image is quarantined" `Quick
+            test_unrecoverable_image_quarantined;
+        ] );
+      ( "crash-consistency torture",
+        List.map
+          (fun s -> Alcotest.test_case s.name `Quick (run_scenario s))
+          scenarios );
+    ]

@@ -146,6 +146,11 @@ let dept_schema () =
   Schema.make ~name:"Department"
     [ Schema.col ~ty:Schema.T_string "Name"; Schema.col ~ty:Schema.T_int "Id" ]
 
+let add_rel mgr r =
+  match Txn.add_relation mgr r with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
 let mk_mgr () =
   let mgr = Txn.create_manager () in
   let rel =
@@ -159,7 +164,7 @@ let mk_mgr () =
         }
       ()
   in
-  Txn.add_relation mgr rel;
+  add_rel mgr rel;
   (mgr, rel)
 
 let dept n i = [| Value.Str n; Value.Int i |]
@@ -286,7 +291,7 @@ let test_txn_two_writers_different_relations () =
           }
         ()
     in
-    Txn.add_relation mgr r;
+    add_rel mgr r;
     r
   in
   let _a = mk "A" and _b = mk "B" in
@@ -455,7 +460,9 @@ let scheduler_conservation_property =
             }
           ()
       in
-      Txn.add_relation mgr rel;
+      (match Txn.add_relation mgr rel with
+      | Ok () -> ()
+      | Error m -> QCheck.Test.fail_report m);
       let t = Txn.begin_txn mgr in
       for i = 0 to n_accounts - 1 do
         match Txn.insert t ~rel:"Acct" [| Value.Int i; Value.Int 100 |] with
@@ -542,13 +549,11 @@ let populate_for_recovery () =
 let test_recovery_round_trip () =
   let crashed = populate_for_recovery () in
   let state =
-    match
-      Recovery.recover ~store:(Txn.store crashed)
-        ~device:(Txn.device crashed) ~working_set:[ "Department" ]
-    with
-    | Ok s -> s
-    | Error e -> Alcotest.fail e
+    Recovery.recover ~store:(Txn.store crashed) ~device:(Txn.device crashed)
+      ~working_set:[ "Department" ]
   in
+  Alcotest.(check int) "clean crash: no issues" 0
+    (List.length (Recovery.issues state));
   let mgr = Recovery.manager state in
   let rel = Option.get (Txn.relation mgr "Department") in
   (* 12 checkpointed + 1 inserted - 1 deleted = 12; uncommitted insert lost *)
@@ -570,9 +575,7 @@ let test_recovery_round_trip () =
     (stats.Recovery.log_records_merged >= 3);
   Alcotest.(check bool) "partitions read" true
     (stats.Recovery.partitions_read >= 1);
-  (match Recovery.finish_background state with
-  | Ok () -> ()
-  | Error e -> Alcotest.fail e);
+  Recovery.finish_background state;
   Alcotest.(check bool) "relation validates after recovery" true
     (Relation.validate rel = Ok ())
 
@@ -596,7 +599,7 @@ let test_recovery_working_set_first () =
           }
         ()
     in
-    Txn.add_relation mgr r;
+    add_rel mgr r;
     r
   in
   let _hot = mk "Hot" and _cold = mk "Cold" in
@@ -608,12 +611,8 @@ let test_recovery_working_set_first () =
   (match Txn.commit t with Ok () -> () | Error e -> Alcotest.fail e);
   Txn.checkpoint_all mgr;
   let state =
-    match
-      Recovery.recover ~store:(Txn.store mgr) ~device:(Txn.device mgr)
-        ~working_set:[ "Hot" ]
-    with
-    | Ok s -> s
-    | Error e -> Alcotest.fail e
+    Recovery.recover ~store:(Txn.store mgr) ~device:(Txn.device mgr)
+      ~working_set:[ "Hot" ]
   in
   let mgr' = Recovery.manager state in
   Alcotest.(check bool) "hot online immediately" true
@@ -625,9 +624,7 @@ let test_recovery_working_set_first () =
   let found = ok (Txn.read t' ~rel:"Hot" [| Value.Int 3 |]) in
   Alcotest.(check int) "read during background load" 1 (List.length found);
   Txn.abort t';
-  (match Recovery.finish_background state with
-  | Ok () -> ()
-  | Error e -> Alcotest.fail e);
+  Recovery.finish_background state;
   Alcotest.(check bool) "cold loaded by background" true
     (Txn.relation mgr' "Cold" <> None);
   Alcotest.(check int) "cold complete" 5
@@ -649,16 +646,10 @@ let test_recovery_preserves_secondary_indexes () =
   done;
   (match Txn.commit t with Ok () -> () | Error e -> Alcotest.fail e);
   let state =
-    match
-      Recovery.recover ~store:(Txn.store mgr) ~device:(Txn.device mgr)
-        ~working_set:[ "Department" ]
-    with
-    | Ok s -> s
-    | Error e -> Alcotest.fail e
+    Recovery.recover ~store:(Txn.store mgr) ~device:(Txn.device mgr)
+      ~working_set:[ "Department" ]
   in
-  (match Recovery.finish_background state with
-  | Ok () -> ()
-  | Error e -> Alcotest.fail e);
+  Recovery.finish_background state;
   let rel' = Option.get (Txn.relation (Recovery.manager state) "Department") in
   Alcotest.(check int) "two indexes rebuilt" 2
     (List.length (Relation.index_defs rel'));
@@ -679,12 +670,8 @@ let test_recovery_partial_propagation () =
   Alcotest.(check int) "six still pending" 6
     (Log_device.pending_count (Txn.device mgr));
   let state =
-    match
-      Recovery.recover ~store:(Txn.store mgr) ~device:(Txn.device mgr)
-        ~working_set:[ "Department" ]
-    with
-    | Ok s -> s
-    | Error e -> Alcotest.fail e
+    Recovery.recover ~store:(Txn.store mgr) ~device:(Txn.device mgr)
+      ~working_set:[ "Department" ]
   in
   let rel' = Option.get (Txn.relation (Recovery.manager state) "Department") in
   Alcotest.(check int) "all ten recovered" 10 (Relation.count rel')
@@ -722,8 +709,8 @@ let test_recovery_foreign_key_fixup () =
         }
       ()
   in
-  Txn.add_relation mgr dept_rel;
-  Txn.add_relation mgr emp_rel;
+  add_rel mgr dept_rel;
+  add_rel mgr emp_rel;
   let t = Txn.begin_txn mgr in
   ok (Txn.insert t ~rel:"Department" (dept "Toy" 459));
   (match Txn.commit t with Ok () -> () | Error e -> Alcotest.fail e);
@@ -735,16 +722,10 @@ let test_recovery_foreign_key_fixup () =
   (match Txn.commit t2 with Ok () -> () | Error e -> Alcotest.fail e);
   (* crash without checkpoint: everything lives in the accumulation log *)
   let state =
-    match
-      Recovery.recover ~store:(Txn.store mgr) ~device:(Txn.device mgr)
-        ~working_set:[]
-    with
-    | Ok s -> s
-    | Error e -> Alcotest.fail e
+    Recovery.recover ~store:(Txn.store mgr) ~device:(Txn.device mgr)
+      ~working_set:[]
   in
-  (match Recovery.finish_background state with
-  | Ok () -> ()
-  | Error e -> Alcotest.fail e);
+  Recovery.finish_background state;
   let mgr' = Recovery.manager state in
   let emp' = Option.get (Txn.relation mgr' "Employee") in
   let dave = Option.get (Relation.lookup_one emp' [| Value.Int 23 |]) in
@@ -756,6 +737,132 @@ let test_recovery_foreign_key_fixup () =
       Alcotest.failf "expected rebuilt pointer, got %s" (Value.to_string v));
   Alcotest.(check int) "fixups recorded" 1
     (Recovery.background_stats state).Recovery.pointer_fixups
+
+let test_recovery_moved_partition () =
+  (* A tuple checkpointed into partition p is later moved to another
+     partition by a heap-overflowing string update; subsequent updates and
+     deletes of the moved tuple carry the new pid in their log records but
+     must still find the tuple in the checkpointed image (location map). *)
+  let mgr = Txn.create_manager () in
+  let rel =
+    Relation.create ~slot_capacity:4 ~heap_capacity:64 ~schema:(dept_schema ())
+      ~primary:
+        {
+          Relation.idx_name = "pk";
+          columns = [| 1 |];
+          unique = true;
+          structure = Relation.T_tree;
+        }
+      ()
+  in
+  add_rel mgr rel;
+  let t = Txn.begin_txn mgr in
+  for i = 1 to 4 do
+    ok (Txn.insert t ~rel:"Department" (dept (String.make 8 'a') i))
+  done;
+  (match Txn.commit t with Ok () -> () | Error e -> Alcotest.fail e);
+  Txn.checkpoint_all mgr;
+  let tup i = Option.get (Relation.lookup_one rel [| Value.Int i |]) in
+  let pid_of tu = (Tuple.resolve tu).Value.pid in
+  let p1_before = pid_of (tup 1) and p2_before = pid_of (tup 2) in
+  (* big-string updates overflow the 64-byte partition heap: both move *)
+  let t2 = Txn.begin_txn mgr in
+  ok
+    (Txn.update t2 ~rel:"Department" (tup 1) ~col:0
+       (Value.Str (String.make 48 'x')));
+  ok
+    (Txn.update t2 ~rel:"Department" (tup 2) ~col:0
+       (Value.Str (String.make 56 'y')));
+  (match Txn.commit t2 with Ok () -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "tuple 1 moved partitions" true
+    (pid_of (tup 1) <> p1_before);
+  Alcotest.(check bool) "tuple 2 moved partitions" true
+    (pid_of (tup 2) <> p2_before);
+  (* update and delete the moved tuples, then propagate so the changes hit
+     the disk images written before the move *)
+  let t3 = Txn.begin_txn mgr in
+  ok
+    (Txn.update t3 ~rel:"Department" (tup 1) ~col:0
+       (Value.Str (String.make 48 'z')));
+  ok (Txn.delete t3 ~rel:"Department" (tup 2));
+  (match Txn.commit t3 with Ok () -> () | Error e -> Alcotest.fail e);
+  ignore (Log_device.propagate (Txn.device mgr));
+  (* crash + recover *)
+  let state =
+    Recovery.recover ~store:(Txn.store mgr) ~device:(Txn.device mgr)
+      ~working_set:[ "Department" ]
+  in
+  Recovery.finish_background state;
+  Alcotest.(check int) "no issues" 0 (List.length (Recovery.issues state));
+  let rel' = Option.get (Txn.relation (Recovery.manager state) "Department") in
+  Alcotest.(check int) "three tuples survive" 3 (Relation.count rel');
+  (match Relation.lookup_one rel' [| Value.Int 1 |] with
+  | Some tu ->
+      Alcotest.(check bool) "moved tuple carries final update" true
+        (Tuple.get tu 0 = Value.Str (String.make 48 'z'))
+  | None -> Alcotest.fail "moved tuple 1 lost");
+  Alcotest.(check bool) "moved tuple 2 deleted" true
+    (Relation.lookup_one rel' [| Value.Int 2 |] = None);
+  Alcotest.(check bool) "validates" true (Relation.validate rel' = Ok ())
+
+let test_recovery_dropped_relation_records () =
+  (* Log records for a relation the disk catalog no longer knows must be
+     reported as orphans, not replayed and not fatal. *)
+  let mgr, _rel = mk_mgr () in
+  let t = Txn.begin_txn mgr in
+  ok (Txn.insert t ~rel:"Department" (dept "Toy" 459));
+  (match Txn.commit t with Ok () -> () | Error e -> Alcotest.fail e);
+  (* checkpoint truncates the retained log, so the forged records below
+     (whose fresh buffer numbers LSNs from 1) are the only ones left *)
+  Txn.checkpoint_all mgr;
+  (* committed records for a relation absent from the catalog, as if the
+     relation had been dropped after the records were logged *)
+  let side = Log_buffer.create () in
+  Log_buffer.append side ~txn:9 ~rel:"Ghost" ~pid:0
+    (Log_record.Insert
+       { Log_record.sid = 100_000; svalues = [| Log_record.S_int 1 |] });
+  Log_buffer.append side ~txn:9 ~rel:"Ghost" ~pid:0
+    (Log_record.Update
+       { tid = 100_000; col = 0; svalue = Log_record.S_int 2 });
+  ignore (Log_buffer.commit side ~txn:9);
+  Log_device.absorb (Txn.device mgr) side;
+  let state =
+    Recovery.recover ~store:(Txn.store mgr) ~device:(Txn.device mgr)
+      ~working_set:[ "Department" ]
+  in
+  Recovery.finish_background state;
+  (match Recovery.issues state with
+  | [ Recovery.Orphan_log_records { rel = "Ghost"; records = 2 } ] -> ()
+  | is ->
+      Alcotest.failf "expected one Ghost orphan issue, got: %a"
+        (Fmt.list ~sep:Fmt.semi Recovery.pp_issue)
+        is);
+  let rel' = Option.get (Txn.relation (Recovery.manager state) "Department") in
+  Alcotest.(check int) "department intact" 1 (Relation.count rel');
+  Alcotest.(check bool) "ghost never materialized" true
+    (Txn.relation (Recovery.manager state) "Ghost" = None)
+
+let test_recovery_empty_working_set () =
+  (* recovery with an empty working set must return an operational (if
+     empty) manager; everything loads in the background phase *)
+  let mgr, _rel = mk_mgr () in
+  let t = Txn.begin_txn mgr in
+  for i = 1 to 6 do
+    ok (Txn.insert t ~rel:"Department" (dept "D" i))
+  done;
+  (match Txn.commit t with Ok () -> () | Error e -> Alcotest.fail e);
+  let state =
+    Recovery.recover ~store:(Txn.store mgr) ~device:(Txn.device mgr)
+      ~working_set:[]
+  in
+  Alcotest.(check int) "nothing loaded in phase 1" 0
+    (List.length (Recovery.loaded_relations state));
+  Alcotest.(check int) "phase-1 stats untouched" 0
+    (Recovery.working_set_stats state).Recovery.tuples_restored;
+  Recovery.finish_background state;
+  Alcotest.(check int) "no issues" 0 (List.length (Recovery.issues state));
+  let rel' = Option.get (Txn.relation (Recovery.manager state) "Department") in
+  Alcotest.(check int) "all six loaded in background" 6 (Relation.count rel')
 
 (* Recovery round-trip property: any committed history (inserts, deletes,
    updates, checkpoints, partial propagation) must be reconstructed exactly
@@ -854,16 +961,16 @@ let recovery_roundtrip_property =
         ops;
       (* crash with the live transaction possibly holding uncommitted work *)
       let state =
-        match
-          Recovery.recover ~store:(Txn.store mgr) ~device:(Txn.device mgr)
-            ~working_set:[ "Department" ]
-        with
-        | Ok s -> s
-        | Error msg -> QCheck.Test.fail_reportf "recover: %s" msg
+        Recovery.recover ~store:(Txn.store mgr) ~device:(Txn.device mgr)
+          ~working_set:[ "Department" ]
       in
-      (match Recovery.finish_background state with
-      | Ok () -> ()
-      | Error msg -> QCheck.Test.fail_reportf "background: %s" msg);
+      Recovery.finish_background state;
+      (match Recovery.issues state with
+      | [] -> ()
+      | is ->
+          QCheck.Test.fail_reportf "clean crash produced issues: %a"
+            (Fmt.list ~sep:Fmt.semi Recovery.pp_issue)
+            is);
       let rel' =
         Option.get (Txn.relation (Recovery.manager state) "Department")
       in
@@ -939,6 +1046,12 @@ let () =
             test_recovery_preserves_secondary_indexes;
           Alcotest.test_case "partial propagation" `Quick
             test_recovery_partial_propagation;
+          Alcotest.test_case "update/delete of moved tuple after checkpoint"
+            `Quick test_recovery_moved_partition;
+          Alcotest.test_case "log records of a dropped relation" `Quick
+            test_recovery_dropped_relation_records;
+          Alcotest.test_case "empty working set" `Quick
+            test_recovery_empty_working_set;
           QCheck_alcotest.to_alcotest recovery_roundtrip_property;
         ] );
     ]
