@@ -1,0 +1,176 @@
+(* Network serving: throughput and latency vs concurrent clients.
+
+   The server runs in its own forked process (so the bench parent stays
+   single-threaded and can fork client processes safely — forking after
+   spawning domains is hazardous in OCaml 5).  Each measured point forks
+   N client processes; every client opens one connection and fires a
+   50/50 INSERT/SELECT mix over disjoint key ranges, recording per-request
+   latency.  Children report (requests, errors, latencies) back over a
+   pipe via Marshal.
+
+   Because a single executor domain serializes all statement execution,
+   throughput should plateau once one client saturates it, and p99
+   latency should grow roughly linearly with the client count — queueing
+   delay, not execution time, dominates.  That is the serving-layer
+   analogue of the paper's single-processor assumption (§1). *)
+
+open Mmdb_util
+open Mmdb_net
+
+let client_counts = [ 1; 2; 4; 8; 16 ]
+
+(* One client process: runs [ops] requests, returns stats over [wr].
+   [slot] is globally unique across rounds so key ranges never collide
+   (a reused key would turn the INSERT half into duplicate-key errors). *)
+let run_client ~port ~slot ~ops wr =
+  let lats = Array.make (max ops 1) 0.0 in
+  let errors = ref 0 in
+  let done_ops = ref 0 in
+  (match Client.connect ~host:"127.0.0.1" ~port () with
+  | Error _ -> errors := ops
+  | Ok c ->
+      let base = slot * 1_000_000 in
+      for i = 0 to ops - 1 do
+        let key = base + i in
+        let sql =
+          if i land 1 = 0 then
+            Printf.sprintf "INSERT INTO KV VALUES (%d, %d);" key (key * 3)
+          else Printf.sprintf "SELECT V FROM KV WHERE K = %d;" (base + i - 1)
+        in
+        let t0 = Unix.gettimeofday () in
+        (match Client.query c sql with
+        | Ok (Protocol.Error _) | Error _ -> incr errors
+        | Ok _ -> ());
+        lats.(i) <- Unix.gettimeofday () -. t0;
+        incr done_ops
+      done;
+      ignore (Client.quit c));
+  let oc = Unix.out_channel_of_descr wr in
+  Marshal.to_channel oc (!done_ops, !errors, Array.sub lats 0 !done_ops) [];
+  flush oc
+
+(* Fork the server into its own process; returns (pid, port). *)
+let fork_server () =
+  let pr, pw = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+      Unix.close pr;
+      let db = Mmdb_core.Db.create () in
+      let sess = Mmdb_lang.Interp.session db in
+      (match
+         Mmdb_lang.Interp.exec_string sess
+           "CREATE TABLE KV (K int PRIMARY KEY, V int);"
+       with
+      | Ok _ -> ()
+      | Error m ->
+          prerr_endline ("bench server setup failed: " ^ m);
+          Unix._exit 1);
+      let srv =
+        Server.start
+          ~config:
+            {
+              Server.default_config with
+              Server.port = 0;
+              max_connections = 64;
+              request_timeout = 0.0;
+              idle_timeout = 0.0;
+            }
+          db
+      in
+      let stop = ref false in
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop := true));
+      let oc = Unix.out_channel_of_descr pw in
+      output_string oc (string_of_int (Server.port srv) ^ "\n");
+      flush oc;
+      while not !stop do
+        Thread.delay 0.05
+      done;
+      Server.shutdown srv;
+      Unix._exit 0
+  | pid ->
+      Unix.close pw;
+      let ic = Unix.in_channel_of_descr pr in
+      let port = int_of_string (String.trim (input_line ic)) in
+      close_in ic;
+      (pid, port)
+
+let measure_point ~port ~round ~n_clients ~ops_per_client =
+  let start = Unix.gettimeofday () in
+  let children =
+    List.init n_clients (fun child ->
+        let rd, wr = Unix.pipe () in
+        match Unix.fork () with
+        | 0 ->
+            Unix.close rd;
+            run_client ~port ~slot:((round * 64) + child) ~ops:ops_per_client
+              wr;
+            Unix._exit 0
+        | pid ->
+            Unix.close wr;
+            (pid, rd))
+  in
+  let stats =
+    List.map
+      (fun (pid, rd) ->
+        let ic = Unix.in_channel_of_descr rd in
+        let (ops, errors, lats) : int * int * float array =
+          Marshal.from_channel ic
+        in
+        close_in ic;
+        ignore (Unix.waitpid [] pid);
+        (ops, errors, lats))
+      children
+  in
+  let elapsed = Unix.gettimeofday () -. start in
+  let total_ops = List.fold_left (fun a (o, _, _) -> a + o) 0 stats in
+  let total_errors = List.fold_left (fun a (_, e, _) -> a + e) 0 stats in
+  let all_lats =
+    Array.concat (List.map (fun (_, _, l) -> l) stats)
+  in
+  let pct p =
+    if Array.length all_lats = 0 then 0.0
+    else Stats.percentile all_lats p *. 1000.0
+  in
+  (total_ops, total_errors, elapsed, pct 50.0, pct 99.0)
+
+let run (cfg : Bench_util.config) =
+  Bench_util.header "SRV: server throughput/latency vs concurrent clients";
+  let ops_per_client = Bench_util.scaled cfg 400 in
+  let pid, port = fork_server () in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.kill pid Sys.sigterm;
+      ignore (Unix.waitpid [] pid))
+    (fun () ->
+      let rows =
+        List.mapi
+          (fun round n_clients ->
+            let ops, errors, elapsed, p50, p99 =
+              measure_point ~port ~round ~n_clients ~ops_per_client
+            in
+            let rps = float_of_int ops /. Float.max 1e-9 elapsed in
+            Bench_util.emit cfg ~exp:"server"
+              [
+                ("clients", `Int n_clients);
+                ("requests", `Int ops);
+                ("errors", `Int errors);
+                ("elapsed_s", `Float elapsed);
+                ("req_per_s", `Float rps);
+                ("p50_ms", `Float p50);
+                ("p99_ms", `Float p99);
+              ];
+            [
+              string_of_int n_clients;
+              string_of_int ops;
+              Printf.sprintf "%.0f" rps;
+              Printf.sprintf "%.3f" p50;
+              Printf.sprintf "%.3f" p99;
+              string_of_int errors;
+            ])
+          client_counts
+      in
+      Bench_util.table
+        ~columns:[ "clients"; "requests"; "req/s"; "p50(ms)"; "p99(ms)"; "errors" ]
+        rows;
+      Bench_util.note
+        "one executor domain serializes execution: throughput plateaus, p99 grows with queueing")

@@ -11,9 +11,10 @@ type config = {
   scale : float;  (* 1.0 = the paper's cardinalities (30,000 etc.) *)
   seed : int;
   repeats : int;  (* timing repetitions; median is reported *)
+  out : string option;  (* append machine-readable results here (JSONL) *)
 }
 
-let default_config = { scale = 1.0; seed = 860528; repeats = 1 }
+let default_config = { scale = 1.0; seed = 860528; repeats = 1; out = None }
 
 let scaled cfg n =
   max 4 (int_of_float (Float.round (cfg.scale *. float_of_int n)))
@@ -68,3 +69,47 @@ let table ~columns rows =
   flush stdout
 
 let note fmt = Printf.printf ("   " ^^ fmt ^^ "\n%!")
+
+(* --- machine-readable output ------------------------------------------- *)
+
+type jv = [ `Int of int | `Float of float | `Str of string ]
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 32 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Append one result record to [cfg.out] as a JSON line (no-op when no
+   [--out] was given).  Every record carries the experiment id plus the
+   run's scale and seed so mixed files stay self-describing. *)
+let emit cfg ~exp (kvs : (string * jv) list) =
+  match cfg.out with
+  | None -> ()
+  | Some path ->
+      let field (k, v) =
+        Printf.sprintf "\"%s\":%s" (json_escape k)
+          (match v with
+          | `Int n -> string_of_int n
+          | `Float f -> Printf.sprintf "%.6g" f
+          | `Str s -> "\"" ^ json_escape s ^ "\"")
+      in
+      let record =
+        ("experiment", `Str exp)
+        :: ("scale", `Float cfg.scale)
+        :: ("seed", `Int cfg.seed)
+        :: kvs
+      in
+      let oc =
+        open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
+      in
+      output_string oc
+        ("{" ^ String.concat "," (List.map field record) ^ "}\n");
+      close_out oc

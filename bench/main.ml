@@ -50,6 +50,8 @@ let experiments : (string * string * (Bench_util.config -> unit)) list =
     ("a7", "Ablation: string vs int vs pointer joins", Bench_ablation.a7);
     ("a8", "Ablation: semijoin bit-vector prefilter", Bench_ablation.a8);
     ("c1", "Concurrency: partition-level locking", Bench_concurrency.c1);
+    ("server", "Serving: throughput/latency vs concurrent clients",
+     Bench_server.run);
     ("r1", "Recovery: working set vs full reload", Bench_recovery.r1);
     ("f1", "Fault injection: crash-consistency torture", Bench_faults.f1);
     ("micro", "Bechamel micro-benchmarks", fun _ -> Bench_micro.run ());
@@ -61,6 +63,7 @@ let usage () =
   print_endline "  --scale F     scale cardinalities (1.0 = paper's 30,000)";
   print_endline "  --seed N      workload seed";
   print_endline "  --repeats N   timing repetitions (median reported)";
+  print_endline "  --out FILE    append machine-readable results (JSON lines)";
   print_endline "  --only a,b,c  run a subset of experiments:";
   List.iter (fun (id, descr, _) -> Printf.printf "      %-5s %s\n" id descr)
     experiments
@@ -69,11 +72,15 @@ let () =
   let scale = ref 1.0 in
   let seed = ref Bench_util.default_config.Bench_util.seed in
   let repeats = ref 1 in
+  let out = ref None in
   let only = ref [] in
   let rec parse = function
     | [] -> ()
     | "--scale" :: v :: rest ->
         scale := float_of_string v;
+        parse rest
+    | "--out" :: v :: rest ->
+        out := Some v;
         parse rest
     | "--seed" :: v :: rest ->
         seed := int_of_string v;
@@ -93,7 +100,9 @@ let () =
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
-  let cfg = { Bench_util.scale = !scale; seed = !seed; repeats = !repeats } in
+  let cfg =
+    { Bench_util.scale = !scale; seed = !seed; repeats = !repeats; out = !out }
+  in
   let selected =
     match !only with
     | [] -> experiments

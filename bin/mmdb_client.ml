@@ -1,0 +1,118 @@
+(* Interactive / scripted client for the mmdb network server.
+
+     dune exec bin/mmdb_client.exe                       # REPL
+     dune exec bin/mmdb_client.exe -- script.sql         # run a script
+     dune exec bin/mmdb_client.exe -- --ping             # liveness probe
+     dune exec bin/mmdb_client.exe -- --status           # metrics dump
+
+   Script mode stops at the first failed statement and exits non-zero
+   (same contract as mmdb_shell).  [--ping] exits 0 iff the server
+   answers, which is what the CI smoke job uses to wait for startup. *)
+
+open Mmdb_net
+
+let usage () =
+  prerr_endline
+    {|usage: mmdb_client [--host ADDR] [--port N] [script.sql | --ping | --status]|};
+  exit 2
+
+type mode = Repl | Script of string | Ping | Status
+
+let () =
+  let host = ref "127.0.0.1" in
+  let port = ref Server.default_config.Server.port in
+  let mode = ref Repl in
+  let rec parse_args = function
+    | [] -> ()
+    | "--host" :: v :: rest ->
+        host := v;
+        parse_args rest
+    | "--port" :: v :: rest ->
+        port := int_of_string v;
+        parse_args rest
+    | "--ping" :: rest ->
+        mode := Ping;
+        parse_args rest
+    | "--status" :: rest ->
+        mode := Status;
+        parse_args rest
+    | path :: rest when String.length path > 0 && path.[0] <> '-' ->
+        mode := Script path;
+        parse_args rest
+    | _ -> usage ()
+  in
+  (try parse_args (List.tl (Array.to_list Sys.argv))
+   with Failure _ -> usage ());
+  let on_notice m = Fmt.epr "notice: %s@." m in
+  match Client.connect ~on_notice ~host:!host ~port:!port () with
+  | Error msg ->
+      Fmt.epr "error: %s@." msg;
+      exit 1
+  | Ok c -> (
+      let fail : 'a. string -> 'a =
+       fun msg ->
+        Fmt.epr "error: %s@." msg;
+        ignore (Client.quit c);
+        exit 1
+      in
+      match !mode with
+      | Ping -> (
+          match Client.ping c with
+          | Ok () ->
+              print_endline "pong";
+              ignore (Client.quit c)
+          | Error msg -> fail msg)
+      | Status -> (
+          match Client.status c with
+          | Ok s ->
+              print_endline s;
+              ignore (Client.quit c)
+          | Error msg -> fail msg)
+      | Script path ->
+          let ic = try open_in path with Sys_error e -> fail e in
+          let content = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          List.iter
+            (fun stmt ->
+              match Client.query c stmt with
+              | Ok (Protocol.Error (code, msg)) ->
+                  fail
+                    (Printf.sprintf "%s: %s" (Protocol.err_code_name code) msg)
+              | Ok resp -> Fmt.pr "%a@." Protocol.pp_response resp
+              | Error msg -> fail msg)
+            (Client.split_statements content);
+          ignore (Client.quit c)
+      | Repl ->
+          print_endline
+            "mmdb client — statements end with ';', \\q quits, \\status for server metrics";
+          let buffer = Buffer.create 256 in
+          let rec loop () =
+            print_string (if Buffer.length buffer = 0 then "mmdb> " else "   -> ");
+            flush stdout;
+            match input_line stdin with
+            | exception End_of_file ->
+                print_newline ();
+                ignore (Client.quit c)
+            | line ->
+                let trimmed = String.trim line in
+                if trimmed = "\\q" then ignore (Client.quit c)
+                else if trimmed = "\\status" then begin
+                  (match Client.status c with
+                  | Ok s -> print_endline s
+                  | Error msg -> Fmt.epr "error: %s@." msg);
+                  loop ()
+                end
+                else begin
+                  Buffer.add_string buffer line;
+                  Buffer.add_char buffer '\n';
+                  if String.contains line ';' then begin
+                    let text = Buffer.contents buffer in
+                    Buffer.clear buffer;
+                    match Client.query c text with
+                    | Ok resp -> Fmt.pr "%a@." Protocol.pp_response resp
+                    | Error msg -> fail msg
+                  end;
+                  loop ()
+                end
+          in
+          loop ())

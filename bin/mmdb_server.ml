@@ -1,0 +1,103 @@
+(* The mmdb network server daemon.
+
+     dune exec bin/mmdb_server.exe                         # defaults
+     dune exec bin/mmdb_server.exe -- --port 7478 --demo
+     dune exec bin/mmdb_server.exe -- --max-conns 8 --request-timeout 5
+
+   SIGINT / SIGTERM trigger a graceful shutdown (in-flight requests
+   drain, open BEGIN blocks roll back); SIGUSR1 dumps metrics to
+   stderr. *)
+
+open Mmdb_core
+open Mmdb_net
+
+let usage () =
+  prerr_endline
+    {|usage: mmdb_server [options]
+  --host ADDR            bind address        (default 127.0.0.1)
+  --port N               TCP port, 0=ephemeral (default 7478)
+  --max-conns N          admission limit     (default 64)
+  --request-timeout SEC  per-request timeout, 0=off (default 30)
+  --idle-timeout SEC     idle-session reap, 0=off    (default 300)
+  --demo                 preload the Employee/Department demo db|};
+  exit 2
+
+let demo_script =
+  {|
+  CREATE TABLE Department (Name string, Id int PRIMARY KEY);
+  INSERT INTO Department VALUES ('Toy', 459);
+  INSERT INTO Department VALUES ('Shoe', 409);
+  INSERT INTO Department VALUES ('Linen', 411);
+  INSERT INTO Department VALUES ('Paint', 455);
+  CREATE TABLE Employee (Name string, Id int PRIMARY KEY, Age int,
+                         Dept ref Department);
+  INSERT INTO Employee VALUES ('Dave', 23, 24, 459);
+  INSERT INTO Employee VALUES ('Suzan', 12, 27, 459);
+  INSERT INTO Employee VALUES ('Yaman', 44, 54, 411);
+  INSERT INTO Employee VALUES ('Jane', 43, 47, 411);
+  INSERT INTO Employee VALUES ('Cindy', 22, 22, 409);
+  INSERT INTO Employee VALUES ('Hank', 77, 70, 409);
+  CREATE INDEX by_age ON Employee (Age) USING ttree;
+  |}
+
+let () =
+  let cfg = ref Server.default_config in
+  let demo = ref false in
+  let rec parse_args = function
+    | [] -> ()
+    | "--host" :: v :: rest ->
+        cfg := { !cfg with Server.host = v };
+        parse_args rest
+    | "--port" :: v :: rest ->
+        cfg := { !cfg with Server.port = int_of_string v };
+        parse_args rest
+    | "--max-conns" :: v :: rest ->
+        cfg := { !cfg with Server.max_connections = int_of_string v };
+        parse_args rest
+    | "--request-timeout" :: v :: rest ->
+        cfg := { !cfg with Server.request_timeout = float_of_string v };
+        parse_args rest
+    | "--idle-timeout" :: v :: rest ->
+        cfg := { !cfg with Server.idle_timeout = float_of_string v };
+        parse_args rest
+    | "--demo" :: rest ->
+        demo := true;
+        parse_args rest
+    | _ -> usage ()
+  in
+  (try parse_args (List.tl (Array.to_list Sys.argv))
+   with Failure _ -> usage ());
+  let db = Db.create () in
+  let mgr = Mmdb_txn.Txn.create_manager () in
+  if !demo then begin
+    (* before [Server.start] only this thread touches the db *)
+    let sess = Mmdb_lang.Interp.session ~mgr db in
+    match Mmdb_lang.Interp.exec_string sess demo_script with
+    | Ok _ -> prerr_endline "demo database loaded (Employee, Department)"
+    | Error msg ->
+        Fmt.epr "demo load failed: %s@." msg;
+        exit 1
+  end;
+  let srv = Server.start ~config:!cfg ~mgr db in
+  let stopping = ref false in
+  let request_stop _ = stopping := true in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+  (* async-signal context: only flip a flag, dump from the main loop *)
+  let want_dump = ref false in
+  Sys.set_signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> want_dump := true));
+  Printf.eprintf "mmdb_server listening on %s:%d (max %d connections)\n%!"
+    !cfg.Server.host (Server.port srv) !cfg.Server.max_connections;
+  (* signal handlers run on this thread between polls *)
+  while not !stopping do
+    Thread.delay 0.2;
+    if !want_dump then begin
+      want_dump := false;
+      prerr_endline "--- metrics ---";
+      prerr_endline (Server.metrics_text srv)
+    end
+  done;
+  prerr_endline "shutting down (draining sessions)...";
+  Server.shutdown srv;
+  prerr_endline "--- final metrics ---";
+  prerr_endline (Server.metrics_text srv)

@@ -22,19 +22,25 @@ open Mmdb_core
 
 (* Execute and print one statement at a time: results are temporary lists
    of tuple pointers, so rendering must happen before a later UPDATE or
-   DELETE in the same script mutates the pointed-to tuples. *)
+   DELETE in the same script mutates the pointed-to tuples.  Returns
+   [false] at the first statement that fails (the rest are skipped), so
+   script mode can exit non-zero. *)
 let run_input sess input =
   match Mmdb_lang.Parser.parse input with
-  | Error msg -> Fmt.epr "error: %s@." msg
+  | Error msg ->
+      Fmt.epr "error: %s@." msg;
+      false
   | Ok stmts ->
       let rec go = function
-        | [] -> ()
+        | [] -> true
         | stmt :: rest -> (
             match Mmdb_lang.Interp.exec sess stmt with
             | Ok o ->
                 Fmt.pr "%a@." Mmdb_lang.Interp.pp_outcome o;
                 go rest
-            | Error msg -> Fmt.epr "error: %s@." msg)
+            | Error msg ->
+                Fmt.epr "error: %s@." msg;
+                false)
       in
       go stmts
 
@@ -87,7 +93,7 @@ let repl sess =
           if String.contains line ';' then begin
             let stmt = Buffer.contents buffer in
             Buffer.clear buffer;
-            run_input sess stmt
+            ignore (run_input sess stmt : bool)
           end;
           loop ()
         end
@@ -106,7 +112,8 @@ let () =
       let len = in_channel_length ic in
       let content = really_input_string ic len in
       close_in ic;
-      run_input sess content
+      (* script mode: stop at the first failed statement, exit non-zero *)
+      if not (run_input sess content) then exit 1
   | _ ->
       prerr_endline "usage: mmdb_shell [script.sql | --demo]";
       exit 2

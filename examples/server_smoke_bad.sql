@@ -1,0 +1,4 @@
+-- A script that must fail: the smoke test asserts a non-zero exit code
+-- and that the first error stops execution.
+SELECT * FROM Nope;
+INSERT INTO AlsoNeverReached VALUES (1);

@@ -7,6 +7,9 @@ type literal =
   | L_string of string
   | L_bool of bool
   | L_null
+  | L_param of int
+      (** a [?] placeholder, numbered left-to-right from 0; bound by
+          {!substitute_params} before execution *)
 
 type col_type =
   | CT_int
@@ -80,3 +83,57 @@ type stmt =
   | Begin_txn
   | Commit_txn
   | Rollback_txn
+
+(* --- prepared-statement parameters ----------------------------------- *)
+
+let map_condition f = function
+  | C_eq (c, l) -> C_eq (c, f l)
+  | C_gt (c, l) -> C_gt (c, f l)
+  | C_between (c, lo, hi) -> C_between (c, f lo, f hi)
+
+let map_select f s = { s with sel_where = List.map (map_condition f) s.sel_where }
+
+(** Apply [f] to every literal position of a statement. *)
+let map_literals f = function
+  | Insert { table; values } -> Insert { table; values = List.map f values }
+  | Update { table; assignments; where_ } ->
+      Update
+        {
+          table;
+          assignments = List.map (fun (c, l) -> (c, f l)) assignments;
+          where_ = List.map (map_condition f) where_;
+        }
+  | Delete { table; where_ } ->
+      Delete { table; where_ = List.map (map_condition f) where_ }
+  | Select s -> Select (map_select f s)
+  | Explain s -> Explain (map_select f s)
+  | ( Create_table _ | Create_index _ | Show_tables | Describe _ | Begin_txn
+    | Commit_txn | Rollback_txn ) as s ->
+      s
+
+(** Number of [?] placeholders a statement binds (placeholders are numbered
+    densely in parse order, so this is [max index + 1]). *)
+let param_count stmt =
+  let n = ref 0 in
+  let probe l =
+    (match l with L_param i -> n := max !n (i + 1) | _ -> ());
+    l
+  in
+  ignore (map_literals probe stmt);
+  !n
+
+(** Bind the [?] placeholders of [stmt] to [params], left to right.  Errors
+    when too few or too many values are supplied. *)
+let substitute_params stmt params =
+  let params = Array.of_list params in
+  let supplied = Array.length params in
+  let wanted = param_count stmt in
+  if supplied <> wanted then
+    Error
+      (Printf.sprintf "statement has %d parameter(s) but %d value(s) supplied"
+         wanted supplied)
+  else
+    Ok
+      (map_literals
+         (function L_param i -> params.(i) | l -> l)
+         stmt)

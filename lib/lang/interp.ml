@@ -19,12 +19,20 @@ type session = {
   mutable current : Mmdb_txn.Txn.txn option;
 }
 
-let session db =
-  let mgr = Mmdb_txn.Txn.create_manager () in
+(* Passing [?mgr] lets several sessions share one transaction manager (and
+   thus one lock table), which is what the network server needs: each
+   connection gets its own session, but conflicting transactions must see
+   each other's locks.  Registering an already-known relation is a no-op. *)
+let session ?mgr db =
+  let mgr =
+    match mgr with Some m -> m | None -> Mmdb_txn.Txn.create_manager ()
+  in
   List.iter
     (fun rel -> ignore (Mmdb_txn.Txn.add_relation mgr rel))
     (Db.relations db);
   { db; mgr; current = None }
+
+let manager s = s.mgr
 
 let in_txn s = s.current <> None
 
@@ -36,6 +44,9 @@ let value_of_literal = function
   | Ast.L_string s -> Value.Str s
   | Ast.L_bool b -> Value.Bool b
   | Ast.L_null -> Value.Null
+  | Ast.L_param _ ->
+      (* [exec] rejects statements with unbound parameters up front *)
+      invalid_arg "unbound ? parameter"
 
 let type_of_ast = function
   | Ast.CT_int -> Schema.T_int
@@ -374,6 +385,11 @@ let run_txn_update mgr t db ~table ~assignments ~where_ =
 
 let exec sess stmt =
   let db = sess.db in
+  if Ast.param_count stmt > 0 then
+    Error
+      "statement has unbound ? parameters (bind them with \
+       Ast.substitute_params, or PREPARE/EXEC over the wire)"
+  else
   match stmt with
   | Ast.Begin_txn ->
       if in_txn sess then Error "a transaction is already active"

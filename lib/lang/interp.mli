@@ -14,13 +14,22 @@ type session
     state; [ROLLBACK] needs no undo).  Outside a transaction every
     statement auto-commits. *)
 
-val session : Mmdb_core.Db.t -> session
+val session : ?mgr:Mmdb_txn.Txn.manager -> Mmdb_core.Db.t -> session
 (** Wrap a catalog; its current relations are registered with the
-    transaction manager, as are tables created later through {!exec}. *)
+    transaction manager, as are tables created later through {!exec}.
+    Passing [?mgr] makes several sessions share one transaction manager
+    (hence one lock table) — required when concurrent sessions operate on
+    the same catalog, e.g. under the network server. *)
+
+val manager : session -> Mmdb_txn.Txn.manager
+(** The session's transaction manager (for sharing via [session ?mgr]). *)
 
 val in_txn : session -> bool
 
 val exec : session -> Ast.stmt -> (outcome, string) result
+(** Execute one statement.  Statements still containing unbound [?]
+    parameters are rejected — bind them with {!Ast.substitute_params}
+    first. *)
 
 val exec_string : session -> string -> (outcome list, string) result
 (** Parse and run a whole script, stopping at the first error. *)

@@ -18,6 +18,7 @@ type token =
   | Eq
   | Gt
   | Lt
+  | Qmark  (** [?]: a prepared-statement parameter placeholder *)
   | Eof
 
 exception Error of string
@@ -36,6 +37,7 @@ let pp_token ppf = function
   | Eq -> Fmt.string ppf "'='"
   | Gt -> Fmt.string ppf "'>'"
   | Lt -> Fmt.string ppf "'<'"
+  | Qmark -> Fmt.string ppf "'?'"
   | Eof -> Fmt.string ppf "end of input"
 
 let is_ident_start c =
@@ -73,6 +75,7 @@ let tokenize input =
       | '=' -> emit Eq; lex (i + 1)
       | '>' -> emit Gt; lex (i + 1)
       | '<' -> emit Lt; lex (i + 1)
+      | '?' -> emit Qmark; lex (i + 1)
       | '\'' ->
           let buf = Buffer.create 16 in
           let rec str j =

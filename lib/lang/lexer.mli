@@ -18,6 +18,7 @@ type token =
   | Eq
   | Gt
   | Lt
+  | Qmark  (** [?]: a prepared-statement parameter placeholder *)
   | Eof
 
 exception Error of string

@@ -21,6 +21,8 @@
     conds := cond (AND cond)*
     cond := col '=' literal | col '>' literal
           | col BETWEEN literal AND literal
+    literal := INT | FLOAT | STRING | TRUE | FALSE | NULL
+             | '?'                  (prepared-statement placeholder)
     structure := TTREE | AVL | BTREE | ARRAY | CHAINED_HASH
                | EXTENDIBLE_HASH | LINEAR_HASH | MOD_LINEAR_HASH
     method := NESTED_LOOPS | HASH | TREE | SORT_MERGE | TREE_MERGE
@@ -29,7 +31,9 @@
 
 exception Parse_error of string
 
-type state = { mutable tokens : Lexer.token list }
+(* [n_params] numbers '?' placeholders left-to-right across one [parse]
+   call; see {!Ast.substitute_params}. *)
+type state = { mutable tokens : Lexer.token list; mutable n_params : int }
 
 let fail fmt = Fmt.kstr (fun msg -> raise (Parse_error msg)) fmt
 
@@ -71,6 +75,10 @@ let accept_kw st kw =
 
 let literal st =
   match next st with
+  | Lexer.Qmark ->
+      let i = st.n_params in
+      st.n_params <- i + 1;
+      Ast.L_param i
   | Lexer.Int n -> Ast.L_int n
   | Lexer.Float f -> Ast.L_float f
   | Lexer.String s -> Ast.L_string s
@@ -283,7 +291,7 @@ let parse input =
   match Lexer.tokenize input with
   | exception Lexer.Error msg -> Error ("lexical error: " ^ msg)
   | tokens -> (
-      let st = { tokens } in
+      let st = { tokens; n_params = 0 } in
       let rec stmts acc =
         match peek st with
         | Lexer.Eof -> List.rev acc

@@ -21,6 +21,8 @@
     conds := cond (AND cond)*
     cond := col '=' literal | col '>' literal
           | col BETWEEN literal AND literal
+    literal := INT | FLOAT | STRING | TRUE | FALSE | NULL
+             | '?'                  (prepared-statement placeholder)
     structure := TTREE | AVL | BTREE | ARRAY | CHAINED_HASH
                | EXTENDIBLE_HASH | LINEAR_HASH | MOD_LINEAR_HASH
     method := NESTED_LOOPS | HASH | TREE | SORT_MERGE | TREE_MERGE

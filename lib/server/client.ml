@@ -1,0 +1,173 @@
+(* Blocking client for the mmdb wire protocol.
+
+   One request in flight at a time: [request] writes a frame, then reads
+   responses until a non-[Notice] arrives (notices are out-of-band and
+   handed to [on_notice]).  Used by [bin/mmdb_client], the load
+   generator, and the end-to-end tests. *)
+
+open Mmdb_storage
+
+type t = {
+  fd : Unix.file_descr;
+  on_notice : string -> unit;
+  mutable closed : bool;
+}
+
+let ignore_sigpipe () =
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ()
+
+(* Connect and wait for the server's verdict: the greeting [Notice] on
+   admission, [Busy] when the connection limit is hit. *)
+let connect ?(on_notice = fun _ -> ()) ~host ~port () =
+  ignore_sigpipe ();
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  match
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+  with
+  | exception e ->
+      (try Unix.close fd with _ -> ());
+      Error
+        (Printf.sprintf "cannot connect to %s:%d: %s" host port
+           (match e with
+           | Unix.Unix_error (err, _, _) -> Unix.error_message err
+           | e -> Printexc.to_string e))
+  | () -> (
+      match Protocol.read_frame ~max_frame:Protocol.max_response_frame fd with
+      | Error _ ->
+          (try Unix.close fd with _ -> ());
+          Error "connection closed before greeting"
+      | Ok payload -> (
+          match Protocol.decode_response payload with
+          | Ok (Protocol.Notice greeting) ->
+              on_notice greeting;
+              Ok { fd; on_notice; closed = false }
+          | Ok (Protocol.Busy msg) ->
+              (try Unix.close fd with _ -> ());
+              Error ("server busy: " ^ msg)
+          | Ok _ | Error _ ->
+              (try Unix.close fd with _ -> ());
+              Error "unexpected greeting from server"))
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with _ -> ()
+  end
+
+(* Read until a non-notice response. *)
+let rec read_reply t =
+  match Protocol.read_frame ~max_frame:Protocol.max_response_frame t.fd with
+  | Error `Eof -> Error "server closed the connection"
+  | Error (`Oversized n) ->
+      Error (Printf.sprintf "response frame of %d bytes exceeds client limit" n)
+  | Error (`Malformed m) -> Error ("malformed response: " ^ m)
+  | Ok payload -> (
+      match Protocol.decode_response payload with
+      | Error m -> Error ("undecodable response: " ^ m)
+      | Ok (Protocol.Notice m) ->
+          t.on_notice m;
+          read_reply t
+      | Ok resp -> Ok resp)
+
+let request t req : (Protocol.response, string) result =
+  if t.closed then Error "client is closed"
+  else
+    match Protocol.write_frame t.fd (Protocol.encode_request req) with
+    | exception Unix.Unix_error (e, _, _) ->
+        Error ("send failed: " ^ Unix.error_message e)
+    | () -> read_reply t
+
+let query t sql = request t (Protocol.Query sql)
+
+let prepare t sql =
+  match request t (Protocol.Prepare sql) with
+  | Ok (Protocol.Prepared { id; n_params }) -> Ok (id, n_params)
+  | Ok (Protocol.Error (code, msg)) ->
+      Error (Printf.sprintf "%s: %s" (Protocol.err_code_name code) msg)
+  | Ok _ -> Error "unexpected response to PREPARE"
+  | Error m -> Error m
+
+let exec_prepared t id (params : Value.t list) =
+  request t (Protocol.Exec_prepared { id; params })
+
+let ping t =
+  match request t Protocol.Ping with
+  | Ok Protocol.Pong -> Ok ()
+  | Ok _ -> Error "unexpected response to PING"
+  | Error m -> Error m
+
+let status t =
+  match request t Protocol.Status with
+  | Ok (Protocol.Status_text s) -> Ok s
+  | Ok _ -> Error "unexpected response to STATUS"
+  | Error m -> Error m
+
+let quit t =
+  let r =
+    match request t Protocol.Quit with
+    | Ok Protocol.Bye | Error _ -> Ok ()
+    | Ok _ -> Ok ()
+  in
+  close t;
+  r
+
+(* Split a script into statements on [;], honouring single-quoted strings
+   (with [''] escapes) and [--] line comments — the same lexical rules as
+   {!Mmdb_lang.Lexer}.  Statements are returned without the terminating
+   semicolon; blank/comment-only segments are dropped. *)
+let split_statements text =
+  let n = String.length text in
+  let out = ref [] in
+  let buf = Buffer.create 128 in
+  let flush_stmt () =
+    let s = String.trim (Buffer.contents buf) in
+    Buffer.clear buf;
+    let only_comments =
+      (* a segment of blank lines and full-line comments is not a stmt *)
+      String.split_on_char '\n' s
+      |> List.for_all (fun line ->
+             let line = String.trim line in
+             line = ""
+             || String.length line >= 2
+                && line.[0] = '-'
+                && line.[1] = '-')
+    in
+    if s <> "" && not only_comments then out := s :: !out
+  in
+  let rec go i state =
+    if i >= n then flush_stmt ()
+    else
+      let c = text.[i] in
+      match state with
+      | `Plain ->
+          if c = ';' then begin
+            flush_stmt ();
+            go (i + 1) `Plain
+          end
+          else if c = '\'' then begin
+            Buffer.add_char buf c;
+            go (i + 1) `Quoted
+          end
+          else if c = '-' && i + 1 < n && text.[i + 1] = '-' then begin
+            Buffer.add_string buf "--";
+            go (i + 2) `Comment
+          end
+          else begin
+            Buffer.add_char buf c;
+            go (i + 1) `Plain
+          end
+      | `Quoted ->
+          Buffer.add_char buf c;
+          if c = '\'' then
+            if i + 1 < n && text.[i + 1] = '\'' then begin
+              Buffer.add_char buf '\'';
+              go (i + 2) `Quoted
+            end
+            else go (i + 1) `Plain
+          else go (i + 1) `Quoted
+      | `Comment ->
+          Buffer.add_char buf c;
+          if c = '\n' then go (i + 1) `Plain else go (i + 1) `Comment
+  in
+  go 0 `Plain;
+  List.rev !out

@@ -1,0 +1,42 @@
+(** Blocking client for the mmdb wire protocol.
+
+    One request in flight at a time; out-of-band server [Notice]s are
+    handed to [on_notice] instead of being returned. *)
+
+open Mmdb_storage
+
+type t
+
+val connect :
+  ?on_notice:(string -> unit) ->
+  host:string ->
+  port:int ->
+  unit ->
+  (t, string) result
+(** Connect and consume the server's greeting.  [Error] on refusal
+    (connection limit), connect failure, or a garbled greeting. *)
+
+val close : t -> unit
+
+val request : t -> Protocol.request -> (Protocol.response, string) result
+(** [Error] means the transport failed (the connection is unusable);
+    server-side failures arrive as [Ok (Protocol.Error _)]. *)
+
+val query : t -> string -> (Protocol.response, string) result
+
+val prepare : t -> string -> (int * int, string) result
+(** Returns [(statement_id, n_params)]. *)
+
+val exec_prepared :
+  t -> int -> Value.t list -> (Protocol.response, string) result
+
+val ping : t -> (unit, string) result
+val status : t -> (string, string) result
+
+val quit : t -> (unit, string) result
+(** Send QUIT and close the socket (best-effort, never fails hard). *)
+
+val split_statements : string -> string list
+(** Split a script on [;] honouring single-quoted strings (with ['']
+    escapes) and [--] line comments.  Blank and comment-only segments
+    are dropped; the terminating semicolon is not included. *)

@@ -1,0 +1,179 @@
+(* The single-executor serialization point.
+
+   INVARIANT: the storage layer (Db / Relation / Txn and everything under
+   them) is NOT thread-safe.  After [create], every touch of the shared
+   database must happen inside a job submitted here: jobs run one at a
+   time, in submission order, on one dedicated executor domain.  Session
+   threads only do socket I/O and protocol work.
+
+   Timeouts never interrupt a running job (OCaml offers no safe
+   preemption of a mutating storage operation); instead the waiter gives
+   up ([await] returns [`Timeout]), marks the promise abandoned, and the
+   executor either skips the job (not started yet) or discards its result
+   (already running).  Because jobs are serial, a session's follow-up
+   jobs queue strictly after its abandoned ones — which is what makes
+   connection cleanup safe (the final rollback job is guaranteed to run
+   after everything the session ever submitted).
+
+   Completion is signalled two ways: a condition variable (for untimed
+   waits) and an optional notify pipe, because OCaml's [Condition] has no
+   timed wait — timed waiters [select] on the pipe instead. *)
+
+type 'a outcome = Value of 'a | Raised of exn
+
+type 'a promise = {
+  pm : Mutex.t;
+  pc : Condition.t;
+  mutable result : 'a outcome option;
+  mutable abandoned : bool;
+  notify : Unix.file_descr option;  (* write end of the waiter's pipe *)
+}
+
+type t = {
+  m : Mutex.t;
+  c : Condition.t;
+  jobs : (unit -> unit) Queue.t;
+  mutable stopped : bool;
+  mutable runner : unit Domain.t option;
+}
+
+let run_loop t =
+  let rec loop () =
+    Mutex.lock t.m;
+    while Queue.is_empty t.jobs && not t.stopped do
+      Condition.wait t.c t.m
+    done;
+    if Queue.is_empty t.jobs then Mutex.unlock t.m (* stopped and drained *)
+    else begin
+      let job = Queue.pop t.jobs in
+      Mutex.unlock t.m;
+      job ();
+      loop ()
+    end
+  in
+  loop ()
+
+let create () =
+  let t =
+    {
+      m = Mutex.create ();
+      c = Condition.create ();
+      jobs = Queue.create ();
+      stopped = false;
+      runner = None;
+    }
+  in
+  t.runner <- Some (Domain.spawn (fun () -> run_loop t));
+  t
+
+let poke p =
+  match p.notify with
+  | None -> ()
+  | Some fd -> ( try ignore (Unix.write_substring fd "!" 0 1) with _ -> ())
+
+let submit t ?notify f =
+  let p =
+    {
+      pm = Mutex.create ();
+      pc = Condition.create ();
+      result = None;
+      abandoned = false;
+      notify;
+    }
+  in
+  let job () =
+    Mutex.lock p.pm;
+    let skip = p.abandoned in
+    Mutex.unlock p.pm;
+    if not skip then begin
+      let r = try Value (f ()) with e -> Raised e in
+      Mutex.lock p.pm;
+      p.result <- Some r;
+      Condition.broadcast p.pc;
+      Mutex.unlock p.pm;
+      poke p
+    end
+    else begin
+      (* resolve skipped jobs so untimed waiters cannot hang *)
+      Mutex.lock p.pm;
+      p.result <- Some (Raised (Failure "abandoned before execution"));
+      Condition.broadcast p.pc;
+      Mutex.unlock p.pm;
+      poke p
+    end
+  in
+  Mutex.lock t.m;
+  if t.stopped then begin
+    Mutex.unlock t.m;
+    Mutex.lock p.pm;
+    p.result <- Some (Raised (Failure "executor stopped"));
+    Mutex.unlock p.pm
+  end
+  else begin
+    Queue.push job t.jobs;
+    Condition.signal t.c;
+    Mutex.unlock t.m
+  end;
+  p
+
+let peek p =
+  Mutex.lock p.pm;
+  let r = p.result in
+  Mutex.unlock p.pm;
+  match r with
+  | None -> None
+  | Some (Value v) -> Some (Ok v)
+  | Some (Raised e) -> Some (Error e)
+
+let abandon p =
+  Mutex.lock p.pm;
+  p.abandoned <- true;
+  Mutex.unlock p.pm
+
+(* Block until the job resolves (no timeout). *)
+let wait p =
+  Mutex.lock p.pm;
+  while p.result = None do
+    Condition.wait p.pc p.pm
+  done;
+  let r = p.result in
+  Mutex.unlock p.pm;
+  match r with
+  | Some (Value v) -> Ok v
+  | Some (Raised e) -> Error e
+  | None -> assert false
+
+(* Wait with a deadline, selecting on [wakeup] (the read end of the pipe
+   whose write end was passed as [?notify] to {!submit}).  Spurious bytes
+   from earlier abandoned jobs on the same pipe are drained and ignored. *)
+let await p ~wakeup ~deadline =
+  let drain_buf = Bytes.create 16 in
+  let rec go () =
+    match peek p with
+    | Some r -> `Done r
+    | None ->
+        let now = Unix.gettimeofday () in
+        if now >= deadline then `Timeout
+        else begin
+          let span = Float.min 0.25 (deadline -. now) in
+          (match Unix.select [ wakeup ] [] [] span with
+          | [ _ ], _, _ -> (
+              try ignore (Unix.read wakeup drain_buf 0 16) with _ -> ())
+          | _ -> ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          go ()
+        end
+  in
+  go ()
+
+(* Drain the queue, then stop and join the executor domain. *)
+let stop t =
+  Mutex.lock t.m;
+  t.stopped <- true;
+  Condition.broadcast t.c;
+  Mutex.unlock t.m;
+  match t.runner with
+  | None -> ()
+  | Some d ->
+      t.runner <- None;
+      Domain.join d

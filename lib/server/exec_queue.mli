@@ -1,0 +1,47 @@
+(** The single-executor serialization point.
+
+    INVARIANT: the storage layer (Db / Relation / Txn and everything
+    under them) is not thread-safe.  Every touch of the shared database
+    must happen inside a job submitted here — jobs run one at a time, in
+    submission order, on one dedicated executor domain.
+
+    Timeouts never interrupt a running job: the waiter gives up and
+    {!abandon}s the promise, and the executor either skips the job (not
+    yet started) or discards its result.  Serial order is what makes
+    session teardown safe: a cleanup job submitted last is guaranteed to
+    run after everything else that session ever queued. *)
+
+type 'a promise
+
+type t
+
+val create : unit -> t
+(** Spawn the executor domain. *)
+
+val submit : t -> ?notify:Unix.file_descr -> (unit -> 'a) -> 'a promise
+(** Queue a job.  When it resolves, one byte is written to [notify] (if
+    given) so a timed waiter selecting on the pipe's read end wakes up.
+    After {!stop}, jobs resolve immediately with [Error]. *)
+
+val peek : 'a promise -> ('a, exn) result option
+(** Non-blocking: [None] while the job is queued or running. *)
+
+val abandon : 'a promise -> unit
+(** Give up on the job: skipped if unstarted, result discarded if
+    running.  The job still resolves (waiters never hang). *)
+
+val wait : 'a promise -> ('a, exn) result
+(** Block without a deadline until the job resolves. *)
+
+val await :
+  'a promise ->
+  wakeup:Unix.file_descr ->
+  deadline:float ->
+  [ `Done of ('a, exn) result | `Timeout ]
+(** Block until the job resolves or [deadline] (absolute, as from
+    [Unix.gettimeofday]) passes, selecting on [wakeup] — the read end of
+    the pipe whose write end was passed to {!submit}.  Drains spurious
+    wake-up bytes left by earlier abandoned jobs on the same pipe. *)
+
+val stop : t -> unit
+(** Drain the queue, then stop and join the executor domain. *)

@@ -1,0 +1,114 @@
+(* Per-server serving metrics, in the spirit of [Mmdb_util.Counters]:
+   cheap monotonic counters bumped on the hot path, summarized on demand
+   (STATUS request or SIGUSR1).  Latencies go through a bounded
+   [Mmdb_util.Reservoir], so p50/p99 reflect the most recent requests.
+   All access is mutex-guarded: session threads and the accept thread
+   bump concurrently. *)
+
+open Mmdb_util
+
+type t = {
+  m : Mutex.t;
+  mutable accepted : int;  (* connections admitted *)
+  mutable rejected : int;  (* admission-gate refusals (Busy) *)
+  mutable closed : int;  (* sessions torn down *)
+  mutable reaped : int;  (* sessions closed by the idle reaper *)
+  mutable requests : int;  (* requests answered (any outcome) *)
+  mutable errors : int;  (* requests answered with Error *)
+  mutable timeouts : int;  (* per-request timeouts *)
+  mutable conflicts : int;  (* lock-conflict / deadlock errors *)
+  mutable proto_errors : int;  (* malformed frames / requests *)
+  latencies : Reservoir.t;  (* seconds, per answered request *)
+}
+
+let create () =
+  {
+    m = Mutex.create ();
+    accepted = 0;
+    rejected = 0;
+    closed = 0;
+    reaped = 0;
+    requests = 0;
+    errors = 0;
+    timeouts = 0;
+    conflicts = 0;
+    proto_errors = 0;
+    latencies = Reservoir.create ~capacity:4096;
+  }
+
+let locked t f =
+  Mutex.lock t.m;
+  let r = f () in
+  Mutex.unlock t.m;
+  r
+
+let conn_accepted t = locked t (fun () -> t.accepted <- t.accepted + 1)
+let conn_rejected t = locked t (fun () -> t.rejected <- t.rejected + 1)
+
+let conn_closed ?(reaped = false) t =
+  locked t (fun () ->
+      t.closed <- t.closed + 1;
+      if reaped then t.reaped <- t.reaped + 1)
+
+let request t ~latency =
+  locked t (fun () ->
+      t.requests <- t.requests + 1;
+      Reservoir.add t.latencies latency)
+
+let error t = locked t (fun () -> t.errors <- t.errors + 1)
+let timeout t = locked t (fun () -> t.timeouts <- t.timeouts + 1)
+let conflict t = locked t (fun () -> t.conflicts <- t.conflicts + 1)
+let proto_error t = locked t (fun () -> t.proto_errors <- t.proto_errors + 1)
+
+type snapshot = {
+  s_accepted : int;
+  s_rejected : int;
+  s_closed : int;
+  s_reaped : int;
+  s_requests : int;
+  s_errors : int;
+  s_timeouts : int;
+  s_conflicts : int;
+  s_proto_errors : int;
+  s_lat_n : int;
+  s_p50_ms : float option;
+  s_p99_ms : float option;
+  s_max_ms : float option;
+}
+
+let snapshot t =
+  locked t (fun () ->
+      let ms = Option.map (fun s -> s *. 1000.0) in
+      {
+        s_accepted = t.accepted;
+        s_rejected = t.rejected;
+        s_closed = t.closed;
+        s_reaped = t.reaped;
+        s_requests = t.requests;
+        s_errors = t.errors;
+        s_timeouts = t.timeouts;
+        s_conflicts = t.conflicts;
+        s_proto_errors = t.proto_errors;
+        s_lat_n = Reservoir.total t.latencies;
+        s_p50_ms = ms (Reservoir.percentile t.latencies 50.0);
+        s_p99_ms = ms (Reservoir.percentile t.latencies 99.0);
+        s_max_ms = ms (Reservoir.max_sample t.latencies);
+      })
+
+let render t ~active =
+  let s = snapshot t in
+  let pct = function
+    | None -> "-"
+    | Some v -> Printf.sprintf "%.3fms" v
+  in
+  String.concat "\n"
+    [
+      Printf.sprintf
+        "connections: active=%d accepted=%d rejected=%d closed=%d idle_reaped=%d"
+        active s.s_accepted s.s_rejected s.s_closed s.s_reaped;
+      Printf.sprintf
+        "requests:    total=%d errors=%d timeouts=%d conflicts=%d protocol_errors=%d"
+        s.s_requests s.s_errors s.s_timeouts s.s_conflicts s.s_proto_errors;
+      Printf.sprintf "latency:     samples=%d p50=%s p99=%s max=%s" s.s_lat_n
+        (pct s.s_p50_ms) (pct s.s_p99_ms) (pct s.s_max_ms);
+    ]

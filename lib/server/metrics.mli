@@ -1,0 +1,42 @@
+(** Serving metrics: mutex-guarded counters bumped on the hot path,
+    summarized on demand (STATUS request, SIGUSR1 dump).  Latency
+    percentiles come from a bounded sliding window
+    ({!Mmdb_util.Reservoir}), so p50/p99 reflect recent requests. *)
+
+type t
+
+val create : unit -> t
+
+val conn_accepted : t -> unit
+val conn_rejected : t -> unit
+val conn_closed : ?reaped:bool -> t -> unit
+
+val request : t -> latency:float -> unit
+(** One answered request; [latency] in seconds. *)
+
+val error : t -> unit
+val timeout : t -> unit
+val conflict : t -> unit
+val proto_error : t -> unit
+
+type snapshot = {
+  s_accepted : int;
+  s_rejected : int;
+  s_closed : int;
+  s_reaped : int;
+  s_requests : int;
+  s_errors : int;
+  s_timeouts : int;
+  s_conflicts : int;
+  s_proto_errors : int;
+  s_lat_n : int;  (** latency samples recorded over the server's life *)
+  s_p50_ms : float option;
+  s_p99_ms : float option;
+  s_max_ms : float option;
+}
+
+val snapshot : t -> snapshot
+
+val render : t -> active:int -> string
+(** Three-line human-readable summary (connections / requests /
+    latency); [active] is the current live-session count. *)

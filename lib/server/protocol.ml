@@ -1,0 +1,380 @@
+(* The mmdb wire protocol: length-prefixed binary frames over TCP.
+
+   Frame layout:
+
+     +----------------+-----+---------------------+
+     | u32 BE length  | tag |       payload       |
+     +----------------+-----+---------------------+
+
+   [length] counts the tag byte plus the payload, so it is always >= 1.
+   A length of zero or one exceeding the receiver's frame limit is a
+   protocol violation; the receiver answers with a [Proto] error and drops
+   the connection (there is no way to resynchronize a corrupt length).
+   A bad tag or a short payload inside a well-delimited frame only fails
+   that one request — framing is intact, so the connection survives.
+
+   Integers are 8-byte big-endian two's complement; floats are IEEE-754
+   bits, big-endian; strings are u32 length + bytes.  Values carry a
+   one-byte type tag ('N' null, 'B' bool, 'I' int, 'F' float, 'S'
+   string).  Tuple-pointer values ([Value.Ref]/[Refs]) never cross the
+   wire — the server renders them to strings first, since a pointer is
+   meaningless outside the server's address space. *)
+
+open Mmdb_storage
+
+(* Requests larger than this are rejected per-connection.  Responses
+   (result sets) may legitimately be bigger, so clients read with the
+   larger limit. *)
+let max_frame_default = 4 * 1024 * 1024
+let max_response_frame = 64 * 1024 * 1024
+
+type err_code =
+  | Parse  (** the statement did not lex/parse *)
+  | Exec  (** execution failed (unknown relation, unique violation, ...) *)
+  | Conflict  (** lock conflict or deadlock inside BEGIN — retry the txn *)
+  | Timeout  (** the per-request timeout elapsed; result discarded *)
+  | Proto  (** malformed frame or request *)
+  | Shutdown  (** server is shutting down *)
+
+let err_code_to_byte = function
+  | Parse -> 1
+  | Exec -> 2
+  | Conflict -> 3
+  | Timeout -> 4
+  | Proto -> 5
+  | Shutdown -> 6
+
+let err_code_of_byte = function
+  | 1 -> Some Parse
+  | 2 -> Some Exec
+  | 3 -> Some Conflict
+  | 4 -> Some Timeout
+  | 5 -> Some Proto
+  | 6 -> Some Shutdown
+  | _ -> None
+
+let err_code_name = function
+  | Parse -> "parse"
+  | Exec -> "exec"
+  | Conflict -> "conflict"
+  | Timeout -> "timeout"
+  | Proto -> "protocol"
+  | Shutdown -> "shutdown"
+
+type request =
+  | Query of string  (** one or more statements; reply reflects the last *)
+  | Prepare of string  (** exactly one statement, [?] placeholders allowed *)
+  | Exec_prepared of { id : int; params : Value.t list }
+  | Ping
+  | Cancel  (** abandon the session's queued-but-unstarted work *)
+  | Quit
+  | Status  (** server metrics snapshot *)
+
+type response =
+  | Results of { columns : string list; rows : Value.t array list }
+  | Message of string  (** DDL/DML acknowledgements, EXPLAIN text *)
+  | Prepared of { id : int; n_params : int }
+  | Error of err_code * string
+  | Busy of string  (** admission control: connection not accepted *)
+  | Pong
+  | Bye
+  | Notice of string  (** out-of-band server notice *)
+  | Status_text of string
+
+(* --- encoding --------------------------------------------------------- *)
+
+let put_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+let put_u16 b v =
+  put_u8 b (v lsr 8);
+  put_u8 b v
+
+let put_u32 b v =
+  put_u16 b (v lsr 16);
+  put_u16 b v
+
+let put_i64_bits b (v : Int64.t) =
+  for byte = 7 downto 0 do
+    put_u8 b (Int64.to_int (Int64.shift_right_logical v (byte * 8)) land 0xff)
+  done
+
+let put_i64 b v = put_i64_bits b (Int64.of_int v)
+
+let put_str b s =
+  put_u32 b (String.length s);
+  Buffer.add_string b s
+
+let put_value b (v : Value.t) =
+  match v with
+  | Value.Null -> Buffer.add_char b 'N'
+  | Value.Bool x ->
+      Buffer.add_char b 'B';
+      put_u8 b (if x then 1 else 0)
+  | Value.Int x ->
+      Buffer.add_char b 'I';
+      put_i64 b x
+  | Value.Float x ->
+      Buffer.add_char b 'F';
+      put_i64_bits b (Int64.bits_of_float x)
+  | Value.Str s ->
+      Buffer.add_char b 'S';
+      put_str b s
+  | Value.Ref _ | Value.Refs _ ->
+      (* pointers are rendered server-side; defensively stringify *)
+      Buffer.add_char b 'S';
+      put_str b (Value.to_string v)
+
+let encode_payload f =
+  let b = Buffer.create 64 in
+  f b;
+  Buffer.contents b
+
+(* Prefix a payload (tag + body) with its u32 length. *)
+let frame payload =
+  let b = Buffer.create (4 + String.length payload) in
+  put_u32 b (String.length payload);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+let encode_request req =
+  frame
+    (encode_payload (fun b ->
+         match req with
+         | Query sql ->
+             Buffer.add_char b 'Q';
+             Buffer.add_string b sql
+         | Prepare sql ->
+             Buffer.add_char b 'P';
+             Buffer.add_string b sql
+         | Exec_prepared { id; params } ->
+             Buffer.add_char b 'E';
+             put_u32 b id;
+             put_u16 b (List.length params);
+             List.iter (put_value b) params
+         | Ping -> Buffer.add_char b 'p'
+         | Cancel -> Buffer.add_char b 'C'
+         | Quit -> Buffer.add_char b 'X'
+         | Status -> Buffer.add_char b 'S'))
+
+let encode_response resp =
+  frame
+    (encode_payload (fun b ->
+         match resp with
+         | Results { columns; rows } ->
+             Buffer.add_char b 'R';
+             put_u16 b (List.length columns);
+             List.iter (put_str b) columns;
+             put_u32 b (List.length rows);
+             List.iter
+               (fun row ->
+                 put_u16 b (Array.length row);
+                 Array.iter (put_value b) row)
+               rows
+         | Message m ->
+             Buffer.add_char b 'M';
+             Buffer.add_string b m
+         | Prepared { id; n_params } ->
+             Buffer.add_char b 'r';
+             put_u32 b id;
+             put_u16 b n_params
+         | Error (code, msg) ->
+             Buffer.add_char b '!';
+             put_u8 b (err_code_to_byte code);
+             Buffer.add_string b msg
+         | Busy m ->
+             Buffer.add_char b 'b';
+             Buffer.add_string b m
+         | Pong -> Buffer.add_char b 'o'
+         | Bye -> Buffer.add_char b 'B'
+         | Notice m ->
+             Buffer.add_char b 'n';
+             Buffer.add_string b m
+         | Status_text m ->
+             Buffer.add_char b 't';
+             Buffer.add_string b m))
+
+(* --- decoding --------------------------------------------------------- *)
+
+exception Malformed of string
+
+type cursor = { buf : string; mutable pos : int }
+
+let need c n =
+  if c.pos + n > String.length c.buf then raise (Malformed "truncated payload")
+
+let get_u8 c =
+  need c 1;
+  let v = Char.code c.buf.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let get_u16 c =
+  let hi = get_u8 c in
+  (hi lsl 8) lor get_u8 c
+
+let get_u32 c =
+  let hi = get_u16 c in
+  (hi lsl 16) lor get_u16 c
+
+let get_i64_bits c =
+  let v = ref 0L in
+  for _ = 1 to 8 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (get_u8 c))
+  done;
+  !v
+
+let get_i64 c = Int64.to_int (get_i64_bits c)
+
+let get_bytes c n =
+  need c n;
+  let s = String.sub c.buf c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let get_str c =
+  let n = get_u32 c in
+  get_bytes c n
+
+let rest c = get_bytes c (String.length c.buf - c.pos)
+
+let get_value c : Value.t =
+  match Char.chr (get_u8 c) with
+  | 'N' -> Value.Null
+  | 'B' -> Value.Bool (get_u8 c <> 0)
+  | 'I' -> Value.Int (get_i64 c)
+  | 'F' -> Value.Float (Int64.float_of_bits (get_i64_bits c))
+  | 'S' -> Value.Str (get_str c)
+  | t -> raise (Malformed (Printf.sprintf "unknown value tag %C" t))
+
+(* [payload] is the frame body: tag byte + request body. *)
+let decode_request payload =
+  if String.length payload = 0 then Stdlib.Error "empty frame"
+  else
+    let c = { buf = payload; pos = 1 } in
+    try
+      match payload.[0] with
+      | 'Q' -> Ok (Query (rest c))
+      | 'P' -> Ok (Prepare (rest c))
+      | 'E' ->
+          let id = get_u32 c in
+          let n = get_u16 c in
+          let params = List.init n (fun _ -> get_value c) in
+          Ok (Exec_prepared { id; params })
+      | 'p' -> Ok Ping
+      | 'C' -> Ok Cancel
+      | 'X' -> Ok Quit
+      | 'S' -> Ok Status
+      | t -> Stdlib.Error (Printf.sprintf "unknown request tag %C" t)
+    with Malformed m -> Stdlib.Error m
+
+let decode_response payload =
+  if String.length payload = 0 then Stdlib.Error "empty frame"
+  else
+    let c = { buf = payload; pos = 1 } in
+    try
+      match payload.[0] with
+      | 'R' ->
+          let n_cols = get_u16 c in
+          let columns = List.init n_cols (fun _ -> get_str c) in
+          let n_rows = get_u32 c in
+          let rows =
+            List.init n_rows (fun _ ->
+                let arity = get_u16 c in
+                Array.init arity (fun _ -> get_value c))
+          in
+          Ok (Results { columns; rows })
+      | 'M' -> Ok (Message (rest c))
+      | 'r' ->
+          let id = get_u32 c in
+          let n_params = get_u16 c in
+          Ok (Prepared { id; n_params })
+      | '!' -> (
+          let byte = get_u8 c in
+          match err_code_of_byte byte with
+          | Some code -> Ok (Error (code, rest c))
+          | None -> Stdlib.Error (Printf.sprintf "unknown error code %d" byte))
+      | 'b' -> Ok (Busy (rest c))
+      | 'o' -> Ok Pong
+      | 'B' -> Ok Bye
+      | 'n' -> Ok (Notice (rest c))
+      | 't' -> Ok (Status_text (rest c))
+      | t -> Stdlib.Error (Printf.sprintf "unknown response tag %C" t)
+    with Malformed m -> Stdlib.Error m
+
+(* --- socket I/O ------------------------------------------------------- *)
+
+type read_error =
+  [ `Eof  (** clean close at a frame boundary *)
+  | `Oversized of int  (** announced length exceeds the limit *)
+  | `Malformed of string  (** mid-frame disconnect or zero length *) ]
+
+let rec write_all fd s ofs len =
+  if len > 0 then begin
+    let n = Unix.write_substring fd s ofs len in
+    write_all fd s (ofs + n) (len - n)
+  end
+
+let write_frame fd payload_frame =
+  write_all fd payload_frame 0 (String.length payload_frame)
+
+(* Read exactly [len] bytes; [None] on EOF before the first byte, raises
+   [Malformed] on EOF part-way through. *)
+let read_exact fd len ~what =
+  let buf = Bytes.create len in
+  let rec go ofs =
+    if ofs >= len then Some (Bytes.unsafe_to_string buf)
+    else
+      match Unix.read fd buf ofs (len - ofs) with
+      | 0 ->
+          if ofs = 0 then None
+          else raise (Malformed (Printf.sprintf "eof inside %s" what))
+      | n -> go (ofs + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ofs
+  in
+  go 0
+
+let read_frame ?(max_frame = max_frame_default) fd :
+    (string, read_error) result =
+  match read_exact fd 4 ~what:"frame header" with
+  | None -> Stdlib.Error `Eof
+  | Some header -> (
+      let len =
+        (Char.code header.[0] lsl 24)
+        lor (Char.code header.[1] lsl 16)
+        lor (Char.code header.[2] lsl 8)
+        lor Char.code header.[3]
+      in
+      if len = 0 then Stdlib.Error (`Malformed "zero-length frame")
+      else if len > max_frame then Stdlib.Error (`Oversized len)
+      else
+        match read_exact fd len ~what:"frame body" with
+        | None -> Stdlib.Error (`Malformed "eof inside frame body")
+        | Some payload -> Ok payload
+        | exception Malformed m -> Stdlib.Error (`Malformed m)
+        | exception Unix.Unix_error (e, _, _) ->
+            Stdlib.Error (`Malformed (Unix.error_message e)))
+  | exception Malformed m -> Stdlib.Error (`Malformed m)
+  | exception Unix.Unix_error (e, _, _) ->
+      Stdlib.Error (`Malformed (Unix.error_message e))
+
+(* --- rendering (client side; mirrors the shell's output) -------------- *)
+
+let pp_response ppf = function
+  | Results { columns; rows } ->
+      Fmt.pf ppf "@[<v>%a@,"
+        (Fmt.list ~sep:(Fmt.any " | ") Fmt.string)
+        columns;
+      List.iter
+        (fun row ->
+          Fmt.pf ppf "%a@," (Fmt.array ~sep:(Fmt.any " | ") Value.pp) row)
+        rows;
+      Fmt.pf ppf "(%d rows)@]" (List.length rows)
+  | Message m -> Fmt.string ppf m
+  | Prepared { id; n_params } ->
+      Fmt.pf ppf "prepared statement %d (%d parameters)" id n_params
+  | Error (code, msg) -> Fmt.pf ppf "error (%s): %s" (err_code_name code) msg
+  | Busy m -> Fmt.pf ppf "server busy: %s" m
+  | Pong -> Fmt.string ppf "pong"
+  | Bye -> Fmt.string ppf "bye"
+  | Notice m -> Fmt.pf ppf "notice: %s" m
+  | Status_text m -> Fmt.string ppf m

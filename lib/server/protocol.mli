@@ -1,0 +1,72 @@
+(** The mmdb wire protocol: length-prefixed binary frames over TCP.
+
+    Frame = u32 big-endian length, then a tag byte, then the payload;
+    the length counts tag + payload, so it is always >= 1.  A corrupt
+    length (zero, or beyond the receiver's limit) is unrecoverable and
+    costs the connection; a bad payload inside a well-delimited frame
+    only fails that request. *)
+
+open Mmdb_storage
+
+val max_frame_default : int
+(** Request-frame size limit servers enforce per connection. *)
+
+val max_response_frame : int
+(** Larger limit clients read with — result sets can be big. *)
+
+type err_code =
+  | Parse  (** the statement did not lex/parse *)
+  | Exec  (** execution failed (unknown relation, unique violation, ...) *)
+  | Conflict  (** lock conflict or deadlock inside BEGIN — retry the txn *)
+  | Timeout  (** the per-request timeout elapsed; result discarded *)
+  | Proto  (** malformed frame or request *)
+  | Shutdown  (** server is shutting down *)
+
+val err_code_name : err_code -> string
+
+type request =
+  | Query of string  (** one or more statements; reply reflects the last *)
+  | Prepare of string  (** exactly one statement, [?] placeholders allowed *)
+  | Exec_prepared of { id : int; params : Value.t list }
+  | Ping
+  | Cancel  (** abandon the session's queued-but-unstarted work *)
+  | Quit
+  | Status  (** server metrics snapshot *)
+
+type response =
+  | Results of { columns : string list; rows : Value.t array list }
+  | Message of string  (** DDL/DML acknowledgements, EXPLAIN text *)
+  | Prepared of { id : int; n_params : int }
+  | Error of err_code * string
+  | Busy of string  (** admission control: connection not accepted *)
+  | Pong
+  | Bye
+  | Notice of string  (** out-of-band server notice *)
+  | Status_text of string
+
+val encode_request : request -> string
+(** Full frame (length prefix included), ready to write. *)
+
+val encode_response : response -> string
+
+val decode_request : string -> (request, string) result
+(** Decode a frame body (tag + payload, no length prefix). *)
+
+val decode_response : string -> (response, string) result
+
+type read_error =
+  [ `Eof  (** clean close at a frame boundary *)
+  | `Oversized of int  (** announced length exceeds the limit *)
+  | `Malformed of string  (** mid-frame disconnect or zero length *) ]
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Write an encoded frame, handling short writes.  May raise
+    [Unix.Unix_error] (e.g. [EPIPE] on a dead peer). *)
+
+val read_frame :
+  ?max_frame:int -> Unix.file_descr -> (string, read_error) result
+(** Read one frame body.  EOF at a frame boundary is [`Eof]; EOF
+    mid-frame, a zero length or a socket error is [`Malformed]. *)
+
+val pp_response : Format.formatter -> response -> unit
+(** Render a response the way the interactive shell renders outcomes. *)

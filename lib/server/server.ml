@@ -1,0 +1,469 @@
+(* The mmdb network server: TCP front end over the SQL-like language.
+
+   Architecture (see DESIGN.md "Serving layer"):
+
+   - one ACCEPT thread admits connections (admission gate: at most
+     [max_connections] live sessions, refusals answered with a Busy
+     frame);
+   - one HANDLER thread per connection reads frames, decodes requests,
+     and ships statement execution to the executor;
+   - one EXECUTOR domain (see {!Exec_queue}) runs all statements
+     serially — the storage layer is not thread-safe, so the executor is
+     the only place the shared [Db.t] / [Txn.manager] is ever touched
+     after startup;
+   - one REAPER thread shuts down sessions idle past [idle_timeout].
+
+   Result sets are materialized (deep-copied) inside the executor job:
+   temporary lists hold tuple pointers, and another session's DML must
+   not mutate tuples between execution and rendering.
+
+   Per-request timeouts abandon the promise (result discarded, job
+   skipped if not yet started) and answer a Timeout error — a running
+   statement is never interrupted mid-mutation.  Graceful [shutdown]
+   stops admissions, nudges every session off its socket, lets in-flight
+   jobs finish, rolls back open BEGIN blocks, and only then stops the
+   executor. *)
+
+open Mmdb_storage
+open Mmdb_core
+open Mmdb_lang
+
+type config = {
+  host : string;
+  port : int;  (* 0 = ephemeral; read the bound port with {!port} *)
+  max_connections : int;
+  request_timeout : float;  (* seconds; <= 0 disables *)
+  idle_timeout : float;  (* seconds; <= 0 disables reaping *)
+  max_frame : int;  (* request-frame size limit, bytes *)
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 7478;
+    max_connections = 64;
+    request_timeout = 30.0;
+    idle_timeout = 300.0;
+    max_frame = Protocol.max_frame_default;
+  }
+
+type session = Protocol.response Session.t
+
+type t = {
+  cfg : config;
+  db : Db.t;
+  mgr : Mmdb_txn.Txn.manager;
+  exec : Exec_queue.t;
+  metrics : Metrics.t;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  stop_r : Unix.file_descr;  (* self-pipe that wakes the accept loop *)
+  stop_w : Unix.file_descr;
+  m : Mutex.t;  (* guards sessions / handlers / next_sid / state *)
+  sessions : (int, session) Hashtbl.t;
+  mutable handlers : Thread.t list;
+  mutable next_sid : int;
+  mutable shutting_down : bool;
+  mutable accept_thread : Thread.t option;
+  mutable reaper_thread : Thread.t option;
+}
+
+let port t = t.bound_port
+let db t = t.db
+let manager t = t.mgr
+
+let active_sessions t =
+  Mutex.lock t.m;
+  let n = Hashtbl.length t.sessions in
+  Mutex.unlock t.m;
+  n
+
+let metrics_text t =
+  Metrics.render t.metrics ~active:(active_sessions t)
+
+let metrics t = t.metrics
+
+(* --- request handling (handler-thread side) ---------------------------- *)
+
+let send s resp =
+  Protocol.write_frame s.Session.fd (Protocol.encode_response resp)
+
+let try_send s resp = try send s resp with _ -> ()
+
+(* Classify an interpreter error string into a wire error code.  The
+   interpreter renders lock failures through [Txn.pp_failure], so the
+   two concurrency outcomes have stable spellings. *)
+let classify_exec_error msg =
+  let contains needle =
+    let n = String.length needle and m = String.length msg in
+    let rec go i = i + n <= m && (String.sub msg i n = needle || go (i + 1)) in
+    go 0
+  in
+  if contains "would block" || contains "deadlock" then Protocol.Conflict
+  else Protocol.Exec
+
+(* Deep-copy a result row and strip tuple pointers: runs on the executor,
+   while the pointed-to tuples are guaranteed unchanged. *)
+let sanitize_row =
+  Array.map (fun (v : Value.t) ->
+      match v with
+      | Value.Ref _ | Value.Refs _ -> Value.Str (Value.to_string v)
+      | v -> v)
+
+let render_outcome : Interp.outcome -> Protocol.response = function
+  | Interp.Rows tl ->
+      Protocol.Results
+        {
+          columns = Descriptor.labels (Temp_list.descriptor tl);
+          rows = List.map sanitize_row (Temp_list.materialize tl);
+        }
+  | Interp.Table r ->
+      Protocol.Results
+        { columns = r.Aggregate.header; rows = List.map sanitize_row r.Aggregate.rows }
+  | Interp.Message m -> Protocol.Message m
+  | Interp.Plan_text p -> Protocol.Message p
+
+(* Execute parsed statements serially inside one executor job; the reply
+   reflects the last statement (or the first failure). *)
+let exec_stmts_job interp stmts () : Protocol.response =
+  let rec go = function
+    | [] -> Protocol.Message "(nothing to execute)"
+    | [ last ] -> (
+        match Interp.exec interp last with
+        | Ok o -> render_outcome o
+        | Error msg -> Protocol.Error (classify_exec_error msg, msg))
+    | stmt :: rest -> (
+        match Interp.exec interp stmt with
+        | Ok _ -> go rest
+        | Error msg -> Protocol.Error (classify_exec_error msg, msg))
+  in
+  go stmts
+
+(* Ship a job to the executor and wait, honouring the request timeout. *)
+let run_on_executor t (s : session) job : Protocol.response =
+  let p = Exec_queue.submit t.exec ~notify:s.Session.wake_w job in
+  s.Session.pending <- Some p;
+  let result =
+    if t.cfg.request_timeout <= 0.0 then `Done (Exec_queue.wait p)
+    else
+      Exec_queue.await p ~wakeup:s.Session.wake_r
+        ~deadline:(Unix.gettimeofday () +. t.cfg.request_timeout)
+  in
+  s.Session.pending <- None;
+  match result with
+  | `Done (Ok resp) -> resp
+  | `Done (Error exn) ->
+      Protocol.Error
+        (Protocol.Exec, "internal error: " ^ Printexc.to_string exn)
+  | `Timeout ->
+      Exec_queue.abandon p;
+      Metrics.timeout t.metrics;
+      Protocol.Error
+        ( Protocol.Timeout,
+          Printf.sprintf "request exceeded the %.3fs timeout; result discarded"
+            t.cfg.request_timeout )
+
+let interp_of s =
+  match s.Session.interp with
+  | Some i -> i
+  | None -> failwith "session has no interpreter" (* unreachable after open *)
+
+let literal_of_value : Value.t -> Ast.literal = function
+  | Value.Int n -> Ast.L_int n
+  | Value.Float f -> Ast.L_float f
+  | Value.Str s -> Ast.L_string s
+  | Value.Bool b -> Ast.L_bool b
+  | Value.Null | Value.Ref _ | Value.Refs _ -> Ast.L_null
+
+(* Returns [false] when the connection should close. *)
+let handle_request t (s : session) (req : Protocol.request) : bool =
+  let answer resp =
+    (match resp with
+    | Protocol.Error (code, _) ->
+        Metrics.error t.metrics;
+        if code = Protocol.Conflict then Metrics.conflict t.metrics
+    | _ -> ());
+    send s resp;
+    true
+  in
+  match req with
+  | Protocol.Quit ->
+      try_send s Protocol.Bye;
+      false
+  | Protocol.Ping -> answer Protocol.Pong
+  | Protocol.Status -> answer (Protocol.Status_text (metrics_text t))
+  | Protocol.Cancel ->
+      (match s.Session.pending with
+      | Some p -> Exec_queue.abandon p
+      | None -> ());
+      answer (Protocol.Notice "cancel acknowledged (queued work abandoned)")
+  | Protocol.Query sql -> (
+      match Parser.parse sql with
+      | Error msg -> answer (Protocol.Error (Protocol.Parse, msg))
+      | Ok stmts ->
+          answer (run_on_executor t s (exec_stmts_job (interp_of s) stmts)))
+  | Protocol.Prepare sql -> (
+      match Parser.parse sql with
+      | Error msg -> answer (Protocol.Error (Protocol.Parse, msg))
+      | Ok [ stmt ] ->
+          let n_params = Ast.param_count stmt in
+          let id, n_params = Session.register_prepared s stmt ~n_params in
+          answer (Protocol.Prepared { id; n_params })
+      | Ok stmts ->
+          answer
+            (Protocol.Error
+               ( Protocol.Parse,
+                 Printf.sprintf "PREPARE wants exactly one statement, got %d"
+                   (List.length stmts) )))
+  | Protocol.Exec_prepared { id; params } -> (
+      match Session.find_prepared s id with
+      | None ->
+          answer
+            (Protocol.Error
+               (Protocol.Exec, Printf.sprintf "no prepared statement %d" id))
+      | Some (stmt, _) -> (
+          match
+            Ast.substitute_params stmt (List.map literal_of_value params)
+          with
+          | Error msg -> answer (Protocol.Error (Protocol.Exec, msg))
+          | Ok bound ->
+              answer (run_on_executor t s (exec_stmts_job (interp_of s) [ bound ]))))
+
+(* --- connection lifecycle --------------------------------------------- *)
+
+let cleanup t (s : session) =
+  Mutex.lock t.m;
+  Hashtbl.remove t.sessions s.Session.sid;
+  Mutex.unlock t.m;
+  (* Roll back an open BEGIN block.  This job queues after anything the
+     session ever submitted (including abandoned jobs), so once it
+     resolves no executor job can touch this session again. *)
+  (match s.Session.interp with
+  | Some interp ->
+      let p =
+        Exec_queue.submit t.exec (fun () ->
+            if Interp.in_txn interp then
+              ignore (Interp.exec interp Ast.Rollback_txn))
+      in
+      ignore (Exec_queue.wait p)
+  | None -> ());
+  (match s.Session.kick with
+  | Session.Idle_kick ->
+      try_send s (Protocol.Notice "idle timeout, closing session");
+      try_send s Protocol.Bye
+  | Session.Shutdown_kick ->
+      try_send s (Protocol.Notice "server shutting down");
+      try_send s Protocol.Bye
+  | Session.Not_kicked -> ());
+  Metrics.conn_closed ~reaped:(s.Session.kick = Session.Idle_kick) t.metrics;
+  Session.close_fds s
+
+let session_loop t (s : session) =
+  let rec loop () =
+    match Protocol.read_frame ~max_frame:t.cfg.max_frame s.Session.fd with
+    | Error `Eof -> () (* client closed between frames *)
+    | Error (`Oversized n) ->
+        Metrics.proto_error t.metrics;
+        try_send s
+          (Protocol.Error
+             ( Protocol.Proto,
+               Printf.sprintf "frame of %d bytes exceeds the %d-byte limit" n
+                 t.cfg.max_frame ))
+        (* cannot resynchronize: close *)
+    | Error (`Malformed msg) ->
+        Metrics.proto_error t.metrics;
+        try_send s (Protocol.Error (Protocol.Proto, msg))
+    | Ok payload -> (
+        Session.touch s;
+        match Protocol.decode_request payload with
+        | Error msg ->
+            (* framing was intact: reject the request, keep the session *)
+            Metrics.proto_error t.metrics;
+            try_send s (Protocol.Error (Protocol.Proto, msg));
+            loop ()
+        | Ok req ->
+            let started = Unix.gettimeofday () in
+            let continue = try handle_request t s req with _ -> false in
+            Metrics.request t.metrics
+              ~latency:(Unix.gettimeofday () -. started);
+            Session.touch s;
+            if continue then loop ())
+  in
+  (try
+     send s
+       (Protocol.Notice
+          (Printf.sprintf "mmdb server ready (session %d)" s.Session.sid));
+     (* interpreter construction reads the catalog: executor-only *)
+     let p =
+       Exec_queue.submit t.exec (fun () ->
+           Interp.session ~mgr:t.mgr t.db)
+     in
+     (match Exec_queue.wait p with
+     | Ok interp ->
+         s.Session.interp <- Some interp;
+         loop ()
+     | Error _ -> ())
+   with _ -> ());
+  cleanup t s
+
+let handle_accept t fd =
+  Unix.clear_nonblock fd;
+  Mutex.lock t.m;
+  let admit =
+    (not t.shutting_down) && Hashtbl.length t.sessions < t.cfg.max_connections
+  in
+  if not admit then begin
+    Mutex.unlock t.m;
+    Metrics.conn_rejected t.metrics;
+    (try
+       Protocol.write_frame fd
+         (Protocol.encode_response
+            (Protocol.Busy
+               (Printf.sprintf
+                  "connection limit (%d) reached, retry with backoff"
+                  t.cfg.max_connections)))
+     with _ -> ());
+    try Unix.close fd with _ -> ()
+  end
+  else begin
+    let sid = t.next_sid in
+    t.next_sid <- sid + 1;
+    let s = Session.create ~sid ~fd in
+    Hashtbl.replace t.sessions sid s;
+    let thr = Thread.create (fun () -> session_loop t s) () in
+    t.handlers <- thr :: t.handlers;
+    Mutex.unlock t.m;
+    Metrics.conn_accepted t.metrics
+  end
+
+let accept_loop t =
+  let rec loop () =
+    match Unix.select [ t.listen_fd; t.stop_r ] [] [] (-1.0) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+    | readable, _, _ ->
+        if List.mem t.stop_r readable then () (* shutdown *)
+        else begin
+          (match Unix.accept ~cloexec:true t.listen_fd with
+          | fd, _ -> handle_accept t fd
+          | exception
+              Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR | Unix.ECONNABORTED), _, _)
+            -> ()
+          | exception Unix.Unix_error _ when t.shutting_down -> ());
+          if t.shutting_down then () else loop ()
+        end
+  in
+  loop ()
+
+let reaper_loop t =
+  let tick =
+    if t.cfg.idle_timeout > 0.0 then
+      Float.max 0.01 (Float.min 0.2 (t.cfg.idle_timeout /. 4.0))
+    else 0.2
+  in
+  while not t.shutting_down do
+    Thread.delay tick;
+    if t.cfg.idle_timeout > 0.0 && not t.shutting_down then begin
+      let now = Unix.gettimeofday () in
+      Mutex.lock t.m;
+      let victims =
+        Hashtbl.fold
+          (fun _ s acc ->
+            if
+              s.Session.pending = None
+              && Session.idle_for s ~now > t.cfg.idle_timeout
+              && s.Session.kick = Session.Not_kicked
+            then s :: acc
+            else acc)
+          t.sessions []
+      in
+      Mutex.unlock t.m;
+      List.iter
+        (fun s ->
+          s.Session.kick <- Session.Idle_kick;
+          try Unix.shutdown s.Session.fd Unix.SHUTDOWN_RECEIVE
+          with Unix.Unix_error _ -> ())
+        victims
+    end
+  done
+
+(* --- lifecycle --------------------------------------------------------- *)
+
+let start ?(config = default_config) ?mgr db =
+  (* a dying client must surface as EPIPE, not kill the process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
+  let mgr =
+    match mgr with Some m -> m | None -> Mmdb_txn.Txn.create_manager ()
+  in
+  let listen_fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port) in
+  (try Unix.bind listen_fd addr
+   with e ->
+     Unix.close listen_fd;
+     raise e);
+  Unix.listen listen_fd 64;
+  Unix.set_nonblock listen_fd;
+  let bound_port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> config.port
+  in
+  let stop_r, stop_w = Unix.pipe ~cloexec:true () in
+  let t =
+    {
+      cfg = config;
+      db;
+      mgr;
+      exec = Exec_queue.create ();
+      metrics = Metrics.create ();
+      listen_fd;
+      bound_port;
+      stop_r;
+      stop_w;
+      m = Mutex.create ();
+      sessions = Hashtbl.create 32;
+      handlers = [];
+      next_sid = 1;
+      shutting_down = false;
+      accept_thread = None;
+      reaper_thread = None;
+    }
+  in
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  t.reaper_thread <- Some (Thread.create (fun () -> reaper_loop t) ());
+  t
+
+let shutdown t =
+  Mutex.lock t.m;
+  let already = t.shutting_down in
+  t.shutting_down <- true;
+  Mutex.unlock t.m;
+  if not already then begin
+    (* stop admitting *)
+    (try ignore (Unix.write_substring t.stop_w "!" 0 1) with _ -> ());
+    (match t.accept_thread with Some thr -> Thread.join thr | None -> ());
+    (try Unix.close t.listen_fd with _ -> ());
+    (* nudge every session off its socket; handlers drain in-flight
+       requests, roll back open transactions, and exit *)
+    Mutex.lock t.m;
+    let live = Hashtbl.fold (fun _ s acc -> s :: acc) t.sessions [] in
+    Mutex.unlock t.m;
+    List.iter
+      (fun s ->
+        if s.Session.kick = Session.Not_kicked then
+          s.Session.kick <- Session.Shutdown_kick;
+        try Unix.shutdown s.Session.fd Unix.SHUTDOWN_RECEIVE
+        with Unix.Unix_error _ -> ())
+      live;
+    Mutex.lock t.m;
+    let handlers = t.handlers in
+    t.handlers <- [];
+    Mutex.unlock t.m;
+    List.iter Thread.join handlers;
+    (match t.reaper_thread with Some thr -> Thread.join thr | None -> ());
+    (* all sessions are gone; drain and stop the executor last *)
+    Exec_queue.stop t.exec;
+    List.iter
+      (fun fd -> try Unix.close fd with _ -> ())
+      [ t.stop_r; t.stop_w ]
+  end

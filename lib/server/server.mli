@@ -1,0 +1,45 @@
+(** The mmdb network server: a TCP front end over the SQL-like language.
+
+    One accept thread (admission control), one handler thread per
+    connection (socket I/O only), one executor domain that serializes
+    every touch of the shared database (see {!Exec_queue}), and one
+    reaper thread for idle sessions. *)
+
+open Mmdb_core
+
+type config = {
+  host : string;
+  port : int;  (** 0 picks an ephemeral port; read it back with {!port} *)
+  max_connections : int;
+  request_timeout : float;  (** seconds; [<= 0.] disables *)
+  idle_timeout : float;  (** seconds; [<= 0.] disables reaping *)
+  max_frame : int;  (** request-frame size limit, bytes *)
+}
+
+val default_config : config
+(** 127.0.0.1:7478, 64 connections, 30 s request timeout, 300 s idle
+    timeout, {!Protocol.max_frame_default} frames. *)
+
+type t
+
+val start : ?config:config -> ?mgr:Mmdb_txn.Txn.manager -> Db.t -> t
+(** Bind, listen and spawn the server threads.  All sessions share [db]
+    and one lock manager ([mgr], fresh by default), so transactions from
+    different connections really contend.  Raises [Unix.Unix_error] if
+    the address cannot be bound. *)
+
+val port : t -> int
+(** The actually bound port (useful with [port = 0]). *)
+
+val db : t -> Db.t
+val manager : t -> Mmdb_txn.Txn.manager
+val active_sessions : t -> int
+val metrics : t -> Metrics.t
+
+val metrics_text : t -> string
+(** Human-readable metrics summary (the STATUS response body). *)
+
+val shutdown : t -> unit
+(** Graceful shutdown: stop admissions, nudge every session off its
+    socket, drain in-flight requests, roll back open BEGIN blocks, join
+    all threads, then stop the executor.  Idempotent. *)

@@ -1,0 +1,60 @@
+(* Per-connection session state.
+
+   Owned by the connection's handler thread; [last_activity], [pending]
+   and [kick] are also read (racily but harmlessly) by the idle reaper,
+   which only ever escalates to [Unix.shutdown] on the socket — the
+   handler thread remains the one that tears the session down.
+
+   ['a] is the executor's reply type (the handler parks its in-flight
+   promise in [pending] so CANCEL and the reaper can see it). *)
+
+open Mmdb_lang
+
+type kick = Not_kicked | Idle_kick | Shutdown_kick
+
+type 'a t = {
+  sid : int;
+  fd : Unix.file_descr;
+  wake_r : Unix.file_descr;  (* executor-completion pipe, read end *)
+  wake_w : Unix.file_descr;
+  mutable last_activity : float;
+  mutable interp : Interp.session option;  (* created on the executor *)
+  prepared : (int, Ast.stmt * int) Hashtbl.t;  (* id -> stmt, n_params *)
+  mutable next_prepared : int;
+  mutable pending : 'a Exec_queue.promise option;
+  mutable kick : kick;
+}
+
+let create ~sid ~fd =
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  {
+    sid;
+    fd;
+    wake_r;
+    wake_w;
+    last_activity = Unix.gettimeofday ();
+    interp = None;
+    prepared = Hashtbl.create 8;
+    next_prepared = 1;
+    pending = None;
+    kick = Not_kicked;
+  }
+
+let touch t = t.last_activity <- Unix.gettimeofday ()
+let idle_for t ~now = now -. t.last_activity
+
+let register_prepared t stmt ~n_params =
+  let id = t.next_prepared in
+  t.next_prepared <- id + 1;
+  Hashtbl.replace t.prepared id (stmt, n_params);
+  (id, n_params)
+
+let find_prepared t id = Hashtbl.find_opt t.prepared id
+
+(* Close every fd the session owns.  Only call after the session's last
+   executor job has resolved: an abandoned job completing later would
+   otherwise poke a recycled descriptor. *)
+let close_fds t =
+  List.iter
+    (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+    [ t.fd; t.wake_r; t.wake_w ]

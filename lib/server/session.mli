@@ -1,0 +1,43 @@
+(** Per-connection session state.
+
+    Owned by the connection's handler thread; [last_activity], [pending]
+    and [kick] are also read by the idle reaper, which only ever
+    escalates to [Unix.shutdown] on the socket — the handler thread
+    remains the one that tears the session down.
+
+    ['a] is the executor's reply type: the handler parks its in-flight
+    promise in [pending] so CANCEL and the reaper can see it. *)
+
+open Mmdb_lang
+
+type kick =
+  | Not_kicked
+  | Idle_kick  (** the reaper shut the socket down *)
+  | Shutdown_kick  (** server shutdown shut the socket down *)
+
+type 'a t = {
+  sid : int;
+  fd : Unix.file_descr;
+  wake_r : Unix.file_descr;  (** executor-completion pipe, read end *)
+  wake_w : Unix.file_descr;
+  mutable last_activity : float;
+  mutable interp : Interp.session option;  (** created on the executor *)
+  prepared : (int, Ast.stmt * int) Hashtbl.t;  (** id -> stmt, n_params *)
+  mutable next_prepared : int;
+  mutable pending : 'a Exec_queue.promise option;
+  mutable kick : kick;
+}
+
+val create : sid:int -> fd:Unix.file_descr -> 'a t
+val touch : 'a t -> unit
+val idle_for : 'a t -> now:float -> float
+
+val register_prepared : 'a t -> Ast.stmt -> n_params:int -> int * int
+(** Returns [(id, n_params)] for the freshly registered statement. *)
+
+val find_prepared : 'a t -> int -> (Ast.stmt * int) option
+
+val close_fds : 'a t -> unit
+(** Close the socket and the wake pipe.  Only call after the session's
+    last executor job has resolved — an abandoned job completing later
+    would otherwise poke a recycled descriptor. *)

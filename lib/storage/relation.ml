@@ -170,10 +170,24 @@ let place_tuple t tuple =
   else begin
     let rec try_parts = function
       | [] ->
+          (* A fresh partition can only refuse the tuple under a degenerate
+             configuration (e.g. zero slot capacity).  Surface it as a
+             typed error rather than aborting the process: a server must
+             answer the offending request and keep running. *)
           let p = new_partition t in
           (match Partition.add p tuple with
           | Partition.Added -> Ok ()
-          | Slots_full | Heap_full -> assert false)
+          | Slots_full ->
+              Error
+                (Printf.sprintf
+                   "fresh partition rejected tuple: slot capacity %d too small"
+                   t.slot_capacity)
+          | Heap_full ->
+              Error
+                (Printf.sprintf
+                   "fresh partition rejected tuple: %d heap bytes exceed \
+                    capacity %d"
+                   heap_need t.heap_capacity))
       | p :: rest -> (
           match Partition.add p tuple with
           | Partition.Added -> Ok ()

@@ -1,0 +1,38 @@
+(* A fixed-capacity sliding window of float samples (latencies, sizes).
+
+   The server records one sample per request; percentile queries sort a
+   copy of the window on demand, so recording stays O(1) on the hot path
+   and the memory footprint is bounded no matter how long the server
+   runs.  Not thread-safe on its own — callers serialize access. *)
+
+type t = {
+  data : float array;
+  mutable count : int;  (* valid samples, <= capacity *)
+  mutable next : int;  (* ring cursor *)
+  mutable total : int;  (* lifetime samples, for reporting *)
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Reservoir.create: capacity <= 0";
+  { data = Array.make capacity 0.0; count = 0; next = 0; total = 0 }
+
+let add t x =
+  let cap = Array.length t.data in
+  t.data.(t.next) <- x;
+  t.next <- (t.next + 1) mod cap;
+  if t.count < cap then t.count <- t.count + 1;
+  t.total <- t.total + 1
+
+let count t = t.count
+let total t = t.total
+
+let samples t = Array.sub t.data 0 t.count
+
+let percentile t p =
+  if t.count = 0 then None else Some (Stats.percentile (samples t) p)
+
+let mean t = if t.count = 0 then None else Some (Stats.mean (samples t))
+
+let max_sample t =
+  if t.count = 0 then None
+  else Some (Array.fold_left Float.max neg_infinity (samples t))

@@ -1,0 +1,28 @@
+(** A fixed-capacity sliding window of float samples.
+
+    Recording is O(1); {!percentile} sorts a copy of the window on demand.
+    Used by the network server for p50/p99 request latency over the most
+    recent requests.  Not thread-safe — callers serialize access. *)
+
+type t
+
+val create : capacity:int -> t
+(** @raise Invalid_argument when [capacity <= 0]. *)
+
+val add : t -> float -> unit
+(** Record a sample, evicting the oldest once the window is full. *)
+
+val count : t -> int
+(** Samples currently held (<= capacity). *)
+
+val total : t -> int
+(** Lifetime samples recorded, including evicted ones. *)
+
+val samples : t -> float array
+(** A copy of the current window, unordered. *)
+
+val percentile : t -> float -> float option
+(** [percentile t p] for [p] in [0..100]; [None] when empty. *)
+
+val mean : t -> float option
+val max_sample : t -> float option

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the network server: boots mmdb_server, waits
+# for it to answer PING, runs a scripted session, checks that a failing
+# script exits non-zero, dumps STATUS, and shuts the server down
+# gracefully.  Used by CI (server-smoke job); runnable locally:
+#
+#   dune build && scripts/server_smoke.sh
+set -euo pipefail
+
+PORT="${MMDB_SMOKE_PORT:-7478}"
+SERVER=_build/default/bin/mmdb_server.exe
+CLIENT=_build/default/bin/mmdb_client.exe
+LOG="$(mktemp)"
+
+cleanup() {
+  if [[ -n "${SERVER_PID:-}" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill -TERM "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -f "$LOG"
+}
+trap cleanup EXIT
+
+"$SERVER" --port "$PORT" >"$LOG" 2>&1 &
+SERVER_PID=$!
+
+# wait for the server to answer
+for _ in $(seq 1 100); do
+  if "$CLIENT" --port "$PORT" --ping >/dev/null 2>&1; then
+    break
+  fi
+  sleep 0.1
+done
+"$CLIENT" --port "$PORT" --ping
+
+# a full scripted session must succeed
+"$CLIENT" --port "$PORT" examples/server_smoke.sql
+
+# a failing script must exit non-zero and stop at the first error
+if "$CLIENT" --port "$PORT" examples/server_smoke_bad.sql 2>/dev/null; then
+  echo "FAIL: bad script did not exit non-zero" >&2
+  exit 1
+fi
+
+# metrics answer and count the traffic above
+"$CLIENT" --port "$PORT" --status | grep -q "requests:"
+
+# graceful shutdown drains and reports final metrics
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+grep -q "final metrics" "$LOG"
+
+echo "server smoke test passed"

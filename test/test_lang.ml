@@ -28,8 +28,12 @@ let test_lexer_errors () =
      ignore (Lexer.tokenize "'unterminated");
      Alcotest.fail "unterminated string accepted"
    with Lexer.Error _ -> ());
+  (* '?' is a placeholder token since the wire protocol's PREPARE *)
+  (match Lexer.tokenize "a ? b" with
+  | [ Lexer.Ident "a"; Lexer.Qmark; Lexer.Ident "b"; Lexer.Eof ] -> ()
+  | _ -> Alcotest.fail "placeholder lexing");
   try
-    ignore (Lexer.tokenize "a ? b");
+    ignore (Lexer.tokenize "a @ b");
     Alcotest.fail "bad character accepted"
   with Lexer.Error _ -> ()
 
@@ -88,6 +92,56 @@ let test_parse_errors () =
   expect_error "SELECT * FROM t WHERE a ? 3;";
   expect_error "FROB x;";
   expect_error "SELECT * FROM t USING banana;"
+
+(* The wire protocol hands whole payloads to the parser, so degenerate
+   inputs — empty strings, bare semicolons, trailing terminators — must
+   come back as clean (possibly empty) statement lists, not errors. *)
+let test_parse_empty_and_trailing () =
+  let expect_stmts input n =
+    match Parser.parse input with
+    | Ok l -> Alcotest.(check int) (Printf.sprintf "%S" input) n (List.length l)
+    | Error e -> Alcotest.failf "%S rejected: %s" input e
+  in
+  expect_stmts "" 0;
+  expect_stmts "   \n\t " 0;
+  expect_stmts ";" 0;
+  expect_stmts ";;;" 0;
+  expect_stmts "-- just a comment\n" 0;
+  expect_stmts "SHOW TABLES;;" 1;
+  expect_stmts "SHOW TABLES;;;DESCRIBE t;;" 2;
+  expect_stmts "SHOW TABLES" 1 (* final semicolon is optional *)
+
+let test_parse_params () =
+  (* placeholders number left-to-right, across conditions and values *)
+  (match Parser.parse "UPDATE t SET a = ?, b = ? WHERE c = ? AND d > ?;" with
+  | Ok [ (Ast.Update { assignments; where_; _ } as stmt) ] ->
+      Alcotest.(check int) "param count" 4 (Ast.param_count stmt);
+      (match assignments with
+      | [ ("a", Ast.L_param 0); ("b", Ast.L_param 1) ] -> ()
+      | _ -> Alcotest.fail "assignment params");
+      (match where_ with
+      | [ Ast.C_eq ("c", Ast.L_param 2); Ast.C_gt ("d", Ast.L_param 3) ] -> ()
+      | _ -> Alcotest.fail "where params")
+  | Ok _ -> Alcotest.fail "wrong statements"
+  | Error e -> Alcotest.fail e);
+  let insert =
+    match Parser.parse "INSERT INTO t VALUES (?, 'x', ?);" with
+    | Ok [ s ] -> s
+    | _ -> Alcotest.fail "insert parse"
+  in
+  (* binding substitutes in placeholder order *)
+  (match Ast.substitute_params insert [ Ast.L_int 7; Ast.L_bool true ] with
+  | Ok (Ast.Insert { values = [ Ast.L_int 7; Ast.L_string "x"; Ast.L_bool true ]; _ })
+    -> ()
+  | Ok _ -> Alcotest.fail "wrong substitution"
+  | Error e -> Alcotest.fail e);
+  (* arity mismatches are typed errors *)
+  (match Ast.substitute_params insert [ Ast.L_int 7 ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "too few params accepted");
+  match Ast.substitute_params insert [ Ast.L_int 1; Ast.L_int 2; Ast.L_int 3 ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "too many params accepted"
 
 (* --- interpreter --------------------------------------------------------- *)
 
@@ -324,6 +378,31 @@ let test_interp_explain_and_index () =
         (contains p "tree lookup via by_age")
   | _ -> Alcotest.fail "explain failed"
 
+let test_interp_params () =
+  let db = fresh_db_with_demo () in
+  (* unbound placeholders must be rejected, not silently misread *)
+  (match Interp.exec_string db "SELECT * FROM Employee WHERE Id = ?;" with
+  | Error msg ->
+      Alcotest.(check bool) "mentions parameters" true
+        (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "unbound parameter accepted");
+  (* bound placeholders behave like inline literals *)
+  let stmt =
+    match Parser.parse "SELECT Name FROM Employee WHERE Id = ?;" with
+    | Ok [ s ] -> s
+    | _ -> Alcotest.fail "parse"
+  in
+  let bound =
+    match Ast.substitute_params stmt [ Ast.L_int 23 ] with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  match Interp.exec db bound with
+  | Ok (Interp.Rows tl) ->
+      Alcotest.(check (list (list string)))
+        "dave by id" [ [ "\"Dave\"" ] ] (Mmdb_core.Executor.rows tl)
+  | _ -> Alcotest.fail "bound query failed"
+
 let () =
   Alcotest.run "mmdb_lang"
     [
@@ -344,6 +423,9 @@ let () =
             test_parse_errors;
           Alcotest.test_case "aggregates and group by" `Quick
             test_parse_aggregates;
+          Alcotest.test_case "empty input and trailing semicolons" `Quick
+            test_parse_empty_and_trailing;
+          Alcotest.test_case "? placeholders" `Quick test_parse_params;
         ] );
       ( "interp",
         [
@@ -359,5 +441,7 @@ let () =
             test_interp_transactions;
           Alcotest.test_case "explain and index" `Quick
             test_interp_explain_and_index;
+          Alcotest.test_case "prepared-statement parameters" `Quick
+            test_interp_params;
         ] );
     ]

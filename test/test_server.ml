@@ -1,0 +1,584 @@
+(* Network server tests: wire-protocol roundtrips, framing robustness,
+   executor-queue semantics, and live end-to-end checks over real TCP
+   sockets (ephemeral ports, one in-process server per test). *)
+
+open Mmdb_storage
+open Mmdb_net
+
+let value = Alcotest.testable Value.pp Value.equal
+
+(* --- protocol roundtrips ------------------------------------------------ *)
+
+let strip_len frame = String.sub frame 4 (String.length frame - 4)
+
+let roundtrip_request req =
+  match Protocol.decode_request (strip_len (Protocol.encode_request req)) with
+  | Ok r -> r
+  | Error m -> Alcotest.fail ("request did not decode: " ^ m)
+
+let roundtrip_response resp =
+  match
+    Protocol.decode_response (strip_len (Protocol.encode_response resp))
+  with
+  | Ok r -> r
+  | Error m -> Alcotest.fail ("response did not decode: " ^ m)
+
+let test_proto_request_roundtrip () =
+  let reqs =
+    [
+      Protocol.Query "SELECT * FROM T;";
+      Protocol.Prepare "INSERT INTO T VALUES (?, ?);";
+      Protocol.Exec_prepared
+        {
+          id = 42;
+          params =
+            [
+              Value.Null;
+              Value.Bool true;
+              Value.Bool false;
+              Value.Int 0;
+              Value.Int max_int;
+              Value.Int min_int;
+              Value.Int (-1);
+              Value.Float 3.25;
+              Value.Float (-0.0);
+              Value.Float infinity;
+              Value.Str "plain";
+              Value.Str "embedded\x00nul and \xffbytes";
+              Value.Str "";
+            ];
+        };
+      Protocol.Ping;
+      Protocol.Cancel;
+      Protocol.Quit;
+      Protocol.Status;
+    ]
+  in
+  List.iter
+    (fun req ->
+      let got = roundtrip_request req in
+      Alcotest.(check bool) "request survives the wire" true (got = req))
+    reqs
+
+let test_proto_response_roundtrip () =
+  let resps =
+    [
+      Protocol.Results
+        {
+          columns = [ "A"; "B.C" ];
+          rows =
+            [
+              [| Value.Str "x"; Value.Int 47 |];
+              [| Value.Null; Value.Float 1.5 |];
+              [||];
+            ];
+        };
+      Protocol.Results { columns = []; rows = [] };
+      Protocol.Message "ok";
+      Protocol.Prepared { id = 7; n_params = 3 };
+      Protocol.Error (Protocol.Parse, "bad syntax");
+      Protocol.Error (Protocol.Conflict, "would block");
+      Protocol.Busy "full";
+      Protocol.Pong;
+      Protocol.Bye;
+      Protocol.Notice "hello";
+      Protocol.Status_text "line1\nline2";
+    ]
+  in
+  List.iter
+    (fun resp ->
+      let got = roundtrip_response resp in
+      Alcotest.(check bool) "response survives the wire" true (got = resp))
+    resps
+
+let test_proto_rejects_garbage () =
+  (match Protocol.decode_request "" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty payload must not decode");
+  (match Protocol.decode_request "\x7fgarbage" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown tag must not decode");
+  (* truncated Exec_prepared payload: framing fine, body short *)
+  (match Protocol.decode_request "E\x00\x00\x00\x01\x00\x05" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated payload must not decode");
+  match Protocol.decode_response "\x01nope" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown response tag must not decode"
+
+(* --- framing over a real socket pair ------------------------------------ *)
+
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun fd -> try Unix.close fd with _ -> ()) [ a; b ])
+    (fun () -> f a b)
+
+let test_frame_roundtrip_and_eof () =
+  with_socketpair (fun a b ->
+      Protocol.write_frame a (Protocol.encode_request (Protocol.Query "x"));
+      (match Protocol.read_frame b with
+      | Ok payload -> Alcotest.(check string) "payload" "Qx" payload
+      | Error _ -> Alcotest.fail "frame did not arrive");
+      Unix.close a;
+      match Protocol.read_frame b with
+      | Error `Eof -> ()
+      | _ -> Alcotest.fail "close at a boundary must read as `Eof")
+
+let test_frame_oversized () =
+  with_socketpair (fun a b ->
+      (* announce a 100 MiB frame without sending it *)
+      let hdr = Bytes.create 4 in
+      Bytes.set_uint16_be hdr 0 0x0640;
+      Bytes.set_uint16_be hdr 2 0;
+      ignore (Unix.write a hdr 0 4);
+      match Protocol.read_frame ~max_frame:(1 lsl 20) b with
+      | Error (`Oversized n) ->
+          Alcotest.(check int) "announced size" 0x06400000 n
+      | _ -> Alcotest.fail "oversized header must be rejected")
+
+let test_frame_zero_and_midframe () =
+  with_socketpair (fun a b ->
+      ignore (Unix.write a (Bytes.make 4 '\x00') 0 4);
+      (match Protocol.read_frame b with
+      | Error (`Malformed _) -> ()
+      | _ -> Alcotest.fail "zero-length frame must be malformed");
+      (* announce 10 bytes, send 3, hang up *)
+      ignore (Unix.write_substring a "\x00\x00\x00\x0aQab" 0 7);
+      Unix.close a;
+      match Protocol.read_frame b with
+      | Error (`Malformed _) -> ()
+      | _ -> Alcotest.fail "mid-frame eof must be malformed")
+
+(* --- executor queue ----------------------------------------------------- *)
+
+let test_exec_queue_basics () =
+  let q = Exec_queue.create () in
+  let p1 = Exec_queue.submit q (fun () -> 6 * 7) in
+  (match Exec_queue.wait p1 with
+  | Ok v -> Alcotest.(check int) "job result" 42 v
+  | Error _ -> Alcotest.fail "job raised");
+  let p2 = Exec_queue.submit q (fun () -> failwith "boom") in
+  (match Exec_queue.wait p2 with
+  | Error (Failure m) -> Alcotest.(check string) "exn carried" "boom" m
+  | _ -> Alcotest.fail "expected the job's exception");
+  (* serial order: a slow job delays the next one, never overlaps it *)
+  let order = ref [] in
+  let pa = Exec_queue.submit q (fun () -> order := 1 :: !order) in
+  let pb = Exec_queue.submit q (fun () -> order := 2 :: !order) in
+  ignore (Exec_queue.wait pa);
+  ignore (Exec_queue.wait pb);
+  Alcotest.(check (list int)) "submission order" [ 2; 1 ] !order;
+  Exec_queue.stop q;
+  match Exec_queue.wait (Exec_queue.submit q (fun () -> 0)) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "submit after stop must fail"
+
+let test_exec_queue_timeout_and_abandon () =
+  let q = Exec_queue.create () in
+  let wake_r, wake_w = Unix.pipe () in
+  let release = Atomic.make false in
+  let slow =
+    Exec_queue.submit q ~notify:wake_w (fun () ->
+        while not (Atomic.get release) do
+          Thread.delay 0.005
+        done;
+        "slow done")
+  in
+  (* a job queued behind the slow one; abandoned before it can start *)
+  let queued = Exec_queue.submit q ~notify:wake_w (fun () -> "never runs") in
+  (match
+     Exec_queue.await slow ~wakeup:wake_r
+       ~deadline:(Unix.gettimeofday () +. 0.05)
+   with
+  | `Timeout -> ()
+  | `Done _ -> Alcotest.fail "slow job cannot be done yet");
+  Exec_queue.abandon slow;
+  Exec_queue.abandon queued;
+  Atomic.set release true;
+  (* both resolve: the slow one with its (discarded) value, the queued
+     one as skipped — waiters never hang on abandoned work *)
+  (match Exec_queue.wait queued with
+  | Error (Failure _) -> ()
+  | _ -> Alcotest.fail "skipped job must resolve with an error");
+  let after =
+    Exec_queue.await
+      (Exec_queue.submit q ~notify:wake_w (fun () -> "alive"))
+      ~wakeup:wake_r
+      ~deadline:(Unix.gettimeofday () +. 2.0)
+  in
+  (match after with
+  | `Done (Ok "alive") -> ()
+  | _ -> Alcotest.fail "queue must keep serving after abandons");
+  Exec_queue.stop q;
+  List.iter Unix.close [ wake_r; wake_w ]
+
+(* --- end-to-end over TCP ------------------------------------------------ *)
+
+let test_config =
+  {
+    Server.default_config with
+    Server.port = 0;
+    (* ephemeral *)
+    request_timeout = 10.0;
+    idle_timeout = 0.0;
+    (* no reaping unless a test asks for it *)
+  }
+
+let with_server ?(config = test_config) f =
+  let db = Mmdb_core.Db.create () in
+  let srv = Server.start ~config db in
+  Fun.protect ~finally:(fun () -> Server.shutdown srv) (fun () -> f srv)
+
+let connect srv =
+  match
+    Client.connect ~host:"127.0.0.1" ~port:(Server.port srv) ()
+  with
+  | Ok c -> c
+  | Error m -> Alcotest.fail ("connect failed: " ^ m)
+
+let expect_ok c sql =
+  match Client.query c sql with
+  | Ok (Protocol.Error (code, msg)) ->
+      Alcotest.fail
+        (Printf.sprintf "%S failed (%s): %s" sql
+           (Protocol.err_code_name code) msg)
+  | Ok resp -> resp
+  | Error m -> Alcotest.fail (Printf.sprintf "%S transport error: %s" sql m)
+
+let rows_of = function
+  | Protocol.Results { rows; _ } -> rows
+  | r ->
+      Alcotest.fail
+        (Fmt.str "expected a result set, got %a" Protocol.pp_response r)
+
+(* Sort rows for order-insensitive comparison. *)
+let sorted rows = List.sort compare rows
+
+let test_e2e_basic () =
+  with_server (fun srv ->
+      let c = connect srv in
+      ignore (expect_ok c "CREATE TABLE KV (K int PRIMARY KEY, V int);");
+      ignore (expect_ok c "INSERT INTO KV VALUES (1, 10);");
+      ignore (expect_ok c "INSERT INTO KV VALUES (2, 20);");
+      let rows = rows_of (expect_ok c "SELECT K, V FROM KV;") in
+      Alcotest.(check int) "two rows" 2 (List.length rows);
+      Alcotest.(check bool) "row content" true
+        (sorted rows
+        = [ [| Value.Int 1; Value.Int 10 |]; [| Value.Int 2; Value.Int 20 |] ]);
+      (* prepared statements *)
+      let id, n =
+        match Client.prepare c "SELECT V FROM KV WHERE K = ?;" with
+        | Ok x -> x
+        | Error m -> Alcotest.fail m
+      in
+      Alcotest.(check int) "one placeholder" 1 n;
+      (match Client.exec_prepared c id [ Value.Int 2 ] with
+      | Ok (Protocol.Results { rows = [ [| v |] ]; _ }) ->
+          Alcotest.check value "prepared lookup" (Value.Int 20) v
+      | Ok r ->
+          Alcotest.fail (Fmt.str "unexpected: %a" Protocol.pp_response r)
+      | Error m -> Alcotest.fail m);
+      (* wrong arity is an error, session survives *)
+      (match Client.exec_prepared c id [] with
+      | Ok (Protocol.Error (Protocol.Exec, _)) -> ()
+      | _ -> Alcotest.fail "missing params must be an exec error");
+      (match Client.ping c with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail m);
+      (match Client.status c with
+      | Ok s ->
+          Alcotest.(check bool) "status mentions requests" true
+            (String.length s > 0)
+      | Error m -> Alcotest.fail m);
+      (* parse errors are typed *)
+      (match Client.query c "SELEKT nope;" with
+      | Ok (Protocol.Error (Protocol.Parse, _)) -> ()
+      | _ -> Alcotest.fail "parse errors must carry the Parse code");
+      match Client.quit c with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail m)
+
+(* Retry a transactional batch until it commits: concurrency errors
+   (would block / deadlock victim) roll back and retry. *)
+let rec txn_retry c stmts tries =
+  if tries = 0 then Alcotest.fail "transaction never committed"
+  else
+    let ok = ref true in
+    List.iter
+      (fun sql ->
+        if !ok then
+          match Client.query c sql with
+          | Ok (Protocol.Error _) -> ok := false
+          | Ok _ -> ()
+          | Error m -> Alcotest.fail ("transport died mid-txn: " ^ m))
+      stmts;
+    if not !ok then begin
+      (match Client.query c "ROLLBACK;" with _ -> ());
+      Thread.delay 0.002;
+      txn_retry c stmts (tries - 1)
+    end
+
+let test_e2e_concurrent_clients () =
+  with_server (fun srv ->
+      let setup = connect srv in
+      ignore (expect_ok setup "CREATE TABLE KV (K int PRIMARY KEY, V int);");
+      let n_clients = 8 and per_client = 6 in
+      let worker c_idx () =
+        let c = connect srv in
+        for i = 0 to per_client - 1 do
+          let k = (c_idx * 1000) + i in
+          let v = k + 7 in
+          (* two transactions: the interpreter's deferred-update txns
+             resolve UPDATE targets against committed state, so the
+             INSERT must commit before the UPDATE can see it *)
+          txn_retry c
+            [
+              "BEGIN;";
+              Printf.sprintf "INSERT INTO KV VALUES (%d, 0);" k;
+              "COMMIT;";
+            ]
+            200;
+          txn_retry c
+            [
+              "BEGIN;";
+              Printf.sprintf "UPDATE KV SET V = %d WHERE K = %d;" v k;
+              "COMMIT;";
+            ]
+            200
+        done;
+        ignore (Client.quit c)
+      in
+      let threads =
+        List.init n_clients (fun i -> Thread.create (worker i) ())
+      in
+      List.iter Thread.join threads;
+      (* serial reference: same statements, one local session *)
+      let ref_db = Mmdb_core.Db.create () in
+      let ref_sess = Mmdb_lang.Interp.session ref_db in
+      let ref_exec sql =
+        match Mmdb_lang.Interp.exec_string ref_sess sql with
+        | Ok _ -> ()
+        | Error m -> Alcotest.fail ("reference exec failed: " ^ m)
+      in
+      ref_exec "CREATE TABLE KV (K int PRIMARY KEY, V int);";
+      for c_idx = 0 to n_clients - 1 do
+        for i = 0 to per_client - 1 do
+          let k = (c_idx * 1000) + i in
+          ref_exec (Printf.sprintf "INSERT INTO KV VALUES (%d, 0);" k);
+          ref_exec
+            (Printf.sprintf "UPDATE KV SET V = %d WHERE K = %d;" (k + 7) k)
+        done
+      done;
+      let reference =
+        match Mmdb_lang.Interp.exec ref_sess
+                (List.hd
+                   (Result.get_ok (Mmdb_lang.Parser.parse "SELECT K, V FROM KV;")))
+        with
+        | Ok (Mmdb_lang.Interp.Rows tl) -> Temp_list.materialize tl
+        | _ -> Alcotest.fail "reference select failed"
+      in
+      let server_rows = rows_of (expect_ok setup "SELECT K, V FROM KV;") in
+      Alcotest.(check int)
+        "row count matches serial reference"
+        (n_clients * per_client)
+        (List.length server_rows);
+      Alcotest.(check bool)
+        "committed state equals the serial reference" true
+        (sorted server_rows = sorted reference);
+      (* all transactions finished: no lock survives *)
+      Alcotest.(check int) "no locks leak" 0
+        (Mmdb_txn.Lock_manager.active_locks
+           (Mmdb_txn.Txn.lock_manager (Server.manager srv)));
+      ignore (Client.quit setup))
+
+let wait_until ?(timeout = 5.0) pred =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    if pred () then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      Thread.delay 0.01;
+      go ()
+    end
+  in
+  go ()
+
+let test_e2e_kill_mid_txn () =
+  with_server (fun srv ->
+      let setup = connect srv in
+      ignore (expect_ok setup "CREATE TABLE KV (K int PRIMARY KEY, V int);");
+      ignore (expect_ok setup "INSERT INTO KV VALUES (1, 10);");
+      let doomed = connect srv in
+      ignore (expect_ok doomed "BEGIN;");
+      ignore (expect_ok doomed "INSERT INTO KV VALUES (99, 0);");
+      ignore (expect_ok doomed "UPDATE KV SET V = 11 WHERE K = 1;");
+      let before = Server.active_sessions srv in
+      (* hang up without COMMIT — simulates a killed client *)
+      Client.close doomed;
+      Alcotest.(check bool) "server notices the disconnect" true
+        (wait_until (fun () -> Server.active_sessions srv < before));
+      (* the open transaction was rolled back: no partial effects ... *)
+      let rows = rows_of (expect_ok setup "SELECT K, V FROM KV;") in
+      Alcotest.(check bool) "only the committed row remains" true
+        (sorted rows = [ [| Value.Int 1; Value.Int 10 |] ]);
+      (* ... and no lock is left behind: a fresh writer sails through *)
+      Alcotest.(check int) "no locks leak" 0
+        (Mmdb_txn.Lock_manager.active_locks
+           (Mmdb_txn.Txn.lock_manager (Server.manager srv)));
+      txn_retry setup
+        [ "BEGIN;"; "UPDATE KV SET V = 12 WHERE K = 1;"; "COMMIT;" ]
+        5;
+      ignore (Client.quit setup))
+
+let test_e2e_robustness () =
+  with_server (fun srv ->
+      (* a healthy session that must survive everything below *)
+      let healthy = connect srv in
+      ignore (expect_ok healthy "CREATE TABLE KV (K int PRIMARY KEY, V int);");
+      let g = connect srv in
+      (match Client.request g (Protocol.Query "SELECT * FROM KV;") with
+      | Ok _ -> ()
+      | Error m -> Alcotest.fail m);
+      (* speak raw bytes at the socket level via a second connection *)
+      let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect sock
+        (Unix.ADDR_INET (Unix.inet_addr_loopback, Server.port srv));
+      (* greeting *)
+      (match Protocol.read_frame sock with
+      | Ok _ -> ()
+      | Error _ -> Alcotest.fail "no greeting");
+      (* valid length, unknown tag: one Proto error, connection lives *)
+      ignore (Unix.write_substring sock "\x00\x00\x00\x03\x7fxy" 0 7);
+      (match Protocol.read_frame ~max_frame:Protocol.max_response_frame sock with
+      | Ok payload -> (
+          match Protocol.decode_response payload with
+          | Ok (Protocol.Error (Protocol.Proto, _)) -> ()
+          | _ -> Alcotest.fail "garbage tag must earn a Proto error")
+      | Error _ -> Alcotest.fail "server must answer garbage, not die");
+      (* same connection still usable *)
+      ignore
+        (Unix.write_substring sock
+           (Protocol.encode_request Protocol.Ping)
+           0
+           (String.length (Protocol.encode_request Protocol.Ping)));
+      (match Protocol.read_frame ~max_frame:Protocol.max_response_frame sock with
+      | Ok payload -> (
+          match Protocol.decode_response payload with
+          | Ok Protocol.Pong -> ()
+          | _ -> Alcotest.fail "ping after garbage must still pong")
+      | Error _ -> Alcotest.fail "connection must survive a bad request");
+      (* oversized announcement: Proto error, then the server hangs up *)
+      let huge = Bytes.create 4 in
+      Bytes.set_int32_be huge 0 0x7f000000l;
+      ignore (Unix.write sock huge 0 4);
+      (match Protocol.read_frame ~max_frame:Protocol.max_response_frame sock with
+      | Ok payload -> (
+          match Protocol.decode_response payload with
+          | Ok (Protocol.Error (Protocol.Proto, _)) -> ()
+          | _ -> Alcotest.fail "oversized frame must earn a Proto error")
+      | Error _ -> Alcotest.fail "oversized frame must be answered");
+      (match Protocol.read_frame sock with
+      | Error `Eof -> ()
+      | _ -> Alcotest.fail "server must drop the connection after oversize");
+      Unix.close sock;
+      (* mid-frame disconnect: announce 10 bytes, send 2, vanish *)
+      let sock2 = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect sock2
+        (Unix.ADDR_INET (Unix.inet_addr_loopback, Server.port srv));
+      (match Protocol.read_frame sock2 with
+      | Ok _ -> ()
+      | Error _ -> Alcotest.fail "no greeting");
+      ignore (Unix.write_substring sock2 "\x00\x00\x00\x0aQx" 0 6);
+      Unix.close sock2;
+      (* the victims disconnect; the healthy session never noticed *)
+      Alcotest.(check bool) "victims reaped" true
+        (wait_until (fun () -> Server.active_sessions srv <= 2));
+      ignore (expect_ok healthy "INSERT INTO KV VALUES (5, 50);");
+      let rows = rows_of (expect_ok healthy "SELECT K FROM KV;") in
+      Alcotest.(check int) "healthy session unaffected" 1 (List.length rows);
+      ignore (Client.quit g);
+      ignore (Client.quit healthy))
+
+let test_e2e_admission_busy () =
+  with_server
+    ~config:{ test_config with Server.max_connections = 1 }
+    (fun srv ->
+      let first = connect srv in
+      (match
+         Client.connect ~host:"127.0.0.1" ~port:(Server.port srv) ()
+       with
+      | Error m ->
+          Alcotest.(check bool) "refusal is a typed Busy" true
+            (String.length m > 0
+            && String.sub m 0 (min 11 (String.length m)) = "server busy")
+      | Ok c ->
+          Client.close c;
+          Alcotest.fail "second connection must be refused");
+      ignore (Client.quit first);
+      (* the slot frees up once the first session is gone *)
+      Alcotest.(check bool) "slot reusable after quit" true
+        (wait_until (fun () ->
+             match
+               Client.connect ~host:"127.0.0.1" ~port:(Server.port srv) ()
+             with
+             | Ok c ->
+                 ignore (Client.quit c);
+                 true
+             | Error _ -> false)))
+
+let test_e2e_idle_reap () =
+  with_server
+    ~config:{ test_config with Server.idle_timeout = 0.15 }
+    (fun srv ->
+      let c = connect srv in
+      (match Client.ping c with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail m);
+      Alcotest.(check bool) "idle session reaped" true
+        (wait_until (fun () -> Server.active_sessions srv = 0));
+      let s = Metrics.snapshot (Server.metrics srv) in
+      Alcotest.(check int) "reap counted" 1 s.Metrics.s_reaped;
+      Client.close c)
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "request roundtrip" `Quick
+            test_proto_request_roundtrip;
+          Alcotest.test_case "response roundtrip" `Quick
+            test_proto_response_roundtrip;
+          Alcotest.test_case "garbage rejected" `Quick
+            test_proto_rejects_garbage;
+        ] );
+      ( "framing",
+        [
+          Alcotest.test_case "roundtrip and eof" `Quick
+            test_frame_roundtrip_and_eof;
+          Alcotest.test_case "oversized" `Quick test_frame_oversized;
+          Alcotest.test_case "zero length and mid-frame eof" `Quick
+            test_frame_zero_and_midframe;
+        ] );
+      ( "exec-queue",
+        [
+          Alcotest.test_case "serial execution" `Quick test_exec_queue_basics;
+          Alcotest.test_case "timeout and abandon" `Quick
+            test_exec_queue_timeout_and_abandon;
+        ] );
+      ( "e2e",
+        [
+          Alcotest.test_case "basic session" `Quick test_e2e_basic;
+          Alcotest.test_case "8 concurrent clients vs serial reference" `Quick
+            test_e2e_concurrent_clients;
+          Alcotest.test_case "killed client mid-transaction" `Quick
+            test_e2e_kill_mid_txn;
+          Alcotest.test_case "robustness against malformed input" `Quick
+            test_e2e_robustness;
+          Alcotest.test_case "admission control" `Quick
+            test_e2e_admission_busy;
+          Alcotest.test_case "idle reaping" `Quick test_e2e_idle_reap;
+        ] );
+    ]

@@ -434,6 +434,25 @@ let test_scheduler_deadlock_restart () =
         (stats.Scheduler.deadlock_restarts > 0)
   | Error _ -> Alcotest.fail "stalled"
 
+let test_scheduler_stall_budget () =
+  (* The scheduler runs one op per live transaction per round, so a
+     10-op script cannot finish inside a 3-round budget: [run] must give
+     up and report the stall as [Error stats] instead of spinning. *)
+  let mgr, _rel = mk_mgr () in
+  let scripts =
+    List.init 2 (fun k ->
+        List.init 10 (fun i ->
+            Scheduler.Op_insert
+              { rel = "Department"; values = dept "s" ((k * 100) + i) }))
+  in
+  match Scheduler.run ~max_rounds:3 mgr scripts with
+  | Ok _ -> Alcotest.fail "expected a stall with max_rounds:3"
+  | Error stats ->
+      Alcotest.(check int) "round budget honoured" 3 stats.Scheduler.rounds;
+      Alcotest.(check int) "nothing committed" 0 stats.Scheduler.committed;
+      Alcotest.(check bool) "partial progress recorded" true
+        (stats.Scheduler.ops_executed > 0)
+
 (* Money-conservation property: concurrent transfer transactions must
    preserve the total balance — torn (non-atomic) application or lost
    updates would break it. *)
@@ -1026,6 +1045,8 @@ let () =
             test_scheduler_conflicting_writers;
           Alcotest.test_case "deadlock victim restarts" `Quick
             test_scheduler_deadlock_restart;
+          Alcotest.test_case "round budget exhaustion reports a stall" `Quick
+            test_scheduler_stall_budget;
           QCheck_alcotest.to_alcotest scheduler_conservation_property;
         ] );
       ( "log",
