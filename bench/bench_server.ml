@@ -3,26 +3,32 @@
    The server runs in its own forked process (so the bench parent stays
    single-threaded and can fork client processes safely — forking after
    spawning domains is hazardous in OCaml 5).  Each measured point forks
-   N client processes; every client opens one connection and fires a
-   50/50 INSERT/SELECT mix over disjoint key ranges, recording per-request
+   N client processes; every client opens one connection and fires
+   either a 50/50 INSERT/SELECT mix over disjoint key ranges or a pure
+   SELECT workload over a pre-seeded range, recording per-request
    latency.  Children report (requests, errors, latencies) back over a
    pipe via Marshal.
 
-   Because a single executor domain serializes all statement execution,
-   throughput should plateau once one client saturates it, and p99
-   latency should grow roughly linearly with the client count — queueing
-   delay, not execution time, dominates.  That is the serving-layer
-   analogue of the paper's single-processor assumption (§1). *)
+   The mixed workload serializes on the single writer dispatcher, so its
+   throughput plateaus once one client saturates it and p99 grows with
+   queueing — the serving-layer analogue of the paper's single-processor
+   assumption (§1).  The read-only workload takes the parallel-reader
+   path and scales with min(clients, reader domains, physical cores). *)
 
 open Mmdb_util
 open Mmdb_net
 
 let client_counts = [ 1; 2; 4; 8; 16 ]
 
+(* Key range pre-seeded for the read-only phase, disjoint from the
+   per-slot ranges the mixed phase inserts into. *)
+let ro_base = 900_000_000
+let ro_keys = 256
+
 (* One client process: runs [ops] requests, returns stats over [wr].
    [slot] is globally unique across rounds so key ranges never collide
    (a reused key would turn the INSERT half into duplicate-key errors). *)
-let run_client ~port ~slot ~ops wr =
+let run_client ~port ~slot ~mix ~ops wr =
   let lats = Array.make (max ops 1) 0.0 in
   let errors = ref 0 in
   let done_ops = ref 0 in
@@ -33,9 +39,15 @@ let run_client ~port ~slot ~ops wr =
       for i = 0 to ops - 1 do
         let key = base + i in
         let sql =
-          if i land 1 = 0 then
-            Printf.sprintf "INSERT INTO KV VALUES (%d, %d);" key (key * 3)
-          else Printf.sprintf "SELECT V FROM KV WHERE K = %d;" (base + i - 1)
+          match mix with
+          | `Readonly ->
+              Printf.sprintf "SELECT V FROM KV WHERE K = %d;"
+                (ro_base + ((slot + i) mod ro_keys))
+          | `Mixed ->
+              if i land 1 = 0 then
+                Printf.sprintf "INSERT INTO KV VALUES (%d, %d);" key (key * 3)
+              else
+                Printf.sprintf "SELECT V FROM KV WHERE K = %d;" (base + i - 1)
         in
         let t0 = Unix.gettimeofday () in
         (match Client.query c sql with
@@ -94,7 +106,7 @@ let fork_server () =
       close_in ic;
       (pid, port)
 
-let measure_point ~port ~round ~n_clients ~ops_per_client =
+let measure_point ~port ~round ~mix ~n_clients ~ops_per_client =
   let start = Unix.gettimeofday () in
   let children =
     List.init n_clients (fun child ->
@@ -102,8 +114,8 @@ let measure_point ~port ~round ~n_clients ~ops_per_client =
         match Unix.fork () with
         | 0 ->
             Unix.close rd;
-            run_client ~port ~slot:((round * 64) + child) ~ops:ops_per_client
-              wr;
+            run_client ~port ~slot:((round * 64) + child) ~mix
+              ~ops:ops_per_client wr;
             Unix._exit 0
         | pid ->
             Unix.close wr;
@@ -133,6 +145,22 @@ let measure_point ~port ~round ~n_clients ~ops_per_client =
   in
   (total_ops, total_errors, elapsed, pct 50.0, pct 99.0)
 
+(* Seed the read-only key range through a throwaway connection. *)
+let seed_readonly ~port =
+  match Client.connect ~host:"127.0.0.1" ~port () with
+  | Error m -> failwith ("bench server seed failed: " ^ m)
+  | Ok c ->
+      for k = ro_base to ro_base + ro_keys - 1 do
+        match
+          Client.query c
+            (Printf.sprintf "INSERT INTO KV VALUES (%d, %d);" k (k * 3))
+        with
+        | Ok (Protocol.Error (_, m)) | Error m ->
+            failwith ("bench server seed failed: " ^ m)
+        | Ok _ -> ()
+      done;
+      ignore (Client.quit c)
+
 let run (cfg : Bench_util.config) =
   Bench_util.header "SRV: server throughput/latency vs concurrent clients";
   let ops_per_client = Bench_util.scaled cfg 400 in
@@ -142,35 +170,47 @@ let run (cfg : Bench_util.config) =
       Unix.kill pid Sys.sigterm;
       ignore (Unix.waitpid [] pid))
     (fun () ->
-      let rows =
-        List.mapi
-          (fun round n_clients ->
-            let ops, errors, elapsed, p50, p99 =
-              measure_point ~port ~round ~n_clients ~ops_per_client
-            in
-            let rps = float_of_int ops /. Float.max 1e-9 elapsed in
-            Bench_util.emit cfg ~exp:"server"
+      seed_readonly ~port;
+      let phase ~mix ~mix_name ~round_base =
+        let rows =
+          List.mapi
+            (fun round n_clients ->
+              let ops, errors, elapsed, p50, p99 =
+                measure_point ~port ~round:(round_base + round) ~mix
+                  ~n_clients ~ops_per_client
+              in
+              let rps = float_of_int ops /. Float.max 1e-9 elapsed in
+              Bench_util.emit cfg ~exp:"server"
+                [
+                  ("mix", `Str mix_name);
+                  ("clients", `Int n_clients);
+                  ("requests", `Int ops);
+                  ("errors", `Int errors);
+                  ("elapsed_s", `Float elapsed);
+                  ("req_per_s", `Float rps);
+                  ("p50_ms", `Float p50);
+                  ("p99_ms", `Float p99);
+                ];
               [
-                ("clients", `Int n_clients);
-                ("requests", `Int ops);
-                ("errors", `Int errors);
-                ("elapsed_s", `Float elapsed);
-                ("req_per_s", `Float rps);
-                ("p50_ms", `Float p50);
-                ("p99_ms", `Float p99);
-              ];
-            [
-              string_of_int n_clients;
-              string_of_int ops;
-              Printf.sprintf "%.0f" rps;
-              Printf.sprintf "%.3f" p50;
-              Printf.sprintf "%.3f" p99;
-              string_of_int errors;
-            ])
-          client_counts
+                string_of_int n_clients;
+                string_of_int ops;
+                Printf.sprintf "%.0f" rps;
+                Printf.sprintf "%.3f" p50;
+                Printf.sprintf "%.3f" p99;
+                string_of_int errors;
+              ])
+            client_counts
+        in
+        Printf.printf "  -- %s --\n%!" mix_name;
+        Bench_util.table
+          ~columns:
+            [ "clients"; "requests"; "req/s"; "p50(ms)"; "p99(ms)"; "errors" ]
+          rows
       in
-      Bench_util.table
-        ~columns:[ "clients"; "requests"; "req/s"; "p50(ms)"; "p99(ms)"; "errors" ]
-        rows;
+      phase ~mix:`Mixed ~mix_name:"50/50 insert+select" ~round_base:0;
+      phase ~mix:`Readonly ~mix_name:"read-only (parallel readers)"
+        ~round_base:(List.length client_counts);
       Bench_util.note
-        "one executor domain serializes execution: throughput plateaus, p99 grows with queueing")
+        "mixed: the single writer dispatcher serializes, throughput plateaus and p99 grows with queueing";
+      Bench_util.note
+        "read-only: fans out across reader domains; scales with min(clients, readers, physical cores)")

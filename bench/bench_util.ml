@@ -87,9 +87,22 @@ let json_escape s =
     s;
   Buffer.contents b
 
+(* The checkout's short git revision, for cross-machine provenance of
+   JSONL records; "unknown" outside a git checkout. *)
+let git_rev =
+  lazy
+    (try
+       let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+       let line = try String.trim (input_line ic) with End_of_file -> "" in
+       match (Unix.close_process_in ic, line) with
+       | Unix.WEXITED 0, rev when rev <> "" -> rev
+       | _ -> "unknown"
+     with _ -> "unknown")
+
 (* Append one result record to [cfg.out] as a JSON line (no-op when no
    [--out] was given).  Every record carries the experiment id plus the
-   run's scale and seed so mixed files stay self-describing. *)
+   run's scale, seed, domain budget, and git revision so mixed files (and
+   BENCH_* trajectories from different machines) stay self-describing. *)
 let emit cfg ~exp (kvs : (string * jv) list) =
   match cfg.out with
   | None -> ()
@@ -105,6 +118,8 @@ let emit cfg ~exp (kvs : (string * jv) list) =
         ("experiment", `Str exp)
         :: ("scale", `Float cfg.scale)
         :: ("seed", `Int cfg.seed)
+        :: ("domains", `Int (Domain_pool.default_size ()))
+        :: ("git_rev", `Str (Lazy.force git_rev))
         :: kvs
       in
       let oc =

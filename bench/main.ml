@@ -50,6 +50,8 @@ let experiments : (string * string * (Bench_util.config -> unit)) list =
     ("a7", "Ablation: string vs int vs pointer joins", Bench_ablation.a7);
     ("a8", "Ablation: semijoin bit-vector prefilter", Bench_ablation.a8);
     ("c1", "Concurrency: partition-level locking", Bench_concurrency.c1);
+    ("parallel", "Parallel operators: speedup vs domain count",
+     Bench_parallel.run);
     ("server", "Serving: throughput/latency vs concurrent clients",
      Bench_server.run);
     ("r1", "Recovery: working set vs full reload", Bench_recovery.r1);

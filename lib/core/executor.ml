@@ -7,17 +7,22 @@
     duplicates — "it is never needed to reduce the size of the result
     tuples, because tuples are never copied, only pointed to" (§4). *)
 
+open Mmdb_util
 open Mmdb_storage
 
 let predicates_of plan = List.map snd plan.Optimizer.p_paths
 
 (* A single-relation plan: run the (indexed) selection directly. *)
-let run_select plan =
+let run_select ?pool plan =
   match plan.Optimizer.p_paths with
-  | [] -> Select.run plan.Optimizer.p_outer ~path:Select.Sequential_scan ~predicates:[]
-  | (path, _) :: _ -> Select.run plan.Optimizer.p_outer ~path ~predicates:(predicates_of plan)
+  | [] ->
+      Select.run ?pool plan.Optimizer.p_outer ~path:Select.Sequential_scan
+        ~predicates:[]
+  | (path, _) :: _ ->
+      Select.run ?pool plan.Optimizer.p_outer ~path
+        ~predicates:(predicates_of plan)
 
-let run_join plan (choice, outer_side, inner_side) =
+let run_join ?pool plan (choice, outer_side, inner_side) =
   let preds = predicates_of plan in
   let outer_filter =
     match preds with
@@ -25,7 +30,8 @@ let run_join plan (choice, outer_side, inner_side) =
     | ps -> Some (fun tuple -> List.for_all (Select.matches tuple) ps)
   in
   match choice with
-  | Optimizer.Algorithm m -> Join.run ?outer_filter m ~outer:outer_side ~inner:inner_side
+  | Optimizer.Algorithm m ->
+      Join.run ?pool ?outer_filter m ~outer:outer_side ~inner:inner_side
   | Optimizer.Precomputed col ->
       let inner_schema = Relation.schema inner_side.Join.rel in
       let joined = Join.precomputed ~outer:plan.Optimizer.p_outer ~ref_col:col ~inner_schema in
@@ -39,27 +45,32 @@ let run_join plan (choice, outer_side, inner_side) =
               if f entry.(0) then Temp_list.append out entry);
           out)
 
-let execute plan =
+(* [pool] defaults to the process-wide pool, so every caller (interp,
+   server, shell) gets intra-query parallelism on large inputs without
+   plumbing; MMDB_DOMAINS=1 makes that pool sequential.  Operators called
+   directly (tests, benches) stay sequential unless handed a pool. *)
+let execute ?pool plan =
+  let pool = match pool with Some p -> p | None -> Domain_pool.global () in
   let result =
     match plan.Optimizer.p_join with
-    | None -> run_select plan
-    | Some j -> run_join plan j
+    | None -> run_select ~pool plan
+    | Some j -> run_join ~pool plan j
   in
   let result =
     match plan.Optimizer.p_project with
     | None -> result
     | Some labels ->
         if plan.Optimizer.p_distinct then
-          Project.run plan.Optimizer.p_dedup_method result labels
+          Project.run ~pool plan.Optimizer.p_dedup_method result labels
         else Temp_list.project result labels
   in
   if plan.Optimizer.p_distinct && plan.Optimizer.p_project = None then
-    Project.run plan.Optimizer.p_dedup_method result
+    Project.run ~pool plan.Optimizer.p_dedup_method result
       (Descriptor.labels (Temp_list.descriptor result))
   else result
 
 (* One-call convenience: plan and run. *)
-let query ?stats db q = execute (Optimizer.plan ?stats db q)
+let query ?pool ?stats db q = execute ?pool (Optimizer.plan ?stats db q)
 
 (* Render a result as strings, for the examples and the CLI. *)
 let rows tl =

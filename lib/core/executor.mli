@@ -7,9 +7,17 @@
 
 open Mmdb_storage
 
-val execute : Optimizer.plan -> Temp_list.t
+val execute : ?pool:Mmdb_util.Domain_pool.t -> Optimizer.plan -> Temp_list.t
+(** [pool] (default {!Mmdb_util.Domain_pool.global}) powers the parallel
+    operator variants on large inputs; a size-1 pool (MMDB_DOMAINS=1)
+    reproduces the sequential execution bit for bit. *)
 
-val query : ?stats:Optimizer.join_stats -> Db.t -> Query.t -> Temp_list.t
+val query :
+  ?pool:Mmdb_util.Domain_pool.t ->
+  ?stats:Optimizer.join_stats ->
+  Db.t ->
+  Query.t ->
+  Temp_list.t
 (** Plan and run in one call. *)
 
 val rows : Temp_list.t -> string list list

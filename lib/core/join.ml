@@ -74,7 +74,7 @@ let nested_loops ?outer_filter ~outer ~inner () =
    always charges this build cost, "because we feel that a hash table index
    is less likely to exist than a T Tree index" (§3.3.2).  Table size is
    half the inner cardinality, as in the paper's projection experiments. *)
-let hash_join ?outer_filter ~outer ~inner () =
+let hash_join_seq ?outer_filter ~outer ~inner () =
   let out = result_list outer inner in
   let columns = [| inner.col |] in
   let table =
@@ -96,6 +96,82 @@ let hash_join ?outer_filter ~outer ~inner () =
             Temp_list.append out [| o; i |])
       end);
   out
+
+(* Below this combined cardinality the partitioned variant loses to the
+   fork/join overhead. *)
+let parallel_join_threshold = 2048
+
+(* Partitioned (Grace-style) parallel hash join: both sides are routed by
+   hash of the join key into [p] disjoint buckets, and each bucket is an
+   independent build+probe job — tuples with equal keys always land in the
+   same bucket, so the union of the bucket joins is exactly the sequential
+   result.  Routing is a plain [Value.hash] (not counted: it is
+   parallelization bookkeeping, not part of the paper's algorithm); the
+   per-bucket builds and probes count hash calls and comparisons exactly
+   as the sequential join does, modulo chain-length effects of the smaller
+   per-bucket tables. *)
+let hash_join_par pool ?outer_filter ~outer ~inner () =
+  let p = Domain_pool.size pool in
+  let route v = Value.hash v land max_int mod p in
+  let inner_buckets = Array.make p [] in
+  Relation.iter inner.rel (fun i ->
+      let b = route (key inner i) in
+      inner_buckets.(b) <- i :: inner_buckets.(b));
+  (* Outer keys are extracted once here (as in the sequential probe loop)
+     and carried into the bucket to avoid a second dereference. *)
+  let outer_buckets = Array.make p [] in
+  Relation.iter outer.rel (fun o ->
+      if keep outer_filter o then begin
+        let ko = key outer o in
+        let b = route ko in
+        outer_buckets.(b) <- (ko, o) :: outer_buckets.(b)
+      end);
+  let desc =
+    Descriptor.join
+      (Descriptor.of_schema (Relation.schema outer.rel))
+      (Descriptor.of_schema (Relation.schema inner.rel))
+  in
+  let columns = [| inner.col |] in
+  let inner_arity = Schema.arity (Relation.schema inner.rel) in
+  let locals =
+    Domain_pool.parallel_map pool
+      (fun b ->
+        let local = Temp_list.create desc in
+        let inners = List.rev inner_buckets.(b) in
+        let outers = List.rev outer_buckets.(b) in
+        (match (inners, outers) with
+        | [], _ | _, [] -> ()
+        | _ ->
+            let table =
+              Mmdb_index.Chained_hash.create ~duplicates:true
+                ~expected:(List.length inners)
+                ~cmp:(Tuple.compare_keyed ~columns)
+                ~hash:(Tuple.hash_on ~columns) ()
+            in
+            List.iter
+              (fun i -> ignore (Mmdb_index.Chained_hash.insert table i))
+              inners;
+            let probe = Tuple.probe (Array.make inner_arity Value.Null) in
+            List.iter
+              (fun (ko, o) ->
+                Tuple.set probe inner.col ko;
+                Mmdb_index.Chained_hash.iter_matches table probe (fun i ->
+                    Temp_list.append local [| o; i |]))
+              outers);
+        local)
+      (Array.init p (fun b -> b))
+  in
+  Temp_list.concat desc (Array.to_list locals)
+
+let hash_join ?pool ?outer_filter ~outer ~inner () =
+  match pool with
+  | Some pool
+    when Domain_pool.size pool > 1
+         && (not (Domain_pool.in_worker ()))
+         && Relation.count outer.rel + Relation.count inner.rel
+            >= parallel_join_threshold ->
+      hash_join_par pool ?outer_filter ~outer ~inner ()
+  | _ -> hash_join_seq ?outer_filter ~outer ~inner ()
 
 (* --- tree join ----------------------------------------------------------- *)
 
@@ -204,8 +280,11 @@ let merge_arrays ~key1 ~key2 arr1 arr2 ~emit =
   done
 
 (* Sort Merge: build array indexes on both join columns and quicksort them
-   (§3.3.2), then merge.  Build cost is always charged. *)
-let sort_merge ?(cutoff = 10) ?outer_filter ~outer ~inner () =
+   (§3.3.2), then merge.  Build cost is always charged.  With a pool, the
+   two sides sort concurrently and each sort is itself parallel
+   ([Qsort.sort_parallel] — slice quicksorts plus parallel merge rounds);
+   the final merge join stays sequential (it emits into one list). *)
+let sort_merge ?pool ?(cutoff = 10) ?outer_filter ~outer ~inner () =
   let out = result_list outer inner in
   let collect ?filter side =
     let acc = ref [] and n = ref 0 in
@@ -220,8 +299,15 @@ let sort_merge ?(cutoff = 10) ?outer_filter ~outer ~inner () =
   in
   let arr1 = collect ?filter:outer_filter outer and arr2 = collect inner in
   let sort side arr =
-    Qsort.sort ~cutoff ~cmp:(Tuple.compare_on ~columns:[| side.col |]) arr
+    let cmp = Tuple.compare_on ~columns:[| side.col |] in
+    match pool with
+    | Some pool when not (Domain_pool.in_worker ()) ->
+        Qsort.sort_parallel ~pool ~cutoff ~cmp arr
+    | _ -> Qsort.sort ~cutoff ~cmp arr
   in
+  (* The sides sort one after the other: each parallel sort already uses
+     every worker, and submitting a side as a task itself would nest
+     pools (forcing its inner sort sequential). *)
   sort outer arr1;
   sort inner arr2;
   merge_arrays ~key1:(key outer) ~key2:(key inner) arr1 arr2
@@ -354,10 +440,10 @@ let pointer_join ~outer ~ref_col ~selected =
 
 (* --- uniform driver -------------------------------------------------------- *)
 
-let run ?outer_filter method_ ~outer ~inner =
+let run ?pool ?outer_filter method_ ~outer ~inner =
   match method_ with
   | Nested_loops -> nested_loops ?outer_filter ~outer ~inner ()
-  | Hash_join -> hash_join ?outer_filter ~outer ~inner ()
+  | Hash_join -> hash_join ?pool ?outer_filter ~outer ~inner ()
   | Tree_join -> tree_join ?outer_filter ~outer ~inner ()
-  | Sort_merge -> sort_merge ?outer_filter ~outer ~inner ()
+  | Sort_merge -> sort_merge ?pool ?outer_filter ~outer ~inner ()
   | Tree_merge -> tree_merge ?outer_filter ~outer ~inner ()

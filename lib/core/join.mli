@@ -25,10 +25,22 @@ val nested_loops :
 (** The O(N²) baseline with no index (Graph 10). *)
 
 val hash_join :
-  ?outer_filter:(Tuple.t -> bool) -> outer:side -> inner:side -> unit -> Temp_list.t
+  ?pool:Mmdb_util.Domain_pool.t ->
+  ?outer_filter:(Tuple.t -> bool) ->
+  outer:side ->
+  inner:side ->
+  unit ->
+  Temp_list.t
 (** Nested loops through a Chained Bucket Hash built on the inner join
     column.  The build cost is always included: "a hash table index is
-    less likely to exist than a T Tree index" (§3.3.2). *)
+    less likely to exist than a T Tree index" (§3.3.2).
+
+    With a parallel [pool] and a large enough input (combined cardinality
+    >= 2048), the join runs partitioned: both sides are routed by hash of
+    the join key into per-worker buckets, and each bucket is an
+    independent build+probe producing a local list, concatenated at the
+    end — the same result multiset as the sequential join, with counters
+    within chain-length bookkeeping tolerance of it. *)
 
 val find_tree_index : side -> Relation.index_instance option
 (** The pre-existing ordered index on a side's join column, if any. *)
@@ -40,6 +52,7 @@ val tree_join :
     @raise Invalid_argument when no such index exists. *)
 
 val sort_merge :
+  ?pool:Mmdb_util.Domain_pool.t ->
   ?cutoff:int ->
   ?outer_filter:(Tuple.t -> bool) ->
   outer:side ->
@@ -50,7 +63,9 @@ val sort_merge :
     the insertion-sort threshold, default 10 per footnote 6), merge.
     Build and sort costs are always charged; duplicate runs rescan the
     contiguous array with integer cursors, the efficiency behind its
-    high-output wins (Graphs 7/8). *)
+    high-output wins (Graphs 7/8).  With a parallel [pool], each side's
+    sort runs via {!Mmdb_util.Qsort.sort_parallel}; the merge join itself
+    stays sequential. *)
 
 val tree_merge :
   ?outer_filter:(Tuple.t -> bool) -> outer:side -> inner:side -> unit -> Temp_list.t
@@ -58,8 +73,15 @@ val tree_merge :
     @raise Invalid_argument when either index is missing. *)
 
 val run :
-  ?outer_filter:(Tuple.t -> bool) -> method_ -> outer:side -> inner:side -> Temp_list.t
-(** Uniform driver over the five algorithms. *)
+  ?pool:Mmdb_util.Domain_pool.t ->
+  ?outer_filter:(Tuple.t -> bool) ->
+  method_ ->
+  outer:side ->
+  inner:side ->
+  Temp_list.t
+(** Uniform driver over the five algorithms.  [pool] enables the parallel
+    variants of {!hash_join} and {!sort_merge}; the other methods ignore
+    it. *)
 
 (** {1 Non-equijoins (§3.3.5)} *)
 

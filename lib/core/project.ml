@@ -41,21 +41,46 @@ let key_hash k =
   Counters.bump_hash_calls ();
   Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 k
 
+(* Lists shorter than this dedup faster sequentially than the fork/join
+   round trips cost. *)
+let parallel_threshold = 1024
+
+let parallel_pool pool n =
+  match pool with
+  | Some pool
+    when Domain_pool.size pool > 1
+         && (not (Domain_pool.in_worker ()))
+         && n >= parallel_threshold ->
+      Some pool
+  | _ -> None
+
 (* Narrow [tl] to [labels], then eliminate duplicate rows by sorting. *)
-let sort_scan ?(cutoff = 10) tl labels =
+let sort_scan ?pool ?(cutoff = 10) tl labels =
   let narrowed = Temp_list.project tl labels in
   let n = Temp_list.length narrowed in
   let out = Temp_list.create (Temp_list.descriptor narrowed) in
   if n = 0 then out
   else begin
     (* Pair each entry with its projected key so the sort compares values,
-       not pointers. *)
+       not pointers.  Key extraction materializes through the tuple
+       pointers, so with a pool it fans out too. *)
     let keyed =
-      Array.init n (fun i ->
-          let e = Temp_list.get narrowed i in
-          (entry_key narrowed e, e))
+      match parallel_pool pool n with
+      | Some pool ->
+          let entries = Array.init n (Temp_list.get narrowed) in
+          Domain_pool.parallel_map pool
+            (fun e -> (entry_key narrowed e, e))
+            entries
+      | None ->
+          Array.init n (fun i ->
+              let e = Temp_list.get narrowed i in
+              (entry_key narrowed e, e))
     in
-    Qsort.sort ~cutoff ~cmp:(fun (a, _) (b, _) -> key_cmp a b) keyed;
+    let cmp (a, _) (b, _) = key_cmp a b in
+    (match pool with
+    | Some pool when not (Domain_pool.in_worker ()) ->
+        Qsort.sort_parallel ~pool ~cutoff ~cmp keyed
+    | _ -> Qsort.sort ~cutoff ~cmp keyed);
     let last = ref None in
     Array.iter
       (fun (k, e) ->
@@ -68,24 +93,73 @@ let sort_scan ?(cutoff = 10) tl labels =
     out
   end
 
-(* Hash-based duplicate elimination; table sized |R|/2 as in the paper. *)
-let hashing tl labels =
-  let narrowed = Temp_list.project tl labels in
-  let n = Temp_list.length narrowed in
-  let out = Temp_list.create (Temp_list.descriptor narrowed) in
-  let slots = max 16 (n / 2) in
+(* Dedup a run of (hash, key, entry) triples in order, keeping the first
+   occurrence of each key — the sequential [DKO84] inner loop, shared by
+   the sequential path (one run) and the parallel path (one run per hash
+   partition). *)
+let dedup_run out slots triples =
   let table : (int, Value.t array list) Hashtbl.t = Hashtbl.create slots in
-  Temp_list.iter narrowed (fun e ->
-      let k = entry_key narrowed e in
-      let h = key_hash k in
+  List.iter
+    (fun (h, k, e) ->
       let bucket = Option.value ~default:[] (Hashtbl.find_opt table h) in
       if not (List.exists (fun k' -> key_cmp k' k = 0) bucket) then begin
         Hashtbl.replace table h (k :: bucket);
         Temp_list.append out e
-      end);
-  out
+      end)
+    triples
 
-let run method_ tl labels =
+(* Hash-based duplicate elimination; table sized |R|/2 as in the paper.
+
+   Parallel variant: project+hash every entry in parallel, route the
+   triples by hash into one run per worker (equal keys share a hash, so
+   they always land in the same run and keep their original relative
+   order), dedup the runs in parallel, concatenate.  The surviving
+   representative of each key group is the first occurrence, exactly as in
+   the sequential scan, and both key-hash calls and bucket-scan
+   comparisons are identical (hash partitions are unions of whole
+   hash-collision buckets). *)
+let hashing ?pool tl labels =
+  let narrowed = Temp_list.project tl labels in
+  let n = Temp_list.length narrowed in
+  let out = Temp_list.create (Temp_list.descriptor narrowed) in
+  match parallel_pool pool n with
+  | Some pool ->
+      let entries = Array.init n (Temp_list.get narrowed) in
+      let keyed =
+        Domain_pool.parallel_map pool
+          (fun e ->
+            let k = entry_key narrowed e in
+            (key_hash k, k, e))
+          entries
+      in
+      let p = Domain_pool.size pool in
+      let parts = Array.make p [] in
+      Array.iter
+        (fun ((h, _, _) as triple) ->
+          let b = h land max_int mod p in
+          parts.(b) <- triple :: parts.(b))
+        keyed;
+      let desc = Temp_list.descriptor narrowed in
+      let locals =
+        Domain_pool.parallel_map pool
+          (fun part ->
+            let local = Temp_list.create desc in
+            let part = List.rev part in
+            dedup_run local (max 16 (List.length part / 2)) part;
+            local)
+          parts
+      in
+      Array.iter (fun l -> Temp_list.append_all out l) locals;
+      out
+  | None ->
+      let triples = ref [] in
+      Temp_list.iter narrowed (fun e ->
+          let k = entry_key narrowed e in
+          triples := (key_hash k, k, e) :: !triples);
+      dedup_run out (max 16 (n / 2)) (List.rev !triples);
+      out
+
+let run ?pool method_ tl labels =
   match method_ with
-  | Sort_scan -> sort_scan tl labels
-  | Hashing -> hashing tl labels
+  | Sort_scan -> sort_scan ?pool tl labels
+  | Hashing -> hashing ?pool tl labels

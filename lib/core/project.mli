@@ -11,14 +11,25 @@ type method_ = Sort_scan | Hashing
 
 val method_name : method_ -> string
 
-val sort_scan : ?cutoff:int -> Temp_list.t -> string list -> Temp_list.t
+val sort_scan :
+  ?pool:Mmdb_util.Domain_pool.t ->
+  ?cutoff:int ->
+  Temp_list.t ->
+  string list ->
+  Temp_list.t
 (** [BBD83]: narrow to the given labels, sort the entries on the projected
     values (quicksort with insertion-sort [cutoff], default 10), and drop
-    adjacent duplicates. *)
+    adjacent duplicates.  With a parallel [pool] and a large input, key
+    extraction fans out and the sort runs via
+    {!Mmdb_util.Qsort.sort_parallel}. *)
 
-val hashing : Temp_list.t -> string list -> Temp_list.t
+val hashing : ?pool:Mmdb_util.Domain_pool.t -> Temp_list.t -> string list -> Temp_list.t
 (** [DKO84]: narrow, then insert projected keys into a chained hash table
     sized |R|/2, discarding duplicates as they are met — the §4 method of
-    choice. *)
+    choice.  With a parallel [pool] and a large input, entries are routed
+    by key hash into one run per worker and deduplicated in parallel,
+    keeping the same first-occurrence representatives (and the same hash
+    and comparison counts) as the sequential scan. *)
 
-val run : method_ -> Temp_list.t -> string list -> Temp_list.t
+val run :
+  ?pool:Mmdb_util.Domain_pool.t -> method_ -> Temp_list.t -> string list -> Temp_list.t

@@ -9,6 +9,7 @@
     Results are temporary lists of tuple pointers (§2.3) — selection copies
     nothing. *)
 
+open Mmdb_util
 open Mmdb_storage
 
 type predicate =
@@ -68,9 +69,46 @@ let best_path rel = function
       | None -> Sequential_scan)
   | Filter _ -> Sequential_scan
 
+(* Partitions below this total cardinality are scanned sequentially: the
+   fork/join round trip costs more than the scan it saves. *)
+let parallel_scan_threshold = 1024
+
+(* Partition-parallel sequential scan: relations already store tuples in
+   partitions (§2.1), so each worker scans a disjoint set of partitions
+   into a local temporary list and the coordinator concatenates.  Every
+   tuple is touched exactly once with the same [Tuple.get] dereferences
+   as the sequential scan, so the paper's counters merge to identical
+   totals; only the emission order differs (storage order rather than
+   primary-index order — result sets are unordered).  *)
+let scan_parallel pool rel ~keep out =
+  let parts = Array.of_list (Relation.partitions rel) in
+  let desc = Temp_list.descriptor out in
+  let locals =
+    Domain_pool.parallel_map pool
+      (fun p ->
+        let local = Temp_list.create desc in
+        Partition.iter p (fun tuple ->
+            if keep tuple then Temp_list.append local [| tuple |]);
+        local)
+      parts
+  in
+  Array.iter (fun l -> Temp_list.append_all out l) locals
+
+let use_parallel_scan pool rel =
+  match pool with
+  | None -> None
+  | Some pool ->
+      if
+        Domain_pool.size pool > 1
+        && (not (Domain_pool.in_worker ()))
+        && Relation.count rel >= parallel_scan_threshold
+        && List.length (Relation.partitions rel) > 1
+      then Some pool
+      else None
+
 (* Run a selection with an explicit access path; residual predicates are
    applied on top.  The first predicate is the indexable one. *)
-let run rel ~path ~predicates =
+let run ?pool rel ~path ~predicates =
   let out = Temp_list.create (Descriptor.of_schema (Relation.schema rel)) in
   let residual_ok tuple rest = List.for_all (matches tuple) rest in
   (match (path, predicates) with
@@ -85,17 +123,21 @@ let run rel ~path ~predicates =
       Relation.lookup_range ~index:idx rel ~lo:[| lo |] ~hi:[| hi |]
         (fun tuple ->
           if residual_ok tuple rest then Temp_list.append out [| tuple |])
-  | Sequential_scan, preds ->
-      Relation.iter rel (fun tuple ->
-          if residual_ok tuple preds then Temp_list.append out [| tuple |])
+  | Sequential_scan, preds -> (
+      match use_parallel_scan pool rel with
+      | Some pool ->
+          scan_parallel pool rel ~keep:(fun t -> residual_ok t preds) out
+      | None ->
+          Relation.iter rel (fun tuple ->
+              if residual_ok tuple preds then Temp_list.append out [| tuple |]))
   | (Hash_lookup _ | Tree_lookup _), _ ->
       invalid_arg "Select.run: access path incompatible with predicate");
   out
 
 (* Selection with automatic access-path choice. *)
-let select rel predicates =
+let select ?pool rel predicates =
   match predicates with
-  | [] -> run rel ~path:Sequential_scan ~predicates:[]
+  | [] -> run ?pool rel ~path:Sequential_scan ~predicates:[]
   | first :: _ ->
       let path = best_path rel first in
-      run rel ~path ~predicates
+      run ?pool rel ~path ~predicates

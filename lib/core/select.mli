@@ -27,12 +27,26 @@ val best_path : Relation.t -> predicate -> access_path
 (** The §4 choice for one predicate, given the relation's live indices. *)
 
 val run :
-  Relation.t -> path:access_path -> predicates:predicate list -> Temp_list.t
+  ?pool:Mmdb_util.Domain_pool.t ->
+  Relation.t ->
+  path:access_path ->
+  predicates:predicate list ->
+  Temp_list.t
 (** Run a selection on an explicit access path; the first predicate must
     be compatible with the path (it drives the index probe), the rest are
     applied as residuals.
+
+    When [pool] is given (and parallel: size > 1, relation large enough,
+    more than one partition, not already on a pool worker), a sequential
+    scan runs partition-parallel: each worker scans disjoint partitions
+    into a local temporary list, concatenated at the end.  Counters merge
+    to exactly the sequential totals; the emission order is storage order
+    rather than primary-index order.  [Filter] predicates must be pure
+    (they run concurrently from several domains).  Index lookups are
+    never parallelized.
     @raise Invalid_argument when path and predicate are incompatible. *)
 
-val select : Relation.t -> predicate list -> Temp_list.t
+val select :
+  ?pool:Mmdb_util.Domain_pool.t -> Relation.t -> predicate list -> Temp_list.t
 (** Selection with automatic access-path choice (driven by the first
     predicate). *)

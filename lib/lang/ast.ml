@@ -84,6 +84,16 @@ type stmt =
   | Commit_txn
   | Rollback_txn
 
+(* Statements that cannot modify the database (or the session's
+   transactional state): eligible for the server's parallel-reader path.
+   Transaction-control statements are deliberately "mutating" — they
+   change what subsequent statements mean. *)
+let is_read_only = function
+  | Select _ | Explain _ | Show_tables | Describe _ -> true
+  | Create_table _ | Create_index _ | Insert _ | Update _ | Delete _
+  | Begin_txn | Commit_txn | Rollback_txn ->
+      false
+
 (* --- prepared-statement parameters ----------------------------------- *)
 
 let map_condition f = function

@@ -1,23 +1,38 @@
-(* The single-executor serialization point.
+(* The single-writer/parallel-reader serialization point.
 
    INVARIANT: the storage layer (Db / Relation / Txn and everything under
-   them) is NOT thread-safe.  After [create], every touch of the shared
-   database must happen inside a job submitted here: jobs run one at a
-   time, in submission order, on one dedicated executor domain.  Session
-   threads only do socket I/O and protocol work.
+   them) is NOT thread-safe for writes.  After [create], every touch of
+   the shared database must happen inside a job submitted here.  [Write]
+   jobs (the default) run one at a time, in submission order, on one
+   dedicated dispatcher domain — exactly the old single-executor model.
+   [Read] jobs (statements classified read-only by the server) fan out
+   across a pool of reader domains; the dispatcher guarantees that
+
+   - no Write runs while any Read is in flight, and
+   - no Read starts before an earlier-queued Write has finished
+
+   (jobs leave the FIFO in submission order, and a Write waits for the
+   reader count to drain before running), so writes still observe and
+   produce a serial history while read-only queries of different sessions
+   overlap each other.  FIFO dispatch also means a stream of reads can
+   never starve a queued write.
 
    Timeouts never interrupt a running job (OCaml offers no safe
    preemption of a mutating storage operation); instead the waiter gives
    up ([await] returns [`Timeout]), marks the promise abandoned, and the
    executor either skips the job (not started yet) or discards its result
-   (already running).  Because jobs are serial, a session's follow-up
-   jobs queue strictly after its abandoned ones — which is what makes
-   connection cleanup safe (the final rollback job is guaranteed to run
-   after everything the session ever submitted).
+   (already running).  Because a session's jobs leave the queue in
+   submission order and its cleanup job is a Write (a barrier), the final
+   rollback is guaranteed to run after everything the session ever
+   submitted has finished.
 
    Completion is signalled two ways: a condition variable (for untimed
    waits) and an optional notify pipe, because OCaml's [Condition] has no
    timed wait — timed waiters [select] on the pipe instead. *)
+
+open Mmdb_util
+
+type kind = Read | Write
 
 type 'a outcome = Value of 'a | Raised of exn
 
@@ -31,34 +46,78 @@ type 'a promise = {
 
 type t = {
   m : Mutex.t;
-  c : Condition.t;
-  jobs : (unit -> unit) Queue.t;
+  c : Condition.t;  (* "a job was queued / stop was requested" *)
+  rc : Condition.t;  (* "a reader finished" *)
+  jobs : (kind * (unit -> unit)) Queue.t;
+  pool : Domain_pool.t;  (* reader domains *)
+  n_readers : int;
+  mutable active_readers : int;
   mutable stopped : bool;
   mutable runner : unit Domain.t option;
 }
 
+let readers t = t.n_readers
+
+(* The dispatcher: pops jobs in FIFO order.  A Write is a barrier — it
+   waits for in-flight readers to drain, then runs on this domain.  A
+   Read is handed to the reader pool and the dispatcher moves on (with a
+   1-reader pool the hand-off runs inline here, reproducing the serial
+   executor exactly). *)
 let run_loop t =
   let rec loop () =
     Mutex.lock t.m;
     while Queue.is_empty t.jobs && not t.stopped do
       Condition.wait t.c t.m
     done;
-    if Queue.is_empty t.jobs then Mutex.unlock t.m (* stopped and drained *)
+    if Queue.is_empty t.jobs then begin
+      (* stopped and drained: let in-flight readers finish first *)
+      while t.active_readers > 0 do
+        Condition.wait t.rc t.m
+      done;
+      Mutex.unlock t.m
+    end
     else begin
-      let job = Queue.pop t.jobs in
-      Mutex.unlock t.m;
-      job ();
-      loop ()
+      let kind, job = Queue.pop t.jobs in
+      match kind with
+      | Write ->
+          while t.active_readers > 0 do
+            Condition.wait t.rc t.m
+          done;
+          Mutex.unlock t.m;
+          job ();
+          loop ()
+      | Read ->
+          t.active_readers <- t.active_readers + 1;
+          Mutex.unlock t.m;
+          ignore
+            (Domain_pool.submit t.pool (fun () ->
+                 Fun.protect
+                   ~finally:(fun () ->
+                     Mutex.lock t.m;
+                     t.active_readers <- t.active_readers - 1;
+                     Condition.broadcast t.rc;
+                     Mutex.unlock t.m)
+                   job));
+          loop ()
     end
   in
   loop ()
 
-let create () =
+let create ?readers () =
+  let n_readers =
+    match readers with
+    | Some n -> max 1 n
+    | None -> Domain_pool.default_size ()
+  in
   let t =
     {
       m = Mutex.create ();
       c = Condition.create ();
+      rc = Condition.create ();
       jobs = Queue.create ();
+      pool = Domain_pool.create ~size:n_readers ();
+      n_readers;
+      active_readers = 0;
       stopped = false;
       runner = None;
     }
@@ -71,7 +130,7 @@ let poke p =
   | None -> ()
   | Some fd -> ( try ignore (Unix.write_substring fd "!" 0 1) with _ -> ())
 
-let submit t ?notify f =
+let submit t ?notify ?(kind = Write) f =
   let p =
     {
       pm = Mutex.create ();
@@ -110,7 +169,7 @@ let submit t ?notify f =
     Mutex.unlock p.pm
   end
   else begin
-    Queue.push job t.jobs;
+    Queue.push (kind, job) t.jobs;
     Condition.signal t.c;
     Mutex.unlock t.m
   end;
@@ -166,14 +225,16 @@ let await p ~wakeup ~deadline =
   in
   go ()
 
-(* Drain the queue, then stop and join the executor domain. *)
+(* Drain the queue (the dispatcher also waits out in-flight readers),
+   then stop and join the dispatcher domain and the reader pool. *)
 let stop t =
   Mutex.lock t.m;
   t.stopped <- true;
   Condition.broadcast t.c;
   Mutex.unlock t.m;
-  match t.runner with
+  (match t.runner with
   | None -> ()
   | Some d ->
       t.runner <- None;
-      Domain.join d
+      Domain.join d);
+  Domain_pool.stop t.pool

@@ -1,27 +1,45 @@
-(** The single-executor serialization point.
+(** The single-writer/parallel-reader serialization point.
 
     INVARIANT: the storage layer (Db / Relation / Txn and everything
-    under them) is not thread-safe.  Every touch of the shared database
-    must happen inside a job submitted here — jobs run one at a time, in
-    submission order, on one dedicated executor domain.
+    under them) is not thread-safe for writes.  Every touch of the
+    shared database must happen inside a job submitted here.  [Write]
+    jobs (the default) run one at a time, in submission order, on one
+    dedicated dispatcher domain; [Read] jobs fan out across a pool of
+    reader domains.  Jobs leave the FIFO in submission order, a Write
+    waits for in-flight readers to drain, and a Read never starts before
+    an earlier-queued Write finished — so writes observe and produce a
+    serial history while read-only queries overlap each other, and reads
+    can never starve a queued write.
 
     Timeouts never interrupt a running job: the waiter gives up and
     {!abandon}s the promise, and the executor either skips the job (not
-    yet started) or discards its result.  Serial order is what makes
-    session teardown safe: a cleanup job submitted last is guaranteed to
-    run after everything else that session ever queued. *)
+    yet started) or discards its result.  Submission order plus the
+    Write barrier is what makes session teardown safe: a cleanup job
+    submitted last (as a Write) runs after everything else that session
+    ever queued has finished. *)
+
+type kind = Read | Write
+(** [Read] jobs may run concurrently with each other; [Write] jobs are
+    serial barriers. *)
 
 type 'a promise
 
 type t
 
-val create : unit -> t
-(** Spawn the executor domain. *)
+val create : ?readers:int -> unit -> t
+(** Spawn the dispatcher domain and a pool of [readers] reader domains
+    (default {!Mmdb_util.Domain_pool.default_size}; [1] reproduces the
+    serial single-executor model exactly — reads run inline on the
+    dispatcher). *)
 
-val submit : t -> ?notify:Unix.file_descr -> (unit -> 'a) -> 'a promise
-(** Queue a job.  When it resolves, one byte is written to [notify] (if
-    given) so a timed waiter selecting on the pipe's read end wakes up.
-    After {!stop}, jobs resolve immediately with [Error]. *)
+val readers : t -> int
+(** Configured reader parallelism. *)
+
+val submit : t -> ?notify:Unix.file_descr -> ?kind:kind -> (unit -> 'a) -> 'a promise
+(** Queue a job ([kind] defaults to [Write]).  When it resolves, one byte
+    is written to [notify] (if given) so a timed waiter selecting on the
+    pipe's read end wakes up.  After {!stop}, jobs resolve immediately
+    with [Error]. *)
 
 val peek : 'a promise -> ('a, exn) result option
 (** Non-blocking: [None] while the job is queued or running. *)
@@ -44,4 +62,5 @@ val await :
     wake-up bytes left by earlier abandoned jobs on the same pipe. *)
 
 val stop : t -> unit
-(** Drain the queue, then stop and join the executor domain. *)
+(** Drain the queue (waiting out in-flight readers), then stop and join
+    the dispatcher domain and the reader pool. *)

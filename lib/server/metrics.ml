@@ -18,6 +18,9 @@ type t = {
   mutable timeouts : int;  (* per-request timeouts *)
   mutable conflicts : int;  (* lock-conflict / deadlock errors *)
   mutable proto_errors : int;  (* malformed frames / requests *)
+  mutable cache_hits : int;  (* statement-cache hits *)
+  mutable cache_misses : int;  (* statement-cache misses (fresh parses) *)
+  mutable ro_jobs : int;  (* jobs dispatched on the parallel-reader path *)
   latencies : Reservoir.t;  (* seconds, per answered request *)
 }
 
@@ -33,6 +36,9 @@ let create () =
     timeouts = 0;
     conflicts = 0;
     proto_errors = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    ro_jobs = 0;
     latencies = Reservoir.create ~capacity:4096;
   }
 
@@ -59,6 +65,9 @@ let error t = locked t (fun () -> t.errors <- t.errors + 1)
 let timeout t = locked t (fun () -> t.timeouts <- t.timeouts + 1)
 let conflict t = locked t (fun () -> t.conflicts <- t.conflicts + 1)
 let proto_error t = locked t (fun () -> t.proto_errors <- t.proto_errors + 1)
+let cache_hit t = locked t (fun () -> t.cache_hits <- t.cache_hits + 1)
+let cache_miss t = locked t (fun () -> t.cache_misses <- t.cache_misses + 1)
+let read_job t = locked t (fun () -> t.ro_jobs <- t.ro_jobs + 1)
 
 type snapshot = {
   s_accepted : int;
@@ -70,6 +79,9 @@ type snapshot = {
   s_timeouts : int;
   s_conflicts : int;
   s_proto_errors : int;
+  s_cache_hits : int;
+  s_cache_misses : int;
+  s_ro_jobs : int;
   s_lat_n : int;
   s_p50_ms : float option;
   s_p99_ms : float option;
@@ -89,13 +101,16 @@ let snapshot t =
         s_timeouts = t.timeouts;
         s_conflicts = t.conflicts;
         s_proto_errors = t.proto_errors;
+        s_cache_hits = t.cache_hits;
+        s_cache_misses = t.cache_misses;
+        s_ro_jobs = t.ro_jobs;
         s_lat_n = Reservoir.total t.latencies;
         s_p50_ms = ms (Reservoir.percentile t.latencies 50.0);
         s_p99_ms = ms (Reservoir.percentile t.latencies 99.0);
         s_max_ms = ms (Reservoir.max_sample t.latencies);
       })
 
-let render t ~active =
+let render t ~active ~readers =
   let s = snapshot t in
   let pct = function
     | None -> "-"
@@ -109,6 +124,9 @@ let render t ~active =
       Printf.sprintf
         "requests:    total=%d errors=%d timeouts=%d conflicts=%d protocol_errors=%d"
         s.s_requests s.s_errors s.s_timeouts s.s_conflicts s.s_proto_errors;
+      Printf.sprintf
+        "executor:    readers=%d read_jobs=%d stmt_cache_hits=%d stmt_cache_misses=%d"
+        readers s.s_ro_jobs s.s_cache_hits s.s_cache_misses;
       Printf.sprintf "latency:     samples=%d p50=%s p99=%s max=%s" s.s_lat_n
         (pct s.s_p50_ms) (pct s.s_p99_ms) (pct s.s_max_ms);
     ]

@@ -19,6 +19,15 @@ val timeout : t -> unit
 val conflict : t -> unit
 val proto_error : t -> unit
 
+val cache_hit : t -> unit
+(** Statement-cache hit (parse skipped). *)
+
+val cache_miss : t -> unit
+(** Statement-cache miss (fresh parse). *)
+
+val read_job : t -> unit
+(** A job dispatched on the parallel-reader path. *)
+
 type snapshot = {
   s_accepted : int;
   s_rejected : int;
@@ -29,6 +38,9 @@ type snapshot = {
   s_timeouts : int;
   s_conflicts : int;
   s_proto_errors : int;
+  s_cache_hits : int;
+  s_cache_misses : int;
+  s_ro_jobs : int;  (** jobs dispatched on the parallel-reader path *)
   s_lat_n : int;  (** latency samples recorded over the server's life *)
   s_p50_ms : float option;
   s_p99_ms : float option;
@@ -37,6 +49,7 @@ type snapshot = {
 
 val snapshot : t -> snapshot
 
-val render : t -> active:int -> string
-(** Three-line human-readable summary (connections / requests /
-    latency); [active] is the current live-session count. *)
+val render : t -> active:int -> readers:int -> string
+(** Four-line human-readable summary (connections / requests / executor /
+    latency); [active] is the current live-session count and [readers]
+    the configured reader parallelism. *)

@@ -7,11 +7,17 @@
      frame);
    - one HANDLER thread per connection reads frames, decodes requests,
      and ships statement execution to the executor;
-   - one EXECUTOR domain (see {!Exec_queue}) runs all statements
-     serially — the storage layer is not thread-safe, so the executor is
-     the only place the shared [Db.t] / [Txn.manager] is ever touched
-     after startup;
+   - one EXECUTOR (see {!Exec_queue}): mutating statements run serially
+     on a single dispatcher domain — the storage layer is not
+     write-thread-safe, so that is the only place the shared [Db.t] /
+     [Txn.manager] is ever mutated after startup — while statements
+     classified read-only ([Ast.is_read_only], outside a BEGIN block)
+     fan out across a pool of reader domains, overlapping each other but
+     never overlapping a write;
    - one REAPER thread shuts down sessions idle past [idle_timeout].
+
+   Repeated non-prepared query texts skip the lexer/parser through a
+   bounded LRU statement cache (hit/miss counters in STATUS).
 
    Result sets are materialized (deep-copied) inside the executor job:
    temporary lists hold tuple pointers, and another session's DML must
@@ -35,6 +41,7 @@ type config = {
   request_timeout : float;  (* seconds; <= 0 disables *)
   idle_timeout : float;  (* seconds; <= 0 disables reaping *)
   max_frame : int;  (* request-frame size limit, bytes *)
+  stmt_cache : int;  (* parsed-AST cache entries; <= 0 disables *)
 }
 
 let default_config =
@@ -45,6 +52,7 @@ let default_config =
     request_timeout = 30.0;
     idle_timeout = 300.0;
     max_frame = Protocol.max_frame_default;
+    stmt_cache = 256;
   }
 
 type session = Protocol.response Session.t
@@ -55,6 +63,8 @@ type t = {
   mgr : Mmdb_txn.Txn.manager;
   exec : Exec_queue.t;
   metrics : Metrics.t;
+  cache_m : Mutex.t;  (* guards [cache]: hit from every handler thread *)
+  cache : (string, Ast.stmt list) Mmdb_util.Lru.t option;
   listen_fd : Unix.file_descr;
   bound_port : int;
   stop_r : Unix.file_descr;  (* self-pipe that wakes the accept loop *)
@@ -80,8 +90,34 @@ let active_sessions t =
 
 let metrics_text t =
   Metrics.render t.metrics ~active:(active_sessions t)
+    ~readers:(Exec_queue.readers t.exec)
 
 let metrics t = t.metrics
+
+(* Parse through the bounded LRU statement cache: repeated non-prepared
+   query texts skip the lexer/parser entirely.  Only successful parses
+   are cached (failures are cheap and unlikely to repeat), and the cached
+   statement list is immutable, so sharing it between sessions is safe. *)
+let parse_cached t sql =
+  match t.cache with
+  | None -> Parser.parse sql
+  | Some cache -> (
+      Mutex.lock t.cache_m;
+      let hit = Mmdb_util.Lru.find cache sql in
+      Mutex.unlock t.cache_m;
+      match hit with
+      | Some stmts ->
+          Metrics.cache_hit t.metrics;
+          Ok stmts
+      | None -> (
+          Metrics.cache_miss t.metrics;
+          match Parser.parse sql with
+          | Ok stmts as ok ->
+              Mutex.lock t.cache_m;
+              Mmdb_util.Lru.add cache sql stmts;
+              Mutex.unlock t.cache_m;
+              ok
+          | Error _ as err -> err))
 
 (* --- request handling (handler-thread side) ---------------------------- *)
 
@@ -139,9 +175,20 @@ let exec_stmts_job interp stmts () : Protocol.response =
   in
   go stmts
 
+(* Statements eligible for the parallel-reader path: every statement in
+   the batch is read-only and the session is not inside a BEGIN block
+   (in-transaction reads stay serial so they order with their own
+   transaction's writes). *)
+let kind_of interp stmts : Exec_queue.kind =
+  if List.for_all Ast.is_read_only stmts && not (Interp.in_txn interp) then
+    Exec_queue.Read
+  else Exec_queue.Write
+
 (* Ship a job to the executor and wait, honouring the request timeout. *)
-let run_on_executor t (s : session) job : Protocol.response =
-  let p = Exec_queue.submit t.exec ~notify:s.Session.wake_w job in
+let run_on_executor t (s : session) ?(kind = Exec_queue.Write) job :
+    Protocol.response =
+  if kind = Exec_queue.Read then Metrics.read_job t.metrics;
+  let p = Exec_queue.submit t.exec ~notify:s.Session.wake_w ~kind job in
   s.Session.pending <- Some p;
   let result =
     if t.cfg.request_timeout <= 0.0 then `Done (Exec_queue.wait p)
@@ -198,10 +245,13 @@ let handle_request t (s : session) (req : Protocol.request) : bool =
       | None -> ());
       answer (Protocol.Notice "cancel acknowledged (queued work abandoned)")
   | Protocol.Query sql -> (
-      match Parser.parse sql with
+      match parse_cached t sql with
       | Error msg -> answer (Protocol.Error (Protocol.Parse, msg))
       | Ok stmts ->
-          answer (run_on_executor t s (exec_stmts_job (interp_of s) stmts)))
+          let interp = interp_of s in
+          answer
+            (run_on_executor t s ~kind:(kind_of interp stmts)
+               (exec_stmts_job interp stmts)))
   | Protocol.Prepare sql -> (
       match Parser.parse sql with
       | Error msg -> answer (Protocol.Error (Protocol.Parse, msg))
@@ -227,7 +277,11 @@ let handle_request t (s : session) (req : Protocol.request) : bool =
           with
           | Error msg -> answer (Protocol.Error (Protocol.Exec, msg))
           | Ok bound ->
-              answer (run_on_executor t s (exec_stmts_job (interp_of s) [ bound ]))))
+              let interp = interp_of s in
+              answer
+                (run_on_executor t s
+                   ~kind:(kind_of interp [ bound ])
+                   (exec_stmts_job interp [ bound ]))))
 
 (* --- connection lifecycle --------------------------------------------- *)
 
@@ -416,6 +470,11 @@ let start ?(config = default_config) ?mgr db =
       mgr;
       exec = Exec_queue.create ();
       metrics = Metrics.create ();
+      cache_m = Mutex.create ();
+      cache =
+        (if config.stmt_cache > 0 then
+           Some (Mmdb_util.Lru.create ~capacity:config.stmt_cache)
+         else None);
       listen_fd;
       bound_port;
       stop_r;

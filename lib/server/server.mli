@@ -1,9 +1,12 @@
 (** The mmdb network server: a TCP front end over the SQL-like language.
 
     One accept thread (admission control), one handler thread per
-    connection (socket I/O only), one executor domain that serializes
-    every touch of the shared database (see {!Exec_queue}), and one
-    reaper thread for idle sessions. *)
+    connection (socket I/O only), a single-writer/parallel-reader
+    executor — mutating statements serialize on one dispatcher domain,
+    read-only statements fan out across reader domains (see
+    {!Exec_queue}) — and one reaper thread for idle sessions.  Repeated
+    non-prepared query texts skip the parser through a bounded LRU
+    statement cache. *)
 
 open Mmdb_core
 
@@ -14,11 +17,13 @@ type config = {
   request_timeout : float;  (** seconds; [<= 0.] disables *)
   idle_timeout : float;  (** seconds; [<= 0.] disables reaping *)
   max_frame : int;  (** request-frame size limit, bytes *)
+  stmt_cache : int;  (** parsed-AST cache entries; [<= 0] disables *)
 }
 
 val default_config : config
 (** 127.0.0.1:7478, 64 connections, 30 s request timeout, 300 s idle
-    timeout, {!Protocol.max_frame_default} frames. *)
+    timeout, {!Protocol.max_frame_default} frames, 256 cached
+    statements. *)
 
 type t
 

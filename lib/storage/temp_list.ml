@@ -33,6 +33,29 @@ let append t entry =
   t.entries.(t.count) <- entry;
   t.count <- t.count + 1
 
+(* Bulk append with a single capacity check — the concatenation half of
+   partition-parallel scans (each worker fills a local list, the
+   coordinator stitches them together). *)
+let append_all t src =
+  if Descriptor.n_sources src.desc <> Descriptor.n_sources t.desc then
+    invalid_arg "Temp_list.append_all: source arity does not match";
+  if src.count > 0 then begin
+    let needed = t.count + src.count in
+    if needed > Array.length t.entries then begin
+      let cap = max 16 (max needed (2 * Array.length t.entries)) in
+      let grown = Array.make cap src.entries.(0) in
+      Array.blit t.entries 0 grown 0 t.count;
+      t.entries <- grown
+    end;
+    Array.blit src.entries 0 t.entries t.count src.count;
+    t.count <- needed
+  end
+
+let concat desc parts =
+  let t = create desc in
+  List.iter (fun p -> append_all t p) parts;
+  t
+
 let get t i =
   if i < 0 || i >= t.count then invalid_arg "Temp_list.get: out of bounds";
   t.entries.(i)

@@ -18,6 +18,15 @@ val append : t -> entry -> unit
 (** @raise Invalid_argument if the entry arity does not match the
     descriptor's source count. *)
 
+val append_all : t -> t -> unit
+(** [append_all t src] appends every entry of [src] to [t] with one
+    capacity check — the concatenation step of partition-parallel
+    operators.  [src] is unchanged.
+    @raise Invalid_argument on source-count mismatch. *)
+
+val concat : Descriptor.t -> t list -> t
+(** A fresh list holding the entries of each part in order. *)
+
 val get : t -> int -> entry
 val iter : t -> (entry -> unit) -> unit
 val to_seq : t -> entry Seq.t

@@ -6,28 +6,17 @@ type snapshot = {
   ptr_derefs : int;
 }
 
-let enabled = ref true
+let zero =
+  { comparisons = 0; data_moves = 0; hash_calls = 0; node_allocs = 0;
+    ptr_derefs = 0 }
 
-let comparisons = ref 0
-let data_moves = ref 0
-let hash_calls = ref 0
-let node_allocs = ref 0
-let ptr_derefs = ref 0
-
-let reset () =
-  comparisons := 0;
-  data_moves := 0;
-  hash_calls := 0;
-  node_allocs := 0;
-  ptr_derefs := 0
-
-let snapshot () =
+let add a b =
   {
-    comparisons = !comparisons;
-    data_moves = !data_moves;
-    hash_calls = !hash_calls;
-    node_allocs = !node_allocs;
-    ptr_derefs = !ptr_derefs;
+    comparisons = a.comparisons + b.comparisons;
+    data_moves = a.data_moves + b.data_moves;
+    hash_calls = a.hash_calls + b.hash_calls;
+    node_allocs = a.node_allocs + b.node_allocs;
+    ptr_derefs = a.ptr_derefs + b.ptr_derefs;
   }
 
 let diff a b =
@@ -39,13 +28,107 @@ let diff a b =
     ptr_derefs = a.ptr_derefs - b.ptr_derefs;
   }
 
-let bump r n = if !enabled then r := !r + n
+let enabled = ref true
 
-let bump_comparisons ?(n = 1) () = bump comparisons n
-let bump_data_moves ?(n = 1) () = bump data_moves n
-let bump_hash_calls ?(n = 1) () = bump hash_calls n
-let bump_node_allocs ?(n = 1) () = bump node_allocs n
-let bump_ptr_derefs ?(n = 1) () = bump ptr_derefs n
+(* Each domain bumps a private cell (no sharing, no contention on the
+   operator hot paths); [snapshot] merges every domain's cell.  Cells are
+   registered on first use from a domain; the registry is only touched at
+   registration/reset/snapshot time and is mutex-guarded.
+
+   Merge visibility: callers take snapshots from the coordinating domain
+   after awaiting the futures of the work they want counted, and the
+   future's mutex establishes the necessary happens-before edge for the
+   workers' plain-field bumps. *)
+type cell = {
+  mutable c_comparisons : int;
+  mutable c_data_moves : int;
+  mutable c_hash_calls : int;
+  mutable c_node_allocs : int;
+  mutable c_ptr_derefs : int;
+}
+
+let registry_m = Mutex.create ()
+let registry : cell list ref = ref []
+
+let cell_key =
+  Domain.DLS.new_key (fun () ->
+      let c =
+        { c_comparisons = 0; c_data_moves = 0; c_hash_calls = 0;
+          c_node_allocs = 0; c_ptr_derefs = 0 }
+      in
+      Mutex.lock registry_m;
+      registry := c :: !registry;
+      Mutex.unlock registry_m;
+      c)
+
+let cell () = Domain.DLS.get cell_key
+
+let zero_cell c =
+  c.c_comparisons <- 0;
+  c.c_data_moves <- 0;
+  c.c_hash_calls <- 0;
+  c.c_node_allocs <- 0;
+  c.c_ptr_derefs <- 0
+
+let reset () =
+  Mutex.lock registry_m;
+  List.iter zero_cell !registry;
+  Mutex.unlock registry_m
+
+let snapshot_of c =
+  {
+    comparisons = c.c_comparisons;
+    data_moves = c.c_data_moves;
+    hash_calls = c.c_hash_calls;
+    node_allocs = c.c_node_allocs;
+    ptr_derefs = c.c_ptr_derefs;
+  }
+
+let snapshot () =
+  Mutex.lock registry_m;
+  let s = List.fold_left (fun acc c -> add acc (snapshot_of c)) zero !registry in
+  Mutex.unlock registry_m;
+  s
+
+let local_snapshot () = snapshot_of (cell ())
+
+let absorb s =
+  let c = cell () in
+  c.c_comparisons <- c.c_comparisons + s.comparisons;
+  c.c_data_moves <- c.c_data_moves + s.data_moves;
+  c.c_hash_calls <- c.c_hash_calls + s.hash_calls;
+  c.c_node_allocs <- c.c_node_allocs + s.node_allocs;
+  c.c_ptr_derefs <- c.c_ptr_derefs + s.ptr_derefs
+
+let bump_comparisons ?(n = 1) () =
+  if !enabled then begin
+    let c = cell () in
+    c.c_comparisons <- c.c_comparisons + n
+  end
+
+let bump_data_moves ?(n = 1) () =
+  if !enabled then begin
+    let c = cell () in
+    c.c_data_moves <- c.c_data_moves + n
+  end
+
+let bump_hash_calls ?(n = 1) () =
+  if !enabled then begin
+    let c = cell () in
+    c.c_hash_calls <- c.c_hash_calls + n
+  end
+
+let bump_node_allocs ?(n = 1) () =
+  if !enabled then begin
+    let c = cell () in
+    c.c_node_allocs <- c.c_node_allocs + n
+  end
+
+let bump_ptr_derefs ?(n = 1) () =
+  if !enabled then begin
+    let c = cell () in
+    c.c_ptr_derefs <- c.c_ptr_derefs + n
+  end
 
 let counting_cmp cmp a b =
   bump_comparisons ();

@@ -11,7 +11,13 @@
     Counting is enabled by default; benchmarks disable it so that, as in the
     paper, "these counters were compiled out of the code when the final
     performance tests were run" — here they are branch-predicted-away rather
-    than compiled away. *)
+    than compiled away.
+
+    Counters are {e domain-local}: each domain bumps a private cell with no
+    synchronization, and [snapshot]/[reset] merge/clear every domain's cell
+    under a registry mutex.  Parallel operators therefore count exactly the
+    same operations as their sequential counterparts; take snapshots from
+    the coordinating domain after the parallel work has been awaited. *)
 
 type snapshot = {
   comparisons : int;  (** key/value comparisons performed *)
@@ -26,10 +32,24 @@ val enabled : bool ref
 (** Master switch.  When [false], the bump functions are no-ops. *)
 
 val reset : unit -> unit
-(** Zero every counter. *)
+(** Zero every counter in every domain. *)
 
 val snapshot : unit -> snapshot
-(** Current counter values. *)
+(** Current counter values, merged across all domains. *)
+
+val local_snapshot : unit -> snapshot
+(** The calling domain's counters only. *)
+
+val absorb : snapshot -> unit
+(** Add a snapshot into the calling domain's counters — the explicit merge
+    half of domain-local counting, for carrying counts across domains by
+    hand. *)
+
+val zero : snapshot
+(** The all-zero snapshot. *)
+
+val add : snapshot -> snapshot -> snapshot
+(** Componentwise sum. *)
 
 val diff : snapshot -> snapshot -> snapshot
 (** [diff later earlier] is the componentwise difference. *)

@@ -1,0 +1,28 @@
+(** A bounded least-recently-used cache.
+
+    O(1) [find]/[add] via a hash table plus an intrusive recency list;
+    inserting into a full cache evicts the least recently used entry.
+    Not thread-safe — callers serialize access (the server's statement
+    cache wraps it in a mutex). *)
+
+type ('k, 'v) t
+
+val create : capacity:int -> ('k, 'v) t
+(** @raise Invalid_argument when [capacity <= 0]. *)
+
+val capacity : ('k, 'v) t -> int
+
+val length : ('k, 'v) t -> int
+(** Entries currently cached (<= capacity). *)
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Lookup; a hit marks the entry most recently used. *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert or overwrite, marking the entry most recently used; evicts
+    the least recently used entry when the cache is full. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Membership test without touching recency. *)
+
+val clear : ('k, 'v) t -> unit

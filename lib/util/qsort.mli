@@ -20,5 +20,15 @@ val sort : ?cutoff:int -> cmp:('a -> 'a -> int) -> 'a array -> unit
     switching to insertion sort for subarrays of [cutoff] elements or less.
     [cutoff] defaults to 10, the paper's optimum.  Not stable. *)
 
+val sort_parallel :
+  ?cutoff:int -> pool:Domain_pool.t -> cmp:('a -> 'a -> int) -> 'a array -> unit
+(** [sort_parallel ~pool ~cmp a] sorts [a] in place using the pool:
+    disjoint slices are quicksorted concurrently, then merged in parallel
+    pairwise rounds.  Falls back to {!sort} for small arrays (< 2048),
+    sequential pools, or when called from a pool worker — in those cases
+    the comparison/move counts are identical to {!sort}; in the parallel
+    case they differ (merge rounds replace deep quicksort recursion) but
+    stay within the same O(n log n) envelope.  Not stable. *)
+
 val is_sorted : cmp:('a -> 'a -> int) -> 'a array -> bool
 (** [is_sorted ~cmp a] checks nondecreasing order (no counters bumped). *)

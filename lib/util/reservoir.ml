@@ -3,9 +3,12 @@
    The server records one sample per request; percentile queries sort a
    copy of the window on demand, so recording stays O(1) on the hot path
    and the memory footprint is bounded no matter how long the server
-   runs.  Not thread-safe on its own — callers serialize access. *)
+   runs.  Thread-safe: samples are recorded from handler threads while
+   the SIGUSR1/STATUS dump path reads a snapshot, so every operation
+   takes the internal mutex (recording holds it for a few stores). *)
 
 type t = {
+  m : Mutex.t;
   data : float array;
   mutable count : int;  (* valid samples, <= capacity *)
   mutable next : int;  (* ring cursor *)
@@ -14,25 +17,37 @@ type t = {
 
 let create ~capacity =
   if capacity <= 0 then invalid_arg "Reservoir.create: capacity <= 0";
-  { data = Array.make capacity 0.0; count = 0; next = 0; total = 0 }
+  { m = Mutex.create (); data = Array.make capacity 0.0; count = 0; next = 0;
+    total = 0 }
+
+let locked t f =
+  Mutex.lock t.m;
+  let r = try f () with e -> Mutex.unlock t.m; raise e in
+  Mutex.unlock t.m;
+  r
 
 let add t x =
-  let cap = Array.length t.data in
-  t.data.(t.next) <- x;
-  t.next <- (t.next + 1) mod cap;
-  if t.count < cap then t.count <- t.count + 1;
-  t.total <- t.total + 1
+  locked t (fun () ->
+      let cap = Array.length t.data in
+      t.data.(t.next) <- x;
+      t.next <- (t.next + 1) mod cap;
+      if t.count < cap then t.count <- t.count + 1;
+      t.total <- t.total + 1)
 
-let count t = t.count
-let total t = t.total
+let count t = locked t (fun () -> t.count)
+let total t = locked t (fun () -> t.total)
 
-let samples t = Array.sub t.data 0 t.count
+let samples t = locked t (fun () -> Array.sub t.data 0 t.count)
 
 let percentile t p =
-  if t.count = 0 then None else Some (Stats.percentile (samples t) p)
+  let s = samples t in
+  if Array.length s = 0 then None else Some (Stats.percentile s p)
 
-let mean t = if t.count = 0 then None else Some (Stats.mean (samples t))
+let mean t =
+  let s = samples t in
+  if Array.length s = 0 then None else Some (Stats.mean s)
 
 let max_sample t =
-  if t.count = 0 then None
-  else Some (Array.fold_left Float.max neg_infinity (samples t))
+  let s = samples t in
+  if Array.length s = 0 then None
+  else Some (Array.fold_left Float.max neg_infinity s)

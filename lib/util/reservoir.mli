@@ -2,7 +2,9 @@
 
     Recording is O(1); {!percentile} sorts a copy of the window on demand.
     Used by the network server for p50/p99 request latency over the most
-    recent requests.  Not thread-safe — callers serialize access. *)
+    recent requests.  Thread-safe: every operation takes an internal
+    mutex, so handler threads can record while the metrics dump path
+    reads a consistent snapshot. *)
 
 type t
 

@@ -216,6 +216,178 @@ let test_with_counters_scoped () =
   Alcotest.(check string) "result passthrough" "result" r;
   Alcotest.(check int) "only scoped moves" 2 c.Counters.data_moves
 
+(* --- Domain_pool --------------------------------------------------------- *)
+
+let test_pool_map_equivalence () =
+  let input = Array.init 5_000 (fun i -> (i * 37) mod 1009) in
+  let f x = (x * x) + 1 in
+  let expect = Array.map f input in
+  List.iter
+    (fun size ->
+      let pool = Domain_pool.create ~size () in
+      let got = Domain_pool.parallel_map pool f input in
+      Domain_pool.stop pool;
+      Alcotest.(check bool)
+        (Printf.sprintf "size %d matches sequential" size)
+        true (got = expect))
+    [ 1; 2; 8 ]
+
+let test_pool_exception_propagation () =
+  let pool = Domain_pool.create ~size:2 () in
+  let input = Array.init 100 Fun.id in
+  Alcotest.check_raises "task failure re-raised" (Failure "boom") (fun () ->
+      ignore
+        (Domain_pool.parallel_map pool
+           (fun x -> if x = 63 then failwith "boom" else x)
+           input));
+  (* the pool is still usable after a failed map *)
+  let ok = Domain_pool.parallel_map pool succ input in
+  Alcotest.(check bool) "pool survives failure" true
+    (ok = Array.map succ input);
+  Domain_pool.stop pool
+
+let test_pool_nested_fallback () =
+  let pool = Domain_pool.create ~size:2 () in
+  Alcotest.(check bool) "caller is not a worker" false (Domain_pool.in_worker ());
+  let fut =
+    Domain_pool.submit pool (fun () ->
+        let inside = Domain_pool.in_worker () in
+        (* nested parallel_map degrades to sequential instead of
+           deadlocking against the workers we already occupy *)
+        let nested =
+          Domain_pool.parallel_map pool succ (Array.init 64 Fun.id)
+        in
+        (inside, nested))
+  in
+  let inside, nested = Domain_pool.await fut in
+  Domain_pool.stop pool;
+  Alcotest.(check bool) "worker flag set" true inside;
+  Alcotest.(check bool) "nested result correct" true
+    (nested = Array.init 64 succ)
+
+let test_pool_chunks () =
+  let check_cover n pieces =
+    let ranges = Domain_pool.chunks ~n ~pieces in
+    let covered = ref 0 in
+    Array.iteri
+      (fun i (lo, hi) ->
+        if hi <= lo then Alcotest.failf "empty chunk %d" i;
+        if i > 0 then begin
+          let _, prev_hi = ranges.(i - 1) in
+          Alcotest.(check int) "contiguous" prev_hi lo
+        end;
+        covered := !covered + (hi - lo))
+      ranges;
+    Alcotest.(check int) (Printf.sprintf "n=%d pieces=%d covers" n pieces) n
+      !covered
+  in
+  check_cover 100 7;
+  check_cover 7 100;
+  check_cover 1 1;
+  Alcotest.(check int) "n=0 is empty" 0
+    (Array.length (Domain_pool.chunks ~n:0 ~pieces:4))
+
+(* --- Lru ----------------------------------------------------------------- *)
+
+let test_lru_basic () =
+  let c = Lru.create ~capacity:2 in
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  Alcotest.(check (option int)) "find a" (Some 1) (Lru.find c "a");
+  (* "a" is now most recent, so adding "c" evicts "b" *)
+  Lru.add c "c" 3;
+  Alcotest.(check (option int)) "b evicted" None (Lru.find c "b");
+  Alcotest.(check (option int)) "a kept" (Some 1) (Lru.find c "a");
+  Alcotest.(check (option int)) "c present" (Some 3) (Lru.find c "c");
+  Alcotest.(check int) "length" 2 (Lru.length c);
+  (* overwrite does not grow the cache *)
+  Lru.add c "c" 30;
+  Alcotest.(check (option int)) "overwrite" (Some 30) (Lru.find c "c");
+  Alcotest.(check int) "length stable" 2 (Lru.length c);
+  (* mem does not touch recency: "a" stays LRU and is evicted next *)
+  Alcotest.(check (option int)) "refresh c" (Some 30) (Lru.find c "c");
+  Alcotest.(check bool) "mem a" true (Lru.mem c "a");
+  Lru.add c "d" 4;
+  Alcotest.(check (option int)) "a evicted despite mem" None (Lru.find c "a");
+  Lru.clear c;
+  Alcotest.(check int) "cleared" 0 (Lru.length c);
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Lru.create: capacity <= 0") (fun () ->
+      ignore (Lru.create ~capacity:0 : (string, int) Lru.t))
+
+(* --- Reservoir (concurrent) ---------------------------------------------- *)
+
+let test_reservoir_hammer () =
+  let r = Reservoir.create ~capacity:512 in
+  let per_domain = 20_000 and n_domains = 4 in
+  let worker d () =
+    for i = 1 to per_domain do
+      Reservoir.add r (float_of_int ((d * per_domain) + i));
+      if i mod 1000 = 0 then ignore (Reservoir.percentile r 99.0)
+    done
+  in
+  let domains = List.init n_domains (fun d -> Domain.spawn (worker d)) in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "every add counted" (per_domain * n_domains)
+    (Reservoir.total r);
+  Alcotest.(check int) "window full" 512 (Reservoir.count r);
+  Alcotest.(check int) "window copy intact" 512
+    (Array.length (Reservoir.samples r));
+  match Reservoir.percentile r 50.0 with
+  | None -> Alcotest.fail "median of a full window"
+  | Some p ->
+      Alcotest.(check bool) "median within inserted range" true
+        (p >= 1.0 && p <= float_of_int (per_domain * n_domains))
+
+(* --- Counters across domains --------------------------------------------- *)
+
+let test_counters_cross_domain_merge () =
+  Counters.reset ();
+  Counters.bump_comparisons ~n:5 ();
+  let domains =
+    List.init 3 (fun _ ->
+        Domain.spawn (fun () ->
+            Counters.bump_comparisons ~n:100 ();
+            Counters.bump_data_moves ~n:7 ()))
+  in
+  List.iter Domain.join domains;
+  let s = Counters.snapshot () in
+  Alcotest.(check int) "comparisons summed across domains" 305
+    s.Counters.comparisons;
+  Alcotest.(check int) "data moves summed across domains" 21
+    s.Counters.data_moves;
+  (* local_snapshot sees only this domain's cell *)
+  Alcotest.(check int) "local snapshot is per-domain" 5
+    (Counters.local_snapshot ()).Counters.comparisons;
+  (* absorb folds a snapshot into the calling domain *)
+  Counters.absorb { Counters.zero with comparisons = 10 };
+  Alcotest.(check int) "absorb adds" 315
+    (Counters.snapshot ()).Counters.comparisons
+
+(* --- Qsort.sort_parallel -------------------------------------------------- *)
+
+let test_sort_parallel_equivalence () =
+  let rng = Rng.create ~seed:12 () in
+  let input = Array.init 10_000 (fun _ -> Rng.int rng 500) in
+  let expect = Array.copy input in
+  Qsort.sort ~cmp:compare expect;
+  List.iter
+    (fun size ->
+      let pool = Domain_pool.create ~size () in
+      let a = Array.copy input in
+      Qsort.sort_parallel ~pool ~cmp:compare a;
+      Domain_pool.stop pool;
+      Alcotest.(check bool)
+        (Printf.sprintf "size %d sorted like sequential" size)
+        true (a = expect))
+    [ 1; 2; 8 ];
+  (* below the parallel threshold it must still sort *)
+  let pool = Domain_pool.create ~size:4 () in
+  let small = [| 3; 1; 2 |] in
+  Qsort.sort_parallel ~pool ~cmp:compare small;
+  Domain_pool.stop pool;
+  Alcotest.(check (list int)) "small input" [ 1; 2; 3 ] (Array.to_list small)
+
 (* --- Timing ---------------------------------------------------------------- *)
 
 let test_timing () =
@@ -265,6 +437,29 @@ let () =
           Alcotest.test_case "bump/snapshot/diff/disable" `Quick test_counters;
           Alcotest.test_case "with_counters scoping" `Quick
             test_with_counters_scoped;
+        ] );
+      ( "domain_pool",
+        [
+          Alcotest.test_case "parallel_map equivalence" `Quick
+            test_pool_map_equivalence;
+          Alcotest.test_case "exception propagation" `Quick
+            test_pool_exception_propagation;
+          Alcotest.test_case "nested fallback" `Quick test_pool_nested_fallback;
+          Alcotest.test_case "chunks cover the range" `Quick test_pool_chunks;
+        ] );
+      ("lru", [ Alcotest.test_case "basics and eviction" `Quick test_lru_basic ]);
+      ( "reservoir",
+        [
+          Alcotest.test_case "concurrent hammer" `Quick test_reservoir_hammer;
+        ] );
+      ( "counters_domains",
+        [
+          Alcotest.test_case "cross-domain merge" `Quick
+            test_counters_cross_domain_merge;
+        ] );
+      ( "sort_parallel",
+        [
+          Alcotest.test_case "equivalence" `Quick test_sort_parallel_equivalence;
         ] );
       ("timing", [ Alcotest.test_case "time and median" `Quick test_timing ]);
     ]
