@@ -89,15 +89,7 @@ let json_escape s =
 
 (* The checkout's short git revision, for cross-machine provenance of
    JSONL records; "unknown" outside a git checkout. *)
-let git_rev =
-  lazy
-    (try
-       let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
-       let line = try String.trim (input_line ic) with End_of_file -> "" in
-       match (Unix.close_process_in ic, line) with
-       | Unix.WEXITED 0, rev when rev <> "" -> rev
-       | _ -> "unknown"
-     with _ -> "unknown")
+let git_rev = lazy (Build.git_rev ())
 
 (* Append one result record to [cfg.out] as a JSON line (no-op when no
    [--out] was given).  Every record carries the experiment id plus the

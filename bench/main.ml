@@ -55,6 +55,8 @@ let experiments : (string * string * (Bench_util.config -> unit)) list =
     ("server", "Serving: throughput/latency vs concurrent clients",
      Bench_server.run);
     ("r1", "Recovery: working set vs full reload", Bench_recovery.r1);
+    ("trace", "Tracing overhead: with_span disabled vs enabled",
+     Bench_trace.run);
     ("f1", "Fault injection: crash-consistency torture", Bench_faults.f1);
     ("micro", "Bechamel micro-benchmarks", fun _ -> Bench_micro.run ());
   ]

@@ -13,10 +13,66 @@ open Mmdb_net
 
 let usage () =
   prerr_endline
-    {|usage: mmdb_client [--host ADDR] [--port N] [script.sql | --ping | --status]|};
+    {|usage: mmdb_client [--host ADDR] [--port N] [script.sql | --ping | --status | --stats]
+  --status   fetch the machine-readable STATS payload and pretty-print it
+  --stats    dump the raw STATS JSON (one line, pipe to jq)|};
   exit 2
 
-type mode = Repl | Script of string | Ping | Status
+type mode = Repl | Script of string | Ping | Status | Stats
+
+(* Pretty-print the STATS JSON payload: one line per scalar, one row per
+   list element, sections in the server's order.  Falls back to the raw
+   payload if it ever fails to parse. *)
+let pretty_stats text =
+  let module J = Mmdb_util.Json in
+  let scalar = function
+    | J.Int n -> string_of_int n
+    | J.Float f ->
+        if Float.is_integer f && Float.abs f < 1e15 then
+          Printf.sprintf "%.0f" f
+        else Printf.sprintf "%.3f" f
+    | J.Str s -> s
+    | J.Bool b -> string_of_bool b
+    | J.Null -> "-"
+    | J.List _ | J.Obj _ -> "..."
+  in
+  let fields kvs =
+    String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ scalar v) kvs)
+  in
+  match J.parse text with
+  | Error _ -> print_endline text
+  | Ok (J.Obj sections) ->
+      List.iter
+        (fun (name, v) ->
+          match v with
+          | J.Obj kvs
+            when List.for_all
+                   (fun (_, v) ->
+                     match v with J.Obj _ | J.List _ -> false | _ -> true)
+                   kvs ->
+              Printf.printf "%-12s %s\n" (name ^ ":") (fields kvs)
+          | J.Obj kvs ->
+              (* nested objects: one row per entry (by_kind) *)
+              Printf.printf "%s:\n" name;
+              List.iter
+                (fun (k, v) ->
+                  match v with
+                  | J.Obj inner ->
+                      Printf.printf "  %-10s %s\n" k (fields inner)
+                  | v -> Printf.printf "  %-10s %s\n" k (scalar v))
+                kvs
+          | J.List rows ->
+              (* row lists: one row per element (operators) *)
+              Printf.printf "%s:\n" name;
+              List.iter
+                (fun row ->
+                  match row with
+                  | J.Obj kvs -> Printf.printf "  %s\n" (fields kvs)
+                  | v -> Printf.printf "  %s\n" (scalar v))
+                rows
+          | v -> Printf.printf "%-12s %s\n" (name ^ ":") (scalar v))
+        sections
+  | Ok _ -> print_endline text
 
 let () =
   let host = ref "127.0.0.1" in
@@ -35,6 +91,9 @@ let () =
         parse_args rest
     | "--status" :: rest ->
         mode := Status;
+        parse_args rest
+    | "--stats" :: rest ->
+        mode := Stats;
         parse_args rest
     | path :: rest when String.length path > 0 && path.[0] <> '-' ->
         mode := Script path;
@@ -63,7 +122,13 @@ let () =
               ignore (Client.quit c)
           | Error msg -> fail msg)
       | Status -> (
-          match Client.status c with
+          match Client.stats c with
+          | Ok s ->
+              pretty_stats s;
+              ignore (Client.quit c)
+          | Error msg -> fail msg)
+      | Stats -> (
+          match Client.stats c with
           | Ok s ->
               print_endline s;
               ignore (Client.quit c)

@@ -19,6 +19,10 @@ let usage () =
   --max-conns N          admission limit     (default 64)
   --request-timeout SEC  per-request timeout, 0=off (default 30)
   --idle-timeout SEC     idle-session reap, 0=off    (default 300)
+  --trace                trace every statement into the operator table
+  --slow-log FILE        append a JSONL line per slow query (implies tracing)
+  --slow-ms N            slow-query threshold in ms  (default 100,
+                         MMDB_SLOW_MS overrides the default)
   --demo                 preload the Employee/Department demo db|};
   exit 2
 
@@ -42,6 +46,14 @@ let demo_script =
 
 let () =
   let cfg = ref Server.default_config in
+  (* MMDB_SLOW_MS sets the default threshold; --slow-ms still wins *)
+  (match Sys.getenv_opt "MMDB_SLOW_MS" with
+  | Some v -> (
+      match float_of_string_opt v with
+      | Some ms -> cfg := { !cfg with Server.slow_threshold = ms /. 1000.0 }
+      | None ->
+          Fmt.epr "ignoring unparsable MMDB_SLOW_MS=%s@." v)
+  | None -> ());
   let demo = ref false in
   let rec parse_args = function
     | [] -> ()
@@ -59,6 +71,15 @@ let () =
         parse_args rest
     | "--idle-timeout" :: v :: rest ->
         cfg := { !cfg with Server.idle_timeout = float_of_string v };
+        parse_args rest
+    | "--trace" :: rest ->
+        cfg := { !cfg with Server.trace = true };
+        parse_args rest
+    | "--slow-log" :: v :: rest ->
+        cfg := { !cfg with Server.slow_log = Some v };
+        parse_args rest
+    | "--slow-ms" :: v :: rest ->
+        cfg := { !cfg with Server.slow_threshold = float_of_string v /. 1000.0 };
         parse_args rest
     | "--demo" :: rest ->
         demo := true;

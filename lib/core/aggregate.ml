@@ -103,6 +103,12 @@ module Key_table = Hashtbl.Make (Key)
 
    @raise Invalid_argument on unknown field labels. *)
 let group tl ~by ~aggs =
+  Mmdb_util.Trace.with_span "aggregate" @@ fun () ->
+  if Mmdb_util.Trace.active () then begin
+    Mmdb_util.Trace.add_attr "rows_in" (string_of_int (Temp_list.length tl));
+    if by <> [] then
+      Mmdb_util.Trace.add_attr "by" (String.concat "," by)
+  end;
   let desc = Temp_list.descriptor tl in
   let field_index label =
     match Descriptor.field_index desc label with
@@ -158,6 +164,8 @@ let group tl ~by ~aggs =
       [ Array.of_list (List.map (fun (spec, _) -> finish spec (fresh_state ())) agg_fields) ]
     else finished_rows
   in
+  if Mmdb_util.Trace.active () then
+    Mmdb_util.Trace.add_attr "groups" (string_of_int (List.length rows));
   { header; rows }
 
 let pp ppf r =

@@ -50,6 +50,7 @@ let run_join ?pool plan (choice, outer_side, inner_side) =
    plumbing; MMDB_DOMAINS=1 makes that pool sequential.  Operators called
    directly (tests, benches) stay sequential unless handed a pool. *)
 let execute ?pool plan =
+  Trace.with_span "execute" @@ fun () ->
   let pool = match pool with Some p -> p | None -> Domain_pool.global () in
   let result =
     match plan.Optimizer.p_join with

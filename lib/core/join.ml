@@ -389,6 +389,11 @@ let tree_inequality_join ?outer_filter ~op ~outer ~inner () =
 (* Query 1 style: the outer relation's foreign-key column already holds
    tuple pointers, so the "join" just follows them. *)
 let precomputed ~outer ~ref_col ~inner_schema =
+  Trace.with_span "join" @@ fun () ->
+  if Trace.active () then begin
+    Trace.add_attr "method" "Precomputed";
+    Trace.add_attr "outer" (Relation.name outer)
+  end;
   let out =
     Temp_list.create
       (Descriptor.join
@@ -404,6 +409,8 @@ let precomputed ~outer ~ref_col ~inner_schema =
           invalid_arg
             (Printf.sprintf "Join.precomputed: column %d holds %s, not pointers"
                ref_col (Value.to_string v)));
+  if Trace.active () then
+    Trace.add_attr "rows" (string_of_int (Temp_list.length out));
   out
 
 (* Query 2 style: join a selected set of inner tuples back to the outer
@@ -441,9 +448,20 @@ let pointer_join ~outer ~ref_col ~selected =
 (* --- uniform driver -------------------------------------------------------- *)
 
 let run ?pool ?outer_filter method_ ~outer ~inner =
-  match method_ with
-  | Nested_loops -> nested_loops ?outer_filter ~outer ~inner ()
-  | Hash_join -> hash_join ?pool ?outer_filter ~outer ~inner ()
-  | Tree_join -> tree_join ?outer_filter ~outer ~inner ()
-  | Sort_merge -> sort_merge ?pool ?outer_filter ~outer ~inner ()
-  | Tree_merge -> tree_merge ?outer_filter ~outer ~inner ()
+  Trace.with_span "join" @@ fun () ->
+  if Trace.active () then begin
+    Trace.add_attr "method" (method_name method_);
+    Trace.add_attr "outer" (Relation.name outer.rel);
+    Trace.add_attr "inner" (Relation.name inner.rel)
+  end;
+  let out =
+    match method_ with
+    | Nested_loops -> nested_loops ?outer_filter ~outer ~inner ()
+    | Hash_join -> hash_join ?pool ?outer_filter ~outer ~inner ()
+    | Tree_join -> tree_join ?outer_filter ~outer ~inner ()
+    | Sort_merge -> sort_merge ?pool ?outer_filter ~outer ~inner ()
+    | Tree_merge -> tree_merge ?outer_filter ~outer ~inner ()
+  in
+  if Trace.active () then
+    Trace.add_attr "rows" (string_of_int (Temp_list.length out));
+  out

@@ -150,6 +150,7 @@ let path_rank (path, pred) =
   | Select.Sequential_scan, _ -> 3
 
 let plan ?stats db (q : Query.t) =
+  Mmdb_util.Trace.with_span "plan" @@ fun () ->
   let outer = Db.find_exn db q.Query.q_from in
   let schema = Relation.schema outer in
   let preds = List.map (predicate_of_where schema) q.Query.q_where in
@@ -183,6 +184,25 @@ let plan ?stats db (q : Query.t) =
         (choice, outer_side, inner_side))
       q.Query.q_join
   in
+  if Mmdb_util.Trace.active () then begin
+    Mmdb_util.Trace.add_attr "outer" (Relation.name outer);
+    (match paths with
+    | (path, _) :: _ ->
+        Mmdb_util.Trace.add_attr "access" (Fmt.str "%a" Select.pp_path path)
+    | [] -> ());
+    Option.iter
+      (fun (choice, (o : Join.side), (i : Join.side)) ->
+        Mmdb_util.Trace.add_attr "join" (Fmt.str "%a" pp_choice choice);
+        match choice with
+        | Algorithm m ->
+            (* the estimate EXPLAIN ANALYZE sets against actual counters *)
+            Mmdb_util.Trace.add_attr "est_cost"
+              (Fmt.str "%.0f"
+                 (Cost.of_method m ~outer:(Relation.count o.Join.rel)
+                    ~inner:(Relation.count i.Join.rel)))
+        | Precomputed _ -> ())
+      join
+  end;
   {
     p_outer = outer;
     p_paths = paths;

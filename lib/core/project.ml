@@ -160,6 +160,16 @@ let hashing ?pool tl labels =
       out
 
 let run ?pool method_ tl labels =
-  match method_ with
-  | Sort_scan -> sort_scan ?pool tl labels
-  | Hashing -> hashing ?pool tl labels
+  Trace.with_span "project" @@ fun () ->
+  if Trace.active () then begin
+    Trace.add_attr "method" (method_name method_);
+    Trace.add_attr "rows_in" (string_of_int (Temp_list.length tl))
+  end;
+  let out =
+    match method_ with
+    | Sort_scan -> sort_scan ?pool tl labels
+    | Hashing -> hashing ?pool tl labels
+  in
+  if Trace.active () then
+    Trace.add_attr "rows" (string_of_int (Temp_list.length out));
+  out

@@ -109,6 +109,11 @@ let use_parallel_scan pool rel =
 (* Run a selection with an explicit access path; residual predicates are
    applied on top.  The first predicate is the indexable one. *)
 let run ?pool rel ~path ~predicates =
+  Trace.with_span "select" @@ fun () ->
+  if Trace.active () then begin
+    Trace.add_attr "relation" (Relation.name rel);
+    Trace.add_attr "path" (Fmt.str "%a" pp_path path)
+  end;
   let out = Temp_list.create (Descriptor.of_schema (Relation.schema rel)) in
   let residual_ok tuple rest = List.for_all (matches tuple) rest in
   (match (path, predicates) with
@@ -132,6 +137,8 @@ let run ?pool rel ~path ~predicates =
               if residual_ok tuple preds then Temp_list.append out [| tuple |]))
   | (Hash_lookup _ | Tree_lookup _), _ ->
       invalid_arg "Select.run: access path incompatible with predicate");
+  if Trace.active () then
+    Trace.add_attr "rows" (string_of_int (Temp_list.length out));
   out
 
 (* Selection with automatic access-path choice. *)

@@ -77,7 +77,9 @@ type stmt =
     }
   | Delete of { table : string; where_ : condition list }
   | Select of select_stmt
-  | Explain of select_stmt
+  | Explain of { ex_analyze : bool; ex_select : select_stmt }
+      (** [EXPLAIN] shows the plan; [EXPLAIN ANALYZE] runs the query and
+          reports per-operator times and §3.1 counters *)
   | Show_tables
   | Describe of string
   | Begin_txn
@@ -116,7 +118,8 @@ let map_literals f = function
   | Delete { table; where_ } ->
       Delete { table; where_ = List.map (map_condition f) where_ }
   | Select s -> Select (map_select f s)
-  | Explain s -> Explain (map_select f s)
+  | Explain { ex_analyze; ex_select } ->
+      Explain { ex_analyze; ex_select = map_select f ex_select }
   | ( Create_table _ | Create_index _ | Show_tables | Describe _ | Begin_txn
     | Commit_txn | Rollback_txn ) as s ->
       s

@@ -383,6 +383,93 @@ let run_txn_update mgr t db ~table ~assignments ~where_ =
       in
       declare !targets
 
+(* --- EXPLAIN ANALYZE --------------------------------------------------- *)
+
+let analyze_header =
+  [
+    "operator"; "time_ms"; "rows"; "comparisons"; "data_moves"; "hash_calls";
+    "ptr_derefs"; "detail";
+  ]
+
+(* One table row per span.  Counters are {e exclusive} (children's removed),
+   so the operator rows sum exactly to the "total" row, which carries the
+   whole query's {!Mmdb_util.Counters.with_counters} delta. *)
+let analyze_row ~depth ~name ~time_ms ~rows ~(c : Mmdb_util.Counters.snapshot)
+    ~detail =
+  [|
+    Value.Str (String.make (2 * depth) ' ' ^ name);
+    Value.Float time_ms;
+    (match rows with Some n -> Value.Int n | None -> Value.Null);
+    Value.Int c.Mmdb_util.Counters.comparisons;
+    Value.Int c.Mmdb_util.Counters.data_moves;
+    Value.Int c.Mmdb_util.Counters.hash_calls;
+    Value.Int c.Mmdb_util.Counters.ptr_derefs;
+    Value.Str detail;
+  |]
+
+let analyze_table tr ~(total : Mmdb_util.Counters.snapshot) ~total_s =
+  let rows =
+    match Mmdb_util.Trace.root tr with
+    | None -> []
+    | Some root ->
+        List.map
+          (fun (depth, sp) ->
+            let rows =
+              match
+                ( Mmdb_util.Trace.attr sp "rows",
+                  Mmdb_util.Trace.attr sp "groups" )
+              with
+              | Some n, _ | None, Some n -> int_of_string_opt n
+              | None, None -> None
+            in
+            let detail =
+              sp.Mmdb_util.Trace.sp_attrs
+              |> List.filter (fun (k, _) -> k <> "rows" && k <> "groups")
+              |> List.map (fun (k, v) -> k ^ "=" ^ v)
+              |> String.concat " "
+            in
+            analyze_row ~depth ~name:sp.Mmdb_util.Trace.sp_name
+              ~time_ms:(sp.Mmdb_util.Trace.sp_elapsed *. 1000.0)
+              ~rows
+              ~c:(Mmdb_util.Trace.exclusive_counters sp)
+              ~detail)
+          (Mmdb_util.Trace.spans root)
+  in
+  {
+    Aggregate.header = analyze_header;
+    rows =
+      rows
+      @ [
+          analyze_row ~depth:0 ~name:"total" ~time_ms:(total_s *. 1000.0)
+            ~rows:None ~c:total ~detail:"";
+        ];
+  }
+
+(* Run the query under a trace and render the span tree as a table (so it
+   prints in the shell and ships over the wire like any aggregate result).
+   [Counters.with_counters] wraps [Trace.run] with nothing in between, so
+   the root span's inclusive delta equals the total — the identity the
+   per-operator rows are checked against. *)
+let explain_analyze db q agg =
+  let tr = Mmdb_util.Trace.create () in
+  match
+    Mmdb_util.Counters.with_counters (fun () ->
+        Mmdb_util.Trace.run tr ~name:"query" (fun () ->
+            let plan = Optimizer.plan db q in
+            let tl = Executor.execute plan in
+            match agg with
+            | None -> ()
+            | Some (keys, aggs) -> ignore (Aggregate.group tl ~by:keys ~aggs)))
+  with
+  | (), total ->
+      let total_s =
+        match Mmdb_util.Trace.root tr with
+        | Some root -> root.Mmdb_util.Trace.sp_elapsed
+        | None -> 0.0
+      in
+      Ok (Table (analyze_table tr ~total ~total_s))
+  | exception Invalid_argument msg -> Error msg
+
 let exec sess stmt =
   let db = sess.db in
   if Ast.param_count stmt > 0 then
@@ -508,10 +595,14 @@ let exec sess stmt =
           with
           | result -> Ok (Table result)
           | exception Invalid_argument msg -> Error msg))
-  | Ast.Explain s ->
+  | Ast.Explain { ex_analyze; ex_select = s } ->
       let* q = build_query db s in
-      let plan = Optimizer.plan db q in
-      Ok (Plan_text (Fmt.str "%a@\n%a" Query.pp q Optimizer.pp_plan plan))
+      if ex_analyze then
+        let* agg = aggregation_of db s in
+        explain_analyze db q agg
+      else
+        let plan = Optimizer.plan db q in
+        Ok (Plan_text (Fmt.str "%a@\n%a" Query.pp q Optimizer.pp_plan plan))
   | Ast.Show_tables ->
       let lines =
         List.map

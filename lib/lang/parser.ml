@@ -275,8 +275,9 @@ let statement st =
       Ast.Delete { table; where_ }
   | "select" -> Ast.Select (select_body st)
   | "explain" ->
+      let ex_analyze = accept_kw st "analyze" in
       expect_kw st "select";
-      Ast.Explain (select_body st)
+      Ast.Explain { ex_analyze; ex_select = select_body st }
   | "show" ->
       expect_kw st "tables";
       Ast.Show_tables

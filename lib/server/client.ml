@@ -102,6 +102,12 @@ let status t =
   | Ok _ -> Error "unexpected response to STATUS"
   | Error m -> Error m
 
+let stats t =
+  match request t Protocol.Stats with
+  | Ok (Protocol.Stats_json s) -> Ok s
+  | Ok _ -> Error "unexpected response to STATS"
+  | Error m -> Error m
+
 let quit t =
   let r =
     match request t Protocol.Quit with

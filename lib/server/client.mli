@@ -33,6 +33,9 @@ val exec_prepared :
 val ping : t -> (unit, string) result
 val status : t -> (string, string) result
 
+val stats : t -> (string, string) result
+(** Machine-readable metrics: the STATS response's JSON payload. *)
+
 val quit : t -> (unit, string) result
 (** Send QUIT and close the socket (best-effort, never fails hard). *)
 

@@ -140,11 +140,16 @@ let submit t ?notify ?(kind = Write) f =
       notify;
     }
   in
+  let submitted = Unix.gettimeofday () in
   let job () =
     Mutex.lock p.pm;
     let skip = p.abandoned in
     Mutex.unlock p.pm;
     if not skip then begin
+      (* Hand the queue wait to a trace the job body may start: the wait
+         happened before any collector could be installed, so it is
+         stashed domain-locally and drained by [Trace.run]. *)
+      Trace.offer_wait ~name:"queue.wait" (Unix.gettimeofday () -. submitted);
       let r = try Value (f ()) with e -> Raised e in
       Mutex.lock p.pm;
       p.result <- Some r;

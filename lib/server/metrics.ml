@@ -1,14 +1,26 @@
 (* Per-server serving metrics, in the spirit of [Mmdb_util.Counters]:
    cheap monotonic counters bumped on the hot path, summarized on demand
-   (STATUS request or SIGUSR1).  Latencies go through a bounded
-   [Mmdb_util.Reservoir], so p50/p99 reflect the most recent requests.
-   All access is mutex-guarded: session threads and the accept thread
-   bump concurrently. *)
+   (STATUS / STATS request or SIGUSR1).  Latencies go into log-bucketed
+   {!Mmdb_util.Histogram}s — one total plus one per statement kind — so
+   percentiles cover the server's whole life and kinds roll up by bucket
+   addition, unlike the old sampling reservoir which forgot.  Traced
+   requests additionally feed a per-operator aggregate table (exclusive
+   time and §3.1 counters per span name).  All access is mutex-guarded:
+   session threads and the accept thread bump concurrently. *)
 
 open Mmdb_util
 
+(* Per-operator aggregate accumulated from trace span trees: exclusive
+   time and counters, so operator rows sum to the "query" root row. *)
+type op_stat = {
+  mutable op_calls : int;
+  mutable op_secs : float;
+  mutable op_counters : Counters.snapshot;
+}
+
 type t = {
   m : Mutex.t;
+  created : float;  (* Unix.gettimeofday at create: uptime base *)
   mutable accepted : int;  (* connections admitted *)
   mutable rejected : int;  (* admission-gate refusals (Busy) *)
   mutable closed : int;  (* sessions torn down *)
@@ -21,12 +33,16 @@ type t = {
   mutable cache_hits : int;  (* statement-cache hits *)
   mutable cache_misses : int;  (* statement-cache misses (fresh parses) *)
   mutable ro_jobs : int;  (* jobs dispatched on the parallel-reader path *)
-  latencies : Reservoir.t;  (* seconds, per answered request *)
+  mutable slow : int;  (* requests over the slow-query threshold *)
+  latencies : Histogram.t;  (* seconds, per answered request *)
+  by_kind : (string, Histogram.t) Hashtbl.t;  (* per statement kind *)
+  ops : (string, op_stat) Hashtbl.t;  (* per-operator, from traces *)
 }
 
 let create () =
   {
     m = Mutex.create ();
+    created = Unix.gettimeofday ();
     accepted = 0;
     rejected = 0;
     closed = 0;
@@ -39,7 +55,10 @@ let create () =
     cache_hits = 0;
     cache_misses = 0;
     ro_jobs = 0;
-    latencies = Reservoir.create ~capacity:4096;
+    slow = 0;
+    latencies = Histogram.create ();
+    by_kind = Hashtbl.create 8;
+    ops = Hashtbl.create 16;
   }
 
 let locked t f =
@@ -47,6 +66,8 @@ let locked t f =
   let r = f () in
   Mutex.unlock t.m;
   r
+
+let uptime t = Unix.gettimeofday () -. t.created
 
 let conn_accepted t = locked t (fun () -> t.accepted <- t.accepted + 1)
 let conn_rejected t = locked t (fun () -> t.rejected <- t.rejected + 1)
@@ -56,10 +77,19 @@ let conn_closed ?(reaped = false) t =
       t.closed <- t.closed + 1;
       if reaped then t.reaped <- t.reaped + 1)
 
-let request t ~latency =
+let request ?(kind = "other") t ~latency =
   locked t (fun () ->
       t.requests <- t.requests + 1;
-      Reservoir.add t.latencies latency)
+      Histogram.add t.latencies latency;
+      let h =
+        match Hashtbl.find_opt t.by_kind kind with
+        | Some h -> h
+        | None ->
+            let h = Histogram.create () in
+            Hashtbl.replace t.by_kind kind h;
+            h
+      in
+      Histogram.add h latency)
 
 let error t = locked t (fun () -> t.errors <- t.errors + 1)
 let timeout t = locked t (fun () -> t.timeouts <- t.timeouts + 1)
@@ -68,6 +98,35 @@ let proto_error t = locked t (fun () -> t.proto_errors <- t.proto_errors + 1)
 let cache_hit t = locked t (fun () -> t.cache_hits <- t.cache_hits + 1)
 let cache_miss t = locked t (fun () -> t.cache_misses <- t.cache_misses + 1)
 let read_job t = locked t (fun () -> t.ro_jobs <- t.ro_jobs + 1)
+let slow_query t = locked t (fun () -> t.slow <- t.slow + 1)
+
+(* Fold a finished trace into the per-operator table.  Exclusive times
+   and counters, so each operator's row charges only its own work. *)
+let record_trace t root =
+  locked t (fun () ->
+      ignore
+        (Trace.fold
+           (fun () ~depth:_ sp ->
+             let excl_secs =
+               List.fold_left
+                 (fun s (c : Trace.span) -> s -. c.Trace.sp_elapsed)
+                 sp.Trace.sp_elapsed sp.Trace.sp_children
+             in
+             let st =
+               match Hashtbl.find_opt t.ops sp.Trace.sp_name with
+               | Some st -> st
+               | None ->
+                   let st =
+                     { op_calls = 0; op_secs = 0.0; op_counters = Counters.zero }
+                   in
+                   Hashtbl.replace t.ops sp.Trace.sp_name st;
+                   st
+             in
+             st.op_calls <- st.op_calls + 1;
+             st.op_secs <- st.op_secs +. Float.max 0.0 excl_secs;
+             st.op_counters <-
+               Counters.add st.op_counters (Trace.exclusive_counters sp))
+           () ~depth:0 root))
 
 type snapshot = {
   s_accepted : int;
@@ -82,6 +141,8 @@ type snapshot = {
   s_cache_hits : int;
   s_cache_misses : int;
   s_ro_jobs : int;
+  s_slow : int;
+  s_uptime : float;
   s_lat_n : int;
   s_p50_ms : float option;
   s_p99_ms : float option;
@@ -104,29 +165,152 @@ let snapshot t =
         s_cache_hits = t.cache_hits;
         s_cache_misses = t.cache_misses;
         s_ro_jobs = t.ro_jobs;
-        s_lat_n = Reservoir.total t.latencies;
-        s_p50_ms = ms (Reservoir.percentile t.latencies 50.0);
-        s_p99_ms = ms (Reservoir.percentile t.latencies 99.0);
-        s_max_ms = ms (Reservoir.max_sample t.latencies);
+        s_slow = t.slow;
+        s_uptime = uptime t;
+        s_lat_n = Histogram.count t.latencies;
+        s_p50_ms = ms (Histogram.percentile t.latencies 50.0);
+        s_p99_ms = ms (Histogram.percentile t.latencies 99.0);
+        s_max_ms = ms (Histogram.max_sample t.latencies);
       })
 
-let render t ~active ~readers =
+(* Sorted copies of the breakdown tables, taken under the lock. *)
+let kind_rows t =
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun kind h acc ->
+          ( kind,
+            Histogram.count h,
+            Histogram.percentile h 50.0,
+            Histogram.percentile h 99.0,
+            Histogram.max_sample h )
+          :: acc)
+        t.by_kind []
+      |> List.sort compare)
+
+let op_rows t =
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun name st acc ->
+          (name, st.op_calls, st.op_secs, st.op_counters) :: acc)
+        t.ops []
+      |> List.sort compare)
+
+let render t ~active ~readers ~domains =
   let s = snapshot t in
   let pct = function
     | None -> "-"
     | Some v -> Printf.sprintf "%.3fms" v
   in
-  String.concat "\n"
+  let base =
     [
+      Printf.sprintf "server:      uptime=%.1fs revision=%s domains=%d"
+        s.s_uptime (Build.git_rev ()) domains;
       Printf.sprintf
         "connections: active=%d accepted=%d rejected=%d closed=%d idle_reaped=%d"
         active s.s_accepted s.s_rejected s.s_closed s.s_reaped;
       Printf.sprintf
-        "requests:    total=%d errors=%d timeouts=%d conflicts=%d protocol_errors=%d"
-        s.s_requests s.s_errors s.s_timeouts s.s_conflicts s.s_proto_errors;
+        "requests:    total=%d errors=%d timeouts=%d conflicts=%d protocol_errors=%d slow=%d"
+        s.s_requests s.s_errors s.s_timeouts s.s_conflicts s.s_proto_errors
+        s.s_slow;
       Printf.sprintf
         "executor:    readers=%d read_jobs=%d stmt_cache_hits=%d stmt_cache_misses=%d"
         readers s.s_ro_jobs s.s_cache_hits s.s_cache_misses;
       Printf.sprintf "latency:     samples=%d p50=%s p99=%s max=%s" s.s_lat_n
         (pct s.s_p50_ms) (pct s.s_p99_ms) (pct s.s_max_ms);
     ]
+  in
+  let kinds =
+    List.map
+      (fun (kind, n, p50, p99, mx) ->
+        Printf.sprintf "  %-8s n=%d p50=%s p99=%s max=%s" kind n
+          (pct (Option.map (fun v -> v *. 1000.0) p50))
+          (pct (Option.map (fun v -> v *. 1000.0) p99))
+          (pct (Option.map (fun v -> v *. 1000.0) mx)))
+      (kind_rows t)
+  in
+  let ops =
+    List.map
+      (fun (name, calls, secs, (c : Counters.snapshot)) ->
+        Printf.sprintf
+          "  %-14s calls=%d time=%.3fms cmp=%d moves=%d hash=%d derefs=%d" name
+          calls (secs *. 1000.0) c.Counters.comparisons c.Counters.data_moves
+          c.Counters.hash_calls c.Counters.ptr_derefs)
+      (op_rows t)
+  in
+  String.concat "\n"
+    (base
+    @ (if kinds = [] then [] else "by kind:" :: kinds)
+    @ if ops = [] then [] else "operators:" :: ops)
+
+(* Machine-readable twin of [render], served by the STATS request. *)
+let stats_json t ~active ~readers ~domains =
+  let s = snapshot t in
+  let ms v = Option.fold ~none:Json.Null ~some:(fun x -> Json.Float x) v in
+  let hist_obj n p50 p99 mx =
+    Json.Obj
+      [
+        ("n", Json.Int n);
+        ("p50_ms", ms (Option.map (fun v -> v *. 1000.0) p50));
+        ("p99_ms", ms (Option.map (fun v -> v *. 1000.0) p99));
+        ("max_ms", ms (Option.map (fun v -> v *. 1000.0) mx));
+      ]
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         ( "server",
+           Json.Obj
+             [
+               ("uptime_s", Json.Float s.s_uptime);
+               ("revision", Json.Str (Build.git_rev ()));
+               ("domains", Json.Int domains);
+               ("readers", Json.Int readers);
+             ] );
+         ( "connections",
+           Json.Obj
+             [
+               ("active", Json.Int active);
+               ("accepted", Json.Int s.s_accepted);
+               ("rejected", Json.Int s.s_rejected);
+               ("closed", Json.Int s.s_closed);
+               ("idle_reaped", Json.Int s.s_reaped);
+             ] );
+         ( "requests",
+           Json.Obj
+             [
+               ("total", Json.Int s.s_requests);
+               ("errors", Json.Int s.s_errors);
+               ("timeouts", Json.Int s.s_timeouts);
+               ("conflicts", Json.Int s.s_conflicts);
+               ("protocol_errors", Json.Int s.s_proto_errors);
+               ("slow", Json.Int s.s_slow);
+               ("read_jobs", Json.Int s.s_ro_jobs);
+               ("stmt_cache_hits", Json.Int s.s_cache_hits);
+               ("stmt_cache_misses", Json.Int s.s_cache_misses);
+             ] );
+         ( "latency",
+           hist_obj s.s_lat_n
+             (Option.map (fun v -> v /. 1000.0) s.s_p50_ms)
+             (Option.map (fun v -> v /. 1000.0) s.s_p99_ms)
+             (Option.map (fun v -> v /. 1000.0) s.s_max_ms) );
+         ( "by_kind",
+           Json.Obj
+             (List.map
+                (fun (kind, n, p50, p99, mx) -> (kind, hist_obj n p50 p99 mx))
+                (kind_rows t)) );
+         ( "operators",
+           Json.List
+             (List.map
+                (fun (name, calls, secs, (c : Counters.snapshot)) ->
+                  Json.Obj
+                    [
+                      ("operator", Json.Str name);
+                      ("calls", Json.Int calls);
+                      ("time_ms", Json.Float (secs *. 1000.0));
+                      ("comparisons", Json.Int c.Counters.comparisons);
+                      ("data_moves", Json.Int c.Counters.data_moves);
+                      ("hash_calls", Json.Int c.Counters.hash_calls);
+                      ("ptr_derefs", Json.Int c.Counters.ptr_derefs);
+                    ])
+                (op_rows t)) );
+       ])

@@ -1,18 +1,24 @@
 (** Serving metrics: mutex-guarded counters bumped on the hot path,
-    summarized on demand (STATUS request, SIGUSR1 dump).  Latency
-    percentiles come from a bounded sliding window
-    ({!Mmdb_util.Reservoir}), so p50/p99 reflect recent requests. *)
+    summarized on demand (STATUS / STATS request, SIGUSR1 dump).
+    Latencies go into log-bucketed {!Mmdb_util.Histogram}s — one total
+    plus one per statement kind — so percentiles cover the server's
+    whole life.  Traced requests also feed a per-operator aggregate
+    table of exclusive times and §3.1 counters. *)
 
 type t
 
 val create : unit -> t
 
+val uptime : t -> float
+(** Seconds since {!create}. *)
+
 val conn_accepted : t -> unit
 val conn_rejected : t -> unit
 val conn_closed : ?reaped:bool -> t -> unit
 
-val request : t -> latency:float -> unit
-(** One answered request; [latency] in seconds. *)
+val request : ?kind:string -> t -> latency:float -> unit
+(** One answered request; [latency] in seconds, [kind] the statement-kind
+    bucket ("select", "insert", "txn", ... — default "other"). *)
 
 val error : t -> unit
 val timeout : t -> unit
@@ -28,6 +34,13 @@ val cache_miss : t -> unit
 val read_job : t -> unit
 (** A job dispatched on the parallel-reader path. *)
 
+val slow_query : t -> unit
+(** A request over the slow-query threshold (also logged as JSONL). *)
+
+val record_trace : t -> Mmdb_util.Trace.span -> unit
+(** Fold a finished trace tree into the per-operator aggregates
+    (exclusive time and counters per span name). *)
+
 type snapshot = {
   s_accepted : int;
   s_rejected : int;
@@ -41,6 +54,8 @@ type snapshot = {
   s_cache_hits : int;
   s_cache_misses : int;
   s_ro_jobs : int;  (** jobs dispatched on the parallel-reader path *)
+  s_slow : int;  (** requests over the slow-query threshold *)
+  s_uptime : float;  (** seconds since server start *)
   s_lat_n : int;  (** latency samples recorded over the server's life *)
   s_p50_ms : float option;
   s_p99_ms : float option;
@@ -49,7 +64,16 @@ type snapshot = {
 
 val snapshot : t -> snapshot
 
-val render : t -> active:int -> readers:int -> string
-(** Four-line human-readable summary (connections / requests / executor /
-    latency); [active] is the current live-session count and [readers]
-    the configured reader parallelism. *)
+val kind_rows : t -> (string * int * float option * float option * float option) list
+(** Per-kind latency rows [(kind, n, p50_s, p99_s, max_s)], sorted. *)
+
+val op_rows : t -> (string * int * float * Mmdb_util.Counters.snapshot) list
+(** Per-operator rows [(name, calls, exclusive_seconds, counters)], sorted. *)
+
+val render : t -> active:int -> readers:int -> domains:int -> string
+(** Human-readable summary: server (uptime / git revision / domain-pool
+    size), connections, requests, executor, latency, then per-kind and
+    per-operator breakdowns when non-empty. *)
+
+val stats_json : t -> active:int -> readers:int -> domains:int -> string
+(** Machine-readable twin of {!render}, served by the STATS request. *)

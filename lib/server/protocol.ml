@@ -68,7 +68,8 @@ type request =
   | Ping
   | Cancel  (** abandon the session's queued-but-unstarted work *)
   | Quit
-  | Status  (** server metrics snapshot *)
+  | Status  (** server metrics snapshot, human-readable *)
+  | Stats  (** server metrics snapshot, JSON *)
 
 type response =
   | Results of { columns : string list; rows : Value.t array list }
@@ -80,6 +81,7 @@ type response =
   | Bye
   | Notice of string  (** out-of-band server notice *)
   | Status_text of string
+  | Stats_json of string  (** machine-readable metrics payload *)
 
 (* --- encoding --------------------------------------------------------- *)
 
@@ -154,7 +156,8 @@ let encode_request req =
          | Ping -> Buffer.add_char b 'p'
          | Cancel -> Buffer.add_char b 'C'
          | Quit -> Buffer.add_char b 'X'
-         | Status -> Buffer.add_char b 'S'))
+         | Status -> Buffer.add_char b 'S'
+         | Stats -> Buffer.add_char b 'T'))
 
 let encode_response resp =
   frame
@@ -191,6 +194,9 @@ let encode_response resp =
              Buffer.add_string b m
          | Status_text m ->
              Buffer.add_char b 't';
+             Buffer.add_string b m
+         | Stats_json m ->
+             Buffer.add_char b 'j';
              Buffer.add_string b m))
 
 (* --- decoding --------------------------------------------------------- *)
@@ -264,6 +270,7 @@ let decode_request payload =
       | 'C' -> Ok Cancel
       | 'X' -> Ok Quit
       | 'S' -> Ok Status
+      | 'T' -> Ok Stats
       | t -> Stdlib.Error (Printf.sprintf "unknown request tag %C" t)
     with Malformed m -> Stdlib.Error m
 
@@ -298,6 +305,7 @@ let decode_response payload =
       | 'B' -> Ok Bye
       | 'n' -> Ok (Notice (rest c))
       | 't' -> Ok (Status_text (rest c))
+      | 'j' -> Ok (Stats_json (rest c))
       | t -> Stdlib.Error (Printf.sprintf "unknown response tag %C" t)
     with Malformed m -> Stdlib.Error m
 
@@ -378,3 +386,4 @@ let pp_response ppf = function
   | Bye -> Fmt.string ppf "bye"
   | Notice m -> Fmt.pf ppf "notice: %s" m
   | Status_text m -> Fmt.string ppf m
+  | Stats_json m -> Fmt.string ppf m

@@ -31,7 +31,8 @@ type request =
   | Ping
   | Cancel  (** abandon the session's queued-but-unstarted work *)
   | Quit
-  | Status  (** server metrics snapshot *)
+  | Status  (** server metrics snapshot, human-readable *)
+  | Stats  (** server metrics snapshot, JSON *)
 
 type response =
   | Results of { columns : string list; rows : Value.t array list }
@@ -43,6 +44,7 @@ type response =
   | Bye
   | Notice of string  (** out-of-band server notice *)
   | Status_text of string
+  | Stats_json of string  (** machine-readable metrics payload *)
 
 val encode_request : request -> string
 (** Full frame (length prefix included), ready to write. *)

@@ -42,6 +42,9 @@ type config = {
   idle_timeout : float;  (* seconds; <= 0 disables reaping *)
   max_frame : int;  (* request-frame size limit, bytes *)
   stmt_cache : int;  (* parsed-AST cache entries; <= 0 disables *)
+  trace : bool;  (* trace every statement into the operator aggregates *)
+  slow_log : string option;  (* JSONL file for over-threshold queries *)
+  slow_threshold : float;  (* seconds; queries at/over this are logged *)
 }
 
 let default_config =
@@ -53,6 +56,9 @@ let default_config =
     idle_timeout = 300.0;
     max_frame = Protocol.max_frame_default;
     stmt_cache = 256;
+    trace = false;
+    slow_log = None;
+    slow_threshold = 0.1;
   }
 
 type session = Protocol.response Session.t
@@ -69,6 +75,8 @@ type t = {
   bound_port : int;
   stop_r : Unix.file_descr;  (* self-pipe that wakes the accept loop *)
   stop_w : Unix.file_descr;
+  slow_m : Mutex.t;  (* serializes slow-log lines across handlers *)
+  slow_out : out_channel option;  (* open slow-log sink, if configured *)
   m : Mutex.t;  (* guards sessions / handlers / next_sid / state *)
   sessions : (int, session) Hashtbl.t;
   mutable handlers : Thread.t list;
@@ -88,11 +96,24 @@ let active_sessions t =
   Mutex.unlock t.m;
   n
 
+(* The domain-pool size reported in STATUS/STATS: what intra-query
+   parallel operators fan out across (MMDB_DOMAINS). *)
+let domain_count () = Mmdb_util.Domain_pool.default_size ()
+
 let metrics_text t =
   Metrics.render t.metrics ~active:(active_sessions t)
-    ~readers:(Exec_queue.readers t.exec)
+    ~readers:(Exec_queue.readers t.exec) ~domains:(domain_count ())
+
+let stats_json_text t =
+  Metrics.stats_json t.metrics ~active:(active_sessions t)
+    ~readers:(Exec_queue.readers t.exec) ~domains:(domain_count ())
 
 let metrics t = t.metrics
+
+(* Tracing is on when asked for explicitly or implied by a slow log:
+   a slow-query line without its trace tree would name the offender but
+   not the operator that made it slow. *)
+let tracing_on t = t.cfg.trace || t.slow_out <> None
 
 (* Parse through the bounded LRU statement cache: repeated non-prepared
    query texts skip the lexer/parser entirely.  Only successful parses
@@ -184,6 +205,21 @@ let kind_of interp stmts : Exec_queue.kind =
     Exec_queue.Read
   else Exec_queue.Write
 
+(* Statement-kind bucket for the per-kind latency histograms; a batch is
+   bucketed by its last statement (the one whose reply the client sees). *)
+let stmt_kind : Ast.stmt -> string = function
+  | Ast.Select _ -> "select"
+  | Ast.Explain _ -> "explain"
+  | Ast.Insert _ -> "insert"
+  | Ast.Update _ -> "update"
+  | Ast.Delete _ -> "delete"
+  | Ast.Create_table _ | Ast.Create_index _ -> "ddl"
+  | Ast.Begin_txn | Ast.Commit_txn | Ast.Rollback_txn -> "txn"
+  | Ast.Show_tables | Ast.Describe _ -> "meta"
+
+let batch_kind stmts =
+  match List.rev stmts with last :: _ -> stmt_kind last | [] -> "other"
+
 (* Ship a job to the executor and wait, honouring the request timeout. *)
 let run_on_executor t (s : session) ?(kind = Exec_queue.Write) job :
     Protocol.response =
@@ -215,6 +251,72 @@ let interp_of s =
   | Some i -> i
   | None -> failwith "session has no interpreter" (* unreachable after open *)
 
+(* One JSONL line per slow query: timestamp, session, statement, outcome,
+   and the full trace tree (per-operator times and §3.1 counters).  The
+   line is written by the handler thread; [slow_m] keeps concurrent
+   offenders from interleaving bytes. *)
+let slow_log_line t (s : session) ~sql ~elapsed ~resp root =
+  match t.slow_out with
+  | None -> ()
+  | Some oc ->
+      Metrics.slow_query t.metrics;
+      let status =
+        match (resp : Protocol.response) with
+        | Protocol.Error (code, _) -> Protocol.err_code_name code
+        | _ -> "ok"
+      in
+      let line =
+        Mmdb_util.Json.to_string
+          (Mmdb_util.Json.Obj
+             [
+               ("ts", Mmdb_util.Json.Float (Unix.gettimeofday ()));
+               ("session", Mmdb_util.Json.Int s.Session.sid);
+               ("kind", Mmdb_util.Json.Str s.Session.last_kind);
+               ("elapsed_ms", Mmdb_util.Json.Float (elapsed *. 1000.0));
+               ( "threshold_ms",
+                 Mmdb_util.Json.Float (t.cfg.slow_threshold *. 1000.0) );
+               ("status", Mmdb_util.Json.Str status);
+               ("sql", Mmdb_util.Json.Str sql);
+               ("trace", Mmdb_util.Trace.to_json root);
+             ])
+      in
+      Mutex.lock t.slow_m;
+      output_string oc line;
+      output_char oc '\n';
+      flush oc;
+      Mutex.unlock t.slow_m
+
+(* Run a statement batch on the executor, tracing when configured.  The
+   finished tree feeds the per-operator aggregates; a request at/over the
+   slow threshold additionally emits one slow-log line carrying it. *)
+let run_statements t (s : session) ~sql stmts : Protocol.response =
+  let interp = interp_of s in
+  s.Session.last_kind <- batch_kind stmts;
+  let kind = kind_of interp stmts in
+  let job = exec_stmts_job interp stmts in
+  if not (tracing_on t) then run_on_executor t s ~kind job
+  else begin
+    let tr = Mmdb_util.Trace.create () in
+    let started = Unix.gettimeofday () in
+    let resp =
+      run_on_executor t s ~kind (fun () ->
+          Mmdb_util.Trace.run tr ~name:"query" job)
+    in
+    let elapsed = Unix.gettimeofday () -. started in
+    (match resp with
+    | Protocol.Error (Protocol.Timeout, _) ->
+        (* the abandoned job may still be running and mutating [tr] *)
+        ()
+    | _ -> (
+        match Mmdb_util.Trace.root tr with
+        | None -> () (* job skipped before execution *)
+        | Some root ->
+            Metrics.record_trace t.metrics root;
+            if t.slow_out <> None && elapsed >= t.cfg.slow_threshold then
+              slow_log_line t s ~sql ~elapsed ~resp root));
+    resp
+  end
+
 let literal_of_value : Value.t -> Ast.literal = function
   | Value.Int n -> Ast.L_int n
   | Value.Float f -> Ast.L_float f
@@ -233,12 +335,14 @@ let handle_request t (s : session) (req : Protocol.request) : bool =
     send s resp;
     true
   in
+  s.Session.last_kind <- "control" (* run_statements overrides for queries *);
   match req with
   | Protocol.Quit ->
       try_send s Protocol.Bye;
       false
   | Protocol.Ping -> answer Protocol.Pong
   | Protocol.Status -> answer (Protocol.Status_text (metrics_text t))
+  | Protocol.Stats -> answer (Protocol.Stats_json (stats_json_text t))
   | Protocol.Cancel ->
       (match s.Session.pending with
       | Some p -> Exec_queue.abandon p
@@ -247,11 +351,7 @@ let handle_request t (s : session) (req : Protocol.request) : bool =
   | Protocol.Query sql -> (
       match parse_cached t sql with
       | Error msg -> answer (Protocol.Error (Protocol.Parse, msg))
-      | Ok stmts ->
-          let interp = interp_of s in
-          answer
-            (run_on_executor t s ~kind:(kind_of interp stmts)
-               (exec_stmts_job interp stmts)))
+      | Ok stmts -> answer (run_statements t s ~sql stmts))
   | Protocol.Prepare sql -> (
       match Parser.parse sql with
       | Error msg -> answer (Protocol.Error (Protocol.Parse, msg))
@@ -277,11 +377,10 @@ let handle_request t (s : session) (req : Protocol.request) : bool =
           with
           | Error msg -> answer (Protocol.Error (Protocol.Exec, msg))
           | Ok bound ->
-              let interp = interp_of s in
               answer
-                (run_on_executor t s
-                   ~kind:(kind_of interp [ bound ])
-                   (exec_stmts_job interp [ bound ]))))
+                (run_statements t s
+                   ~sql:(Printf.sprintf "(prepared #%d)" id)
+                   [ bound ])))
 
 (* --- connection lifecycle --------------------------------------------- *)
 
@@ -338,7 +437,7 @@ let session_loop t (s : session) =
         | Ok req ->
             let started = Unix.gettimeofday () in
             let continue = try handle_request t s req with _ -> false in
-            Metrics.request t.metrics
+            Metrics.request t.metrics ~kind:s.Session.last_kind
               ~latency:(Unix.gettimeofday () -. started);
             Session.touch s;
             if continue then loop ())
@@ -463,6 +562,11 @@ let start ?(config = default_config) ?mgr db =
     | _ -> config.port
   in
   let stop_r, stop_w = Unix.pipe ~cloexec:true () in
+  let slow_out =
+    Option.map
+      (fun path -> open_out_gen [ Open_append; Open_creat ] 0o644 path)
+      config.slow_log
+  in
   let t =
     {
       cfg = config;
@@ -479,6 +583,8 @@ let start ?(config = default_config) ?mgr db =
       bound_port;
       stop_r;
       stop_w;
+      slow_m = Mutex.create ();
+      slow_out;
       m = Mutex.create ();
       sessions = Hashtbl.create 32;
       handlers = [];
@@ -522,6 +628,9 @@ let shutdown t =
     (match t.reaper_thread with Some thr -> Thread.join thr | None -> ());
     (* all sessions are gone; drain and stop the executor last *)
     Exec_queue.stop t.exec;
+    (match t.slow_out with
+    | Some oc -> ( try close_out oc with _ -> ())
+    | None -> ());
     List.iter
       (fun fd -> try Unix.close fd with _ -> ())
       [ t.stop_r; t.stop_w ]

@@ -18,12 +18,19 @@ type config = {
   idle_timeout : float;  (** seconds; [<= 0.] disables reaping *)
   max_frame : int;  (** request-frame size limit, bytes *)
   stmt_cache : int;  (** parsed-AST cache entries; [<= 0] disables *)
+  trace : bool;
+      (** trace every statement into the per-operator aggregates even
+          with no slow log configured *)
+  slow_log : string option;
+      (** JSONL sink for queries at/over [slow_threshold]; configuring
+          one implies tracing *)
+  slow_threshold : float;  (** seconds; default 0.1 *)
 }
 
 val default_config : config
 (** 127.0.0.1:7478, 64 connections, 30 s request timeout, 300 s idle
     timeout, {!Protocol.max_frame_default} frames, 256 cached
-    statements. *)
+    statements, tracing off, no slow log, 0.1 s slow threshold. *)
 
 type t
 
@@ -43,6 +50,9 @@ val metrics : t -> Metrics.t
 
 val metrics_text : t -> string
 (** Human-readable metrics summary (the STATUS response body). *)
+
+val stats_json_text : t -> string
+(** Machine-readable metrics summary (the STATS response body). *)
 
 val shutdown : t -> unit
 (** Graceful shutdown: stop admissions, nudge every session off its

@@ -23,6 +23,9 @@ type 'a t = {
   mutable next_prepared : int;
   mutable pending : 'a Exec_queue.promise option;
   mutable kick : kick;
+  mutable last_kind : string;
+      (* statement kind of the request being handled; read by the
+         handler right after [handle_request] to bucket the latency *)
 }
 
 let create ~sid ~fd =
@@ -38,6 +41,7 @@ let create ~sid ~fd =
     next_prepared = 1;
     pending = None;
     kick = Not_kicked;
+    last_kind = "other";
   }
 
 let touch t = t.last_activity <- Unix.gettimeofday ()

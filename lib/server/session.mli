@@ -26,6 +26,9 @@ type 'a t = {
   mutable next_prepared : int;
   mutable pending : 'a Exec_queue.promise option;
   mutable kick : kick;
+  mutable last_kind : string;
+      (** statement kind of the request being handled; read by the
+          handler right after dispatch to bucket the request latency *)
 }
 
 val create : sid:int -> fd:Unix.file_descr -> 'a t

@@ -81,7 +81,14 @@ let creates_deadlock t ~txn ~on:(e : entry) =
   in
   List.exists reaches_requester direct
 
-let acquire t ~txn res mode =
+let mode_name = function Shared -> "S" | Exclusive -> "X"
+
+let outcome_name = function
+  | Granted -> "granted"
+  | Blocked -> "blocked"
+  | Deadlock -> "deadlock"
+
+let acquire_unstrumented t ~txn res mode =
   let e = entry_for t res in
   let held = List.assoc_opt txn e.holders in
   match (held, mode) with
@@ -114,6 +121,21 @@ let acquire t ~txn res mode =
           e.waiters <- e.waiters @ [ (txn, mode) ];
         Blocked
       end
+
+(* Callers spin on [Blocked] rather than parking a thread, so lock waits
+   show up in a trace as repeated acquire spans; the outcome attribute is
+   what distinguishes a wait round from a grant. *)
+let acquire t ~txn res mode =
+  Mmdb_util.Trace.with_span "lock.acquire" @@ fun () ->
+  if Mmdb_util.Trace.active () then begin
+    Mmdb_util.Trace.add_attr "resource"
+      (Printf.sprintf "%s/%d" res.rel res.pid);
+    Mmdb_util.Trace.add_attr "mode" (mode_name mode)
+  end;
+  let outcome = acquire_unstrumented t ~txn res mode in
+  if Mmdb_util.Trace.active () then
+    Mmdb_util.Trace.add_attr "outcome" (outcome_name outcome);
+  outcome
 
 let release_all t ~txn =
   Hashtbl.iter

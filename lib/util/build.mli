@@ -1,0 +1,5 @@
+(** Build provenance. *)
+
+val git_rev : unit -> string
+(** The checkout's short git revision, determined once (lazily) by shelling
+    out to [git rev-parse]; ["unknown"] outside a git checkout. *)

@@ -1,0 +1,95 @@
+(* Log-bucketed latency histogram.
+
+   Fixed geometric bucket layout: bucket [i] covers
+   (lo * r^i, lo * r^(i+1)] with lo = 1µs and r = 10^(1/10) (ten buckets
+   per decade), spanning 1µs .. 100s plus an underflow and an overflow
+   bucket — 103 counters in total.  Because the layout is identical for
+   every histogram, two histograms merge by adding counts, which is what
+   lets per-statement-kind histograms roll up into a total (and, later,
+   per-shard histograms into a fleet view).  Unlike a sampling reservoir
+   the histogram never forgets: percentiles cover the server's whole
+   life, with relative error bounded by the bucket ratio (~26%).
+
+   Not synchronized — {!Mmdb_net.Metrics} already serializes access under
+   its own mutex. *)
+
+let lo = 1e-6
+let per_decade = 10
+let decades = 8
+let n_buckets = (per_decade * decades) + 2 (* underflow + overflow *)
+
+let ratio = 10.0 ** (1.0 /. float_of_int per_decade)
+
+type t = {
+  counts : int array;
+  mutable n : int;  (* total samples *)
+  mutable sum : float;  (* seconds *)
+  mutable max_s : float;  (* exact, for the "max" column *)
+}
+
+let create () =
+  { counts = Array.make n_buckets 0; n = 0; sum = 0.0; max_s = neg_infinity }
+
+(* Upper bound of bucket [i] (seconds); the overflow bucket has none. *)
+let upper_bound i = lo *. (ratio ** float_of_int i)
+
+(* Bucket [0] covers (0, lo]; bucket [i] covers
+   (upper_bound (i-1), upper_bound i]; the last bucket is overflow. *)
+let bucket_of x =
+  if x <= lo then 0
+  else
+    let i = int_of_float (Float.ceil ((log (x /. lo) /. log ratio) -. 1e-9)) in
+    if i >= n_buckets then n_buckets - 1 else i
+
+let add t x =
+  t.counts.(bucket_of x) <- t.counts.(bucket_of x) + 1;
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. x;
+  if x > t.max_s then t.max_s <- x
+
+let count t = t.n
+let sum t = t.sum
+let mean t = if t.n = 0 then None else Some (t.sum /. float_of_int t.n)
+let max_sample t = if t.n = 0 then None else Some t.max_s
+
+let merge_into ~into t =
+  Array.iteri (fun i c -> into.counts.(i) <- into.counts.(i) + c) t.counts;
+  into.n <- into.n + t.n;
+  into.sum <- into.sum +. t.sum;
+  if t.max_s > into.max_s then into.max_s <- t.max_s
+
+let merge a b =
+  let t = create () in
+  merge_into ~into:t a;
+  merge_into ~into:t b;
+  t
+
+(* Percentile by walking the cumulative counts; the answer is the upper
+   bound of the bucket containing the p-th sample (clamped to the exact
+   max so p100 is truthful). *)
+let percentile t p =
+  if t.n = 0 then None
+  else begin
+    let rank =
+      let r = int_of_float (Float.ceil (p /. 100.0 *. float_of_int t.n)) in
+      if r < 1 then 1 else if r > t.n then t.n else r
+    in
+    let rec walk i seen =
+      let seen = seen + t.counts.(i) in
+      if seen >= rank || i = n_buckets - 1 then i else walk (i + 1) seen
+    in
+    let b = walk 0 0 in
+    let v = if b = n_buckets - 1 then t.max_s else upper_bound b in
+    Some (Float.min v t.max_s)
+  end
+
+(* Non-empty buckets as (upper_bound_seconds, count); the overflow bucket
+   reports the exact max as its bound. *)
+let buckets t =
+  let out = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    if t.counts.(i) > 0 then
+      let bound = if i = n_buckets - 1 then t.max_s else upper_bound i in
+      out := (bound, t.counts.(i)) :: !out
+  done;
+  !out

@@ -1,0 +1,39 @@
+(** Log-bucketed latency histogram.
+
+    Fixed geometric buckets: ten per decade from 1µs to 100s, plus
+    underflow and overflow.  Because the layout is identical for every
+    histogram, two histograms merge by adding counts — per-statement-kind
+    histograms roll up into a total.  Unlike a sampling reservoir the
+    histogram never forgets: percentiles cover every sample ever added,
+    with relative error bounded by the bucket ratio (about 26%).
+
+    Not synchronized; callers serialize access (Metrics holds a mutex). *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+(** Record one sample (seconds). *)
+
+val count : t -> int
+val sum : t -> float
+val mean : t -> float option
+val max_sample : t -> float option
+(** Exact maximum ever added; [None] when empty. *)
+
+val percentile : t -> float -> float option
+(** [percentile t p] for [p] in [0..100]: the upper bound of the bucket
+    holding the p-th sample, clamped to the exact maximum (so p100 is
+    truthful).  [None] when empty. *)
+
+val merge_into : into:t -> t -> unit
+(** Add every bucket, count, sum and max of the second histogram into
+    [into]. *)
+
+val merge : t -> t -> t
+(** Fresh histogram holding both inputs' samples. *)
+
+val buckets : t -> (float * int) list
+(** Non-empty buckets as [(upper_bound_seconds, count)], ascending; the
+    overflow bucket reports the exact max as its bound. *)

@@ -1,0 +1,35 @@
+(** Minimal JSON, so the slow-query log, STATS payloads and bench records
+    can be produced and parsed back without an external dependency.
+
+    Full JSON grammar, with two pragmatic choices: numbers without a
+    fraction or exponent decode as {!Int} (counters survive a round trip
+    exactly), and [\uXXXX] escapes are decoded to UTF-8 for the BMP only
+    (no surrogate-pair recombination). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering.  Integral floats keep a [".0"] so they
+    re-parse as [Float]; NaN and infinities render as [null]. *)
+
+val parse : string -> (t, string) result
+(** Parse a complete JSON document; trailing garbage is an error. *)
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+(** [member k (Obj _)] looks up key [k]; [None] on non-objects. *)
+
+val to_int_opt : t -> int option
+val to_float_opt : t -> float option
+(** [Int] values convert too. *)
+
+val to_string_opt : t -> string option
+val to_list_opt : t -> t list option

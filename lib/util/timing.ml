@@ -5,15 +5,12 @@ let time f =
   let result = f () in
   (result, now () -. start)
 
+(* Run [f] [repeats] times and report the median-time run — result and
+   elapsed time from the *same* run, so a caller inspecting the result
+   sees the execution whose time it was told about. *)
 let time_median ?(repeats = 3) f =
   if repeats < 1 then invalid_arg "Timing.time_median: repeats < 1";
-  let samples = Array.make repeats 0.0 in
-  let result = ref None in
-  for i = 0 to repeats - 1 do
-    let r, dt = time f in
-    result := Some r;
-    samples.(i) <- dt
-  done;
-  Array.sort compare samples;
-  let median = samples.(repeats / 2) in
-  match !result with Some r -> (r, median) | None -> assert false
+  let samples = Array.init repeats (fun _ -> time f) in
+  let order = Array.init repeats Fun.id in
+  Array.sort (fun a b -> compare (snd samples.(a)) (snd samples.(b))) order;
+  samples.(order.(repeats / 2))

@@ -5,6 +5,8 @@ val time : (unit -> 'a) -> 'a * float
 (** [time f] runs [f ()] once and returns its result and elapsed seconds. *)
 
 val time_median : ?repeats:int -> (unit -> 'a) -> 'a * float
-(** [time_median ~repeats f] runs [f] [repeats] times (default 3) and
-    returns the last result with the median elapsed seconds, damping
-    scheduler noise for the benchmark sweeps. *)
+(** [time_median ~repeats f] runs [f] exactly [repeats] times (default 3,
+    must be >= 1) and returns the result {e and} elapsed seconds of the
+    median-time run — the pair always comes from the same execution.
+    Damps scheduler noise for the benchmark sweeps; side effects of [f]
+    happen [repeats] times. *)

@@ -1,0 +1,206 @@
+(* Per-query trace spans.
+
+   A trace is a tree of spans collected while one query executes: each
+   span records a name, free-form attributes, wall time, the counter
+   delta (§3.1's comparisons / data moves / hash calls / pointer
+   dereferences) accumulated while it was open, and the id of the domain
+   it ran on.  Operators ({!Mmdb_core}), the optimizer, the lock manager
+   and the serving layer all call {!with_span} unconditionally; the
+   collector is installed in a domain-local slot, so when no trace is
+   active (the default) the call is one DLS read and a branch — no
+   allocation, no clock read, no counter snapshot.
+
+   Collection is domain-local on purpose: a span opened on a worker
+   domain of a {!Domain_pool} fan-out would race the coordinator's tree,
+   so those spans are simply not collected.  Counter deltas still include
+   the workers' operations because open/close snapshots use the merged
+   {!Counters.snapshot}; only the *tree structure* is limited to the
+   coordinating domain.  (On the server, read-only statements execute
+   entirely on one reader domain — nested fan-out is forbidden — so their
+   traces are complete.) *)
+
+type span = {
+  sp_name : string;
+  mutable sp_attrs : (string * string) list;  (* insertion order *)
+  sp_domain : int;
+  sp_start : float;  (* Unix.gettimeofday at open *)
+  mutable sp_elapsed : float;  (* seconds; -1.0 while open *)
+  mutable sp_counters : Counters.snapshot;  (* inclusive delta at close *)
+  mutable sp_children : span list;  (* execution order once closed *)
+}
+
+type t = {
+  mutable root : span option;
+  mutable stack : span list;  (* innermost open span first *)
+}
+
+let create () = { root = None; stack = [] }
+
+let root t = t.root
+
+(* The installed collector for this domain; [None] means tracing is off,
+   which is the hot-path case every operator hits. *)
+let current_key : t option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let active () = Domain.DLS.get current_key <> None
+
+(* A queue-wait measured by the executor queue *before* the traced job
+   body ran (and therefore before any collector was installed).  The
+   queue stashes it here; {!run} drains it into the root span.  One slot,
+   overwritten per job, so a stale offer from an untraced job cannot
+   outlive the next job on the same domain. *)
+let pending_wait_key : (string * float) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let offer_wait ~name elapsed =
+  Domain.DLS.set pending_wait_key (Some (name, elapsed))
+
+let open_span tr ?(attrs = []) name =
+  let sp =
+    {
+      sp_name = name;
+      sp_attrs = attrs;
+      sp_domain = (Domain.self () :> int);
+      sp_start = Unix.gettimeofday ();
+      sp_elapsed = -1.0;
+      sp_counters = Counters.zero;
+      sp_children = [];
+    }
+  in
+  tr.stack <- sp :: tr.stack;
+  sp
+
+let close_span tr sp ~opened =
+  sp.sp_elapsed <- Unix.gettimeofday () -. sp.sp_start;
+  sp.sp_counters <- Counters.diff (Counters.snapshot ()) opened;
+  sp.sp_children <- List.rev sp.sp_children;
+  (match tr.stack with
+  | top :: rest when top == sp -> tr.stack <- rest
+  | _ -> () (* unbalanced close after an exception deeper down *));
+  match tr.stack with
+  | parent :: _ -> parent.sp_children <- sp :: parent.sp_children
+  | [] -> if tr.root = None then tr.root <- Some sp
+
+let with_span ?attrs name f =
+  match Domain.DLS.get current_key with
+  | None -> f ()
+  | Some tr ->
+      let opened = Counters.snapshot () in
+      let sp = open_span tr ?attrs name in
+      Fun.protect ~finally:(fun () -> close_span tr sp ~opened) f
+
+let add_attr k v =
+  match Domain.DLS.get current_key with
+  | None -> ()
+  | Some tr -> (
+      match tr.stack with
+      | sp :: _ -> sp.sp_attrs <- sp.sp_attrs @ [ (k, v) ]
+      | [] -> ())
+
+(* Attach an already-measured interval (e.g. a queue wait) as a closed
+   child of the innermost open span. *)
+let record ?(attrs = []) name ~elapsed =
+  match Domain.DLS.get current_key with
+  | None -> ()
+  | Some tr -> (
+      match tr.stack with
+      | parent :: _ ->
+          parent.sp_children <-
+            {
+              sp_name = name;
+              sp_attrs = attrs;
+              sp_domain = (Domain.self () :> int);
+              sp_start = Unix.gettimeofday () -. elapsed;
+              sp_elapsed = elapsed;
+              sp_counters = Counters.zero;
+              sp_children = [];
+            }
+            :: parent.sp_children
+      | [] -> ())
+
+(* Run [f] with [tr] installed, wrapping it in a root span.  A collector
+   already installed — the server tracing a statement that is itself an
+   EXPLAIN ANALYZE — is suspended for the duration and restored after:
+   the outer trace loses the nested subtree's *structure* but keeps
+   correct inclusive counters (open/close snapshots bracket the nested
+   work), while [tr] collects the complete inner tree. *)
+let run tr ~name f =
+  let outer = Domain.DLS.get current_key in
+  Domain.DLS.set current_key (Some tr);
+  let opened = Counters.snapshot () in
+  let sp = open_span tr name in
+  (match Domain.DLS.get pending_wait_key with
+  | Some (wname, elapsed) ->
+      Domain.DLS.set pending_wait_key None;
+      record wname ~elapsed
+  | None -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      close_span tr sp ~opened;
+      Domain.DLS.set current_key outer)
+    f
+
+(* --- inspection -------------------------------------------------------- *)
+
+(* Exclusive counters: a span's own operations, children's removed.  By
+   construction the exclusive counters of every span in a tree sum to the
+   root's inclusive delta — the tiling identity EXPLAIN ANALYZE's totals
+   row relies on. *)
+let exclusive_counters sp =
+  List.fold_left
+    (fun acc child -> Counters.diff acc child.sp_counters)
+    sp.sp_counters sp.sp_children
+
+let rec fold f acc ~depth sp =
+  let acc = f acc ~depth sp in
+  List.fold_left (fun acc c -> fold f acc ~depth:(depth + 1) c) acc
+    sp.sp_children
+
+let spans sp =
+  List.rev (fold (fun acc ~depth s -> (depth, s) :: acc) [] ~depth:0 sp)
+
+let attr sp k = List.assoc_opt k sp.sp_attrs
+
+(* --- rendering --------------------------------------------------------- *)
+
+let pp_attrs ppf = function
+  | [] -> ()
+  | attrs ->
+      Fmt.pf ppf " {%a}"
+        (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (k, v) ->
+             Fmt.pf ppf "%s=%s" k v))
+        attrs
+
+let pp_tree ppf sp =
+  List.iter
+    (fun (depth, s) ->
+      Fmt.pf ppf "%s%s: %.3fms%a [%a]@,"
+        (String.make (2 * depth) ' ')
+        s.sp_name (s.sp_elapsed *. 1000.0) pp_attrs s.sp_attrs Counters.pp
+        s.sp_counters)
+    (spans sp)
+
+let rec to_json sp =
+  let c = sp.sp_counters in
+  Json.Obj
+    ([
+       ("name", Json.Str sp.sp_name);
+       ("domain", Json.Int sp.sp_domain);
+       ("elapsed_ms", Json.Float (sp.sp_elapsed *. 1000.0));
+       ("comparisons", Json.Int c.Counters.comparisons);
+       ("data_moves", Json.Int c.Counters.data_moves);
+       ("hash_calls", Json.Int c.Counters.hash_calls);
+       ("ptr_derefs", Json.Int c.Counters.ptr_derefs);
+     ]
+    @ (match sp.sp_attrs with
+      | [] -> []
+      | attrs ->
+          [
+            ( "attrs",
+              Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) attrs) );
+          ])
+    @
+    match sp.sp_children with
+    | [] -> []
+    | cs -> [ ("children", Json.List (List.map to_json cs)) ])

@@ -1,0 +1,91 @@
+(** Per-query trace spans.
+
+    A trace is a tree of spans collected while one query executes: each span
+    records a name, free-form attributes, wall time, the {!Counters} delta
+    (the paper's §3.1 operation counts) accumulated while it was open, and
+    the id of the domain it ran on.  Operators, the optimizer, the lock
+    manager and the serving layer call {!with_span} unconditionally; the
+    collector lives in a domain-local slot, so when no trace is active (the
+    default) the call is one DLS read and a branch — no allocation, no clock
+    read, no counter snapshot.
+
+    Collection is domain-local on purpose: spans opened on worker domains of
+    a parallel fan-out are not collected (they would race the coordinator's
+    tree), but their {e counter} contributions still appear in the enclosing
+    span because open/close snapshots use the merged cross-domain
+    {!Counters.snapshot}. *)
+
+type span = {
+  sp_name : string;
+  mutable sp_attrs : (string * string) list;  (** insertion order *)
+  sp_domain : int;  (** domain the span was opened on *)
+  sp_start : float;  (** [Unix.gettimeofday] at open *)
+  mutable sp_elapsed : float;  (** seconds; [-1.0] while still open *)
+  mutable sp_counters : Counters.snapshot;
+      (** inclusive counter delta, set at close *)
+  mutable sp_children : span list;  (** execution order once closed *)
+}
+
+type t
+(** A collector: holds the finished root span and the stack of open spans. *)
+
+val create : unit -> t
+
+val root : t -> span option
+(** The finished root span; [None] until {!run} completes. *)
+
+val active : unit -> bool
+(** Is a trace installed on the calling domain? *)
+
+val run : t -> name:string -> (unit -> 'a) -> 'a
+(** [run tr ~name f] installs [tr] on the calling domain, wraps [f] in a
+    root span called [name], and uninstalls on exit (exceptions included).
+    Any pending {!offer_wait} interval is attached as a first child.
+
+    A collector already active on this domain (the server tracing a
+    statement that is itself an EXPLAIN ANALYZE) is suspended for the
+    duration and restored after: the outer trace loses the nested
+    subtree's structure but keeps correct inclusive counters, while [tr]
+    collects the complete inner tree. *)
+
+val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] inside a child span of the innermost open
+    span when a trace is active, and is a near-free passthrough otherwise.
+    Safe to call unconditionally from hot paths. *)
+
+val add_attr : string -> string -> unit
+(** Attach a key/value attribute to the innermost open span, if any. *)
+
+val record : ?attrs:(string * string) list -> string -> elapsed:float -> unit
+(** Attach an already-measured interval (e.g. a lock wait) as a closed,
+    zero-counter child of the innermost open span, if any. *)
+
+val offer_wait : name:string -> float -> unit
+(** Stash a queue-wait measured {e before} the traced job body ran; the
+    next {!run} on this domain drains it into its root span.  Single slot,
+    overwritten per job. *)
+
+(** {1 Inspection} *)
+
+val exclusive_counters : span -> Counters.snapshot
+(** A span's own operations with its children's removed.  The exclusive
+    counters of every span in a tree sum exactly to the root's inclusive
+    delta — the identity EXPLAIN ANALYZE's totals row relies on. *)
+
+val fold :
+  ('acc -> depth:int -> span -> 'acc) -> 'acc -> depth:int -> span -> 'acc
+(** Pre-order fold over a (closed) span tree. *)
+
+val spans : span -> (int * span) list
+(** Pre-order [(depth, span)] listing of a closed tree. *)
+
+val attr : span -> string -> string option
+
+(** {1 Rendering} *)
+
+val pp_tree : Format.formatter -> span -> unit
+(** Indented one-line-per-span rendering with times, attrs and counters. *)
+
+val to_json : span -> Json.t
+(** Span tree as JSON: name, domain, [elapsed_ms], the four §3.1 counters,
+    attrs, children. *)

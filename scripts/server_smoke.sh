@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# End-to-end smoke test of the network server: boots mmdb_server, waits
-# for it to answer PING, runs a scripted session, checks that a failing
-# script exits non-zero, dumps STATUS, and shuts the server down
-# gracefully.  Used by CI (server-smoke job); runnable locally:
+# End-to-end smoke test of the network server: boots mmdb_server (with
+# tracing and an everything-is-slow slow-query log), waits for it to
+# answer PING, runs a scripted session, checks that a failing script
+# exits non-zero, exercises EXPLAIN ANALYZE and STATS over the wire,
+# checks the slow log, and shuts the server down gracefully.  Used by CI
+# (server-smoke job); runnable locally:
 #
 #   dune build && scripts/server_smoke.sh
 set -euo pipefail
@@ -11,17 +13,19 @@ PORT="${MMDB_SMOKE_PORT:-7478}"
 SERVER=_build/default/bin/mmdb_server.exe
 CLIENT=_build/default/bin/mmdb_client.exe
 LOG="$(mktemp)"
+SLOWLOG="$(mktemp)"
+ANALYZE_SQL="$(mktemp --suffix=.sql)"
 
 cleanup() {
   if [[ -n "${SERVER_PID:-}" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
     kill -TERM "$SERVER_PID" 2>/dev/null || true
     wait "$SERVER_PID" 2>/dev/null || true
   fi
-  rm -f "$LOG"
+  rm -f "$LOG" "$SLOWLOG" "$ANALYZE_SQL"
 }
 trap cleanup EXIT
 
-"$SERVER" --port "$PORT" >"$LOG" 2>&1 &
+"$SERVER" --port "$PORT" --slow-log "$SLOWLOG" --slow-ms 0 >"$LOG" 2>&1 &
 SERVER_PID=$!
 
 # wait for the server to answer
@@ -42,12 +46,40 @@ if "$CLIENT" --port "$PORT" examples/server_smoke_bad.sql 2>/dev/null; then
   exit 1
 fi
 
-# metrics answer and count the traffic above
-"$CLIENT" --port "$PORT" --status | grep -q "requests:"
+# EXPLAIN ANALYZE over the wire: per-operator rows (Value.pp quotes the
+# strings, hence \"...\") with the paper's counters and a total row
+cat > "$ANALYZE_SQL" <<'SQL'
+EXPLAIN ANALYZE SELECT Employee.Name, Department.Name
+  FROM Employee JOIN Department ON Dept = Id;
+SQL
+ANALYZE_OUT="$("$CLIENT" --port "$PORT" "$ANALYZE_SQL")"
+echo "$ANALYZE_OUT" | grep -q 'comparisons'
+echo "$ANALYZE_OUT" | grep -q 'ptr_derefs'
+# nested operators are indented inside the quoted cell: match the tail
+echo "$ANALYZE_OUT" | grep -q '"query"'
+echo "$ANALYZE_OUT" | grep -q 'join"'
+echo "$ANALYZE_OUT" | grep -q '"total"'
+
+# STATS answers machine-readable JSON with the per-operator aggregates
+STATS_OUT="$("$CLIENT" --port "$PORT" --stats)"
+echo "$STATS_OUT" | grep -q '"requests"'
+echo "$STATS_OUT" | grep -q '"by_kind"'
+echo "$STATS_OUT" | grep -q '"operators"'
+echo "$STATS_OUT" | grep -q '"revision"'
+
+# --status pretty-prints the same payload
+"$CLIENT" --port "$PORT" --status | grep -q 'uptime_s='
+"$CLIENT" --port "$PORT" --status | grep -q 'operators:'
+
+# the 0ms threshold made every query slow: JSONL lines with trace trees
+grep -q '"trace"' "$SLOWLOG"
+grep -q '"elapsed_ms"' "$SLOWLOG"
+head -1 "$SLOWLOG" | grep -q '^{'
 
 # graceful shutdown drains and reports final metrics
 kill -TERM "$SERVER_PID"
 wait "$SERVER_PID"
 grep -q "final metrics" "$LOG"
+grep -q "uptime=" "$LOG"
 
 echo "server smoke test passed"

@@ -378,6 +378,96 @@ let test_interp_explain_and_index () =
         (contains p "tree lookup via by_age")
   | _ -> Alcotest.fail "explain failed"
 
+(* EXPLAIN ANALYZE: per-operator rows plus a "total" row whose counters
+   are the query's whole Counters delta.  Exclusive operator counters tile
+   the inclusive root delta, so the operator rows must sum exactly to the
+   total row — the acceptance identity for the tracing layer. *)
+let test_explain_analyze_counter_sum () =
+  let db = fresh_db_with_demo () in
+  let int_at (row : Mmdb_storage.Value.t array) i =
+    match row.(i) with
+    | Mmdb_storage.Value.Int v -> v
+    | v ->
+        Alcotest.failf "column %d not an int: %s" i
+          (Mmdb_storage.Value.to_string v)
+  in
+  let str_at (row : Mmdb_storage.Value.t array) i =
+    match row.(i) with
+    | Mmdb_storage.Value.Str s -> s
+    | v ->
+        Alcotest.failf "column %d not a string: %s" i
+          (Mmdb_storage.Value.to_string v)
+  in
+  let check_stmt ~ops sql =
+    match Interp.exec_string db sql with
+    | Ok [ Interp.Table r ] ->
+        Alcotest.(check (list string))
+          "analyze header"
+          [
+            "operator"; "time_ms"; "rows"; "comparisons"; "data_moves";
+            "hash_calls"; "ptr_derefs"; "detail";
+          ]
+          r.Mmdb_core.Aggregate.header;
+        let rows = r.Mmdb_core.Aggregate.rows in
+        let rec split_last = function
+          | [] -> Alcotest.fail "empty analyze table"
+          | [ last ] -> ([], last)
+          | row :: rest ->
+              let init, last = split_last rest in
+              (row :: init, last)
+        in
+        let op_rows, total = split_last rows in
+        Alcotest.(check string) "last row is the total" "total"
+          (str_at total 0);
+        Alcotest.(check string) "first operator is the root" "query"
+          (String.trim (str_at (List.hd op_rows) 0));
+        let names =
+          List.map (fun row -> String.trim (str_at row 0)) op_rows
+        in
+        List.iter
+          (fun op ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s appears in %s" op sql)
+              true (List.mem op names))
+          ops;
+        (* the acceptance identity: operator counters sum to the total *)
+        List.iteri
+          (fun off col ->
+            let summed =
+              List.fold_left (fun acc row -> acc + int_at row (3 + off)) 0
+                op_rows
+            in
+            Alcotest.(check int)
+              (Printf.sprintf "%s sums to total for %s" col sql)
+              (int_at total (3 + off)) summed)
+          [ "comparisons"; "data_moves"; "hash_calls"; "ptr_derefs" ];
+        (* per-operator wall time is reported and non-negative *)
+        List.iter
+          (fun row ->
+            match row.(1) with
+            | Mmdb_storage.Value.Float ms ->
+                Alcotest.(check bool) "time_ms >= 0" true (ms >= 0.0)
+            | _ -> Alcotest.fail "time_ms not a float")
+          op_rows
+    | Ok _ -> Alcotest.fail ("expected a table for " ^ sql)
+    | Error e -> Alcotest.fail e
+  in
+  check_stmt ~ops:[ "plan"; "execute"; "select" ]
+    "EXPLAIN ANALYZE SELECT Name FROM Employee WHERE Age > 23;";
+  check_stmt ~ops:[ "plan"; "execute"; "join" ]
+    "EXPLAIN ANALYZE SELECT Employee.Name, Department.Name FROM Employee \
+     JOIN Department ON Dept = Id;";
+  check_stmt ~ops:[ "project" ]
+    "EXPLAIN ANALYZE SELECT DISTINCT Dept FROM Employee;";
+  check_stmt ~ops:[ "aggregate" ]
+    "EXPLAIN ANALYZE SELECT Age, COUNT(*) FROM Employee GROUP BY Age;";
+  (* plain EXPLAIN still answers with the plan text, no execution *)
+  match
+    Interp.exec_string db "EXPLAIN SELECT Name FROM Employee WHERE Age > 23;"
+  with
+  | Ok [ Interp.Plan_text _ ] -> ()
+  | _ -> Alcotest.fail "EXPLAIN without ANALYZE must stay plan-only"
+
 let test_interp_params () =
   let db = fresh_db_with_demo () in
   (* unbound placeholders must be rejected, not silently misread *)
@@ -441,6 +531,8 @@ let () =
             test_interp_transactions;
           Alcotest.test_case "explain and index" `Quick
             test_interp_explain_and_index;
+          Alcotest.test_case "explain analyze counter sum" `Quick
+            test_explain_analyze_counter_sum;
           Alcotest.test_case "prepared-statement parameters" `Quick
             test_interp_params;
         ] );

@@ -52,6 +52,7 @@ let test_proto_request_roundtrip () =
       Protocol.Cancel;
       Protocol.Quit;
       Protocol.Status;
+      Protocol.Stats;
     ]
   in
   List.iter
@@ -83,6 +84,7 @@ let test_proto_response_roundtrip () =
       Protocol.Bye;
       Protocol.Notice "hello";
       Protocol.Status_text "line1\nline2";
+      Protocol.Stats_json "{\"requests\":{\"total\":3}}";
     ]
   in
   List.iter
@@ -542,6 +544,125 @@ let test_e2e_idle_reap () =
       Alcotest.(check int) "reap counted" 1 s.Metrics.s_reaped;
       Client.close c)
 
+(* --- observability: EXPLAIN ANALYZE on the wire, STATS, slow log --------- *)
+
+let test_e2e_observability () =
+  let module J = Mmdb_util.Json in
+  let get path j =
+    List.fold_left (fun acc k -> Option.bind acc (J.member k)) (Some j) path
+  in
+  let slow_path = Filename.temp_file "mmdb_slow" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove slow_path with _ -> ())
+  @@ fun () ->
+  let config =
+    {
+      test_config with
+      Server.slow_log = Some slow_path;
+      (* an artificially low threshold makes every query "slow" *)
+      slow_threshold = 0.0;
+    }
+  in
+  with_server ~config (fun srv ->
+      let c = connect srv in
+      ignore (expect_ok c "CREATE TABLE KV (K int PRIMARY KEY, V int);");
+      for i = 1 to 20 do
+        ignore
+          (expect_ok c (Printf.sprintf "INSERT INTO KV VALUES (%d, %d);" i
+                          (i * 10)))
+      done;
+      ignore (expect_ok c "SELECT K, V FROM KV WHERE V > 50;");
+      (* EXPLAIN ANALYZE arrives as an ordinary result set over the wire *)
+      (match expect_ok c "EXPLAIN ANALYZE SELECT K, V FROM KV WHERE V > 50;" with
+      | Protocol.Results { columns; rows } ->
+          Alcotest.(check (list string))
+            "analyze columns"
+            [
+              "operator"; "time_ms"; "rows"; "comparisons"; "data_moves";
+              "hash_calls"; "ptr_derefs"; "detail";
+            ]
+            columns;
+          Alcotest.(check bool) "several operator rows" true
+            (List.length rows >= 3);
+          (match List.rev rows with
+          | last :: _ ->
+              Alcotest.(check bool) "last row is the total" true
+                (last.(0) = Value.Str "total")
+          | [] -> Alcotest.fail "empty analyze table")
+      | r ->
+          Alcotest.fail
+            (Fmt.str "EXPLAIN ANALYZE answered %a" Protocol.pp_response r));
+      (* STATS: valid JSON carrying metrics and per-operator aggregates *)
+      (match Client.stats c with
+      | Error m -> Alcotest.fail ("STATS failed: " ^ m)
+      | Ok payload -> (
+          match J.parse payload with
+          | Error e -> Alcotest.failf "STATS payload is not JSON: %s" e
+          | Ok j ->
+              (match Option.bind (get [ "requests"; "total" ] j) J.to_int_opt with
+              | Some n -> Alcotest.(check bool) "requests counted" true (n >= 22)
+              | None -> Alcotest.fail "no requests.total");
+              (match Option.bind (get [ "requests"; "slow" ] j) J.to_int_opt with
+              | Some n -> Alcotest.(check bool) "slow queries counted" true (n >= 1)
+              | None -> Alcotest.fail "no requests.slow");
+              (match
+                 Option.bind (get [ "server"; "revision" ] j) J.to_string_opt
+               with
+              | Some rev -> Alcotest.(check bool) "revision" true (rev <> "")
+              | None -> Alcotest.fail "no server.revision");
+              (match
+                 Option.bind (get [ "server"; "domains" ] j) J.to_int_opt
+               with
+              | Some d -> Alcotest.(check bool) "domain pool size" true (d >= 1)
+              | None -> Alcotest.fail "no server.domains");
+              (match get [ "by_kind"; "select" ] j with
+              | Some (J.Obj _) -> ()
+              | _ -> Alcotest.fail "no by_kind.select histogram");
+              (match Option.bind (get [ "operators" ] j) J.to_list_opt with
+              | Some ops ->
+                  let names =
+                    List.filter_map
+                      (fun o ->
+                        Option.bind (J.member "operator" o) J.to_string_opt)
+                      ops
+                  in
+                  List.iter
+                    (fun op ->
+                      Alcotest.(check bool)
+                        (op ^ " in operator aggregates")
+                        true (List.mem op names))
+                    [ "query"; "select" ]
+              | None -> Alcotest.fail "no operators table")));
+      match Client.quit c with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail m);
+  (* the server closed the sink on shutdown: every line must parse back,
+     and the trace tree must be attached with the root "query" span *)
+  let ic = open_in slow_path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let lines = List.rev !lines in
+  Alcotest.(check bool) "slow log non-empty" true (List.length lines >= 20);
+  List.iter
+    (fun line ->
+      match J.parse line with
+      | Error e -> Alcotest.failf "unparsable slow-log line %S: %s" line e
+      | Ok j ->
+          (match Option.bind (J.member "sql" j) J.to_string_opt with
+          | Some _ -> ()
+          | None -> Alcotest.fail "slow-log line without sql");
+          (match Option.bind (J.member "elapsed_ms" j) J.to_float_opt with
+          | Some ms -> Alcotest.(check bool) "elapsed >= 0" true (ms >= 0.0)
+          | None -> Alcotest.fail "slow-log line without elapsed_ms");
+          match Option.bind (get [ "trace"; "name" ] j) J.to_string_opt with
+          | Some name -> Alcotest.(check string) "trace root" "query" name
+          | None -> Alcotest.fail "slow-log line without trace tree")
+    lines
+
 let () =
   Alcotest.run "server"
     [
@@ -580,5 +701,7 @@ let () =
           Alcotest.test_case "admission control" `Quick
             test_e2e_admission_busy;
           Alcotest.test_case "idle reaping" `Quick test_e2e_idle_reap;
+          Alcotest.test_case "observability: analyze, stats, slow log" `Quick
+            test_e2e_observability;
         ] );
     ]

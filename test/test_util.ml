@@ -401,6 +401,241 @@ let test_timing () =
     (Invalid_argument "Timing.time_median: repeats < 1") (fun () ->
       ignore (Timing.time_median ~repeats:0 (fun () -> ())))
 
+(* --- Json ------------------------------------------------------------------ *)
+
+let test_json_round_trip () =
+  let doc =
+    Json.Obj
+      [
+        ("null", Json.Null);
+        ("true", Json.Bool true);
+        ("int", Json.Int (-42));
+        ("float", Json.Float 1.5);
+        ("intish_float", Json.Float 3.0);
+        ("str", Json.Str "he said \"hi\"\n\ttab");
+        ("list", Json.List [ Json.Int 1; Json.Str "two"; Json.Null ]);
+        ("nested", Json.Obj [ ("k", Json.List [] ) ]);
+      ]
+  in
+  match Json.parse (Json.to_string doc) with
+  | Error e -> Alcotest.failf "reparse failed: %s" e
+  | Ok doc' ->
+      Alcotest.(check bool) "round trip" true (doc = doc');
+      (* integral floats keep their ".0" and re-parse as Float, ints as Int *)
+      (match Json.member "intish_float" doc' with
+      | Some (Json.Float 3.0) -> ()
+      | _ -> Alcotest.fail "integral float decayed to Int");
+      (match Json.member "int" doc' with
+      | Some (Json.Int (-42)) -> ()
+      | _ -> Alcotest.fail "int did not survive")
+
+let test_json_parse () =
+  (match Json.parse {| {"a": [1, 2.5, "xé"], "b": null} |} with
+  | Ok
+      (Json.Obj
+         [
+           ("a", Json.List [ Json.Int 1; Json.Float 2.5; Json.Str "x\xc3\xa9" ]);
+           ("b", Json.Null);
+         ]) ->
+      ()
+  | Ok j -> Alcotest.failf "unexpected parse: %s" (Json.to_string j)
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  (match Json.parse "{\"a\": 1} trailing" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing garbage accepted");
+  (match Json.parse "[1, 2" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unterminated list accepted");
+  match Json.parse (Json.to_string (Json.Float Float.nan)) with
+  | Ok Json.Null -> ()
+  | _ -> Alcotest.fail "NaN must render as null"
+
+(* --- Histogram ------------------------------------------------------------ *)
+
+let test_histogram_percentiles () =
+  let h = Histogram.create () in
+  Alcotest.(check (option (float 0.0))) "empty percentile" None
+    (Histogram.percentile h 50.0);
+  for i = 1 to 1000 do
+    Histogram.add h (float_of_int i /. 1000.0) (* 1ms .. 1s *)
+  done;
+  Alcotest.(check int) "count" 1000 (Histogram.count h);
+  Alcotest.(check bool) "sum about 500.5" true
+    (Float.abs (Histogram.sum h -. 500.5) < 1e-6);
+  (match Histogram.max_sample h with
+  | Some m -> Alcotest.(check (float 1e-9)) "exact max" 1.0 m
+  | None -> Alcotest.fail "max of non-empty");
+  (* bucketed percentile is within the ~26% bucket ratio of the truth *)
+  List.iter
+    (fun (p, truth) ->
+      match Histogram.percentile h p with
+      | None -> Alcotest.failf "p%.0f of non-empty" p
+      | Some v ->
+          if v < truth *. 0.99 || v > truth *. 1.27 then
+            Alcotest.failf "p%.0f=%.4f not within bucket error of %.4f" p v
+              truth)
+    [ (50.0, 0.5); (90.0, 0.9); (99.0, 0.99) ];
+  (* p100 is clamped to the exact max, not the bucket bound *)
+  Alcotest.(check (option (float 1e-9))) "p100 exact" (Some 1.0)
+    (Histogram.percentile h 100.0)
+
+let test_histogram_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  let one = Histogram.create () in
+  for i = 1 to 500 do
+    let v = float_of_int i /. 250.0 in
+    Histogram.add (if i mod 2 = 0 then a else b) v;
+    Histogram.add one v
+  done;
+  let m = Histogram.merge a b in
+  Alcotest.(check int) "merged count" (Histogram.count one) (Histogram.count m);
+  Alcotest.(check bool) "merged buckets equal" true
+    (Histogram.buckets m = Histogram.buckets one);
+  Alcotest.(check (option (float 1e-9))) "merged p99"
+    (Histogram.percentile one 99.0) (Histogram.percentile m 99.0);
+  (* out-of-range samples land in under/overflow but stay counted *)
+  let x = Histogram.create () in
+  Histogram.add x 1e-9;
+  Histogram.add x 1e6;
+  Alcotest.(check int) "extremes counted" 2 (Histogram.count x);
+  Alcotest.(check (option (float 1.0))) "overflow max exact" (Some 1e6)
+    (Histogram.percentile x 100.0)
+
+(* --- Trace ----------------------------------------------------------------- *)
+
+let test_trace_nesting () =
+  Counters.reset ();
+  let tr = Trace.create () in
+  Alcotest.(check bool) "inactive before run" false (Trace.active ());
+  Trace.offer_wait ~name:"queue.wait" 0.005;
+  let result =
+    Trace.run tr ~name:"query" (fun () ->
+        Alcotest.(check bool) "active inside run" true (Trace.active ());
+        (* a nested run suspends this trace, collects into its own, and
+           restores the outer collector afterwards *)
+        let inner = Trace.create () in
+        Trace.run inner ~name:"inner-root" (fun () ->
+            Trace.with_span "inner-child" (fun () ->
+                Counters.bump_hash_calls ~n:2 ()));
+        (match Trace.root inner with
+        | Some r ->
+            Alcotest.(check string) "nested root" "inner-root" r.Trace.sp_name;
+            Alcotest.(check (list string)) "nested child" [ "inner-child" ]
+              (List.map (fun c -> c.Trace.sp_name) r.Trace.sp_children)
+        | None -> Alcotest.fail "nested run collected nothing");
+        Alcotest.(check bool) "outer restored after nested run" true
+          (Trace.active ());
+        Trace.with_span "select" (fun () ->
+            Trace.add_attr "relation" "Employee";
+            Counters.bump_comparisons ~n:10 ();
+            Trace.with_span "inner" (fun () ->
+                Counters.bump_comparisons ~n:3 ()));
+        Trace.with_span "project" (fun () -> Counters.bump_data_moves ~n:7 ());
+        "done")
+  in
+  Alcotest.(check string) "result passthrough" "done" result;
+  Alcotest.(check bool) "inactive after run" false (Trace.active ());
+  match Trace.root tr with
+  | None -> Alcotest.fail "no root collected"
+  | Some root ->
+      Alcotest.(check string) "root name" "query" root.Trace.sp_name;
+      Alcotest.(check (list string)) "children in execution order"
+        [ "queue.wait"; "select"; "project" ]
+        (List.map (fun c -> c.Trace.sp_name) root.Trace.sp_children);
+      let sel = List.nth root.Trace.sp_children 1 in
+      Alcotest.(check (option string)) "attr recorded" (Some "Employee")
+        (Trace.attr sel "relation");
+      Alcotest.(check (list string)) "grandchild"
+        [ "inner" ]
+        (List.map (fun c -> c.Trace.sp_name) sel.Trace.sp_children);
+      (* the stashed queue wait became a closed child with its elapsed *)
+      let qw = List.hd root.Trace.sp_children in
+      Alcotest.(check (float 1e-9)) "queue wait elapsed" 0.005
+        qw.Trace.sp_elapsed;
+      (* inclusive vs exclusive counters: select saw 13, owns 10 *)
+      Alcotest.(check int) "select inclusive" 13
+        sel.Trace.sp_counters.Counters.comparisons;
+      Alcotest.(check int) "select exclusive" 10
+        (Trace.exclusive_counters sel).Counters.comparisons;
+      (* tiling identity: exclusive counters over the tree sum to the
+         root's inclusive delta *)
+      let summed =
+        Trace.fold
+          (fun acc ~depth:_ sp -> Counters.add acc (Trace.exclusive_counters sp))
+          Counters.zero ~depth:0 root
+      in
+      Alcotest.(check bool) "tiling identity" true
+        (summed = root.Trace.sp_counters);
+      Alcotest.(check int) "depths via spans" 3
+        (List.length (List.filter (fun (d, _) -> d = 1) (Trace.spans root)))
+
+let test_trace_disabled_cheap () =
+  (* The disabled path must not allocate: one DLS read and a branch. *)
+  Alcotest.(check bool) "no trace installed" false (Trace.active ());
+  let work () = 1 + 1 in
+  (* warm up so any one-time DLS initialization is done *)
+  ignore (Trace.with_span "warm" work);
+  let before = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    ignore (Trace.with_span "bench" work)
+  done;
+  let after = Gc.minor_words () in
+  let delta = after -. before in
+  if delta > 64.0 then
+    Alcotest.failf "disabled with_span allocated %.0f minor words / 10k calls"
+      delta;
+  (* add_attr / record / offer_wait-less run state are also no-ops *)
+  Trace.add_attr "k" "v";
+  Trace.record "orphan" ~elapsed:1.0;
+  Alcotest.(check bool) "still inactive" false (Trace.active ())
+
+(* --- Counters diff/absorb round trip -------------------------------------- *)
+
+let test_counters_diff_absorb_round_trip () =
+  Counters.reset ();
+  Counters.bump_comparisons ~n:3 ();
+  let before = Counters.snapshot () in
+  (* work lands on other domains, as under a Domain_pool fan-out *)
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            Counters.bump_comparisons ~n:25 ();
+            Counters.bump_ptr_derefs ~n:4 ()))
+  in
+  List.iter Domain.join domains;
+  let delta = Counters.diff (Counters.snapshot ()) before in
+  Alcotest.(check int) "delta comparisons" 100 delta.Counters.comparisons;
+  Alcotest.(check int) "delta derefs" 16 delta.Counters.ptr_derefs;
+  (* absorbing the delta into this domain doubles the merged view:
+     diff measured it, absorb re-applies it *)
+  Counters.absorb delta;
+  let doubled = Counters.diff (Counters.snapshot ()) before in
+  Alcotest.(check bool) "absorb re-applies the diff" true
+    (doubled = Counters.add delta delta);
+  (* a diff of identical snapshots is zero *)
+  let s = Counters.snapshot () in
+  Alcotest.(check bool) "self diff is zero" true
+    (Counters.diff s s = Counters.zero)
+
+(* --- Timing.time_median contract ------------------------------------------- *)
+
+let test_time_median_pairing () =
+  (* The result must come from the median-timed run, not the last one:
+     run 0 is slow, run 1 fast, run 2 in between -> run 2 is the median. *)
+  let sleeps = [| 0.03; 0.001; 0.012 |] in
+  let calls = ref 0 in
+  let f () =
+    let i = !calls in
+    incr calls;
+    Unix.sleepf sleeps.(i);
+    i
+  in
+  let run, dt = Timing.time_median ~repeats:3 f in
+  Alcotest.(check int) "f ran repeats times" 3 !calls;
+  Alcotest.(check int) "median run's result" 2 run;
+  Alcotest.(check bool) "paired time is that run's time" true
+    (dt >= 0.005 && dt < 0.03)
+
 let () =
   Alcotest.run "mmdb_util"
     [
@@ -461,5 +696,32 @@ let () =
         [
           Alcotest.test_case "equivalence" `Quick test_sort_parallel_equivalence;
         ] );
-      ("timing", [ Alcotest.test_case "time and median" `Quick test_timing ]);
+      ( "timing",
+        [
+          Alcotest.test_case "time and median" `Quick test_timing;
+          Alcotest.test_case "median pairs result with its run" `Quick
+            test_time_median_pairing;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "round trip" `Quick test_json_round_trip;
+          Alcotest.test_case "parse and reject" `Quick test_json_parse;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "percentiles" `Quick test_histogram_percentiles;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "span nesting and counters" `Quick
+            test_trace_nesting;
+          Alcotest.test_case "disabled path allocates nothing" `Quick
+            test_trace_disabled_cheap;
+        ] );
+      ( "counters_round_trip",
+        [
+          Alcotest.test_case "diff/absorb across domains" `Quick
+            test_counters_diff_absorb_round_trip;
+        ] );
     ]
