@@ -68,7 +68,7 @@ let tests () =
            ignore (Mmdb_index.Ttree.insert ttree k)));
   ]
 
-let run () =
+let run bcfg =
   Bench_util.header "Micro — Bechamel per-operation estimates (ns/op)";
   let was = !Mmdb_util.Counters.enabled in
   Mmdb_util.Counters.enabled := false;
@@ -92,13 +92,30 @@ let run () =
           (fun name ols_result acc ->
             let est =
               match Analyze.OLS.estimates ols_result with
-              | Some (e :: _) -> Printf.sprintf "%.1f" e
-              | _ -> "n/a"
+              | Some (e :: _) -> Some e
+              | _ -> None
             in
-            [ name; est ] :: acc)
+            (name, est) :: acc)
           by_test []
         |> List.sort compare
       in
-      Bench_util.table ~columns:[ "operation"; "ns/op" ] rows)
+      List.iter
+        (fun (name, est) ->
+          match est with
+          | Some e ->
+              Bench_util.emit bcfg ~exp:"micro"
+                [ ("op", `Str name); ("ns_per_op", `Float e) ]
+          | None -> ())
+        rows;
+      Bench_util.table ~columns:[ "operation"; "ns/op" ]
+        (List.map
+           (fun (name, est) ->
+             [
+               name;
+               (match est with
+               | Some e -> Printf.sprintf "%.1f" e
+               | None -> "n/a");
+             ])
+           rows))
     merged;
   Mmdb_util.Counters.enabled := was

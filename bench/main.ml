@@ -58,7 +58,10 @@ let experiments : (string * string * (Bench_util.config -> unit)) list =
     ("trace", "Tracing overhead: with_span disabled vs enabled",
      Bench_trace.run);
     ("f1", "Fault injection: crash-consistency torture", Bench_faults.f1);
-    ("micro", "Bechamel micro-benchmarks", fun _ -> Bench_micro.run ());
+    ("micro", "Bechamel micro-benchmarks", Bench_micro.run);
+    (* last: runs the server in-process (domains); fork-based
+       experiments must not follow it *)
+    ("chaos", "Chaos: crash/recover under wire faults", Bench_chaos.run);
   ]
 
 let usage () =

@@ -19,6 +19,13 @@ let usage () =
   --max-conns N          admission limit     (default 64)
   --request-timeout SEC  per-request timeout, 0=off (default 30)
   --idle-timeout SEC     idle-session reap, 0=off    (default 300)
+  --write-timeout SEC    per-reply write deadline, 0=off (default 0)
+  --shed-watermark N     shed new work when the executor queue is this
+                         deep, 0=off (default 0); shed clients get a
+                         typed Overloaded reply with a retry-after hint
+  --max-rows N           per-query result-row quota, 0=off (default 0)
+  --tuple-budget N       per-query intermediate-tuple quota, 0=off
+                         (default 0)
   --trace                trace every statement into the operator table
   --slow-log FILE        append a JSONL line per slow query (implies tracing)
   --slow-ms N            slow-query threshold in ms  (default 100,
@@ -71,6 +78,18 @@ let () =
         parse_args rest
     | "--idle-timeout" :: v :: rest ->
         cfg := { !cfg with Server.idle_timeout = float_of_string v };
+        parse_args rest
+    | "--write-timeout" :: v :: rest ->
+        cfg := { !cfg with Server.write_timeout = float_of_string v };
+        parse_args rest
+    | "--shed-watermark" :: v :: rest ->
+        cfg := { !cfg with Server.shed_watermark = int_of_string v };
+        parse_args rest
+    | "--max-rows" :: v :: rest ->
+        cfg := { !cfg with Server.max_result_rows = int_of_string v };
+        parse_args rest
+    | "--tuple-budget" :: v :: rest ->
+        cfg := { !cfg with Server.tuple_budget = int_of_string v };
         parse_args rest
     | "--trace" :: rest ->
         cfg := { !cfg with Server.trace = true };

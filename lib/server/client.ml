@@ -3,22 +3,54 @@
    One request in flight at a time: [request] writes a frame, then reads
    responses until a non-[Notice] arrives (notices are out-of-band and
    handed to [on_notice]).  Used by [bin/mmdb_client], the load
-   generator, and the end-to-end tests. *)
+   generator, and the end-to-end tests.
+
+   The retry layer ([query_retry] / [connect_retry]) adds bounded
+   resilience on top: exponential backoff with decorrelated jitter (all
+   randomness from a caller-seeded [Rng], the sleep injectable, so retry
+   schedules are deterministic under test), reconnection on transport
+   loss, and a strict idempotency gate — a request that may have
+   executed is re-sent only when every statement in it is read-only and
+   the session is not inside a BEGIN block, so the client never
+   re-executes a non-idempotent statement whose first fate is unknown. *)
 
 open Mmdb_storage
 
+type retry_counters = {
+  mutable n_retries : int;  (* re-sent requests *)
+  mutable n_reconnects : int;  (* successful reconnections *)
+  mutable n_gave_up : int;  (* retriable failures abandoned at the cap *)
+}
+
+type retry_stats = { retries : int; reconnects : int; gave_up : int }
+
 type t = {
-  fd : Unix.file_descr;
+  mutable fd : Unix.file_descr;  (* replaced on reconnect *)
+  host : string;
+  port : int;
   on_notice : string -> unit;
   mutable closed : bool;
+  mutable in_txn : bool;
+      (* client-side view of "inside a BEGIN block", tracked from the
+         statements it sends; conservative (sticks on [true] when a
+         batch containing txn control fails with an unknown outcome)
+         and reset by reconnection, which starts a fresh session *)
+  counters : retry_counters;
 }
+
+let retry_stats t =
+  {
+    retries = t.counters.n_retries;
+    reconnects = t.counters.n_reconnects;
+    gave_up = t.counters.n_gave_up;
+  }
 
 let ignore_sigpipe () =
   try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ()
 
 (* Connect and wait for the server's verdict: the greeting [Notice] on
    admission, [Busy] when the connection limit is hit. *)
-let connect ?(on_notice = fun _ -> ()) ~host ~port () =
+let connect_fd ~on_notice ~host ~port () =
   ignore_sigpipe ();
   let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
   match
@@ -27,26 +59,42 @@ let connect ?(on_notice = fun _ -> ()) ~host ~port () =
   | exception e ->
       (try Unix.close fd with _ -> ());
       Error
-        (Printf.sprintf "cannot connect to %s:%d: %s" host port
-           (match e with
-           | Unix.Unix_error (err, _, _) -> Unix.error_message err
-           | e -> Printexc.to_string e))
+        ( `Refused,
+          Printf.sprintf "cannot connect to %s:%d: %s" host port
+            (match e with
+            | Unix.Unix_error (err, _, _) -> Unix.error_message err
+            | e -> Printexc.to_string e) )
   | () -> (
       match Protocol.read_frame ~max_frame:Protocol.max_response_frame fd with
       | Error _ ->
           (try Unix.close fd with _ -> ());
-          Error "connection closed before greeting"
+          Error (`Refused, "connection closed before greeting")
       | Ok payload -> (
           match Protocol.decode_response payload with
           | Ok (Protocol.Notice greeting) ->
               on_notice greeting;
-              Ok { fd; on_notice; closed = false }
+              Ok fd
           | Ok (Protocol.Busy msg) ->
               (try Unix.close fd with _ -> ());
-              Error ("server busy: " ^ msg)
+              Error (`Busy, "server busy: " ^ msg)
           | Ok _ | Error _ ->
               (try Unix.close fd with _ -> ());
-              Error "unexpected greeting from server"))
+              Error (`Refused, "unexpected greeting from server")))
+
+let connect ?(on_notice = fun _ -> ()) ~host ~port () =
+  match connect_fd ~on_notice ~host ~port () with
+  | Ok fd ->
+      Ok
+        {
+          fd;
+          host;
+          port;
+          on_notice;
+          closed = false;
+          in_txn = false;
+          counters = { n_retries = 0; n_reconnects = 0; n_gave_up = 0 };
+        }
+  | Error (_, msg) -> Error msg
 
 let close t =
   if not t.closed then begin
@@ -77,7 +125,35 @@ let request t req : (Protocol.response, string) result =
         Error ("send failed: " ^ Unix.error_message e)
     | () -> read_reply t
 
-let query t sql = request t (Protocol.Query sql)
+(* How a statement batch moves the client's BEGIN-block state: the last
+   txn-control statement wins.  Returns the new state and whether the
+   batch contains txn control at all. *)
+let txn_transition sql ~in_txn =
+  match Mmdb_lang.Parser.parse sql with
+  | Error _ -> (in_txn, false)
+  | Ok stmts ->
+      List.fold_left
+        (fun (st, ctl) (s : Mmdb_lang.Ast.stmt) ->
+          match s with
+          | Mmdb_lang.Ast.Begin_txn -> (true, true)
+          | Mmdb_lang.Ast.Commit_txn | Mmdb_lang.Ast.Rollback_txn ->
+              (false, true)
+          | _ -> (st, ctl))
+        (in_txn, false) stmts
+
+let query t sql =
+  let r = request t (Protocol.Query sql) in
+  let next, has_control = txn_transition sql ~in_txn:t.in_txn in
+  (match r with
+  | Ok (Protocol.Error _) | Error _ ->
+      (* the batch stopped somewhere unknown: if txn control was
+         involved, assume an open block (conservative — blocks risky
+         retries) until a reconnect starts a fresh session *)
+      if has_control then t.in_txn <- true
+  | Ok _ -> t.in_txn <- next);
+  r
+
+let in_txn t = t.in_txn
 
 let prepare t sql =
   match request t (Protocol.Prepare sql) with
@@ -116,6 +192,182 @@ let quit t =
   in
   close t;
   r
+
+(* --- bounded retry with backoff ---------------------------------------- *)
+
+type retry_policy = {
+  max_attempts : int;  (* total tries, the first included *)
+  base_delay : float;  (* seconds; floor of every backoff step *)
+  max_delay : float;  (* seconds; cap of every backoff step *)
+  rng : Mmdb_util.Rng.t;  (* jitter source: seeded, so deterministic *)
+  sleep : float -> unit;  (* injectable for tests *)
+}
+
+let retry_policy ?(max_attempts = 5) ?(base_delay = 0.01) ?(max_delay = 1.0)
+    ?(seed = 2024) ?(sleep = Unix.sleepf) () =
+  {
+    max_attempts = max 1 max_attempts;
+    base_delay;
+    max_delay;
+    rng = Mmdb_util.Rng.create ~seed ();
+    sleep;
+  }
+
+(* Decorrelated jitter (the AWS-architecture-blog variant):
+   [delay = min(cap, base + rand(prev * 3 - base))].  Consecutive delays
+   are drawn from widening windows but do not correlate across clients
+   the way pure exponential doubling does. *)
+let next_delay p ~prev =
+  let span = Float.max 0.0 ((prev *. 3.0) -. p.base_delay) in
+  let jitter = if span > 0.0 then Mmdb_util.Rng.float p.rng span else 0.0 in
+  Float.min p.max_delay (p.base_delay +. jitter)
+
+(* A request is idempotent — safe to re-send even when its first fate is
+   unknown — iff every statement parses read-only and the session is not
+   inside a BEGIN block. *)
+let idempotent t sql =
+  (not t.in_txn)
+  &&
+  match Mmdb_lang.Parser.parse sql with
+  | Ok stmts -> List.for_all Mmdb_lang.Ast.is_read_only stmts
+  | Error _ -> false
+
+type verdict = {
+  v_retry : bool;  (* retriable at all *)
+  v_reconnect : bool;  (* transport is gone: reconnect before retrying *)
+  v_idempotent_only : bool;  (* safe only for idempotent requests *)
+  v_min_delay : float;  (* server back-off hint, seconds *)
+}
+
+let terminal = {
+  v_retry = false;
+  v_reconnect = false;
+  v_idempotent_only = false;
+  v_min_delay = 0.0;
+}
+
+(* Classify one outcome for the retry loop.
+
+   Always retriable: [Busy] and [Overloaded] (request dropped before
+   execution — nothing ran), and [Timeout] per policy (NOTE: a timed-out
+   job may still run to completion after being abandoned; deployments
+   that pair write requests with request timeouts should treat this as
+   at-least-once delivery — the chaos suite runs writes with the
+   timeout disabled).  Retriable only when idempotent: [Conflict] (the
+   transaction machinery may have partially acted) and transport loss /
+   [Shutdown] (the request may have executed before the connection
+   died). *)
+let classify (r : (Protocol.response, string) result) =
+  match r with
+  | Error _ ->
+      {
+        v_retry = true;
+        v_reconnect = true;
+        v_idempotent_only = true;
+        v_min_delay = 0.0;
+      }
+  | Ok (Protocol.Busy _) ->
+      {
+        v_retry = true;
+        v_reconnect = true;
+        v_idempotent_only = false;
+        v_min_delay = 0.0;
+      }
+  | Ok (Protocol.Overloaded { retry_after_ms; _ }) ->
+      {
+        v_retry = true;
+        v_reconnect = false;
+        v_idempotent_only = false;
+        v_min_delay = retry_after_ms /. 1000.0;
+      }
+  | Ok (Protocol.Error (Protocol.Timeout, _)) ->
+      {
+        v_retry = true;
+        v_reconnect = false;
+        v_idempotent_only = false;
+        v_min_delay = 0.0;
+      }
+  | Ok (Protocol.Error (Protocol.Conflict, _)) ->
+      {
+        v_retry = true;
+        v_reconnect = false;
+        v_idempotent_only = true;
+        v_min_delay = 0.0;
+      }
+  | Ok (Protocol.Error (Protocol.Shutdown, _)) ->
+      {
+        v_retry = true;
+        v_reconnect = true;
+        v_idempotent_only = true;
+        v_min_delay = 0.0;
+      }
+  | Ok _ -> terminal
+
+let retriable ~idempotent r =
+  let v = classify r in
+  v.v_retry && ((not v.v_idempotent_only) || idempotent)
+
+(* Tear down the dead socket and dial again.  A fresh connection is a
+   fresh server-side session: prepared statements are gone and no BEGIN
+   block is open, so [in_txn] resets. *)
+let reconnect t =
+  if t.closed then Error "client is closed"
+  else begin
+    (try Unix.close t.fd with _ -> ());
+    match connect_fd ~on_notice:t.on_notice ~host:t.host ~port:t.port () with
+    | Ok fd ->
+        t.fd <- fd;
+        t.in_txn <- false;
+        t.counters.n_reconnects <- t.counters.n_reconnects + 1;
+        Ok ()
+    | Error (_, msg) -> Error msg
+  end
+
+let query_retry t ~policy sql =
+  let idem = idempotent t sql in
+  let rec go n prev =
+    let r = query t sql in
+    let v = classify r in
+    if (not v.v_retry) || (v.v_idempotent_only && not idem) then r
+    else if n >= policy.max_attempts then begin
+      t.counters.n_gave_up <- t.counters.n_gave_up + 1;
+      r
+    end
+    else begin
+      t.counters.n_retries <- t.counters.n_retries + 1;
+      let d = Float.max v.v_min_delay (next_delay policy ~prev) in
+      policy.sleep d;
+      (* a failed reconnect is not terminal here: the next [query] fails
+         fast on the dead fd and the loop backs off and dials again *)
+      if v.v_reconnect then ignore (reconnect t);
+      go (n + 1) d
+    end
+  in
+  go 1 policy.base_delay
+
+let connect_retry ?(on_notice = fun _ -> ()) ~policy ~host ~port () =
+  let rec go n prev =
+    match connect_fd ~on_notice ~host ~port () with
+    | Ok fd ->
+        Ok
+          {
+            fd;
+            host;
+            port;
+            on_notice;
+            closed = false;
+            in_txn = false;
+            counters = { n_retries = 0; n_reconnects = 0; n_gave_up = 0 };
+          }
+    | Error (_, msg) ->
+        if n >= policy.max_attempts then Error msg
+        else begin
+          let d = next_delay policy ~prev in
+          policy.sleep d;
+          go (n + 1) d
+        end
+  in
+  go 1 policy.base_delay
 
 (* Split a script into statements on [;], honouring single-quoted strings
    (with [''] escapes) and [--] line comments — the same lexical rules as

@@ -1,7 +1,15 @@
 (** Blocking client for the mmdb wire protocol.
 
     One request in flight at a time; out-of-band server [Notice]s are
-    handed to [on_notice] instead of being returned. *)
+    handed to [on_notice] instead of being returned.
+
+    The retry layer ({!query_retry} / {!connect_retry}) adds bounded
+    resilience: exponential backoff with decorrelated jitter (all
+    randomness from a caller-seeded generator, the sleep injectable, so
+    retry schedules are deterministic under test), reconnection on
+    transport loss, and a strict idempotency gate — a request whose
+    first fate is unknown is re-sent only when every statement in it is
+    read-only and the session is not inside a BEGIN block. *)
 
 open Mmdb_storage
 
@@ -38,6 +46,67 @@ val stats : t -> (string, string) result
 
 val quit : t -> (unit, string) result
 (** Send QUIT and close the socket (best-effort, never fails hard). *)
+
+val in_txn : t -> bool
+(** The client's conservative view of "inside a BEGIN block", tracked
+    from the statements it sends (sticks on [true] when a batch with txn
+    control fails with an unknown outcome; reset by reconnection). *)
+
+(** {1 Bounded retry with backoff} *)
+
+type retry_policy
+
+val retry_policy :
+  ?max_attempts:int ->
+  ?base_delay:float ->
+  ?max_delay:float ->
+  ?seed:int ->
+  ?sleep:(float -> unit) ->
+  unit ->
+  retry_policy
+(** Defaults: 5 attempts total, 10 ms base, 1 s cap, seed 2024,
+    [Unix.sleepf].  The jitter stream is owned by the policy value, so
+    one policy used for a sequence of calls yields one deterministic
+    schedule per seed. *)
+
+val next_delay : retry_policy -> prev:float -> float
+(** The next backoff step (decorrelated jitter:
+    [min (cap, base + rand (prev*3 - base))]), drawing from the policy's
+    seeded stream.  Exposed for tests. *)
+
+val retriable :
+  idempotent:bool -> (Protocol.response, string) result -> bool
+(** The retry classification, as a pure predicate.  Always retriable:
+    [Busy], [Overloaded] (dropped before execution) and [Timeout] (see
+    the caveat in the implementation: an abandoned job may still run —
+    pair write requests with timeouts only if at-least-once is
+    acceptable).  Retriable only when [idempotent]: [Conflict],
+    transport loss, and [Shutdown]. *)
+
+val query_retry :
+  t -> policy:retry_policy -> string -> (Protocol.response, string) result
+(** {!query} wrapped in the retry loop: classify each outcome with
+    {!retriable} (honouring the [Overloaded] retry-after hint as a lower
+    bound on the backoff step), reconnect on transport loss, give up
+    after [max_attempts].  The request's idempotency is judged once, up
+    front, against the client's {!in_txn} state. *)
+
+val connect_retry :
+  ?on_notice:(string -> unit) ->
+  policy:retry_policy ->
+  host:string ->
+  port:int ->
+  unit ->
+  (t, string) result
+(** {!connect} with bounded backoff across [Busy] refusals and connect
+    failures (a restarting server). *)
+
+type retry_stats = { retries : int; reconnects : int; gave_up : int }
+(** [retries] — re-sent requests; [reconnects] — successful
+    reconnections; [gave_up] — retriable failures abandoned at the
+    attempt cap. *)
+
+val retry_stats : t -> retry_stats
 
 val split_statements : string -> string list
 (** Split a script on [;] honouring single-quoted strings (with ['']

@@ -58,6 +58,16 @@ type t = {
 
 let readers t = t.n_readers
 
+(* Queued-but-undispatched jobs — the overload signal the server's shed
+   watermark compares against.  In-flight jobs are not counted: depth
+   measures waiting work, which is what grows without bound when arrival
+   outpaces service. *)
+let depth t =
+  Mutex.lock t.m;
+  let d = Queue.length t.jobs in
+  Mutex.unlock t.m;
+  d
+
 (* The dispatcher: pops jobs in FIFO order.  A Write is a barrier — it
    waits for in-flight readers to drain, then runs on this domain.  A
    Read is handed to the reader pool and the dispatcher moves on (with a

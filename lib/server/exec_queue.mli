@@ -35,6 +35,10 @@ val create : ?readers:int -> unit -> t
 val readers : t -> int
 (** Configured reader parallelism. *)
 
+val depth : t -> int
+(** Queued-but-undispatched jobs right now — the overload signal the
+    server's shed watermark compares against. *)
+
 val submit : t -> ?notify:Unix.file_descr -> ?kind:kind -> (unit -> 'a) -> 'a promise
 (** Queue a job ([kind] defaults to [Write]).  When it resolves, one byte
     is written to [notify] (if given) so a timed waiter selecting on the

@@ -34,6 +34,9 @@ type t = {
   mutable cache_misses : int;  (* statement-cache misses (fresh parses) *)
   mutable ro_jobs : int;  (* jobs dispatched on the parallel-reader path *)
   mutable slow : int;  (* requests over the slow-query threshold *)
+  mutable shed : int;  (* requests dropped at the overload watermark *)
+  mutable quota : int;  (* requests killed by a per-query quota *)
+  mutable write_timeouts : int;  (* sessions cut for not draining writes *)
   latencies : Histogram.t;  (* seconds, per answered request *)
   by_kind : (string, Histogram.t) Hashtbl.t;  (* per statement kind *)
   ops : (string, op_stat) Hashtbl.t;  (* per-operator, from traces *)
@@ -56,6 +59,9 @@ let create () =
     cache_misses = 0;
     ro_jobs = 0;
     slow = 0;
+    shed = 0;
+    quota = 0;
+    write_timeouts = 0;
     latencies = Histogram.create ();
     by_kind = Hashtbl.create 8;
     ops = Hashtbl.create 16;
@@ -99,6 +105,11 @@ let cache_hit t = locked t (fun () -> t.cache_hits <- t.cache_hits + 1)
 let cache_miss t = locked t (fun () -> t.cache_misses <- t.cache_misses + 1)
 let read_job t = locked t (fun () -> t.ro_jobs <- t.ro_jobs + 1)
 let slow_query t = locked t (fun () -> t.slow <- t.slow + 1)
+let shed t = locked t (fun () -> t.shed <- t.shed + 1)
+let quota_killed t = locked t (fun () -> t.quota <- t.quota + 1)
+
+let write_timeout t =
+  locked t (fun () -> t.write_timeouts <- t.write_timeouts + 1)
 
 (* Fold a finished trace into the per-operator table.  Exclusive times
    and counters, so each operator's row charges only its own work. *)
@@ -142,6 +153,9 @@ type snapshot = {
   s_cache_misses : int;
   s_ro_jobs : int;
   s_slow : int;
+  s_shed : int;
+  s_quota : int;
+  s_write_timeouts : int;
   s_uptime : float;
   s_lat_n : int;
   s_p50_ms : float option;
@@ -166,6 +180,9 @@ let snapshot t =
         s_cache_misses = t.cache_misses;
         s_ro_jobs = t.ro_jobs;
         s_slow = t.slow;
+        s_shed = t.shed;
+        s_quota = t.quota;
+        s_write_timeouts = t.write_timeouts;
         s_uptime = uptime t;
         s_lat_n = Histogram.count t.latencies;
         s_p50_ms = ms (Histogram.percentile t.latencies 50.0);
@@ -212,6 +229,9 @@ let render t ~active ~readers ~domains =
         "requests:    total=%d errors=%d timeouts=%d conflicts=%d protocol_errors=%d slow=%d"
         s.s_requests s.s_errors s.s_timeouts s.s_conflicts s.s_proto_errors
         s.s_slow;
+      Printf.sprintf
+        "overload:    shed=%d quota_killed=%d write_timeouts=%d" s.s_shed
+        s.s_quota s.s_write_timeouts;
       Printf.sprintf
         "executor:    readers=%d read_jobs=%d stmt_cache_hits=%d stmt_cache_misses=%d"
         readers s.s_ro_jobs s.s_cache_hits s.s_cache_misses;
@@ -284,6 +304,9 @@ let stats_json t ~active ~readers ~domains =
                ("conflicts", Json.Int s.s_conflicts);
                ("protocol_errors", Json.Int s.s_proto_errors);
                ("slow", Json.Int s.s_slow);
+               ("shed", Json.Int s.s_shed);
+               ("quota_killed", Json.Int s.s_quota);
+               ("write_timeouts", Json.Int s.s_write_timeouts);
                ("read_jobs", Json.Int s.s_ro_jobs);
                ("stmt_cache_hits", Json.Int s.s_cache_hits);
                ("stmt_cache_misses", Json.Int s.s_cache_misses);

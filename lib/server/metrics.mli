@@ -37,6 +37,15 @@ val read_job : t -> unit
 val slow_query : t -> unit
 (** A request over the slow-query threshold (also logged as JSONL). *)
 
+val shed : t -> unit
+(** A request dropped unexecuted at the overload watermark. *)
+
+val quota_killed : t -> unit
+(** A request killed by a per-query quota (rows or tuple budget). *)
+
+val write_timeout : t -> unit
+(** A session cut because the peer stopped draining a response. *)
+
 val record_trace : t -> Mmdb_util.Trace.span -> unit
 (** Fold a finished trace tree into the per-operator aggregates
     (exclusive time and counters per span name). *)
@@ -55,6 +64,9 @@ type snapshot = {
   s_cache_misses : int;
   s_ro_jobs : int;  (** jobs dispatched on the parallel-reader path *)
   s_slow : int;  (** requests over the slow-query threshold *)
+  s_shed : int;  (** requests dropped at the overload watermark *)
+  s_quota : int;  (** requests killed by a per-query quota *)
+  s_write_timeouts : int;  (** sessions cut for not draining writes *)
   s_uptime : float;  (** seconds since server start *)
   s_lat_n : int;  (** latency samples recorded over the server's life *)
   s_p50_ms : float option;

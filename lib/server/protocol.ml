@@ -35,6 +35,7 @@ type err_code =
   | Timeout  (** the per-request timeout elapsed; result discarded *)
   | Proto  (** malformed frame or request *)
   | Shutdown  (** server is shutting down *)
+  | Quota  (** per-query quota exceeded (result rows / intermediate tuples) *)
 
 let err_code_to_byte = function
   | Parse -> 1
@@ -43,6 +44,7 @@ let err_code_to_byte = function
   | Timeout -> 4
   | Proto -> 5
   | Shutdown -> 6
+  | Quota -> 7
 
 let err_code_of_byte = function
   | 1 -> Some Parse
@@ -51,6 +53,7 @@ let err_code_of_byte = function
   | 4 -> Some Timeout
   | 5 -> Some Proto
   | 6 -> Some Shutdown
+  | 7 -> Some Quota
   | _ -> None
 
 let err_code_name = function
@@ -60,6 +63,7 @@ let err_code_name = function
   | Timeout -> "timeout"
   | Proto -> "protocol"
   | Shutdown -> "shutdown"
+  | Quota -> "quota"
 
 type request =
   | Query of string  (** one or more statements; reply reflects the last *)
@@ -77,6 +81,9 @@ type response =
   | Prepared of { id : int; n_params : int }
   | Error of err_code * string
   | Busy of string  (** admission control: connection not accepted *)
+  | Overloaded of { retry_after_ms : float; msg : string }
+      (** load shedding: the request was dropped unexecuted; the client
+          should back off at least [retry_after_ms] before retrying *)
   | Pong
   | Bye
   | Notice of string  (** out-of-band server notice *)
@@ -187,6 +194,10 @@ let encode_response resp =
          | Busy m ->
              Buffer.add_char b 'b';
              Buffer.add_string b m
+         | Overloaded { retry_after_ms; msg } ->
+             Buffer.add_char b 'O';
+             put_i64_bits b (Int64.bits_of_float retry_after_ms);
+             Buffer.add_string b msg
          | Pong -> Buffer.add_char b 'o'
          | Bye -> Buffer.add_char b 'B'
          | Notice m ->
@@ -301,6 +312,9 @@ let decode_response payload =
           | Some code -> Ok (Error (code, rest c))
           | None -> Stdlib.Error (Printf.sprintf "unknown error code %d" byte))
       | 'b' -> Ok (Busy (rest c))
+      | 'O' ->
+          let retry_after_ms = Int64.float_of_bits (get_i64_bits c) in
+          Ok (Overloaded { retry_after_ms; msg = rest c })
       | 'o' -> Ok Pong
       | 'B' -> Ok Bye
       | 'n' -> Ok (Notice (rest c))
@@ -311,19 +325,114 @@ let decode_response payload =
 
 (* --- socket I/O ------------------------------------------------------- *)
 
+module Fault = Mmdb_txn.Fault
+
+(* The wire fault points.  Registered once at module initialization so any
+   injector can arm them; every instrumented site below reports to the
+   injector it was handed (default: the inert [Fault.none]).
+
+   - [net.write.delay]   Delay: stall this many seconds before the write.
+   - [net.write.reset]   any action: drop the connection before writing a
+                         byte — the peer sees a reset/EOF mid-conversation.
+   - [net.write.torn]    any action: write a strict prefix of the frame
+                         (length drawn from the injector's seeded stream),
+                         then drop the connection — a torn frame.
+   - [net.write.slowloris] Delay: dribble the frame one byte at a time
+                         with this pause between bytes — a slow writer
+                         for exercising read/write deadlines opposite.
+   - [net.read.stall]    Delay: stall before reading the next frame.
+   - [net.read.reset]    any action: drop the connection instead of
+                         reading — the reader sees a mid-stream failure. *)
+let () =
+  Fault.register_points
+    [
+      "net.write.delay";
+      "net.write.reset";
+      "net.write.torn";
+      "net.write.slowloris";
+      "net.read.stall";
+      "net.read.reset";
+    ]
+
 type read_error =
   [ `Eof  (** clean close at a frame boundary *)
   | `Oversized of int  (** announced length exceeds the limit *)
   | `Malformed of string  (** mid-frame disconnect or zero length *) ]
 
-let rec write_all fd s ofs len =
-  if len > 0 then begin
-    let n = Unix.write_substring fd s ofs len in
-    write_all fd s (ofs + n) (len - n)
-  end
+exception Write_timeout
 
-let write_frame fd payload_frame =
-  write_all fd payload_frame 0 (String.length payload_frame)
+(* A torn connection, from the writer's point of view.  [shutdown] (not
+   [close]) so the fd number stays valid — its owner still closes it. *)
+let drop_connection fd =
+  try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+
+let rec write_all fd s ofs len =
+  if len > 0 then
+    match Unix.write_substring fd s ofs len with
+    | n -> write_all fd s (ofs + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd s ofs len
+
+(* Deadline-bounded write: the fd goes non-blocking for the duration and
+   progress is awaited with [select], so a peer that stops draining its
+   receive window cannot pin the writer beyond [deadline] (an absolute
+   [Unix.gettimeofday] instant). *)
+let write_all_deadline fd s ofs len ~deadline =
+  Unix.set_nonblock fd;
+  Fun.protect ~finally:(fun () ->
+      try Unix.clear_nonblock fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let rec go ofs len =
+    if len > 0 then
+      match Unix.write_substring fd s ofs len with
+      | n -> go (ofs + n) (len - n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ofs len
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          let remain = deadline -. Unix.gettimeofday () in
+          if remain <= 0. then raise Write_timeout;
+          (match Unix.select [] [ fd ] [] remain with
+          | _, [], _ -> raise Write_timeout
+          | _ -> ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          go ofs len
+  in
+  go ofs len
+
+(* Dribble the frame a byte at a time — the slowloris write mode. *)
+let write_slowly fd s ~pause =
+  String.iteri
+    (fun i _ ->
+      write_all fd s i 1;
+      if pause > 0. then Unix.sleepf pause)
+    s
+
+let write_frame ?(fault = Fault.none) ?deadline fd payload_frame =
+  (match Fault.fire fault ~point:"net.write.reset" with
+  | Some _ ->
+      drop_connection fd;
+      raise (Unix.Unix_error (Unix.ECONNRESET, "write", "injected reset"))
+  | None -> ());
+  (match Fault.fire fault ~point:"net.write.torn" with
+  | Some _ ->
+      let len = String.length payload_frame in
+      let keep = if len <= 1 then len else 1 + Fault.rand fault (len - 1) in
+      write_all fd payload_frame 0 keep;
+      drop_connection fd;
+      raise (Unix.Unix_error (Unix.ECONNRESET, "write", "injected torn frame"))
+  | None -> ());
+  (match Fault.fire fault ~point:"net.write.delay" with
+  | Some (Fault.Delay s) -> Unix.sleepf s
+  | Some Fault.Crash -> raise (Fault.Injected_crash "net.write.delay")
+  | Some Fault.Corrupt | None -> ());
+  match Fault.fire fault ~point:"net.write.slowloris" with
+  | Some (Fault.Delay pause) -> write_slowly fd payload_frame ~pause
+  | Some _ -> write_slowly fd payload_frame ~pause:0.
+  | None -> (
+      match deadline with
+      | None -> write_all fd payload_frame 0 (String.length payload_frame)
+      | Some deadline ->
+          write_all_deadline fd payload_frame 0
+            (String.length payload_frame)
+            ~deadline)
 
 (* Read exactly [len] bytes; [None] on EOF before the first byte, raises
    [Malformed] on EOF part-way through. *)
@@ -341,8 +450,16 @@ let read_exact fd len ~what =
   in
   go 0
 
-let read_frame ?(max_frame = max_frame_default) fd :
+let read_frame ?(fault = Fault.none) ?(max_frame = max_frame_default) fd :
     (string, read_error) result =
+  (match Fault.fire fault ~point:"net.read.stall" with
+  | Some (Fault.Delay s) -> Unix.sleepf s
+  | Some _ | None -> ());
+  match Fault.fire fault ~point:"net.read.reset" with
+  | Some _ ->
+      drop_connection fd;
+      Stdlib.Error (`Malformed "injected read reset")
+  | None -> (
   match read_exact fd 4 ~what:"frame header" with
   | None -> Stdlib.Error `Eof
   | Some header -> (
@@ -363,7 +480,7 @@ let read_frame ?(max_frame = max_frame_default) fd :
             Stdlib.Error (`Malformed (Unix.error_message e)))
   | exception Malformed m -> Stdlib.Error (`Malformed m)
   | exception Unix.Unix_error (e, _, _) ->
-      Stdlib.Error (`Malformed (Unix.error_message e))
+      Stdlib.Error (`Malformed (Unix.error_message e)))
 
 (* --- rendering (client side; mirrors the shell's output) -------------- *)
 
@@ -382,6 +499,9 @@ let pp_response ppf = function
       Fmt.pf ppf "prepared statement %d (%d parameters)" id n_params
   | Error (code, msg) -> Fmt.pf ppf "error (%s): %s" (err_code_name code) msg
   | Busy m -> Fmt.pf ppf "server busy: %s" m
+  | Overloaded { retry_after_ms; msg } ->
+      Fmt.pf ppf "server overloaded (retry after %.0f ms): %s" retry_after_ms
+        msg
   | Pong -> Fmt.string ppf "pong"
   | Bye -> Fmt.string ppf "bye"
   | Notice m -> Fmt.pf ppf "notice: %s" m

@@ -21,6 +21,7 @@ type err_code =
   | Timeout  (** the per-request timeout elapsed; result discarded *)
   | Proto  (** malformed frame or request *)
   | Shutdown  (** server is shutting down *)
+  | Quota  (** per-query quota exceeded (result rows / intermediate tuples) *)
 
 val err_code_name : err_code -> string
 
@@ -40,6 +41,9 @@ type response =
   | Prepared of { id : int; n_params : int }
   | Error of err_code * string
   | Busy of string  (** admission control: connection not accepted *)
+  | Overloaded of { retry_after_ms : float; msg : string }
+      (** load shedding: the request was dropped unexecuted; the client
+          should back off at least [retry_after_ms] before retrying *)
   | Pong
   | Bye
   | Notice of string  (** out-of-band server notice *)
@@ -61,14 +65,32 @@ type read_error =
   | `Oversized of int  (** announced length exceeds the limit *)
   | `Malformed of string  (** mid-frame disconnect or zero length *) ]
 
-val write_frame : Unix.file_descr -> string -> unit
-(** Write an encoded frame, handling short writes.  May raise
-    [Unix.Unix_error] (e.g. [EPIPE] on a dead peer). *)
+exception Write_timeout
+(** A deadline write ran out of time — the peer stopped draining. *)
+
+val write_frame :
+  ?fault:Mmdb_txn.Fault.t ->
+  ?deadline:float ->
+  Unix.file_descr ->
+  string ->
+  unit
+(** Write an encoded frame, handling short writes and retrying [EINTR].
+    May raise [Unix.Unix_error] (e.g. [EPIPE] on a dead peer).
+
+    [fault] is the injector the wire fault points report to ([net.write.*];
+    see {!Mmdb_txn.Fault.points}); the default inert injector costs a few
+    hash probes.  [deadline] (absolute, [Unix.gettimeofday] clock) bounds
+    the whole write: the fd goes non-blocking and progress is awaited with
+    [select], raising {!Write_timeout} when the peer stops draining. *)
 
 val read_frame :
-  ?max_frame:int -> Unix.file_descr -> (string, read_error) result
+  ?fault:Mmdb_txn.Fault.t ->
+  ?max_frame:int ->
+  Unix.file_descr ->
+  (string, read_error) result
 (** Read one frame body.  EOF at a frame boundary is [`Eof]; EOF
-    mid-frame, a zero length or a socket error is [`Malformed]. *)
+    mid-frame, a zero length or a socket error is [`Malformed].
+    [fault] drives the [net.read.*] points. *)
 
 val pp_response : Format.formatter -> response -> unit
 (** Render a response the way the interactive shell renders outcomes. *)

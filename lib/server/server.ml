@@ -45,6 +45,12 @@ type config = {
   trace : bool;  (* trace every statement into the operator aggregates *)
   slow_log : string option;  (* JSONL file for over-threshold queries *)
   slow_threshold : float;  (* seconds; queries at/over this are logged *)
+  fault : Mmdb_txn.Fault.t;  (* injector the net/exec fault points use *)
+  write_timeout : float;  (* seconds per response write; <= 0 disables *)
+  sndbuf : int;  (* SO_SNDBUF for accepted sockets; <= 0 = OS default *)
+  shed_watermark : int;  (* shed reads at this queue depth; <= 0 off *)
+  max_result_rows : int;  (* per-query result-row quota; <= 0 off *)
+  tuple_budget : int;  (* per-query intermediate-tuple quota; <= 0 off *)
 }
 
 let default_config =
@@ -59,7 +65,20 @@ let default_config =
     trace = false;
     slow_log = None;
     slow_threshold = 0.1;
+    fault = Mmdb_txn.Fault.none;
+    write_timeout = 30.0;
+    sndbuf = 0;
+    shed_watermark = 0;
+    max_result_rows = 0;
+    tuple_budget = 0;
   }
+
+module Fault = Mmdb_txn.Fault
+
+(* The executor-side fault point: [exec.stall] (Delay) holds the job on
+   its executor domain, the deterministic way to pile up queue depth for
+   overload tests. *)
+let () = Fault.register_points [ "exec.stall" ]
 
 type session = Protocol.response Session.t
 
@@ -142,10 +161,25 @@ let parse_cached t sql =
 
 (* --- request handling (handler-thread side) ---------------------------- *)
 
-let send s resp =
-  Protocol.write_frame s.Session.fd (Protocol.encode_response resp)
+(* Responses go out under the per-session write deadline: a peer that
+   stops draining (slowloris reader) raises [Write_timeout], which cuts
+   the session instead of pinning its handler thread forever. *)
+let send t s resp =
+  let deadline =
+    if t.cfg.write_timeout > 0.0 then
+      Some (Unix.gettimeofday () +. t.cfg.write_timeout)
+    else None
+  in
+  try
+    Protocol.write_frame ~fault:t.cfg.fault ?deadline s.Session.fd
+      (Protocol.encode_response resp)
+  with Protocol.Write_timeout as e ->
+    Metrics.write_timeout t.metrics;
+    (try Unix.shutdown s.Session.fd Unix.SHUTDOWN_ALL
+     with Unix.Unix_error _ -> ());
+    raise e
 
-let try_send s resp = try send s resp with _ -> ()
+let try_send t s resp = try send t s resp with _ -> ()
 
 (* Classify an interpreter error string into a wire error code.  The
    interpreter renders lock failures through [Txn.pp_failure], so the
@@ -286,6 +320,65 @@ let slow_log_line t (s : session) ~sql ~elapsed ~resp root =
       flush oc;
       Mutex.unlock t.slow_m
 
+(* Overload shedding: when the executor queue is already [shed_watermark]
+   jobs deep, drop read-only requests unexecuted with a typed Overloaded
+   answer instead of letting them queue behind work that will time out
+   anyway.  Writes are never shed — they carry client state (BEGIN
+   blocks) and their latency under backlog is the back-pressure signal.
+   The retry-after hint scales with how far past the watermark the queue
+   is. *)
+let shed_check t (kind : Exec_queue.kind) =
+  if kind = Exec_queue.Read && t.cfg.shed_watermark > 0 then begin
+    let depth = Exec_queue.depth t.exec in
+    if depth >= t.cfg.shed_watermark then begin
+      Metrics.shed t.metrics;
+      let retry_after_ms =
+        25.0 *. Float.max 1.0 (float_of_int depth /. float_of_int t.cfg.shed_watermark)
+      in
+      Some
+        (Protocol.Overloaded
+           {
+             retry_after_ms;
+             msg =
+               Printf.sprintf
+                 "executor queue depth %d at/over watermark %d; read shed"
+                 depth t.cfg.shed_watermark;
+           })
+    end
+    else None
+  end
+  else None
+
+(* Per-query quotas, enforced inside the executor job: a domain-local
+   intermediate-tuple budget around the whole batch ([Temp_list] charges
+   it on every append), plus a result-row cap checked on the rendered
+   reply.  Both kill only the offending request, with a typed Quota
+   error.  [exec.stall] fires here too — on the executor domain — so
+   tests can deterministically hold the queue. *)
+let guard_quotas t job () : Protocol.response =
+  Fault.hit t.cfg.fault ~point:"exec.stall";
+  let resp =
+    try
+      if t.cfg.tuple_budget > 0 then
+        Temp_list.with_budget ~limit:t.cfg.tuple_budget job
+      else job ()
+    with Temp_list.Quota_exceeded { used; limit } ->
+      Protocol.Error
+        ( Protocol.Quota,
+          Printf.sprintf
+            "query exceeded the intermediate-tuple budget (%d > %d); aborted"
+            used limit )
+  in
+  match resp with
+  | Protocol.Results { rows; _ }
+    when t.cfg.max_result_rows > 0
+         && List.length rows > t.cfg.max_result_rows ->
+      Protocol.Error
+        ( Protocol.Quota,
+          Printf.sprintf "result of %d rows exceeds the %d-row quota"
+            (List.length rows) t.cfg.max_result_rows )
+  | resp -> resp
+
 (* Run a statement batch on the executor, tracing when configured.  The
    finished tree feeds the per-operator aggregates; a request at/over the
    slow threshold additionally emits one slow-log line carrying it. *)
@@ -293,7 +386,10 @@ let run_statements t (s : session) ~sql stmts : Protocol.response =
   let interp = interp_of s in
   s.Session.last_kind <- batch_kind stmts;
   let kind = kind_of interp stmts in
-  let job = exec_stmts_job interp stmts in
+  match shed_check t kind with
+  | Some resp -> resp
+  | None ->
+  let job = guard_quotas t (exec_stmts_job interp stmts) in
   if not (tracing_on t) then run_on_executor t s ~kind job
   else begin
     let tr = Mmdb_util.Trace.create () in
@@ -330,15 +426,16 @@ let handle_request t (s : session) (req : Protocol.request) : bool =
     (match resp with
     | Protocol.Error (code, _) ->
         Metrics.error t.metrics;
-        if code = Protocol.Conflict then Metrics.conflict t.metrics
+        if code = Protocol.Conflict then Metrics.conflict t.metrics;
+        if code = Protocol.Quota then Metrics.quota_killed t.metrics
     | _ -> ());
-    send s resp;
+    send t s resp;
     true
   in
   s.Session.last_kind <- "control" (* run_statements overrides for queries *);
   match req with
   | Protocol.Quit ->
-      try_send s Protocol.Bye;
+      try_send t s Protocol.Bye;
       false
   | Protocol.Ping -> answer Protocol.Pong
   | Protocol.Status -> answer (Protocol.Status_text (metrics_text t))
@@ -402,22 +499,26 @@ let cleanup t (s : session) =
   | None -> ());
   (match s.Session.kick with
   | Session.Idle_kick ->
-      try_send s (Protocol.Notice "idle timeout, closing session");
-      try_send s Protocol.Bye
+      try_send t s (Protocol.Notice "idle timeout, closing session");
+      try_send t s Protocol.Bye
   | Session.Shutdown_kick ->
-      try_send s (Protocol.Notice "server shutting down");
-      try_send s Protocol.Bye
+      try_send t s (Protocol.Notice "server shutting down");
+      try_send t s Protocol.Bye
+  | Session.Crash_kick -> () (* simulated kill-9: no farewell frames *)
   | Session.Not_kicked -> ());
   Metrics.conn_closed ~reaped:(s.Session.kick = Session.Idle_kick) t.metrics;
   Session.close_fds s
 
 let session_loop t (s : session) =
   let rec loop () =
-    match Protocol.read_frame ~max_frame:t.cfg.max_frame s.Session.fd with
+    match
+      Protocol.read_frame ~fault:t.cfg.fault ~max_frame:t.cfg.max_frame
+        s.Session.fd
+    with
     | Error `Eof -> () (* client closed between frames *)
     | Error (`Oversized n) ->
         Metrics.proto_error t.metrics;
-        try_send s
+        try_send t s
           (Protocol.Error
              ( Protocol.Proto,
                Printf.sprintf "frame of %d bytes exceeds the %d-byte limit" n
@@ -425,14 +526,14 @@ let session_loop t (s : session) =
         (* cannot resynchronize: close *)
     | Error (`Malformed msg) ->
         Metrics.proto_error t.metrics;
-        try_send s (Protocol.Error (Protocol.Proto, msg))
+        try_send t s (Protocol.Error (Protocol.Proto, msg))
     | Ok payload -> (
         Session.touch s;
         match Protocol.decode_request payload with
         | Error msg ->
             (* framing was intact: reject the request, keep the session *)
             Metrics.proto_error t.metrics;
-            try_send s (Protocol.Error (Protocol.Proto, msg));
+            try_send t s (Protocol.Error (Protocol.Proto, msg));
             loop ()
         | Ok req ->
             let started = Unix.gettimeofday () in
@@ -443,7 +544,7 @@ let session_loop t (s : session) =
             if continue then loop ())
   in
   (try
-     send s
+     send t s
        (Protocol.Notice
           (Printf.sprintf "mmdb server ready (session %d)" s.Session.sid));
      (* interpreter construction reads the catalog: executor-only *)
@@ -461,6 +562,9 @@ let session_loop t (s : session) =
 
 let handle_accept t fd =
   Unix.clear_nonblock fd;
+  if t.cfg.sndbuf > 0 then (
+    try Unix.setsockopt_int fd Unix.SO_SNDBUF t.cfg.sndbuf
+    with Unix.Unix_error _ -> ());
   Mutex.lock t.m;
   let admit =
     (not t.shutting_down) && Hashtbl.length t.sessions < t.cfg.max_connections
@@ -627,6 +731,54 @@ let shutdown t =
     List.iter Thread.join handlers;
     (match t.reaper_thread with Some thr -> Thread.join thr | None -> ());
     (* all sessions are gone; drain and stop the executor last *)
+    Exec_queue.stop t.exec;
+    (match t.slow_out with
+    | Some oc -> ( try close_out oc with _ -> ())
+    | None -> ());
+    List.iter
+      (fun fd -> try Unix.close fd with _ -> ())
+      [ t.stop_r; t.stop_w ]
+  end
+
+(* Simulated kill-9.  The process hosts the "disk" (the manager's
+   Disk_store / Log_device are in-memory simulations), so a real kill
+   would take the durable state with it; instead we cut every session
+   with no farewell frame (clients see a reset mid-conversation, exactly
+   like a crashed peer), abandon queued-but-unstarted work, and stop the
+   machinery without any graceful notice.  In-flight executor jobs
+   finish on their domain — as a kernel would finish a DMA — but their
+   replies never reach a client.  Open BEGIN blocks are rolled back as
+   the handlers unwind: equivalent to process death under deferred
+   update, since uncommitted changes were never logged.  The caller then
+   discards [db]/[manager] and hands the manager's store and device to
+   {!Mmdb_txn.Recovery.recover}, as after a real crash. *)
+let crash t =
+  Mutex.lock t.m;
+  let already = t.shutting_down in
+  t.shutting_down <- true;
+  Mutex.unlock t.m;
+  if not already then begin
+    (try ignore (Unix.write_substring t.stop_w "!" 0 1) with _ -> ());
+    (match t.accept_thread with Some thr -> Thread.join thr | None -> ());
+    (try Unix.close t.listen_fd with _ -> ());
+    Mutex.lock t.m;
+    let live = Hashtbl.fold (fun _ s acc -> s :: acc) t.sessions [] in
+    Mutex.unlock t.m;
+    List.iter
+      (fun s ->
+        s.Session.kick <- Session.Crash_kick;
+        (match s.Session.pending with
+        | Some p -> Exec_queue.abandon p
+        | None -> ());
+        try Unix.shutdown s.Session.fd Unix.SHUTDOWN_ALL
+        with Unix.Unix_error _ -> ())
+      live;
+    Mutex.lock t.m;
+    let handlers = t.handlers in
+    t.handlers <- [];
+    Mutex.unlock t.m;
+    List.iter Thread.join handlers;
+    (match t.reaper_thread with Some thr -> Thread.join thr | None -> ());
     Exec_queue.stop t.exec;
     (match t.slow_out with
     | Some oc -> ( try close_out oc with _ -> ())

@@ -25,12 +25,34 @@ type config = {
       (** JSONL sink for queries at/over [slow_threshold]; configuring
           one implies tracing *)
   slow_threshold : float;  (** seconds; default 0.1 *)
+  fault : Mmdb_txn.Fault.t;
+      (** injector the [net.*] wire points and [exec.stall] report to;
+          {!Mmdb_txn.Fault.none} (the default) never fires *)
+  write_timeout : float;
+      (** seconds each response write may take before the session is cut
+          (slowloris-reader defence); [<= 0.] disables *)
+  sndbuf : int;
+      (** SO_SNDBUF for accepted sockets, bytes; [<= 0] keeps the OS
+          default (small values make write deadlines testable) *)
+  shed_watermark : int;
+      (** executor queue depth at/over which read-only requests are
+          dropped unexecuted with {!Protocol.Overloaded}; [<= 0]
+          disables.  Writes are never shed. *)
+  max_result_rows : int;
+      (** per-query result-row quota; over it the reply becomes a typed
+          [Quota] error; [<= 0] disables *)
+  tuple_budget : int;
+      (** per-query intermediate-tuple quota, charged by
+          {!Mmdb_storage.Temp_list} appends inside the executor job;
+          [<= 0] disables *)
 }
 
 val default_config : config
 (** 127.0.0.1:7478, 64 connections, 30 s request timeout, 300 s idle
     timeout, {!Protocol.max_frame_default} frames, 256 cached
-    statements, tracing off, no slow log, 0.1 s slow threshold. *)
+    statements, tracing off, no slow log, 0.1 s slow threshold, no
+    fault injection, 30 s write timeout, OS socket buffers, shedding
+    and quotas off. *)
 
 type t
 
@@ -58,3 +80,11 @@ val shutdown : t -> unit
 (** Graceful shutdown: stop admissions, nudge every session off its
     socket, drain in-flight requests, roll back open BEGIN blocks, join
     all threads, then stop the executor.  Idempotent. *)
+
+val crash : t -> unit
+(** Simulated kill-9: cut every session abruptly (no farewell frames —
+    clients see a reset), abandon queued-but-unstarted work, stop the
+    machinery.  Afterwards discard {!db} and {!manager} and hand the
+    manager's {!Mmdb_txn.Txn.store} and {!Mmdb_txn.Txn.device} to
+    {!Mmdb_txn.Recovery.recover}, as after a real crash.  Idempotent
+    with {!shutdown}. *)

@@ -10,7 +10,11 @@
 
 open Mmdb_lang
 
-type kick = Not_kicked | Idle_kick | Shutdown_kick
+type kick =
+  | Not_kicked
+  | Idle_kick
+  | Shutdown_kick
+  | Crash_kick  (** simulated kill-9: cut abruptly, no farewell frames *)
 
 type 'a t = {
   sid : int;

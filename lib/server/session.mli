@@ -14,6 +14,7 @@ type kick =
   | Not_kicked
   | Idle_kick  (** the reaper shut the socket down *)
   | Shutdown_kick  (** server shutdown shut the socket down *)
+  | Crash_kick  (** simulated kill-9: cut abruptly, no farewell frames *)
 
 type 'a t = {
   sid : int;

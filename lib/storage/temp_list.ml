@@ -17,6 +17,38 @@ type t = {
   mutable count : int;
 }
 
+(* --- per-query tuple budget -------------------------------------------- *)
+
+exception Quota_exceeded of { used : int; limit : int }
+
+type budget = { limit : int; mutable used : int }
+
+(* Domain-local, like Trace's collector: the serving layer installs a
+   budget around one executor job, and every append on that domain charges
+   it.  Parallel operator workers fill their local lists on other domains
+   unbudgeted; the coordinator's stitch-up ([append_all] / [concat])
+   charges the full entry count, so fanned-out intermediates are still
+   accounted where they accumulate.  When no budget is installed (the
+   common case) the cost is one DLS read and a branch. *)
+let budget_key : budget option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let charge n =
+  match Domain.DLS.get budget_key with
+  | None -> ()
+  | Some b ->
+      b.used <- b.used + n;
+      if b.used > b.limit then
+        raise (Quota_exceeded { used = b.used; limit = b.limit })
+
+let with_budget ~limit f =
+  let prev = Domain.DLS.get budget_key in
+  Domain.DLS.set budget_key (Some { limit; used = 0 });
+  Fun.protect ~finally:(fun () -> Domain.DLS.set budget_key prev) f
+
+let budget_used () =
+  match Domain.DLS.get budget_key with None -> None | Some b -> Some b.used
+
 let create desc = { desc; entries = [||]; count = 0 }
 
 let descriptor t = t.desc
@@ -25,6 +57,7 @@ let length t = t.count
 let append t entry =
   if Array.length entry <> Descriptor.n_sources t.desc then
     invalid_arg "Temp_list.append: entry arity does not match descriptor";
+  charge 1;
   if t.count >= Array.length t.entries then begin
     let grown = Array.make (max 16 (2 * Array.length t.entries)) entry in
     Array.blit t.entries 0 grown 0 t.count;
@@ -40,6 +73,7 @@ let append_all t src =
   if Descriptor.n_sources src.desc <> Descriptor.n_sources t.desc then
     invalid_arg "Temp_list.append_all: source arity does not match";
   if src.count > 0 then begin
+    charge src.count;
     let needed = t.count + src.count in
     if needed > Array.length t.entries then begin
       let cap = max 16 (max needed (2 * Array.length t.entries)) in

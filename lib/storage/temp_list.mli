@@ -10,6 +10,26 @@ type entry = Tuple.t array
 
 type t
 
+(** {1 Per-query tuple budget}
+
+    The serving layer bounds runaway queries by installing a budget around
+    one executor job: every {!append} (and the full entry count of every
+    {!append_all} / {!concat}) on the installing domain charges it, and
+    crossing the limit raises {!Quota_exceeded} out of the operator
+    pipeline.  Budgets are domain-local; with none installed the cost is
+    one domain-local read and a branch. *)
+
+exception Quota_exceeded of { used : int; limit : int }
+
+val with_budget : limit:int -> (unit -> 'a) -> 'a
+(** Run [f] with a fresh budget of [limit] intermediate tuples installed
+    on the calling domain (restoring the previous budget, if any, on
+    exit).  Raises {!Quota_exceeded} from inside [f] when exceeded. *)
+
+val budget_used : unit -> int option
+(** Tuples charged to the calling domain's installed budget so far;
+    [None] when no budget is installed. *)
+
 val create : Descriptor.t -> t
 val descriptor : t -> Descriptor.t
 val length : t -> int

@@ -156,6 +156,7 @@ let apply_change t ~rel ~pid (change : Log_record.change) =
               img.tuples
           (* crc left stale on purpose *)
       | _ -> ())
+  | Some (Fault.Delay s), _ -> Unix.sleepf s
   | (Some Fault.Corrupt | None), _ -> ()
 
 (* Test/bench helper: silently damage one tuple of an image, leaving its

@@ -1,9 +1,10 @@
-(** Deterministic fault injection for the §2.4 log/recovery pipeline.
+(** Deterministic fault injection: a process-wide registry of named fault
+    points spanning the §2.4 log/recovery pipeline and the serving path.
     See the interface for the catalogue of registered points. *)
 
 exception Injected_crash of string
 
-type action = Crash | Corrupt
+type action = Crash | Corrupt | Delay of float
 
 type slot = {
   action : action;
@@ -14,26 +15,48 @@ type slot = {
 type t = {
   rng : Mmdb_util.Rng.t;
   armed : (string, slot) Hashtbl.t;
+  m : Mutex.t;  (** guards [armed] mutation and [log]: serving-path sites
+                    hit one injector from many threads *)
   mutable log : string list;  (** fired points, newest first *)
   inert : bool;  (** the shared [none] injector refuses arming *)
 }
 
-let points =
-  [
-    "commit.before-log";
-    "commit.after-log";
-    "absorb.torn-tail";
-    "propagate.before";
-    "propagate.record";
-    "propagate.after";
-    "image.bit-flip";
-    "checkpoint.partial";
-  ]
+(* The process-wide point registry.  The txn pipeline's points are the
+   founding members; other layers (the wire protocol, the server) extend
+   it at module-initialization time via [register_points]. *)
+let registry_m = Mutex.create ()
+
+let registry =
+  ref
+    [
+      "commit.before-log";
+      "commit.after-log";
+      "absorb.torn-tail";
+      "propagate.before";
+      "propagate.record";
+      "propagate.after";
+      "image.bit-flip";
+      "checkpoint.partial";
+    ]
+
+let register_points ps =
+  Mutex.lock registry_m;
+  List.iter
+    (fun p -> if not (List.mem p !registry) then registry := !registry @ [ p ])
+    ps;
+  Mutex.unlock registry_m
+
+let points () =
+  Mutex.lock registry_m;
+  let ps = !registry in
+  Mutex.unlock registry_m;
+  ps
 
 let make ~seed ~inert =
   {
     rng = Mmdb_util.Rng.create ~seed ();
     armed = Hashtbl.create 8;
+    m = Mutex.create ();
     log = [];
     inert;
   }
@@ -43,35 +66,54 @@ let create ?(seed = 1986) () = make ~seed ~inert:false
 
 let arm t ~point ?(skip = 0) ?(count = 1) action =
   if t.inert then invalid_arg "Fault.arm: cannot arm Fault.none";
-  if not (List.mem point points) then
+  if not (List.mem point (points ())) then
     invalid_arg (Printf.sprintf "Fault.arm: unknown fault point %S" point);
   if skip < 0 || count < 1 then invalid_arg "Fault.arm: bad skip/count";
-  Hashtbl.replace t.armed point { action; skip; remaining = count }
+  Mutex.lock t.m;
+  Hashtbl.replace t.armed point { action; skip; remaining = count };
+  Mutex.unlock t.m
 
-let disarm t ~point = Hashtbl.remove t.armed point
-let fired t = List.rev t.log
+let disarm t ~point =
+  Mutex.lock t.m;
+  Hashtbl.remove t.armed point;
+  Mutex.unlock t.m
+
+let fired t =
+  Mutex.lock t.m;
+  let l = List.rev t.log in
+  Mutex.unlock t.m;
+  l
 
 let fired_count t ~point =
-  List.length (List.filter (String.equal point) t.log)
+  List.length (List.filter (String.equal point) (fired t))
 
 let rand t bound = Mmdb_util.Rng.int t.rng bound
 
 let fire t ~point =
-  match Hashtbl.find_opt t.armed point with
-  | None -> None
-  | Some s ->
-      if s.skip > 0 then begin
-        s.skip <- s.skip - 1;
-        None
-      end
-      else if s.remaining <= 0 then None
-      else begin
-        s.remaining <- s.remaining - 1;
-        t.log <- point :: t.log;
-        Some s.action
-      end
+  if t.inert then None
+  else begin
+    Mutex.lock t.m;
+    let r =
+      match Hashtbl.find_opt t.armed point with
+      | None -> None
+      | Some s ->
+          if s.skip > 0 then begin
+            s.skip <- s.skip - 1;
+            None
+          end
+          else if s.remaining <= 0 then None
+          else begin
+            s.remaining <- s.remaining - 1;
+            t.log <- point :: t.log;
+            Some s.action
+          end
+    in
+    Mutex.unlock t.m;
+    r
+  end
 
 let hit t ~point =
   match fire t ~point with
   | Some Crash -> raise (Injected_crash point)
+  | Some (Delay s) -> Unix.sleepf s
   | Some Corrupt | None -> ()

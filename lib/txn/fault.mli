@@ -1,17 +1,27 @@
-(** Deterministic fault injection for the §2.4 log/recovery pipeline.
+(** Deterministic fault injection: a process-wide registry of named fault
+    points spanning the §2.4 log/recovery pipeline and the serving path.
 
     An injector carries a set of {e armed} named fault points.  Each
-    instrumented site in the transaction layer reports a {e hit} to its
-    injector; when the hit matches an armed point (after an optional number
-    of skipped hits) the fault fires: either a simulated crash
-    ({!Injected_crash} propagates out of the pipeline, after which the
-    in-memory manager must be discarded and only its disk store and log
-    device handed to {!Recovery.recover}) or a site-specific corruption
-    (a torn log-tail record, a bit-flipped partition image) performed by
-    the site using the injector's seeded random stream.
+    instrumented site reports a {e hit} to its injector; when the hit
+    matches an armed point (after an optional number of skipped hits) the
+    fault fires: a simulated crash ({!Injected_crash} propagates out of
+    the pipeline, after which the in-memory manager must be discarded and
+    only its disk store and log device handed to {!Recovery.recover}), a
+    site-specific corruption (a torn log-tail record, a bit-flipped
+    partition image, a torn network frame) performed by the site using
+    the injector's seeded random stream, or a delay (a stalled network
+    write, a slow executor job).
 
-    Every source of nondeterminism is derived from the injector's seed, so
-    a given (seed, arming) pair reproduces the exact same crash state. *)
+    Every source of nondeterminism in what a fault {e does} is derived
+    from the injector's seed, so a given (seed, arming) pair reproduces
+    the same crash state.  Arming and firing are mutex-guarded: the
+    serving layer hits one injector from many handler threads (firing
+    order across threads then follows the thread schedule).
+
+    The point {e registry} is process-wide: the txn pipeline's points are
+    built in, and other layers extend it at module-initialization time
+    with {!register_points} — {!Mmdb_net.Protocol} registers the
+    [net.*] wire points, {!Mmdb_net.Server} the [exec.*] points. *)
 
 exception Injected_crash of string
 (** Raised at a crash-armed fault point; carries the point name. *)
@@ -19,6 +29,7 @@ exception Injected_crash of string
 type action =
   | Crash  (** raise {!Injected_crash} at the site *)
   | Corrupt  (** site-specific deterministic corruption *)
+  | Delay of float  (** stall the site for this many seconds *)
 
 type t
 
@@ -28,8 +39,8 @@ val none : t
 
 val create : ?seed:int -> unit -> t
 
-val points : string list
-(** Registered fault-point names:
+val points : unit -> string list
+(** Every registered fault-point name.  The built-in txn-pipeline points:
     - ["commit.before-log"] — crash inside {!Txn.commit} before the
       intention records reach the stable log buffer (transaction lost);
     - ["commit.after-log"] — crash inside {!Txn.commit} after the log
@@ -42,7 +53,14 @@ val points : string list
     - ["image.bit-flip"] — flip a bit inside the partition image touched
       by an {!Disk_store.apply_change}, leaving its checksum stale;
     - ["checkpoint.partial"] — crash between partition-image writes of a
-      {!Disk_store.checkpoint}. *)
+      {!Disk_store.checkpoint}.
+
+    Other layers register more: see {!Mmdb_net.Protocol} for the
+    [net.*] wire points and {!Mmdb_net.Server} for [exec.*]. *)
+
+val register_points : string list -> unit
+(** Extend the process-wide registry (idempotent; duplicates ignored).
+    Call at module-initialization time, before any {!arm}. *)
 
 val arm : t -> point:string -> ?skip:int -> ?count:int -> action -> unit
 (** Arm [point].  The first [skip] hits are ignored (default 0); the fault
@@ -66,4 +84,5 @@ val fire : t -> point:string -> action option
 
 val hit : t -> point:string -> unit
 (** Report a hit at a crash-style site: raises {!Injected_crash} when the
-    point fires with {!Crash}; a {!Corrupt} arming is ignored. *)
+    point fires with {!Crash}, sleeps on {!Delay}; a {!Corrupt} arming is
+    ignored. *)

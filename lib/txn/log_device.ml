@@ -41,6 +41,9 @@ let absorb t buffer =
               (Log_record.corrupt_record ~rand:(Fault.rand t.fault) last
               :: before_rev))
     | Some Fault.Crash -> raise (Fault.Injected_crash "absorb.torn-tail")
+    | Some (Fault.Delay s) ->
+        Unix.sleepf s;
+        records
     | None -> records
   in
   t.retained_rev <- List.rev_append records t.retained_rev

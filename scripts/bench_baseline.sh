@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Refresh the checked-in performance baselines.  Runs the server and
+# micro experiments with JSONL output and rewrites BENCH_server.json /
+# BENCH_micro.json at the repo root, then asserts the overload
+# acceptance bound from the fresh JSONL: under 2x overload, shed
+# requests must exist (typed Overloaded replies) and the accepted p99
+# must stay within 3x the uncontended p99 (`overload_ok` emitted by the
+# bench).  The overload phase is retried a couple of times before
+# failing: p99-vs-p99 ratios on a loaded shared host carry scheduler
+# noise even after the bench's own median-of-3 smoothing.
+#
+#   dune build && scripts/bench_baseline.sh [--scale F]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${BENCH_SCALE:-1.0}"
+if [[ "${1:-}" == "--scale" && -n "${2:-}" ]]; then
+  SCALE="$2"
+fi
+
+BENCH=_build/default/bench/main.exe
+[[ -x "$BENCH" ]] || { echo "build first: dune build" >&2; exit 2; }
+
+check_overload() { # file -> 0 if the overload record passes
+  python3 - "$1" <<'PY'
+import json, sys
+ok = False
+for line in open(sys.argv[1]):
+    rec = json.loads(line)
+    if rec.get("experiment") == "server" and "overload_ok" in rec:
+        print(
+            "overload: accepted p99 %.3fms, uncontended p99 %.3fms, "
+            "ratio %.2f, shed %d, ok=%d"
+            % (
+                rec["p99_accepted_ms"],
+                rec["p99_uncontended_ms"],
+                rec["p99_ratio"],
+                rec["shed"],
+                rec["overload_ok"],
+            )
+        )
+        ok = bool(rec["overload_ok"]) and rec["shed"] > 0
+sys.exit(0 if ok else 1)
+PY
+}
+
+echo "== server experiment (scale $SCALE) =="
+for attempt in 1 2 3; do
+  rm -f BENCH_server.json
+  "$BENCH" --only server --scale "$SCALE" --out BENCH_server.json
+  if check_overload BENCH_server.json; then
+    break
+  elif [[ "$attempt" == 3 ]]; then
+    echo "FAIL: overload bound violated on $attempt consecutive runs" >&2
+    exit 1
+  else
+    echo "overload bound missed (attempt $attempt), retrying..." >&2
+  fi
+done
+
+echo "== micro experiment =="
+rm -f BENCH_micro.json
+"$BENCH" --only micro --scale "$SCALE" --out BENCH_micro.json
+
+echo "baselines refreshed: BENCH_server.json BENCH_micro.json"

@@ -79,7 +79,10 @@ let test_proto_response_roundtrip () =
       Protocol.Prepared { id = 7; n_params = 3 };
       Protocol.Error (Protocol.Parse, "bad syntax");
       Protocol.Error (Protocol.Conflict, "would block");
+      Protocol.Error (Protocol.Quota, "result of 10 rows exceeds the quota");
       Protocol.Busy "full";
+      Protocol.Overloaded { retry_after_ms = 12.5; msg = "queue at 9" };
+      Protocol.Overloaded { retry_after_ms = 0.0; msg = "" };
       Protocol.Pong;
       Protocol.Bye;
       Protocol.Notice "hello";
@@ -152,6 +155,105 @@ let test_frame_zero_and_midframe () =
       match Protocol.read_frame b with
       | Error (`Malformed _) -> ()
       | _ -> Alcotest.fail "mid-frame eof must be malformed")
+
+(* --- injected network faults at the framing layer ----------------------- *)
+
+module Fault = Mmdb_txn.Fault
+
+let test_net_fault_torn_write () =
+  let fault = Fault.create ~seed:42 () in
+  Fault.arm fault ~point:"net.write.torn" Fault.Corrupt;
+  with_socketpair (fun a b ->
+      (match
+         Protocol.write_frame ~fault a (Protocol.encode_request Protocol.Ping)
+       with
+      | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> ()
+      | () -> Alcotest.fail "a torn write must surface as a reset");
+      Alcotest.(check (list string))
+        "the point fired" [ "net.write.torn" ] (Fault.fired fault);
+      (* the peer never assembles a full frame out of the torn prefix *)
+      match Protocol.read_frame b with
+      | Error (`Malformed _) | Error `Eof -> ()
+      | Ok _ -> Alcotest.fail "a torn frame must not decode"
+      | Error (`Oversized _) -> Alcotest.fail "torn prefix read as oversized")
+
+let test_net_fault_write_reset () =
+  let fault = Fault.create ~seed:43 () in
+  Fault.arm fault ~point:"net.write.reset" Fault.Corrupt;
+  with_socketpair (fun a b ->
+      (match
+         Protocol.write_frame ~fault a (Protocol.encode_request Protocol.Ping)
+       with
+      | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> ()
+      | () -> Alcotest.fail "an injected reset must raise");
+      (* not a single byte escaped before the drop *)
+      match Protocol.read_frame b with
+      | Error `Eof -> ()
+      | _ -> Alcotest.fail "peer of a reset write must see clean EOF")
+
+let test_net_fault_read_reset_and_stall () =
+  let fault = Fault.create ~seed:44 () in
+  Fault.arm fault ~point:"net.read.reset" Fault.Corrupt;
+  with_socketpair (fun a b ->
+      Protocol.write_frame a (Protocol.encode_request Protocol.Ping);
+      (match Protocol.read_frame ~fault b with
+      | Error (`Malformed _) -> ()
+      | _ -> Alcotest.fail "an injected read reset must be malformed");
+      ignore (Fault.fired fault));
+  (* a read stall delays but does not damage the frame *)
+  let fault = Fault.create ~seed:45 () in
+  Fault.arm fault ~point:"net.read.stall" (Fault.Delay 0.05);
+  with_socketpair (fun a b ->
+      Protocol.write_frame a (Protocol.encode_request Protocol.Ping);
+      let t0 = Unix.gettimeofday () in
+      (match Protocol.read_frame ~fault b with
+      | Ok "p" -> ()
+      | _ -> Alcotest.fail "stalled read must still deliver the frame");
+      Alcotest.(check bool) "the stall actually delayed" true
+        (Unix.gettimeofday () -. t0 >= 0.045))
+
+let test_net_fault_slowloris_and_delay () =
+  let fault = Fault.create ~seed:46 () in
+  Fault.arm fault ~point:"net.write.slowloris" (Fault.Delay 0.002);
+  with_socketpair (fun a b ->
+      Protocol.write_frame ~fault a (Protocol.encode_request Protocol.Ping);
+      (match Protocol.read_frame b with
+      | Ok "p" -> ()
+      | _ -> Alcotest.fail "a dribbled frame must still assemble"));
+  let fault = Fault.create ~seed:47 () in
+  Fault.arm fault ~point:"net.write.delay" (Fault.Delay 0.05);
+  with_socketpair (fun a b ->
+      let t0 = Unix.gettimeofday () in
+      Protocol.write_frame ~fault a (Protocol.encode_request Protocol.Ping);
+      Alcotest.(check bool) "the write was delayed" true
+        (Unix.gettimeofday () -. t0 >= 0.045);
+      match Protocol.read_frame b with
+      | Ok "p" -> ()
+      | _ -> Alcotest.fail "a delayed frame must still arrive intact")
+
+let test_write_deadline () =
+  (* nobody reads the peer: a multi-megabyte frame must hit the deadline
+     instead of blocking forever once the kernel buffers fill *)
+  with_socketpair (fun a _b ->
+      let big =
+        Protocol.encode_response
+          (Protocol.Message (String.make (8 * 1024 * 1024) 'x'))
+      in
+      let t0 = Unix.gettimeofday () in
+      match
+        Protocol.write_frame ~deadline:(t0 +. 0.2) a big
+      with
+      | exception Protocol.Write_timeout ->
+          Alcotest.(check bool) "timed out around the deadline" true
+            (Unix.gettimeofday () -. t0 >= 0.15)
+      | () -> Alcotest.fail "an unread 8 MiB frame must hit the deadline");
+  (* with a draining peer the same deadline write completes *)
+  with_socketpair (fun a b ->
+      let frame = Protocol.encode_request (Protocol.Query "SELECT 1;") in
+      Protocol.write_frame ~deadline:(Unix.gettimeofday () +. 5.0) a frame;
+      match Protocol.read_frame b with
+      | Ok p -> Alcotest.(check string) "payload intact" "QSELECT 1;" p
+      | Error _ -> Alcotest.fail "deadline write with a reader must land")
 
 (* --- executor queue ----------------------------------------------------- *)
 
@@ -663,6 +765,291 @@ let test_e2e_observability () =
           | None -> Alcotest.fail "slow-log line without trace tree")
     lines
 
+(* --- client retry layer: classification and backoff --------------------- *)
+
+let test_retry_classification () =
+  let r = Client.retriable in
+  let chk name exp got = Alcotest.(check bool) name exp got in
+  (* always retriable, idempotent or not *)
+  chk "Busy" true (r ~idempotent:false (Ok (Protocol.Busy "full")));
+  chk "Overloaded" true
+    (r ~idempotent:false
+       (Ok (Protocol.Overloaded { retry_after_ms = 1.0; msg = "" })));
+  chk "Timeout" true
+    (r ~idempotent:false (Ok (Protocol.Error (Protocol.Timeout, "t"))));
+  (* retriable only for idempotent requests *)
+  chk "Conflict gated off" false
+    (r ~idempotent:false (Ok (Protocol.Error (Protocol.Conflict, "c"))));
+  chk "Conflict gated on" true
+    (r ~idempotent:true (Ok (Protocol.Error (Protocol.Conflict, "c"))));
+  chk "transport loss gated off" false (r ~idempotent:false (Error "reset"));
+  chk "transport loss gated on" true (r ~idempotent:true (Error "reset"));
+  chk "Shutdown gated off" false
+    (r ~idempotent:false (Ok (Protocol.Error (Protocol.Shutdown, "s"))));
+  chk "Shutdown gated on" true
+    (r ~idempotent:true (Ok (Protocol.Error (Protocol.Shutdown, "s"))));
+  (* terminal regardless of idempotency *)
+  chk "Parse" false (r ~idempotent:true (Ok (Protocol.Error (Protocol.Parse, "p"))));
+  chk "Exec" false (r ~idempotent:true (Ok (Protocol.Error (Protocol.Exec, "e"))));
+  chk "Proto" false (r ~idempotent:true (Ok (Protocol.Error (Protocol.Proto, "x"))));
+  chk "Quota" false (r ~idempotent:true (Ok (Protocol.Error (Protocol.Quota, "q"))));
+  chk "success" false (r ~idempotent:true (Ok (Protocol.Message "ok")));
+  chk "results" false
+    (r ~idempotent:true (Ok (Protocol.Results { columns = []; rows = [] })))
+
+let test_backoff_determinism () =
+  let schedule seed =
+    let p = Client.retry_policy ~base_delay:0.01 ~max_delay:1.0 ~seed () in
+    let prev = ref 0.01 in
+    List.init 32 (fun _ ->
+        let d = Client.next_delay p ~prev:!prev in
+        prev := d;
+        d)
+  in
+  let a = schedule 7 and b = schedule 7 and c = schedule 8 in
+  Alcotest.(check (list (float 0.0))) "same seed, same schedule" a b;
+  Alcotest.(check bool) "different seed, different schedule" true (a <> c);
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "delay within [base, cap]" true
+        (d >= 0.01 && d <= 1.0))
+    a;
+  (* the cap really caps: growth from a huge prev saturates *)
+  let p = Client.retry_policy ~base_delay:0.01 ~max_delay:0.25 ~seed:1 () in
+  Alcotest.(check bool) "capped" true (Client.next_delay p ~prev:100.0 <= 0.25)
+
+(* --- e2e: overload shedding, quotas, write deadline, chaos seams --------- *)
+
+(* Deterministic overload: one read stalls on its reader domain (armed
+   [exec.stall]), a write behind it turns the dispatcher into a barrier,
+   and everything submitted after piles up in the queue — so a fresh
+   read-only request must be shed with a typed [Overloaded] carrying a
+   retry-after hint, and a retrying client must eventually get through. *)
+let test_e2e_overload_shed () =
+  let fault = Fault.create ~seed:7 () in
+  let config = { test_config with Server.fault; shed_watermark = 1 } in
+  with_server ~config (fun srv ->
+      let setup = connect srv in
+      ignore (expect_ok setup "CREATE TABLE KV (K int PRIMARY KEY, V int);");
+      ignore (expect_ok setup "INSERT INTO KV VALUES (1, 10);");
+      let stalled = connect srv
+      and writer = connect srv
+      and queued_c = connect srv
+      and shed_c = connect srv in
+      (* warm every session (interpreter creation is an executor job)
+         before arming, so the stall hits the statement we choose *)
+      List.iter
+        (fun c -> ignore (expect_ok c "SELECT K FROM KV;"))
+        [ stalled; writer; queued_c; shed_c ];
+      Fault.arm fault ~point:"exec.stall" (Fault.Delay 1.5);
+      let t_stall =
+        Thread.create
+          (fun () -> ignore (expect_ok stalled "SELECT K FROM KV;"))
+          ()
+      in
+      Thread.delay 0.25;
+      let t_write =
+        Thread.create
+          (fun () ->
+            ignore (expect_ok writer "INSERT INTO KV VALUES (2, 20);"))
+          ()
+      in
+      Thread.delay 0.25;
+      let t_queued =
+        Thread.create
+          (fun () -> ignore (rows_of (expect_ok queued_c "SELECT K FROM KV;")))
+          ()
+      in
+      Thread.delay 0.25;
+      (* queue depth is now >= 1: this read must be dropped unexecuted *)
+      (match Client.query shed_c "SELECT K FROM KV;" with
+      | Ok (Protocol.Overloaded { retry_after_ms; msg }) ->
+          Alcotest.(check bool) "retry hint present" true
+            (retry_after_ms >= 25.0);
+          Alcotest.(check bool) "hint names the queue" true
+            (String.length msg > 0)
+      | Ok r ->
+          Alcotest.fail
+            (Fmt.str "expected Overloaded, got %a" Protocol.pp_response r)
+      | Error m -> Alcotest.fail ("transport error: " ^ m));
+      (* a retrying client backs off through the overload and succeeds *)
+      let slept = ref 0 in
+      let policy =
+        Client.retry_policy ~max_attempts:30 ~base_delay:0.15 ~max_delay:0.3
+          ~seed:7
+          ~sleep:(fun d ->
+            incr slept;
+            Thread.delay d)
+          ()
+      in
+      (match Client.query_retry shed_c ~policy "SELECT K FROM KV;" with
+      | Ok (Protocol.Results { rows; _ }) ->
+          Alcotest.(check bool) "retried through the overload" true
+            (List.length rows >= 1)
+      | Ok r ->
+          Alcotest.fail
+            (Fmt.str "retry ended with %a" Protocol.pp_response r)
+      | Error m -> Alcotest.fail ("retry failed: " ^ m));
+      Alcotest.(check bool) "the retry loop actually backed off" true
+        (!slept >= 1);
+      let rs = Client.retry_stats shed_c in
+      Alcotest.(check bool) "retries counted" true (rs.Client.retries >= 1);
+      Thread.join t_stall;
+      Thread.join t_write;
+      Thread.join t_queued;
+      let snap = Metrics.snapshot (Server.metrics srv) in
+      Alcotest.(check bool) "shed requests counted" true
+        (snap.Metrics.s_shed >= 2);
+      (* writes are never shed: the barrier write went through *)
+      let rows = rows_of (expect_ok setup "SELECT K, V FROM KV;") in
+      Alcotest.(check int) "write survived the overload" 2 (List.length rows);
+      List.iter
+        (fun c -> ignore (Client.quit c))
+        [ stalled; writer; queued_c; shed_c; setup ])
+
+let test_e2e_quota_result_rows () =
+  with_server
+    ~config:{ test_config with Server.max_result_rows = 5 }
+    (fun srv ->
+      let c = connect srv in
+      ignore (expect_ok c "CREATE TABLE KV (K int PRIMARY KEY, V int);");
+      for i = 1 to 10 do
+        ignore (expect_ok c (Printf.sprintf "INSERT INTO KV VALUES (%d, %d);" i i))
+      done;
+      (match Client.query c "SELECT K, V FROM KV;" with
+      | Ok (Protocol.Error (Protocol.Quota, msg)) ->
+          Alcotest.(check bool) "message names the quota" true
+            (String.length msg > 0)
+      | Ok r ->
+          Alcotest.fail
+            (Fmt.str "expected a Quota error, got %a" Protocol.pp_response r)
+      | Error m -> Alcotest.fail ("transport error: " ^ m));
+      (* the session survives, and under-quota queries still work *)
+      let rows = rows_of (expect_ok c "SELECT K FROM KV WHERE K = 4;") in
+      Alcotest.(check int) "under-quota query fine" 1 (List.length rows);
+      let snap = Metrics.snapshot (Server.metrics srv) in
+      Alcotest.(check bool) "quota kills counted" true
+        (snap.Metrics.s_quota >= 1);
+      ignore (Client.quit c))
+
+let test_e2e_quota_tuple_budget () =
+  with_server
+    ~config:{ test_config with Server.tuple_budget = 4 }
+    (fun srv ->
+      let c = connect srv in
+      ignore (expect_ok c "CREATE TABLE KV (K int PRIMARY KEY, V int);");
+      for i = 1 to 10 do
+        ignore (expect_ok c (Printf.sprintf "INSERT INTO KV VALUES (%d, %d);" i i))
+      done;
+      (* the scan materializes >4 intermediate tuples: killed mid-flight *)
+      (match Client.query c "SELECT K FROM KV WHERE V > 0;" with
+      | Ok (Protocol.Error (Protocol.Quota, msg)) ->
+          Alcotest.(check bool) "message mentions the budget" true
+            (String.length msg > 0)
+      | Ok r ->
+          Alcotest.fail
+            (Fmt.str "expected a Quota error, got %a" Protocol.pp_response r)
+      | Error m -> Alcotest.fail ("transport error: " ^ m));
+      (* a query under the budget still works on the same session *)
+      let rows = rows_of (expect_ok c "SELECT K FROM KV WHERE K = 3;") in
+      Alcotest.(check int) "small query fine" 1 (List.length rows);
+      ignore (Client.quit c))
+
+let test_e2e_write_deadline_cuts_slow_reader () =
+  let config =
+    { test_config with Server.write_timeout = 0.3; sndbuf = 4096 }
+  in
+  with_server ~config (fun srv ->
+      let setup = connect srv in
+      ignore (expect_ok setup "CREATE TABLE BIG (K int PRIMARY KEY, V string);");
+      let payload = String.make 256 'x' in
+      (* ~1500 rows * ~270 B comfortably overflows both socket buffers *)
+      for batch = 0 to 29 do
+        let b = Buffer.create 4096 in
+        for i = 0 to 49 do
+          Buffer.add_string b
+            (Printf.sprintf "INSERT INTO BIG VALUES (%d, '%s');"
+               ((batch * 50) + i) payload)
+        done;
+        ignore (expect_ok setup (Buffer.contents b))
+      done;
+      (* a raw client with a tiny receive window that never reads *)
+      let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt_int sock Unix.SO_RCVBUF 4096;
+      Unix.connect sock
+        (Unix.ADDR_INET (Unix.inet_addr_loopback, Server.port srv));
+      (match Protocol.read_frame sock with
+      | Ok _ -> ()
+      | Error _ -> Alcotest.fail "no greeting");
+      let req = Protocol.encode_request (Protocol.Query "SELECT K, V FROM BIG;") in
+      ignore (Unix.write_substring sock req 0 (String.length req));
+      (* ... so the response write must hit the deadline and cut the
+         session instead of pinning the handler forever *)
+      Alcotest.(check bool) "write timeout fired" true
+        (wait_until ~timeout:10.0 (fun () ->
+             let snap = Metrics.snapshot (Server.metrics srv) in
+             snap.Metrics.s_write_timeouts >= 1));
+      Alcotest.(check bool) "victim session torn down" true
+        (wait_until (fun () -> Server.active_sessions srv <= 1));
+      (* the healthy session felt nothing *)
+      let rows = rows_of (expect_ok setup "SELECT K FROM BIG WHERE K = 7;") in
+      Alcotest.(check int) "healthy session fine" 1 (List.length rows);
+      Unix.close sock;
+      ignore (Client.quit setup))
+
+let test_e2e_reaper_spares_inflight () =
+  let fault = Fault.create ~seed:11 () in
+  let config = { test_config with Server.idle_timeout = 0.15; fault } in
+  with_server ~config (fun srv ->
+      let c = connect srv in
+      ignore (expect_ok c "CREATE TABLE KV (K int PRIMARY KEY, V int);");
+      ignore (expect_ok c "INSERT INTO KV VALUES (1, 10);");
+      (* in flight for several idle periods: the reaper must not cut it *)
+      Fault.arm fault ~point:"exec.stall" (Fault.Delay 0.6);
+      let rows = rows_of (expect_ok c "SELECT K FROM KV;") in
+      Alcotest.(check int) "stalled query still answered" 1 (List.length rows);
+      (match Client.ping c with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail ("session was reaped mid-request: " ^ m));
+      (* once truly idle, the reaper takes it as usual *)
+      Alcotest.(check bool) "idle session reaped afterwards" true
+        (wait_until (fun () -> Server.active_sessions srv = 0));
+      Client.close c)
+
+let test_e2e_busy_connect_retry () =
+  with_server
+    ~config:{ test_config with Server.max_connections = 1 }
+    (fun srv ->
+      let first = connect srv in
+      let slept = ref 0 in
+      let policy =
+        Client.retry_policy ~max_attempts:60 ~base_delay:0.05 ~max_delay:0.05
+          ~seed:3
+          ~sleep:(fun d ->
+            incr slept;
+            Thread.delay d)
+          ()
+      in
+      let freer =
+        Thread.create
+          (fun () ->
+            Thread.delay 0.3;
+            ignore (Client.quit first))
+          ()
+      in
+      (match
+         Client.connect_retry ~policy ~host:"127.0.0.1"
+           ~port:(Server.port srv) ()
+       with
+      | Ok c ->
+          Alcotest.(check bool) "had to wait for the slot" true (!slept >= 1);
+          (match Client.ping c with
+          | Ok () -> ()
+          | Error m -> Alcotest.fail m);
+          ignore (Client.quit c)
+      | Error m -> Alcotest.fail ("connect_retry never got in: " ^ m));
+      Thread.join freer)
+
 let () =
   Alcotest.run "server"
     [
@@ -682,6 +1069,22 @@ let () =
           Alcotest.test_case "oversized" `Quick test_frame_oversized;
           Alcotest.test_case "zero length and mid-frame eof" `Quick
             test_frame_zero_and_midframe;
+        ] );
+      ( "net-faults",
+        [
+          Alcotest.test_case "torn write" `Quick test_net_fault_torn_write;
+          Alcotest.test_case "write reset" `Quick test_net_fault_write_reset;
+          Alcotest.test_case "read reset and stall" `Quick
+            test_net_fault_read_reset_and_stall;
+          Alcotest.test_case "slowloris and delayed write" `Quick
+            test_net_fault_slowloris_and_delay;
+          Alcotest.test_case "write deadline" `Quick test_write_deadline;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "classification" `Quick test_retry_classification;
+          Alcotest.test_case "deterministic backoff" `Quick
+            test_backoff_determinism;
         ] );
       ( "exec-queue",
         [
@@ -703,5 +1106,17 @@ let () =
           Alcotest.test_case "idle reaping" `Quick test_e2e_idle_reap;
           Alcotest.test_case "observability: analyze, stats, slow log" `Quick
             test_e2e_observability;
+          Alcotest.test_case "overload shedding and retry-through" `Quick
+            test_e2e_overload_shed;
+          Alcotest.test_case "result-row quota" `Quick
+            test_e2e_quota_result_rows;
+          Alcotest.test_case "intermediate-tuple budget" `Quick
+            test_e2e_quota_tuple_budget;
+          Alcotest.test_case "write deadline cuts a stalled reader" `Quick
+            test_e2e_write_deadline_cuts_slow_reader;
+          Alcotest.test_case "reaper spares an in-flight request" `Quick
+            test_e2e_reaper_spares_inflight;
+          Alcotest.test_case "admission busy with connect_retry" `Quick
+            test_e2e_busy_connect_retry;
         ] );
     ]

@@ -315,30 +315,6 @@ let test_lru_basic () =
     (Invalid_argument "Lru.create: capacity <= 0") (fun () ->
       ignore (Lru.create ~capacity:0 : (string, int) Lru.t))
 
-(* --- Reservoir (concurrent) ---------------------------------------------- *)
-
-let test_reservoir_hammer () =
-  let r = Reservoir.create ~capacity:512 in
-  let per_domain = 20_000 and n_domains = 4 in
-  let worker d () =
-    for i = 1 to per_domain do
-      Reservoir.add r (float_of_int ((d * per_domain) + i));
-      if i mod 1000 = 0 then ignore (Reservoir.percentile r 99.0)
-    done
-  in
-  let domains = List.init n_domains (fun d -> Domain.spawn (worker d)) in
-  List.iter Domain.join domains;
-  Alcotest.(check int) "every add counted" (per_domain * n_domains)
-    (Reservoir.total r);
-  Alcotest.(check int) "window full" 512 (Reservoir.count r);
-  Alcotest.(check int) "window copy intact" 512
-    (Array.length (Reservoir.samples r));
-  match Reservoir.percentile r 50.0 with
-  | None -> Alcotest.fail "median of a full window"
-  | Some p ->
-      Alcotest.(check bool) "median within inserted range" true
-        (p >= 1.0 && p <= float_of_int (per_domain * n_domains))
-
 (* --- Counters across domains --------------------------------------------- *)
 
 let test_counters_cross_domain_merge () =
@@ -500,6 +476,32 @@ let test_histogram_merge () =
   Alcotest.(check int) "extremes counted" 2 (Histogram.count x);
   Alcotest.(check (option (float 1.0))) "overflow max exact" (Some 1e6)
     (Histogram.percentile x 100.0)
+
+(* Histogram is not synchronized by contract — its concurrent users
+   (Metrics) serialize under their own mutex.  Hammer it the same way:
+   many domains adding and reading under one mutex must never lose a
+   sample. *)
+let test_histogram_mutex_hammer () =
+  let h = Histogram.create () in
+  let m = Mutex.create () in
+  let per_domain = 20_000 and n_domains = 4 in
+  let worker d () =
+    for i = 1 to per_domain do
+      Mutex.lock m;
+      Histogram.add h (float_of_int ((d * per_domain) + i) /. 1000.0);
+      if i mod 1000 = 0 then ignore (Histogram.percentile h 99.0);
+      Mutex.unlock m
+    done
+  in
+  let domains = List.init n_domains (fun d -> Domain.spawn (worker d)) in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "every add counted" (per_domain * n_domains)
+    (Histogram.count h);
+  match Histogram.percentile h 50.0 with
+  | None -> Alcotest.fail "median of a non-empty histogram"
+  | Some p ->
+      Alcotest.(check bool) "median within inserted range" true
+        (p >= 0.001 && p <= float_of_int (per_domain * n_domains) /. 1000.0)
 
 (* --- Trace ----------------------------------------------------------------- *)
 
@@ -683,10 +685,6 @@ let () =
           Alcotest.test_case "chunks cover the range" `Quick test_pool_chunks;
         ] );
       ("lru", [ Alcotest.test_case "basics and eviction" `Quick test_lru_basic ]);
-      ( "reservoir",
-        [
-          Alcotest.test_case "concurrent hammer" `Quick test_reservoir_hammer;
-        ] );
       ( "counters_domains",
         [
           Alcotest.test_case "cross-domain merge" `Quick
@@ -711,6 +709,8 @@ let () =
         [
           Alcotest.test_case "percentiles" `Quick test_histogram_percentiles;
           Alcotest.test_case "merge" `Quick test_histogram_merge;
+          Alcotest.test_case "concurrent hammer (mutexed)" `Quick
+            test_histogram_mutex_hammer;
         ] );
       ( "trace",
         [
