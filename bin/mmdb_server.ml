@@ -26,6 +26,9 @@ let usage () =
   --max-rows N           per-query result-row quota, 0=off (default 0)
   --tuple-budget N       per-query intermediate-tuple quota, 0=off
                          (default 0)
+  --mvcc / --no-mvcc     snapshot-isolation reads: read-only statements
+                         run under an MVCC snapshot concurrently with the
+                         writer (default on, MMDB_MVCC=0 flips the default)
   --trace                trace every statement into the operator table
   --slow-log FILE        append a JSONL line per slow query (implies tracing)
   --slow-ms N            slow-query threshold in ms  (default 100,
@@ -90,6 +93,12 @@ let () =
         parse_args rest
     | "--tuple-budget" :: v :: rest ->
         cfg := { !cfg with Server.tuple_budget = int_of_string v };
+        parse_args rest
+    | "--mvcc" :: rest ->
+        cfg := { !cfg with Server.mvcc = true };
+        parse_args rest
+    | "--no-mvcc" :: rest ->
+        cfg := { !cfg with Server.mvcc = false };
         parse_args rest
     | "--trace" :: rest ->
         cfg := { !cfg with Server.trace = true };

@@ -8,20 +8,25 @@
 
 open Mmdb_storage
 
-type t = { rels : (string, Relation.t) Hashtbl.t }
+(* The latch makes catalog lookups safe against a concurrent DDL writer:
+   MVCC readers run off the dispatcher domain, and OCaml's Hashtbl is not
+   safe under concurrent mutation.  Relation contents need no such guard —
+   snapshot reads go through version chains. *)
+type t = { rels : (string, Relation.t) Hashtbl.t; latch : Mutex.t }
 
-let create () = { rels = Hashtbl.create 8 }
+let create () = { rels = Hashtbl.create 8; latch = Mutex.create () }
 
 let add t rel =
   let n = Relation.name rel in
-  if Hashtbl.mem t.rels n then
-    Error (Printf.sprintf "relation %s already exists" n)
-  else begin
-    Hashtbl.replace t.rels n rel;
-    Ok ()
-  end
+  Mutex.protect t.latch (fun () ->
+      if Hashtbl.mem t.rels n then
+        Error (Printf.sprintf "relation %s already exists" n)
+      else begin
+        Hashtbl.replace t.rels n rel;
+        Ok ()
+      end)
 
-let find t name = Hashtbl.find_opt t.rels name
+let find t name = Mutex.protect t.latch (fun () -> Hashtbl.find_opt t.rels name)
 
 let find_exn t name =
   match find t name with
@@ -29,7 +34,8 @@ let find_exn t name =
   | None -> invalid_arg (Printf.sprintf "Db: unknown relation %s" name)
 
 let relations t =
-  Hashtbl.fold (fun _ r acc -> r :: acc) t.rels []
+  Mutex.protect t.latch (fun () ->
+      Hashtbl.fold (fun _ r acc -> r :: acc) t.rels [])
   |> List.sort (fun a b -> String.compare (Relation.name a) (Relation.name b))
 
 let relation_names t = List.map Relation.name (relations t)

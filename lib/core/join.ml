@@ -449,6 +449,22 @@ let pointer_join ~outer ~ref_col ~selected =
 
 let run ?pool ?outer_filter method_ ~outer ~inner =
   Trace.with_span "join" @@ fun () ->
+  (* Under an MVCC snapshot the tree methods are out: they walk raw index
+     handles the writer mutates concurrently.  The sequential hash/merge
+     variants read tuples only through the diverted [Relation.iter] /
+     [Tuple.get], so they see the snapshot; the parallel variants run on
+     worker domains whose DLS has no snapshot, so the pool is dropped
+     (same reasoning as [Select.use_parallel_scan]). *)
+  let snapshot = Version_store.current_snapshot () <> None in
+  let method_ =
+    if not snapshot then method_
+    else
+      match method_ with
+      | Tree_join -> Hash_join
+      | Tree_merge -> Sort_merge
+      | m -> m
+  in
+  let pool = if snapshot then None else pool in
   if Trace.active () then begin
     Trace.add_attr "method" (method_name method_);
     Trace.add_attr "outer" (Relation.name outer.rel);

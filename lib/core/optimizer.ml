@@ -87,10 +87,15 @@ module Cost = struct
     | Join.Sort_merge -> sort_merge ~outer ~inner
 end
 
-(* Methods whose index prerequisites are met right now. *)
+(* Methods whose index prerequisites are met right now.  Under an MVCC
+   snapshot the tree methods are infeasible — they would walk raw index
+   handles the writer mutates concurrently ([Join.run] would remap them
+   anyway; excluding them here keeps EXPLAIN honest about the plan that
+   actually executes). *)
 let feasible_methods ~outer ~inner =
-  let outer_tree = Join.find_tree_index outer <> None in
-  let inner_tree = Join.find_tree_index inner <> None in
+  let snapshot = Version_store.current_snapshot () <> None in
+  let outer_tree = (not snapshot) && Join.find_tree_index outer <> None in
+  let inner_tree = (not snapshot) && Join.find_tree_index inner <> None in
   List.filter
     (fun m ->
       match m with

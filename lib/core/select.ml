@@ -101,6 +101,9 @@ let use_parallel_scan pool rel =
       if
         Domain_pool.size pool > 1
         && (not (Domain_pool.in_worker ()))
+        (* a snapshot read must not walk raw partitions: it needs the
+           visibility-filtered view scan Relation.iter diverts to *)
+        && Version_store.current_snapshot () = None
         && Relation.count rel >= parallel_scan_threshold
         && List.length (Relation.partitions rel) > 1
       then Some pool

@@ -470,7 +470,7 @@ let explain_analyze db q agg =
       Ok (Table (analyze_table tr ~total ~total_s))
   | exception Invalid_argument msg -> Error msg
 
-let exec sess stmt =
+let exec_unscoped sess stmt =
   let db = sess.db in
   if Ast.param_count stmt > 0 then
     Error
@@ -627,6 +627,15 @@ let exec sess stmt =
               (Relation.index_defs rel)
           in
           Ok (Message (String.concat "\n" (schema_line :: idx_lines))))
+
+(* Non-read-only statements run as one deferred MVCC write scope: every
+   version their mutations push publishes atomically (with one commit
+   timestamp) at statement end, so a concurrent snapshot reader never
+   observes a statement's intermediate states.  Read-only statements skip
+   the scope — they may even run under a snapshot. *)
+let exec sess stmt =
+  if Ast.is_read_only stmt then exec_unscoped sess stmt
+  else Version_store.with_write (fun () -> exec_unscoped sess stmt)
 
 (* Parse and run a whole script; stops at the first error. *)
 let exec_string sess input =

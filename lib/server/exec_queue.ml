@@ -51,7 +51,9 @@ type t = {
   jobs : (kind * (unit -> unit)) Queue.t;
   pool : Domain_pool.t;  (* reader domains *)
   n_readers : int;
+  mvcc : bool;  (* Read jobs bypass the FIFO: see [submit] *)
   mutable active_readers : int;
+  mutable bypass_readers : int;  (* MVCC reads in flight or pool-queued *)
   mutable stopped : bool;
   mutable runner : unit Domain.t option;
 }
@@ -61,10 +63,11 @@ let readers t = t.n_readers
 (* Queued-but-undispatched jobs — the overload signal the server's shed
    watermark compares against.  In-flight jobs are not counted: depth
    measures waiting work, which is what grows without bound when arrival
-   outpaces service. *)
+   outpaces service.  MVCC bypass reads waiting for a free reader domain
+   (those beyond the pool's width) are exactly such waiting work. *)
 let depth t =
   Mutex.lock t.m;
-  let d = Queue.length t.jobs in
+  let d = Queue.length t.jobs + max 0 (t.bypass_readers - t.n_readers) in
   Mutex.unlock t.m;
   d
 
@@ -81,7 +84,7 @@ let run_loop t =
     done;
     if Queue.is_empty t.jobs then begin
       (* stopped and drained: let in-flight readers finish first *)
-      while t.active_readers > 0 do
+      while t.active_readers > 0 || t.bypass_readers > 0 do
         Condition.wait t.rc t.m
       done;
       Mutex.unlock t.m
@@ -113,7 +116,7 @@ let run_loop t =
   in
   loop ()
 
-let create ?readers () =
+let create ?readers ?(mvcc = false) () =
   let n_readers =
     match readers with
     | Some n -> max 1 n
@@ -127,7 +130,9 @@ let create ?readers () =
       jobs = Queue.create ();
       pool = Domain_pool.create ~size:n_readers ();
       n_readers;
+      mvcc;
       active_readers = 0;
+      bypass_readers = 0;
       stopped = false;
       runner = None;
     }
@@ -182,6 +187,26 @@ let submit t ?notify ?(kind = Write) f =
     Mutex.lock p.pm;
     p.result <- Some (Raised (Failure "executor stopped"));
     Mutex.unlock p.pm
+  end
+  else if t.mvcc && kind = Read then begin
+    (* MVCC: the read runs under its own snapshot, so it needs neither
+       the FIFO's ordering against writes nor the Write barrier — hand
+       it straight to the reader pool.  The dispatcher would otherwise
+       be the stall: Write jobs run ON its domain, so a long writer
+       would leave queued reads waiting exactly as locks would.
+       [bypass_readers] keeps stop/teardown honest: the dispatcher
+       drains it (via [rc]) before the pool is joined. *)
+    t.bypass_readers <- t.bypass_readers + 1;
+    Mutex.unlock t.m;
+    ignore
+      (Domain_pool.submit t.pool (fun () ->
+           Fun.protect
+             ~finally:(fun () ->
+               Mutex.lock t.m;
+               t.bypass_readers <- t.bypass_readers - 1;
+               Condition.broadcast t.rc;
+               Mutex.unlock t.m)
+             job))
   end
   else begin
     Queue.push (kind, job) t.jobs;

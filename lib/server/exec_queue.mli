@@ -26,11 +26,17 @@ type 'a promise
 
 type t
 
-val create : ?readers:int -> unit -> t
+val create : ?readers:int -> ?mvcc:bool -> unit -> t
 (** Spawn the dispatcher domain and a pool of [readers] reader domains
     (default {!Mmdb_util.Domain_pool.default_size}; [1] reproduces the
     serial single-executor model exactly — reads run inline on the
-    dispatcher). *)
+    dispatcher).
+
+    With [~mvcc:true], [Read] jobs skip the FIFO and the Write barrier
+    entirely: they go straight to the reader pool and run concurrently
+    with the writer.  Only safe when every Read job resolves its data
+    through an MVCC snapshot ({!Mmdb_txn.Mvcc.with_snapshot}) — the
+    server enables it when versioning is on. *)
 
 val readers : t -> int
 (** Configured reader parallelism. *)

@@ -237,6 +237,14 @@ let render t ~active ~readers ~domains =
         readers s.s_ro_jobs s.s_cache_hits s.s_cache_misses;
       Printf.sprintf "latency:     samples=%d p50=%s p99=%s max=%s" s.s_lat_n
         (pct s.s_p50_ms) (pct s.s_p99_ms) (pct s.s_max_ms);
+      (let v = Mmdb_storage.Version_store.stats () in
+       Printf.sprintf
+         "mvcc:        enabled=%b commit_ts=%d snapshots=%d live=%d \
+          oldest_age=%d gc_runs=%d created=%d reclaimed=%d swept=%d \
+          max_chain=%d"
+         v.st_enabled v.st_commit_ts v.st_snapshots_taken v.st_live_snapshots
+         v.st_oldest_snapshot_age v.st_gc_runs v.st_versions_created
+         v.st_versions_reclaimed v.st_tuples_swept v.st_max_chain);
     ]
   in
   let kinds =
@@ -316,6 +324,21 @@ let stats_json t ~active ~readers ~domains =
              (Option.map (fun v -> v /. 1000.0) s.s_p50_ms)
              (Option.map (fun v -> v /. 1000.0) s.s_p99_ms)
              (Option.map (fun v -> v /. 1000.0) s.s_max_ms) );
+         ( "mvcc",
+           let v = Mmdb_storage.Version_store.stats () in
+           Json.Obj
+             [
+               ("enabled", Json.Bool v.st_enabled);
+               ("commit_ts", Json.Int v.st_commit_ts);
+               ("snapshots_taken", Json.Int v.st_snapshots_taken);
+               ("live_snapshots", Json.Int v.st_live_snapshots);
+               ("oldest_snapshot_age", Json.Int v.st_oldest_snapshot_age);
+               ("gc_runs", Json.Int v.st_gc_runs);
+               ("versions_created", Json.Int v.st_versions_created);
+               ("versions_reclaimed", Json.Int v.st_versions_reclaimed);
+               ("tuples_swept", Json.Int v.st_tuples_swept);
+               ("max_chain", Json.Int v.st_max_chain);
+             ] );
          ( "by_kind",
            Json.Obj
              (List.map

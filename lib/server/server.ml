@@ -51,6 +51,10 @@ type config = {
   shed_watermark : int;  (* shed reads at this queue depth; <= 0 off *)
   max_result_rows : int;  (* per-query result-row quota; <= 0 off *)
   tuple_budget : int;  (* per-query intermediate-tuple quota; <= 0 off *)
+  mvcc : bool;
+      (* snapshot-isolation reads: read-only statements run under an MVCC
+         snapshot on the reader pool, concurrently with the writer.  Off
+         reproduces the paper's lock-only blocking behavior. *)
 }
 
 let default_config =
@@ -71,6 +75,7 @@ let default_config =
     shed_watermark = 0;
     max_result_rows = 0;
     tuple_budget = 0;
+    mvcc = Version_store.enabled () (* the MMDB_MVCC knob; default on *);
   }
 
 module Fault = Mmdb_txn.Fault
@@ -96,6 +101,7 @@ type t = {
   stop_w : Unix.file_descr;
   slow_m : Mutex.t;  (* serializes slow-log lines across handlers *)
   slow_out : out_channel option;  (* open slow-log sink, if configured *)
+  gc_tick : int Atomic.t;  (* Write statements since the last MVCC GC *)
   m : Mutex.t;  (* guards sessions / handlers / next_sid / state *)
   sessions : (int, session) Hashtbl.t;
   mutable handlers : Thread.t list;
@@ -274,6 +280,10 @@ let run_on_executor t (s : session) ?(kind = Exec_queue.Write) job :
         (Protocol.Exec, "internal error: " ^ Printexc.to_string exn)
   | `Timeout ->
       Exec_queue.abandon p;
+      (* The job may still be running (MVCC reads are not even behind
+         the cleanup Write barrier): teardown waits out [orphans] before
+         closing the wake pipe the job would poke. *)
+      s.Session.orphans <- p :: s.Session.orphans;
       Metrics.timeout t.metrics;
       Protocol.Error
         ( Protocol.Timeout,
@@ -310,6 +320,10 @@ let slow_log_line t (s : session) ~sql ~elapsed ~resp root =
                ( "threshold_ms",
                  Mmdb_util.Json.Float (t.cfg.slow_threshold *. 1000.0) );
                ("status", Mmdb_util.Json.Str status);
+               ( "snapshot",
+                 (* MVCC snapshot ts the statement read under; -1 = none
+                    (a write, or versioning off) *)
+                 Mmdb_util.Json.Int s.Session.last_snap );
                ("sql", Mmdb_util.Json.Str sql);
                ("trace", Mmdb_util.Trace.to_json root);
              ])
@@ -390,6 +404,33 @@ let run_statements t (s : session) ~sql stmts : Protocol.response =
   | Some resp -> resp
   | None ->
   let job = guard_quotas t (exec_stmts_job interp stmts) in
+  let job =
+    if not t.cfg.mvcc then job
+    else
+      match kind with
+      | Exec_queue.Read ->
+          (* Acquire the snapshot inside the job — on the reader domain
+             whose DLS the storage layer consults — and surface what it
+             saw as trace attributes. *)
+          fun () ->
+            Mmdb_txn.Mvcc.with_snapshot (fun snap ->
+                s.Session.last_snap <- snap;
+                let resp = job () in
+                if snap >= 0 then begin
+                  Mmdb_util.Trace.add_attr "snapshot" (string_of_int snap);
+                  Mmdb_util.Trace.add_attr "versions"
+                    (string_of_int (Mmdb_txn.Mvcc.versions_walked ()))
+                end;
+                resp)
+      | Exec_queue.Write ->
+          (* Epoch GC rides the dispatcher domain (the only place writes
+             are serialized), amortized across write statements. *)
+          fun () ->
+            let resp = job () in
+            if Atomic.fetch_and_add t.gc_tick 1 mod 64 = 63 then
+              ignore (Mmdb_txn.Mvcc.gc (Db.relations t.db));
+            resp
+  in
   if not (tracing_on t) then run_on_executor t s ~kind job
   else begin
     let tr = Mmdb_util.Trace.create () in
@@ -497,6 +538,11 @@ let cleanup t (s : session) =
       in
       ignore (Exec_queue.wait p)
   | None -> ());
+  (* Abandoned MVCC reads bypassed the FIFO, so the rollback above was
+     not a barrier for them: wait them out before the fds they poke are
+     recycled. *)
+  List.iter (fun p -> ignore (Exec_queue.wait p)) s.Session.orphans;
+  s.Session.orphans <- [];
   (match s.Session.kick with
   | Session.Idle_kick ->
       try_send t s (Protocol.Notice "idle timeout, closing session");
@@ -651,6 +697,12 @@ let start ?(config = default_config) ?mgr db =
   let mgr =
     match mgr with Some m -> m | None -> Mmdb_txn.Txn.create_manager ()
   in
+  (* The config knob is authoritative for this process: it seeds the
+     storage-layer flag (hooks consult it on every mutation) and the
+     executor's Read-bypass mode together.  Views may need rebuilding if
+     the database was populated while versioning was off. *)
+  Version_store.set_enabled config.mvcc;
+  if config.mvcc then List.iter Relation.ensure_view (Db.relations db);
   let listen_fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
   let addr = Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port) in
@@ -676,7 +728,7 @@ let start ?(config = default_config) ?mgr db =
       cfg = config;
       db;
       mgr;
-      exec = Exec_queue.create ();
+      exec = Exec_queue.create ~mvcc:config.mvcc ();
       metrics = Metrics.create ();
       cache_m = Mutex.create ();
       cache =
@@ -689,6 +741,7 @@ let start ?(config = default_config) ?mgr db =
       stop_w;
       slow_m = Mutex.create ();
       slow_out;
+      gc_tick = Atomic.make 0;
       m = Mutex.create ();
       sessions = Hashtbl.create 32;
       handlers = [];

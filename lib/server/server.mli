@@ -45,6 +45,13 @@ type config = {
       (** per-query intermediate-tuple quota, charged by
           {!Mmdb_storage.Temp_list} appends inside the executor job;
           [<= 0] disables *)
+  mvcc : bool;
+      (** snapshot-isolation reads: read-only statements run under an
+          MVCC snapshot on the reader pool, concurrently with the
+          writer, instead of barriering behind it.  [start] seeds
+          {!Mmdb_storage.Version_store.set_enabled} from this, so the
+          flag is authoritative for the whole process.  Off reproduces
+          the paper's §2.4 lock-only blocking behavior. *)
 }
 
 val default_config : config
@@ -52,7 +59,8 @@ val default_config : config
     timeout, {!Protocol.max_frame_default} frames, 256 cached
     statements, tracing off, no slow log, 0.1 s slow threshold, no
     fault injection, 30 s write timeout, OS socket buffers, shedding
-    and quotas off. *)
+    and quotas off, MVCC per the [MMDB_MVCC] environment knob
+    (default on). *)
 
 type t
 

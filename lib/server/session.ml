@@ -26,10 +26,18 @@ type 'a t = {
   prepared : (int, Ast.stmt * int) Hashtbl.t;  (* id -> stmt, n_params *)
   mutable next_prepared : int;
   mutable pending : 'a Exec_queue.promise option;
+  mutable orphans : 'a Exec_queue.promise list;
+      (* timed-out (abandoned) jobs that may still be running.  MVCC
+         Read jobs bypass the executor FIFO, so the cleanup Write is no
+         longer a barrier for them: teardown must wait these out
+         explicitly before closing the wake pipe they would poke. *)
   mutable kick : kick;
   mutable last_kind : string;
       (* statement kind of the request being handled; read by the
          handler right after [handle_request] to bucket the latency *)
+  mutable last_snap : int;
+      (* MVCC snapshot timestamp of the latest Read statement, -1 when
+         none; surfaced in the slow-query log *)
 }
 
 let create ~sid ~fd =
@@ -44,8 +52,10 @@ let create ~sid ~fd =
     prepared = Hashtbl.create 8;
     next_prepared = 1;
     pending = None;
+    orphans = [];
     kick = Not_kicked;
     last_kind = "other";
+    last_snap = -1;
   }
 
 let touch t = t.last_activity <- Unix.gettimeofday ()

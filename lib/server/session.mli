@@ -26,10 +26,17 @@ type 'a t = {
   prepared : (int, Ast.stmt * int) Hashtbl.t;  (** id -> stmt, n_params *)
   mutable next_prepared : int;
   mutable pending : 'a Exec_queue.promise option;
+  mutable orphans : 'a Exec_queue.promise list;
+      (** timed-out jobs that may still be running; teardown waits these
+          out before {!close_fds} (MVCC Read jobs bypass the executor
+          FIFO, so the cleanup Write is not a barrier for them) *)
   mutable kick : kick;
   mutable last_kind : string;
       (** statement kind of the request being handled; read by the
           handler right after dispatch to bucket the request latency *)
+  mutable last_snap : int;
+      (** MVCC snapshot timestamp of the latest Read statement, -1 when
+          none; surfaced in the slow-query log *)
 }
 
 val create : sid:int -> fd:Unix.file_descr -> 'a t

@@ -61,14 +61,15 @@ type t = {
   mutable next_pid : int;
   mutable indices : index_instance list;  (** primary index first *)
   mutable count : int;
+  view : Version_store.view;  (** MVCC membership view for snapshot scans *)
 }
 
 let schema t = t.schema
 let name t = t.schema.Schema.name
 let slot_capacity t = t.slot_capacity
 let heap_capacity t = t.heap_capacity
-let count t = t.count
 let partitions t = List.rev t.partitions
+let view t = t.view
 
 let def_of (module Inst : INSTANCE) = Inst.def
 
@@ -116,6 +117,7 @@ let create ?(slot_capacity = Partition.default_slot_capacity)
     next_pid = 0;
     indices = [ make_instance ~expected primary ];
     count = 0;
+    view = Version_store.make_view ();
   }
 
 let primary t =
@@ -211,6 +213,49 @@ let probe_for t (def : index_def) key =
   Array.iteri (fun j c -> fields.(c) <- key.(j)) def.columns;
   Tuple.probe fields
 
+(* --- MVCC snapshot reads ----------------------------------------------- *)
+
+(* A statement holding an MVCC snapshot must not traverse live index
+   structures: the concurrent single writer may be rebalancing them
+   mid-read.  Every read entry point therefore diverts to a
+   visibility-filtered scan of the relation's membership view, sorted by
+   the requested index's key columns — and since the comparisons go
+   through {!Tuple.get}, the sort itself reads snapshot-consistent
+   values.  This trades the index's O(log n) for O(n log n) per
+   statement; it is the price of lock-free reads, paid only under a
+   snapshot and measured honestly by bench [server]'s mvcc phase. *)
+let snapshot_tuples t s ~columns =
+  let visible =
+    List.filter (Version_store.visible_at s)
+      (Atomic.get t.view.Version_store.tuples)
+  in
+  List.sort (Tuple.compare_keyed ~columns) visible
+
+let snapshot_of_index t index =
+  let inst =
+    match index with None -> primary t | Some n -> find_index_exn t n
+  in
+  let (module Inst : INSTANCE) = inst in
+  (inst, Inst.def)
+
+let count t =
+  match Version_store.current_snapshot () with
+  | None -> t.count
+  | Some s ->
+      List.fold_left
+        (fun n tu -> if Version_store.visible_at s tu then n + 1 else n)
+        0
+        (Atomic.get t.view.Version_store.tuples)
+
+(* After a lazy delete the view keeps a tombstoned entry for the GC to
+   sweep; once dead entries dominate, compact opportunistically (we are
+   on the writer's thread, which is the serialization the GC needs). *)
+let maybe_sweep t =
+  if
+    Version_store.enabled ()
+    && Version_store.view_size t.view > (2 * t.count) + 64
+  then ignore (Version_store.gc_view t.view ~horizon:(Version_store.horizon ()))
+
 (* --- public operations ------------------------------------------------ *)
 
 let insert t values =
@@ -240,6 +285,7 @@ let insert t values =
               Error msg
           | Ok () ->
               t.count <- t.count + 1;
+              Version_store.on_insert t.view tuple;
               Ok tuple))
 
 let delete_tuple t tuple =
@@ -250,49 +296,116 @@ let delete_tuple t tuple =
     if Partition.remove p resolved then begin
       List.iter (fun inst -> ignore (idx_delete inst tuple)) t.indices;
       t.count <- t.count - 1;
+      Version_store.on_delete t.view resolved;
+      maybe_sweep t;
       true
     end
     else false
   end
 
 let lookup ?index t key =
-  let inst = match index with None -> primary t | Some n -> find_index_exn t n in
-  let (module Inst) = inst in
-  let probe = probe_for t Inst.def key in
-  let acc = ref [] in
-  Inst.I.iter_matches Inst.handle probe (fun tu -> acc := tu :: !acc);
-  List.rev !acc
+  match Version_store.current_snapshot () with
+  | Some s ->
+      let _, def = snapshot_of_index t index in
+      let probe = probe_for t def key in
+      List.filter
+        (fun tu -> Tuple.compare_keyed ~columns:def.columns probe tu = 0)
+        (snapshot_tuples t s ~columns:def.columns)
+  | None ->
+      let inst =
+        match index with None -> primary t | Some n -> find_index_exn t n
+      in
+      let (module Inst) = inst in
+      let probe = probe_for t Inst.def key in
+      let acc = ref [] in
+      Inst.I.iter_matches Inst.handle probe (fun tu -> acc := tu :: !acc);
+      List.rev !acc
 
 let lookup_one ?index t key =
   match lookup ?index t key with [] -> None | tu :: _ -> Some tu
 
 let lookup_range ?index t ~lo ~hi f =
-  let inst = match index with None -> primary t | Some n -> find_index_exn t n in
-  let (module Inst) = inst in
-  Inst.I.range Inst.handle ~lo:(probe_for t Inst.def lo)
-    ~hi:(probe_for t Inst.def hi) f
+  match Version_store.current_snapshot () with
+  | Some s ->
+      let _, def = snapshot_of_index t index in
+      let plo = probe_for t def lo and phi = probe_for t def hi in
+      List.iter
+        (fun tu ->
+          if
+            Tuple.compare_keyed ~columns:def.columns plo tu <= 0
+            && Tuple.compare_keyed ~columns:def.columns tu phi <= 0
+          then f tu)
+        (snapshot_tuples t s ~columns:def.columns)
+  | None ->
+      let inst =
+        match index with None -> primary t | Some n -> find_index_exn t n
+      in
+      let (module Inst) = inst in
+      Inst.I.range Inst.handle ~lo:(probe_for t Inst.def lo)
+        ~hi:(probe_for t Inst.def hi) f
 
 let lookup_from ?index t key f =
-  let inst = match index with None -> primary t | Some n -> find_index_exn t n in
-  let (module Inst) = inst in
-  Inst.I.iter_from Inst.handle (probe_for t Inst.def key) f
+  match Version_store.current_snapshot () with
+  | Some s ->
+      let _, def = snapshot_of_index t index in
+      let probe = probe_for t def key in
+      List.iter
+        (fun tu ->
+          if Tuple.compare_keyed ~columns:def.columns probe tu <= 0 then f tu)
+        (snapshot_tuples t s ~columns:def.columns)
+  | None ->
+      let inst =
+        match index with None -> primary t | Some n -> find_index_exn t n
+      in
+      let (module Inst) = inst in
+      Inst.I.iter_from Inst.handle (probe_for t Inst.def key) f
 
 (* Scan through the primary index, honouring the all-access-via-index rule. *)
 let iter t f =
-  let (module Inst) = primary t in
-  Inst.I.iter Inst.handle f
+  match Version_store.current_snapshot () with
+  | Some s ->
+      let (module P) = primary t in
+      List.iter f (snapshot_tuples t s ~columns:P.def.columns)
+  | None ->
+      let (module Inst) = primary t in
+      Inst.I.iter Inst.handle f
 
 let to_seq t =
-  let (module Inst) = primary t in
-  Inst.I.to_seq Inst.handle
+  match Version_store.current_snapshot () with
+  | Some s ->
+      let (module P) = primary t in
+      List.to_seq (snapshot_tuples t s ~columns:P.def.columns)
+  | None ->
+      let (module Inst) = primary t in
+      Inst.I.to_seq Inst.handle
 
 let iter_via ?index t f =
-  let inst = match index with None -> primary t | Some n -> find_index_exn t n in
-  let (module Inst) = inst in
-  Inst.I.iter Inst.handle f
+  match Version_store.current_snapshot () with
+  | Some s ->
+      let _, def = snapshot_of_index t index in
+      List.iter f (snapshot_tuples t s ~columns:def.columns)
+  | None ->
+      let inst =
+        match index with None -> primary t | Some n -> find_index_exn t n
+      in
+      let (module Inst) = inst in
+      Inst.I.iter Inst.handle f
 
 (* Direct partition access — recovery subsystem only. *)
 let iter_storage t f = List.iter (fun p -> Partition.iter p f) (partitions t)
+
+(* Rebuild the membership view from storage.  Needed when MVCC is turned
+   on at runtime: inserts made while it was off bypassed view
+   maintenance.  Only rebuilds when entries are {e missing} ([size <
+   count]) — a view larger than the relation legitimately carries dead
+   entries old snapshots still see, and must not be clobbered. *)
+let ensure_view t =
+  if Version_store.enabled () && Version_store.view_size t.view < t.count then begin
+    let acc = ref [] in
+    iter_storage t (fun tu -> acc := tu :: !acc);
+    Atomic.set t.view.Version_store.tuples !acc;
+    Atomic.set t.view.Version_store.size (List.length !acc)
+  end
 
 let create_index ?(structure = T_tree) ?(unique = false) t ~idx_name ~columns
     =
@@ -346,6 +459,9 @@ let update_field t tuple col v =
     Error "value does not fit column type"
   else begin
     let resolved = Tuple.resolve tuple in
+    (* Pre-image for the tuple's first versioned mutation, captured
+       before any field write. *)
+    let pre_fields = Version_store.capture_pre resolved in
     let affected =
       List.filter
         (fun (module Inst : INSTANCE) -> Array.mem col Inst.def.columns)
@@ -400,7 +516,9 @@ let update_field t tuple col v =
     end
     else
       match reenter [] affected with
-      | Ok () -> Ok ()
+      | Ok () ->
+          Version_store.on_update (Tuple.resolve tuple) ~pre_fields;
+          Ok ()
       | Error msg ->
           (* Revert the field and restore entries under the old key. *)
           Tuple.set tuple col old_v;

@@ -58,10 +58,24 @@ val create :
 
 val schema : t -> Schema.t
 val name : t -> string
+
 val count : t -> int
+(** Live tuple count; under an active MVCC snapshot, the count of tuples
+    visible to that snapshot. *)
+
 val slot_capacity : t -> int
 val heap_capacity : t -> int
 val partitions : t -> Partition.t list
+
+(** {1 MVCC} *)
+
+val view : t -> Version_store.view
+(** The relation's membership view: what snapshot scans consider, and
+    what {!Version_store.gc_view} prunes. *)
+
+val ensure_view : t -> unit
+(** Rebuild the view from storage when MVCC is switched on at runtime
+    (inserts made while it was off bypassed view maintenance). *)
 
 (** {1 Indices} *)
 

@@ -15,7 +15,7 @@ let next_id = ref 0
 let make fields : t =
   let id = !next_id in
   incr next_id;
-  { Value.id; fields; forward = None; pid = -1 }
+  { Value.id; fields; forward = None; pid = -1; vers = { Value.vs = [] } }
 
 let id (t : t) = t.Value.id
 
@@ -27,9 +27,17 @@ let rec resolve (t : t) =
 
 let arity (t : t) = Array.length (resolve t).Value.fields
 
+(* Field access resolves against the active MVCC snapshot when one is
+   installed (a server Read job): the visible version's frozen fields
+   are read instead of the live array a concurrent writer may be
+   mutating.  With no snapshot — the default — the extra cost is one
+   domain-local read and a branch. *)
 let get (t : t) i =
   Counters.bump_ptr_derefs ();
-  (resolve t).Value.fields.(i)
+  let t = resolve t in
+  match Version_store.snapshot_fields t with
+  | Some frozen -> frozen.(i)
+  | None -> t.Value.fields.(i)
 
 (* Raw accessor without counter or forwarding, for internal bookkeeping. *)
 let get_raw (t : t) i = t.Value.fields.(i)
@@ -82,7 +90,8 @@ let hash_on ~columns t =
 (* A probe is a transient tuple used only as a search key; its id of -1
    makes it a wildcard in [compare_keyed]'s identity tie-break, so a probe
    matches every tuple with the same key values. *)
-let probe fields : t = { Value.id = -1; fields; forward = None; pid = -1 }
+let probe fields : t =
+  { Value.id = -1; fields; forward = None; pid = -1; vers = { Value.vs = [] } }
 
 let is_probe (t : t) = t.Value.id < 0
 
@@ -102,6 +111,10 @@ let compare_keyed ~columns a b =
    leave a forwarding address in the old record (§2.1 footnote 1). *)
 let move_record (t : t) ~fields : t =
   let t = resolve t in
-  let fresh = { Value.id = t.Value.id; fields; forward = None; pid = -1 } in
+  (* the version chain travels with the identity: both records share it *)
+  let fresh =
+    { Value.id = t.Value.id; fields; forward = None; pid = -1;
+      vers = t.Value.vers }
+  in
   t.Value.forward <- Some fresh;
   fresh

@@ -25,7 +25,28 @@ and tuple = {
   mutable fields : t array;
   mutable forward : tuple option;  (** forwarding address after a move *)
   mutable pid : int;  (** owning partition, or -1 when not yet placed *)
+  vers : vchain;  (** MVCC version chain; shared across forwarding moves *)
 }
+
+(** One committed (or pending) version of a tuple: an immutable copy of
+    the field array plus its validity interval [v_begin, v_end).  A
+    version is visible to a snapshot [s] iff [v_begin <= s < v_end];
+    [max_int] stands for "not yet committed" (in [v_begin]) or "still
+    current" (in [v_end]).  Versions are only ever stamped by the single
+    writer; readers treat [v_fields] as immutable. *)
+and version = {
+  v_fields : t array;
+  mutable v_begin : int;
+  mutable v_end : int;
+}
+
+(** Newest-first version list.  The list cell is replaced wholesale on
+    every push (cons onto an immutable spine), so a concurrent reader
+    that loads [vs] sees a consistent chain even while the writer
+    prepends.  An empty chain means the tuple predates versioning (or
+    versioning is off): such tuples are visible to every snapshot via
+    their live [fields]. *)
+and vchain = { mutable vs : version list }
 
 let type_name = function
   | Null -> "null"

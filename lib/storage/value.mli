@@ -22,7 +22,24 @@ and tuple = {
       (** forwarding address left behind when heap overflow forces a move
           (§2.1 footnote 1) *)
   mutable pid : int;  (** owning partition, or -1 when not yet placed *)
+  vers : vchain;  (** MVCC version chain; shared across forwarding moves *)
 }
+
+(** One committed (or pending) version of a tuple: an immutable copy of
+    the field array plus its validity interval [v_begin, v_end).  A
+    version is visible to a snapshot [s] iff [v_begin <= s < v_end];
+    [max_int] stands for "not yet committed" (in [v_begin]) or "still
+    current" (in [v_end]). *)
+and version = {
+  v_fields : t array;
+  mutable v_begin : int;
+  mutable v_end : int;
+}
+
+(** Newest-first version list.  An empty chain means the tuple predates
+    versioning (or versioning is off): such tuples are visible to every
+    snapshot via their live [fields]. *)
+and vchain = { mutable vs : version list }
 
 val type_name : t -> string
 (** ["int"], ["string"], … — for error messages. *)

@@ -310,6 +310,13 @@ let recover ~store ~device ~working_set =
   List.iter
     (fun rel -> load_relation state ~rel state.working_stats)
     working_set;
+  (* Replay ran in immediate mode; raise the MVCC commit clock past the
+     log's highest LSN so post-recovery snapshots order after everything
+     restored.  (Version stamps themselves need not survive the crash —
+     no snapshot survives it either.) *)
+  List.iter
+    (fun r -> Mmdb_storage.Version_store.bump_to r.Log_record.lsn)
+    state.retained;
   state
 
 (* Phase 2: the background process reads in the remainder of the database,

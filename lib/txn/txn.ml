@@ -248,7 +248,13 @@ let commit t =
       in
       match apply [] ops with
       | Error (msg, applied) ->
-          List.iter (undo t.mgr) applied;
+          (* Discard the MVCC intents first — the versions pushed by the
+             partial apply were never published, so popping them leaves no
+             trace — then physically unwind with the hooks suppressed (the
+             unwind must maintain view membership but record no history). *)
+          Mmdb_storage.Version_store.rollback_pending ();
+          Mmdb_storage.Version_store.suppressed (fun () ->
+              List.iter (undo t.mgr) applied);
           abort t;
           Error msg
       | Ok () ->

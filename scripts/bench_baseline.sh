@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
 # Refresh the checked-in performance baselines.  Runs the server and
 # micro experiments with JSONL output and rewrites BENCH_server.json /
-# BENCH_micro.json at the repo root, then asserts the overload
-# acceptance bound from the fresh JSONL: under 2x overload, shed
-# requests must exist (typed Overloaded replies) and the accepted p99
-# must stay within 3x the uncontended p99 (`overload_ok` emitted by the
-# bench).  The overload phase is retried a couple of times before
-# failing: p99-vs-p99 ratios on a loaded shared host carry scheduler
-# noise even after the bench's own median-of-3 smoothing.
+# BENCH_micro.json at the repo root, then asserts the acceptance bounds
+# from the fresh JSONL: under 2x overload, shed requests must exist
+# (typed Overloaded replies) and the accepted p99 must stay within 3x
+# the uncontended p99 (`overload_ok`); and with MVCC on, reader p99
+# under a background bulk-update writer must stay within 2x the
+# uncontended reader p99 (`mvcc_read_ok`).  The server phase is retried
+# a couple of times before failing: p99-vs-p99 ratios on a loaded
+# shared host carry scheduler noise even after the bench's own
+# median-of-3 smoothing.
 #
 #   dune build && scripts/bench_baseline.sh [--scale F]
 set -euo pipefail
@@ -21,13 +23,16 @@ fi
 BENCH=_build/default/bench/main.exe
 [[ -x "$BENCH" ]] || { echo "build first: dune build" >&2; exit 2; }
 
-check_overload() { # file -> 0 if the overload record passes
+check_overload() { # file -> 0 if the overload and mvcc records pass
   python3 - "$1" <<'PY'
 import json, sys
-ok = False
+overload_ok = False
+mvcc_ok = False
 for line in open(sys.argv[1]):
     rec = json.loads(line)
-    if rec.get("experiment") == "server" and "overload_ok" in rec:
+    if rec.get("experiment") != "server":
+        continue
+    if "overload_ok" in rec:
         print(
             "overload: accepted p99 %.3fms, uncontended p99 %.3fms, "
             "ratio %.2f, shed %d, ok=%d"
@@ -39,8 +44,22 @@ for line in open(sys.argv[1]):
                 rec["overload_ok"],
             )
         )
-        ok = bool(rec["overload_ok"]) and rec["shed"] > 0
-sys.exit(0 if ok else 1)
+        overload_ok = bool(rec["overload_ok"]) and rec["shed"] > 0
+    if rec.get("mix") == "mvcc-read":
+        print(
+            "mvcc-read (mvcc=%d): contended p99 %.3fms, uncontended p99 "
+            "%.3fms, ratio %.2f, bulk updates %d"
+            % (
+                rec["mvcc"],
+                rec["p99_contended_ms"],
+                rec["p99_uncontended_ms"],
+                rec["p99_ratio"],
+                rec["bulk_updates"],
+            )
+        )
+        if rec["mvcc"] == 1:
+            mvcc_ok = rec.get("mvcc_read_ok") == 1
+sys.exit(0 if overload_ok and mvcc_ok else 1)
 PY
 }
 
@@ -51,10 +70,10 @@ for attempt in 1 2 3; do
   if check_overload BENCH_server.json; then
     break
   elif [[ "$attempt" == 3 ]]; then
-    echo "FAIL: overload bound violated on $attempt consecutive runs" >&2
+    echo "FAIL: overload/mvcc bound violated on $attempt consecutive runs" >&2
     exit 1
   else
-    echo "overload bound missed (attempt $attempt), retrying..." >&2
+    echo "overload/mvcc bound missed (attempt $attempt), retrying..." >&2
   fi
 done
 

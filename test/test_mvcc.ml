@@ -1,0 +1,273 @@
+(* MVCC snapshot-isolation semantics.
+
+   The storage-level tests drive Version_store through Relation with a
+   second domain standing in for the concurrent writer (a fresh domain
+   has fresh DLS: no snapshot, no write scope — exactly the server's
+   dispatcher/reader split).  The properties checked are the ones the
+   subsystem exists for: repeatable reads within a statement, no dirty
+   reads of an in-flight writer, aborted work leaving no visible
+   versions, and a GC that never reclaims a version some live snapshot
+   can still see (randomized; seed count via MMDB_CHAOS_SEEDS).
+
+   The classification tests pin the server-facing contract: EXPLAIN /
+   EXPLAIN ANALYZE and EXEC_PREPARED of a read-only statement must take
+   the Read path, or they would barrier behind the writer for nothing. *)
+
+open Mmdb_storage
+module Rng = Mmdb_util.Rng
+module Ast = Mmdb_lang.Ast
+module Parser = Mmdb_lang.Parser
+module Db = Mmdb_core.Db
+module Mvcc = Mmdb_txn.Mvcc
+
+let value = Alcotest.testable Value.pp Value.equal
+
+let n_seeds =
+  match Sys.getenv_opt "MMDB_CHAOS_SEEDS" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 5)
+  | None -> 5
+
+(* The suite must be meaningful under MMDB_MVCC=0 too, so each test
+   forces versioning on and restores the ambient setting after. *)
+let with_mvcc f =
+  let was = Version_store.enabled () in
+  Version_store.set_enabled true;
+  Fun.protect ~finally:(fun () -> Version_store.set_enabled was) f
+
+let kv_schema () =
+  Schema.make ~name:"KV"
+    [ Schema.col ~ty:Schema.T_int "K"; Schema.col ~ty:Schema.T_int "V" ]
+
+let mk_kv () =
+  Relation.create ~schema:(kv_schema ())
+    ~primary:
+      {
+        Relation.idx_name = "kv_pk";
+        columns = [| 0 |];
+        unique = true;
+        structure = Relation.T_tree;
+      }
+    ()
+
+let ins r k v =
+  match Relation.insert r [| Value.Int k; Value.Int v |] with
+  | Ok t -> t
+  | Error e -> Alcotest.fail e
+
+(* All rows visible from the calling context, as a sorted (k, v) list —
+   under a snapshot this is the diverted, visibility-filtered scan. *)
+let rows r =
+  let acc = ref [] in
+  Relation.iter r (fun t ->
+      acc := (Tuple.get t 0, Tuple.get t 1) :: !acc);
+  List.sort compare !acc
+
+(* Run [f] on a fresh domain (fresh DLS: no inherited snapshot or write
+   scope) and join it. *)
+let on_writer_domain f = Domain.join (Domain.spawn f)
+
+(* --- repeatable read ----------------------------------------------------- *)
+
+let test_repeatable_read () =
+  with_mvcc @@ fun () ->
+  let r = mk_kv () in
+  let t = ins r 1 10 in
+  Version_store.with_snapshot (fun snap ->
+      Alcotest.(check bool) "snapshot acquired" true (snap >= 0);
+      Alcotest.check value "before write" (Value.Int 10) (Tuple.get t 1);
+      on_writer_domain (fun () ->
+          Version_store.with_write (fun () ->
+              match Relation.update_field r t 1 (Value.Int 20) with
+              | Ok () -> ()
+              | Error e -> Alcotest.fail e));
+      Alcotest.check value "unchanged within the statement" (Value.Int 10)
+        (Tuple.get t 1);
+      (match Relation.lookup ~index:"kv_pk" r [| Value.Int 1 |] with
+      | [ tu ] ->
+          Alcotest.check value "lookup sees the snapshot too" (Value.Int 10)
+            (Tuple.get tu 1)
+      | l -> Alcotest.failf "lookup returned %d tuples" (List.length l)));
+  Alcotest.check value "new value after the snapshot" (Value.Int 20)
+    (Tuple.get t 1)
+
+(* --- no dirty reads ------------------------------------------------------ *)
+
+let test_no_dirty_reads () =
+  with_mvcc @@ fun () ->
+  let r = mk_kv () in
+  ignore (ins r 1 10);
+  (* Hold the write scope open on this domain; a reader on another
+     domain must not see the unpublished insert or update. *)
+  Version_store.with_write (fun () ->
+      ignore (ins r 2 20);
+      let seen =
+        on_writer_domain (fun () -> Version_store.with_snapshot (fun _ -> rows r))
+      in
+      Alcotest.(check (list (pair value value)))
+        "in-flight insert invisible"
+        [ (Value.Int 1, Value.Int 10) ]
+        seen);
+  (* Published at scope exit: a fresh snapshot now sees both rows. *)
+  let seen =
+    on_writer_domain (fun () -> Version_store.with_snapshot (fun _ -> rows r))
+  in
+  Alcotest.(check int) "published after scope exit" 2 (List.length seen)
+
+(* --- abort leaves no visible versions ------------------------------------ *)
+
+let test_abort_invisible () =
+  with_mvcc @@ fun () ->
+  let db = Db.create () in
+  let sess = Mmdb_lang.Interp.session db in
+  (match
+     Mmdb_lang.Interp.exec_string sess
+       "CREATE TABLE T (K int PRIMARY KEY, V int); INSERT INTO T VALUES (1, 10);"
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  (match
+     Mmdb_lang.Interp.exec_string sess
+       "BEGIN; INSERT INTO T VALUES (2, 20); ROLLBACK;"
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let r = Db.find_exn db "T" in
+  Alcotest.(check int) "live count back to 1" 1 (Relation.count r);
+  Version_store.with_snapshot (fun _ ->
+      Alcotest.(check (list (pair value value)))
+        "no snapshot sees the aborted insert"
+        [ (Value.Int 1, Value.Int 10) ]
+        (rows r);
+      Alcotest.(check int) "snapshot count agrees" 1 (Relation.count r))
+
+(* --- GC vs live snapshots (randomized) ----------------------------------- *)
+
+(* A writer mutates and GCs while the main domain holds one snapshot:
+   the rows visible under that snapshot must be identical before and
+   after, whatever the writer and the GC did.  Then, with the snapshot
+   released, GC must actually reclaim and converge to the live state. *)
+let gc_round rng r ~live ~next_key =
+  let pick_live () =
+    let keys = List.of_seq (Hashtbl.to_seq_keys live) in
+    match keys with
+    | [] -> None
+    | _ -> Some (List.nth keys (Rng.int rng (List.length keys)))
+  in
+  let tuple_of k =
+    match Relation.lookup ~index:"kv_pk" r [| Value.Int k |] with
+    | [ t ] -> t
+    | l -> Alcotest.failf "key %d: %d tuples" k (List.length l)
+  in
+  for _ = 1 to 100 do
+    match Rng.int rng 10 with
+    | 0 | 1 -> (
+        (* insert a fresh key *)
+        let k = !next_key in
+        incr next_key;
+        match Relation.insert r [| Value.Int k; Value.Int (k * 7) |] with
+        | Ok _ -> Hashtbl.replace live k (k * 7)
+        | Error e -> Alcotest.fail e)
+    | 2 | 3 -> (
+        (* delete a live key *)
+        match pick_live () with
+        | None -> ()
+        | Some k ->
+            ignore (Relation.delete_tuple r (tuple_of k));
+            Hashtbl.remove live k)
+    | n -> (
+        (* update a live key, deferred-scope half the time *)
+        match pick_live () with
+        | None -> ()
+        | Some k ->
+            let v = Rng.int rng 1_000_000 in
+            let apply () =
+              match Relation.update_field r (tuple_of k) 1 (Value.Int v) with
+              | Ok () -> Hashtbl.replace live k v
+              | Error e -> Alcotest.fail e
+            in
+            if n land 1 = 0 then Version_store.with_write apply else apply ())
+  done;
+  ignore (Mvcc.gc [ r ])
+
+let test_gc_respects_snapshots () =
+  with_mvcc @@ fun () ->
+  for seed = 1 to n_seeds do
+    let r = mk_kv () in
+    let live = Hashtbl.create 64 in
+    for k = 0 to 63 do
+      ignore (ins r k (k * 7));
+      Hashtbl.replace live k (k * 7)
+    done;
+    let next_key = ref 1000 in
+    for round = 1 to 3 do
+      Version_store.with_snapshot (fun _ ->
+          let expected = rows r in
+          on_writer_domain (fun () ->
+              let rng = Rng.create ~seed:((seed * 1000) + round) () in
+              gc_round rng r ~live ~next_key);
+          let after = rows r in
+          if after <> expected then
+            Alcotest.failf
+              "seed %d round %d: snapshot drifted (%d rows -> %d rows)" seed
+              round (List.length expected) (List.length after))
+    done;
+    (* No snapshot held: GC may now prune everything behind the clock,
+       and a fresh snapshot must agree with the live state. *)
+    ignore (Mvcc.gc [ r ]);
+    let live_rows = rows r in
+    let snap_rows = Version_store.with_snapshot (fun _ -> rows r) in
+    if snap_rows <> live_rows then
+      Alcotest.failf "seed %d: post-GC snapshot disagrees with live state" seed;
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d: model row count" seed)
+      (Hashtbl.length live) (List.length live_rows)
+  done;
+  let st = Version_store.stats () in
+  Alcotest.(check bool) "GC reclaimed something across the run" true
+    (st.Version_store.st_versions_reclaimed > 0)
+
+(* --- read-only classification edges -------------------------------------- *)
+
+let parse_one sql =
+  match Parser.parse sql with
+  | Ok [ s ] -> s
+  | Ok l -> Alcotest.failf "%S: %d statements" sql (List.length l)
+  | Error e -> Alcotest.fail e
+
+let test_read_only_edges () =
+  let ro sql = Ast.is_read_only (parse_one sql) in
+  Alcotest.(check bool) "SELECT" true (ro "SELECT K FROM T;");
+  Alcotest.(check bool) "EXPLAIN" true (ro "EXPLAIN SELECT K FROM T;");
+  Alcotest.(check bool) "EXPLAIN ANALYZE" true
+    (ro "EXPLAIN ANALYZE SELECT K FROM T;");
+  Alcotest.(check bool) "UPDATE is not" false
+    (ro "UPDATE T SET V = 1 WHERE K = 1;");
+  Alcotest.(check bool) "BEGIN is not" false (ro "BEGIN;");
+  (* a read-only prepared statement stays read-only once bound *)
+  let stmt = parse_one "SELECT V FROM T WHERE K = ?;" in
+  Alcotest.(check int) "one parameter" 1 (Ast.param_count stmt);
+  match Ast.substitute_params stmt [ Ast.L_int 42 ] with
+  | Ok bound ->
+      Alcotest.(check bool) "bound SELECT classifies Read" true
+        (Ast.is_read_only bound)
+  | Error e -> Alcotest.fail e
+
+let () =
+  Alcotest.run "mmdb_mvcc"
+    [
+      ( "snapshots",
+        [
+          Alcotest.test_case "repeatable read within a statement" `Quick
+            test_repeatable_read;
+          Alcotest.test_case "no dirty reads of an in-flight writer" `Quick
+            test_no_dirty_reads;
+          Alcotest.test_case "abort leaves no visible versions" `Quick
+            test_abort_invisible;
+          Alcotest.test_case "GC never reclaims what a snapshot sees" `Quick
+            test_gc_respects_snapshots;
+        ] );
+      ( "classification",
+        [
+          Alcotest.test_case "read-only edges" `Quick test_read_only_edges;
+        ] );
+    ]

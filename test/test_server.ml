@@ -646,6 +646,45 @@ let test_e2e_idle_reap () =
       Alcotest.(check int) "reap counted" 1 s.Metrics.s_reaped;
       Client.close c)
 
+(* --- read-path classification: EXPLAIN and prepared SELECTs ------------- *)
+
+(* EXPLAIN / EXPLAIN ANALYZE of a read-only statement and EXEC_PREPARED
+   of a read-only prepared statement must dispatch on the parallel-reader
+   path (s_ro_jobs), not barrier behind the writer. *)
+let test_e2e_read_path_classification () =
+  with_server (fun srv ->
+      let c = connect srv in
+      ignore (expect_ok c "CREATE TABLE KV (K int PRIMARY KEY, V int);");
+      ignore (expect_ok c "INSERT INTO KV VALUES (1, 10);");
+      let ro_before = (Metrics.snapshot (Server.metrics srv)).Metrics.s_ro_jobs in
+      ignore (expect_ok c "EXPLAIN SELECT V FROM KV WHERE K = 1;");
+      ignore (expect_ok c "EXPLAIN ANALYZE SELECT V FROM KV WHERE K = 1;");
+      let id, _ =
+        match Client.prepare c "SELECT V FROM KV WHERE K = ?;" with
+        | Ok x -> x
+        | Error m -> Alcotest.fail m
+      in
+      (match Client.exec_prepared c id [ Value.Int 1 ] with
+      | Ok (Protocol.Results _) -> ()
+      | Ok r -> Alcotest.fail (Fmt.str "unexpected: %a" Protocol.pp_response r)
+      | Error m -> Alcotest.fail m);
+      let ro_after = (Metrics.snapshot (Server.metrics srv)).Metrics.s_ro_jobs in
+      Alcotest.(check int) "EXPLAIN, EXPLAIN ANALYZE, EXEC_PREPARED all Read"
+        (ro_before + 3) ro_after;
+      (* a mutating prepared statement must not take the Read path *)
+      let wid, _ =
+        match Client.prepare c "UPDATE KV SET V = ? WHERE K = ?;" with
+        | Ok x -> x
+        | Error m -> Alcotest.fail m
+      in
+      (match Client.exec_prepared c wid [ Value.Int 11; Value.Int 1 ] with
+      | Ok (Protocol.Results _ | Protocol.Message _) -> ()
+      | Ok r -> Alcotest.fail (Fmt.str "unexpected: %a" Protocol.pp_response r)
+      | Error m -> Alcotest.fail m);
+      let ro_final = (Metrics.snapshot (Server.metrics srv)).Metrics.s_ro_jobs in
+      Alcotest.(check int) "prepared UPDATE stays off the Read path"
+        ro_after ro_final)
+
 (* --- observability: EXPLAIN ANALYZE on the wire, STATS, slow log --------- *)
 
 let test_e2e_observability () =
@@ -827,7 +866,12 @@ let test_backoff_determinism () =
    retry-after hint, and a retrying client must eventually get through. *)
 let test_e2e_overload_shed () =
   let fault = Fault.create ~seed:7 () in
-  let config = { test_config with Server.fault; shed_watermark = 1 } in
+  (* lock-only mode: the stall/barrier/queue pile-up this test builds is
+     exactly what MVCC's bypassed readers dissolve, so the deterministic
+     shed scenario needs the barrier semantics *)
+  let config =
+    { test_config with Server.fault; shed_watermark = 1; mvcc = false }
+  in
   with_server ~config (fun srv ->
       let setup = connect srv in
       ignore (expect_ok setup "CREATE TABLE KV (K int PRIMARY KEY, V int);");
@@ -1104,6 +1148,8 @@ let () =
           Alcotest.test_case "admission control" `Quick
             test_e2e_admission_busy;
           Alcotest.test_case "idle reaping" `Quick test_e2e_idle_reap;
+          Alcotest.test_case "read-path classification edges" `Quick
+            test_e2e_read_path_classification;
           Alcotest.test_case "observability: analyze, stats, slow log" `Quick
             test_e2e_observability;
           Alcotest.test_case "overload shedding and retry-through" `Quick
