@@ -38,6 +38,46 @@ let make_mlh keys =
   Array.iter (fun k -> ignore (Mmdb_index.Mod_linear_hash.insert t k)) keys;
   t
 
+(* Whole-operator probes for the batch ablation: one staged run = one
+   full scan/join at a reduced cardinality, with the batch knob set
+   inside the staged closure (a ref write, noise-level next to the µs
+   operator body). *)
+let scan_n = 6_000
+let join_n = 2_000
+
+let batch_ops () =
+  let rng = Mmdb_util.Rng.create ~seed:77 () in
+  let col k = Array.init k (fun _ -> Mmdb_util.Rng.int rng 1_000_000_000) in
+  let rel_scan = Mmdb_core.Workload.load ~name:"MicroScan" (col scan_n) in
+  let rel_o = Mmdb_core.Workload.load ~name:"MicroJoinO" (col join_n) in
+  let rel_i = Mmdb_core.Workload.load ~name:"MicroJoinI" (col join_n) in
+  let scan ~batched () =
+    Mmdb_storage.Batch.configure ~enabled:batched ~size:256;
+    ignore
+      (Mmdb_core.Select.run rel_scan ~path:Mmdb_core.Select.Sequential_scan
+         ~predicates:
+           [
+             Mmdb_core.Select.Between
+               ( Mmdb_core.Workload.jcol,
+                 Mmdb_storage.Value.Int 0,
+                 Mmdb_storage.Value.Int 100_000_000 );
+           ])
+  in
+  let join ~batched () =
+    Mmdb_storage.Batch.configure ~enabled:batched ~size:256;
+    ignore
+      (Mmdb_core.Join.hash_join
+         ~outer:{ Mmdb_core.Join.rel = rel_o; col = Mmdb_core.Workload.jcol }
+         ~inner:{ Mmdb_core.Join.rel = rel_i; col = Mmdb_core.Workload.jcol }
+         ())
+  in
+  [
+    Test.make ~name:"scan-select scalar (6k)" (Staged.stage (scan ~batched:false));
+    Test.make ~name:"scan-select batched (6k)" (Staged.stage (scan ~batched:true));
+    Test.make ~name:"hash join scalar (2k)" (Staged.stage (join ~batched:false));
+    Test.make ~name:"hash join batched (2k)" (Staged.stage (join ~batched:true));
+  ]
+
 let tests () =
   let keys = prepared_keys () in
   let ttree = make_ttree keys in
@@ -50,7 +90,8 @@ let tests () =
     cursor := (!cursor + 1) mod n;
     k
   in
-  [
+  batch_ops ()
+  @ [
     Test.make ~name:"T Tree search (30k)"
       (Staged.stage (fun () -> ignore (Mmdb_index.Ttree.search ttree (next ()))));
     Test.make ~name:"AVL search (30k)"
@@ -72,6 +113,8 @@ let run bcfg =
   Bench_util.header "Micro — Bechamel per-operation estimates (ns/op)";
   let was = !Mmdb_util.Counters.enabled in
   Mmdb_util.Counters.enabled := false;
+  (* the batch-ablation probes flip the global knob per staged run *)
+  let batch0 = Mmdb_storage.Batch.stats () in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in
@@ -118,4 +161,7 @@ let run bcfg =
              ])
            rows))
     merged;
+  Mmdb_storage.Batch.configure
+    ~enabled:batch0.Mmdb_storage.Batch.st_enabled
+    ~size:batch0.Mmdb_storage.Batch.st_size;
   Mmdb_util.Counters.enabled := was

@@ -58,6 +58,8 @@ let experiments : (string * string * (Bench_util.config -> unit)) list =
     ("trace", "Tracing overhead: with_span disabled vs enabled",
      Bench_trace.run);
     ("f1", "Fault injection: crash-consistency torture", Bench_faults.f1);
+    ("join", "Batched execution: ns/row, sort kernels, skew robustness",
+     Bench_join.batched);
     ("micro", "Bechamel micro-benchmarks", Bench_micro.run);
     (* last: runs the server in-process (domains); fork-based
        experiments must not follow it *)

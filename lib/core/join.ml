@@ -97,6 +97,101 @@ let hash_join_seq ?outer_filter ~outer ~inner () =
       end);
   out
 
+(* --- batched hash join -------------------------------------------------- *)
+
+(* Skew-handling event counters (per 2112.02480, translated to the
+   in-memory setting): surfaced in STATS and as trace attrs. *)
+let repartitions = Atomic.make 0
+let role_reversals = Atomic.make 0
+
+let skew_stats () = (Atomic.get repartitions, Atomic.get role_reversals)
+
+(* A chain cell carrying the extracted key next to the tuple pointer:
+   probe comparisons read the cache-resident value instead of
+   dereferencing two tuples per cell. *)
+type hcell = { hkey : Value.t; htup : Tuple.t; mutable hnext : hcell option }
+
+(* The Chained Bucket Hash sizing and hash formula of the scalar kernel,
+   replicated exactly (same table size, same slot for every key, same
+   prepend-on-insert chain layout) so chain walks compare the same cells
+   in the same order and the §3.1 tallies match bump for bump.
+   [Tuple.hash_on ~columns:[|c|]] is [17 * 31 + Value.hash v]. *)
+let hslot ~slots k = (527 + Value.hash k) land max_int mod slots
+
+(* Per-probe chain walk, counting as [Chained_hash.iter_matches] does:
+   one hash call and one dereference for the probe's hash, then one
+   comparison plus two dereferences per cell ([counting_cmp] over
+   [Tuple.compare_keyed]). *)
+let probe_chain table ~slots ko ~emit =
+  Counters.bump_hash_calls ();
+  Counters.bump_ptr_derefs ();
+  let rec walk = function
+    | None -> ()
+    | Some c ->
+        Counters.bump_comparisons ();
+        Counters.bump_ptr_derefs ~n:2 ();
+        if Value.compare ko c.hkey = 0 then emit c.htup;
+        walk c.hnext
+  in
+  walk table.(hslot ~slots ko)
+
+(* Growable pair buffer: matches accumulate here and flush into the
+   result list in bulk (one quota charge and capacity check per flush
+   instead of per pair). *)
+type pair_buf = { mutable buf : Temp_list.entry array; mutable bn : int }
+
+let pair_buf () = { buf = Array.make 256 [||]; bn = 0 }
+
+let pair_push pb o i =
+  if pb.bn = Array.length pb.buf then begin
+    let grown = Array.make (2 * pb.bn) [||] in
+    Array.blit pb.buf 0 grown 0 pb.bn;
+    pb.buf <- grown
+  end;
+  pb.buf.(pb.bn) <- [| o; i |];
+  pb.bn <- pb.bn + 1
+
+let pair_flush pb out =
+  if pb.bn > 0 then begin
+    Temp_list.append_many out pb.buf pb.bn;
+    pb.bn <- 0
+  end
+
+(* Vectorized sequential hash join: batches carry pre-extracted join
+   keys, the build charges its per-tuple costs once per batch, and probes
+   walk value-carrying chains.  Identical counter totals to
+   {!hash_join_seq} (same table shape, same per-operation bumps). *)
+let hash_join_batched ?outer_filter ~outer ~inner () =
+  let out = result_list outer inner in
+  let slots = max 16 (Relation.count inner.rel / 2) in
+  let table = Array.make slots None in
+  Relation.iter_batches ~key_col:inner.col inner.rel (fun b ->
+      let n = b.Batch.n in
+      (* scalar insert cost per inner tuple: one hash call + one
+         dereference (hash_on), one node alloc, one data move *)
+      Counters.bump_hash_calls ~n ();
+      Counters.bump_ptr_derefs ~n ();
+      Counters.bump_node_allocs ~n ();
+      Counters.bump_data_moves ~n ();
+      for i = 0 to n - 1 do
+        let k = b.Batch.keys.(i) in
+        let s = hslot ~slots k in
+        table.(s) <- Some { hkey = k; htup = b.Batch.tuples.(i); hnext = table.(s) }
+      done);
+  let pb = pair_buf () in
+  Relation.iter_batches ~key_col:outer.col outer.rel (fun b ->
+      for i = 0 to b.Batch.n - 1 do
+        let o = b.Batch.tuples.(i) in
+        if keep outer_filter o then begin
+          (* scalar probe extracts the outer key: one dereference *)
+          Counters.bump_ptr_derefs ();
+          probe_chain table ~slots b.Batch.keys.(i) ~emit:(fun it ->
+              pair_push pb o it)
+        end
+      done;
+      pair_flush pb out);
+  out
+
 (* Below this combined cardinality the partitioned variant loses to the
    fork/join overhead. *)
 let parallel_join_threshold = 2048
@@ -163,6 +258,146 @@ let hash_join_par pool ?outer_filter ~outer ~inner () =
   in
   Temp_list.concat desc (Array.to_list locals)
 
+(* --- skew-robust partition-wise processing (2112.02480) ----------------- *)
+
+(* The hybrid-hash trade-offs of "Design Trade-offs for a Robust Dynamic
+   Hybrid Hash Join" translated to the in-memory setting: a partition
+   whose build side exceeds its working-set bound is not built blindly.
+   In preference order:
+
+   - {e role reversal} — build on the (smaller) probe side instead: the
+     fix for a single hot key, which no amount of repartitioning can
+     split (every repeat lands in the same partition);
+   - {e recursive repartitioning} — re-split on a salted hash, bounded
+     depth: the fix for many distinct keys that merely collided;
+   - give up and build anyway (bounded depth exhausted, both sides
+     oversized) — correctness never depends on the heuristics.
+
+   Events are counted in {!repartitions} / {!role_reversals} for STATS
+   and the join trace span.  When neither trigger fires (uniform keys),
+   the partition is processed exactly like the scalar partitioned join,
+   bump-for-bump. *)
+
+let max_repartition_depth = 2
+let repartition_fanout = 8
+
+(* A partition's build side may exceed the even share by 2x before the
+   skew machinery engages; the floor keeps small partitions out of it
+   entirely (and keeps randomized equivalence workloads deterministic). *)
+let skew_bound_floor = 1024
+
+(* Build a value-carrying chain table on [build], probe with
+   [probe_side]; [rev] means roles were reversed and emission swaps back
+   to (outer, inner). *)
+let build_probe ~emit ~rev build probe_side =
+  let nb = Array.length build in
+  let slots = max 16 (nb / 2) in
+  let table = Array.make slots None in
+  Counters.bump_hash_calls ~n:nb ();
+  Counters.bump_ptr_derefs ~n:nb ();
+  Counters.bump_node_allocs ~n:nb ();
+  Counters.bump_data_moves ~n:nb ();
+  Array.iter
+    (fun (k, t) ->
+      let s = hslot ~slots k in
+      table.(s) <- Some { hkey = k; htup = t; hnext = table.(s) })
+    build;
+  Array.iter
+    (fun (k, t) ->
+      probe_chain table ~slots k ~emit:(fun m ->
+          if rev then emit m t else emit t m))
+    probe_side
+
+let rec bucket_join ~emit ~bound ~depth inners outers =
+  let ni = Array.length inners and no = Array.length outers in
+  if ni = 0 || no = 0 then ()
+  else if ni <= bound then build_probe ~emit ~rev:false inners outers
+  else if no < ni && no <= bound then begin
+    Atomic.incr role_reversals;
+    build_probe ~emit ~rev:true outers inners
+  end
+  else if depth < max_repartition_depth then begin
+    Atomic.incr repartitions;
+    let sub = repartition_fanout in
+    let salt = 0x9e3779b9 * (depth + 1) in
+    let route k = Hashtbl.hash (Value.hash k lxor salt) mod sub in
+    let si = Array.make sub [] and so = Array.make sub [] in
+    Array.iter
+      (fun ((k, _) as pr) ->
+        let b = route k in
+        si.(b) <- pr :: si.(b))
+      inners;
+    Array.iter
+      (fun ((k, _) as pr) ->
+        let b = route k in
+        so.(b) <- pr :: so.(b))
+      outers;
+    for b = 0 to sub - 1 do
+      bucket_join ~emit ~bound ~depth:(depth + 1)
+        (Array.of_list (List.rev si.(b)))
+        (Array.of_list (List.rev so.(b)))
+    done
+  end
+  else if no < ni then begin
+    Atomic.incr role_reversals;
+    build_probe ~emit ~rev:true outers inners
+  end
+  else build_probe ~emit ~rev:false inners outers
+
+(* Batched partitioned hash join: both sides are collected as (key,
+   tuple) pairs on the coordinator — through {!Relation.iter_batches},
+   so under an MVCC snapshot the keys are version-resolved here and the
+   worker jobs never dereference a tuple — routed into per-worker
+   partitions, and each partition is processed with the skew-robust
+   [bucket_join].  With uniform keys the counters match the scalar
+   partitioned join exactly; when a skew trigger fires they diverge
+   (role reversal builds the other side), which is the point. *)
+let hash_join_par_batched pool ?outer_filter ~outer ~inner () =
+  let p = Domain_pool.size pool in
+  let route v = Value.hash v land max_int mod p in
+  let inner_parts = Array.make p [] in
+  let total_inner = ref 0 in
+  Relation.iter_batches ~key_col:inner.col inner.rel (fun b ->
+      (* scalar routing extracts the inner key: one dereference each *)
+      Counters.bump_ptr_derefs ~n:b.Batch.n ();
+      total_inner := !total_inner + b.Batch.n;
+      for i = 0 to b.Batch.n - 1 do
+        let k = b.Batch.keys.(i) in
+        let bkt = route k in
+        inner_parts.(bkt) <- (k, b.Batch.tuples.(i)) :: inner_parts.(bkt)
+      done);
+  let outer_parts = Array.make p [] in
+  Relation.iter_batches ~key_col:outer.col outer.rel (fun b ->
+      for i = 0 to b.Batch.n - 1 do
+        let o = b.Batch.tuples.(i) in
+        if keep outer_filter o then begin
+          Counters.bump_ptr_derefs ();
+          let k = b.Batch.keys.(i) in
+          let bkt = route k in
+          outer_parts.(bkt) <- (k, o) :: outer_parts.(bkt)
+        end
+      done);
+  let desc =
+    Descriptor.join
+      (Descriptor.of_schema (Relation.schema outer.rel))
+      (Descriptor.of_schema (Relation.schema inner.rel))
+  in
+  let bound = max skew_bound_floor (2 * !total_inner / p) in
+  let locals =
+    Domain_pool.parallel_map pool
+      (fun bkt ->
+        let local = Temp_list.create desc in
+        let inners = Array.of_list (List.rev inner_parts.(bkt)) in
+        let outers = Array.of_list (List.rev outer_parts.(bkt)) in
+        let pb = pair_buf () in
+        bucket_join ~emit:(fun o i -> pair_push pb o i) ~bound ~depth:0
+          inners outers;
+        pair_flush pb local;
+        local)
+      (Array.init p (fun b -> b))
+  in
+  Temp_list.concat desc (Array.to_list locals)
+
 let hash_join ?pool ?outer_filter ~outer ~inner () =
   match pool with
   | Some pool
@@ -170,8 +405,12 @@ let hash_join ?pool ?outer_filter ~outer ~inner () =
          && (not (Domain_pool.in_worker ()))
          && Relation.count outer.rel + Relation.count inner.rel
             >= parallel_join_threshold ->
-      hash_join_par pool ?outer_filter ~outer ~inner ()
-  | _ -> hash_join_seq ?outer_filter ~outer ~inner ()
+      if Batch.enabled () then
+        hash_join_par_batched pool ?outer_filter ~outer ~inner ()
+      else hash_join_par pool ?outer_filter ~outer ~inner ()
+  | _ ->
+      if Batch.enabled () then hash_join_batched ?outer_filter ~outer ~inner ()
+      else hash_join_seq ?outer_filter ~outer ~inner ()
 
 (* --- tree join ----------------------------------------------------------- *)
 
@@ -279,40 +518,97 @@ let merge_arrays ~key1 ~key2 arr1 arr2 ~emit =
     end
   done
 
-(* Sort Merge: build array indexes on both join columns and quicksort them
-   (§3.3.2), then merge.  Build cost is always charged.  With a pool, the
-   two sides sort concurrently and each sort is itself parallel
-   ([Qsort.sort_parallel] — slice quicksorts plus parallel merge rounds);
-   the final merge join stays sequential (it emits into one list). *)
-let sort_merge ?pool ?(cutoff = 10) ?outer_filter ~outer ~inner () =
+(* Batched Sort Merge: both sides are collected as (key, tuple) pairs
+   through {!Relation.iter_batches} (snapshot-safe key extraction at fill
+   time), sorted on the cached key — so the comparator and the merge's
+   key reads touch a contiguous pair array instead of dereferencing two
+   tuples per comparison — and merged with bulk pair emission.  Counter
+   parity with the scalar kernel: the comparator charges the two
+   dereferences [Tuple.compare_on] would pay, the merge key extractors
+   one each, and [Qsort]'s counted primitives add the comparisons and
+   moves, so with the same kernel the §3.1 totals are identical. *)
+let sort_merge_batched ?pool ~cutoff ?outer_filter ~outer ~inner () =
   let out = result_list outer inner in
   let collect ?filter side =
     let acc = ref [] and n = ref 0 in
-    Relation.iter side.rel (fun t ->
-        if keep filter t then begin
-          acc := t :: !acc;
-          incr n
-        end);
-    let arr = Array.make !n (Tuple.probe [||]) in
-    List.iteri (fun i t -> arr.(!n - 1 - i) <- t) !acc;
+    Relation.iter_batches ~key_col:side.col side.rel (fun b ->
+        for i = 0 to b.Batch.n - 1 do
+          let t = b.Batch.tuples.(i) in
+          if keep filter t then begin
+            acc := (b.Batch.keys.(i), t) :: !acc;
+            incr n
+          end
+        done);
+    let arr = Array.make !n (Value.Null, Tuple.probe [||]) in
+    List.iteri (fun i p -> arr.(!n - 1 - i) <- p) !acc;
     arr
   in
   let arr1 = collect ?filter:outer_filter outer and arr2 = collect inner in
-  let sort side arr =
-    let cmp = Tuple.compare_on ~columns:[| side.col |] in
-    match pool with
-    | Some pool when not (Domain_pool.in_worker ()) ->
-        Qsort.sort_parallel ~pool ~cutoff ~cmp arr
-    | _ -> Qsort.sort ~cutoff ~cmp arr
+  let kern =
+    Qsort.choose
+      ~n:(max (Array.length arr1) (Array.length arr2))
+      ~batched:true
   in
-  (* The sides sort one after the other: each parallel sort already uses
-     every worker, and submitting a side as a task itself would nest
-     pools (forcing its inner sort sequential). *)
-  sort outer arr1;
-  sort inner arr2;
-  merge_arrays ~key1:(key outer) ~key2:(key inner) arr1 arr2
-    ~emit:(fun a b -> Temp_list.append out [| a; b |]);
+  if Trace.active () then Trace.add_attr "sort_kernel" (Qsort.kernel_name kern);
+  let cmp (k1, _) (k2, _) =
+    Counters.bump_ptr_derefs ~n:2 ();
+    Value.compare k1 k2
+  in
+  Qsort.sort_with ~cutoff ?pool kern ~cmp arr1;
+  Qsort.sort_with ~cutoff ?pool kern ~cmp arr2;
+  let kread (k, _) =
+    Counters.bump_ptr_derefs ();
+    k
+  in
+  let pb = pair_buf () in
+  merge_arrays ~key1:kread ~key2:kread arr1 arr2
+    ~emit:(fun (_, a) (_, b) -> pair_push pb a b);
+  pair_flush pb out;
   out
+
+(* Sort Merge: build array indexes on both join columns and sort them
+   (§3.3.2) — the paper's quicksort, or the DPG cache-efficient kernel
+   when {!Qsort.choose} picks it — then merge.  Build cost is always
+   charged.  With a pool, each quicksort is itself parallel
+   ([Qsort.sort_parallel] — slice quicksorts plus parallel merge rounds);
+   the final merge join stays sequential (it emits into one list). *)
+let sort_merge ?pool ?(cutoff = 10) ?outer_filter ~outer ~inner () =
+  if Batch.enabled () then
+    sort_merge_batched ?pool ~cutoff ?outer_filter ~outer ~inner ()
+  else begin
+    let out = result_list outer inner in
+    let collect ?filter side =
+      let acc = ref [] and n = ref 0 in
+      Relation.iter side.rel (fun t ->
+          if keep filter t then begin
+            acc := t :: !acc;
+            incr n
+          end);
+      let arr = Array.make !n (Tuple.probe [||]) in
+      List.iteri (fun i t -> arr.(!n - 1 - i) <- t) !acc;
+      arr
+    in
+    let arr1 = collect ?filter:outer_filter outer and arr2 = collect inner in
+    let kern =
+      Qsort.choose
+        ~n:(max (Array.length arr1) (Array.length arr2))
+        ~batched:false
+    in
+    if Trace.active () then
+      Trace.add_attr "sort_kernel" (Qsort.kernel_name kern);
+    let sort side arr =
+      let cmp = Tuple.compare_on ~columns:[| side.col |] in
+      Qsort.sort_with ~cutoff ?pool kern ~cmp arr
+    in
+    (* The sides sort one after the other: each parallel sort already uses
+       every worker, and submitting a side as a task itself would nest
+       pools (forcing its inner sort sequential). *)
+    sort outer arr1;
+    sort inner arr2;
+    merge_arrays ~key1:(key outer) ~key2:(key inner) arr1 arr2
+      ~emit:(fun a b -> Temp_list.append out [| a; b |]);
+    out
+  end
 
 (* Tree Merge: merge join over pre-existing T Tree indexes on both sides.
    The tree scan follows node pointers, which is why the paper measures it
@@ -452,9 +748,12 @@ let run ?pool ?outer_filter method_ ~outer ~inner =
   (* Under an MVCC snapshot the tree methods are out: they walk raw index
      handles the writer mutates concurrently.  The sequential hash/merge
      variants read tuples only through the diverted [Relation.iter] /
-     [Tuple.get], so they see the snapshot; the parallel variants run on
-     worker domains whose DLS has no snapshot, so the pool is dropped
-     (same reasoning as [Select.use_parallel_scan]). *)
+     [Tuple.get], so they see the snapshot.  The batched parallel
+     variants collect (key, tuple) pairs on the coordinator — where the
+     snapshot is installed — through [Relation.iter_batches], so their
+     worker jobs never dereference a tuple and the pool is safe to keep;
+     only the scalar ablation ([MMDB_BATCH=0]) still drops it (its
+     workers would read through a snapshot-free DLS). *)
   let snapshot = Version_store.current_snapshot () <> None in
   let method_ =
     if not snapshot then method_
@@ -464,12 +763,15 @@ let run ?pool ?outer_filter method_ ~outer ~inner =
       | Tree_merge -> Sort_merge
       | m -> m
   in
-  let pool = if snapshot then None else pool in
+  let pool = if snapshot && not (Batch.enabled ()) then None else pool in
   if Trace.active () then begin
     Trace.add_attr "method" (method_name method_);
     Trace.add_attr "outer" (Relation.name outer.rel);
-    Trace.add_attr "inner" (Relation.name inner.rel)
+    Trace.add_attr "inner" (Relation.name inner.rel);
+    if Batch.enabled () then
+      Trace.add_attr "batch" (string_of_int (Batch.size ()))
   end;
+  let rp0, rv0 = skew_stats () in
   let out =
     match method_ with
     | Nested_loops -> nested_loops ?outer_filter ~outer ~inner ()
@@ -478,6 +780,11 @@ let run ?pool ?outer_filter method_ ~outer ~inner =
     | Sort_merge -> sort_merge ?pool ?outer_filter ~outer ~inner ()
     | Tree_merge -> tree_merge ?outer_filter ~outer ~inner ()
   in
-  if Trace.active () then
-    Trace.add_attr "rows" (string_of_int (Temp_list.length out));
+  if Trace.active () then begin
+    let rp1, rv1 = skew_stats () in
+    if rp1 > rp0 then Trace.add_attr "repartitions" (string_of_int (rp1 - rp0));
+    if rv1 > rv0 then
+      Trace.add_attr "role_reversals" (string_of_int (rv1 - rv0));
+    Trace.add_attr "rows" (string_of_int (Temp_list.length out))
+  end;
   out

@@ -83,6 +83,13 @@ val run :
     variants of {!hash_join} and {!sort_merge}; the other methods ignore
     it. *)
 
+val skew_stats : unit -> int * int
+(** [(repartitions, role_reversals)]: cumulative counts of the
+    skew-handling events the batched partitioned join has taken
+    (recursive repartitioning of an oversized bucket; building on the
+    probe side when a hot key makes the inner bucket unsplittable).
+    Surfaced in STATS and in the join trace span. *)
+
 (** {1 Non-equijoins (§3.3.5)} *)
 
 type inequality = Lt | Le | Gt | Ge

@@ -191,6 +191,8 @@ let plan ?stats db (q : Query.t) =
   in
   if Mmdb_util.Trace.active () then begin
     Mmdb_util.Trace.add_attr "outer" (Relation.name outer);
+    if Batch.enabled () then
+      Mmdb_util.Trace.add_attr "batch" (string_of_int (Batch.size ()));
     (match paths with
     | (path, _) :: _ ->
         Mmdb_util.Trace.add_attr "access" (Fmt.str "%a" Select.pp_path path)
@@ -220,6 +222,17 @@ let plan ?stats db (q : Query.t) =
 
 let pp_plan ppf p =
   Fmt.pf ppf "@[<v>outer: %s@," (Relation.name p.p_outer);
+  (* Execution-mode line: batched vs tuple-at-a-time, and which sort
+     kernel mode large sorts would pick (see Qsort.choose). *)
+  (if Batch.enabled () then
+     Fmt.pf ppf "execution: batched (batch size %d, sort kernel %s)@,"
+       (Batch.size ())
+       (Mmdb_util.Qsort.kernel_name
+          (Mmdb_util.Qsort.choose ~n:max_int ~batched:true))
+   else
+     Fmt.pf ppf "execution: tuple-at-a-time (sort kernel %s)@,"
+       (Mmdb_util.Qsort.kernel_name
+          (Mmdb_util.Qsort.choose ~n:max_int ~batched:false)));
   List.iter
     (fun (path, _) -> Fmt.pf ppf "access: %a@," Select.pp_path path)
     p.p_paths;

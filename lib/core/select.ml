@@ -94,6 +94,44 @@ let scan_parallel pool rel ~keep out =
   in
   Array.iter (fun l -> Temp_list.append_all out l) locals
 
+(* Snapshot-safe batched parallel scan (the fix for the PR 6 regression
+   where any live snapshot forced scans sequential): the coordinator
+   captures the relation's immutable membership-view spine once, chunks
+   it, and each worker filters its chunk by visibility at the
+   coordinator's snapshot — installed in the worker's DLS via
+   {!Version_store.with_installed_snapshot}, which is safe because the
+   coordinator holds its registry slot until every future is awaited —
+   so residual [Tuple.get]s resolve snapshot-consistent values.  The
+   visibility filter runs once per tuple here instead of per field
+   access downstream.  Emission order is chunk order (result sets are
+   unordered); MVCC-mode equivalence with the sequential path is by
+   multiset. *)
+let scan_parallel_snapshot pool rel ~snapshot ~keep out =
+  let tuples =
+    Array.of_list (Atomic.get (Relation.view rel).Version_store.tuples)
+  in
+  let n = Array.length tuples in
+  let desc = Temp_list.descriptor out in
+  if n > 0 then begin
+    let ranges =
+      Domain_pool.chunks ~n ~pieces:(4 * Domain_pool.size pool)
+    in
+    let locals =
+      Domain_pool.parallel_map pool
+        (fun (lo, hi) ->
+          let local = Temp_list.create desc in
+          Version_store.with_installed_snapshot snapshot (fun () ->
+              for i = lo to hi - 1 do
+                let t = tuples.(i) in
+                if Version_store.visible_at snapshot t && keep t then
+                  Temp_list.append local [| t |]
+              done);
+          local)
+        ranges
+    in
+    Array.iter (fun l -> Temp_list.append_all out l) locals
+  end
+
 let use_parallel_scan pool rel =
   match pool with
   | None -> None
@@ -101,13 +139,87 @@ let use_parallel_scan pool rel =
       if
         Domain_pool.size pool > 1
         && (not (Domain_pool.in_worker ()))
-        (* a snapshot read must not walk raw partitions: it needs the
-           visibility-filtered view scan Relation.iter diverts to *)
-        && Version_store.current_snapshot () = None
+        (* a snapshot read must not walk raw partitions; with batching
+           it takes [scan_parallel_snapshot] over the membership view
+           instead, without batching it stays sequential *)
+        && (Version_store.current_snapshot () = None || Batch.enabled ())
         && Relation.count rel >= parallel_scan_threshold
-        && List.length (Relation.partitions rel) > 1
+        && (Version_store.current_snapshot () <> None
+           || List.length (Relation.partitions rel) > 1)
       then Some pool
       else None
+
+(* The vectorized sequential scan: batches come off the relation with
+   the first indexable predicate's column pre-extracted into the key
+   slice, the first predicate is evaluated in a monomorphic loop over
+   that contiguous slice, and survivors flush with one bulk append per
+   batch.  Counter bumps mirror the tuple-at-a-time path operation for
+   operation — one logical dereference per first-predicate evaluation
+   (amortized into a single [~n] bump per batch), residuals through the
+   same counted [matches] — so §3.1 totals are identical. *)
+let scan_batched rel ~predicates out =
+  let key_col, check_first, rest =
+    match predicates with
+    | Eq (c, v) :: rest -> (Some c, (fun k -> Value.equal k v), rest)
+    | Between (c, lo, hi) :: rest ->
+        ( Some c,
+          (fun k -> Value.compare lo k <= 0 && Value.compare k hi <= 0),
+          rest )
+    | rest -> (None, (fun _ -> true), rest)
+  in
+  let size = Batch.size () in
+  let keep = Array.make size (Tuple.probe [||]) in
+  (* Monomorphic kernels for the hot shapes: a lone int [Eq]/[Between]
+     head runs an unboxed comparison loop over the contiguous key slice
+     instead of a closure call + polymorphic compare per tuple. *)
+  let filter_keys =
+    match (predicates, rest) with
+    | Eq (_, Value.Int v) :: _, [] ->
+        fun keys tuples n m ->
+          for i = 0 to n - 1 do
+            match keys.(i) with
+            | Value.Int k when k = v ->
+                keep.(!m) <- tuples.(i);
+                incr m
+            | _ -> ()
+          done
+    | Between (_, Value.Int lo, Value.Int hi) :: _, [] ->
+        fun keys tuples n m ->
+          for i = 0 to n - 1 do
+            match keys.(i) with
+            | Value.Int k when lo <= k && k <= hi ->
+                keep.(!m) <- tuples.(i);
+                incr m
+            | _ -> ()
+          done
+    | _ ->
+        fun keys tuples n m ->
+          for i = 0 to n - 1 do
+            if check_first keys.(i) && List.for_all (matches tuples.(i)) rest
+            then begin
+              keep.(!m) <- tuples.(i);
+              incr m
+            end
+          done
+  in
+  Relation.iter_batches ?key_col ~size rel (fun b ->
+      let n = b.Batch.n in
+      let m = ref 0 in
+      (match key_col with
+      | Some _ ->
+          (* the scalar path pays one [Tuple.get] per tuple for the
+             first predicate; same total, bumped once per batch *)
+          Counters.bump_ptr_derefs ~n ();
+          filter_keys b.Batch.keys b.Batch.tuples n m
+      | None ->
+          for i = 0 to n - 1 do
+            let t = b.Batch.tuples.(i) in
+            if List.for_all (matches t) rest then begin
+              keep.(!m) <- t;
+              incr m
+            end
+          done);
+      if !m > 0 then Temp_list.append_n out keep !m)
 
 (* Run a selection with an explicit access path; residual predicates are
    applied on top.  The first predicate is the indexable one. *)
@@ -115,7 +227,9 @@ let run ?pool rel ~path ~predicates =
   Trace.with_span "select" @@ fun () ->
   if Trace.active () then begin
     Trace.add_attr "relation" (Relation.name rel);
-    Trace.add_attr "path" (Fmt.str "%a" pp_path path)
+    Trace.add_attr "path" (Fmt.str "%a" pp_path path);
+    if path = Sequential_scan && Batch.enabled () then
+      Trace.add_attr "batch" (string_of_int (Batch.size ()))
   end;
   let out = Temp_list.create (Descriptor.of_schema (Relation.schema rel)) in
   let residual_ok tuple rest = List.for_all (matches tuple) rest in
@@ -133,11 +247,19 @@ let run ?pool rel ~path ~predicates =
           if residual_ok tuple rest then Temp_list.append out [| tuple |])
   | Sequential_scan, preds -> (
       match use_parallel_scan pool rel with
-      | Some pool ->
-          scan_parallel pool rel ~keep:(fun t -> residual_ok t preds) out
+      | Some pool -> (
+          match Version_store.current_snapshot () with
+          | Some s when Batch.enabled () ->
+              scan_parallel_snapshot pool rel ~snapshot:s
+                ~keep:(fun t -> residual_ok t preds)
+                out
+          | _ ->
+              scan_parallel pool rel ~keep:(fun t -> residual_ok t preds) out)
       | None ->
-          Relation.iter rel (fun tuple ->
-              if residual_ok tuple preds then Temp_list.append out [| tuple |]))
+          if Batch.enabled () then scan_batched rel ~predicates:preds out
+          else
+            Relation.iter rel (fun tuple ->
+                if residual_ok tuple preds then Temp_list.append out [| tuple |]))
   | (Hash_lookup _ | Tree_lookup _), _ ->
       invalid_arg "Select.run: access path incompatible with predicate");
   if Trace.active () then

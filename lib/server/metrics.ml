@@ -245,6 +245,12 @@ let render t ~active ~readers ~domains =
          v.st_enabled v.st_commit_ts v.st_snapshots_taken v.st_live_snapshots
          v.st_oldest_snapshot_age v.st_gc_runs v.st_versions_created
          v.st_versions_reclaimed v.st_tuples_swept v.st_max_chain);
+      (let b = Mmdb_storage.Batch.stats () in
+       let reparts, reversals = Mmdb_core.Join.skew_stats () in
+       Printf.sprintf
+         "batch:       enabled=%b size=%d batches=%d rows=%d \
+          join_repartitions=%d join_role_reversals=%d"
+         b.st_enabled b.st_size b.st_batches b.st_rows reparts reversals);
     ]
   in
   let kinds =
@@ -338,6 +344,18 @@ let stats_json t ~active ~readers ~domains =
                ("versions_reclaimed", Json.Int v.st_versions_reclaimed);
                ("tuples_swept", Json.Int v.st_tuples_swept);
                ("max_chain", Json.Int v.st_max_chain);
+             ] );
+         ( "batch",
+           let b = Mmdb_storage.Batch.stats () in
+           let reparts, reversals = Mmdb_core.Join.skew_stats () in
+           Json.Obj
+             [
+               ("enabled", Json.Bool b.st_enabled);
+               ("size", Json.Int b.st_size);
+               ("batches", Json.Int b.st_batches);
+               ("rows", Json.Int b.st_rows);
+               ("join_repartitions", Json.Int reparts);
+               ("join_role_reversals", Json.Int reversals);
              ] );
          ( "by_kind",
            Json.Obj

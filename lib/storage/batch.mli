@@ -1,0 +1,53 @@
+(** Fixed-size execution batches: vectors of tuple pointers plus an
+    extracted value slice for one hot column.  Produced by
+    {!Relation.iter_batches}; consumed by the vectorized operator kernels
+    in [Select] / [Join].  See DESIGN.md "Batched execution".
+
+    Key extraction into a batch is uncounted — the consuming kernel
+    accounts the paper's §3.1 operations itself so that batched and
+    tuple-at-a-time paths report identical counter totals. *)
+
+val default_size : int
+(** 256: large enough to amortize per-batch bookkeeping, small enough
+    that a batch's key slice stays cache-resident. *)
+
+val enabled : unit -> bool
+(** Whether the vectorized paths are active ([MMDB_BATCH]; default on). *)
+
+val size : unit -> int
+(** The configured batch size. *)
+
+val set_enabled : bool -> unit
+val set_size : int -> unit
+(** [set_size n] with [n <= 0] disables batching (the [MMDB_BATCH=0]
+    ablation); otherwise sets the batch size. *)
+
+val configure : enabled:bool -> size:int -> unit
+
+type stats = {
+  st_enabled : bool;
+  st_size : int;
+  st_batches : int;  (** batches produced by scan entry points *)
+  st_rows : int;  (** rows carried in those batches *)
+}
+
+val stats : unit -> stats
+
+val note_batch : rows:int -> unit
+(** Record one produced batch (called by the scan entry points). *)
+
+type t = {
+  tuples : Tuple.t array;  (** valid in [0, n) *)
+  keys : Value.t array;  (** hot-column values, parallel to [tuples] *)
+  mutable n : int;
+}
+
+val create : ?size:int -> unit -> t
+(** A fresh batch; [size] defaults to the configured {!size}. *)
+
+val capacity : t -> int
+val clear : t -> unit
+val is_full : t -> bool
+
+val push : t -> Tuple.t -> Value.t -> unit
+(** Append one (tuple, hot-key) pair; the caller checks {!is_full}. *)

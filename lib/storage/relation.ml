@@ -391,6 +391,56 @@ let iter_via ?index t f =
       let (module Inst) = inst in
       Inst.I.iter Inst.handle f
 
+(* Batched scan production: fill fixed-size batches of tuple pointers
+   with the values of [key_col] extracted into the batch's key slice.
+   Under a snapshot the visibility filtering and version resolution
+   happen here, at batch-fill time, instead of per downstream
+   [Tuple.get] — this is what makes the vectorized kernels snapshot-safe
+   on cached keys.  Extraction is uncounted ({!Tuple.peek}): the
+   consuming kernel accounts the §3.1 logical dereferences itself, so
+   batched and tuple-at-a-time counter totals match exactly.  The
+   emission order is the same as {!iter}'s (primary-index order, or the
+   sorted visible set under a snapshot). *)
+let iter_batches ?key_col ?size t f =
+  let size = match size with Some s -> max 1 s | None -> Batch.size () in
+  let b = Batch.create ~size () in
+  let tuples = b.Batch.tuples in
+  let keys = b.Batch.keys in
+  let cap = Array.length tuples in
+  (* snapshot state read once per scan, not once per tuple *)
+  let read = Tuple.scan_reader () in
+  let flush () =
+    if b.Batch.n > 0 then begin
+      Batch.note_batch ~rows:b.Batch.n;
+      f b;
+      Batch.clear b
+    end
+  in
+  let push =
+    match key_col with
+    | None ->
+        fun tu ->
+          let n = b.Batch.n in
+          tuples.(n) <- tu;
+          b.Batch.n <- n + 1;
+          if n + 1 >= cap then flush ()
+    | Some c ->
+        fun tu ->
+          let n = b.Batch.n in
+          tuples.(n) <- tu;
+          keys.(n) <- read tu c;
+          b.Batch.n <- n + 1;
+          if n + 1 >= cap then flush ()
+  in
+  (match Version_store.current_snapshot () with
+  | Some s ->
+      let (module P) = primary t in
+      List.iter push (snapshot_tuples t s ~columns:P.def.columns)
+  | None ->
+      let (module Inst) = primary t in
+      Inst.I.iter Inst.handle push);
+  flush ()
+
 (* Direct partition access — recovery subsystem only. *)
 let iter_storage t f = List.iter (fun p -> Partition.iter p f) (partitions t)
 

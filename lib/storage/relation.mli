@@ -141,6 +141,18 @@ val iter : t -> (Tuple.t -> unit) -> unit
 val to_seq : t -> Tuple.t Seq.t
 val iter_via : ?index:string -> t -> (Tuple.t -> unit) -> unit
 
+val iter_batches :
+  ?key_col:int -> ?size:int -> t -> (Batch.t -> unit) -> unit
+(** Batched scan production for the vectorized operator kernels: fills
+    fixed-size batches (tuple pointers plus the extracted [key_col]
+    slice) in {!iter} order and hands each to [f].  The batch is reused
+    across calls — consume it before returning.  Under an MVCC snapshot,
+    visibility filtering and version resolution happen once at fill
+    time, so kernels reading the key slice are snapshot-safe without
+    further [Tuple.get]s.  Key extraction is uncounted; the consumer
+    accounts the §3.1 dereferences.  [size] defaults to
+    {!Batch.size}. *)
+
 val iter_storage : t -> (Tuple.t -> unit) -> unit
 (** Direct partition iteration — recovery subsystem only. *)
 

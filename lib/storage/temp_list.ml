@@ -85,6 +85,40 @@ let append_all t src =
     t.count <- needed
   end
 
+(* Bulk appends for the batched kernels: one quota charge and one
+   capacity check per flush instead of per entry. *)
+let ensure_capacity t needed template =
+  if needed > Array.length t.entries then begin
+    let cap = max 16 (max needed (2 * Array.length t.entries)) in
+    let grown = Array.make cap template in
+    Array.blit t.entries 0 grown 0 t.count;
+    t.entries <- grown
+  end
+
+(* The first [n] tuples of [tuples] become single-source entries. *)
+let append_n t tuples n =
+  if Descriptor.n_sources t.desc <> 1 then
+    invalid_arg "Temp_list.append_n: single-source lists only";
+  if n > 0 then begin
+    charge n;
+    ensure_capacity t (t.count + n) [| tuples.(0) |];
+    for i = 0 to n - 1 do
+      t.entries.(t.count + i) <- [| tuples.(i) |]
+    done;
+    t.count <- t.count + n
+  end
+
+(* The first [n] already-built entries of [entries]. *)
+let append_many t entries n =
+  if n > 0 then begin
+    if Array.length entries.(0) <> Descriptor.n_sources t.desc then
+      invalid_arg "Temp_list.append_many: entry arity does not match";
+    charge n;
+    ensure_capacity t (t.count + n) entries.(0);
+    Array.blit entries 0 t.entries t.count n;
+    t.count <- t.count + n
+  end
+
 let concat desc parts =
   let t = create desc in
   List.iter (fun p -> append_all t p) parts;

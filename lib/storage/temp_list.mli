@@ -44,6 +44,18 @@ val append_all : t -> t -> unit
     operators.  [src] is unchanged.
     @raise Invalid_argument on source-count mismatch. *)
 
+val append_n : t -> Tuple.t array -> int -> unit
+(** [append_n t tuples n] appends the first [n] tuples as single-source
+    entries with one quota charge and one capacity check — the flush of
+    a batched selection kernel.
+    @raise Invalid_argument on a multi-source list. *)
+
+val append_many : t -> entry array -> int -> unit
+(** [append_many t entries n] appends the first [n] prebuilt entries with
+    one quota charge and one capacity check — the flush of a batched
+    join kernel.
+    @raise Invalid_argument on entry-arity mismatch. *)
+
 val concat : Descriptor.t -> t list -> t
 (** A fresh list holding the entries of each part in order. *)
 

@@ -42,6 +42,25 @@ let get (t : t) i =
 (* Raw accessor without counter or forwarding, for internal bookkeeping. *)
 let get_raw (t : t) i = t.Value.fields.(i)
 
+(* Snapshot-honouring field read without the ptr_deref tally: the batched
+   kernels extract key slices with [peek] at batch-fill time and account
+   the paper's logical dereferences themselves, per evaluation rather
+   than per extraction, so §3.1 totals match the tuple-at-a-time path. *)
+let peek (t : t) i =
+  let t = resolve t in
+  match Version_store.snapshot_fields t with
+  | Some frozen -> frozen.(i)
+  | None -> t.Value.fields.(i)
+
+(* [peek] hoisted out of the loop: capture the ambient snapshot state
+   once per scan and return a field reader that skips the per-tuple
+   domain-local lookup.  The batch fill path ({!Relation.iter_batches})
+   calls this once and then reads thousands of fields through it. *)
+let scan_reader () =
+  match Version_store.current_snapshot () with
+  | None -> fun (t : t) i -> (resolve t).Value.fields.(i)
+  | Some s -> fun (t : t) i -> (Version_store.fields_at s (resolve t)).(i)
+
 let set (t : t) i v =
   let t = resolve t in
   t.Value.fields.(i) <- v

@@ -28,6 +28,16 @@ val get_raw : t -> int -> Value.t
 (** Field access without forwarding resolution or counting — internal
     bookkeeping only. *)
 
+val peek : t -> int -> Value.t
+(** Like {!get} — resolves forwarding and the active MVCC snapshot — but
+    without the ptr_deref tally.  Batch fill uses it to extract key
+    slices; the consuming kernel accounts the logical dereferences. *)
+
+val scan_reader : unit -> t -> int -> Value.t
+(** {!peek} with the snapshot state captured once: returns a field reader
+    for a whole scan, avoiding the per-tuple domain-local snapshot
+    lookup.  Uncounted, like {!peek}. *)
+
 val set : t -> int -> Value.t -> unit
 
 val fields : t -> Value.t array

@@ -152,6 +152,19 @@ let current_key : int option Domain.DLS.key =
 
 let current_snapshot () = Domain.DLS.get current_key
 
+(* Install an already-acquired snapshot timestamp in this domain's DLS
+   without taking a registry slot, run [f], restore.  For pool workers
+   executing one chunk of a coordinator's batched parallel scan: the
+   coordinator acquired [s] and holds its registry slot for the whole
+   parallel section (it awaits every worker future before releasing),
+   so the GC horizon cannot pass [s] while a worker runs under it. *)
+let with_installed_snapshot s f =
+  let outer = Domain.DLS.get current_key in
+  Domain.DLS.set current_key (Some s);
+  Fun.protect
+    ~finally:(fun () -> Domain.DLS.set current_key outer)
+    f
+
 (* Run [f] under a freshly acquired snapshot (or plainly when MVCC is
    off).  [f] receives the snapshot timestamp (-1 when off). *)
 let with_snapshot f =
@@ -456,6 +469,17 @@ let snapshot_fields (t : Value.tuple) =
           match version_at t s with
           | Some v -> Some v.Value.v_fields
           | None -> None (* inserted after [s]: fall back to live *)))
+
+(* Like {!snapshot_fields} but with the snapshot supplied by the caller:
+   scan loops capture the domain-local snapshot once and resolve every
+   tuple against it, instead of paying a DLS read per field access. *)
+let fields_at s (t : Value.tuple) =
+  match t.Value.vers.Value.vs with
+  | [] -> t.Value.fields
+  | _ -> (
+      match version_at t s with
+      | Some v -> v.Value.v_fields
+      | None -> t.Value.fields)
 
 let visible_at s (t : Value.tuple) =
   match t.Value.vers.Value.vs with

@@ -95,6 +95,92 @@ let merge_ranges ~cmp src dst lo mid hi =
     incr k
   done
 
+(* --- DPG-style cache-efficient sort ------------------------------------ *)
+
+(* The kernel behind PAPERS.md cs/0308004 ("A Cache-Efficient Accelerator
+   for Sorting and for Join Operators"): keep every quicksort working set
+   cache-resident by sorting fixed-size runs, then combine the runs with
+   streaming pairwise merges — sequential access patterns the prefetcher
+   loves, instead of quicksort's deep cache-hostile recursion over the
+   whole array.  Runs are quicksorted with the paper's counted
+   [sort_range] and merged with the counted [merge_ranges], so the
+   operation tallies stay honest; the comparison count differs from plain
+   quicksort's (merge rounds replace deep recursion) but keeps the same
+   O(n log n) envelope. *)
+
+let default_run = 4096
+
+let sort_dpg ?(cutoff = 10) ?(run = default_run) ~cmp a =
+  if cutoff < 1 then invalid_arg "Qsort.sort_dpg: cutoff must be >= 1";
+  if run < 2 then invalid_arg "Qsort.sort_dpg: run must be >= 2";
+  let n = Array.length a in
+  if n <= run then sort ~cutoff ~cmp a
+  else begin
+    (* Phase 1: sort cache-sized runs in place. *)
+    let runs = ref [] in
+    let lo = ref 0 in
+    while !lo < n do
+      let hi = min n (!lo + run) in
+      sort_range ~cutoff ~cmp a !lo (hi - 1);
+      runs := (!lo, hi) :: !runs;
+      lo := hi
+    done;
+    let runs = ref (List.rev !runs) in
+    (* Phase 2: streaming pairwise merge rounds, ping-ponging between the
+       array and a scratch buffer. *)
+    let scratch = Array.make n a.(0) in
+    let src = ref a and dst = ref scratch in
+    while List.length !runs > 1 do
+      let rec pair = function
+        | (lo1, mid) :: (lo2, hi) :: rest ->
+            assert (mid = lo2);
+            let s = !src and d = !dst in
+            merge_ranges ~cmp s d lo1 mid hi;
+            (lo1, hi) :: pair rest
+        | [ (lo, hi) ] ->
+            Array.blit !src lo !dst lo (hi - lo);
+            [ (lo, hi) ]
+        | [] -> []
+      in
+      runs := pair !runs;
+      let tmp = !src in
+      src := !dst;
+      dst := tmp
+    done;
+    if !src != a then Array.blit !src 0 a 0 n
+  end
+
+(* --- kernel selection --------------------------------------------------- *)
+
+type kernel = Quicksort | Dpg
+
+let kernel_name = function Quicksort -> "qsort" | Dpg -> "dpg"
+
+type mode = Auto | Force of kernel
+
+(* Below this cardinality a DPG pass cannot beat plain quicksort: the
+   whole array already fits in cache (one run). *)
+let dpg_threshold = default_run
+
+let mode_of_env = function
+  | Some "qsort" -> Force Quicksort
+  | Some "dpg" -> Force Dpg
+  | _ -> Auto
+
+let mode_ref = ref (mode_of_env (Sys.getenv_opt "MMDB_SORT"))
+
+let mode () = !mode_ref
+let set_mode m = mode_ref := m
+
+(* The selection rule (see DESIGN.md "Batched execution"): a forced
+   kernel always wins; in auto mode DPG is chosen only when the batched
+   paths are active ([batched], so MMDB_BATCH=0 stays paper-faithful)
+   and the array is big enough to span more than one cache-sized run. *)
+let choose ~n ~batched =
+  match !mode_ref with
+  | Force k -> k
+  | Auto -> if batched && n >= dpg_threshold then Dpg else Quicksort
+
 (* Below this size the slice sorts finish faster than the fork/join
    round trips they would save. *)
 let parallel_threshold = 2048
@@ -142,6 +228,18 @@ let sort_parallel ?(cutoff = 10) ~pool ~cmp a =
     done;
     if !src != a then Array.blit !src 0 a 0 n
   end
+
+(* One entry point over both kernels: DPG runs sequentially (its merge
+   passes are the cache win); quicksort takes the parallel slice-sort
+   path when a pool is available. *)
+let sort_with ?cutoff ?pool kernel ~cmp a =
+  match kernel with
+  | Dpg -> sort_dpg ?cutoff ~cmp a
+  | Quicksort -> (
+      match pool with
+      | Some pool when not (Domain_pool.in_worker ()) ->
+          sort_parallel ?cutoff ~pool ~cmp a
+      | _ -> sort ?cutoff ~cmp a)
 
 let is_sorted ~cmp a =
   let n = Array.length a in

@@ -30,5 +30,55 @@ val sort_parallel :
     case they differ (merge rounds replace deep quicksort recursion) but
     stay within the same O(n log n) envelope.  Not stable. *)
 
+(** {1 DPG-style cache-efficient sort}
+
+    The alternative kernel of PAPERS.md cs/0308004: quicksort
+    cache-sized runs, then combine them with streaming pairwise merge
+    rounds — sequential access instead of deep cache-hostile recursion.
+    Comparison/move counts go through the same counted primitives as
+    {!sort} (different totals, same O(n log n) envelope). *)
+
+val default_run : int
+(** 4096 elements: the run size that keeps a quicksort working set
+    cache-resident. *)
+
+val sort_dpg :
+  ?cutoff:int -> ?run:int -> cmp:('a -> 'a -> int) -> 'a array -> unit
+(** [sort_dpg ~cmp a] sorts in place: [run]-sized quicksorted runs plus
+    pairwise merge rounds.  Falls back to {!sort} when [a] fits in one
+    run.  Not stable. *)
+
+type kernel = Quicksort | Dpg
+
+val kernel_name : kernel -> string
+(** ["qsort"] / ["dpg"] — the names EXPLAIN and the bench JSONL use. *)
+
+type mode = Auto | Force of kernel
+
+val mode : unit -> mode
+val set_mode : mode -> unit
+(** Initialized from [MMDB_SORT] ([qsort] | [dpg] | [auto], default
+    auto). *)
+
+val dpg_threshold : int
+(** In auto mode, arrays below this cardinality always use quicksort
+    (they fit in one cache-sized run). *)
+
+val choose : n:int -> batched:bool -> kernel
+(** The selection rule: a forced mode wins; in auto mode DPG is chosen
+    only for [batched] execution (so the MMDB_BATCH=0 ablation stays
+    paper-faithful) at [n >= dpg_threshold]. *)
+
+val sort_with :
+  ?cutoff:int ->
+  ?pool:Domain_pool.t ->
+  kernel ->
+  cmp:('a -> 'a -> int) ->
+  'a array ->
+  unit
+(** Dispatch on the chosen kernel: [Dpg] runs {!sort_dpg} sequentially;
+    [Quicksort] uses {!sort_parallel} when a usable pool is given, else
+    {!sort}. *)
+
 val is_sorted : cmp:('a -> 'a -> int) -> 'a array -> bool
 (** [is_sorted ~cmp a] checks nondecreasing order (no counters bumped). *)

@@ -1,15 +1,18 @@
 #!/usr/bin/env bash
-# Refresh the checked-in performance baselines.  Runs the server and
-# micro experiments with JSONL output and rewrites BENCH_server.json /
-# BENCH_micro.json at the repo root, then asserts the acceptance bounds
-# from the fresh JSONL: under 2x overload, shed requests must exist
-# (typed Overloaded replies) and the accepted p99 must stay within 3x
-# the uncontended p99 (`overload_ok`); and with MVCC on, reader p99
-# under a background bulk-update writer must stay within 2x the
-# uncontended reader p99 (`mvcc_read_ok`).  The server phase is retried
-# a couple of times before failing: p99-vs-p99 ratios on a loaded
-# shared host carry scheduler noise even after the bench's own
-# median-of-3 smoothing.
+# Refresh the checked-in performance baselines.  Runs the server, join
+# (batched execution) and micro experiments with JSONL output and
+# rewrites BENCH_server.json / BENCH_join.json / BENCH_micro.json at the
+# repo root, then asserts the acceptance bounds from the fresh JSONL:
+# under 2x overload, shed requests must exist (typed Overloaded replies)
+# and the accepted p99 must stay within 3x the uncontended p99
+# (`overload_ok`); with MVCC on, reader p99 under a background
+# bulk-update writer must stay within 2x the uncontended reader p99
+# (`mvcc_read_ok`); batched kernels must beat the tuple-at-a-time
+# ablation by >= 1.3x on scan_select and hash_join; and the 50%-hot-key
+# partitioned join must land within 2x of uniform keys with at least one
+# repartition/role-reversal event.  Bounded phases are retried a couple
+# of times before failing: timing ratios on a loaded shared host carry
+# scheduler noise even after the bench's own median smoothing.
 #
 #   dune build && scripts/bench_baseline.sh [--scale F]
 set -euo pipefail
@@ -77,8 +80,57 @@ for attempt in 1 2 3; do
   fi
 done
 
+check_batch() { # file -> 0 if the batched-execution records pass
+  python3 - "$1" <<'PY'
+import json, sys
+# acceptance bounds (ISSUE 8): batched kernels >= 1.3x rows/sec over the
+# tuple-at-a-time ablation on scan_select and hash_join at 30k scale, and
+# the 50%-hot-key partitioned join within 2x of uniform keys.
+speedups = {}
+skew = None
+for line in open(sys.argv[1]):
+    rec = json.loads(line)
+    if rec.get("experiment") != "join":
+        continue
+    if rec.get("section") == "batch_speedup":
+        speedups[rec["op"]] = rec["speedup"]
+    if rec.get("section") == "skew":
+        skew = rec
+ok = True
+for op in ("scan_select", "hash_join"):
+    s = speedups.get(op)
+    print("batch speedup %-12s %s (need >= 1.3)" % (op, "%.2fx" % s if s else "missing"))
+    ok = ok and s is not None and s >= 1.3
+if skew is None:
+    print("skew record missing")
+    ok = False
+else:
+    print(
+        "skew ratio %.2fx (need <= 2.0), repartitions %d, role_reversals %d"
+        % (skew["skew_ratio"], skew["repartitions"], skew["role_reversals"])
+    )
+    ok = ok and skew["skew_ratio"] <= 2.0
+    ok = ok and (skew["repartitions"] + skew["role_reversals"]) > 0
+sys.exit(0 if ok else 1)
+PY
+}
+
+echo "== join experiment (batched execution, scale $SCALE) =="
+for attempt in 1 2 3; do
+  rm -f BENCH_join.json
+  "$BENCH" --only join --scale "$SCALE" --repeats 5 --out BENCH_join.json
+  if check_batch BENCH_join.json; then
+    break
+  elif [[ "$attempt" == 3 ]]; then
+    echo "FAIL: batched-execution bound violated on $attempt consecutive runs" >&2
+    exit 1
+  else
+    echo "batched-execution bound missed (attempt $attempt), retrying..." >&2
+  fi
+done
+
 echo "== micro experiment =="
 rm -f BENCH_micro.json
 "$BENCH" --only micro --scale "$SCALE" --out BENCH_micro.json
 
-echo "baselines refreshed: BENCH_server.json BENCH_micro.json"
+echo "baselines refreshed: BENCH_server.json BENCH_join.json BENCH_micro.json"

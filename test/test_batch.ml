@@ -1,0 +1,502 @@
+(* Batched-execution equivalence suite (DESIGN.md "Batched execution").
+
+   The vectorized operator kernels must be observationally equivalent to
+   the paper-faithful tuple-at-a-time paths: the same multiset of result
+   tuples AND the same §3.1 operation-count totals — the batched kernels
+   bump the counters as-if per logical operation, so equality is exact,
+   not approximate — across batch sizes {1, 16, 256} and pool sizes
+   {1, 4} on randomized workloads.  The sort kernel is pinned to the
+   paper's quicksort wherever strict counter equality is asserted (the
+   DPG kernel is a deliberate counter divergence, tested separately for
+   correctness).  MVCC paths (where the batched scan re-enables
+   parallelism that tuple-at-a-time execution cannot have) are checked
+   by multiset against the sequential snapshot reference, plus a
+   visibility check with a concurrent writer.  The skew-robust
+   partitioned join is driven over a 50%%-hot-key build side and must
+   produce the sequential answer while taking at least one
+   role-reversal. *)
+
+open Mmdb_util
+open Mmdb_storage
+open Mmdb_core
+
+let batch_sizes = [ 1; 16; 256 ]
+let pool_sizes = [ 1; 4 ]
+
+let multiset tl =
+  List.sort compare (List.map Array.to_list (Temp_list.materialize tl))
+
+let with_pool size f =
+  let pool = Domain_pool.create ~size () in
+  Fun.protect ~finally:(fun () -> Domain_pool.stop pool) (fun () -> f pool)
+
+let with_batch ~enabled ~size f =
+  let st = Batch.stats () in
+  Batch.configure ~enabled ~size;
+  Fun.protect
+    ~finally:(fun () ->
+      Batch.configure ~enabled:st.Batch.st_enabled ~size:st.Batch.st_size)
+    f
+
+(* Strict counter-equality tests must not see the DPG kernel: force the
+   paper's quicksort for the duration. *)
+let with_qsort f =
+  let saved = Qsort.mode () in
+  Qsort.set_mode (Qsort.Force Qsort.Quicksort);
+  Fun.protect ~finally:(fun () -> Qsort.set_mode saved) f
+
+let counted f =
+  Counters.reset ();
+  Counters.with_counters f
+
+let check_counters name (a : Counters.snapshot) (b : Counters.snapshot) =
+  if a <> b then
+    Alcotest.failf
+      "%s: counters diverge\n\
+      \  scalar:  cmp=%d moves=%d hash=%d derefs=%d allocs=%d\n\
+      \  batched: cmp=%d moves=%d hash=%d derefs=%d allocs=%d"
+      name a.Counters.comparisons a.Counters.data_moves a.Counters.hash_calls
+      a.Counters.ptr_derefs a.Counters.node_allocs b.Counters.comparisons
+      b.Counters.data_moves b.Counters.hash_calls b.Counters.ptr_derefs
+      b.Counters.node_allocs
+
+let spec n dup = { Workload.cardinality = n; dup_pct = dup; dup_stddev = 0.8 }
+
+let make_pair ?(n = 6_000) ?(dup = 40.0) ~seed () =
+  let rng = Rng.create ~seed () in
+  Workload.relation_pair ~with_ttree:false rng ~outer:(spec n dup)
+    ~inner:(spec n dup) ~semijoin_sel:80.0 ()
+
+(* --- batch production ---------------------------------------------------- *)
+
+let test_iter_batches () =
+  let rng = Rng.create ~seed:7 () in
+  let r = Workload.load ~name:"B" (Workload.column rng ~spec:(spec 1_000 30.0)) in
+  (* the scalar reference order and key column values *)
+  let expect = ref [] in
+  Relation.iter r (fun t -> expect := Tuple.get t Workload.jcol :: !expect);
+  let expect = List.rev !expect in
+  let st0 = Batch.stats () in
+  let got = ref [] in
+  Relation.iter_batches ~key_col:Workload.jcol ~size:64 r (fun b ->
+      Alcotest.(check bool) "batch within capacity" true (b.Batch.n <= 64);
+      for i = 0 to b.Batch.n - 1 do
+        (* key slice matches the tuple it is extracted from *)
+        Alcotest.(check bool) "key slice consistent" true
+          (Value.equal b.Batch.keys.(i) (Tuple.get b.Batch.tuples.(i) Workload.jcol));
+        got := b.Batch.keys.(i) :: !got
+      done);
+  let got = List.rev !got in
+  Alcotest.(check int) "every tuple batched once" (List.length expect)
+    (List.length got);
+  Alcotest.(check bool) "scan order preserved" true (got = expect);
+  let st1 = Batch.stats () in
+  Alcotest.(check bool) "batch production counted" true
+    (st1.Batch.st_batches - st0.Batch.st_batches >= 1_000 / 64
+    && st1.Batch.st_rows - st0.Batch.st_rows = 1_000)
+
+let test_bulk_appends () =
+  let r, _ = make_pair ~n:500 ~seed:8 () in
+  let desc = Descriptor.of_schema (Relation.schema r) in
+  let tuples = ref [] in
+  Relation.iter r (fun t -> tuples := t :: !tuples);
+  let tuples = Array.of_list (List.rev !tuples) in
+  let n = Array.length tuples in
+  (* reference: one append per tuple *)
+  let one = Temp_list.create desc in
+  Array.iter (fun t -> Temp_list.append one [| t |]) tuples;
+  (* bulk single-source append *)
+  let bulk = Temp_list.create desc in
+  Temp_list.append_n bulk tuples n;
+  Alcotest.(check int) "append_n length" n (Temp_list.length bulk);
+  Alcotest.(check bool) "append_n contents" true
+    (Temp_list.materialize bulk = Temp_list.materialize one);
+  (* bulk entry append *)
+  let entries = Array.map (fun t -> [| t |]) tuples in
+  let many = Temp_list.create desc in
+  Temp_list.append_many many entries n;
+  Alcotest.(check bool) "append_many contents" true
+    (Temp_list.materialize many = Temp_list.materialize one);
+  (* bulk appends charge the per-query tuple budget identically *)
+  let used_one =
+    Temp_list.with_budget ~limit:(2 * n) (fun () ->
+        let t = Temp_list.create desc in
+        Array.iter (fun tu -> Temp_list.append t [| tu |]) tuples;
+        Option.get (Temp_list.budget_used ()))
+  in
+  let used_bulk =
+    Temp_list.with_budget ~limit:(2 * n) (fun () ->
+        let t = Temp_list.create desc in
+        Temp_list.append_n t tuples n;
+        Option.get (Temp_list.budget_used ()))
+  in
+  Alcotest.(check int) "budget charges match" used_one used_bulk;
+  (* and still enforce the quota *)
+  let tripped =
+    try
+      Temp_list.with_budget ~limit:(n / 2) (fun () ->
+          let t = Temp_list.create desc in
+          Temp_list.append_n t tuples n;
+          false)
+    with Temp_list.Quota_exceeded _ -> true
+  in
+  Alcotest.(check bool) "bulk append trips the quota" true tripped
+
+(* --- DPG sort kernel ----------------------------------------------------- *)
+
+let test_sort_dpg () =
+  let rng = Rng.create ~seed:9 () in
+  List.iter
+    (fun (n, run) ->
+      let a = Array.init n (fun _ -> Rng.int rng 1_000) in
+      let expect = Array.copy a in
+      Array.sort compare expect;
+      let c =
+        counted (fun () -> Qsort.sort_dpg ~run ~cmp:compare a) |> snd
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d run=%d sorted" n run)
+        true (a = expect);
+      Alcotest.(check bool) "operations tallied" true
+        (c.Counters.comparisons > 0 && c.Counters.data_moves > 0))
+    [ (100, 4096); (1_000, 64); (10_000, 4096); (10_000, 256) ]
+
+let test_kernel_choice () =
+  let saved = Qsort.mode () in
+  Fun.protect ~finally:(fun () -> Qsort.set_mode saved) @@ fun () ->
+  Qsort.set_mode Qsort.Auto;
+  Alcotest.(check bool) "auto, small, batched -> qsort" true
+    (Qsort.choose ~n:100 ~batched:true = Qsort.Quicksort);
+  Alcotest.(check bool) "auto, large, batched -> dpg" true
+    (Qsort.choose ~n:100_000 ~batched:true = Qsort.Dpg);
+  Alcotest.(check bool) "auto, large, scalar ablation stays qsort" true
+    (Qsort.choose ~n:100_000 ~batched:false = Qsort.Quicksort);
+  Qsort.set_mode (Qsort.Force Qsort.Dpg);
+  Alcotest.(check bool) "forced dpg wins" true
+    (Qsort.choose ~n:10 ~batched:false = Qsort.Dpg)
+
+(* The two kernels must agree on the answer (counters deliberately
+   differ): same sorted multiset through a sort-merge join. *)
+let test_sort_kernel_agreement () =
+  let r1, r2 = make_pair ~n:5_000 ~seed:10 () in
+  let outer = { Join.rel = r1; col = Workload.jcol } in
+  let inner = { Join.rel = r2; col = Workload.jcol } in
+  let saved = Qsort.mode () in
+  Fun.protect ~finally:(fun () -> Qsort.set_mode saved) @@ fun () ->
+  with_batch ~enabled:true ~size:256 @@ fun () ->
+  Qsort.set_mode (Qsort.Force Qsort.Quicksort);
+  let qs = multiset (Join.sort_merge ~outer ~inner ()) in
+  Qsort.set_mode (Qsort.Force Qsort.Dpg);
+  let dpg = multiset (Join.sort_merge ~outer ~inner ()) in
+  Alcotest.(check bool) "join produced pairs" true (List.length qs > 0);
+  Alcotest.(check bool) "kernels agree" true (qs = dpg)
+
+(* --- batched vs tuple-at-a-time operator equivalence --------------------- *)
+
+(* Run [f] both ways at one pool size and require identical multisets and
+   identical counter totals. *)
+let check_equivalence ~name ~pool_size f =
+  with_qsort @@ fun () ->
+  let scalar, scalar_c =
+    with_batch ~enabled:false ~size:Batch.default_size (fun () ->
+        with_pool pool_size (fun pool -> counted (fun () -> f pool)))
+  in
+  let scalar_rows = multiset scalar in
+  Alcotest.(check bool) (name ^ ": reference non-empty") true
+    (List.length scalar_rows > 0);
+  List.iter
+    (fun bs ->
+      let batched, batched_c =
+        with_batch ~enabled:true ~size:bs (fun () ->
+            with_pool pool_size (fun pool -> counted (fun () -> f pool)))
+      in
+      let label = Printf.sprintf "%s (batch %d, pool %d)" name bs pool_size in
+      Alcotest.(check bool) (label ^ ": same multiset") true
+        (multiset batched = scalar_rows);
+      check_counters label scalar_c batched_c)
+    batch_sizes
+
+let test_scan_equivalence () =
+  let r1, _ = make_pair ~seed:201 () in
+  let predicates =
+    [
+      Select.Between (Workload.jcol, Value.Int 0, Value.Int 500_000_000);
+      Select.Filter
+        (fun tup ->
+          match Tuple.get tup Workload.seq_col with
+          | Value.Int s -> s mod 3 <> 0
+          | _ -> false);
+    ]
+  in
+  List.iter
+    (fun pool_size ->
+      check_equivalence ~name:"scan" ~pool_size (fun pool ->
+          Select.run ~pool r1 ~path:Select.Sequential_scan ~predicates))
+    pool_sizes;
+  (* an Eq head exercises the key-slice fast path *)
+  let some_key =
+    let k = ref Value.Null in
+    Relation.iter r1 (fun t -> if !k = Value.Null then k := Tuple.get t Workload.jcol);
+    !k
+  in
+  check_equivalence ~name:"scan-eq" ~pool_size:1 (fun pool ->
+      Select.run ~pool r1 ~path:Select.Sequential_scan
+        ~predicates:[ Select.Eq (Workload.jcol, some_key) ])
+
+let test_hash_join_equivalence () =
+  let r1, r2 = make_pair ~seed:202 () in
+  let outer = { Join.rel = r1; col = Workload.jcol } in
+  let inner = { Join.rel = r2; col = Workload.jcol } in
+  let rp0, rv0 = Join.skew_stats () in
+  List.iter
+    (fun pool_size ->
+      check_equivalence ~name:"hash join" ~pool_size (fun pool ->
+          Join.hash_join ~pool ~outer ~inner ()))
+    pool_sizes;
+  (* near-uniform keys must never trip the skew machinery *)
+  let rp1, rv1 = Join.skew_stats () in
+  Alcotest.(check int) "no repartitions on uniform keys" rp0 rp1;
+  Alcotest.(check int) "no role reversals on uniform keys" rv0 rv1
+
+let test_hash_join_filter_equivalence () =
+  let r1, r2 = make_pair ~n:3_000 ~seed:203 () in
+  let outer = { Join.rel = r1; col = Workload.jcol } in
+  let inner = { Join.rel = r2; col = Workload.jcol } in
+  let outer_filter t =
+    match Tuple.get t Workload.seq_col with
+    | Value.Int s -> s mod 2 = 0
+    | _ -> false
+  in
+  List.iter
+    (fun pool_size ->
+      check_equivalence ~name:"filtered hash join" ~pool_size (fun pool ->
+          Join.hash_join ~pool ~outer_filter ~outer ~inner ()))
+    pool_sizes
+
+let test_sort_merge_equivalence () =
+  let r1, r2 = make_pair ~seed:204 () in
+  let outer = { Join.rel = r1; col = Workload.jcol } in
+  let inner = { Join.rel = r2; col = Workload.jcol } in
+  List.iter
+    (fun pool_size ->
+      check_equivalence ~name:"sort merge" ~pool_size (fun pool ->
+          Join.sort_merge ~pool ~outer ~inner ()))
+    pool_sizes
+
+let test_project_aggregate_equivalence () =
+  let r1, _ = make_pair ~seed:205 ~dup:70.0 () in
+  let input = Temp_list.of_relation r1 in
+  let labels = Descriptor.labels (Temp_list.descriptor input) in
+  let jcol_label = List.nth labels Workload.jcol in
+  List.iter
+    (fun method_ ->
+      check_equivalence
+        ~name:("project " ^ Project.method_name method_)
+        ~pool_size:1
+        (fun pool -> Project.run ~pool method_ input [ jcol_label ]))
+    [ Project.Sort_scan; Project.Hashing ];
+  (* aggregation: same groups, same counters, batched drive vs iter *)
+  let run_agg () =
+    Aggregate.group input ~by:[ jcol_label ]
+      ~aggs:[ Aggregate.Count; Aggregate.Min jcol_label ]
+  in
+  let scalar, scalar_c =
+    with_batch ~enabled:false ~size:256 (fun () -> counted run_agg)
+  in
+  List.iter
+    (fun bs ->
+      let batched, batched_c =
+        with_batch ~enabled:true ~size:bs (fun () -> counted run_agg)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "aggregate (batch %d): same rows" bs)
+        true
+        (List.sort compare (List.map Array.to_list batched.Aggregate.rows)
+        = List.sort compare (List.map Array.to_list scalar.Aggregate.rows));
+      check_counters (Printf.sprintf "aggregate (batch %d)" bs) scalar_c
+        batched_c)
+    batch_sizes
+
+(* --- MVCC x domains: the PR 6 regression fix ----------------------------- *)
+
+let with_mvcc f =
+  let was = Version_store.enabled () in
+  Version_store.set_enabled true;
+  Fun.protect ~finally:(fun () -> Version_store.set_enabled was) f
+
+let on_writer_domain f = Domain.join (Domain.spawn f)
+
+let test_mvcc_batched_scan () =
+  with_mvcc @@ fun () ->
+  let r1, _ = make_pair ~seed:301 () in
+  Relation.ensure_view r1;
+  let predicates =
+    [ Select.Between (Workload.jcol, Value.Int 0, Value.Int 500_000_000) ]
+  in
+  Version_store.with_snapshot (fun _ ->
+      (* sequential snapshot reference, tuple at a time *)
+      let reference =
+        with_batch ~enabled:false ~size:256 (fun () ->
+            multiset (Select.run r1 ~path:Select.Sequential_scan ~predicates))
+      in
+      Alcotest.(check bool) "reference non-empty" true
+        (List.length reference > 0);
+      List.iter
+        (fun bs ->
+          with_batch ~enabled:true ~size:bs (fun () ->
+              with_pool 4 (fun pool ->
+                  let rows =
+                    multiset
+                      (Select.run ~pool r1 ~path:Select.Sequential_scan
+                         ~predicates)
+                  in
+                  Alcotest.(check bool)
+                    (Printf.sprintf "batched parallel snapshot scan (batch %d)"
+                       bs)
+                    true (rows = reference))))
+        batch_sizes)
+
+(* The batched parallel scan must honour visibility: a concurrent writer
+   publishing after the snapshot is taken stays invisible to it. *)
+let test_mvcc_batched_scan_visibility () =
+  with_mvcc @@ fun () ->
+  let rng = Rng.create ~seed:302 () in
+  let r = Workload.load ~name:"V" (Workload.column rng ~spec:(spec 2_000 0.0)) in
+  Relation.ensure_view r;
+  let all = [ Select.Between (Workload.seq_col, Value.Int 0, Value.Int max_int) ] in
+  with_batch ~enabled:true ~size:256 @@ fun () ->
+  with_pool 4 @@ fun pool ->
+  Version_store.with_snapshot (fun _ ->
+      let before =
+        multiset (Select.run ~pool r ~path:Select.Sequential_scan ~predicates:all)
+      in
+      Alcotest.(check int) "snapshot sees the full load" 2_000
+        (List.length before);
+      on_writer_domain (fun () ->
+          Version_store.with_write (fun () ->
+              for i = 0 to 99 do
+                match
+                  Relation.insert r
+                    [| Value.Int (10_000 + i); Value.Int (10_000 + i) |]
+                with
+                | Ok _ -> ()
+                | Error e -> Alcotest.fail e
+              done));
+      let after =
+        multiset (Select.run ~pool r ~path:Select.Sequential_scan ~predicates:all)
+      in
+      Alcotest.(check bool) "post-snapshot inserts invisible" true
+        (after = before));
+  (* outside the snapshot the new rows appear *)
+  let now =
+    multiset (Select.run ~pool r ~path:Select.Sequential_scan ~predicates:all)
+  in
+  Alcotest.(check int) "fresh scan sees the inserts" 2_100 (List.length now)
+
+let test_mvcc_batched_join () =
+  with_mvcc @@ fun () ->
+  let r1, r2 = make_pair ~seed:303 () in
+  Relation.ensure_view r1;
+  Relation.ensure_view r2;
+  let outer = { Join.rel = r1; col = Workload.jcol } in
+  let inner = { Join.rel = r2; col = Workload.jcol } in
+  Version_store.with_snapshot (fun _ ->
+      let reference =
+        with_batch ~enabled:false ~size:256 (fun () ->
+            with_pool 4 (fun pool ->
+                (* tuple-at-a-time: Join.run must still drop the pool *)
+                multiset (Join.run ~pool Join.Hash_join ~outer ~inner)))
+      in
+      Alcotest.(check bool) "reference non-empty" true
+        (List.length reference > 0);
+      List.iter
+        (fun bs ->
+          with_batch ~enabled:true ~size:bs (fun () ->
+              with_pool 4 (fun pool ->
+                  let rows =
+                    multiset (Join.run ~pool Join.Hash_join ~outer ~inner)
+                  in
+                  Alcotest.(check bool)
+                    (Printf.sprintf
+                       "batched partitioned join under snapshot (batch %d)" bs)
+                    true (rows = reference))))
+        [ 16; 256 ])
+
+(* --- skew robustness ----------------------------------------------------- *)
+
+let load_col ~name col = Workload.load ~name col
+
+let test_skewed_join () =
+  (* inner: one hot key carrying 50% of the build side; outer: a few hot
+     probes plus uniform probes over the inner's distinct tail *)
+  let hot = 42 in
+  let inner_col =
+    Array.init 6_000 (fun i -> if i < 3_000 then hot else 1_000_000 + i)
+  in
+  let outer_col =
+    Array.init 6_000 (fun i ->
+        if i < 10 then hot else 1_000_000 + 3_000 + (i mod 3_000))
+  in
+  let r_inner = load_col ~name:"SkewInner" inner_col in
+  let r_outer = load_col ~name:"SkewOuter" outer_col in
+  let outer = { Join.rel = r_outer; col = Workload.jcol } in
+  let inner = { Join.rel = r_inner; col = Workload.jcol } in
+  let reference =
+    with_batch ~enabled:false ~size:256 (fun () ->
+        multiset (Join.hash_join ~outer ~inner ()))
+  in
+  Alcotest.(check int) "hot pairs plus uniform matches"
+    ((10 * 3_000) + 6_000 - 10)
+    (List.length reference);
+  with_batch ~enabled:true ~size:256 @@ fun () ->
+  with_pool 4 @@ fun pool ->
+  let rp0, rv0 = Join.skew_stats () in
+  let rows = multiset (Join.hash_join ~pool ~outer ~inner ()) in
+  let rp1, rv1 = Join.skew_stats () in
+  Alcotest.(check bool) "skewed join answer matches sequential" true
+    (rows = reference);
+  (* the hot partition exceeds its working-set bound and the probe side
+     is smaller: the join must have reversed roles at least once *)
+  Alcotest.(check bool)
+    (Printf.sprintf "role reversals taken (%d)" (rv1 - rv0))
+    true
+    (rv1 - rv0 >= 1);
+  ignore rp0;
+  ignore rp1
+
+let () =
+  Alcotest.run "mmdb_batch"
+    [
+      ( "batch",
+        [
+          Alcotest.test_case "iter_batches coverage" `Quick test_iter_batches;
+          Alcotest.test_case "bulk appends" `Quick test_bulk_appends;
+        ] );
+      ( "sort",
+        [
+          Alcotest.test_case "dpg kernel sorts" `Quick test_sort_dpg;
+          Alcotest.test_case "kernel choice" `Quick test_kernel_choice;
+          Alcotest.test_case "kernels agree" `Quick test_sort_kernel_agreement;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "scan" `Quick test_scan_equivalence;
+          Alcotest.test_case "hash join" `Quick test_hash_join_equivalence;
+          Alcotest.test_case "filtered hash join" `Quick
+            test_hash_join_filter_equivalence;
+          Alcotest.test_case "sort merge" `Quick test_sort_merge_equivalence;
+          Alcotest.test_case "project + aggregate" `Quick
+            test_project_aggregate_equivalence;
+        ] );
+      ( "mvcc",
+        [
+          Alcotest.test_case "batched parallel snapshot scan" `Quick
+            test_mvcc_batched_scan;
+          Alcotest.test_case "snapshot visibility under parallel scan" `Quick
+            test_mvcc_batched_scan_visibility;
+          Alcotest.test_case "batched partitioned join under snapshot" `Quick
+            test_mvcc_batched_join;
+        ] );
+      ( "skew",
+        [ Alcotest.test_case "hot-key join" `Quick test_skewed_join ] );
+    ]
