@@ -314,7 +314,7 @@ let a7 cfg =
     Bench_util.time cfg (fun () ->
         ignore
           (Join.precomputed ~outer:emp ~ref_col:3
-             ~inner_schema:(Mmdb_storage.Relation.schema dept)))
+             ~inner_schema:(Mmdb_storage.Relation.schema dept) ()))
   in
   Bench_util.table ~columns:[ "join"; "seconds"; "vs pointer" ]
     [

@@ -239,7 +239,7 @@ let precomputed cfg =
     Bench_util.time cfg (fun () ->
         ignore
           (Join.precomputed ~outer:emp ~ref_col:2
-             ~inner_schema:(Mmdb_storage.Relation.schema dept)))
+             ~inner_schema:(Mmdb_storage.Relation.schema dept) ()))
   in
   let _, t_hash =
     Bench_util.time cfg (fun () -> ignore (Join.hash_join ~outer ~inner ()))

@@ -1,0 +1,153 @@
+(* Capture/replay round trip: record a mixed workload on one server,
+   replay the capture against a fresh one, and report behavioral drift.
+
+   The workload is fully deterministic (keys are arithmetic in the
+   statement index), and every statement — the DDL included — goes
+   through the wire so the capture is self-contained: the replay target
+   starts from an empty database and rebuilds the same state.  A clean
+   replay therefore means identical result-row counts and identical
+   ok/error outcomes statement for statement; the per-kind latency
+   quantiles from both runs quantify performance drift between the two
+   server instances (here: same build, so the drift is noise floor —
+   against a changed build it is the regression signal).
+
+   Fork-based like the serving bench: the server runs in a forked child
+   so the parent stays single-threaded, which means this experiment must
+   run before any in-process domain spinning (the chaos suite). *)
+
+open Mmdb_net
+
+let fork_server ?capture () =
+  let pr, pw = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+      Unix.close pr;
+      let db = Mmdb_core.Db.create () in
+      let config =
+        {
+          Server.default_config with
+          Server.port = 0;
+          max_connections = 16;
+          request_timeout = 0.0;
+          idle_timeout = 0.0;
+          capture;
+        }
+      in
+      let srv = Server.start ~config db in
+      let stop = ref false in
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop := true));
+      let oc = Unix.out_channel_of_descr pw in
+      output_string oc (string_of_int (Server.port srv) ^ "\n");
+      flush oc;
+      while not !stop do
+        Thread.delay 0.05
+      done;
+      Server.shutdown srv;
+      Unix._exit 0
+  | pid ->
+      Unix.close pw;
+      let ic = Unix.in_channel_of_descr pr in
+      let port = int_of_string (String.trim (input_line ic)) in
+      close_in ic;
+      (pid, port)
+
+let stop_server pid =
+  (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+  ignore (Unix.waitpid [] pid)
+
+(* Drive [n] statements over one connection: point inserts (half of them
+   prepared with bound parameters), point and range selects, updates,
+   deletes, and a deliberate duplicate-key error every 97th statement so
+   error outcomes are part of what replay must reproduce. *)
+let drive ~port ~n =
+  match Client.connect ~host:"127.0.0.1" ~port () with
+  | Error m -> failwith ("replay bench: connect failed: " ^ m)
+  | Ok c ->
+      let run sql =
+        match Client.query c sql with
+        | Error m -> failwith ("replay bench: transport failed: " ^ m)
+        | Ok _ -> ()
+      in
+      run "CREATE TABLE KV (K int PRIMARY KEY, V int);";
+      run "CREATE INDEX kv_v ON KV (V) USING ttree;";
+      let ins_id =
+        match Client.prepare c "INSERT INTO KV VALUES (?, ?);" with
+        | Ok (id, _) -> id
+        | Error m -> failwith ("replay bench: prepare failed: " ^ m)
+      in
+      for i = 0 to n - 1 do
+        let key = i * 7 mod n in
+        if i mod 97 = 96 then
+          (* duplicate key: captured as an Exec error, must replay as one *)
+          run (Printf.sprintf "INSERT INTO KV VALUES (%d, 0);" ((i - 10) * 3))
+        else
+          match i mod 5 with
+          | 0 -> run (Printf.sprintf "INSERT INTO KV VALUES (%d, %d);" (i * 3) i)
+          | 1 ->
+              ignore
+                (Client.exec_prepared c ins_id
+                   [
+                     Mmdb_storage.Value.Int ((i * 3) + 1);
+                     Mmdb_storage.Value.Int (i * 2);
+                   ])
+          | 2 -> run (Printf.sprintf "SELECT V FROM KV WHERE K = %d;" (key * 3))
+          | 3 ->
+              run
+                (Printf.sprintf "SELECT K FROM KV WHERE V BETWEEN %d AND %d;"
+                   key (key + 40))
+          | _ ->
+              if i mod 15 = 4 then
+                run (Printf.sprintf "DELETE FROM KV WHERE K = %d;" (key * 3))
+              else
+                run
+                  (Printf.sprintf "UPDATE KV SET V = %d WHERE K = %d;" i
+                     (key * 3))
+      done;
+      ignore (Client.quit c)
+
+let run (cfg : Bench_util.config) =
+  print_endline "== Capture/replay: record, re-execute, compare ==";
+  let n = max 200 (Bench_util.scaled cfg 1_000) in
+  let path = Filename.temp_file "mmdb_capture" ".jsonl" in
+  (* phase 1: capture *)
+  let pid, port = fork_server ~capture:path () in
+  drive ~port ~n;
+  stop_server pid;
+  (* phase 2: replay against a fresh, empty server *)
+  let pid2, port2 = fork_server () in
+  let outcome =
+    match Client.connect ~host:"127.0.0.1" ~port:port2 () with
+    | Error m -> failwith ("replay bench: reconnect failed: " ^ m)
+    | Ok c ->
+        let r = Replay.run_file c path in
+        ignore (Client.quit c);
+        r
+  in
+  stop_server pid2;
+  (match outcome with
+  | Error m -> failwith ("replay bench: " ^ m)
+  | Ok o ->
+      print_string (Replay.render o);
+      List.iter
+        (fun (k : Replay.kind_drift) ->
+          let v = Option.value ~default:0.0 in
+          Bench_util.emit cfg ~exp:"replay"
+            [
+              ("kind", `Str k.Replay.k_kind);
+              ("n", `Int k.Replay.k_n);
+              ("captured_p50_ms", `Float (v k.Replay.k_captured_p50_ms));
+              ("replayed_p50_ms", `Float (v k.Replay.k_replayed_p50_ms));
+              ("captured_p99_ms", `Float (v k.Replay.k_captured_p99_ms));
+              ("replayed_p99_ms", `Float (v k.Replay.k_replayed_p99_ms));
+            ])
+        o.Replay.o_kinds;
+      Bench_util.emit cfg ~exp:"replay"
+        [
+          ("kind", `Str "_total");
+          ("n", `Int o.Replay.o_statements);
+          ("row_mismatches", `Int o.Replay.o_row_mismatches);
+          ("status_mismatches", `Int o.Replay.o_status_mismatches);
+          ("transport_errors", `Int o.Replay.o_transport_errors);
+        ];
+      Sys.remove path;
+      if not (Replay.clean o) then failwith "replay bench: capture DIVERGED")

@@ -60,6 +60,8 @@ let experiments : (string * string * (Bench_util.config -> unit)) list =
     ("f1", "Fault injection: crash-consistency torture", Bench_faults.f1);
     ("join", "Batched execution: ns/row, sort kernels, skew robustness",
      Bench_join.batched);
+    ("replay", "Capture/replay: record, re-execute, compare",
+     Bench_replay.run);
     ("micro", "Bechamel micro-benchmarks", Bench_micro.run);
     (* last: runs the server in-process (domains); fork-based
        experiments must not follow it *)

@@ -37,6 +37,9 @@ let usage () =
   --slow-log FILE        append a JSONL line per slow query (implies tracing)
   --slow-ms N            slow-query threshold in ms  (default 100,
                          MMDB_SLOW_MS overrides the default)
+  --capture FILE         append a JSONL workload-capture record per executed
+                         statement (replay with mmdb_client --replay FILE)
+  --capture-max-mb N     rotate the capture file past N MiB (default 64)
   --demo                 preload the Employee/Department demo db|};
   exit 2
 
@@ -120,6 +123,13 @@ let () =
         parse_args rest
     | "--slow-ms" :: v :: rest ->
         cfg := { !cfg with Server.slow_threshold = float_of_string v /. 1000.0 };
+        parse_args rest
+    | "--capture" :: v :: rest ->
+        cfg := { !cfg with Server.capture = Some v };
+        parse_args rest
+    | "--capture-max-mb" :: v :: rest ->
+        cfg :=
+          { !cfg with Server.capture_max_bytes = int_of_string v * 1024 * 1024 };
         parse_args rest
     | "--demo" :: rest ->
         demo := true;

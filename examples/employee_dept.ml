@@ -97,7 +97,7 @@ let () =
       ( "precomputed (follow pointers)",
         fun () ->
           Join.precomputed ~outer:emp ~ref_col:3
-            ~inner_schema:(Relation.schema dept) );
+            ~inner_schema:(Relation.schema dept) () );
       ( "pointer join on selection",
         fun () -> Join.pointer_join ~outer:emp ~ref_col:3 ~selected );
     ]

@@ -12,18 +12,21 @@ open Mmdb_storage
 
 let predicates_of plan = List.map snd plan.Optimizer.p_paths
 
-(* A single-relation plan: run the (indexed) selection directly. *)
+(* A single-relation plan: run the (indexed) selection directly; the
+   optimizer's cardinality estimate rides along for the feedback loop. *)
 let run_select ?pool plan =
+  let est_rows = plan.Optimizer.p_est_sel in
   match plan.Optimizer.p_paths with
   | [] ->
-      Select.run ?pool plan.Optimizer.p_outer ~path:Select.Sequential_scan
-        ~predicates:[]
+      Select.run ?pool ~est_rows plan.Optimizer.p_outer
+        ~path:Select.Sequential_scan ~predicates:[]
   | (path, _) :: _ ->
-      Select.run ?pool plan.Optimizer.p_outer ~path
+      Select.run ?pool ~est_rows plan.Optimizer.p_outer ~path
         ~predicates:(predicates_of plan)
 
 let run_join ?pool plan (choice, outer_side, inner_side) =
   let preds = predicates_of plan in
+  let est_rows = plan.Optimizer.p_est_join in
   let outer_filter =
     match preds with
     | [] -> None
@@ -31,10 +34,14 @@ let run_join ?pool plan (choice, outer_side, inner_side) =
   in
   match choice with
   | Optimizer.Algorithm m ->
-      Join.run ?pool ?outer_filter m ~outer:outer_side ~inner:inner_side
+      Join.run ?pool ?outer_filter ?est_rows m ~outer:outer_side
+        ~inner:inner_side
   | Optimizer.Precomputed col ->
       let inner_schema = Relation.schema inner_side.Join.rel in
-      let joined = Join.precomputed ~outer:plan.Optimizer.p_outer ~ref_col:col ~inner_schema in
+      let joined =
+        Join.precomputed ?est_rows ~outer:plan.Optimizer.p_outer ~ref_col:col
+          ~inner_schema ()
+      in
       (* The precomputed join scans the whole outer; apply predicates on
          the way out when present. *)
       (match outer_filter with

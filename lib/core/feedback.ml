@@ -1,0 +1,130 @@
+(* Cardinality-feedback store: estimated vs actual row counts.
+
+   Operators report (key, est_rows, actual_rows) as they finish; the
+   optimizer reads the running average back to refine its next estimate
+   for the same plan shape, and STATS surfaces the worst misestimates so
+   a drifting cost model is visible before it hurts.  Keys are opaque
+   strings built by the operators themselves (e.g.
+   "select/Emp/hash:eq" or "join/Hash Join/Emp*Dept" — see
+   {!Select.feedback_key} and {!Join.feedback_key}) so this module stays
+   a pure string-keyed store with no dependency on plan types.
+
+   The store is process-global, mutex-guarded, and bounded: once
+   [max_keys] distinct shapes exist, new shapes fold into a catch-all
+   key instead of growing the table.  Estimation error is the
+   symmetric ratio max(est/actual, actual/est) with both sides clamped
+   to >= 1, so 1.0 means perfect and the scale is the "err x" column
+   printed by EXPLAIN ANALYZE. *)
+
+type entry = {
+  fb_key : string;
+  fb_n : int;  (* observations *)
+  fb_avg_est : float;
+  fb_avg_actual : float;
+  fb_worst_err : float;  (* max symmetric ratio seen *)
+  fb_last_est : int;
+  fb_last_actual : int;
+}
+
+type cell = {
+  mutable n : int;
+  mutable sum_est : float;
+  mutable sum_actual : float;
+  mutable worst : float;
+  mutable last_est : int;
+  mutable last_actual : int;
+}
+
+let max_keys = 256
+let overflow_key = "(other shapes)"
+
+let m = Mutex.create ()
+let table : (string, cell) Hashtbl.t = Hashtbl.create 64
+
+let locked f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(* Symmetric misestimation ratio: 1.0 = perfect.  Zero on either side
+   counts as 1 row so an empty result against an estimate of n reads as
+   an n-fold error rather than infinity. *)
+let err ~est ~actual =
+  let e = float_of_int (max 1 est) and a = float_of_int (max 1 actual) in
+  Float.max (e /. a) (a /. e)
+
+let cell_for key =
+  match Hashtbl.find_opt table key with
+  | Some c -> c
+  | None ->
+      let key =
+        if Hashtbl.length table >= max_keys && not (Hashtbl.mem table key)
+        then overflow_key
+        else key
+      in
+      (match Hashtbl.find_opt table key with
+      | Some c -> c
+      | None ->
+          let c =
+            {
+              n = 0;
+              sum_est = 0.0;
+              sum_actual = 0.0;
+              worst = 1.0;
+              last_est = 0;
+              last_actual = 0;
+            }
+          in
+          Hashtbl.replace table key c;
+          c)
+
+let observe ~key ~est ~actual =
+  locked @@ fun () ->
+  let c = cell_for key in
+  c.n <- c.n + 1;
+  c.sum_est <- c.sum_est +. float_of_int est;
+  c.sum_actual <- c.sum_actual +. float_of_int actual;
+  c.worst <- Float.max c.worst (err ~est ~actual);
+  c.last_est <- est;
+  c.last_actual <- actual
+
+(* Feedback-refined estimate: the average observed cardinality for this
+   shape, once it has been seen enough times to trust ([min_samples]).
+   The optimizer falls back to its static heuristic on [None]. *)
+let min_samples = 3
+
+let estimate ~key =
+  locked @@ fun () ->
+  match Hashtbl.find_opt table key with
+  | Some c when c.n >= min_samples ->
+      Some (max 1 (int_of_float (Float.round (c.sum_actual /. float_of_int c.n))))
+  | _ -> None
+
+let entry_of key c =
+  {
+    fb_key = key;
+    fb_n = c.n;
+    fb_avg_est = c.sum_est /. float_of_int (max 1 c.n);
+    fb_avg_actual = c.sum_actual /. float_of_int (max 1 c.n);
+    fb_worst_err = c.worst;
+    fb_last_est = c.last_est;
+    fb_last_actual = c.last_actual;
+  }
+
+(* Worst misestimates first (by the worst symmetric ratio ever seen for
+   the shape); ties broken by observation count so busy shapes rank
+   above one-off noise. *)
+let worst ?(limit = 10) () =
+  locked @@ fun () ->
+  Hashtbl.fold (fun k c acc -> entry_of k c :: acc) table []
+  |> List.sort (fun a b ->
+         match compare b.fb_worst_err a.fb_worst_err with
+         | 0 -> compare b.fb_n a.fb_n
+         | c -> c)
+  |> List.filteri (fun i _ -> i < limit)
+
+let size () = locked @@ fun () -> Hashtbl.length table
+
+let total_observations () =
+  locked @@ fun () -> Hashtbl.fold (fun _ c acc -> acc + c.n) table 0
+
+let reset () = locked @@ fun () -> Hashtbl.reset table

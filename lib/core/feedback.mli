@@ -1,0 +1,41 @@
+(** Cardinality-feedback store: estimated vs actual row counts.
+
+    A process-global, mutex-guarded, bounded map from plan-shape key
+    (an opaque string built by the reporting operator) to running
+    estimated/actual statistics.  Operators call {!observe} as they
+    finish; the optimizer calls {!estimate} to refine static heuristics
+    with observed cardinalities; STATS renders {!worst} as the
+    worst-misestimates table.  Bounded at 256 distinct shapes — later
+    shapes fold into a catch-all key rather than growing the table. *)
+
+type entry = {
+  fb_key : string;
+  fb_n : int;  (** observations *)
+  fb_avg_est : float;
+  fb_avg_actual : float;
+  fb_worst_err : float;  (** worst symmetric ratio seen, >= 1.0 *)
+  fb_last_est : int;
+  fb_last_actual : int;
+}
+
+val err : est:int -> actual:int -> float
+(** Symmetric misestimation ratio [max (est/actual) (actual/est)], both
+    sides clamped to >= 1 row; 1.0 means a perfect estimate. *)
+
+val observe : key:string -> est:int -> actual:int -> unit
+(** Record one completed operator's estimated vs actual row count. *)
+
+val estimate : key:string -> int option
+(** Average observed cardinality for this shape, once seen at least 3
+    times; [None] means "no signal, use the static heuristic". *)
+
+val worst : ?limit:int -> unit -> entry list
+(** Worst misestimates first; default [limit] 10. *)
+
+val size : unit -> int
+(** Number of distinct shapes tracked (bounded). *)
+
+val total_observations : unit -> int
+
+val reset : unit -> unit
+(** Drop all feedback (tests). *)

@@ -682,13 +682,27 @@ let tree_inequality_join ?outer_filter ~op ~outer ~inner () =
 
 (* --- pointer-based joins (§2.1) ------------------------------------------ *)
 
+(* The (method, outer, inner) key under which the feedback store
+   aggregates estimated-vs-actual join cardinalities.  Built from the
+   method that actually ran (after any snapshot remap in [run]). *)
+let feedback_key_of ~method_name ~outer_name ~inner_name =
+  Printf.sprintf "join/%s/%s*%s" method_name outer_name inner_name
+
+let feedback_key ~method_ ~outer ~inner =
+  feedback_key_of ~method_name:(method_name method_)
+    ~outer_name:(Relation.name outer.rel)
+    ~inner_name:(Relation.name inner.rel)
+
 (* Query 1 style: the outer relation's foreign-key column already holds
    tuple pointers, so the "join" just follows them. *)
-let precomputed ~outer ~ref_col ~inner_schema =
+let precomputed ?est_rows ~outer ~ref_col ~inner_schema () =
   Trace.with_span "join" @@ fun () ->
   if Trace.active () then begin
     Trace.add_attr "method" "Precomputed";
-    Trace.add_attr "outer" (Relation.name outer)
+    Trace.add_attr "outer" (Relation.name outer);
+    match est_rows with
+    | Some e -> Trace.add_attr "est_rows" (string_of_int e)
+    | None -> ()
   end;
   let out =
     Temp_list.create
@@ -705,8 +719,16 @@ let precomputed ~outer ~ref_col ~inner_schema =
           invalid_arg
             (Printf.sprintf "Join.precomputed: column %d holds %s, not pointers"
                ref_col (Value.to_string v)));
-  if Trace.active () then
-    Trace.add_attr "rows" (string_of_int (Temp_list.length out));
+  let actual = Temp_list.length out in
+  if Trace.active () then Trace.add_attr "rows" (string_of_int actual);
+  (match est_rows with
+  | Some est ->
+      Feedback.observe
+        ~key:
+          (feedback_key_of ~method_name:"Precomputed"
+             ~outer_name:(Relation.name outer) ~inner_name:"*")
+        ~est ~actual
+  | None -> ());
   out
 
 (* Query 2 style: join a selected set of inner tuples back to the outer
@@ -743,7 +765,7 @@ let pointer_join ~outer ~ref_col ~selected =
 
 (* --- uniform driver -------------------------------------------------------- *)
 
-let run ?pool ?outer_filter method_ ~outer ~inner =
+let run ?pool ?outer_filter ?est_rows method_ ~outer ~inner =
   Trace.with_span "join" @@ fun () ->
   (* Under an MVCC snapshot the tree methods are out: they walk raw index
      handles the writer mutates concurrently.  The sequential hash/merge
@@ -768,6 +790,9 @@ let run ?pool ?outer_filter method_ ~outer ~inner =
     Trace.add_attr "method" (method_name method_);
     Trace.add_attr "outer" (Relation.name outer.rel);
     Trace.add_attr "inner" (Relation.name inner.rel);
+    (match est_rows with
+    | Some e -> Trace.add_attr "est_rows" (string_of_int e)
+    | None -> ());
     if Batch.enabled () then
       Trace.add_attr "batch" (string_of_int (Batch.size ()))
   end;
@@ -780,11 +805,18 @@ let run ?pool ?outer_filter method_ ~outer ~inner =
     | Sort_merge -> sort_merge ?pool ?outer_filter ~outer ~inner ()
     | Tree_merge -> tree_merge ?outer_filter ~outer ~inner ()
   in
+  let actual = Temp_list.length out in
   if Trace.active () then begin
     let rp1, rv1 = skew_stats () in
     if rp1 > rp0 then Trace.add_attr "repartitions" (string_of_int (rp1 - rp0));
     if rv1 > rv0 then
       Trace.add_attr "role_reversals" (string_of_int (rv1 - rv0));
-    Trace.add_attr "rows" (string_of_int (Temp_list.length out))
+    Trace.add_attr "rows" (string_of_int actual)
   end;
+  (* keyed on the method that actually ran, so a snapshot remap feeds
+     the shape the executor will run again under the same conditions *)
+  (match est_rows with
+  | Some est ->
+      Feedback.observe ~key:(feedback_key ~method_ ~outer ~inner) ~est ~actual
+  | None -> ());
   out

@@ -75,13 +75,26 @@ val tree_merge :
 val run :
   ?pool:Mmdb_util.Domain_pool.t ->
   ?outer_filter:(Tuple.t -> bool) ->
+  ?est_rows:int ->
   method_ ->
   outer:side ->
   inner:side ->
   Temp_list.t
 (** Uniform driver over the five algorithms.  [pool] enables the parallel
     variants of {!hash_join} and {!sort_merge}; the other methods ignore
-    it. *)
+    it.  [est_rows] is the optimizer's output-cardinality estimate,
+    recorded as the [est_rows] trace attribute and fed with the actual
+    row count to {!Feedback.observe} under {!feedback_key} (keyed on the
+    method that actually ran, after any MVCC-snapshot remap). *)
+
+val feedback_key : method_:method_ -> outer:side -> inner:side -> string
+(** The (method, outer, inner) key under which {!Feedback} aggregates
+    estimated-vs-actual cardinalities for this join shape. *)
+
+val feedback_key_of :
+  method_name:string -> outer_name:string -> inner_name:string -> string
+(** Raw constructor behind {!feedback_key}; the precomputed pointer join
+    uses [~method_name:"Precomputed" ~inner_name:"*"]. *)
 
 val skew_stats : unit -> int * int
 (** [(repartitions, role_reversals)]: cumulative counts of the
@@ -113,10 +126,16 @@ val tree_inequality_join :
 (** {1 Pointer-based joins (§2.1)} *)
 
 val precomputed :
-  outer:Relation.t -> ref_col:int -> inner_schema:Schema.t -> Temp_list.t
+  ?est_rows:int ->
+  outer:Relation.t ->
+  ref_col:int ->
+  inner_schema:Schema.t ->
+  unit ->
+  Temp_list.t
 (** Query 1 style: the outer's foreign-key column already holds tuple
     pointers, so the join just follows them ("the joining tuples have
-    already been paired").  [Null] pointers produce no pair.
+    already been paired").  [Null] pointers produce no pair.  [est_rows]
+    behaves as in {!run}.
     @raise Invalid_argument if the column holds non-pointer values. *)
 
 val pointer_join :

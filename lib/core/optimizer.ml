@@ -35,6 +35,8 @@ type plan = {
   p_project : string list option;
   p_distinct : bool;
   p_dedup_method : Project.method_;
+  p_est_sel : int;  (** estimated selection output rows *)
+  p_est_join : int option;  (** estimated join output rows, when joining *)
 }
 
 let pp_choice ppf = function
@@ -138,6 +140,53 @@ let choose_join ?stats ~outer ~inner () =
         | None -> Algorithm Join.Hash_join
       end
 
+(* --- cardinality estimation ---------------------------------------------- *)
+
+(* Static selectivity priors, System R style: the paper keeps no
+   histograms (§4), so the cold-start guesses are fixed fractions of the
+   relation — exact match keeps 1/10th, a range 1/4, an opaque residual
+   1/3.  Once the same (relation, path, predicate-shape) has executed a
+   few times, {!Feedback.estimate} replaces the prior with the average
+   observed cardinality, which is the feedback loop this PR adds. *)
+let selectivity_factor = function
+  | Select.Eq _ -> 10
+  | Select.Between _ -> 4
+  | Select.Filter _ -> 3
+
+let est_select outer paths =
+  let n = Relation.count outer in
+  match paths with
+  | [] -> n
+  | (path, _) :: _ -> (
+      let predicates = List.map snd paths in
+      let static =
+        List.fold_left
+          (fun acc p -> max 1 (acc / selectivity_factor p))
+          n predicates
+      in
+      let key = Select.feedback_key outer ~path ~predicates in
+      match Feedback.estimate ~key with Some e -> e | None -> static)
+
+(* Join output estimate: the foreign-key prior — every outer tuple finds
+   its match — scaled by the selection's reduction of the outer side.
+   Feedback (keyed on the chosen method and both relation names)
+   overrides the prior once the shape has run. *)
+let est_join ~est_sel ~choice ~outer_side ~inner_side =
+  let o = Relation.count outer_side.Join.rel in
+  let i = Relation.count inner_side.Join.rel in
+  let sel_frac =
+    if o <= 0 then 1.0 else float_of_int est_sel /. float_of_int o
+  in
+  let static = max 1 (int_of_float (float_of_int (max o i) *. sel_frac)) in
+  let key =
+    match choice with
+    | Algorithm m -> Join.feedback_key ~method_:m ~outer:outer_side ~inner:inner_side
+    | Precomputed _ ->
+        Join.feedback_key_of ~method_name:"Precomputed"
+          ~outer_name:(Relation.name outer_side.Join.rel) ~inner_name:"*"
+  in
+  match Feedback.estimate ~key with Some e -> e | None -> static
+
 let predicate_of_where schema (w : Query.where_clause) =
   let col = Schema.column_index_exn schema w.Query.w_column in
   match w.Query.w_cmp with
@@ -189,10 +238,21 @@ let plan ?stats db (q : Query.t) =
         (choice, outer_side, inner_side))
       q.Query.q_join
   in
+  let sel_estimate = est_select outer paths in
+  let join_estimate =
+    Option.map
+      (fun (choice, outer_side, inner_side) ->
+        est_join ~est_sel:sel_estimate ~choice ~outer_side ~inner_side)
+      join
+  in
   if Mmdb_util.Trace.active () then begin
     Mmdb_util.Trace.add_attr "outer" (Relation.name outer);
     if Batch.enabled () then
       Mmdb_util.Trace.add_attr "batch" (string_of_int (Batch.size ()));
+    Mmdb_util.Trace.add_attr "est_rows" (string_of_int sel_estimate);
+    Option.iter
+      (fun e -> Mmdb_util.Trace.add_attr "est_join_rows" (string_of_int e))
+      join_estimate;
     (match paths with
     | (path, _) :: _ ->
         Mmdb_util.Trace.add_attr "access" (Fmt.str "%a" Select.pp_path path)
@@ -218,6 +278,8 @@ let plan ?stats db (q : Query.t) =
     p_distinct = q.Query.q_distinct;
     (* "one method for eliminating duplicates (Hash)" — §4 *)
     p_dedup_method = Project.Hashing;
+    p_est_sel = sel_estimate;
+    p_est_join = join_estimate;
   }
 
 let pp_plan ppf p =
@@ -236,15 +298,18 @@ let pp_plan ppf p =
   List.iter
     (fun (path, _) -> Fmt.pf ppf "access: %a@," Select.pp_path path)
     p.p_paths;
+  Fmt.pf ppf "est. rows: %d@," p.p_est_sel;
   Option.iter
     (fun (choice, outer, inner) ->
       Fmt.pf ppf "join with %s: %a" (Relation.name inner.Join.rel) pp_choice
         choice;
       (match choice with
       | Algorithm m ->
-          Fmt.pf ppf " (est. %.0f comparison units)"
+          Fmt.pf ppf " (est. %.0f comparison units"
             (Cost.of_method m ~outer:(Relation.count outer.Join.rel)
-               ~inner:(Relation.count inner.Join.rel))
+               ~inner:(Relation.count inner.Join.rel));
+          Option.iter (fun e -> Fmt.pf ppf ", est. %d rows" e) p.p_est_join;
+          Fmt.pf ppf ")"
       | Precomputed _ -> Fmt.pf ppf " (follows existing pointers)");
       Fmt.pf ppf "@,")
     p.p_join;

@@ -25,6 +25,15 @@ type plan = {
   p_project : string list option;
   p_distinct : bool;
   p_dedup_method : Project.method_;  (** always [Hashing], per §4 *)
+  p_est_sel : int;
+      (** estimated selection output rows: fixed selectivity priors
+          (1/10 exact match, 1/4 range, 1/3 residual) refined by the
+          average observed cardinality from {!Feedback} once the same
+          (relation, access-path, predicate-shape) has executed a few
+          times *)
+  p_est_join : int option;
+      (** estimated join output rows (foreign-key prior scaled by the
+          selection's reduction, feedback-refined), when joining *)
 }
 
 val pp_choice : Format.formatter -> join_choice -> unit

@@ -221,13 +221,42 @@ let scan_batched rel ~predicates out =
           done);
       if !m > 0 then Temp_list.append_n out keep !m)
 
+(* The (relation, access-path, predicate-shape) key under which the
+   feedback store aggregates estimated-vs-actual cardinalities.  Values
+   are deliberately excluded: "Emp.age = 30" and "Emp.age = 50" share a
+   shape, which is exactly the granularity the optimizer estimates at. *)
+let feedback_key rel ~path ~predicates =
+  let path_tag =
+    match path with
+    | Hash_lookup _ -> "hash"
+    | Tree_lookup _ -> "tree"
+    | Sequential_scan -> "scan"
+  in
+  let shape =
+    match predicates with
+    | [] -> "none"
+    | first :: rest ->
+        let head =
+          match first with
+          | Eq _ -> "eq"
+          | Between _ -> "between"
+          | Filter _ -> "filter"
+        in
+        if rest = [] then head
+        else Printf.sprintf "%s+%d" head (List.length rest)
+  in
+  Printf.sprintf "select/%s/%s:%s" (Relation.name rel) path_tag shape
+
 (* Run a selection with an explicit access path; residual predicates are
    applied on top.  The first predicate is the indexable one. *)
-let run ?pool rel ~path ~predicates =
+let run ?pool ?est_rows rel ~path ~predicates =
   Trace.with_span "select" @@ fun () ->
   if Trace.active () then begin
     Trace.add_attr "relation" (Relation.name rel);
     Trace.add_attr "path" (Fmt.str "%a" pp_path path);
+    (match est_rows with
+    | Some e -> Trace.add_attr "est_rows" (string_of_int e)
+    | None -> ());
     if path = Sequential_scan && Batch.enabled () then
       Trace.add_attr "batch" (string_of_int (Batch.size ()))
   end;
@@ -262,8 +291,12 @@ let run ?pool rel ~path ~predicates =
                 if residual_ok tuple preds then Temp_list.append out [| tuple |]))
   | (Hash_lookup _ | Tree_lookup _), _ ->
       invalid_arg "Select.run: access path incompatible with predicate");
-  if Trace.active () then
-    Trace.add_attr "rows" (string_of_int (Temp_list.length out));
+  let actual = Temp_list.length out in
+  if Trace.active () then Trace.add_attr "rows" (string_of_int actual);
+  (match est_rows with
+  | Some est ->
+      Feedback.observe ~key:(feedback_key rel ~path ~predicates) ~est ~actual
+  | None -> ());
   out
 
 (* Selection with automatic access-path choice. *)

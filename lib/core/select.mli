@@ -26,8 +26,16 @@ val pp_path : Format.formatter -> access_path -> unit
 val best_path : Relation.t -> predicate -> access_path
 (** The §4 choice for one predicate, given the relation's live indices. *)
 
+val feedback_key :
+  Relation.t -> path:access_path -> predicates:predicate list -> string
+(** The (relation, access-path, predicate-shape) key under which
+    {!Feedback} aggregates estimated-vs-actual cardinalities for this
+    selection.  Shared by the optimizer (estimate lookup) and {!run}
+    (observation), so both sides agree on the shape. *)
+
 val run :
   ?pool:Mmdb_util.Domain_pool.t ->
+  ?est_rows:int ->
   Relation.t ->
   path:access_path ->
   predicates:predicate list ->
@@ -35,6 +43,11 @@ val run :
 (** Run a selection on an explicit access path; the first predicate must
     be compatible with the path (it drives the index probe), the rest are
     applied as residuals.
+
+    [est_rows] is the optimizer's cardinality estimate: it is recorded
+    as the [est_rows] trace attribute (EXPLAIN ANALYZE) and, together
+    with the actual output count, fed to {!Feedback.observe} under
+    {!feedback_key}.
 
     When [pool] is given (and parallel: size > 1, relation large enough,
     more than one partition, not already on a pool worker), a sequential

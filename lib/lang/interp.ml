@@ -387,19 +387,26 @@ let run_txn_update mgr t db ~table ~assignments ~where_ =
 
 let analyze_header =
   [
-    "operator"; "time_ms"; "rows"; "comparisons"; "data_moves"; "hash_calls";
-    "ptr_derefs"; "detail";
+    "operator"; "time_ms"; "est_rows"; "actual_rows"; "err"; "comparisons";
+    "data_moves"; "hash_calls"; "ptr_derefs"; "detail";
   ]
 
 (* One table row per span.  Counters are {e exclusive} (children's removed),
    so the operator rows sum exactly to the "total" row, which carries the
-   whole query's {!Mmdb_util.Counters.with_counters} delta. *)
-let analyze_row ~depth ~name ~time_ms ~rows ~(c : Mmdb_util.Counters.snapshot)
-    ~detail =
+   whole query's {!Mmdb_util.Counters.with_counters} delta.  [est] is the
+   optimizer's cardinality estimate (the [est_rows] span attribute); the
+   [err] column is the symmetric misestimation ratio — 1.0 is a perfect
+   estimate — and stays NULL on rows where either side is unknown. *)
+let analyze_row ~depth ~name ~time_ms ~est ~rows
+    ~(c : Mmdb_util.Counters.snapshot) ~detail =
   [|
     Value.Str (String.make (2 * depth) ' ' ^ name);
     Value.Float time_ms;
+    (match est with Some n -> Value.Int n | None -> Value.Null);
     (match rows with Some n -> Value.Int n | None -> Value.Null);
+    (match (est, rows) with
+    | Some e, Some a -> Value.Float (Mmdb_core.Feedback.err ~est:e ~actual:a)
+    | _ -> Value.Null);
     Value.Int c.Mmdb_util.Counters.comparisons;
     Value.Int c.Mmdb_util.Counters.data_moves;
     Value.Int c.Mmdb_util.Counters.hash_calls;
@@ -422,15 +429,20 @@ let analyze_table tr ~(total : Mmdb_util.Counters.snapshot) ~total_s =
               | Some n, _ | None, Some n -> int_of_string_opt n
               | None, None -> None
             in
+            let est =
+              Option.bind (Mmdb_util.Trace.attr sp "est_rows")
+                int_of_string_opt
+            in
             let detail =
               sp.Mmdb_util.Trace.sp_attrs
-              |> List.filter (fun (k, _) -> k <> "rows" && k <> "groups")
+              |> List.filter (fun (k, _) ->
+                     k <> "rows" && k <> "groups" && k <> "est_rows")
               |> List.map (fun (k, v) -> k ^ "=" ^ v)
               |> String.concat " "
             in
             analyze_row ~depth ~name:sp.Mmdb_util.Trace.sp_name
               ~time_ms:(sp.Mmdb_util.Trace.sp_elapsed *. 1000.0)
-              ~rows
+              ~est ~rows
               ~c:(Mmdb_util.Trace.exclusive_counters sp)
               ~detail)
           (Mmdb_util.Trace.spans root)
@@ -441,7 +453,7 @@ let analyze_table tr ~(total : Mmdb_util.Counters.snapshot) ~total_s =
       rows
       @ [
           analyze_row ~depth:0 ~name:"total" ~time_ms:(total_s *. 1000.0)
-            ~rows:None ~c:total ~detail:"";
+            ~est:None ~rows:None ~c:total ~detail:"";
         ];
   }
 

@@ -1,0 +1,142 @@
+(* Workload capture: one JSONL record per executed statement batch,
+   appended to a flat file the replay tooling re-executes later.
+
+   The record carries everything replay needs — normalized SQL (or the
+   prepared statement's source text plus its bound parameters), the
+   statement-kind bucket, timing, the result-row count, the outcome
+   status, and the MVCC snapshot a read ran under — and nothing it does
+   not (no result rows: captures of big scans stay small).
+
+   Rotation is size-based and single-level: when the file would grow
+   past [max_bytes], it is renamed to [path ^ ".1"] (clobbering the
+   previous rotation) and a fresh file is started, so a capture left on
+   overnight is bounded at roughly twice [max_bytes].  All writes go
+   through one mutex — handler threads record concurrently. *)
+
+module Json = Mmdb_util.Json
+open Mmdb_storage
+
+type t = {
+  path : string;
+  max_bytes : int;
+  m : Mutex.t;
+  mutable oc : out_channel;
+  mutable bytes : int;  (* size of the current file, tracked as we write *)
+  mutable count : int;  (* records written over the capture's life *)
+}
+
+let default_max_bytes = 64 * 1024 * 1024
+
+let open_sink path =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  (oc, out_channel_length oc)
+
+let create ?(max_bytes = default_max_bytes) ~path () =
+  let oc, bytes = open_sink path in
+  { path; max_bytes = Int.max 4096 max_bytes; m = Mutex.create (); oc; bytes; count = 0 }
+
+(* Strip [--] line comments (outside single-quoted strings), then
+   collapse whitespace runs and trim.  Comment stripping is load-bearing,
+   not cosmetic: collapsing a newline after a leading comment would
+   otherwise extend the comment over the statement, so the replayed text
+   would parse as nothing.  The replay side also keys its
+   prepared-statement cache on this text. *)
+let normalize_sql sql =
+  let n = String.length sql in
+  let b = Buffer.create n in
+  let pending_space = ref false in
+  let emit c =
+    if !pending_space && Buffer.length b > 0 then Buffer.add_char b ' ';
+    pending_space := false;
+    Buffer.add_char b c
+  in
+  let rec go i state =
+    if i < n then
+      let c = sql.[i] in
+      match state with
+      | `Comment -> go (i + 1) (if c = '\n' then `Plain else `Comment)
+      | `Quoted ->
+          emit c;
+          go (i + 1) (if c = '\'' then `Plain else `Quoted)
+      | `Plain ->
+          if c = '-' && i + 1 < n && sql.[i + 1] = '-' then go (i + 2) `Comment
+          else
+            (match c with
+            | ' ' | '\t' | '\n' | '\r' ->
+                pending_space := true;
+                go (i + 1) `Plain
+            | '\'' ->
+                emit c;
+                go (i + 1) `Quoted
+            | c ->
+                emit c;
+                go (i + 1) `Plain)
+  in
+  go 0 `Plain;
+  Buffer.contents b
+
+(* Parameters survive as plain JSON values; tuple pointers degrade to
+   their string rendering (they are meaningless in another process). *)
+let value_to_json : Value.t -> Json.t = function
+  | Value.Int n -> Json.Int n
+  | Value.Float f -> Json.Float f
+  | Value.Str s -> Json.Str s
+  | Value.Bool b -> Json.Bool b
+  | Value.Null -> Json.Null
+  | (Value.Ref _ | Value.Refs _) as v -> Json.Str (Value.to_string v)
+
+let value_of_json : Json.t -> Value.t = function
+  | Json.Int n -> Value.Int n
+  | Json.Float f -> Value.Float f
+  | Json.Str s -> Value.Str s
+  | Json.Bool b -> Value.Bool b
+  | Json.Null | Json.List _ | Json.Obj _ -> Value.Null
+
+let rotate t =
+  (try close_out t.oc with Sys_error _ -> ());
+  (try Sys.rename t.path (t.path ^ ".1") with Sys_error _ -> ());
+  let oc, bytes = open_sink t.path in
+  t.oc <- oc;
+  t.bytes <- bytes
+
+let record t ~ts ~session ~kind ~sql ?params ~elapsed_ms ?rows ~status
+    ~snapshot () =
+  let fields =
+    [
+      ("ts", Json.Float ts);
+      ("session", Json.Int session);
+      ("kind", Json.Str kind);
+      ("sql", Json.Str (normalize_sql sql));
+    ]
+    @ (match params with
+      | None -> []
+      | Some ps -> [ ("params", Json.List (List.map value_to_json ps)) ])
+    @ [
+        ("elapsed_ms", Json.Float elapsed_ms);
+      ]
+    @ (match rows with None -> [] | Some n -> [ ("rows", Json.Int n) ])
+    @ [ ("status", Json.Str status); ("snapshot", Json.Int snapshot) ]
+  in
+  let line = Json.to_string (Json.Obj fields) in
+  Mutex.lock t.m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.m)
+    (fun () ->
+      if t.bytes > 0 && t.bytes + String.length line + 1 > t.max_bytes then
+        rotate t;
+      output_string t.oc line;
+      output_char t.oc '\n';
+      flush t.oc;
+      t.bytes <- t.bytes + String.length line + 1;
+      t.count <- t.count + 1)
+
+let count t =
+  Mutex.lock t.m;
+  let n = t.count in
+  Mutex.unlock t.m;
+  n
+
+let close t =
+  Mutex.lock t.m;
+  (try close_out t.oc with Sys_error _ -> ());
+  Mutex.unlock t.m

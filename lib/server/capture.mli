@@ -1,0 +1,45 @@
+(** Workload capture: one JSONL record per executed statement batch.
+
+    Enabled by the server's [--capture FILE] flag; each record carries
+    the normalized SQL (plus bound parameters for prepared execution),
+    the statement-kind bucket, timing, result-row count, outcome status
+    and MVCC snapshot — enough for {!Replay} to re-execute the workload
+    against a fresh server and compare.  Size-bounded: past [max_bytes]
+    the file rotates once to [path ^ ".1"].  Thread-safe. *)
+
+type t
+
+val create : ?max_bytes:int -> path:string -> unit -> t
+(** Open (append) a capture sink.  [max_bytes] defaults to 64 MiB and is
+    clamped to at least 4 KiB. *)
+
+val record :
+  t ->
+  ts:float ->
+  session:int ->
+  kind:string ->
+  sql:string ->
+  ?params:Mmdb_storage.Value.t list ->
+  elapsed_ms:float ->
+  ?rows:int ->
+  status:string ->
+  snapshot:int ->
+  unit ->
+  unit
+(** Append one record.  [rows] is the result-row count for row-returning
+    replies; [params] the bound values of a prepared execution (the
+    [sql] is then the prepared statement's source text); [snapshot] the
+    MVCC read timestamp or [-1]. *)
+
+val normalize_sql : string -> string
+(** Trim and collapse whitespace runs to single spaces. *)
+
+val value_to_json : Mmdb_storage.Value.t -> Mmdb_util.Json.t
+val value_of_json : Mmdb_util.Json.t -> Mmdb_storage.Value.t
+(** JSON round-trip for parameter values; tuple pointers degrade to
+    strings, structured JSON degrades to [Null]. *)
+
+val count : t -> int
+(** Records written over the capture's life (rotation does not reset). *)
+
+val close : t -> unit

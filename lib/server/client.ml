@@ -184,6 +184,12 @@ let stats t =
   | Ok _ -> Error "unexpected response to STATS"
   | Error m -> Error m
 
+let metrics t =
+  match request t Protocol.Metrics with
+  | Ok (Protocol.Metrics_text s) -> Ok s
+  | Ok _ -> Error "unexpected response to METRICS"
+  | Error m -> Error m
+
 let quit t =
   let r =
     match request t Protocol.Quit with

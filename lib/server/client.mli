@@ -44,6 +44,9 @@ val status : t -> (string, string) result
 val stats : t -> (string, string) result
 (** Machine-readable metrics: the STATS response's JSON payload. *)
 
+val metrics : t -> (string, string) result
+(** Prometheus text-exposition metrics: the METRICS response body. *)
+
 val quit : t -> (unit, string) result
 (** Send QUIT and close the socket (best-effort, never fails hard). *)
 

@@ -18,7 +18,11 @@ val conn_closed : ?reaped:bool -> t -> unit
 
 val request : ?kind:string -> t -> latency:float -> unit
 (** One answered request; [latency] in seconds, [kind] the statement-kind
-    bucket ("select", "insert", "txn", ... — default "other"). *)
+    bucket ("select", "insert", "txn", ... — default "other").  The
+    per-kind tables are bounded at 16 distinct kinds; overflow folds
+    into the "other" bucket.  Alongside the since-boot histograms, the
+    request feeds 120 x 1 s ring buffers ({!Mmdb_util.Timeseries})
+    behind the windowed qps / error-rate / recent-quantile figures. *)
 
 val error : t -> unit
 val timeout : t -> unit
@@ -46,6 +50,9 @@ val quota_killed : t -> unit
 val write_timeout : t -> unit
 (** A session cut because the peer stopped draining a response. *)
 
+val statement_captured : t -> unit
+(** A statement appended to the workload-capture file. *)
+
 val record_trace : t -> Mmdb_util.Trace.span -> unit
 (** Fold a finished trace tree into the per-operator aggregates
     (exclusive time and counters per span name). *)
@@ -67,11 +74,17 @@ type snapshot = {
   s_shed : int;  (** requests dropped at the overload watermark *)
   s_quota : int;  (** requests killed by a per-query quota *)
   s_write_timeouts : int;  (** sessions cut for not draining writes *)
+  s_captured : int;  (** statements appended to the capture file *)
   s_uptime : float;  (** seconds since server start *)
   s_lat_n : int;  (** latency samples recorded over the server's life *)
   s_p50_ms : float option;
   s_p99_ms : float option;
   s_max_ms : float option;
+  s_qps_60s : float;  (** requests/s over the trailing 60 s window *)
+  s_err_60s : float;
+  s_shed_60s : float;
+  s_p50_60s_ms : float option;  (** windowed quantiles from the rings *)
+  s_p99_60s_ms : float option;
 }
 
 val snapshot : t -> snapshot
@@ -88,4 +101,14 @@ val render : t -> active:int -> readers:int -> domains:int -> string
     per-operator breakdowns when non-empty. *)
 
 val stats_json : t -> active:int -> readers:int -> domains:int -> string
-(** Machine-readable twin of {!render}, served by the STATS request. *)
+(** Machine-readable twin of {!render}, served by the STATS request.
+    Includes the trailing-window figures, the capture counter, and the
+    cardinality-feedback worst-misestimates table. *)
+
+val prometheus : t -> active:int -> readers:int -> domains:int -> string
+(** Prometheus text exposition (v0.0.4), served by the METRICS request:
+    [mmdb_]-prefixed counters, gauges (including trailing-window qps /
+    error-rate / per-kind quantiles from the ring buffers, and the
+    cardinality-feedback figures), and the full request-latency
+    histogram as cumulative [le] buckets.  Hand-rendered, no
+    dependencies. *)

@@ -74,6 +74,7 @@ type request =
   | Quit
   | Status  (** server metrics snapshot, human-readable *)
   | Stats  (** server metrics snapshot, JSON *)
+  | Metrics  (** server metrics, Prometheus text exposition *)
 
 type response =
   | Results of { columns : string list; rows : Value.t array list }
@@ -89,6 +90,7 @@ type response =
   | Notice of string  (** out-of-band server notice *)
   | Status_text of string
   | Stats_json of string  (** machine-readable metrics payload *)
+  | Metrics_text of string  (** Prometheus text-exposition payload *)
 
 (* --- encoding --------------------------------------------------------- *)
 
@@ -164,7 +166,8 @@ let encode_request req =
          | Cancel -> Buffer.add_char b 'C'
          | Quit -> Buffer.add_char b 'X'
          | Status -> Buffer.add_char b 'S'
-         | Stats -> Buffer.add_char b 'T'))
+         | Stats -> Buffer.add_char b 'T'
+         | Metrics -> Buffer.add_char b 'M'))
 
 let encode_response resp =
   frame
@@ -208,6 +211,9 @@ let encode_response resp =
              Buffer.add_string b m
          | Stats_json m ->
              Buffer.add_char b 'j';
+             Buffer.add_string b m
+         | Metrics_text m ->
+             Buffer.add_char b 'm';
              Buffer.add_string b m))
 
 (* --- decoding --------------------------------------------------------- *)
@@ -282,6 +288,7 @@ let decode_request payload =
       | 'X' -> Ok Quit
       | 'S' -> Ok Status
       | 'T' -> Ok Stats
+      | 'M' -> Ok Metrics
       | t -> Stdlib.Error (Printf.sprintf "unknown request tag %C" t)
     with Malformed m -> Stdlib.Error m
 
@@ -320,6 +327,7 @@ let decode_response payload =
       | 'n' -> Ok (Notice (rest c))
       | 't' -> Ok (Status_text (rest c))
       | 'j' -> Ok (Stats_json (rest c))
+      | 'm' -> Ok (Metrics_text (rest c))
       | t -> Stdlib.Error (Printf.sprintf "unknown response tag %C" t)
     with Malformed m -> Stdlib.Error m
 
@@ -507,3 +515,4 @@ let pp_response ppf = function
   | Notice m -> Fmt.pf ppf "notice: %s" m
   | Status_text m -> Fmt.string ppf m
   | Stats_json m -> Fmt.string ppf m
+  | Metrics_text m -> Fmt.string ppf m

@@ -34,6 +34,7 @@ type request =
   | Quit
   | Status  (** server metrics snapshot, human-readable *)
   | Stats  (** server metrics snapshot, JSON *)
+  | Metrics  (** server metrics, Prometheus text exposition *)
 
 type response =
   | Results of { columns : string list; rows : Value.t array list }
@@ -49,6 +50,7 @@ type response =
   | Notice of string  (** out-of-band server notice *)
   | Status_text of string
   | Stats_json of string  (** machine-readable metrics payload *)
+  | Metrics_text of string  (** Prometheus text-exposition payload *)
 
 val encode_request : request -> string
 (** Full frame (length prefix included), ready to write. *)

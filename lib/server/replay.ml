@@ -1,0 +1,217 @@
+(* Workload replay: re-execute a {!Capture} JSONL file against a live
+   server and compare what comes back with what was recorded.
+
+   Each record replays the way it was captured: plain records go out as
+   Query frames; records carrying [params] re-prepare their source SQL
+   (once per distinct text — the capture has one record per execution,
+   but the original client prepared once) and bind the recorded values.
+   Replay is single-session and in capture order, so a workload whose
+   statements depend on each other (DDL then DML then reads, BEGIN
+   blocks) re-executes coherently.
+
+   The comparison is behavioral, not byte-level: result-row counts and
+   ok/error status per statement, plus per-kind latency quantiles from
+   both runs so drift is visible even when results agree. *)
+
+module Json = Mmdb_util.Json
+module Histogram = Mmdb_util.Histogram
+
+type record = {
+  r_kind : string;
+  r_sql : string;
+  r_params : Mmdb_storage.Value.t list option;
+  r_elapsed_ms : float;
+  r_rows : int option;
+  r_status : string;
+}
+
+let record_of_json j =
+  match Option.bind (Json.member "sql" j) Json.to_string_opt with
+  | None -> None
+  | Some sql ->
+      let str k d =
+        Option.value ~default:d (Option.bind (Json.member k j) Json.to_string_opt)
+      in
+      Some
+        {
+          r_kind = str "kind" "other";
+          r_sql = sql;
+          r_params =
+            Option.map
+              (List.map Capture.value_of_json)
+              (Option.bind (Json.member "params" j) Json.to_list_opt);
+          r_elapsed_ms =
+            Option.value ~default:0.0
+              (Option.bind (Json.member "elapsed_ms" j) Json.to_float_opt);
+          r_rows = Option.bind (Json.member "rows" j) Json.to_int_opt;
+          r_status = str "status" "ok";
+        }
+
+(* Load a capture file; malformed lines are skipped and counted, a
+   missing file is an error. *)
+let load path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      let records = ref [] and skipped = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.trim line <> "" then
+             match Json.parse line with
+             | Ok j -> (
+                 match record_of_json j with
+                 | Some r -> records := r :: !records
+                 | None -> incr skipped)
+             | Error _ -> incr skipped
+         done
+       with End_of_file -> ());
+      close_in ic;
+      Ok (List.rev !records, !skipped)
+
+type kind_drift = {
+  k_kind : string;
+  k_n : int;
+  k_captured_p50_ms : float option;
+  k_replayed_p50_ms : float option;
+  k_captured_p99_ms : float option;
+  k_replayed_p99_ms : float option;
+}
+
+type outcome = {
+  o_statements : int;  (* records replayed *)
+  o_skipped : int;  (* malformed capture lines dropped at load *)
+  o_row_mismatches : int;  (* result-row counts that differ *)
+  o_status_mismatches : int;  (* ok-vs-error outcomes that differ *)
+  o_transport_errors : int;  (* sends that failed outright *)
+  o_kinds : kind_drift list;  (* per-kind latency, both runs *)
+}
+
+let clean o =
+  o.o_row_mismatches = 0 && o.o_status_mismatches = 0
+  && o.o_transport_errors = 0
+
+let status_of (resp : (Protocol.response, string) result) =
+  match resp with
+  | Ok (Protocol.Error (code, _)) -> Protocol.err_code_name code
+  | Ok _ -> "ok"
+  | Error _ -> "transport"
+
+let rows_of (resp : (Protocol.response, string) result) =
+  match resp with
+  | Ok (Protocol.Results { rows; _ }) -> Some (List.length rows)
+  | _ -> None
+
+let run ?(skipped = 0) client records =
+  (* one prepared id per distinct source text, like the original client *)
+  let prepared : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let cap_hists : (string, Histogram.t) Hashtbl.t = Hashtbl.create 8 in
+  let rep_hists : (string, Histogram.t) Hashtbl.t = Hashtbl.create 8 in
+  let hist tbl kind =
+    match Hashtbl.find_opt tbl kind with
+    | Some h -> h
+    | None ->
+        let h = Histogram.create () in
+        Hashtbl.replace tbl kind h;
+        h
+  in
+  let statements = ref 0 in
+  let row_mismatches = ref 0 in
+  let status_mismatches = ref 0 in
+  let transport_errors = ref 0 in
+  List.iter
+    (fun r ->
+      incr statements;
+      let started = Unix.gettimeofday () in
+      let resp =
+        match r.r_params with
+        | None -> Client.query client r.r_sql
+        | Some params -> (
+            match Hashtbl.find_opt prepared r.r_sql with
+            | Some id -> Client.exec_prepared client id params
+            | None -> (
+                match Client.prepare client r.r_sql with
+                | Ok (id, _) ->
+                    Hashtbl.replace prepared r.r_sql id;
+                    Client.exec_prepared client id params
+                | Error m -> Error m))
+      in
+      let elapsed = Unix.gettimeofday () -. started in
+      Histogram.add (hist cap_hists r.r_kind) (r.r_elapsed_ms /. 1000.0);
+      Histogram.add (hist rep_hists r.r_kind) elapsed;
+      (match resp with Error _ -> incr transport_errors | Ok _ -> ());
+      let replay_status = status_of resp in
+      (* errors must reproduce as errors, successes as successes; the
+         exact error code may legitimately differ (e.g. a captured
+         timeout), so compare the ok/not-ok shape *)
+      if (r.r_status = "ok") <> (replay_status = "ok") then
+        incr status_mismatches;
+      match (r.r_rows, rows_of resp) with
+      | Some a, Some b when a <> b -> incr row_mismatches
+      | _ -> ())
+    records;
+  let kinds =
+    Hashtbl.fold (fun k _ acc -> k :: acc) cap_hists []
+    |> List.sort compare
+    |> List.map (fun k ->
+           let p tbl q =
+             Option.bind (Hashtbl.find_opt tbl k) (fun h ->
+                 Option.map (fun s -> s *. 1000.0) (Histogram.percentile h q))
+           in
+           {
+             k_kind = k;
+             k_n = Option.fold ~none:0 ~some:Histogram.count
+                 (Hashtbl.find_opt cap_hists k);
+             k_captured_p50_ms = p cap_hists 50.0;
+             k_replayed_p50_ms = p rep_hists 50.0;
+             k_captured_p99_ms = p cap_hists 99.0;
+             k_replayed_p99_ms = p rep_hists 99.0;
+           })
+  in
+  {
+    o_statements = !statements;
+    o_skipped = skipped;
+    o_row_mismatches = !row_mismatches;
+    o_status_mismatches = !status_mismatches;
+    o_transport_errors = !transport_errors;
+    o_kinds = kinds;
+  }
+
+let render o =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "replayed %d statements (%d malformed lines skipped)\n\
+        row mismatches:    %d\n\
+        status mismatches: %d\n\
+        transport errors:  %d\n"
+       o.o_statements o.o_skipped o.o_row_mismatches o.o_status_mismatches
+       o.o_transport_errors);
+  if o.o_kinds <> [] then begin
+    Buffer.add_string b
+      "kind        n      captured p50/p99 ms    replayed p50/p99 ms\n";
+    List.iter
+      (fun k ->
+        let f = function
+          | Some v -> Printf.sprintf "%.2f" v
+          | None -> "-"
+        in
+        Buffer.add_string b
+          (Printf.sprintf "%-10s %6d   %9s / %-9s   %9s / %-9s\n" k.k_kind
+             k.k_n
+             (f k.k_captured_p50_ms)
+             (f k.k_captured_p99_ms)
+             (f k.k_replayed_p50_ms)
+             (f k.k_replayed_p99_ms)))
+      o.o_kinds
+  end;
+  Buffer.add_string b
+    (if clean o then "replay clean: captured behavior reproduced\n"
+     else "replay DIVERGED\n");
+  Buffer.contents b
+
+(* Load + replay in one call, the shape the CLI and bench use. *)
+let run_file client path =
+  match load path with
+  | Error msg -> Error msg
+  | Ok (records, skipped) -> Ok (run ~skipped client records)

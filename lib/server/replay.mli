@@ -1,0 +1,49 @@
+(** Workload replay: re-execute a {!Capture} JSONL file against a live
+    server, in capture order over one session, and compare behavior —
+    result-row counts and ok/error status per statement, plus per-kind
+    latency quantiles from both runs.  Prepared executions re-prepare
+    their source SQL once per distinct text and bind the recorded
+    parameters. *)
+
+type record = {
+  r_kind : string;
+  r_sql : string;
+  r_params : Mmdb_storage.Value.t list option;
+      (** [Some _] marks a prepared execution *)
+  r_elapsed_ms : float;
+  r_rows : int option;
+  r_status : string;
+}
+
+val load : string -> (record list * int, string) result
+(** Parse a capture file into records plus a count of malformed lines
+    skipped.  [Error] when the file cannot be opened. *)
+
+type kind_drift = {
+  k_kind : string;
+  k_n : int;
+  k_captured_p50_ms : float option;
+  k_replayed_p50_ms : float option;
+  k_captured_p99_ms : float option;
+  k_replayed_p99_ms : float option;
+}
+
+type outcome = {
+  o_statements : int;  (** records replayed *)
+  o_skipped : int;  (** malformed capture lines dropped at load *)
+  o_row_mismatches : int;  (** result-row counts that differ *)
+  o_status_mismatches : int;  (** ok-vs-error outcomes that differ *)
+  o_transport_errors : int;  (** sends that failed outright *)
+  o_kinds : kind_drift list;
+}
+
+val clean : outcome -> bool
+(** No mismatches and no transport errors. *)
+
+val run : ?skipped:int -> Client.t -> record list -> outcome
+
+val run_file : Client.t -> string -> (outcome, string) result
+(** {!load} then {!run}. *)
+
+val render : outcome -> string
+(** Human-readable report: totals, per-kind drift table, verdict. *)

@@ -55,6 +55,8 @@ type config = {
       (* snapshot-isolation reads: read-only statements run under an MVCC
          snapshot on the reader pool, concurrently with the writer.  Off
          reproduces the paper's lock-only blocking behavior. *)
+  capture : string option;  (* workload-capture JSONL sink; None = off *)
+  capture_max_bytes : int;  (* rotate the capture file past this size *)
 }
 
 let default_config =
@@ -76,6 +78,8 @@ let default_config =
     max_result_rows = 0;
     tuple_budget = 0;
     mvcc = Version_store.enabled () (* the MMDB_MVCC knob; default on *);
+    capture = None;
+    capture_max_bytes = 64 * 1024 * 1024;
   }
 
 module Fault = Mmdb_txn.Fault
@@ -101,6 +105,7 @@ type t = {
   stop_w : Unix.file_descr;
   slow_m : Mutex.t;  (* serializes slow-log lines across handlers *)
   slow_out : out_channel option;  (* open slow-log sink, if configured *)
+  capture : Capture.t option;  (* open workload-capture sink, if any *)
   gc_tick : int Atomic.t;  (* Write statements since the last MVCC GC *)
   m : Mutex.t;  (* guards sessions / handlers / next_sid / state *)
   sessions : (int, session) Hashtbl.t;
@@ -131,6 +136,10 @@ let metrics_text t =
 
 let stats_json_text t =
   Metrics.stats_json t.metrics ~active:(active_sessions t)
+    ~readers:(Exec_queue.readers t.exec) ~domains:(domain_count ())
+
+let prometheus_text t =
+  Metrics.prometheus t.metrics ~active:(active_sessions t)
     ~readers:(Exec_queue.readers t.exec) ~domains:(domain_count ())
 
 let metrics t = t.metrics
@@ -393,10 +402,34 @@ let guard_quotas t job () : Protocol.response =
             (List.length rows) t.cfg.max_result_rows )
   | resp -> resp
 
+(* One capture record per executed batch (shed requests never execute,
+   so they are not recorded).  [params] marks a prepared execution: the
+   replay side re-prepares [sql] and binds them. *)
+let capture_record t (s : session) ~sql ?params ~started ~resp () =
+  match t.capture with
+  | None -> ()
+  | Some cap ->
+      let elapsed = Unix.gettimeofday () -. started in
+      let status =
+        match (resp : Protocol.response) with
+        | Protocol.Error (code, _) -> Protocol.err_code_name code
+        | _ -> "ok"
+      in
+      let rows =
+        match (resp : Protocol.response) with
+        | Protocol.Results { rows; _ } -> Some (List.length rows)
+        | _ -> None
+      in
+      Capture.record cap ~ts:started ~session:s.Session.sid
+        ~kind:s.Session.last_kind ~sql ?params
+        ~elapsed_ms:(elapsed *. 1000.0) ?rows ~status
+        ~snapshot:s.Session.last_snap ();
+      Metrics.statement_captured t.metrics
+
 (* Run a statement batch on the executor, tracing when configured.  The
    finished tree feeds the per-operator aggregates; a request at/over the
    slow threshold additionally emits one slow-log line carrying it. *)
-let run_statements t (s : session) ~sql stmts : Protocol.response =
+let run_statements t (s : session) ~sql ?params stmts : Protocol.response =
   let interp = interp_of s in
   s.Session.last_kind <- batch_kind stmts;
   let kind = kind_of interp stmts in
@@ -431,28 +464,32 @@ let run_statements t (s : session) ~sql stmts : Protocol.response =
               ignore (Mmdb_txn.Mvcc.gc (Db.relations t.db));
             resp
   in
-  if not (tracing_on t) then run_on_executor t s ~kind job
-  else begin
-    let tr = Mmdb_util.Trace.create () in
-    let started = Unix.gettimeofday () in
-    let resp =
-      run_on_executor t s ~kind (fun () ->
-          Mmdb_util.Trace.run tr ~name:"query" job)
-    in
-    let elapsed = Unix.gettimeofday () -. started in
-    (match resp with
-    | Protocol.Error (Protocol.Timeout, _) ->
-        (* the abandoned job may still be running and mutating [tr] *)
-        ()
-    | _ -> (
-        match Mmdb_util.Trace.root tr with
-        | None -> () (* job skipped before execution *)
-        | Some root ->
-            Metrics.record_trace t.metrics root;
-            if t.slow_out <> None && elapsed >= t.cfg.slow_threshold then
-              slow_log_line t s ~sql ~elapsed ~resp root));
-    resp
-  end
+  let started = Unix.gettimeofday () in
+  let resp =
+    if not (tracing_on t) then run_on_executor t s ~kind job
+    else begin
+      let tr = Mmdb_util.Trace.create () in
+      let resp =
+        run_on_executor t s ~kind (fun () ->
+            Mmdb_util.Trace.run tr ~name:"query" job)
+      in
+      let elapsed = Unix.gettimeofday () -. started in
+      (match resp with
+      | Protocol.Error (Protocol.Timeout, _) ->
+          (* the abandoned job may still be running and mutating [tr] *)
+          ()
+      | _ -> (
+          match Mmdb_util.Trace.root tr with
+          | None -> () (* job skipped before execution *)
+          | Some root ->
+              Metrics.record_trace t.metrics root;
+              if t.slow_out <> None && elapsed >= t.cfg.slow_threshold then
+                slow_log_line t s ~sql ~elapsed ~resp root));
+      resp
+    end
+  in
+  capture_record t s ~sql ?params ~started ~resp ();
+  resp
 
 let literal_of_value : Value.t -> Ast.literal = function
   | Value.Int n -> Ast.L_int n
@@ -481,6 +518,7 @@ let handle_request t (s : session) (req : Protocol.request) : bool =
   | Protocol.Ping -> answer Protocol.Pong
   | Protocol.Status -> answer (Protocol.Status_text (metrics_text t))
   | Protocol.Stats -> answer (Protocol.Stats_json (stats_json_text t))
+  | Protocol.Metrics -> answer (Protocol.Metrics_text (prometheus_text t))
   | Protocol.Cancel ->
       (match s.Session.pending with
       | Some p -> Exec_queue.abandon p
@@ -495,7 +533,7 @@ let handle_request t (s : session) (req : Protocol.request) : bool =
       | Error msg -> answer (Protocol.Error (Protocol.Parse, msg))
       | Ok [ stmt ] ->
           let n_params = Ast.param_count stmt in
-          let id, n_params = Session.register_prepared s stmt ~n_params in
+          let id, n_params = Session.register_prepared s stmt ~n_params ~sql in
           answer (Protocol.Prepared { id; n_params })
       | Ok stmts ->
           answer
@@ -509,16 +547,12 @@ let handle_request t (s : session) (req : Protocol.request) : bool =
           answer
             (Protocol.Error
                (Protocol.Exec, Printf.sprintf "no prepared statement %d" id))
-      | Some (stmt, _) -> (
+      | Some (stmt, _, sql) -> (
           match
             Ast.substitute_params stmt (List.map literal_of_value params)
           with
           | Error msg -> answer (Protocol.Error (Protocol.Exec, msg))
-          | Ok bound ->
-              answer
-                (run_statements t s
-                   ~sql:(Printf.sprintf "(prepared #%d)" id)
-                   [ bound ])))
+          | Ok bound -> answer (run_statements t s ~sql ~params [ bound ])))
 
 (* --- connection lifecycle --------------------------------------------- *)
 
@@ -723,6 +757,12 @@ let start ?(config = default_config) ?mgr db =
       (fun path -> open_out_gen [ Open_append; Open_creat ] 0o644 path)
       config.slow_log
   in
+  let capture =
+    Option.map
+      (fun path ->
+        Capture.create ~max_bytes:config.capture_max_bytes ~path ())
+      config.capture
+  in
   let t =
     {
       cfg = config;
@@ -741,6 +781,7 @@ let start ?(config = default_config) ?mgr db =
       stop_w;
       slow_m = Mutex.create ();
       slow_out;
+      capture;
       gc_tick = Atomic.make 0;
       m = Mutex.create ();
       sessions = Hashtbl.create 32;
@@ -787,6 +828,9 @@ let shutdown t =
     Exec_queue.stop t.exec;
     (match t.slow_out with
     | Some oc -> ( try close_out oc with _ -> ())
+    | None -> ());
+    (match t.capture with
+    | Some cap -> ( try Capture.close cap with _ -> ())
     | None -> ());
     List.iter
       (fun fd -> try Unix.close fd with _ -> ())
@@ -835,6 +879,9 @@ let crash t =
     Exec_queue.stop t.exec;
     (match t.slow_out with
     | Some oc -> ( try close_out oc with _ -> ())
+    | None -> ());
+    (match t.capture with
+    | Some cap -> ( try Capture.close cap with _ -> ())
     | None -> ());
     List.iter
       (fun fd -> try Unix.close fd with _ -> ())

@@ -52,6 +52,13 @@ type config = {
           {!Mmdb_storage.Version_store.set_enabled} from this, so the
           flag is authoritative for the whole process.  Off reproduces
           the paper's §2.4 lock-only blocking behavior. *)
+  capture : string option;
+      (** workload-capture sink: one {!Capture} JSONL record per
+          executed statement batch (shed requests excluded); [None]
+          disables *)
+  capture_max_bytes : int;
+      (** rotate the capture file to [path ^ ".1"] past this size;
+          default 64 MiB *)
 }
 
 val default_config : config
@@ -83,6 +90,9 @@ val metrics_text : t -> string
 
 val stats_json_text : t -> string
 (** Machine-readable metrics summary (the STATS response body). *)
+
+val prometheus_text : t -> string
+(** Prometheus text-exposition metrics (the METRICS response body). *)
 
 val shutdown : t -> unit
 (** Graceful shutdown: stop admissions, nudge every session off its

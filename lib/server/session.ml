@@ -23,7 +23,8 @@ type 'a t = {
   wake_w : Unix.file_descr;
   mutable last_activity : float;
   mutable interp : Interp.session option;  (* created on the executor *)
-  prepared : (int, Ast.stmt * int) Hashtbl.t;  (* id -> stmt, n_params *)
+  prepared : (int, Ast.stmt * int * string) Hashtbl.t;
+      (* id -> stmt, n_params, source SQL (kept for workload capture) *)
   mutable next_prepared : int;
   mutable pending : 'a Exec_queue.promise option;
   mutable orphans : 'a Exec_queue.promise list;
@@ -61,10 +62,10 @@ let create ~sid ~fd =
 let touch t = t.last_activity <- Unix.gettimeofday ()
 let idle_for t ~now = now -. t.last_activity
 
-let register_prepared t stmt ~n_params =
+let register_prepared t stmt ~n_params ~sql =
   let id = t.next_prepared in
   t.next_prepared <- id + 1;
-  Hashtbl.replace t.prepared id (stmt, n_params);
+  Hashtbl.replace t.prepared id (stmt, n_params, sql);
   (id, n_params)
 
 let find_prepared t id = Hashtbl.find_opt t.prepared id

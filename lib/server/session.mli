@@ -23,7 +23,8 @@ type 'a t = {
   wake_w : Unix.file_descr;
   mutable last_activity : float;
   mutable interp : Interp.session option;  (** created on the executor *)
-  prepared : (int, Ast.stmt * int) Hashtbl.t;  (** id -> stmt, n_params *)
+  prepared : (int, Ast.stmt * int * string) Hashtbl.t;
+      (** id -> stmt, n_params, source SQL (kept for workload capture) *)
   mutable next_prepared : int;
   mutable pending : 'a Exec_queue.promise option;
   mutable orphans : 'a Exec_queue.promise list;
@@ -43,10 +44,11 @@ val create : sid:int -> fd:Unix.file_descr -> 'a t
 val touch : 'a t -> unit
 val idle_for : 'a t -> now:float -> float
 
-val register_prepared : 'a t -> Ast.stmt -> n_params:int -> int * int
-(** Returns [(id, n_params)] for the freshly registered statement. *)
+val register_prepared : 'a t -> Ast.stmt -> n_params:int -> sql:string -> int * int
+(** Returns [(id, n_params)] for the freshly registered statement;
+    [sql] is the source text, retained for workload capture. *)
 
-val find_prepared : 'a t -> int -> (Ast.stmt * int) option
+val find_prepared : 'a t -> int -> (Ast.stmt * int * string) option
 
 val close_fds : 'a t -> unit
 (** Close the socket and the wake pipe.  Only call after the session's

@@ -1,0 +1,133 @@
+(* Fixed-size time-series ring buffers for serving telemetry.
+
+   Two ring shapes over the same bucketing scheme: a numeric ring (one
+   float accumulator per time bucket — counts, sums) and a histogram
+   ring (one {!Histogram} per bucket — windowed latency quantiles).
+   Bucket [id] covers [[id*width, (id+1)*width)] seconds on the caller's
+   clock; the ring keeps the last [buckets] ids and lazily resets a slot
+   when a newer id claims it, so writes are O(1) and an idle series
+   costs nothing.  A 120 x 1 s ring answers "the last minute" and "the
+   last two minutes" from the same storage.
+
+   The clock is injectable ([?now], default [Unix.gettimeofday]) so
+   tests drive the rings deterministically.  Not synchronized —
+   {!Mmdb_net.Metrics} already serializes access under its own mutex,
+   matching {!Histogram}'s contract. *)
+
+type t = {
+  width : float;  (* seconds per bucket *)
+  ids : int array;  (* which bucket id currently occupies each slot *)
+  sums : float array;
+}
+
+let default_buckets = 120
+
+let create ?(buckets = default_buckets) ?(width = 1.0) () =
+  if buckets <= 0 then invalid_arg "Timeseries.create: buckets must be > 0";
+  if width <= 0.0 then invalid_arg "Timeseries.create: width must be > 0";
+  { width; ids = Array.make buckets min_int; sums = Array.make buckets 0.0 }
+
+let capacity t = Array.length t.ids
+let span t = t.width *. float_of_int (capacity t)
+
+let bucket_id t now = int_of_float (Float.floor (now /. t.width))
+
+let slot_for t id =
+  let n = capacity t in
+  ((id mod n) + n) mod n
+
+let add ?now t v =
+  let now = match now with Some x -> x | None -> Unix.gettimeofday () in
+  let id = bucket_id t now in
+  let slot = slot_for t id in
+  if t.ids.(slot) <> id then begin
+    t.ids.(slot) <- id;
+    t.sums.(slot) <- 0.0
+  end;
+  t.sums.(slot) <- t.sums.(slot) +. v
+
+(* Sum of the buckets covering the last [window] seconds (the current,
+   possibly partial, bucket included).  [window] is clamped to the
+   ring's span — asking for more history than the ring keeps answers
+   with what it has. *)
+let sum ?now t ~window =
+  let now = match now with Some x -> x | None -> Unix.gettimeofday () in
+  let cur = bucket_id t now in
+  let k =
+    let raw = int_of_float (Float.ceil (window /. t.width)) in
+    max 1 (min raw (capacity t))
+  in
+  let acc = ref 0.0 in
+  for id = cur - k + 1 to cur do
+    let slot = slot_for t id in
+    if t.ids.(slot) = id then acc := !acc +. t.sums.(slot)
+  done;
+  !acc
+
+(* Per-second rate over the last [window] seconds. *)
+let rate ?now t ~window =
+  if window <= 0.0 then 0.0 else sum ?now t ~window /. window
+
+(* The live buckets of the last [window] seconds, oldest first, as
+   [(bucket_start_seconds, sum)] — empty buckets are skipped. *)
+let points ?now t ~window =
+  let now = match now with Some x -> x | None -> Unix.gettimeofday () in
+  let cur = bucket_id t now in
+  let k =
+    let raw = int_of_float (Float.ceil (window /. t.width)) in
+    max 1 (min raw (capacity t))
+  in
+  let out = ref [] in
+  for id = cur downto cur - k + 1 do
+    let slot = slot_for t id in
+    if t.ids.(slot) = id then
+      out := (float_of_int id *. t.width, t.sums.(slot)) :: !out
+  done;
+  !out
+
+(* --- histogram ring ---------------------------------------------------- *)
+
+type hist = {
+  hwidth : float;
+  hids : int array;
+  hists : Histogram.t array;
+}
+
+let create_hist ?(buckets = default_buckets) ?(width = 1.0) () =
+  if buckets <= 0 then invalid_arg "Timeseries.create_hist: buckets must be > 0";
+  if width <= 0.0 then invalid_arg "Timeseries.create_hist: width must be > 0";
+  {
+    hwidth = width;
+    hids = Array.make buckets min_int;
+    hists = Array.init buckets (fun _ -> Histogram.create ());
+  }
+
+let hslot_for h id =
+  let n = Array.length h.hids in
+  ((id mod n) + n) mod n
+
+let observe ?now h x =
+  let now = match now with Some t -> t | None -> Unix.gettimeofday () in
+  let id = int_of_float (Float.floor (now /. h.hwidth)) in
+  let slot = hslot_for h id in
+  if h.hids.(slot) <> id then begin
+    h.hids.(slot) <- id;
+    h.hists.(slot) <- Histogram.create ()
+  end;
+  Histogram.add h.hists.(slot) x
+
+(* A fresh histogram merging every live bucket of the last [window]
+   seconds — feed it to {!Histogram.percentile} for windowed p50/p99. *)
+let merged ?now h ~window =
+  let now = match now with Some t -> t | None -> Unix.gettimeofday () in
+  let cur = int_of_float (Float.floor (now /. h.hwidth)) in
+  let k =
+    let raw = int_of_float (Float.ceil (window /. h.hwidth)) in
+    max 1 (min raw (Array.length h.hids))
+  in
+  let out = Histogram.create () in
+  for id = cur - k + 1 to cur do
+    let slot = hslot_for h id in
+    if h.hids.(slot) = id then Histogram.merge_into ~into:out h.hists.(slot)
+  done;
+  out

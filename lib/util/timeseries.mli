@@ -1,0 +1,51 @@
+(** Fixed-size time-series ring buffers for serving telemetry.
+
+    A ring of [buckets] slots, each [width] seconds wide, keyed by
+    [floor (now / width)].  Writes lazily evict stale slots, so the
+    structure is O(1) per update with zero background work.  The clock
+    is injectable for tests; production callers omit [?now] and get
+    [Unix.gettimeofday].  Not internally synchronized — guard with the
+    owner's mutex (as {!Mmdb_net.Metrics} does). *)
+
+type t
+(** Numeric ring: one float accumulator per time bucket. *)
+
+val create : ?buckets:int -> ?width:float -> unit -> t
+(** [create ()] is a 120-bucket, 1 s-wide ring (two minutes of history).
+    Raises [Invalid_argument] on non-positive [buckets] or [width]. *)
+
+val capacity : t -> int
+(** Number of buckets in the ring. *)
+
+val span : t -> float
+(** Total history the ring can hold, in seconds ([capacity * width]). *)
+
+val add : ?now:float -> t -> float -> unit
+(** [add t v] accumulates [v] into the current bucket. *)
+
+val sum : ?now:float -> t -> window:float -> float
+(** Sum over the buckets covering the last [window] seconds (current
+    partial bucket included; [window] clamped to {!span}). *)
+
+val rate : ?now:float -> t -> window:float -> float
+(** [sum /. window]: per-second rate over the last [window] seconds. *)
+
+val points : ?now:float -> t -> window:float -> (float * float) list
+(** Live buckets of the last [window] seconds, oldest first, as
+    [(bucket_start_seconds, sum)]; empty buckets are skipped. *)
+
+(** {1 Histogram ring}
+
+    Same bucketing, but each slot holds a {!Histogram} — merge the live
+    slots of a window to answer "p99 over the last minute". *)
+
+type hist
+
+val create_hist : ?buckets:int -> ?width:float -> unit -> hist
+
+val observe : ?now:float -> hist -> float -> unit
+(** Record one sample into the current bucket's histogram. *)
+
+val merged : ?now:float -> hist -> window:float -> Histogram.t
+(** Fresh histogram merging every live bucket of the last [window]
+    seconds; feed to {!Histogram.percentile} for windowed quantiles. *)

@@ -133,4 +133,50 @@ echo "== micro experiment =="
 rm -f BENCH_micro.json
 "$BENCH" --only micro --scale "$SCALE" --out BENCH_micro.json
 
+# Append one summary record per refresh to BENCH_trend.jsonl: the
+# headline numbers of each baseline, stamped with revision and date, so
+# performance drift across PRs is a one-file time series.
+python3 - "$SCALE" <<'PY'
+import json, subprocess, sys, time
+
+def load(path):
+    try:
+        return [json.loads(l) for l in open(path)]
+    except OSError:
+        return []
+
+server = load("BENCH_server.json")
+join = load("BENCH_join.json")
+micro = load("BENCH_micro.json")
+
+trend = {
+    "ts": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    "rev": subprocess.run(
+        ["git", "rev-parse", "--short", "HEAD"],
+        capture_output=True, text=True).stdout.strip() or "unknown",
+    "scale": float(sys.argv[1]),
+}
+for rec in server:
+    if "overload_ok" in rec:
+        trend["overload_p99_ratio"] = rec["p99_ratio"]
+    if rec.get("mix") == "mvcc-read" and rec.get("mvcc") == 1:
+        trend["mvcc_read_p99_ratio"] = rec["p99_ratio"]
+    if rec.get("mix") == "read-only (parallel readers)" and rec.get("clients") == 8:
+        trend["readonly_8c_req_per_s"] = rec.get("req_per_s")
+    if rec.get("mix") == "50/50 insert+select" and rec.get("clients") == 1:
+        trend["mixed_1c_req_per_s"] = rec.get("req_per_s")
+for rec in join:
+    if rec.get("section") == "batch_speedup":
+        trend["batch_speedup_" + rec["op"]] = rec["speedup"]
+    if rec.get("section") == "skew":
+        trend["skew_ratio"] = rec["skew_ratio"]
+for rec in micro:
+    if rec.get("op") and rec.get("ns_per_op") is not None:
+        trend.setdefault("micro_ns", {})[rec["op"]] = rec["ns_per_op"]
+
+with open("BENCH_trend.jsonl", "a") as f:
+    f.write(json.dumps(trend) + "\n")
+print("trend record appended to BENCH_trend.jsonl")
+PY
+
 echo "baselines refreshed: BENCH_server.json BENCH_join.json BENCH_micro.json"

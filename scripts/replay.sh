@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Re-execute a workload capture (mmdb_server --capture FILE) against a
+# fresh server and report behavioral drift: exits non-zero when any
+# statement's result-row count or ok/error outcome differs from what was
+# captured.  Boots its own empty server on an ephemeral-ish port, so the
+# capture must be self-contained (include its DDL).
+#
+#   dune build && scripts/replay.sh CAPTURE.jsonl [extra mmdb_server flags...]
+set -euo pipefail
+
+if [[ $# -lt 1 ]]; then
+  echo "usage: scripts/replay.sh CAPTURE.jsonl [mmdb_server flags...]" >&2
+  exit 2
+fi
+CAPTURE="$1"
+shift
+
+if [[ ! -r "$CAPTURE" ]]; then
+  echo "replay: cannot read capture file $CAPTURE" >&2
+  exit 2
+fi
+
+PORT="${MMDB_REPLAY_PORT:-7479}"
+SERVER=_build/default/bin/mmdb_server.exe
+CLIENT=_build/default/bin/mmdb_client.exe
+LOG="$(mktemp)"
+
+cleanup() {
+  if [[ -n "${SERVER_PID:-}" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill -TERM "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -f "$LOG"
+}
+trap cleanup EXIT
+
+"$SERVER" --port "$PORT" "$@" >"$LOG" 2>&1 &
+SERVER_PID=$!
+
+for _ in $(seq 1 100); do
+  if "$CLIENT" --port "$PORT" --ping >/dev/null 2>&1; then
+    break
+  fi
+  sleep 0.1
+done
+"$CLIENT" --port "$PORT" --ping >/dev/null
+
+if "$CLIENT" --port "$PORT" --replay "$CAPTURE"; then
+  STATUS=0
+else
+  STATUS=$?
+fi
+
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+exit "$STATUS"

@@ -402,6 +402,7 @@ let test_precomputed_join () =
   let dept = Db.find_exn db "Department" in
   let tl =
     Join.precomputed ~outer:emp ~ref_col:3 ~inner_schema:(Relation.schema dept)
+      ()
   in
   Alcotest.(check int) "every employee pairs with a department" 6
     (Temp_list.length tl);
@@ -489,7 +490,7 @@ let test_refs_link_unlink () =
   | _ -> Alcotest.fail "not a pointer list");
   (* the precomputed join fans out over the list *)
   let joined =
-    Join.precomputed ~outer:dept_rel ~ref_col:2 ~inner_schema:emp_schema
+    Join.precomputed ~outer:dept_rel ~ref_col:2 ~inner_schema:emp_schema ()
   in
   Alcotest.(check int) "fan-out" 2 (Temp_list.length joined);
   (match Db.unlink db ~rel:"Department" toy ~col:2 ~target_key:(Value.Int 1) with
@@ -590,6 +591,7 @@ let test_aggregate_group_by () =
   let dept = Db.find_exn db "Department" in
   let joined =
     Join.precomputed ~outer:emp ~ref_col:3 ~inner_schema:(Relation.schema dept)
+      ()
   in
   let r =
     Aggregate.group joined ~by:[ "Department.Name" ]

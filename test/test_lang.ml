@@ -404,8 +404,8 @@ let test_explain_analyze_counter_sum () =
         Alcotest.(check (list string))
           "analyze header"
           [
-            "operator"; "time_ms"; "rows"; "comparisons"; "data_moves";
-            "hash_calls"; "ptr_derefs"; "detail";
+            "operator"; "time_ms"; "est_rows"; "actual_rows"; "err";
+            "comparisons"; "data_moves"; "hash_calls"; "ptr_derefs"; "detail";
           ]
           r.Mmdb_core.Aggregate.header;
         let rows = r.Mmdb_core.Aggregate.rows in
@@ -434,13 +434,33 @@ let test_explain_analyze_counter_sum () =
         List.iteri
           (fun off col ->
             let summed =
-              List.fold_left (fun acc row -> acc + int_at row (3 + off)) 0
+              List.fold_left (fun acc row -> acc + int_at row (5 + off)) 0
                 op_rows
             in
             Alcotest.(check int)
               (Printf.sprintf "%s sums to total for %s" col sql)
-              (int_at total (3 + off)) summed)
+              (int_at total (5 + off)) summed)
           [ "comparisons"; "data_moves"; "hash_calls"; "ptr_derefs" ];
+        (* select/join operator rows carry the optimizer's estimate and
+           the symmetric err ratio against the actual row count *)
+        List.iter
+          (fun row ->
+            let name = String.trim (str_at row 0) in
+            if name = "select" || name = "join" then begin
+              (match row.(2) with
+              | Mmdb_storage.Value.Int e ->
+                  Alcotest.(check bool) "est_rows >= 1" true (e >= 1)
+              | v ->
+                  Alcotest.failf "%s est_rows not an int: %s" name
+                    (Mmdb_storage.Value.to_string v));
+              match row.(4) with
+              | Mmdb_storage.Value.Float err ->
+                  Alcotest.(check bool) "err >= 1" true (err >= 1.0)
+              | v ->
+                  Alcotest.failf "%s err not a float: %s" name
+                    (Mmdb_storage.Value.to_string v)
+            end)
+          op_rows;
         (* per-operator wall time is reported and non-negative *)
         List.iter
           (fun row ->

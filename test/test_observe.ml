@@ -1,0 +1,411 @@
+(* Observability tests: the cardinality-feedback store, the Prometheus
+   exposition, workload capture (normalization, rotation, parameter
+   round-trips) and an in-process capture -> replay loop that must come
+   back clean. *)
+
+open Mmdb_net
+module Feedback = Mmdb_core.Feedback
+
+(* --- cardinality feedback ---------------------------------------------- *)
+
+let test_feedback_err () =
+  Alcotest.(check (float 1e-9)) "perfect" 1.0 (Feedback.err ~est:10 ~actual:10);
+  Alcotest.(check (float 1e-9)) "over" 10.0 (Feedback.err ~est:100 ~actual:10);
+  Alcotest.(check (float 1e-9)) "under" 10.0 (Feedback.err ~est:10 ~actual:100);
+  (* zero rows clamp to one: no infinities out of empty results *)
+  Alcotest.(check (float 1e-9)) "zero actual" 7.0 (Feedback.err ~est:7 ~actual:0);
+  Alcotest.(check (float 1e-9)) "zero both" 1.0 (Feedback.err ~est:0 ~actual:0)
+
+let test_feedback_estimate_warmup () =
+  Feedback.reset ();
+  let key = "sel:T:scan:eq" in
+  Feedback.observe ~key ~est:10 ~actual:100;
+  Alcotest.(check (option int)) "1 obs: no signal" None (Feedback.estimate ~key);
+  Feedback.observe ~key ~est:10 ~actual:100;
+  Alcotest.(check (option int)) "2 obs: no signal" None (Feedback.estimate ~key);
+  Feedback.observe ~key ~est:10 ~actual:100;
+  Alcotest.(check (option int))
+    "3 obs: average actual" (Some 100) (Feedback.estimate ~key);
+  Alcotest.(check (option int))
+    "unknown key" None (Feedback.estimate ~key:"sel:nowhere");
+  Alcotest.(check int) "observations counted" 3 (Feedback.total_observations ())
+
+let test_feedback_worst () =
+  Feedback.reset ();
+  Feedback.observe ~key:"good" ~est:100 ~actual:100;
+  Feedback.observe ~key:"bad" ~est:1 ~actual:1000;
+  Feedback.observe ~key:"middling" ~est:10 ~actual:50;
+  (match Feedback.worst () with
+  | { Feedback.fb_key = "bad"; fb_worst_err; fb_last_est; fb_last_actual; _ }
+    :: rest ->
+      Alcotest.(check (float 1e-9)) "worst ratio" 1000.0 fb_worst_err;
+      Alcotest.(check int) "last est" 1 fb_last_est;
+      Alcotest.(check int) "last actual" 1000 fb_last_actual;
+      (match rest with
+      | { Feedback.fb_key = "middling"; _ } :: _ -> ()
+      | _ -> Alcotest.fail "second-worst must follow")
+  | _ -> Alcotest.fail "worst misestimate must rank first");
+  Alcotest.(check int) "limit" 1 (List.length (Feedback.worst ~limit:1 ()));
+  Feedback.reset ();
+  Alcotest.(check int) "reset empties" 0 (List.length (Feedback.worst ()))
+
+let test_feedback_bounded () =
+  Feedback.reset ();
+  for i = 1 to 1000 do
+    Feedback.observe ~key:(Printf.sprintf "shape-%d" i) ~est:1 ~actual:i
+  done;
+  (* 256 distinct shapes plus at most one catch-all *)
+  Alcotest.(check bool)
+    (Printf.sprintf "bounded (size %d)" (Feedback.size ()))
+    true
+    (Feedback.size () <= 257);
+  Alcotest.(check int) "no observation dropped" 1000
+    (Feedback.total_observations ());
+  Feedback.reset ()
+
+(* --- Prometheus exposition --------------------------------------------- *)
+
+let lines_of s = String.split_on_char '\n' s
+
+let has_line ~prefix text =
+  List.exists (fun l -> String.starts_with ~prefix l) (lines_of text)
+
+let sample_value ~name text =
+  List.find_map
+    (fun l ->
+      if String.starts_with ~prefix:(name ^ " ") l then
+        float_of_string_opt
+          (String.sub l (String.length name + 1)
+             (String.length l - String.length name - 1))
+      else None)
+    (lines_of text)
+
+let test_prometheus_render () =
+  let m = Metrics.create () in
+  Metrics.conn_accepted m;
+  Metrics.request ~kind:"select" m ~latency:0.002;
+  Metrics.request ~kind:"insert" m ~latency:0.010;
+  Metrics.request ~kind:"select" m ~latency:0.0005;
+  Metrics.error m;
+  Metrics.shed m;
+  Metrics.statement_captured m;
+  let text = Metrics.prometheus m ~active:3 ~readers:2 ~domains:4 in
+  List.iter
+    (fun family ->
+      Alcotest.(check bool) ("TYPE for " ^ family) true
+        (has_line ~prefix:("# TYPE " ^ family ^ " ") text);
+      Alcotest.(check bool) ("HELP for " ^ family) true
+        (has_line ~prefix:("# HELP " ^ family ^ " ") text))
+    [
+      "mmdb_requests_total"; "mmdb_errors_total"; "mmdb_shed_total";
+      "mmdb_captured_statements_total"; "mmdb_uptime_seconds";
+      "mmdb_active_connections"; "mmdb_request_latency_seconds";
+    ];
+  Alcotest.(check (option (float 1e-9)))
+    "request counter" (Some 3.0)
+    (sample_value ~name:"mmdb_requests_total" text);
+  Alcotest.(check (option (float 1e-9)))
+    "captured counter" (Some 1.0)
+    (sample_value ~name:"mmdb_captured_statements_total" text);
+  Alcotest.(check (option (float 1e-9)))
+    "active gauge" (Some 3.0)
+    (sample_value ~name:"mmdb_active_connections" text);
+  (* the latency histogram: cumulative buckets, and the +Inf bucket
+     equals the _count sample *)
+  let buckets =
+    List.filter_map
+      (fun l ->
+        if
+          String.starts_with ~prefix:"mmdb_request_latency_seconds_bucket{" l
+        then
+          match String.rindex_opt l ' ' with
+          | Some i ->
+              float_of_string_opt
+                (String.sub l (i + 1) (String.length l - i - 1))
+          | None -> None
+        else None)
+      (lines_of text)
+  in
+  Alcotest.(check bool) "has buckets" true (List.length buckets >= 2);
+  ignore
+    (List.fold_left
+       (fun prev v ->
+         Alcotest.(check bool) "buckets cumulative" true (v >= prev);
+         v)
+       0.0 buckets);
+  let count = sample_value ~name:"mmdb_request_latency_seconds_count" text in
+  Alcotest.(check (option (float 1e-9)))
+    "+Inf bucket = count"
+    (Some (List.nth buckets (List.length buckets - 1)))
+    count;
+  (* no line may start with a bare '#' other than HELP/TYPE *)
+  List.iter
+    (fun l ->
+      if String.starts_with ~prefix:"#" l then
+        Alcotest.(check bool) ("comment is HELP/TYPE: " ^ l) true
+          (String.starts_with ~prefix:"# HELP " l
+          || String.starts_with ~prefix:"# TYPE " l))
+    (lines_of text)
+
+(* --- capture: normalization, parameters, rotation ----------------------- *)
+
+let test_normalize_sql () =
+  let n = Capture.normalize_sql in
+  Alcotest.(check string) "whitespace collapses" "SELECT 1;"
+    (n "  SELECT\n\t 1;  ");
+  Alcotest.(check string) "leading comment stripped" "SELECT * FROM T;"
+    (n "-- header comment\nSELECT * FROM T;");
+  Alcotest.(check string) "trailing comment stripped" "SELECT 1;"
+    (n "SELECT 1; -- trailing");
+  Alcotest.(check string) "comment mid-statement" "SELECT A FROM T;"
+    (n "SELECT A -- pick a column\nFROM T;");
+  Alcotest.(check string) "dashes inside quotes survive"
+    "SELECT '--not a comment' FROM T;"
+    (n "SELECT '--not a comment' FROM T;");
+  Alcotest.(check string) "spaces inside quotes survive"
+    "INSERT INTO T VALUES ('a  b');"
+    (n "INSERT  INTO T\nVALUES ('a  b');");
+  Alcotest.(check string) "comment-only input is empty" "" (n "-- nothing\n")
+
+let test_capture_params_roundtrip () =
+  let open Mmdb_storage in
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        (Fmt.str "value %a round-trips" Value.pp v)
+        true
+        (Value.equal v (Capture.value_of_json (Capture.value_to_json v))))
+    [
+      Value.Int 42; Value.Int min_int; Value.Float 1.5; Value.Str "x";
+      Value.Str ""; Value.Bool true; Value.Bool false; Value.Null;
+    ];
+  (* structured JSON degrades to Null rather than exploding *)
+  match Capture.value_of_json (Mmdb_util.Json.Obj []) with
+  | Value.Null -> ()
+  | v -> Alcotest.failf "expected Null, got %s" (Value.to_string v)
+
+let test_capture_rotation () =
+  let path = Filename.temp_file "mmdb_capture" ".jsonl" in
+  let rotated = path ^ ".1" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove path with Sys_error _ -> ());
+      try Sys.remove rotated with Sys_error _ -> ())
+    (fun () ->
+      let c = Capture.create ~max_bytes:4096 ~path () in
+      for i = 1 to 50 do
+        let sql =
+          Printf.sprintf "INSERT INTO KV VALUES (%d, %s);" i
+            (String.make 120 '9')
+        in
+        Capture.record c ~ts:(float_of_int i) ~session:1 ~kind:"insert" ~sql
+          ~elapsed_ms:0.1 ~rows:0 ~status:"ok" ~snapshot:(-1) ()
+      done;
+      Capture.close c;
+      Alcotest.(check int) "all records counted" 50 (Capture.count c);
+      Alcotest.(check bool) "rotated file exists" true (Sys.file_exists rotated);
+      let size p = (Unix.stat p).Unix.st_size in
+      Alcotest.(check bool) "current file within bound" true (size path <= 4096);
+      Alcotest.(check bool) "rotated file within bound" true
+        (size rotated <= 4096);
+      (* rotation is single-level, so older generations are clobbered —
+         but the two surviving files must hold a contiguous tail of the
+         stream, ending at the newest record *)
+      let parsed p =
+        match Replay.load p with
+        | Ok (records, skipped) ->
+            Alcotest.(check int) ("no skips in " ^ p) 0 skipped;
+            List.map
+              (fun r ->
+                Scanf.sscanf r.Replay.r_sql "INSERT INTO KV VALUES (%d,"
+                  Fun.id)
+              records
+        | Error m -> Alcotest.fail m
+      in
+      let tail = parsed rotated @ parsed path in
+      Alcotest.(check bool) "both generations non-empty" true
+        (List.length tail >= 2);
+      List.iteri
+        (fun off i ->
+          Alcotest.(check int) "contiguous tail"
+            (50 - List.length tail + 1 + off)
+            i)
+        tail)
+
+(* --- protocol: METRICS request / response ------------------------------- *)
+
+let test_metrics_protocol_roundtrip () =
+  let strip_len frame = String.sub frame 4 (String.length frame - 4) in
+  (match
+     Protocol.decode_request (strip_len (Protocol.encode_request Protocol.Metrics))
+   with
+  | Ok Protocol.Metrics -> ()
+  | Ok _ -> Alcotest.fail "METRICS decoded as something else"
+  | Error m -> Alcotest.fail m);
+  let text = "# TYPE mmdb_up gauge\nmmdb_up 1\n" in
+  match
+    Protocol.decode_response
+      (strip_len (Protocol.encode_response (Protocol.Metrics_text text)))
+  with
+  | Ok (Protocol.Metrics_text got) ->
+      Alcotest.(check string) "payload survives" text got
+  | Ok _ -> Alcotest.fail "METRICS text decoded as something else"
+  | Error m -> Alcotest.fail m
+
+(* --- end to end: capture a session, replay it clean --------------------- *)
+
+let expect_ok c sql =
+  match Client.query c sql with
+  | Ok (Protocol.Error (code, msg)) ->
+      Alcotest.fail
+        (Printf.sprintf "%S failed (%s): %s" sql
+           (Protocol.err_code_name code) msg)
+  | Ok resp -> resp
+  | Error m -> Alcotest.fail (Printf.sprintf "%S transport error: %s" sql m)
+
+let connect srv =
+  match Client.connect ~host:"127.0.0.1" ~port:(Server.port srv) () with
+  | Ok c -> c
+  | Error m -> Alcotest.fail ("connect failed: " ^ m)
+
+let test_capture_replay_e2e () =
+  Feedback.reset ();
+  let capture_path = Filename.temp_file "mmdb_e2e" ".jsonl" in
+  Sys.remove capture_path;
+  Fun.protect
+    ~finally:(fun () ->
+      try Sys.remove capture_path with Sys_error _ -> ())
+    (fun () ->
+      (* phase 1: drive a capturing server with a self-contained workload,
+         errors included *)
+      let config =
+        {
+          Server.default_config with
+          Server.port = 0;
+          request_timeout = 10.0;
+          idle_timeout = 0.0;
+          capture = Some capture_path;
+        }
+      in
+      let db = Mmdb_core.Db.create () in
+      let srv = Server.start ~config db in
+      let statements = ref 0 in
+      Fun.protect
+        ~finally:(fun () -> Server.shutdown srv)
+        (fun () ->
+          let c = connect srv in
+          let run sql =
+            incr statements;
+            ignore (expect_ok c sql)
+          in
+          run "CREATE TABLE KV (K int PRIMARY KEY, V int);";
+          run "CREATE INDEX kv_v ON KV (V) USING ttree;";
+          for i = 1 to 20 do
+            run (Printf.sprintf "INSERT INTO KV VALUES (%d, %d);" i (i * 10))
+          done;
+          (* a prepared execution: replay must re-prepare and bind *)
+          (match Client.prepare c "INSERT INTO KV VALUES (?, ?);" with
+          | Ok (id, _) ->
+              List.iter
+                (fun k ->
+                  incr statements;
+                  match
+                    Client.exec_prepared c id
+                      [ Mmdb_storage.Value.Int k; Mmdb_storage.Value.Int 0 ]
+                  with
+                  | Ok (Protocol.Error (code, msg)) ->
+                      Alcotest.failf "prepared insert failed (%s): %s"
+                        (Protocol.err_code_name code) msg
+                  | Ok _ -> ()
+                  | Error m -> Alcotest.fail m)
+                [ 100; 101; 102 ]
+          | Error m -> Alcotest.fail ("prepare failed: " ^ m));
+          run "SELECT K FROM KV WHERE V BETWEEN 50 AND 120;";
+          run "SELECT COUNT(*) FROM KV;";
+          run "UPDATE KV SET V = 999 WHERE K = 7;";
+          run "DELETE FROM KV WHERE K = 9;";
+          (* a captured error must replay as an error *)
+          incr statements;
+          (match Client.query c "INSERT INTO KV VALUES (1, 1);" with
+          | Ok (Protocol.Error _) -> ()
+          | Ok _ -> Alcotest.fail "duplicate key must error"
+          | Error m -> Alcotest.fail m);
+          run "SELECT K, V FROM KV WHERE K = 1;";
+          Client.close c);
+      (* phase 2: the capture replays clean against a fresh server *)
+      (match Replay.load capture_path with
+      | Ok (records, 0) ->
+          Alcotest.(check int) "every statement captured" !statements
+            (List.length records)
+      | Ok (_, skipped) -> Alcotest.failf "%d malformed capture lines" skipped
+      | Error m -> Alcotest.fail m);
+      let config2 =
+        {
+          Server.default_config with
+          Server.port = 0;
+          request_timeout = 10.0;
+          idle_timeout = 0.0;
+        }
+      in
+      let db2 = Mmdb_core.Db.create () in
+      let srv2 = Server.start ~config:config2 db2 in
+      Fun.protect
+        ~finally:(fun () -> Server.shutdown srv2)
+        (fun () ->
+          let c = connect srv2 in
+          (match Replay.run_file c capture_path with
+          | Ok outcome ->
+              Alcotest.(check int) "statements replayed" !statements
+                outcome.Replay.o_statements;
+              Alcotest.(check int) "row mismatches" 0
+                outcome.Replay.o_row_mismatches;
+              Alcotest.(check int) "status mismatches" 0
+                outcome.Replay.o_status_mismatches;
+              Alcotest.(check int) "transport errors" 0
+                outcome.Replay.o_transport_errors;
+              Alcotest.(check bool) "clean" true (Replay.clean outcome);
+              let report = Replay.render outcome in
+              Alcotest.(check bool) "report says clean" true
+                (let needle = "replay clean" in
+                 let n = String.length needle in
+                 let rec find i =
+                   i + n <= String.length report
+                   && (String.sub report i n = needle || find (i + 1))
+                 in
+                 find 0)
+          | Error m -> Alcotest.fail m);
+          Client.close c))
+
+let () =
+  Alcotest.run "observe"
+    [
+      ( "feedback",
+        [
+          Alcotest.test_case "symmetric error ratio" `Quick test_feedback_err;
+          Alcotest.test_case "estimate needs warm-up" `Quick
+            test_feedback_estimate_warmup;
+          Alcotest.test_case "worst misestimates rank" `Quick
+            test_feedback_worst;
+          Alcotest.test_case "bounded shape table" `Quick test_feedback_bounded;
+        ] );
+      ( "prometheus",
+        [ Alcotest.test_case "exposition renders" `Quick test_prometheus_render ] );
+      ( "capture",
+        [
+          Alcotest.test_case "normalize_sql" `Quick test_normalize_sql;
+          Alcotest.test_case "parameter json round-trip" `Quick
+            test_capture_params_roundtrip;
+          Alcotest.test_case "size-bounded rotation" `Quick
+            test_capture_rotation;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "METRICS roundtrip" `Quick
+            test_metrics_protocol_roundtrip;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "capture then replay clean" `Quick
+            test_capture_replay_e2e;
+        ] );
+    ]

@@ -53,6 +53,7 @@ let test_proto_request_roundtrip () =
       Protocol.Quit;
       Protocol.Status;
       Protocol.Stats;
+      Protocol.Metrics;
     ]
   in
   List.iter
@@ -88,6 +89,8 @@ let test_proto_response_roundtrip () =
       Protocol.Notice "hello";
       Protocol.Status_text "line1\nline2";
       Protocol.Stats_json "{\"requests\":{\"total\":3}}";
+      Protocol.Metrics_text "# TYPE mmdb_up gauge\nmmdb_up 1\n";
+      Protocol.Metrics_text "";
     ]
   in
   List.iter
@@ -719,8 +722,9 @@ let test_e2e_observability () =
           Alcotest.(check (list string))
             "analyze columns"
             [
-              "operator"; "time_ms"; "rows"; "comparisons"; "data_moves";
-              "hash_calls"; "ptr_derefs"; "detail";
+              "operator"; "time_ms"; "est_rows"; "actual_rows"; "err";
+              "comparisons"; "data_moves"; "hash_calls"; "ptr_derefs";
+              "detail";
             ]
             columns;
           Alcotest.(check bool) "several operator rows" true

@@ -426,6 +426,33 @@ let test_json_parse () =
   | Ok Json.Null -> ()
   | _ -> Alcotest.fail "NaN must render as null"
 
+(* Every control character must escape on render and survive a reparse:
+   the capture/slow-log JSONL carries raw SQL text, which can contain
+   any byte below 0x20. *)
+let test_json_control_chars () =
+  let raw = String.init 32 Char.chr in
+  let rendered = Json.to_string (Json.Str raw) in
+  (* no raw control byte may appear inside the rendered output *)
+  String.iter
+    (fun c ->
+      if Char.code c < 32 then
+        Alcotest.failf "raw control byte %d in rendered JSON" (Char.code c))
+    rendered;
+  (match Json.parse rendered with
+  | Ok (Json.Str s) -> Alcotest.(check string) "round trip" raw s
+  | Ok j -> Alcotest.failf "unexpected reparse: %s" (Json.to_string j)
+  | Error e -> Alcotest.failf "reparse failed: %s" e);
+  (* the common three get their short escapes, the rest \u00XX *)
+  let sub needle hay =
+    let n = String.length needle and m = String.length hay in
+    let rec go i = i + n <= m && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "newline short escape" true (sub "\\n" rendered);
+  Alcotest.(check bool) "tab short escape" true (sub "\\t" rendered);
+  Alcotest.(check bool) "NUL as \\u0000" true (sub "\\u0000" rendered);
+  Alcotest.(check bool) "0x1f as \\u001f" true (sub "\\u001f" rendered)
+
 (* --- Histogram ------------------------------------------------------------ *)
 
 let test_histogram_percentiles () =
@@ -476,6 +503,39 @@ let test_histogram_merge () =
   Alcotest.(check int) "extremes counted" 2 (Histogram.count x);
   Alcotest.(check (option (float 1.0))) "overflow max exact" (Some 1e6)
     (Histogram.percentile x 100.0)
+
+(* Merging histograms with disjoint occupied buckets must concatenate
+   them, and the empty histogram must be a unit of merge both ways. *)
+let test_histogram_merge_disjoint_empty () =
+  let lo = Histogram.create () and hi = Histogram.create () in
+  for i = 1 to 100 do
+    Histogram.add lo (float_of_int i *. 1e-5) (* 10µs .. 1ms *);
+    Histogram.add hi (float_of_int i *. 0.1) (* 100ms .. 10s *)
+  done;
+  let m = Histogram.merge lo hi in
+  Alcotest.(check int) "disjoint merged count" 200 (Histogram.count m);
+  Alcotest.(check int) "disjoint buckets concatenate"
+    (List.length (Histogram.buckets lo) + List.length (Histogram.buckets hi))
+    (List.length (Histogram.buckets m));
+  (* the low half is entirely below the high half, so the median of the
+     merge sits at the seam and p100 is the high half's max *)
+  (match Histogram.percentile m 25.0 with
+  | Some v -> Alcotest.(check bool) "p25 from the low half" true (v <= 2e-3)
+  | None -> Alcotest.fail "p25 of non-empty");
+  Alcotest.(check (option (float 1e-9))) "p100 from the high half"
+    (Some 10.0) (Histogram.percentile m 100.0);
+  (* empty as a unit, in both argument positions *)
+  let e = Histogram.create () in
+  let me = Histogram.merge m e and em = Histogram.merge e m in
+  Alcotest.(check bool) "m + empty = m" true
+    (Histogram.buckets me = Histogram.buckets m
+    && Histogram.count me = Histogram.count m);
+  Alcotest.(check bool) "empty + m = m" true
+    (Histogram.buckets em = Histogram.buckets m);
+  let ee = Histogram.merge e (Histogram.create ()) in
+  Alcotest.(check int) "empty + empty count" 0 (Histogram.count ee);
+  Alcotest.(check (option (float 0.0))) "empty + empty percentile" None
+    (Histogram.percentile ee 50.0)
 
 (* Histogram is not synchronized by contract — its concurrent users
    (Metrics) serialize under their own mutex.  Hammer it the same way:
@@ -619,6 +679,64 @@ let test_counters_diff_absorb_round_trip () =
   Alcotest.(check bool) "self diff is zero" true
     (Counters.diff s s = Counters.zero)
 
+(* --- Timeseries ------------------------------------------------------------ *)
+
+(* All clock reads are injected: the ring's behavior is a pure function
+   of the [now] sequence, so these tests are deterministic. *)
+let test_timeseries_window () =
+  let t = Timeseries.create ~buckets:10 ~width:1.0 () in
+  Alcotest.(check int) "capacity" 10 (Timeseries.capacity t);
+  Alcotest.(check (float 1e-9)) "span" 10.0 (Timeseries.span t);
+  (* one event per second for 5 s starting at t=100 *)
+  for i = 0 to 4 do
+    Timeseries.add ~now:(100.0 +. float_of_int i) t 2.0
+  done;
+  let now = 104.5 in
+  Alcotest.(check (float 1e-9)) "full window sum" 10.0
+    (Timeseries.sum ~now t ~window:10.0);
+  Alcotest.(check (float 1e-9)) "3s window sum" 6.0
+    (Timeseries.sum ~now t ~window:3.0);
+  Alcotest.(check (float 1e-9)) "3s rate" 2.0
+    (Timeseries.rate ~now t ~window:3.0);
+  let pts = Timeseries.points ~now t ~window:10.0 in
+  Alcotest.(check int) "five live buckets" 5 (List.length pts);
+  (match pts with
+  | (t0, v0) :: _ ->
+      Alcotest.(check (float 1e-9)) "oldest bucket start" 100.0 t0;
+      Alcotest.(check (float 1e-9)) "oldest bucket sum" 2.0 v0
+  | [] -> Alcotest.fail "no points")
+
+let test_timeseries_staleness () =
+  let t = Timeseries.create ~buckets:10 ~width:1.0 () in
+  Timeseries.add ~now:100.0 t 5.0;
+  (* same slot, one full revolution later: the stale sum must not leak
+     into the fresh bucket, nor into window sums *)
+  Alcotest.(check (float 1e-9)) "visible while fresh" 5.0
+    (Timeseries.sum ~now:100.5 t ~window:10.0);
+  Alcotest.(check (float 1e-9)) "gone after wraparound" 0.0
+    (Timeseries.sum ~now:110.5 t ~window:10.0);
+  Timeseries.add ~now:110.0 t 1.0;
+  Alcotest.(check (float 1e-9)) "fresh write resets the slot" 1.0
+    (Timeseries.sum ~now:110.5 t ~window:10.0)
+
+let test_timeseries_hist () =
+  let h = Timeseries.create_hist ~buckets:10 ~width:1.0 () in
+  (* 1 ms samples at t=100..102, a 1 s outlier at t=103 *)
+  for i = 0 to 2 do
+    Timeseries.observe ~now:(100.0 +. float_of_int i) h 0.001
+  done;
+  Timeseries.observe ~now:103.0 h 1.0;
+  let all = Timeseries.merged ~now:103.5 h ~window:10.0 in
+  Alcotest.(check int) "all samples merged" 4 (Histogram.count all);
+  Alcotest.(check (option (float 1e-9))) "windowed max" (Some 1.0)
+    (Histogram.percentile all 100.0);
+  (* a 1 s window sees only the outlier *)
+  let recent = Timeseries.merged ~now:103.5 h ~window:1.0 in
+  Alcotest.(check int) "1s window count" 1 (Histogram.count recent);
+  (* after a wraparound everything is stale *)
+  let later = Timeseries.merged ~now:120.5 h ~window:10.0 in
+  Alcotest.(check int) "stale slots excluded" 0 (Histogram.count later)
+
 (* --- Timing.time_median contract ------------------------------------------- *)
 
 let test_time_median_pairing () =
@@ -700,15 +818,28 @@ let () =
           Alcotest.test_case "median pairs result with its run" `Quick
             test_time_median_pairing;
         ] );
+      ( "timeseries",
+        [
+          Alcotest.test_case "window sums and rates" `Quick
+            test_timeseries_window;
+          Alcotest.test_case "stale slots evicted" `Quick
+            test_timeseries_staleness;
+          Alcotest.test_case "histogram ring windows" `Quick
+            test_timeseries_hist;
+        ] );
       ( "json",
         [
           Alcotest.test_case "round trip" `Quick test_json_round_trip;
           Alcotest.test_case "parse and reject" `Quick test_json_parse;
+          Alcotest.test_case "control-character escapes" `Quick
+            test_json_control_chars;
         ] );
       ( "histogram",
         [
           Alcotest.test_case "percentiles" `Quick test_histogram_percentiles;
           Alcotest.test_case "merge" `Quick test_histogram_merge;
+          Alcotest.test_case "merge disjoint and empty" `Quick
+            test_histogram_merge_disjoint_empty;
           Alcotest.test_case "concurrent hammer (mutexed)" `Quick
             test_histogram_mutex_hammer;
         ] );
