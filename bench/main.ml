@@ -62,6 +62,8 @@ let experiments : (string * string * (Bench_util.config -> unit)) list =
      Bench_join.batched);
     ("replay", "Capture/replay: record, re-execute, compare",
      Bench_replay.run);
+    ("advisor", "Cost-based planning + index advisor vs rule-based",
+     Bench_advisor.run);
     ("micro", "Bechamel micro-benchmarks", Bench_micro.run);
     (* last: runs the server in-process (domains); fork-based
        experiments must not follow it *)

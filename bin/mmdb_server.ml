@@ -40,6 +40,13 @@ let usage () =
   --capture FILE         append a JSONL workload-capture record per executed
                          statement (replay with mmdb_client --replay FILE)
   --capture-max-mb N     rotate the capture file past N MiB (default 64)
+  --cost / --no-cost     cost-based planning: statistics-driven access
+                         paths, join algorithm and build side (default on,
+                         MMDB_COST=0 flips the default); --no-cost is the
+                         paper's rule-based preference ordering
+  --advisor-every N      run the index advisor every N statement batches,
+                         0=off (default 0, MMDB_ADVISOR overrides the
+                         default)
   --demo                 preload the Employee/Department demo db|};
   exit 2
 
@@ -130,6 +137,15 @@ let () =
     | "--capture-max-mb" :: v :: rest ->
         cfg :=
           { !cfg with Server.capture_max_bytes = int_of_string v * 1024 * 1024 };
+        parse_args rest
+    | "--cost" :: rest ->
+        cfg := { !cfg with Server.cost = true };
+        parse_args rest
+    | "--no-cost" :: rest ->
+        cfg := { !cfg with Server.cost = false };
+        parse_args rest
+    | "--advisor-every" :: v :: rest ->
+        cfg := { !cfg with Server.advisor_every = int_of_string v };
         parse_args rest
     | "--demo" :: rest ->
         demo := true;

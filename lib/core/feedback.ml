@@ -94,10 +94,17 @@ let min_samples = 3
 
 let estimate ~key =
   locked @@ fun () ->
-  match Hashtbl.find_opt table key with
-  | Some c when c.n >= min_samples ->
-      Some (max 1 (int_of_float (Float.round (c.sum_actual /. float_of_int c.n))))
-  | _ -> None
+  (* The catch-all bucket averages unrelated shapes once the table is
+     full; its figures are fine for STATS but would poison planning if
+     served back as an estimate for any particular shape, so the
+     overflow key never answers. *)
+  if String.equal key overflow_key then None
+  else
+    match Hashtbl.find_opt table key with
+    | Some c when c.n >= min_samples ->
+        Some
+          (max 1 (int_of_float (Float.round (c.sum_actual /. float_of_int c.n))))
+    | _ -> None
 
 let entry_of key c =
   {
@@ -109,6 +116,12 @@ let entry_of key c =
     fb_last_est = c.last_est;
     fb_last_actual = c.last_actual;
   }
+
+(* Every tracked shape, unsorted — the index advisor aggregates these
+   into per-(relation, column) access counts. *)
+let entries () =
+  locked @@ fun () ->
+  Hashtbl.fold (fun k c acc -> entry_of k c :: acc) table []
 
 (* Worst misestimates first (by the worst symmetric ratio ever seen for
    the shape); ties broken by observation count so busy shapes rank

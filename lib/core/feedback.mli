@@ -25,9 +25,17 @@ val err : est:int -> actual:int -> float
 val observe : key:string -> est:int -> actual:int -> unit
 (** Record one completed operator's estimated vs actual row count. *)
 
+val overflow_key : string
+(** The catch-all key later shapes fold into once the table is full. *)
+
 val estimate : key:string -> int option
 (** Average observed cardinality for this shape, once seen at least 3
-    times; [None] means "no signal, use the static heuristic". *)
+    times; [None] means "no signal, use the static heuristic".  Never
+    answered from the catch-all bucket: its average mixes unrelated
+    shapes and would poison planning for every shape past the bound. *)
+
+val entries : unit -> entry list
+(** Every tracked shape, unsorted (the index advisor's raw input). *)
 
 val worst : ?limit:int -> unit -> entry list
 (** Worst misestimates first; default [limit] 10. *)

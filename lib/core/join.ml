@@ -97,6 +97,32 @@ let hash_join_seq ?outer_filter ~outer ~inner () =
       end);
   out
 
+(* Build-on-outer variant, chosen by the cost-based planner when the
+   selection leaves the outer side smaller than the inner: the table is
+   built over the outer tuples surviving [outer_filter] (the filter
+   moves to build time, so the table only holds qualifying tuples) and
+   the inner side probes.  Emission stays (outer, inner). *)
+let hash_join_seq_build_outer ?outer_filter ~outer ~inner () =
+  let out = result_list outer inner in
+  let columns = [| outer.col |] in
+  let table =
+    Mmdb_index.Chained_hash.create ~duplicates:true
+      ~expected:(Relation.count outer.rel)
+      ~cmp:(Tuple.compare_keyed ~columns)
+      ~hash:(Tuple.hash_on ~columns) ()
+  in
+  Relation.iter outer.rel (fun o ->
+      if keep outer_filter o then
+        ignore (Mmdb_index.Chained_hash.insert table o));
+  let probe =
+    Tuple.probe (Array.make (Schema.arity (Relation.schema outer.rel)) Value.Null)
+  in
+  Relation.iter inner.rel (fun i ->
+      Tuple.set probe outer.col (key inner i);
+      Mmdb_index.Chained_hash.iter_matches table probe (fun o ->
+          Temp_list.append out [| o; i |]));
+  out
+
 (* --- batched hash join -------------------------------------------------- *)
 
 (* Skew-handling event counters (per 2112.02480, translated to the
@@ -188,6 +214,37 @@ let hash_join_batched ?outer_filter ~outer ~inner () =
           probe_chain table ~slots b.Batch.keys.(i) ~emit:(fun it ->
               pair_push pb o it)
         end
+      done;
+      pair_flush pb out);
+  out
+
+(* Batched build-on-outer: mirror of {!hash_join_seq_build_outer} with
+   the same per-operation counter bumps as {!hash_join_batched}. *)
+let hash_join_batched_build_outer ?outer_filter ~outer ~inner () =
+  let out = result_list outer inner in
+  let slots = max 16 (Relation.count outer.rel / 2) in
+  let table = Array.make slots None in
+  Relation.iter_batches ~key_col:outer.col outer.rel (fun b ->
+      for i = 0 to b.Batch.n - 1 do
+        let o = b.Batch.tuples.(i) in
+        if keep outer_filter o then begin
+          Counters.bump_hash_calls ();
+          Counters.bump_ptr_derefs ();
+          Counters.bump_node_allocs ();
+          Counters.bump_data_moves ();
+          let k = b.Batch.keys.(i) in
+          let s = hslot ~slots k in
+          table.(s) <- Some { hkey = k; htup = o; hnext = table.(s) }
+        end
+      done);
+  let pb = pair_buf () in
+  Relation.iter_batches ~key_col:inner.col inner.rel (fun b ->
+      for i = 0 to b.Batch.n - 1 do
+        let it = b.Batch.tuples.(i) in
+        (* scalar probe extracts the inner key: one dereference *)
+        Counters.bump_ptr_derefs ();
+        probe_chain table ~slots b.Batch.keys.(i) ~emit:(fun o ->
+            pair_push pb o it)
       done;
       pair_flush pb out);
   out
@@ -398,18 +455,25 @@ let hash_join_par_batched pool ?outer_filter ~outer ~inner () =
   in
   Temp_list.concat desc (Array.to_list locals)
 
-let hash_join ?pool ?outer_filter ~outer ~inner () =
+let hash_join ?pool ?(build_outer = false) ?outer_filter ~outer ~inner () =
   match pool with
   | Some pool
     when Domain_pool.size pool > 1
          && (not (Domain_pool.in_worker ()))
          && Relation.count outer.rel + Relation.count inner.rel
             >= parallel_join_threshold ->
+      (* The partitioned paths pick their build side per partition (role
+         reversal in [bucket_join]); the planner's hint is moot there. *)
       if Batch.enabled () then
         hash_join_par_batched pool ?outer_filter ~outer ~inner ()
       else hash_join_par pool ?outer_filter ~outer ~inner ()
   | _ ->
-      if Batch.enabled () then hash_join_batched ?outer_filter ~outer ~inner ()
+      if build_outer then
+        if Batch.enabled () then
+          hash_join_batched_build_outer ?outer_filter ~outer ~inner ()
+        else hash_join_seq_build_outer ?outer_filter ~outer ~inner ()
+      else if Batch.enabled () then
+        hash_join_batched ?outer_filter ~outer ~inner ()
       else hash_join_seq ?outer_filter ~outer ~inner ()
 
 (* --- tree join ----------------------------------------------------------- *)
@@ -765,7 +829,8 @@ let pointer_join ~outer ~ref_col ~selected =
 
 (* --- uniform driver -------------------------------------------------------- *)
 
-let run ?pool ?outer_filter ?est_rows method_ ~outer ~inner =
+let run ?pool ?(build_outer = false) ?outer_filter ?est_rows method_ ~outer
+    ~inner =
   Trace.with_span "join" @@ fun () ->
   (* Under an MVCC snapshot the tree methods are out: they walk raw index
      handles the writer mutates concurrently.  The sequential hash/merge
@@ -797,10 +862,12 @@ let run ?pool ?outer_filter ?est_rows method_ ~outer ~inner =
       Trace.add_attr "batch" (string_of_int (Batch.size ()))
   end;
   let rp0, rv0 = skew_stats () in
+  if Trace.active () && build_outer && method_ = Hash_join then
+    Trace.add_attr "build" "outer";
   let out =
     match method_ with
     | Nested_loops -> nested_loops ?outer_filter ~outer ~inner ()
-    | Hash_join -> hash_join ?pool ?outer_filter ~outer ~inner ()
+    | Hash_join -> hash_join ?pool ~build_outer ?outer_filter ~outer ~inner ()
     | Tree_join -> tree_join ?outer_filter ~outer ~inner ()
     | Sort_merge -> sort_merge ?pool ?outer_filter ~outer ~inner ()
     | Tree_merge -> tree_merge ?outer_filter ~outer ~inner ()

@@ -26,6 +26,7 @@ val nested_loops :
 
 val hash_join :
   ?pool:Mmdb_util.Domain_pool.t ->
+  ?build_outer:bool ->
   ?outer_filter:(Tuple.t -> bool) ->
   outer:side ->
   inner:side ->
@@ -34,6 +35,13 @@ val hash_join :
 (** Nested loops through a Chained Bucket Hash built on the inner join
     column.  The build cost is always included: "a hash table index is
     less likely to exist than a T Tree index" (§3.3.2).
+
+    [build_outer] (default false) builds the table on the outer side
+    instead and probes with the inner — chosen by the cost-based planner
+    when the selection leaves the outer smaller than the inner; the
+    [outer_filter] then applies at build time, so the table holds only
+    qualifying tuples.  The partitioned parallel paths ignore the hint:
+    they already pick a build side per partition (role reversal).
 
     With a parallel [pool] and a large enough input (combined cardinality
     >= 2048), the join runs partitioned: both sides are routed by hash of
@@ -74,6 +82,7 @@ val tree_merge :
 
 val run :
   ?pool:Mmdb_util.Domain_pool.t ->
+  ?build_outer:bool ->
   ?outer_filter:(Tuple.t -> bool) ->
   ?est_rows:int ->
   method_ ->
@@ -82,7 +91,7 @@ val run :
   Temp_list.t
 (** Uniform driver over the five algorithms.  [pool] enables the parallel
     variants of {!hash_join} and {!sort_merge}; the other methods ignore
-    it.  [est_rows] is the optimizer's output-cardinality estimate,
+    it.  [build_outer] applies to {!hash_join} only.  [est_rows] is the optimizer's output-cardinality estimate,
     recorded as the [est_rows] trace attribute and fed with the actual
     row count to {!Feedback.observe} under {!feedback_key} (keyed on the
     method that actually ran, after any MVCC-snapshot remap). *)

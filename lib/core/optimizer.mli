@@ -22,19 +22,38 @@ type plan = {
   p_paths : (Select.access_path * Select.predicate) list;
       (** one per where clause; the first drives index access *)
   p_join : (join_choice * Join.side * Join.side) option;
+  p_build_outer : bool;
+      (** hash join only: build the table on the (filtered) outer side —
+          chosen by the cost-based planner when the selection leaves the
+          outer smaller than the inner *)
   p_project : string list option;
   p_distinct : bool;
   p_dedup_method : Project.method_;  (** always [Hashing], per §4 *)
   p_est_sel : int;
-      (** estimated selection output rows: fixed selectivity priors
-          (1/10 exact match, 1/4 range, 1/3 residual) refined by the
-          average observed cardinality from {!Feedback} once the same
-          (relation, access-path, predicate-shape) has executed a few
-          times *)
+      (** estimated selection output rows: per-column statistics
+          ({!Column_stats}) under the cost-based planner, the fixed §4
+          priors (1/10 exact match, 1/4 range, 1/3 residual) under the
+          rule-based one — either way refined by the average observed
+          cardinality from {!Feedback} once the same (relation,
+          access-path, predicate-shape) has executed a few times *)
   p_est_join : int option;
       (** estimated join output rows (foreign-key prior scaled by the
           selection's reduction, feedback-refined), when joining *)
+  p_planner : string;  (** "cost-based" | "rule-based" (EXPLAIN) *)
+  p_sel_cands : (string * float) list;
+      (** access-path candidates for the leading predicate with their
+          estimated costs, cheapest first (cost-based planner only) *)
+  p_join_cands : (string * float) list;
+      (** join-method candidates with estimated costs, cheapest first *)
 }
+
+val cost_based : unit -> bool
+(** Whether the cost-based planner is active.  Defaults from [MMDB_COST]
+    at startup ("0"/"false"/"off"/"no"/"rule" disable it; default on);
+    [MMDB_COST=0] is the paper-faithful §4 rule-based ablation. *)
+
+val set_cost_based : bool -> unit
+val planner_name : unit -> string
 
 val pp_choice : Format.formatter -> join_choice -> unit
 
@@ -54,6 +73,14 @@ module Cost : sig
   val tree_merge : outer:int -> inner:int -> float
   val sort_merge : outer:int -> inner:int -> float
   val of_method : Join.method_ -> outer:int -> inner:int -> float
+
+  val seq_scan : n:int -> float
+  val hash_lookup : matches:int -> float
+  val tree_lookup : n:int -> matches:int -> float
+  (** Access-path costs, calibrated against the counters each path bumps
+      (§3.1): one comparison + one dereference per scanned tuple; [k]
+      plus a dereference per match for a hash probe; log2 n comparisons
+      plus a dereference per match for a tree descent. *)
 end
 
 val feasible_methods : outer:Join.side -> inner:Join.side -> Join.method_ list
@@ -65,7 +92,21 @@ val choose_join :
 (** The §4 join-method decision: a precomputed join when the outer column
     is a foreign key to the inner relation; Sort Merge under the §3.3.5
     high-duplicates exception; otherwise the cheapest feasible method under
-    the {!Cost} formulas. *)
+    the {!Cost} formulas at the raw relation cardinalities. *)
+
+val choose_join_cost :
+  ?stats:join_stats ->
+  est_sel:int ->
+  outer:Join.side ->
+  inner:Join.side ->
+  unit ->
+  join_choice * bool * (string * float) list
+(** The cost-based join decision: the foreign-key and §3.3.5 rules are
+    kept, everything else is minimum estimated cost over the feasible
+    candidates with the outer side at its selection-reduced cardinality
+    [est_sel] — including a build-on-outer hash join when the filtered
+    outer is the smaller side.  Returns (choice, build_outer, candidate
+    names with costs, cheapest first). *)
 
 val plan : ?stats:join_stats -> Db.t -> Query.t -> plan
 (** Resolve names against the catalog and choose methods.

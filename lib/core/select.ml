@@ -224,7 +224,10 @@ let scan_batched rel ~predicates out =
 (* The (relation, access-path, predicate-shape) key under which the
    feedback store aggregates estimated-vs-actual cardinalities.  Values
    are deliberately excluded: "Emp.age = 30" and "Emp.age = 50" share a
-   shape, which is exactly the granularity the optimizer estimates at. *)
+   shape, which is exactly the granularity the optimizer estimates at.
+   The leading predicate's column name IS included ("eq@Age") — the
+   index advisor aggregates these keys into per-(relation, column,
+   shape) access counts, so the column must be recoverable. *)
 let feedback_key rel ~path ~predicates =
   let path_tag =
     match path with
@@ -232,14 +235,15 @@ let feedback_key rel ~path ~predicates =
     | Tree_lookup _ -> "tree"
     | Sequential_scan -> "scan"
   in
+  let colname c = Schema.column_name (Relation.schema rel) c in
   let shape =
     match predicates with
     | [] -> "none"
     | first :: rest ->
         let head =
           match first with
-          | Eq _ -> "eq"
-          | Between _ -> "between"
+          | Eq (c, _) -> "eq@" ^ colname c
+          | Between (c, _, _) -> "between@" ^ colname c
           | Filter _ -> "filter"
         in
         if rest = [] then head
@@ -247,10 +251,20 @@ let feedback_key rel ~path ~predicates =
   in
   Printf.sprintf "select/%s/%s:%s" (Relation.name rel) path_tag shape
 
+(* The index advisor may drop a secondary index between planning and
+   execution; degrade to a sequential scan (always correct for any
+   predicate list) instead of failing the query. *)
+let resolve_path rel path =
+  match path with
+  | Sequential_scan -> Sequential_scan
+  | (Hash_lookup idx | Tree_lookup idx) as p ->
+      if Relation.find_index rel idx = None then Sequential_scan else p
+
 (* Run a selection with an explicit access path; residual predicates are
    applied on top.  The first predicate is the indexable one. *)
 let run ?pool ?est_rows rel ~path ~predicates =
   Trace.with_span "select" @@ fun () ->
+  let path = resolve_path rel path in
   if Trace.active () then begin
     Trace.add_attr "relation" (Relation.name rel);
     Trace.add_attr "path" (Fmt.str "%a" pp_path path);

@@ -23,6 +23,12 @@ type access_path =
 
 val pp_path : Format.formatter -> access_path -> unit
 
+val candidate_indexes :
+  Relation.t -> col:int -> (string * Mmdb_index.Index_intf.kind) list
+(** Single-column indexes usable for an exact-match / range predicate on
+    [col], as (name, kind) — the raw material for both the §4 rule
+    ordering and the cost-based candidate enumeration. *)
+
 val best_path : Relation.t -> predicate -> access_path
 (** The §4 choice for one predicate, given the relation's live indices. *)
 

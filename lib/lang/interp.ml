@@ -281,6 +281,7 @@ let run_delete db ~table ~where_ =
           victims := entry.(0) :: !victims);
       let n = List.length !victims in
       List.iter (fun t -> ignore (Relation.delete_tuple rel t)) !victims;
+      if n > 0 then Advisor.note_write ~n ~rel:table ();
       Ok (Message (Printf.sprintf "%d tuples deleted from %s" n table))
 
 let run_update db ~table ~assignments ~where_ =
@@ -318,6 +319,7 @@ let run_update db ~table ~assignments ~where_ =
       in
       let n = List.length !targets in
       let* () = apply_all !targets in
+      if n > 0 then Advisor.note_write ~n ~rel:table ();
       Ok (Message (Printf.sprintf "%d tuples updated in %s" n table))
 
 (* Transactional DML: targets are found against committed state and the
@@ -332,10 +334,9 @@ let run_txn_delete t db ~table ~where_ =
           victims := entry.(0) :: !victims);
       let rec declare = function
         | [] ->
-            Ok
-              (Message
-                 (Printf.sprintf "%d deletes queued in %s"
-                    (List.length !victims) table))
+            let n = List.length !victims in
+            if n > 0 then Advisor.note_write ~n ~rel:table ();
+            Ok (Message (Printf.sprintf "%d deletes queued in %s" n table))
         | tuple :: rest -> (
             match Mmdb_txn.Txn.delete t ~rel:table tuple with
             | Ok () -> declare rest
@@ -365,10 +366,9 @@ let run_txn_update mgr t db ~table ~assignments ~where_ =
           targets := entry.(0) :: !targets);
       let rec declare = function
         | [] ->
-            Ok
-              (Message
-                 (Printf.sprintf "%d updates queued in %s"
-                    (List.length !targets) table))
+            let n = List.length !targets in
+            if n > 0 then Advisor.note_write ~n ~rel:table ();
+            Ok (Message (Printf.sprintf "%d updates queued in %s" n table))
         | tuple :: rest -> (
             let rec fields = function
               | [] -> Ok ()
@@ -567,7 +567,9 @@ let exec_unscoped sess stmt =
       match sess.current with
       | None -> (
           match Db.insert db ~rel:table values with
-          | Ok _ -> Ok (Message "1 tuple inserted")
+          | Ok _ ->
+              Advisor.note_write ~rel:table ();
+              Ok (Message "1 tuple inserted")
           | Error msg -> Error msg)
       | Some t -> (
           (* resolve foreign keys against committed state now; the insert
@@ -583,7 +585,9 @@ let exec_unscoped sess stmt =
               else
                 let* resolved = Db.resolve_foreign_keys db schema values in
                 match Mmdb_txn.Txn.insert t ~rel:table resolved with
-                | Ok () -> Ok (Message "1 insert queued")
+                | Ok () ->
+                    Advisor.note_write ~rel:table ();
+                    Ok (Message "1 insert queued")
                 | Error f -> Error (txn_failure f))))
   | Ast.Update { table; assignments; where_ } -> (
       match sess.current with

@@ -10,8 +10,11 @@
    Rotation is size-based and single-level: when the file would grow
    past [max_bytes], it is renamed to [path ^ ".1"] (clobbering the
    previous rotation) and a fresh file is started, so a capture left on
-   overnight is bounded at roughly twice [max_bytes].  All writes go
-   through one mutex — handler threads record concurrently. *)
+   overnight is bounded at roughly twice [max_bytes].  If the rename
+   fails the sink keeps appending to the current file past the bound —
+   unbounded growth beats silent data loss — and bumps a failure
+   counter for METRICS.  All writes go through one mutex — handler
+   threads record concurrently. *)
 
 module Json = Mmdb_util.Json
 open Mmdb_storage
@@ -92,12 +95,25 @@ let value_of_json : Json.t -> Value.t = function
   | Json.Bool b -> Value.Bool b
   | Json.Null | Json.List _ | Json.Obj _ -> Value.Null
 
+(* Rotations that failed at the rename step, process-wide.  A failed
+   rename must not truncate into a fresh file — that would silently
+   discard the whole capture — so the sink keeps appending to the
+   current file past the bound and the failure is surfaced through
+   METRICS as [capture_rotation_failed]. *)
+let rotation_failures = Atomic.make 0
+let rotation_failed () = Atomic.get rotation_failures
+
 let rotate t =
-  (try close_out t.oc with Sys_error _ -> ());
-  (try Sys.rename t.path (t.path ^ ".1") with Sys_error _ -> ());
-  let oc, bytes = open_sink t.path in
-  t.oc <- oc;
-  t.bytes <- bytes
+  (* Rename first, while the channel is still open (POSIX renames open
+     files fine): if it fails — permissions, a directory squatting on
+     the ".1" name — the current channel keeps appending unbroken. *)
+  match Sys.rename t.path (t.path ^ ".1") with
+  | exception Sys_error _ -> Atomic.incr rotation_failures
+  | () ->
+      (try close_out t.oc with Sys_error _ -> ());
+      let oc, bytes = open_sink t.path in
+      t.oc <- oc;
+      t.bytes <- bytes
 
 let record t ~ts ~session ~kind ~sql ?params ~elapsed_ms ?rows ~status
     ~snapshot () =

@@ -42,4 +42,10 @@ val value_of_json : Mmdb_util.Json.t -> Mmdb_storage.Value.t
 val count : t -> int
 (** Records written over the capture's life (rotation does not reset). *)
 
+val rotation_failed : unit -> int
+(** Process-wide count of rotations whose rename failed.  On failure the
+    sink keeps appending to the current file past the bound rather than
+    truncating into a fresh one (which would silently discard the full
+    capture); surfaced in METRICS as [capture_rotation_failed]. *)
+
 val close : t -> unit

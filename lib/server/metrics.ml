@@ -316,7 +316,22 @@ let render t ~active ~readers ~domains =
         "last 60s:    qps=%.2f errors/s=%.2f shed/s=%.2f p50=%s p99=%s"
         s.s_qps_60s s.s_err_60s s.s_shed_60s (pct s.s_p50_60s_ms)
         (pct s.s_p99_60s_ms);
-      Printf.sprintf "capture:     statements=%d" s.s_captured;
+      Printf.sprintf "capture:     statements=%d rotation_failed=%d"
+        s.s_captured
+        (Capture.rotation_failed ());
+      Printf.sprintf "planner:     %s" (Mmdb_core.Optimizer.planner_name ());
+      (let a = Mmdb_core.Advisor.stats () in
+       Printf.sprintf
+         "advisor:     runs=%d created=%d dropped=%d active=%d%s" a.adv_runs
+         a.adv_created a.adv_dropped
+         (List.length a.adv_active)
+         (match a.adv_active with
+         | [] -> ""
+         | l ->
+             " ["
+             ^ String.concat ", "
+                 (List.map (fun (r, i) -> r ^ "." ^ i) l)
+             ^ "]"));
       (let v = Mmdb_storage.Version_store.stats () in
        Printf.sprintf
          "mvcc:        enabled=%b commit_ts=%d snapshots=%d live=%d \
@@ -419,6 +434,28 @@ let stats_json t ~active ~readers ~domains =
                ("stmt_cache_hits", Json.Int s.s_cache_hits);
                ("stmt_cache_misses", Json.Int s.s_cache_misses);
                ("captured", Json.Int s.s_captured);
+               ("capture_rotation_failed", Json.Int (Capture.rotation_failed ()));
+             ] );
+         ( "planner",
+           Json.Obj
+             [
+               ("name", Json.Str (Mmdb_core.Optimizer.planner_name ()));
+               ("cost_based", Json.Bool (Mmdb_core.Optimizer.cost_based ()));
+             ] );
+         ( "advisor",
+           let a = Mmdb_core.Advisor.stats () in
+           Json.Obj
+             [
+               ("runs", Json.Int a.adv_runs);
+               ("created", Json.Int a.adv_created);
+               ("dropped", Json.Int a.adv_dropped);
+               ( "active",
+                 Json.List
+                   (List.map
+                      (fun (rel, idx) ->
+                        Json.Obj
+                          [ ("relation", Json.Str rel); ("index", Json.Str idx) ])
+                      a.adv_active) );
              ] );
          ( "last_60s",
            Json.Obj
@@ -584,6 +621,9 @@ let prometheus t ~active ~readers ~domains =
     s.s_ro_jobs;
   counter "mmdb_captured_statements_total"
     "Statements appended to the workload capture file" s.s_captured;
+  counter "mmdb_capture_rotation_failed_total"
+    "Capture-file rotations that failed (file kept growing, no loss)"
+    (Capture.rotation_failed ());
   (* gauges *)
   gauge "mmdb_uptime_seconds" "Seconds since server start" s.s_uptime;
   gauge "mmdb_active_connections" "Currently live sessions"
@@ -676,6 +716,17 @@ let prometheus t ~active ~readers ~domains =
    counter "mmdb_join_role_reversals_total"
      "Skew-triggered build/probe role reversals in the partitioned join"
      reversals);
+  (* planner and index advisor *)
+  gauge "mmdb_cost_based_enabled" "1 when the cost-based planner is active"
+    (if Mmdb_core.Optimizer.cost_based () then 1.0 else 0.0);
+  (let a = Mmdb_core.Advisor.stats () in
+   counter "mmdb_advisor_runs_total" "Index-advisor passes executed" a.adv_runs;
+   counter "mmdb_advisor_indices_created_total"
+     "Secondary indices the advisor has created" a.adv_created;
+   counter "mmdb_advisor_indices_dropped_total"
+     "Advisor-created indices dropped as stale" a.adv_dropped;
+   gauge "mmdb_advisor_active_indices" "Advisor-owned indices currently live"
+     (float_of_int (List.length a.adv_active)));
   (* cardinality feedback *)
   gauge "mmdb_feedback_shapes" "Distinct plan shapes in the feedback store"
     (float_of_int (Mmdb_core.Feedback.size ()));

@@ -57,6 +57,13 @@ type config = {
          reproduces the paper's lock-only blocking behavior. *)
   capture : string option;  (* workload-capture JSONL sink; None = off *)
   capture_max_bytes : int;  (* rotate the capture file past this size *)
+  cost : bool;
+      (* cost-based planning (statistics-driven join ordering, access
+         paths, build sides); off reproduces the paper's §4 rule-based
+         preference ordering. *)
+  advisor_every : int;
+      (* run the index advisor every N executed statement batches;
+         <= 0 disables it.  Runs are exclusive writer jobs. *)
 }
 
 let default_config =
@@ -80,6 +87,8 @@ let default_config =
     mvcc = Version_store.enabled () (* the MMDB_MVCC knob; default on *);
     capture = None;
     capture_max_bytes = 64 * 1024 * 1024;
+    cost = Optimizer.cost_based () (* the MMDB_COST knob; default on *);
+    advisor_every = Advisor.default_every () (* MMDB_ADVISOR; default off *);
   }
 
 module Fault = Mmdb_txn.Fault
@@ -489,6 +498,14 @@ let run_statements t (s : session) ~sql ?params stmts : Protocol.response =
     end
   in
   capture_record t s ~sql ?params ~started ~resp ();
+  (* Index-advisor cadence: every [advisor_every]-th executed batch
+     queues one fire-and-forget pass on the dispatcher's Write slot —
+     exclusive with all readers and writers, and never under an MVCC
+     snapshot, exactly the conditions {!Advisor.run} needs to bulk-build
+     indices safely.  Nobody waits on the promise; actions surface in
+     STATS/METRICS. *)
+  if t.cfg.advisor_every > 0 && Advisor.due ~every:t.cfg.advisor_every then
+    ignore (Exec_queue.submit t.exec (fun () -> ignore (Advisor.run t.db)));
   resp
 
 let literal_of_value : Value.t -> Ast.literal = function
@@ -737,6 +754,9 @@ let start ?(config = default_config) ?mgr db =
      the database was populated while versioning was off. *)
   Version_store.set_enabled config.mvcc;
   if config.mvcc then List.iter Relation.ensure_view (Db.relations db);
+  (* Same authority for the planner knob: the config seeds the
+     process-wide flag, so EXPLAIN and STATS agree with what runs. *)
+  Optimizer.set_cost_based config.cost;
   let listen_fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
   let addr = Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port) in

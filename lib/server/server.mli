@@ -59,6 +59,17 @@ type config = {
   capture_max_bytes : int;
       (** rotate the capture file to [path ^ ".1"] past this size;
           default 64 MiB *)
+  cost : bool;
+      (** cost-based planning: statistics-driven access paths, join
+          algorithm and build-side choice.  [false] reproduces the
+          paper's §4 rule-based preference ordering.  Default: the
+          [MMDB_COST] knob (on unless set to [0]).  Seeds the
+          process-wide {!Mmdb_core.Optimizer.set_cost_based} flag. *)
+  advisor_every : int;
+      (** run the {!Mmdb_core.Advisor} every N executed statement
+          batches, as an exclusive writer job; [<= 0] disables.
+          Default: the [MMDB_ADVISOR] knob (off unless a positive
+          count). *)
 }
 
 val default_config : config

@@ -27,8 +27,12 @@ type t = {
   mutable max_s : float;  (* exact, for the "max" column *)
 }
 
-let create () =
-  { counts = Array.make n_buckets 0; n = 0; sum = 0.0; max_s = neg_infinity }
+(* [max_s] starts at 0, not neg_infinity: consumers that render the raw
+   field (JSON prints non-finite floats as null) must never see a
+   non-finite value from an empty histogram.  Emptiness is signalled by
+   [n = 0] ({!max_sample} and {!percentile} return [None]), so 0 is
+   never mistaken for a sample. *)
+let create () = { counts = Array.make n_buckets 0; n = 0; sum = 0.0; max_s = 0.0 }
 
 (* Upper bound of bucket [i] (seconds); the overflow bucket has none. *)
 let upper_bound i = lo *. (ratio ** float_of_int i)

@@ -1,16 +1,20 @@
 #!/usr/bin/env bash
 # Refresh the checked-in performance baselines.  Runs the server, join
-# (batched execution) and micro experiments with JSONL output and
-# rewrites BENCH_server.json / BENCH_join.json / BENCH_micro.json at the
-# repo root, then asserts the acceptance bounds from the fresh JSONL:
+# (batched execution), advisor and micro experiments with JSONL output and
+# rewrites BENCH_server.json / BENCH_join.json / BENCH_advisor.json /
+# BENCH_micro.json at the repo root, then asserts the acceptance bounds
+# from the fresh JSONL:
 # under 2x overload, shed requests must exist (typed Overloaded replies)
 # and the accepted p99 must stay within 3x the uncontended p99
 # (`overload_ok`); with MVCC on, reader p99 under a background
 # bulk-update writer must stay within 2x the uncontended reader p99
 # (`mvcc_read_ok`); batched kernels must beat the tuple-at-a-time
-# ablation by >= 1.3x on scan_select and hash_join; and the 50%-hot-key
+# ablation by >= 1.3x on scan_select and hash_join; the 50%-hot-key
 # partitioned join must land within 2x of uniform keys with at least one
-# repartition/role-reversal event.  Bounded phases are retried a couple
+# repartition/role-reversal event; and on the adversarial drift workload
+# the cost-based planner plus index advisor must beat the rule-based
+# baseline with at least one index created and one dropped
+# (`advisor_ok`).  Bounded phases are retried a couple
 # of times before failing: timing ratios on a loaded shared host carry
 # scheduler noise even after the bench's own median smoothing.
 #
@@ -129,6 +133,51 @@ for attempt in 1 2 3; do
   fi
 done
 
+check_advisor() { # file -> 0 if the advisor record passes
+  python3 - "$1" <<'PY'
+import json, sys
+# acceptance bound (ISSUE 10): on the adversarial drift workload the
+# cost-based planner plus index advisor must beat the rule-based
+# baseline outright (speedup > 1.0 net of analyze/advise/build time),
+# and the advisor must have both created and dropped indices across the
+# hot-column drift.  The bench itself folds all of that into advisor_ok.
+ok = False
+for line in open(sys.argv[1]):
+    rec = json.loads(line)
+    if rec.get("experiment") != "advisor":
+        continue
+    print(
+        "advisor: rule %.4fs, cost+advisor %.4fs, speedup %.2fx, "
+        "created %d, dropped %d, active %d, ok=%d"
+        % (
+            rec["rule_s"],
+            rec["cost_s"],
+            rec["speedup"],
+            rec["created"],
+            rec["dropped"],
+            rec["active"],
+            rec["advisor_ok"],
+        )
+    )
+    ok = rec["advisor_ok"] == 1 and rec["speedup"] > 1.0
+sys.exit(0 if ok else 1)
+PY
+}
+
+echo "== advisor experiment (cost-based planning + index advisor, scale $SCALE) =="
+for attempt in 1 2 3; do
+  rm -f BENCH_advisor.json
+  "$BENCH" --only advisor --scale "$SCALE" --out BENCH_advisor.json
+  if check_advisor BENCH_advisor.json; then
+    break
+  elif [[ "$attempt" == 3 ]]; then
+    echo "FAIL: advisor bound violated on $attempt consecutive runs" >&2
+    exit 1
+  else
+    echo "advisor bound missed (attempt $attempt), retrying..." >&2
+  fi
+done
+
 echo "== micro experiment =="
 rm -f BENCH_micro.json
 "$BENCH" --only micro --scale "$SCALE" --out BENCH_micro.json
@@ -147,6 +196,7 @@ def load(path):
 
 server = load("BENCH_server.json")
 join = load("BENCH_join.json")
+advisor = load("BENCH_advisor.json")
 micro = load("BENCH_micro.json")
 
 trend = {
@@ -170,6 +220,9 @@ for rec in join:
         trend["batch_speedup_" + rec["op"]] = rec["speedup"]
     if rec.get("section") == "skew":
         trend["skew_ratio"] = rec["skew_ratio"]
+for rec in advisor:
+    if rec.get("experiment") == "advisor":
+        trend["advisor_speedup"] = rec["speedup"]
 for rec in micro:
     if rec.get("op") and rec.get("ns_per_op") is not None:
         trend.setdefault("micro_ns", {})[rec["op"]] = rec["ns_per_op"]
@@ -179,4 +232,4 @@ with open("BENCH_trend.jsonl", "a") as f:
 print("trend record appended to BENCH_trend.jsonl")
 PY
 
-echo "baselines refreshed: BENCH_server.json BENCH_join.json BENCH_micro.json"
+echo "baselines refreshed: BENCH_server.json BENCH_join.json BENCH_advisor.json BENCH_micro.json"

@@ -232,6 +232,52 @@ let test_capture_rotation () =
             i)
         tail)
 
+(* Regression: a failing rotation (rename target unwritable) must not
+   lose records.  The old code closed the live channel first and
+   re-opened the path with O_TRUNC, so a failed rename clobbered every
+   buffered record; now the rename goes first and on failure the sink
+   keeps appending past the bound, bumping [rotation_failed]. *)
+let test_capture_rotation_failure () =
+  let path = Filename.temp_file "mmdb_capture" ".jsonl" in
+  let rotated = path ^ ".1" in
+  (* a non-empty directory at the rename target makes Sys.rename fail *)
+  Unix.mkdir rotated 0o755;
+  let blocker = Filename.concat rotated "keep" in
+  let oc = open_out blocker in
+  output_string oc "x";
+  close_out oc;
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove blocker with Sys_error _ -> ());
+      (try Unix.rmdir rotated with Unix.Unix_error _ -> ());
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let failures_before = Capture.rotation_failed () in
+      let c = Capture.create ~max_bytes:1024 ~path () in
+      for i = 1 to 50 do
+        let sql =
+          Printf.sprintf "INSERT INTO KV VALUES (%d, %s);" i
+            (String.make 120 '9')
+        in
+        Capture.record c ~ts:(float_of_int i) ~session:1 ~kind:"insert" ~sql
+          ~elapsed_ms:0.1 ~rows:0 ~status:"ok" ~snapshot:(-1) ()
+      done;
+      Capture.close c;
+      Alcotest.(check bool) "failures counted" true
+        (Capture.rotation_failed () > failures_before);
+      (* every record is still on disk, in order, despite the bound *)
+      match Replay.load path with
+      | Error m -> Alcotest.fail m
+      | Ok (records, skipped) ->
+          Alcotest.(check int) "no skips" 0 skipped;
+          Alcotest.(check int) "no record lost" 50 (List.length records);
+          List.iteri
+            (fun off r ->
+              Alcotest.(check int) "in order" (off + 1)
+                (Scanf.sscanf r.Replay.r_sql "INSERT INTO KV VALUES (%d,"
+                   Fun.id))
+            records)
+
 (* --- protocol: METRICS request / response ------------------------------- *)
 
 let test_metrics_protocol_roundtrip () =
@@ -397,6 +443,8 @@ let () =
             test_capture_params_roundtrip;
           Alcotest.test_case "size-bounded rotation" `Quick
             test_capture_rotation;
+          Alcotest.test_case "failed rotation loses nothing" `Quick
+            test_capture_rotation_failure;
         ] );
       ( "protocol",
         [

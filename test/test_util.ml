@@ -537,6 +537,55 @@ let test_histogram_merge_disjoint_empty () =
   Alcotest.(check (option (float 0.0))) "empty + empty percentile" None
     (Histogram.percentile ee 50.0)
 
+(* Regression: the empty histogram used to carry [max_s = neg_infinity],
+   so any consumer that rendered the raw maximum of a never-hit
+   histogram emitted a non-finite float.  The field now starts at 0 and
+   emptiness is signalled by the count alone: the [None] guards must
+   hold before the first sample and the exact max must take over right
+   after it. *)
+let test_histogram_empty_max () =
+  let h = Histogram.create () in
+  Alcotest.(check (option (float 0.0))) "empty max_sample" None
+    (Histogram.max_sample h);
+  Alcotest.(check (option (float 0.0))) "empty p100" None
+    (Histogram.percentile h 100.0);
+  (* merging empties must not manufacture a sample or a max *)
+  let m = Histogram.merge h (Histogram.create ()) in
+  Alcotest.(check (option (float 0.0))) "merged-empty max_sample" None
+    (Histogram.max_sample m);
+  (* the first real sample becomes the exact max, however small *)
+  Histogram.add h 1e-9;
+  Alcotest.(check (option (float 1e-18))) "first sample is max" (Some 1e-9)
+    (Histogram.max_sample h)
+
+(* The Json non-finite policy the histogram fix leans on: NaN and the
+   infinities render as null — valid JSON — and round-trip to [Null],
+   bare or nested in the shapes STATS serves. *)
+let test_json_non_finite_policy () =
+  List.iter
+    (fun v ->
+      Alcotest.(check string) "renders as null" "null"
+        (Json.to_string (Json.Float v));
+      match Json.parse (Json.to_string (Json.Float v)) with
+      | Ok Json.Null -> ()
+      | Ok j -> Alcotest.failf "unexpected reparse: %s" (Json.to_string j)
+      | Error e -> Alcotest.failf "invalid JSON emitted: %s" e)
+    [ Float.nan; Float.infinity; Float.neg_infinity ];
+  let doc =
+    Json.Obj
+      [
+        ("max_ms", Json.Float Float.neg_infinity);
+        ("p99_ms", Json.List [ Json.Float Float.nan; Json.Float 2.5 ]);
+      ]
+  in
+  match Json.parse (Json.to_string doc) with
+  | Ok
+      (Json.Obj
+        [ ("max_ms", Json.Null); ("p99_ms", Json.List [ Json.Null; Json.Float 2.5 ]) ])
+    -> ()
+  | Ok j -> Alcotest.failf "unexpected reparse: %s" (Json.to_string j)
+  | Error e -> Alcotest.failf "invalid JSON emitted: %s" e
+
 (* Histogram is not synchronized by contract — its concurrent users
    (Metrics) serialize under their own mutex.  Hammer it the same way:
    many domains adding and reading under one mutex must never lose a
@@ -833,6 +882,8 @@ let () =
           Alcotest.test_case "parse and reject" `Quick test_json_parse;
           Alcotest.test_case "control-character escapes" `Quick
             test_json_control_chars;
+          Alcotest.test_case "non-finite policy" `Quick
+            test_json_non_finite_policy;
         ] );
       ( "histogram",
         [
@@ -840,6 +891,8 @@ let () =
           Alcotest.test_case "merge" `Quick test_histogram_merge;
           Alcotest.test_case "merge disjoint and empty" `Quick
             test_histogram_merge_disjoint_empty;
+          Alcotest.test_case "empty max regression" `Quick
+            test_histogram_empty_max;
           Alcotest.test_case "concurrent hammer (mutexed)" `Quick
             test_histogram_mutex_hammer;
         ] );
